@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper via its
+experiment runner (coarse sparsity grid by default — run the CLI with
+``--full-grid`` for the paper's 10%-step resolution), asserts the
+qualitative shape the paper reports, and records the regeneration time
+through pytest-benchmark.
+"""
+
+import pytest
+
+from repro.model.surface import SurfaceStore
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(name): marks a benchmark regenerating one experiment"
+    )
+
+
+@pytest.fixture(scope="session")
+def store():
+    """Session-wide surface store (repo-level disk cache)."""
+    return SurfaceStore()
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(func, **kwargs):
+        return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,61 @@
+"""Benchmarks for the extension experiments and the simulator itself."""
+
+import pytest
+
+from repro.core import BASELINE_2VPU, SAVE_2VPU, simulate
+from repro.experiments import ablations, energy
+from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
+from repro.kernels.tiling import BroadcastPattern, RegisterTile
+
+
+@pytest.mark.experiment("ablations")
+def test_ablations(run_once):
+    report = run_once(ablations.run, k_steps=16)
+    report.show()
+    embedded = report.data["bwd-input (embedded, NBS=60%)"]
+    assert embedded["SAVE (full)"] > embedded["naive lane-skip"]
+    assert embedded["SAVE (full)"] > embedded["rotation off"]
+
+
+@pytest.mark.experiment("energy")
+def test_energy(run_once):
+    report = run_once(energy.run, k_steps=16)
+    report.show()
+    sparse = report.data["BS=80% NBS=80%"]
+    assert sparse["SAVE 1 VPU"] < sparse["baseline"]
+
+
+class TestSimulatorThroughput:
+    """Microbenchmarks of the pipeline simulator itself."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_gemm_trace(
+            GemmKernelConfig(
+                name="perf",
+                tile=RegisterTile(4, 6, BroadcastPattern.EXPLICIT),
+                k_steps=32,
+                nonbroadcast_sparsity=0.5,
+                seed=0,
+            )
+        )
+
+    def test_baseline_simulation_rate(self, benchmark, trace):
+        result = benchmark.pedantic(
+            simulate,
+            args=(trace, BASELINE_2VPU),
+            kwargs={"keep_state": False},
+            rounds=3,
+            iterations=1,
+        )
+        assert result.fma_count == 768
+
+    def test_save_simulation_rate(self, benchmark, trace):
+        result = benchmark.pedantic(
+            simulate,
+            args=(trace, SAVE_2VPU),
+            kwargs={"keep_state": False},
+            rounds=3,
+            iterations=1,
+        )
+        assert result.vpu_ops < result.fma_count

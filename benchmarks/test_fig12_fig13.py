@@ -1,0 +1,38 @@
+"""Benchmarks regenerating Figs. 12 and 13 (sparsity inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig12, fig13
+
+
+@pytest.mark.experiment("fig12")
+def test_fig12(run_once):
+    report = run_once(fig12.run)
+    report.show()
+    vgg = report.data["dense VGG16"]
+    # Deep layers sparser than shallow; ReLU band 40-90%.
+    assert vgg[0][3] == 0.0  # layer 1 dense
+    assert vgg[-1][3] > vgg[1][3]
+    assert 0.35 <= vgg[-1][3] <= 0.95
+    resnet = report.data["dense ResNet-50"]
+    # ResNet-50 activation sparsity sits below VGG16's.
+    assert np.mean([row[3] for row in resnet[1:]]) < np.mean(
+        [row[3] for row in vgg[1:]]
+    )
+    pruned = report.data["pruned ResNet-50"]
+    assert np.mean([row[3] for row in pruned[1:]]) > np.mean(
+        [row[3] for row in resnet[1:]]
+    )
+
+
+@pytest.mark.experiment("fig13")
+def test_fig13(run_once):
+    report = run_once(fig13.run)
+    report.show()
+    resnet = np.array(report.data["resnet50"])
+    gnmt = np.array(report.data["gnmt"])
+    # Monotone ramps reaching the paper's targets.
+    assert (np.diff(resnet) >= -1e-12).all()
+    assert resnet[32] == 0.0 and resnet[60] == pytest.approx(0.80)
+    assert gnmt[-1] == pytest.approx(0.90)

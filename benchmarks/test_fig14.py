@@ -1,0 +1,96 @@
+"""Benchmark regenerating Fig. 14 — whole-network inference/training.
+
+Shape assertions follow Sec. VII-A's claims; absolute factors are
+checked against a generous band around the paper's numbers (our
+substrate is a from-scratch simulator, not the authors' Sniper setup).
+"""
+
+import pytest
+
+from repro.experiments import fig14
+
+
+def dynamic_speedup(report, panel, network, precision="bf16"):
+    data = report.data[f"14{panel}/{network}/{precision}"]
+    return data["baseline"] / data["dynamic"]
+
+
+def config_speedup(report, panel, network, config, precision="bf16"):
+    data = report.data[f"14{panel}/{network}/{precision}"]
+    return data["baseline"] / data[config]
+
+
+@pytest.fixture(scope="module")
+def report(store):
+    return fig14.run(panel="all", store=store, k_steps=16, samples=5)
+
+
+@pytest.mark.experiment("fig14")
+def test_fig14_regenerates(run_once, store):
+    report = run_once(fig14.run, panel="all", store=store, k_steps=16, samples=5)
+    report.show()
+    assert len(report.rows) > 0
+
+
+class TestFig14aInference:
+    def test_speedup_band(self, report):
+        # Paper: 1.68x / 1.37x / 1.59x (MP dynamic).
+        assert 1.3 <= dynamic_speedup(report, "a", "VGG16") <= 1.9
+        assert 1.1 <= dynamic_speedup(report, "a", "ResNet-50") <= 1.6
+        assert 1.35 <= dynamic_speedup(report, "a", "ResNet-50 pruned") <= 1.9
+
+    def test_vgg_beats_dense_resnet(self, report):
+        assert dynamic_speedup(report, "a", "VGG16") > dynamic_speedup(
+            report, "a", "ResNet-50"
+        )
+
+    def test_pruned_beats_dense_resnet(self, report):
+        assert dynamic_speedup(report, "a", "ResNet-50 pruned") > dynamic_speedup(
+            report, "a", "ResNet-50"
+        )
+
+    def test_dynamic_best_config(self, report):
+        for network in ("VGG16", "ResNet-50", "ResNet-50 pruned"):
+            dyn = dynamic_speedup(report, "a", network)
+            assert dyn >= config_speedup(report, "a", network, "2 VPUs") - 1e-9
+            assert dyn >= config_speedup(report, "a", network, "1 VPU") - 1e-9
+
+
+class TestFig14bGnmtInference:
+    def test_speedup_band(self, report):
+        # Paper: 1.39x (MP dynamic).
+        assert 1.15 <= dynamic_speedup(report, "b", "GNMT pruned") <= 1.65
+
+    def test_memory_bound_below_pruned_resnet(self, report):
+        assert dynamic_speedup(report, "b", "GNMT pruned") <= (
+            dynamic_speedup(report, "a", "ResNet-50 pruned") + 0.1
+        )
+
+
+class TestFig14cTraining:
+    def test_speedup_band(self, report):
+        # Paper: 1.64x / 1.29x / 1.42x (MP dynamic).
+        assert 1.4 <= dynamic_speedup(report, "c", "VGG16") <= 2.0
+        assert 1.05 <= dynamic_speedup(report, "c", "ResNet-50") <= 1.5
+        assert 1.2 <= dynamic_speedup(report, "c", "ResNet-50 pruned") <= 1.7
+
+    def test_static_between_fixed_and_dynamic(self, report):
+        for network in ("VGG16", "ResNet-50 pruned"):
+            data = report.data[f"14c/{network}/bf16"]
+            static = data["baseline"] / data["static"]
+            dynamic = data["baseline"] / data["dynamic"]
+            best_fixed = max(
+                data["baseline"] / data["2 VPUs"], data["baseline"] / data["1 VPU"]
+            )
+            assert dynamic >= static - 1e-9 >= best_fixed - 1e-6
+
+
+class TestFig14dGnmtTraining:
+    def test_speedup_band(self, report):
+        # Paper: 1.28x (MP dynamic).
+        assert 1.05 <= dynamic_speedup(report, "d", "GNMT pruned") <= 1.5
+
+    def test_training_capped_below_inference(self, report):
+        assert dynamic_speedup(report, "d", "GNMT pruned") <= dynamic_speedup(
+            report, "b", "GNMT pruned"
+        )

@@ -1,0 +1,49 @@
+"""Benchmark regenerating Fig. 15 — kernel speedup over the sparsity grid."""
+
+import pytest
+
+from repro.experiments import fig15
+
+
+@pytest.fixture(scope="module")
+def report():
+    return fig15.run(k_steps=24)
+
+
+@pytest.mark.experiment("fig15")
+def test_fig15_regenerates(run_once):
+    report = run_once(fig15.run, k_steps=24)
+    report.show()
+    assert report.data["2vpu"] and report.data["1vpu"]
+
+
+class TestFig15Shape:
+    def test_dense_two_vpus_match_baseline(self, report):
+        assert report.data["2vpu"][(0.0, 0.0)] == pytest.approx(1.0, abs=0.1)
+
+    def test_dense_one_vpu_slowdown(self, report):
+        # Paper: 29% slowdown at 0% total sparsity.
+        assert 0.6 <= report.data["1vpu"][(0.0, 0.0)] <= 0.8
+
+    def test_two_vpu_cap_near_paper(self, report):
+        # Paper: benefit capped at ~1.49x around 60% of either type.
+        top = max(report.data["levels"])
+        cap = report.data["2vpu"][(top, top)]
+        assert 1.3 <= cap <= 1.75
+
+    def test_one_vpu_reaches_higher(self, report):
+        # Paper: up to 1.96x with one VPU.
+        top = max(report.data["levels"])
+        assert report.data["1vpu"][(top, top)] > report.data["2vpu"][(top, top)]
+        assert 1.7 <= report.data["1vpu"][(top, top)] <= 2.2
+
+    def test_one_vpu_wins_beyond_70pct(self, report):
+        # Paper: when either sparsity type exceeds ~70%, 1 VPU wins.
+        top = max(report.data["levels"])
+        assert report.data["1vpu"][(top, 0.0)] >= report.data["2vpu"][(top, 0.0)] - 0.05
+
+    def test_speedup_monotone_in_bs(self, report):
+        levels = report.data["levels"]
+        series = [report.data["2vpu"][(bs, 0.0)] for bs in levels]
+        for earlier, later in zip(series, series[1:]):
+            assert later >= earlier - 0.08

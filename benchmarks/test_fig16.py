@@ -1,0 +1,50 @@
+"""Benchmark regenerating Fig. 16 — histograms of speedup caps."""
+
+import pytest
+
+from repro.experiments import fig16
+
+
+@pytest.fixture(scope="module")
+def report(store):
+    return fig16.run(store=store, k_steps=16)
+
+
+@pytest.mark.experiment("fig16")
+def test_fig16_regenerates(run_once, store):
+    report = run_once(fig16.run, store=store, k_steps=16)
+    report.show()
+    assert report.data["n_kernels"] > 60  # paper studies 93
+
+
+class TestFig16Shape:
+    def test_all_panels_present(self, report):
+        assert set(report.data["histograms"]) == {
+            "FP32 2 VPUs",
+            "FP32 1 VPU",
+            "BF16 2 VPUs",
+            "BF16 1 VPU",
+        }
+
+    def test_histogram_totals_match_kernel_count(self, report):
+        n = report.data["n_kernels"]
+        for counts in report.data["histograms"].values():
+            assert sum(counts["conv"]) + sum(counts["lstm"]) == n
+
+    def test_one_vpu_lifts_caps(self, report):
+        # Paper: boosting frequency with one VPU lifts the caps.
+        geomeans = report.data["geomeans"]
+        assert geomeans["FP32 1 VPU"] > geomeans["FP32 2 VPUs"]
+        assert geomeans["BF16 1 VPU"] > geomeans["BF16 2 VPUs"]
+
+    def test_geomeans_plausible(self, report):
+        # Paper: 1.39x/1.62x (FP32) and 1.48x/1.77x (MP).
+        geomeans = report.data["geomeans"]
+        assert 1.2 <= geomeans["FP32 2 VPUs"] <= 1.9
+        assert 1.4 <= geomeans["FP32 1 VPU"] <= 2.2
+
+    def test_lstm_kernels_cap_low(self, report):
+        # LSTM kernels are memory bound: their caps concentrate in the
+        # lowest buckets.
+        counts = report.data["histograms"]["FP32 2 VPUs"]["lstm"]
+        assert sum(counts[:3]) >= sum(counts[3:])

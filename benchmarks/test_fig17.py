@@ -1,0 +1,54 @@
+"""Benchmark regenerating Fig. 17 — broadcast-cache designs."""
+
+import pytest
+
+from repro.experiments import fig17
+
+
+@pytest.fixture(scope="module")
+def report():
+    return fig17.run(k_steps=24)
+
+
+@pytest.mark.experiment("fig17")
+def test_fig17_regenerates(run_once):
+    report = run_once(fig17.run, k_steps=24)
+    report.show()
+    assert set(report.data) == {"No B$", "B$ w/ masks", "B$ w/ data"}
+
+
+class TestFig17Shape:
+    def test_no_b_cache_no_speedup_dense_bs(self, report):
+        # Paper: without a B$, no speedup at any NBS level at 0% BS —
+        # the kernel stays L1-bandwidth bound.
+        speedups = report.data["No B$"]
+        top = max(nbs for (_bs, nbs) in speedups)
+        assert speedups[(0.0, top)] <= 1.15
+
+    def test_data_design_scales_with_nbs(self, report):
+        speedups = report.data["B$ w/ data"]
+        top = max(nbs for (_bs, nbs) in speedups)
+        assert speedups[(0.0, top)] > speedups[(0.0, 0.0)] + 0.3
+
+    def test_mask_design_limited_by_l1(self, report):
+        # With NBS, data beats masks (masks still read non-zero data
+        # from the L1).
+        data = report.data["B$ w/ data"]
+        mask = report.data["B$ w/ masks"]
+        top = max(nbs for (_bs, nbs) in data)
+        assert data[(0.0, top)] >= mask[(0.0, top)]
+        assert data[(0.4, top)] >= mask[(0.4, top)]
+
+    def test_bs_level_helps_all_designs(self, report):
+        for label in ("B$ w/ masks", "B$ w/ data"):
+            speedups = report.data[label]
+            assert speedups[(0.4, 0.0)] >= speedups[(0.0, 0.0)] - 0.05
+
+    def test_ordering_data_mask_none(self, report):
+        top = max(nbs for (_bs, nbs) in report.data["B$ w/ data"])
+        point = (0.4, top)
+        assert (
+            report.data["B$ w/ data"][point]
+            >= report.data["B$ w/ masks"][point]
+            >= report.data["No B$"][point] - 0.05
+        )

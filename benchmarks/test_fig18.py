@@ -1,0 +1,83 @@
+"""Benchmark regenerating Fig. 18 — lane-balancing techniques."""
+
+import pytest
+
+from repro.experiments import fig18
+
+PANEL_A = "a (ResNet3_2, eff. CW~1)"
+PANEL_B = "b (ResNet5_1a, eff. CW~3)"
+
+
+@pytest.fixture(scope="module")
+def report():
+    return fig18.run(k_steps=24)
+
+
+def series(report, panel, technique):
+    speedups = report.data[panel][technique]
+    return {nbs: value for (_bs, nbs), value in speedups.items()}
+
+
+@pytest.mark.experiment("fig18")
+def test_fig18_regenerates(run_once):
+    report = run_once(fig18.run, k_steps=24)
+    report.show()
+    assert set(report.data) == {PANEL_A, PANEL_B}
+
+
+class TestPanelA:
+    """Effective CW ~ 1: rotation is the decisive fix."""
+
+    def test_vc_suffers_load_imbalance(self, report):
+        vc = series(report, PANEL_A, "VC")
+        rvc = series(report, PANEL_A, "RVC")
+        mid = sorted(vc)[-2]
+        assert rvc[mid] > vc[mid]
+
+    def test_rvc_beats_vc_lwd(self, report):
+        # Paper: "VC+LWD provides less benefit than RVC because the
+        # effective CW is extremely small".
+        rvc = series(report, PANEL_A, "RVC")
+        vc_lwd = series(report, PANEL_A, "VC+LWD")
+        mid = sorted(rvc)[-2]
+        assert rvc[mid] >= vc_lwd[mid] - 0.02
+
+    def test_rvc_lwd_best_vertical_scheme(self, report):
+        top = max(nbs for nbs in series(report, PANEL_A, "VC"))
+        best = series(report, PANEL_A, "RVC+LWD")[top]
+        for technique in ("VC", "RVC", "VC+LWD"):
+            assert best >= series(report, PANEL_A, technique)[top] - 0.03
+
+
+class TestPanelB:
+    """Effective CW ~ 3, shorter dependence distance: LWD matters more."""
+
+    def test_vc_lwd_beats_rvc(self, report):
+        # Paper: "For this kernel, VC+LWD is more beneficial than RVC."
+        vc_lwd = series(report, PANEL_B, "VC+LWD")
+        rvc = series(report, PANEL_B, "RVC")
+        mid = sorted(rvc)[-2]
+        assert vc_lwd[mid] >= rvc[mid] - 0.02
+
+    def test_hc_less_dominant_than_panel_a(self, report):
+        # HC's latency penalty weighs more with the shorter dependence
+        # distance: its margin over RVC+LWD shrinks vs panel (a).
+        top = max(nbs for nbs in series(report, PANEL_B, "HC"))
+        margin_b = series(report, PANEL_B, "HC")[top] - series(
+            report, PANEL_B, "RVC+LWD"
+        )[top]
+        margin_a = series(report, PANEL_A, "HC")[top] - series(
+            report, PANEL_A, "RVC+LWD"
+        )[top]
+        assert margin_b <= margin_a + 0.05
+
+
+class TestCrossPanels:
+    def test_combined_best_overall(self, report):
+        # Paper's conclusion: RVC+LWD gives the best performance across
+        # kernel behaviours (among the practical schemes).
+        for panel in (PANEL_A, PANEL_B):
+            top = max(nbs for nbs in series(report, panel, "VC"))
+            combined = series(report, panel, "RVC+LWD")[top]
+            for technique in ("VC", "RVC", "VC+LWD"):
+                assert combined >= series(report, panel, technique)[top] - 0.03

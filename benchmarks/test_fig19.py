@@ -1,0 +1,41 @@
+"""Benchmark regenerating Fig. 19 — the mixed-precision technique."""
+
+import pytest
+
+from repro.experiments import fig19
+
+
+@pytest.fixture(scope="module")
+def report():
+    return fig19.run(k_steps=24)
+
+
+def series(report, label):
+    return {nbs: value for (_bs, nbs), value in report.data[label].items()}
+
+
+@pytest.mark.experiment("fig19")
+def test_fig19_regenerates(run_once):
+    report = run_once(fig19.run, k_steps=24)
+    report.show()
+    assert set(report.data) == {"w/o MP technique", "w/ MP technique"}
+
+
+class TestFig19Shape:
+    def test_technique_never_hurts(self, report):
+        with_mp = series(report, "w/ MP technique")
+        without = series(report, "w/o MP technique")
+        for nbs in with_mp:
+            assert with_mp[nbs] >= without[nbs] - 0.03
+
+    def test_technique_substantial_mid_sparsity(self, report):
+        # The square-law gap is widest at middling sparsity.
+        with_mp = series(report, "w/ MP technique")
+        without = series(report, "w/o MP technique")
+        mids = [nbs for nbs in sorted(with_mp) if 0.2 <= nbs <= 0.7]
+        assert any(with_mp[nbs] > without[nbs] * 1.1 for nbs in mids)
+
+    def test_speedup_grows_with_sparsity(self, report):
+        with_mp = series(report, "w/ MP technique")
+        keys = sorted(with_mp)
+        assert with_mp[keys[-1]] > with_mp[keys[0]]

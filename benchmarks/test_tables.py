@@ -1,0 +1,41 @@
+"""Benchmarks regenerating Tables I, II and III."""
+
+import pytest
+
+from repro.experiments import table1, table2, table3
+
+
+@pytest.mark.experiment("table1")
+def test_table1(run_once):
+    report = run_once(table1.run)
+    report.show()
+    assert report.data["cores"] == 28
+    assert report.data["rs_entries"] == 97
+    assert report.data["rob_entries"] == 224
+    assert report.data["issue_width"] == 5
+    assert report.data["freq_2vpu"] == 1.7
+    assert report.data["freq_1vpu"] == 2.1
+
+
+@pytest.mark.experiment("table2")
+def test_table2(run_once):
+    report = run_once(table2.run)
+    report.show()
+    # The paper's exact storage numbers.
+    assert report.data["temp_fp32_bytes"] == 56
+    assert report.data["temp_mixed_bytes"] == 168
+    assert report.data["b_mask_fp32_bytes"] == 276
+    assert report.data["b_mask_mixed_bytes"] == 340
+    assert report.data["b_data_bytes"] == 2260
+
+
+@pytest.mark.experiment("table3")
+def test_table3(run_once):
+    report = run_once(table3.run)
+    report.show()
+    data = report.data
+    # Paper's check-mark pattern.
+    assert data["dense VGG16"] == ("X", "", "X", "", "X", "X")
+    assert data["dense ResNet-50"] == ("X", "", "", "", "X", "")
+    assert data["pruned ResNet-50"] == ("X", "X", "", "X", "X", "")
+    assert data["pruned GNMT"][:4] == ("X", "X", "X", "X")

@@ -1,0 +1,28 @@
+"""Reproduction of *SAVE: Sparsity-Aware Vector Engine for Accelerating DNN
+Training and Inference on CPUs* (Gong et al., MICRO 2020).
+
+The package is organised bottom-up:
+
+* :mod:`repro.isa` — an AVX-512-like vector ISA substrate (µops, registers,
+  BF16/FP32 semantics, write masks) with an in-order reference executor.
+* :mod:`repro.sparsity` — sparsity generators, the activation-sparsity
+  progressions of Fig. 12 and the pruning schedules of Fig. 13.
+* :mod:`repro.memory` — set-associative caches (LRU/SRRIP), an inclusive
+  L1/L2/L3 hierarchy, a 2D-mesh NoC, a DRAM model, and SAVE's broadcast
+  cache (B$) in both its *data* and *mask* variants.
+* :mod:`repro.kernels` — register-tiled GEMM µop-trace generators plus
+  conv→GEMM and LSTM→GEMM lowering (the DNNL-kernel stand-in).
+* :mod:`repro.core` — a cycle-level out-of-order back-end (alloc, rename,
+  ROB, RS, ports, VPUs, LSU) and the SAVE engine itself (ELM/MGU,
+  vertical/rotate-vertical coalescing, lane-wise dependence, horizontal
+  compression, the mixed-precision technique, VPU power gating).
+* :mod:`repro.model` — the paper's evaluation methodology: 2D sparsity
+  surfaces with bilinear interpolation, roofline memory caps, multicore
+  scaling, the VGG16/ResNet-50/GNMT layer zoo and the end-to-end
+  training/inference estimators.
+* :mod:`repro.experiments` — one runner per table/figure of the paper.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,99 @@
+"""Command-line entry point: ``python -m repro <experiment>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="save-repro",
+        description=(
+            "Reproduction of SAVE (MICRO 2020): run an experiment to "
+            "regenerate one of the paper's tables or figures."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig15, table2) or 'list' / 'all'",
+    )
+    parser.add_argument(
+        "--full-grid",
+        action="store_true",
+        help="use the paper's 10%%-step sparsity grid (slow)",
+    )
+    parser.add_argument(
+        "--k-steps",
+        type=int,
+        default=None,
+        help="reduction steps per simulated kernel (trade accuracy/speed)",
+    )
+    parser.add_argument(
+        "--panel",
+        default="all",
+        help="fig14 only: panel a/b/c/d (default: all)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render fig15/fig18 as terminal charts",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help="write each report to DIR as <id>.txt and <id>.json",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    reports = []
+    for name in names:
+        kwargs = {"full_grid": args.full_grid}
+        if args.k_steps is not None:
+            kwargs["k_steps"] = args.k_steps
+        if name == "fig14":
+            kwargs["panel"] = args.panel
+        start = time.time()
+        try:
+            report = run_experiment(name, **kwargs)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        report.show()
+        if args.chart and name == "fig15":
+            from repro.experiments.charts import fig15_charts
+
+            print(fig15_charts(report.data))
+        if args.chart and name == "fig18":
+            from repro.experiments.charts import fig18_charts
+
+            print(fig18_charts(report.data))
+        reports.append(report)
+        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+    if args.export:
+        from repro.experiments.export import export_all
+
+        manifest = export_all(reports, args.export)
+        print(f"exported {len(manifest)} report(s) to {args.export}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

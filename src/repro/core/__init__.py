@@ -1,0 +1,39 @@
+"""Cycle-level out-of-order core model with the SAVE vector engine.
+
+The pipeline (:mod:`repro.core.pipeline`) consumes the same µop traces
+as the reference executor and produces both *timing* (cycles, VPU ops,
+stall breakdown) and *architectural state* — so SAVE's software
+transparency is checked bit-for-bit by the test suite.
+
+Configurations (:mod:`repro.core.config`) mirror Table I:
+5-wide allocation, 97 RS entries, 224 ROB entries, and either two
+512-bit VPUs at 1.7 GHz or one at 2.1 GHz.
+"""
+
+from repro.core.config import (
+    BASELINE_2VPU,
+    SAVE_1VPU,
+    SAVE_2VPU,
+    CoalescingScheme,
+    CoreConfig,
+    MachineConfig,
+    SaveConfig,
+)
+from repro.core.diagnostics import BottleneckReport, analyze, explain
+from repro.core.pipeline import PipelineSimulator, SimResult, simulate
+
+__all__ = [
+    "BASELINE_2VPU",
+    "BottleneckReport",
+    "CoalescingScheme",
+    "CoreConfig",
+    "MachineConfig",
+    "PipelineSimulator",
+    "SAVE_1VPU",
+    "SAVE_2VPU",
+    "SaveConfig",
+    "SimResult",
+    "analyze",
+    "explain",
+    "simulate",
+]

@@ -1,0 +1,81 @@
+"""Run diagnostics: bottleneck attribution for simulation results.
+
+Answers "why is this kernel this fast?" from a :class:`SimResult` —
+the same reasoning the paper applies when explaining speedup caps
+("the execution becomes memory, frontend, or latency bound, depending
+on the kernel", Sec. VII-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import MachineConfig
+from repro.core.pipeline import SimResult
+from repro.isa.datatypes import FP32_LANES
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Utilisation of each throughput-limited resource over a run."""
+
+    vpu_utilisation: float
+    frontend_utilisation: float
+    l1_port_utilisation: float
+    lane_utilisation: float
+    mean_cw: float
+
+    @property
+    def binding(self) -> str:
+        """The most-utilised resource (the likely bottleneck)."""
+        candidates = {
+            "vpu": self.vpu_utilisation,
+            "frontend": self.frontend_utilisation,
+            "l1_ports": self.l1_port_utilisation,
+        }
+        return max(candidates, key=candidates.get)
+
+
+def analyze(result: SimResult, machine: MachineConfig) -> BottleneckReport:
+    """Attribute a run's performance to its resource utilisations."""
+    core = machine.core
+    cycles = max(result.cycles, 1)
+    return BottleneckReport(
+        vpu_utilisation=result.vpu_ops / (cycles * core.num_vpus),
+        frontend_utilisation=result.uop_count / (cycles * core.issue_width),
+        l1_port_utilisation=result.l1_port_accesses
+        / (cycles * machine.hierarchy.l1_read_ports),
+        lane_utilisation=result.lane_utilisation,
+        mean_cw=result.mean_cw,
+    )
+
+
+def explain(result: SimResult, machine: MachineConfig) -> str:
+    """Human-readable diagnosis of one run."""
+    report = analyze(result, machine)
+    lines = [
+        f"kernel {result.name}: {result.cycles} cycles at "
+        f"{machine.core.freq_ghz} GHz ({result.time_ns:.0f} ns)",
+        f"  VFMAs retired : {result.fma_count} "
+        f"({result.skipped_fmas} fully skipped)",
+        f"  VPU ops issued: {result.vpu_ops} "
+        f"({report.lane_utilisation:.0%} of temp slots filled)",
+        f"  utilisation   : VPU {report.vpu_utilisation:.0%}, "
+        f"front-end {report.frontend_utilisation:.0%}, "
+        f"L1 ports {report.l1_port_utilisation:.0%}",
+        f"  binding       : {report.binding}",
+    ]
+    if result.mean_cw:
+        lines.append(f"  mean CW size  : {result.mean_cw:.1f} VFMAs")
+    if result.b_cache_hit_rate:
+        lines.append(
+            f"  B$ hit rate   : {result.b_cache_hit_rate:.1%} "
+            f"({result.b_cache_reads_saved} L1 reads saved)"
+        )
+    if result.stall_rob_cycles or result.stall_rs_cycles:
+        lines.append(
+            f"  alloc stalls  : ROB {result.stall_rob_cycles}, "
+            f"RS {result.stall_rs_cycles} cycles"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Dynamic µop state for the out-of-order pipeline.
+
+A :class:`DynUop` wraps one trace µop with everything the pipeline
+tracks at run time: renamed source producers, resolved operand values,
+the Effectual Lane Mask, per-lane completion, and consumer links for
+wake-up.  Values are carried so the pipeline *functionally executes*
+the trace in its own (SAVE-reordered) schedule — which is what the
+software-transparency property tests compare against the in-order
+reference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.isa.uops import MemOperand, RegOperand, Uop, UopKind
+
+#: Consumer roles for wake-up routing.
+ROLE_A = "a"
+ROLE_B = "b"
+ROLE_ACC = "acc"
+ROLE_MASK = "mask"
+ROLE_STORE = "store"
+
+
+class DynUop:
+    """One in-flight µop."""
+
+    __slots__ = (
+        "uop",
+        "seq",
+        "is_fma",
+        "mixed",
+        "lanes",
+        # Source producers (DynUop) or immediate values.
+        "acc_src",
+        "acc_init",
+        "a_src",
+        "a_value",
+        "b_src",
+        "b_value",
+        "mask_src",
+        "mask_bits",
+        "mem_request",
+        # SAVE state.
+        "elm",
+        "ml_effectual",
+        "ml_remaining",
+        "rotation",
+        "active",
+        "appended",
+        "mgu_queued",
+        "baseline_queued",
+        "chain_root",
+        "queued_lanes",
+        "in_cw",
+        # Per-lane progress.
+        "out",
+        "lanes_done_mask",
+        "lanes_dispatched_mask",
+        "full_mask",
+        # Bookkeeping.
+        "consumers",
+        "completed",
+        "retired",
+        "rs_freed",
+        "alloc_cycle",
+        "complete_cycle",
+    )
+
+    def __init__(self, uop: Uop, seq: int, lanes: int = 16) -> None:
+        self.uop = uop
+        self.seq = seq
+        self.is_fma = uop.is_fma()
+        self.mixed = uop.kind == UopKind.VDPBF16
+        self.lanes = lanes
+
+        self.acc_src: Optional["DynUop"] = None
+        self.acc_init: Optional[np.ndarray] = None
+        self.a_src: Optional["DynUop"] = None
+        self.a_value: Optional[np.ndarray] = None
+        self.b_src: Optional["DynUop"] = None
+        self.b_value: Optional[np.ndarray] = None
+        self.mask_src: Optional["DynUop"] = None
+        self.mask_bits: Optional[int] = None
+        self.mem_request = None
+
+        self.elm: Optional[int] = None
+        #: Per accumulator lane, tuple of effectual ML indices (mixed).
+        self.ml_effectual: Optional[List[Tuple[int, ...]]] = None
+        #: Per accumulator lane, count of not-yet-processed MLs (mixed
+        #: technique bookkeeping).
+        self.ml_remaining: Optional[List[int]] = None
+        self.rotation = 0
+        self.active = False  # operands + ELM ready, participates in CW
+        self.appended = False  # mixed technique: MLs appended to chain
+        self.mgu_queued = False
+        self.baseline_queued = False
+        self.chain_root: Optional["DynUop"] = None
+        #: Effectual lanes currently sitting in scheduler queues
+        #: (combination-window gauge bookkeeping).
+        self.queued_lanes = 0
+        self.in_cw = False
+
+        self.out: Optional[np.ndarray] = None
+        self.lanes_done_mask = 0
+        self.lanes_dispatched_mask = 0
+        self.full_mask = (1 << lanes) - 1
+
+        self.consumers: List[Tuple["DynUop", str]] = []
+        self.completed = False
+        self.retired = False
+        self.rs_freed = False
+        self.alloc_cycle = -1
+        self.complete_cycle = -1
+
+    # ------------------------------------------------------------------
+    # Operand readiness
+    # ------------------------------------------------------------------
+
+    def multiplicands_ready(self) -> bool:
+        """A, B and write mask resolved (prerequisite for the MGU)."""
+        return (
+            self.a_value is not None
+            and self.b_value is not None
+            and (self.uop.wmask is None or self.mask_bits is not None)
+        )
+
+    def acc_lane_available(self, lane: int) -> bool:
+        """Is the accumulator input for ``lane`` available?"""
+        if self.acc_src is None:
+            return True
+        return bool(self.acc_src.lanes_done_mask & (1 << lane))
+
+    def acc_fully_available(self) -> bool:
+        """Vector-wise accumulator availability."""
+        return self.acc_src is None or self.acc_src.completed
+
+    def acc_lane_value(self, lane: int) -> np.float32:
+        """Accumulator input value for ``lane`` (must be available)."""
+        if self.acc_src is None:
+            return np.float32(self.acc_init[lane])
+        return np.float32(self.acc_src.out[lane])
+
+    # ------------------------------------------------------------------
+    # Lane progress
+    # ------------------------------------------------------------------
+
+    def lane_done(self, lane: int) -> bool:
+        return bool(self.lanes_done_mask & (1 << lane))
+
+    def mark_lane_dispatched(self, lane: int) -> None:
+        self.lanes_dispatched_mask |= 1 << lane
+
+    def all_lanes_dispatched(self) -> bool:
+        return self.lanes_dispatched_mask == self.full_mask
+
+    def mark_lane_done(self, lane: int, value: np.float32) -> bool:
+        """Record a lane result; returns True if the µop just completed."""
+        if self.out is None:
+            self.out = np.zeros(self.lanes, dtype=np.float32)
+        self.out[lane] = value
+        self.lanes_done_mask |= 1 << lane
+        if self.lanes_done_mask == self.full_mask and not self.completed:
+            self.completed = True
+            return True
+        return False
+
+    def set_output(self, value: np.ndarray) -> None:
+        """Whole-vector completion (loads, baseline FMAs, ...)."""
+        self.out = np.asarray(value, dtype=np.float32).copy()
+        self.lanes_done_mask = self.full_mask
+        self.lanes_dispatched_mask = self.full_mask
+        self.completed = True
+
+    def write_mask(self) -> int:
+        """Effective write mask bits (all-ones when unmasked)."""
+        if self.uop.wmask is None:
+            return self.full_mask
+        return self.mask_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DynUop #{self.seq} {self.uop.kind.name} done={self.completed}>"

@@ -1,0 +1,824 @@
+"""The cycle-level out-of-order pipeline with the SAVE engine.
+
+One :class:`PipelineSimulator` runs one µop trace (usually a GEMM
+inner-loop from :mod:`repro.kernels.gemm`) on one machine configuration
+and produces both timing and architectural state.
+
+Modeled per Table I / Secs. III-V:
+
+* 5-wide allocation/rename into a 224-entry ROB and 97-entry RS,
+* a load/store unit with 2 L1-D read ports, 1 store port, and SAVE's
+  4-port broadcast cache,
+* 1 or 2 fully-pipelined 512-bit VPUs (FP32 VFMA latency 4, mixed 6),
+* SAVE: MGUs matching the issue width, BS instruction skipping,
+  vertical / rotate-vertical coalescing with per-slot oldest-first
+  selection, lane-wise or vector-wise accumulator dependences,
+  16-lane horizontal compression (comparison point, +6 cycles), and
+  the mixed-precision accumulator-chain ML compression with
+  partial-result forwarding.
+
+The pipeline *functionally executes* the trace in its own schedule;
+per-lane program order within each accumulator chain is preserved by
+construction, so the final state matches the in-order reference
+bit-for-bit — the paper's software-transparency property, which the
+test suite checks on every configuration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import CoalescingScheme, MachineConfig
+from repro.core.dynuop import (
+    ROLE_A,
+    ROLE_ACC,
+    ROLE_B,
+    ROLE_MASK,
+    ROLE_STORE,
+    DynUop,
+)
+from repro.core.lsu import LoadStoreUnit, MemRequest
+from repro.core.prf import PrfTracker
+from repro.core.save.elm import MguStage
+from repro.core.save.mixed import ChainLane, ChainManager
+from repro.core.save.rotate import rotation_offset, slot_for_lane
+from repro.core.save.window import (
+    BaselineScheduler,
+    HorizontalScheduler,
+    SlotScheduler,
+)
+from repro.core.vpu import (
+    TempOp,
+    TempOpKind,
+    compute_chain_slot,
+    compute_lane,
+    compute_whole,
+)
+from repro.isa.datatypes import FP32_LANES
+from repro.isa.registers import ArchState
+from repro.isa.uops import MemOperand, RegOperand, Uop, UopKind
+from repro.kernels.trace import KernelTrace
+from repro.memory.broadcast_cache import BroadcastCache, BroadcastCacheKind
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@dataclass
+class SimResult:
+    """Outcome of one pipeline run."""
+
+    name: str
+    cycles: int
+    freq_ghz: float
+    uop_count: int
+    fma_count: int
+    vpu_ops: int
+    vpu_lane_slots: int
+    effectual_lanes: int
+    pass_through_lanes: int
+    skipped_fmas: int
+    stall_rob_cycles: int
+    stall_rs_cycles: int
+    mgu_processed: int
+    l1_port_accesses: int
+    b_cache_hit_rate: float
+    b_cache_reads_saved: int
+    #: Mean combination-window size over busy cycles (SAVE only).
+    mean_cw: float = 0.0
+    #: Peak base physical-register occupancy (32 + in-flight dests).
+    prf_peak_base: int = 32
+    #: Peak live rotated-copy count (Sec. IV-B register overhead).
+    prf_peak_copies: int = 0
+    final_state: Optional[ArchState] = None
+
+    @property
+    def prf_rotation_overhead(self) -> float:
+        """Rotation's extra register demand over the base occupancy."""
+        return self.prf_peak_copies / self.prf_peak_base if self.prf_peak_base else 0.0
+
+    @property
+    def time_ns(self) -> float:
+        """Wall-clock execution time."""
+        return self.cycles / self.freq_ghz
+
+    @property
+    def fmas_per_cycle(self) -> float:
+        """Retired VFMA throughput."""
+        return self.fma_count / self.cycles if self.cycles else 0.0
+
+    @property
+    def lane_utilisation(self) -> float:
+        """Mean occupied temp slots per issued VPU op (max 16)."""
+        if not self.vpu_ops:
+            return 0.0
+        return self.vpu_lane_slots / (self.vpu_ops * FP32_LANES)
+
+    def speedup_over(self, other: "SimResult") -> float:
+        """Wall-clock speedup of this run relative to ``other``."""
+        return other.time_ns / self.time_ns
+
+
+class PipelineSimulator:
+    """Runs one trace on one machine configuration."""
+
+    def __init__(
+        self,
+        trace: KernelTrace,
+        config: MachineConfig,
+        warm_level: Optional[str] = "l2",
+        keep_state: bool = True,
+        max_cycles: int = 5_000_000,
+    ) -> None:
+        self.trace = trace
+        self.config = config
+        self.keep_state = keep_state
+        self.max_cycles = max_cycles
+
+        self.init_state = trace.fresh_state()
+        memory = self.init_state.memory
+
+        save = config.save
+        if save.enabled and save.broadcast_cache != BroadcastCacheKind.NONE:
+            self.bcache: Optional[BroadcastCache] = BroadcastCache(
+                save.broadcast_cache,
+                memory.read,
+                entries=save.broadcast_cache_entries,
+                ports=save.broadcast_cache_ports,
+            )
+        else:
+            self.bcache = None
+        self.hierarchy = MemoryHierarchy(
+            config.hierarchy,
+            sharing_cores=config.sharing_cores,
+            freq_ghz=config.core.freq_ghz,
+            broadcast_cache=self.bcache,
+        )
+        if warm_level:
+            self._warm_caches(warm_level)
+        self.lsu = LoadStoreUnit(
+            memory,
+            self.hierarchy,
+            self.bcache,
+            l1_read_ports=config.hierarchy.l1_read_ports,
+            store_ports=config.core.store_ports,
+        )
+
+        # Schedulers.
+        self.save_enabled = save.enabled
+        self.lwd = save.enabled and save.lane_wise_dependence
+        self.mp_technique = save.enabled and save.mixed_precision_technique
+        self.scheme = save.coalescing if save.enabled else None
+        self.baseline_sched = BaselineScheduler()
+        self.slot_sched = SlotScheduler(FP32_LANES)
+        self.horizontal_sched = HorizontalScheduler()
+        self.mgu = MguStage(save.mgu_count)
+        self.chains = ChainManager()
+
+        # Dynamic state.
+        self.dyns: List[DynUop] = []
+        self.alloc_ptr = 0
+        self.retire_ptr = 0
+        self.rob_count = 0
+        self.rs_count = 0
+        self.reg_producer: Dict[int, DynUop] = {}
+        self.kreg_producer: Dict[int, DynUop] = {}
+        self._scalar_queue: Deque[DynUop] = deque()
+        self._vpu_events: Dict[int, List[TempOp]] = {}
+        self._load_events: Dict[int, List[MemRequest]] = {}
+        self._scalar_events: Dict[int, List[DynUop]] = {}
+        self._worklist: Deque[Tuple[str, DynUop, int]] = deque()
+
+        # Stats.
+        self.cycle = 0
+        self.vpu_ops = 0
+        self.vpu_lane_slots = 0
+        self.effectual_lanes = 0
+        self.pass_through_lanes = 0
+        self.skipped_fmas = 0
+        self.stall_rob_cycles = 0
+        self.stall_rs_cycles = 0
+        self.fma_count = sum(1 for u in trace.uops if u.is_fma())
+        # Combination-window gauge: VFMAs currently active in the RS
+        # with unscheduled lanes (Sec. III: "the CW is often 24-28").
+        self._cw_size = 0
+        self._cw_samples = 0
+        self._cw_sum = 0
+        self.prf = PrfTracker()
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+
+    def _warm_caches(self, level: str) -> None:
+        """Pre-fill the input matrices (A, B) into the hierarchy.
+
+        Models the paper's warm-up (previous operation's output resident)
+        plus the software prefetch/blocking that keeps a tuned GEMM's
+        streaming inputs out of DRAM; the C output stays cold.
+        """
+        addrs: List[int] = []
+        for name in ("A", "B"):
+            region = self.trace.regions.get(name)
+            if region is None:
+                continue
+            addrs.extend(range(region.base, region.end, 64))
+        self.hierarchy.warm(addrs, level=level)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        """Simulate to completion and return the results."""
+        total = len(self.trace.uops)
+        cycle = 0
+        while self.retire_ptr < total:
+            self.cycle = cycle
+            self._process_completions(cycle)
+            self._drain_worklist()
+            self._retire()
+            if self.save_enabled:
+                for dyn in self.mgu.step():
+                    self._activate(dyn)
+                self._drain_worklist()
+            self._schedule(cycle)
+            self._issue_scalars(cycle)
+            for complete_cycle, request in self.lsu.service(cycle):
+                self._load_events.setdefault(complete_cycle, []).append(request)
+            self._allocate(cycle)
+            cycle += 1
+            if cycle > self.max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {self.max_cycles} cycles "
+                    f"(retired {self.retire_ptr}/{total})"
+                )
+        return self._result(cycle)
+
+    def _result(self, cycles: int) -> SimResult:
+        bc_stats = self.bcache.stats if self.bcache is not None else None
+        return SimResult(
+            name=self.trace.name,
+            cycles=cycles,
+            freq_ghz=self.config.core.freq_ghz,
+            uop_count=len(self.trace.uops),
+            fma_count=self.fma_count,
+            vpu_ops=self.vpu_ops,
+            vpu_lane_slots=self.vpu_lane_slots,
+            effectual_lanes=self.effectual_lanes,
+            pass_through_lanes=self.pass_through_lanes,
+            skipped_fmas=self.skipped_fmas,
+            stall_rob_cycles=self.stall_rob_cycles,
+            stall_rs_cycles=self.stall_rs_cycles,
+            mgu_processed=self.mgu.processed,
+            l1_port_accesses=self.lsu.stats.l1_port_accesses,
+            b_cache_hit_rate=bc_stats.hit_rate if bc_stats else 0.0,
+            b_cache_reads_saved=bc_stats.l1_reads_saved if bc_stats else 0,
+            mean_cw=self._cw_sum / self._cw_samples if self._cw_samples else 0.0,
+            prf_peak_base=self.prf.peak_base,
+            prf_peak_copies=self.prf.peak_copies,
+            final_state=self.final_state() if self.keep_state else None,
+        )
+
+    def final_state(self) -> ArchState:
+        """Reconstruct the architectural state after the trace."""
+        state = ArchState(self.init_state.memory)
+        for reg in range(32):
+            producer = self.reg_producer.get(reg)
+            if producer is not None and producer.out is not None:
+                state.write_vreg(reg, producer.out)
+            else:
+                state.write_vreg(reg, self.init_state.read_vreg(reg))
+        for kreg in range(8):
+            producer = self.kreg_producer.get(kreg)
+            if producer is not None:
+                state.write_kreg(kreg, producer.uop.imm)
+            else:
+                state.write_kreg(kreg, self.init_state.read_kreg(kreg))
+        return state
+
+    # ------------------------------------------------------------------
+    # Allocation / rename
+    # ------------------------------------------------------------------
+
+    def _needs_rs(self, uop: Uop) -> bool:
+        return uop.kind not in (UopKind.VZERO, UopKind.KMOV)
+
+    def _allocate(self, cycle: int) -> None:
+        budget = self.config.core.issue_width
+        uops = self.trace.uops
+        while budget > 0 and self.alloc_ptr < len(uops):
+            if self.rob_count >= self.config.core.rob_entries:
+                self.stall_rob_cycles += 1
+                return
+            uop = uops[self.alloc_ptr]
+            if self._needs_rs(uop) and self.rs_count >= self.config.core.rs_entries:
+                self.stall_rs_cycles += 1
+                return
+            dyn = DynUop(uop, self.alloc_ptr)
+            dyn.alloc_cycle = cycle
+            self.dyns.append(dyn)
+            self.alloc_ptr += 1
+            self.rob_count += 1
+            budget -= 1
+            self._rename(dyn)
+            self.prf.on_rename(dyn)
+
+    def _rename(self, dyn: DynUop) -> None:
+        uop = dyn.uop
+        kind = uop.kind
+        if kind == UopKind.VZERO:
+            dyn.set_output(np.zeros(FP32_LANES, dtype=np.float32))
+            self.reg_producer[uop.dst] = dyn
+            return
+        if kind == UopKind.KMOV:
+            dyn.completed = True
+            self.kreg_producer[uop.dst] = dyn
+            return
+        self.rs_count += 1
+        if kind == UopKind.SCALAR:
+            self._scalar_queue.append(dyn)
+            return
+        if kind in (UopKind.VLOAD, UopKind.VBCAST):
+            self.reg_producer[uop.dst] = dyn
+            self.lsu.enqueue(MemRequest(dyn, uop.src_a, "load", dyn.alloc_cycle))
+            return
+        if kind == UopKind.VSTORE:
+            source: RegOperand = uop.src_a
+            producer = self.reg_producer.get(source.reg)
+            dyn.a_src = producer
+            if producer is None:
+                dyn.out = self.init_state.read_vreg(source.reg)
+                self.lsu.enqueue(MemRequest(dyn, uop.src_b, "store", dyn.alloc_cycle))
+            elif producer.completed:
+                self.lsu.enqueue(MemRequest(dyn, uop.src_b, "store", dyn.alloc_cycle))
+            else:
+                producer.consumers.append((dyn, ROLE_STORE))
+            return
+        # VFMA / VDPBF16.
+        self._rename_fma(dyn)
+
+    def _rename_fma(self, dyn: DynUop) -> None:
+        uop = dyn.uop
+        if self.save_enabled and self.scheme == CoalescingScheme.ROTATE_VERTICAL:
+            dyn.rotation = rotation_offset(uop.accum, self.config.save.rotation_states)
+
+        producer = self.reg_producer.get(uop.accum)
+        dyn.acc_src = producer
+        if producer is None:
+            dyn.acc_init = self.init_state.read_vreg(uop.accum)
+        elif not producer.completed or self.mp_technique:
+            # MP technique also needs append-ordering notifications.
+            producer.consumers.append((dyn, ROLE_ACC))
+
+        for operand, role in ((uop.src_a, ROLE_A), (uop.src_b, ROLE_B)):
+            if isinstance(operand, RegOperand):
+                src = self.reg_producer.get(operand.reg)
+                if src is None:
+                    value = self.init_state.read_vreg(operand.reg)
+                    self._set_mult_value(dyn, role, value)
+                elif src.completed:
+                    self._set_mult_value(dyn, role, src.out)
+                else:
+                    src.consumers.append((dyn, role))
+            else:
+                self.lsu.enqueue(MemRequest(dyn, operand, role, dyn.alloc_cycle))
+
+        if uop.wmask is not None:
+            kproducer = self.kreg_producer.get(uop.wmask)
+            if kproducer is None:
+                dyn.mask_bits = self.init_state.read_kreg(uop.wmask)
+            elif kproducer.completed:
+                dyn.mask_bits = kproducer.uop.imm
+            else:
+                kproducer.consumers.append((dyn, ROLE_MASK))
+
+        self.reg_producer[uop.dst] = dyn
+        self._check_fma_progress(dyn)
+
+    @staticmethod
+    def _set_mult_value(dyn: DynUop, role: str, value: np.ndarray) -> None:
+        if role == ROLE_A:
+            dyn.a_value = np.asarray(value, dtype=np.float32)
+        else:
+            dyn.b_value = np.asarray(value, dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    # Readiness plumbing
+    # ------------------------------------------------------------------
+
+    def _check_fma_progress(self, dyn: DynUop) -> None:
+        """Advance an FMA whose inputs may have just become ready."""
+        if not dyn.multiplicands_ready():
+            return
+        if not self.save_enabled:
+            if (
+                not dyn.baseline_queued
+                and dyn.acc_fully_available()
+            ):
+                dyn.baseline_queued = True
+                self.baseline_sched.insert(dyn.seq, dyn)
+            return
+        if dyn.elm is None and not dyn.mgu_queued:
+            dyn.mgu_queued = True
+            self.mgu.enqueue(dyn)
+
+    def _activate(self, dyn: DynUop) -> None:
+        """ELM ready: the µop enters the combination window."""
+        dyn.active = True
+        if dyn.elm == 0:
+            self.skipped_fmas += 1
+        if self.scheme == CoalescingScheme.NAIVE:
+            # Strawman: no cross-instruction combining.  BS-skipped µops
+            # pass through; anything else issues as a whole VFMA.
+            if dyn.elm == 0:
+                self._dispatch_all_lanes(dyn)
+            else:
+                self._try_queue_naive(dyn)
+            return
+        if dyn.mixed and self.mp_technique:
+            self._try_append_chain(dyn)
+            return
+        self._dispatch_all_lanes(dyn)
+
+    def _try_queue_naive(self, dyn: DynUop) -> None:
+        """Queue a whole VFMA in the strawman scheme (vector-wise deps)."""
+        if dyn.baseline_queued or not dyn.active or not dyn.elm:
+            return
+        if not dyn.acc_fully_available():
+            return
+        dyn.baseline_queued = True
+        self.effectual_lanes += bin(dyn.elm).count("1")
+        self.pass_through_lanes += FP32_LANES - bin(dyn.elm).count("1")
+        self._cw_enter(dyn)
+        self.baseline_sched.insert(dyn.seq, dyn)
+
+    def _dispatch_all_lanes(self, dyn: DynUop) -> None:
+        for lane in range(FP32_LANES):
+            self._try_dispatch_lane(dyn, lane)
+
+    def _try_dispatch_lane(self, dyn: DynUop, lane: int) -> None:
+        """Dispatch one lane: pass-through or queue for a VPU slot."""
+        bit = 1 << lane
+        if dyn.lanes_dispatched_mask & bit or not dyn.active:
+            return
+        if self.scheme == CoalescingScheme.NAIVE and dyn.elm:
+            # Strawman: non-skipped µops issue whole, never lane-wise.
+            return
+        if dyn.mixed and self.mp_technique:
+            # Only pass-through lanes reach here in MP-technique mode.
+            if dyn.ml_effectual[lane]:
+                return
+        if self.lwd or (dyn.mixed and self.mp_technique):
+            if not dyn.acc_lane_available(lane):
+                return
+        elif not dyn.acc_fully_available():
+            return
+
+        dyn.mark_lane_dispatched(lane)
+        if dyn.elm & bit and not (dyn.mixed and self.mp_technique):
+            self.effectual_lanes += 1
+            dyn.queued_lanes += 1
+            self._cw_enter(dyn)
+            if self.scheme == CoalescingScheme.HORIZONTAL:
+                self.horizontal_sched.insert(dyn.seq, (dyn, lane))
+            else:
+                slot = slot_for_lane(lane, dyn.rotation)
+                self.slot_sched.insert(slot, dyn.seq, (dyn, lane))
+        else:
+            # Ineffectual (or masked) lane: the accumulator value passes
+            # through unchanged, with no VPU work.
+            self.pass_through_lanes += 1
+            value = dyn.acc_lane_value(lane)
+            completed = dyn.mark_lane_done(lane, value)
+            self._worklist.append(("lane", dyn, lane))
+            if completed:
+                self._worklist.append(("full", dyn, -1))
+        self._maybe_free_rs(dyn)
+
+    def _cw_enter(self, dyn: DynUop) -> None:
+        if not dyn.in_cw:
+            dyn.in_cw = True
+            self._cw_size += 1
+
+    def _cw_leave(self, dyn: DynUop) -> None:
+        if dyn.in_cw:
+            dyn.in_cw = False
+            self._cw_size -= 1
+
+    def _maybe_free_rs(self, dyn: DynUop) -> None:
+        if not dyn.rs_freed and dyn.all_lanes_dispatched():
+            dyn.rs_freed = True
+            self.rs_count -= 1
+
+    # ------------------------------------------------------------------
+    # Mixed-precision accumulator chains
+    # ------------------------------------------------------------------
+
+    def _chain_root_of(self, dyn: DynUop) -> DynUop:
+        if dyn.chain_root is not None:
+            return dyn.chain_root
+        prev = dyn.acc_src
+        if prev is not None and prev.is_fma and prev.mixed:
+            dyn.chain_root = self._chain_root_of(prev)
+        else:
+            dyn.chain_root = dyn
+        return dyn.chain_root
+
+    def _try_append_chain(self, dyn: DynUop) -> None:
+        """Append an active µop's MLs to its accumulator chain.
+
+        Appending must follow program order within a chain, so a µop
+        waits for its chain predecessor to have appended first.
+        """
+        if dyn.appended or not dyn.active:
+            return
+        prev = dyn.acc_src
+        if prev is not None and prev.is_fma and prev.mixed and not prev.appended:
+            return
+        dyn.appended = True
+        root = self._chain_root_of(dyn)
+        dyn.ml_remaining = [len(mls) for mls in dyn.ml_effectual]
+        for lane in range(FP32_LANES):
+            mls = dyn.ml_effectual[lane]
+            if not mls:
+                self._try_dispatch_lane(dyn, lane)
+                continue
+            dyn.mark_lane_dispatched(lane)
+            self._cw_enter(dyn)
+            self.effectual_lanes += len(mls)
+            slot = slot_for_lane(lane, rotation_offset(
+                root.uop.accum, self.config.save.rotation_states
+            ) if self.scheme == CoalescingScheme.ROTATE_VERTICAL else 0)
+            chain = self.chains.lane(root, lane, slot)
+            for p in mls:
+                chain.append(dyn, p)
+            if chain.acc_value is None and root.acc_lane_available(lane):
+                chain.acc_value = root.acc_lane_value(lane)
+            self._enqueue_chain_if_ready(chain)
+        self._maybe_free_rs(dyn)
+        # Unblock chain successors waiting on append order.
+        for consumer, role in dyn.consumers:
+            if role == ROLE_ACC and consumer.is_fma and consumer.mixed:
+                self._try_append_chain(consumer)
+
+    def _enqueue_chain_if_ready(self, chain: ChainLane) -> None:
+        if chain.ready() and not chain.enqueued:
+            chain.enqueued = True
+            if self.scheme == CoalescingScheme.HORIZONTAL:
+                self.horizontal_sched.insert(chain.head_seq(), chain)
+            else:
+                self.slot_sched.insert(chain.slot, chain.head_seq(), chain)
+
+    # ------------------------------------------------------------------
+    # Scheduling and VPU issue
+    # ------------------------------------------------------------------
+
+    def _schedule(self, cycle: int) -> None:
+        num_vpus = self.config.core.num_vpus
+        if self.save_enabled and self._cw_size > 0:
+            self._cw_samples += 1
+            self._cw_sum += self._cw_size
+        if not self.save_enabled or self.scheme == CoalescingScheme.NAIVE:
+            for _ in range(num_vpus):
+                dyn = self.baseline_sched.pop_oldest()
+                if dyn is None:
+                    return
+                dyn.rs_freed = True
+                self.rs_count -= 1
+                self._cw_leave(dyn)
+                dyn.lanes_dispatched_mask = dyn.full_mask
+                op = TempOp(
+                    TempOpKind.WHOLE,
+                    cycle,
+                    self.config.fma_latency(dyn.mixed),
+                    whole=dyn,
+                )
+                self._issue(op)
+            return
+
+        if self.scheme == CoalescingScheme.HORIZONTAL:
+            for _ in range(num_vpus):
+                op = TempOp(TempOpKind.LANES, cycle, 0)
+                for _ in range(FP32_LANES):
+                    entry = self.horizontal_sched.pop_oldest()
+                    if entry is None:
+                        break
+                    if isinstance(entry, ChainLane):
+                        entry.enqueued = False
+                        entry.busy = True
+                        op.kind = TempOpKind.CHAIN
+                        op.chain_entries.append((entry, entry.take(2), entry.acc_value))
+                    else:
+                        op.lane_entries.append(entry)
+                        self._cw_pop_lane(entry[0])
+                if op.is_empty():
+                    return
+                op.latency = self._op_latency(op)
+                self._issue(op)
+            return
+
+        # (Rotate-)vertical coalescing: per-slot oldest-first selection.
+        ops = [TempOp(TempOpKind.LANES, cycle, 0) for _ in range(num_vpus)]
+        any_filled = False
+        for slot in range(FP32_LANES):
+            for op in ops:
+                item = self.slot_sched.pop_oldest(slot)
+                if item is None:
+                    break
+                any_filled = True
+                if isinstance(item, ChainLane):
+                    item.enqueued = False
+                    item.busy = True
+                    mls = item.take(2)
+                    op.kind = TempOpKind.CHAIN
+                    op.chain_entries.append((item, mls, item.acc_value))
+                else:
+                    op.lane_entries.append(item)
+                    self._cw_pop_lane(item[0])
+        if not any_filled:
+            return
+        for op in ops:
+            if op.is_empty():
+                continue
+            op.latency = self._op_latency(op)
+            self._issue(op)
+
+    def _op_latency(self, op: TempOp) -> int:
+        if op.chain_entries:
+            return self.config.fma_latency(True)
+        return self.config.fma_latency(op.lane_entries[0][0].mixed)
+
+    def _cw_pop_lane(self, dyn: DynUop) -> None:
+        dyn.queued_lanes -= 1
+        if dyn.queued_lanes == 0:
+            self._cw_leave(dyn)
+
+    def _issue(self, op: TempOp) -> None:
+        self.vpu_ops += 1
+        self.vpu_lane_slots += op.lane_count()
+        self._vpu_events.setdefault(op.complete_cycle, []).append(op)
+
+    def _issue_scalars(self, cycle: int) -> None:
+        for _ in range(min(self.config.core.scalar_ports, len(self._scalar_queue))):
+            dyn = self._scalar_queue.popleft()
+            self._scalar_events.setdefault(cycle + 1, []).append(dyn)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def _process_completions(self, cycle: int) -> None:
+        for request in self._load_events.pop(cycle, ()):
+            self._complete_memory(request)
+        for op in self._vpu_events.pop(cycle, ()):
+            self._complete_vpu_op(op)
+        for dyn in self._scalar_events.pop(cycle, ()):
+            dyn.completed = True
+            self.rs_count -= 1
+            dyn.rs_freed = True
+
+    def _complete_memory(self, request: MemRequest) -> None:
+        dyn = request.dyn
+        if request.role == "store":
+            dyn.completed = True
+            self.rs_count -= 1
+            dyn.rs_freed = True
+            return
+        if request.role == "load":
+            value = self.lsu.resolve_value(request.operand)
+            self.rs_count -= 1
+            dyn.rs_freed = True
+            dyn.set_output(value)
+            self._worklist.append(("full", dyn, -1))
+            return
+        # Embedded memory operand of an FMA.
+        value = self.lsu.resolve_value(request.operand)
+        self._set_mult_value(dyn, request.role, value)
+        self._check_fma_progress(dyn)
+
+    def _complete_vpu_op(self, op: TempOp) -> None:
+        if op.kind == TempOpKind.WHOLE:
+            dyn = op.whole
+            dyn.set_output(compute_whole(dyn))
+            self._worklist.append(("full", dyn, -1))
+            return
+        for dyn, lane in op.lane_entries:
+            value = compute_lane(dyn, lane)
+            completed = dyn.mark_lane_done(lane, value)
+            self._worklist.append(("lane", dyn, lane))
+            if completed:
+                self._worklist.append(("full", dyn, -1))
+        # CHAIN: mixed-precision ML slots.
+        for chain, mls, acc_base in op.chain_entries:
+            final, partials = compute_chain_slot(mls, chain.lane, acc_base)
+            chain.acc_value = final
+            chain.busy = False
+            for dyn, _p, partial in partials:
+                dyn.ml_remaining[chain.lane] -= 1
+                if dyn.ml_remaining[chain.lane] == 0:
+                    completed = dyn.mark_lane_done(chain.lane, partial)
+                    self._worklist.append(("lane", dyn, chain.lane))
+                    if completed:
+                        self._cw_leave(dyn)
+                        self._worklist.append(("full", dyn, -1))
+            self._enqueue_chain_if_ready(chain)
+
+    # ------------------------------------------------------------------
+    # Wake-up
+    # ------------------------------------------------------------------
+
+    def _drain_worklist(self) -> None:
+        while self._worklist:
+            kind, dyn, lane = self._worklist.popleft()
+            if kind == "lane":
+                self._on_lane_completion(dyn, lane)
+            else:
+                self._on_full_completion(dyn)
+
+    def _on_lane_completion(self, producer: DynUop, lane: int) -> None:
+        for consumer, role in producer.consumers:
+            if role != ROLE_ACC:
+                continue
+            if consumer.mixed and self.mp_technique:
+                self._chain_acc_arrival(consumer, lane)
+                self._try_dispatch_lane(consumer, lane)
+            elif self.lwd and consumer.active:
+                self._try_dispatch_lane(consumer, lane)
+
+    def _chain_acc_arrival(self, consumer: DynUop, lane: int) -> None:
+        """A chain root's accumulator input lane became available."""
+        if not consumer.appended:
+            return
+        root = self._chain_root_of(consumer)
+        if root is not consumer:
+            return
+        chain = self.chains.existing_lane(root, lane)
+        if chain is not None and chain.acc_value is None:
+            chain.acc_value = root.acc_lane_value(lane)
+            self._enqueue_chain_if_ready(chain)
+
+    def _on_full_completion(self, producer: DynUop) -> None:
+        producer.complete_cycle = self.cycle
+        for consumer, role in producer.consumers:
+            if role == ROLE_A:
+                consumer.a_value = producer.out
+                self._check_fma_progress(consumer)
+            elif role == ROLE_B:
+                consumer.b_value = producer.out
+                self._check_fma_progress(consumer)
+            elif role == ROLE_MASK:
+                consumer.mask_bits = producer.uop.imm
+                self._check_fma_progress(consumer)
+            elif role == ROLE_STORE:
+                self.lsu.enqueue(
+                    MemRequest(consumer, consumer.uop.src_b, "store", self.cycle)
+                )
+            elif role == ROLE_ACC:
+                if not self.save_enabled:
+                    self._check_fma_progress(consumer)
+                elif self.scheme == CoalescingScheme.NAIVE:
+                    if consumer.active:
+                        if consumer.elm == 0:
+                            self._dispatch_all_lanes(consumer)
+                        else:
+                            self._try_queue_naive(consumer)
+                elif consumer.mixed and self.mp_technique:
+                    if consumer.appended:
+                        for lane in range(FP32_LANES):
+                            self._chain_acc_arrival(consumer, lane)
+                            self._try_dispatch_lane(consumer, lane)
+                elif consumer.active:
+                    self._dispatch_all_lanes(consumer)
+
+    # ------------------------------------------------------------------
+    # Retire
+    # ------------------------------------------------------------------
+
+    def _retire(self) -> None:
+        budget = self.config.core.issue_width
+        while (
+            budget > 0
+            and self.retire_ptr < len(self.dyns)
+            and self.dyns[self.retire_ptr].completed
+        ):
+            dyn = self.dyns[self.retire_ptr]
+            dyn.retired = True
+            self.prf.on_retire(dyn)
+            self.retire_ptr += 1
+            self.rob_count -= 1
+            budget -= 1
+
+
+def simulate(
+    trace: KernelTrace,
+    config: MachineConfig,
+    warm_level: Optional[str] = "l2",
+    keep_state: bool = True,
+) -> SimResult:
+    """Convenience wrapper: run one trace on one configuration."""
+    return PipelineSimulator(
+        trace, config, warm_level=warm_level, keep_state=keep_state
+    ).run()

@@ -1,0 +1,39 @@
+"""The SAVE engine: ELM generation, lane coalescing and scheduling.
+
+* :mod:`repro.core.save.elm` — Mask Generation Units producing
+  Effectual Lane Masks (Sec. III, Fig. 4).
+* :mod:`repro.core.save.rotate` — rotational states for rotate-vertical
+  coalescing (Sec. IV-B, Fig. 7).
+* :mod:`repro.core.save.window` — the combination-window scheduling
+  structures: per-slot queues for (rotate-)vertical coalescing, the
+  global queue for horizontal compression, and the baseline
+  whole-instruction queue.
+* :mod:`repro.core.save.mixed` — accumulator-chain ML compression for
+  mixed precision (Sec. V, Figs. 10-11).
+* :mod:`repro.core.save.power` — VPU-count/frequency selection
+  (Sec. IV-D).
+"""
+
+from repro.core.save.elm import MguStage, compute_elm
+from repro.core.save.rotate import rotation_offset, slot_for_lane
+from repro.core.save.window import (
+    BaselineScheduler,
+    HorizontalScheduler,
+    SlotScheduler,
+)
+from repro.core.save.mixed import ChainLane, ChainManager
+from repro.core.save.power import VpuPolicy, best_configuration
+
+__all__ = [
+    "BaselineScheduler",
+    "ChainLane",
+    "ChainManager",
+    "HorizontalScheduler",
+    "MguStage",
+    "SlotScheduler",
+    "VpuPolicy",
+    "best_configuration",
+    "compute_elm",
+    "rotation_offset",
+    "slot_for_lane",
+]

@@ -1,0 +1,86 @@
+"""Effectual Lane Mask generation (Sec. III, Fig. 4).
+
+A VFMA's lane is effectual iff both multiplicand elements are non-zero
+and the write-mask bit (if any) is set.  For mixed-precision VFMAs the
+mask is per *accumulator lane*: an AL is effectual iff at least one of
+its two multiplicand-lane pairs is effectual (Sec. V).
+
+MGUs are simple and replicated to match the issue width, so their
+throughput is never the bottleneck — but we model the per-cycle budget
+anyway so the claim is checkable (and ablatable).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dynuop import DynUop
+from repro.isa.datatypes import FP32_LANES
+
+
+def compute_elm(dyn: DynUop) -> Tuple[int, Optional[List[Tuple[int, ...]]]]:
+    """Compute the ELM (and per-AL effectual-ML lists for mixed).
+
+    Requires the µop's multiplicands and write mask to be resolved.
+
+    Returns:
+        ``(elm_bits, ml_effectual)`` where ``elm_bits`` has one bit per
+        accumulator lane and ``ml_effectual`` (mixed only) lists, per
+        accumulator lane, the effectual multiplicand-lane indices
+        (subset of ``(0, 1)``) — empty for write-masked lanes.
+    """
+    if not dyn.multiplicands_ready():
+        raise RuntimeError("ELM requested before multiplicands resolved")
+    a = dyn.a_value
+    b = dyn.b_value
+    wm = dyn.write_mask()
+    elm = 0
+    if not dyn.mixed:
+        for lane in range(FP32_LANES):
+            if wm & (1 << lane) and a[lane] != 0 and b[lane] != 0:
+                elm |= 1 << lane
+        return elm, None
+
+    ml_effectual: List[Tuple[int, ...]] = []
+    for lane in range(FP32_LANES):
+        if not wm & (1 << lane):
+            ml_effectual.append(())
+            continue
+        effectual = tuple(
+            p for p in (0, 1) if a[2 * lane + p] != 0 and b[2 * lane + p] != 0
+        )
+        ml_effectual.append(effectual)
+        if effectual:
+            elm |= 1 << lane
+    return elm, ml_effectual
+
+
+class MguStage:
+    """FIFO of VFMAs awaiting ELM generation, with a per-cycle budget."""
+
+    def __init__(self, mgus_per_cycle: int) -> None:
+        if mgus_per_cycle <= 0:
+            raise ValueError("mgus_per_cycle must be positive")
+        self.mgus_per_cycle = mgus_per_cycle
+        self._queue: Deque[DynUop] = deque()
+        self.processed = 0
+
+    def enqueue(self, dyn: DynUop) -> None:
+        """Queue a VFMA whose multiplicands just became ready."""
+        self._queue.append(dyn)
+
+    def step(self) -> List[DynUop]:
+        """Process up to the per-cycle budget; returns activated µops."""
+        activated: List[DynUop] = []
+        for _ in range(min(self.mgus_per_cycle, len(self._queue))):
+            dyn = self._queue.popleft()
+            dyn.elm, dyn.ml_effectual = compute_elm(dyn)
+            self.processed += 1
+            activated.append(dyn)
+        return activated
+
+    def __len__(self) -> int:
+        return len(self._queue)

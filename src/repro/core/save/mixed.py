@@ -1,0 +1,103 @@
+"""Mixed-precision accumulator-chain compression (Sec. V).
+
+For VDPBF16-style µops, two BF16 multiplicand lanes (MLs) map to one
+FP32 accumulator lane (AL).  Plain vertical coalescing can only skip an
+AL when *both* its MLs are ineffectual, exploiting just the square of
+the sparsity.  SAVE instead horizontally compresses effectual MLs from
+VFMAs *sharing an accumulator*: each VPU AL slot processes up to two
+MLs drawn in program order from the accumulator chain, preserving the
+accumulation order (Fig. 10b) and therefore FP determinism.
+
+:class:`ChainLane` tracks one (accumulator chain, AL lane) pair: the
+FIFO of pending effectual MLs, the forwarded partial accumulator value,
+and the busy state that serialises chain ops (the partial result of one
+VPU op is forwarded as the accumulation base of the next, Fig. 11).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dynuop import DynUop
+
+#: One pending multiplicand-lane: (owning µop, ML index within the AL).
+MlRef = Tuple[DynUop, int]
+
+
+class ChainLane:
+    """Pending-ML queue and forwarding state for one (chain, lane)."""
+
+    def __init__(self, root: DynUop, lane: int, slot: int) -> None:
+        self.root = root
+        self.lane = lane
+        self.slot = slot
+        self.queue: Deque[MlRef] = deque()
+        #: Forwarded partial accumulator; None until the chain's initial
+        #: accumulator value is available.
+        self.acc_value: Optional[np.float32] = None
+        self.busy = False
+        #: True while the chain lane sits in a scheduler queue.
+        self.enqueued = False
+
+    def append(self, dyn: DynUop, ml_index: int) -> None:
+        """Append one effectual ML (must be called in program order)."""
+        self.queue.append((dyn, ml_index))
+
+    def ready(self) -> bool:
+        """Can a VPU op be issued for this chain lane this cycle?"""
+        return bool(self.queue) and not self.busy and self.acc_value is not None
+
+    def head_seq(self) -> int:
+        """Program-order priority of the oldest pending ML."""
+        return self.queue[0][0].seq
+
+    def take(self, max_mls: int = 2) -> List[MlRef]:
+        """Dequeue up to ``max_mls`` MLs for one VPU AL slot."""
+        taken: List[MlRef] = []
+        while self.queue and len(taken) < max_mls:
+            taken.append(self.queue.popleft())
+        return taken
+
+
+class ChainManager:
+    """All live accumulator chains of a mixed-precision kernel."""
+
+    def __init__(self) -> None:
+        self._chains: Dict[Tuple[int, int], ChainLane] = {}
+
+    @staticmethod
+    def chain_root(dyn: DynUop) -> DynUop:
+        """The first µop of the accumulator chain containing ``dyn``.
+
+        A chain extends through consecutive mixed FMAs linked by their
+        accumulator source; it starts at a µop whose accumulator comes
+        from a non-FMA producer (or the initial register value).
+        """
+        root = dyn
+        while (
+            root.acc_src is not None
+            and root.acc_src.is_fma
+            and root.acc_src.mixed
+        ):
+            root = root.acc_src
+        return root
+
+    def lane(self, root: DynUop, lane: int, slot: int) -> ChainLane:
+        """Get or create the chain-lane record."""
+        key = (root.seq, lane)
+        chain = self._chains.get(key)
+        if chain is None:
+            chain = ChainLane(root, lane, slot)
+            self._chains[key] = chain
+        return chain
+
+    def existing_lane(self, root: DynUop, lane: int) -> Optional[ChainLane]:
+        """Look up a chain-lane without creating it."""
+        return self._chains.get((root.seq, lane))
+
+    def all_lanes(self) -> List[ChainLane]:
+        """All chain lanes (diagnostics/tests)."""
+        return list(self._chains.values())

@@ -1,0 +1,46 @@
+"""VPU power gating and frequency boosting (Sec. IV-D).
+
+At high sparsity there are too few effectual lanes to keep both VPUs
+busy, so SAVE can disable one VPU and let the power manager raise the
+core clock (the modeled machine: two 512-bit VPUs at 1.7 GHz, or one at
+2.1 GHz — the AVX-512 vs AVX2 licence frequencies of the Xeon 8180).
+
+The *static* policy picks a VPU count per training epoch; the *dynamic*
+policy picks per kernel.  Both are evaluated by running each candidate
+configuration and taking the faster one — matching the paper's
+methodology, which neglects switching overhead because DVFS transitions
+(~10 µs) are far shorter than the tens-of-milliseconds switching
+intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, Iterable, Tuple
+
+
+class VpuPolicy(Enum):
+    """VPU-count selection policies of Fig. 14."""
+
+    BASELINE = "baseline"
+    TWO_VPUS = "2 VPUs"
+    ONE_VPU = "1 VPU"
+    STATIC = "static"  # per-epoch best (training only)
+    DYNAMIC = "dynamic"  # per-kernel best
+
+
+def best_configuration(times_ns: Dict[str, float]) -> Tuple[str, float]:
+    """Pick the fastest of the candidate configurations.
+
+    Args:
+        times_ns: configuration label → execution time.
+
+    Returns:
+        ``(label, time)`` of the minimum (ties break towards two VPUs
+        first in insertion order, matching a preference for the default).
+    """
+    if not times_ns:
+        raise ValueError("no candidate configurations")
+    best_label = min(times_ns, key=times_ns.get)
+    return best_label, times_ns[best_label]

@@ -1,0 +1,39 @@
+"""Rotational states for rotate-vertical coalescing (Sec. IV-B).
+
+Each VFMA gets one of three R-states — rotate left one lane, none, or
+rotate right one lane — determined by ``accumulator_register % 3``.
+Keying on the accumulator's *logical* register number guarantees that a
+VFMA producing an accumulator and the VFMA consuming it share an
+R-state, so lane chains stay aligned and a single accumulator copy
+suffices (the paper's second register-saving optimisation).
+
+Rotation is purely a *placement* transform: lane ``l`` of the µop still
+computes with lane ``l``'s data, it merely occupies temp slot
+``(l + offset) mod V`` — so correctness is untouched while lane
+conflicts between µops that reuse a non-broadcasted register break up.
+"""
+
+from __future__ import annotations
+
+#: Offset per R-state: state 0 → none, 1 → right (+1), 2 → left (-1).
+_STATE_OFFSETS = {0: 0, 1: 1, 2: -1}
+
+
+def rotation_offset(accumulator_reg: int, rotation_states: int = 3) -> int:
+    """Lane offset for a µop accumulating into ``accumulator_reg``.
+
+    Args:
+        accumulator_reg: logical accumulator register number.
+        rotation_states: 3 enables the paper's scheme, 1 disables
+            rotation (plain vertical coalescing).
+    """
+    if rotation_states == 1:
+        return 0
+    if rotation_states != 3:
+        raise ValueError("rotation_states must be 1 or 3")
+    return _STATE_OFFSETS[accumulator_reg % 3]
+
+
+def slot_for_lane(lane: int, offset: int, lanes: int = 16) -> int:
+    """Temp slot occupied by ``lane`` under a rotation ``offset``."""
+    return (lane + offset) % lanes

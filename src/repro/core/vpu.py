@@ -1,0 +1,127 @@
+"""VPU operations: temp assembly records and result computation.
+
+A :class:`TempOp` is one issued VPU operation — either a whole VFMA
+(baseline), a set of coalesced ``(µop, lane)`` entries (SAVE vertical /
+rotate-vertical / horizontal), or a mixed-precision chain op processing
+up to two MLs per accumulator-lane slot.
+
+Result computation uses the same :func:`repro.isa.semantics.mac`
+primitive as the reference executor, so SAVE schedules that preserve
+per-lane program order produce bit-identical architectural results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.dynuop import DynUop
+from repro.core.save.mixed import ChainLane, MlRef
+from repro.isa.datatypes import FP32_LANES
+from repro.isa.semantics import mac
+
+
+class TempOpKind(Enum):
+    """What an issued VPU operation carries."""
+
+    WHOLE = auto()  # baseline: one complete VFMA
+    LANES = auto()  # coalesced single lanes from multiple VFMAs
+    CHAIN = auto()  # mixed-precision chain slots (ML pairs)
+
+
+@dataclass
+class TempOp:
+    """One VPU operation in flight."""
+
+    kind: TempOpKind
+    issue_cycle: int
+    latency: int
+    #: WHOLE: the µop.
+    whole: DynUop = None
+    #: LANES: (µop, lane) pairs.
+    lane_entries: List[Tuple[DynUop, int]] = field(default_factory=list)
+    #: CHAIN: (chain lane, MLs taken, acc base at issue) triples.
+    chain_entries: List[Tuple[ChainLane, List[MlRef], np.float32]] = field(
+        default_factory=list
+    )
+
+    @property
+    def complete_cycle(self) -> int:
+        return self.issue_cycle + self.latency
+
+    def is_empty(self) -> bool:
+        """True if nothing was assembled into this op."""
+        if self.kind == TempOpKind.WHOLE:
+            return self.whole is None
+        if self.kind == TempOpKind.LANES:
+            return not self.lane_entries
+        return not self.chain_entries
+
+    def lane_count(self) -> int:
+        """Occupied temp slots (VPU lane utilisation accounting)."""
+        if self.kind == TempOpKind.WHOLE:
+            return FP32_LANES
+        if self.kind == TempOpKind.LANES:
+            return len(self.lane_entries)
+        return len(self.chain_entries)
+
+
+def compute_whole(dyn: DynUop) -> np.ndarray:
+    """Architectural result of a whole VFMA (baseline issue)."""
+    wm = dyn.write_mask()
+    out = np.zeros(FP32_LANES, dtype=np.float32)
+    for lane in range(FP32_LANES):
+        acc = dyn.acc_lane_value(lane)
+        if not wm & (1 << lane):
+            out[lane] = acc
+            continue
+        if dyn.mixed:
+            value = acc
+            value = mac(value, dyn.a_value[2 * lane], dyn.b_value[2 * lane])
+            value = mac(value, dyn.a_value[2 * lane + 1], dyn.b_value[2 * lane + 1])
+            out[lane] = value
+        else:
+            out[lane] = mac(acc, dyn.a_value[lane], dyn.b_value[lane])
+    return out
+
+
+def compute_lane(dyn: DynUop, lane: int) -> np.float32:
+    """Architectural result of one coalesced effectual lane.
+
+    FP32: a single MAC.  Mixed without the MP technique: the µop's own
+    effectual MLs, chained in order — skipping ineffectual MLs is exact
+    because their product is a true zero.
+    """
+    acc = dyn.acc_lane_value(lane)
+    if not dyn.mixed:
+        return mac(acc, dyn.a_value[lane], dyn.b_value[lane])
+    value = acc
+    for p in dyn.ml_effectual[lane]:
+        value = mac(value, dyn.a_value[2 * lane + p], dyn.b_value[2 * lane + p])
+    return value
+
+
+def compute_chain_slot(
+    mls: List[MlRef], lane: int, acc_base: np.float32
+) -> Tuple[np.float32, List[Tuple[DynUop, int, np.float32]]]:
+    """Process up to two MLs of one chain slot (Fig. 11 semantics).
+
+    Args:
+        mls: ``(µop, p)`` pairs where ``p`` selects the ML within the
+            accumulator lane, in program order.
+        lane: the accumulator lane this chain slot belongs to.
+        acc_base: accumulation base (forwarded partial or chain start).
+
+    Returns the final partial value (forwarded to the next chain op)
+    and, per ML, the partial value *after* that ML — the value written
+    back if the ML is its instruction's last (Sec. V-B).
+    """
+    value = np.float32(acc_base)
+    partials: List[Tuple[DynUop, int, np.float32]] = []
+    for dyn, p in mls:
+        value = mac(value, dyn.a_value[2 * lane + p], dyn.b_value[2 * lane + p])
+        partials.append((dyn, p, value))
+    return value, partials

@@ -1,0 +1,15 @@
+"""Experiment runners — one per table and figure of the paper.
+
+Every runner returns an :class:`~repro.experiments.report.ExperimentReport`
+whose rows mirror the corresponding table/figure, regenerable via::
+
+    python -m repro <experiment>       # e.g. `python -m repro fig15`
+    python -m repro list               # available experiments
+
+or through the benchmark suite (``pytest benchmarks/``).
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["EXPERIMENTS", "ExperimentReport", "run_experiment"]

@@ -1,0 +1,131 @@
+"""Terminal charts for experiment data (no plotting dependencies).
+
+Two primitives cover the paper's figures:
+
+* :func:`heatmap` — a (BS × NBS) speedup surface as a shaded grid
+  (Fig. 15's panels),
+* :func:`line_chart` — speedup-vs-sparsity series with one glyph per
+  technique (Figs. 17/18/19).
+
+Both return strings, so they compose with reports and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+#: Shade ramp from low to high.
+SHADES = " .:-=+*#%@"
+
+#: Series glyphs, assigned in insertion order.
+GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float) -> float:
+    if high <= low:
+        return 0.0
+    return (value - low) / (high - low)
+
+
+def heatmap(
+    grid: Mapping[Tuple[float, float], float],
+    title: str = "",
+    cell_width: int = 6,
+) -> str:
+    """Render a {(bs, nbs): value} mapping as a shaded numeric grid.
+
+    Rows are BS levels (ascending downward), columns NBS levels; each
+    cell prints the value and a shade character scaled over the grid's
+    range.
+    """
+    if not grid:
+        raise ValueError("empty grid")
+    bs_levels = sorted({bs for bs, _ in grid})
+    nbs_levels = sorted({nbs for _, nbs in grid})
+    low = min(grid.values())
+    high = max(grid.values())
+    lines = []
+    if title:
+        lines.append(title)
+    header = "BS\\NBS " + " ".join(f"{nbs:>{cell_width}.0%}" for nbs in nbs_levels)
+    lines.append(header)
+    for bs in bs_levels:
+        cells = []
+        for nbs in nbs_levels:
+            value = grid.get((bs, nbs))
+            if value is None:
+                cells.append(" " * cell_width)
+                continue
+            shade = SHADES[
+                min(int(_scale(value, low, high) * len(SHADES)), len(SHADES) - 1)
+            ]
+            cells.append(f"{value:>{cell_width - 1}.2f}{shade}")
+        lines.append(f"{bs:>6.0%} " + " ".join(cells))
+    lines.append(f"range: {low:.2f} ({SHADES[0]!r}) .. {high:.2f} ({SHADES[-1]!r})")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Mapping[float, float]],
+    title: str = "",
+    height: int = 12,
+    y_label: str = "speedup",
+) -> str:
+    """Render named {x: y} series as an ASCII scatter/line chart.
+
+    Args:
+        series: label → {x value → y value}; x values should be shared.
+        height: chart rows.
+    """
+    if not series:
+        raise ValueError("no series")
+    xs = sorted({x for points in series.values() for x in points})
+    ys = [y for points in series.values() for y in points.values()]
+    low, high = min(ys), max(ys)
+    span = high - low or 1.0
+    # Canvas: rows top (high) to bottom (low).
+    width = len(xs)
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (label, points) in enumerate(series.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        for col, x in enumerate(xs):
+            if x not in points:
+                continue
+            row = height - 1 - int(_scale(points[x], low, high) * (height - 1))
+            if canvas[row][col] == " ":
+                canvas[row][col] = glyph
+            else:
+                canvas[row][col] = "!"  # overlap marker
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(canvas):
+        level = high - span * row_index / (height - 1)
+        lines.append(f"{level:>6.2f} |" + "  ".join(row))
+    lines.append(" " * 7 + "+" + "-" * (3 * width - 2))
+    lines.append(" " * 8 + "  ".join(f"{x:.0%}"[:3].rjust(1) for x in xs))
+    legend = "  ".join(
+        f"{GLYPHS[i % len(GLYPHS)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(f"{y_label}; x = sparsity; {legend}; ! = overlap")
+    return "\n".join(lines)
+
+
+def fig15_charts(data: Dict) -> str:
+    """Render a fig15 report's data as two heatmaps."""
+    return "\n\n".join(
+        heatmap(data[key], title=f"Fig. 15 ({label})")
+        for key, label in (("2vpu", "2 VPUs @1.7GHz"), ("1vpu", "1 VPU @2.1GHz"))
+    )
+
+
+def fig18_charts(data: Dict) -> str:
+    """Render a fig18 report's data as one line chart per panel."""
+    charts = []
+    for panel, techniques in data.items():
+        series = {
+            label: {nbs: value for (_bs, nbs), value in points.items()}
+            for label, points in techniques.items()
+        }
+        charts.append(line_chart(series, title=f"Fig. 18 {panel}"))
+    return "\n\n".join(charts)

@@ -1,0 +1,70 @@
+"""Export experiment reports to disk (text + JSON).
+
+``python -m repro all --export results/`` writes, per experiment,
+``<id>.txt`` (the rendered table) and ``<id>.json`` (the
+machine-readable ``data``), plus an ``index.json`` manifest — so a full
+reproduction run leaves a reviewable artifact tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro._version import __version__
+from repro.experiments.report import ExperimentReport
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of report data to JSON-compatible types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def export_report(report: ExperimentReport, directory: Path) -> List[Path]:
+    """Write one report's text and JSON files; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    text_path = directory / f"{report.experiment}.txt"
+    json_path = directory / f"{report.experiment}.json"
+    text_path.write_text(report.render() + "\n")
+    payload = {
+        "experiment": report.experiment,
+        "title": report.title,
+        "headers": list(report.headers),
+        "rows": _jsonable(report.rows),
+        "notes": list(report.notes),
+        "data": _jsonable(report.data),
+        "version": __version__,
+    }
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return [text_path, json_path]
+
+
+def export_all(
+    reports: Iterable[ExperimentReport], directory: Path
+) -> Dict[str, List[str]]:
+    """Export several reports and write an ``index.json`` manifest."""
+    directory = Path(directory)
+    manifest: Dict[str, List[str]] = {}
+    for report in reports:
+        paths = export_report(report, directory)
+        manifest[report.experiment] = [path.name for path in paths]
+    (directory / "index.json").write_text(
+        json.dumps({"version": __version__, "experiments": manifest}, indent=2)
+    )
+    return manifest
+
+
+def load_exported(directory: Path, experiment: str) -> dict:
+    """Read back one exported experiment's JSON payload."""
+    path = Path(directory) / f"{experiment}.json"
+    return json.loads(path.read_text())

@@ -1,0 +1,37 @@
+"""Fig. 13: schedule of weight pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.report import ExperimentReport
+from repro.sparsity.pruning import GNMT_PRUNING, RESNET50_PRUNING
+
+
+def run(**_kwargs) -> ExperimentReport:
+    """Render the pruning schedules (Fig. 13)."""
+    rows = []
+    resnet_steps = [0, 32, 40, 48, 60, 80, 102]
+    for step in resnet_steps:
+        rows.append(
+            ("ResNet-50", f"epoch {step}", f"{RESNET50_PRUNING.sparsity_at(step):.0%}")
+        )
+    gnmt_steps = [0, 40_000, 80_000, 120_000, 190_000, 340_000]
+    for step in gnmt_steps:
+        rows.append(
+            ("GNMT", f"iteration {step}", f"{GNMT_PRUNING.sparsity_at(step):.0%}")
+        )
+    return ExperimentReport(
+        experiment="fig13",
+        title="Schedule of weight pruning",
+        headers=("Network", "Step", "Weight sparsity"),
+        rows=rows,
+        notes=[
+            "ResNet-50: prune epochs 32-60 to 80%; GNMT: iterations "
+            "40K-190K to 90% (Zhu-Gupta cubic schedule)",
+        ],
+        data={
+            "resnet50": RESNET50_PRUNING.curve().tolist(),
+            "gnmt": GNMT_PRUNING.curve(points=200).tolist(),
+        },
+    )

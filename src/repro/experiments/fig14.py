@@ -1,0 +1,127 @@
+"""Fig. 14: whole-network execution time, normalised to the baseline.
+
+Four panels:
+
+* (a) CNN inference — VGG16 / dense ResNet-50 / pruned ResNet-50, each
+  in FP32 and mixed precision; bars baseline / 2 VPUs / 1 VPU / dynamic.
+* (b) GNMT inference — pruned, FP32 and mixed precision.
+* (c) CNN end-to-end training — adds the per-epoch *static* bar and the
+  forward / backward-input / backward-weight / 1st-layer breakdown.
+* (d) GNMT end-to-end training.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.report import ExperimentReport
+from repro.kernels.tiling import Precision
+from repro.model.estimator import NetworkEvaluation
+from repro.model.inference import evaluate_inference
+from repro.model.networks import GNMT, RESNET50_DENSE, RESNET50_PRUNED, VGG16
+from repro.model.surface import COARSE_LEVELS, PAPER_LEVELS, SurfaceStore
+from repro.model.training import evaluate_training
+
+CNNS = (VGG16, RESNET50_DENSE, RESNET50_PRUNED)
+PRECISIONS = (Precision.FP32, Precision.MIXED)
+
+#: Paper's dynamic-configuration speedups, for side-by-side reporting.
+PAPER_DYNAMIC = {
+    ("a", "VGG16", "bf16"): 1.68,
+    ("a", "ResNet-50", "bf16"): 1.37,
+    ("a", "ResNet-50 pruned", "bf16"): 1.59,
+    ("b", "GNMT pruned", "bf16"): 1.39,
+    ("c", "VGG16", "bf16"): 1.64,
+    ("c", "ResNet-50", "bf16"): 1.29,
+    ("c", "ResNet-50 pruned", "bf16"): 1.42,
+    ("d", "GNMT pruned", "bf16"): 1.28,
+}
+
+
+def _evaluate(panel: str, full_grid: bool, store: SurfaceStore, k_steps: int,
+              samples: int) -> List[NetworkEvaluation]:
+    levels = PAPER_LEVELS if full_grid else COARSE_LEVELS
+    evaluations: List[NetworkEvaluation] = []
+    if panel == "a":
+        networks, mode = CNNS, "inference"
+    elif panel == "b":
+        networks, mode = (GNMT,), "inference"
+    elif panel == "c":
+        networks, mode = CNNS, "training"
+    else:
+        networks, mode = (GNMT,), "training"
+    for network in networks:
+        for precision in PRECISIONS:
+            if mode == "inference":
+                evaluations.append(
+                    evaluate_inference(
+                        network, precision, store=store, levels=levels, k_steps=k_steps
+                    )
+                )
+            else:
+                evaluations.append(
+                    evaluate_training(
+                        network,
+                        precision,
+                        store=store,
+                        levels=levels,
+                        k_steps=k_steps,
+                        samples=samples,
+                    )
+                )
+    return evaluations
+
+
+def run(
+    panel: str = "all",
+    full_grid: bool = False,
+    store: Optional[SurfaceStore] = None,
+    k_steps: int = 16,
+    samples: int = 5,
+    **_kwargs,
+) -> ExperimentReport:
+    """Render Fig. 14 (or one panel of it)."""
+    if store is None:
+        store = SurfaceStore()
+    panels = ("a", "b", "c", "d") if panel == "all" else (panel,)
+    rows = []
+    data: Dict[str, dict] = {}
+    for p in panels:
+        for evaluation in _evaluate(p, full_grid, store, k_steps, samples):
+            key = f"14{p}/{evaluation.network}/{evaluation.precision.value}"
+            data[key] = {
+                label: result.total_ns
+                for label, result in evaluation.configs.items()
+            }
+            paper = PAPER_DYNAMIC.get((p, evaluation.network, evaluation.precision.value))
+            for label, norm, speedup in evaluation.rows():
+                rows.append(
+                    (
+                        f"14{p}",
+                        evaluation.network,
+                        evaluation.precision.value,
+                        label,
+                        norm,
+                        f"{speedup:.2f}x",
+                        f"paper {paper:.2f}x" if paper and label == "dynamic" else "",
+                    )
+                )
+    return ExperimentReport(
+        experiment="fig14",
+        title="Whole-network execution time normalised to baseline",
+        headers=(
+            "Panel",
+            "Network",
+            "Prec",
+            "Config",
+            "Norm. time",
+            "Speedup",
+            "Reference",
+        ),
+        rows=rows,
+        notes=[
+            "coarse sparsity grid by default; pass full_grid=True for the "
+            "paper's 10%-step grid",
+        ],
+        data=data,
+    )

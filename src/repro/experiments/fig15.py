@@ -1,0 +1,51 @@
+"""Fig. 15: SAVE speedups on the mixed-precision forward propagation of
+ResNet2_2 with two VPUs (a) or one VPU (b), over the NBS × BS grid."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.config import SAVE_1VPU, SAVE_2VPU
+from repro.experiments.report import ExperimentReport
+from repro.experiments.sweeps import PAPER_SWEEP_LEVELS, QUICK_LEVELS, sweep_kernel
+from repro.kernels.library import get_kernel
+
+
+def run(
+    full_grid: bool = False,
+    k_steps: int = 24,
+    levels: Optional[Sequence[float]] = None,
+    **_kwargs,
+) -> ExperimentReport:
+    """Render the Fig. 15 speedup grids."""
+    if levels is None:
+        levels = PAPER_SWEEP_LEVELS if full_grid else QUICK_LEVELS
+    spec = get_kernel("resnet2_2_fwd")
+    results = sweep_kernel(
+        spec,
+        {"2 VPUs @1.7GHz": SAVE_2VPU, "1 VPU @2.1GHz": SAVE_1VPU},
+        bs_levels=levels,
+        nbs_levels=levels,
+        k_steps=k_steps,
+    )
+    rows = []
+    for label, sweep in results.items():
+        for (bs, nbs), speedup in sorted(sweep.speedups.items()):
+            rows.append((label, f"{bs:.0%}", f"{nbs:.0%}", speedup))
+    two = results["2 VPUs @1.7GHz"].speedups
+    one = results["1 VPU @2.1GHz"].speedups
+    top = max(levels)
+    return ExperimentReport(
+        experiment="fig15",
+        title="SAVE speedups on mixed-precision ResNet2_2 forward",
+        headers=("Configuration", "BS", "NBS", "Speedup"),
+        rows=rows,
+        notes=[
+            f"2-VPU speedup at max sparsity: {two[(top, top)]:.2f}x "
+            "(paper caps near 1.49x)",
+            f"1-VPU speedup at max sparsity: {one[(top, top)]:.2f}x "
+            "(paper reaches 1.96x)",
+            f"1-VPU dense slowdown: {one[(0.0, 0.0)]:.2f}x (paper: 0.71x)",
+        ],
+        data={"2vpu": two, "1vpu": one, "levels": list(levels)},
+    )

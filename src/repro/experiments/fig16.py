@@ -1,0 +1,141 @@
+"""Fig. 16: histogram of per-kernel speedup caps.
+
+The speedup *cap* of a kernel is its speedup when sparsity is high
+enough that the VPUs are no longer the bottleneck — the paper measures
+it per studied kernel and histograms the caps for FP32 / mixed
+precision with 2 or 1 VPUs.
+
+We enumerate the distinct GEMM kernels of the evaluated networks
+(unique layer-shape × phase combinations, conv and LSTM), evaluate each
+at 90%/90% sparsity through the surface + roofline machinery, and
+bucket the caps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import BASELINE_2VPU, SAVE_1VPU, SAVE_2VPU, MachineConfig
+from repro.experiments.report import ExperimentReport
+from repro.kernels.conv import Phase
+from repro.kernels.lstm import LstmShape
+from repro.kernels.tiling import Precision
+from repro.model.estimator import NetworkEstimator
+from repro.model.multicore import MulticoreSplit
+from repro.model.networks import GNMT, RESNET50_DENSE, VGG16
+from repro.model.phases import kernel_tile_for_phase
+from repro.model.roofline import layer_traffic_bytes
+from repro.model.surface import SurfaceStore
+
+BUCKETS = ((1.0, 1.2), (1.2, 1.4), (1.4, 1.6), (1.6, 1.8), (1.8, 2.0), (2.0, 99.0))
+BUCKET_LABELS = ("1.0-1.2x", "1.2-1.4x", "1.4-1.6x", "1.6-1.8x", "1.8-2.0x", ">2.0x")
+
+CONFIGS: Dict[str, MachineConfig] = {"2 VPUs": SAVE_2VPU, "1 VPU": SAVE_1VPU}
+
+
+def studied_kernels() -> List[Tuple[object, Phase, bool]]:
+    """Distinct (layer, phase) kernels across the evaluated networks."""
+    kernels: List[Tuple[object, Phase, bool]] = []
+    seen = set()
+    for network in (VGG16, RESNET50_DENSE, GNMT):
+        for index, layer in enumerate(network.layers):
+            lstm = isinstance(layer, LstmShape)
+            phases = (
+                (Phase.FORWARD, Phase.BACKWARD_INPUT)
+                if lstm
+                else (Phase.FORWARD, Phase.BACKWARD_INPUT, Phase.BACKWARD_WEIGHT)
+            )
+            for phase in phases:
+                if phase == Phase.BACKWARD_INPUT and index == 0 and not lstm:
+                    continue
+                geometry = layer.gemm(phase)
+                key = (phase, lstm, geometry.m, geometry.n, geometry.k)
+                if key in seen:
+                    continue
+                seen.add(key)
+                kernels.append((layer, phase, lstm))
+    return kernels
+
+
+def _cap(
+    layer,
+    phase: Phase,
+    lstm: bool,
+    precision: Precision,
+    machine: MachineConfig,
+    store: SurfaceStore,
+    split: MulticoreSplit,
+    k_steps: int,
+    high: float = 0.9,
+) -> float:
+    """Speedup at saturating sparsity for one kernel."""
+    tile = kernel_tile_for_phase(phase, lstm=lstm)
+    batch = 84 if lstm else 28
+    element_bytes = 2 if precision == Precision.MIXED else 4
+    macs_per_fma = 32 if precision == Precision.MIXED else 16
+    fmas = layer.macs(phase, batch=batch) / macs_per_fma
+    traffic = layer_traffic_bytes(layer, phase, batch, element_bytes)
+
+    base_surface = store.get(tile, precision, BASELINE_2VPU, levels=(0.0,), k_steps=k_steps)
+    save_surface = store.get(
+        tile, precision, machine, levels=(0.0, high), k_steps=k_steps
+    )
+    base_time = split.layer_time_ns(fmas, base_surface.interpolate(0, 0), traffic)
+    save_time = split.layer_time_ns(
+        fmas, save_surface.interpolate(high, high), traffic
+    )
+    return base_time / save_time
+
+
+def run(
+    store: Optional[SurfaceStore] = None,
+    k_steps: int = 16,
+    **_kwargs,
+) -> ExperimentReport:
+    """Render the Fig. 16 speedup-cap histograms."""
+    if store is None:
+        store = SurfaceStore()
+    split = MulticoreSplit()
+    kernels = studied_kernels()
+    rows = []
+    data: Dict[str, Dict[str, List[int]]] = {}
+    geomeans = {}
+    for precision in (Precision.FP32, Precision.MIXED):
+        for label, machine in CONFIGS.items():
+            conv_counts = [0] * len(BUCKETS)
+            lstm_counts = [0] * len(BUCKETS)
+            caps = []
+            for layer, phase, lstm in kernels:
+                cap = _cap(
+                    layer, phase, lstm, precision, machine, store, split, k_steps
+                )
+                caps.append(cap)
+                for b, (low, highb) in enumerate(BUCKETS):
+                    if low <= cap < highb or (b == 0 and cap < low):
+                        (lstm_counts if lstm else conv_counts)[b] += 1
+                        break
+            panel = f"{precision.value.upper()} {label}"
+            data[panel] = {"conv": conv_counts, "lstm": lstm_counts}
+            geomean = float(
+                __import__("numpy").exp(
+                    __import__("numpy").mean(__import__("numpy").log(caps))
+                )
+            )
+            geomeans[panel] = geomean
+            for b, bucket_label in enumerate(BUCKET_LABELS):
+                rows.append(
+                    (panel, bucket_label, conv_counts[b], lstm_counts[b])
+                )
+    return ExperimentReport(
+        experiment="fig16",
+        title="Histograms of per-kernel speedup caps",
+        headers=("Panel", "Cap range", "# conv kernels", "# LSTM kernels"),
+        rows=rows,
+        notes=[
+            f"{len(kernels)} distinct kernels studied (paper: 93)",
+            "geomean caps: "
+            + ", ".join(f"{k}={v:.2f}x" for k, v in geomeans.items())
+            + " (paper: FP32 1.39x/1.62x, MP 1.48x/1.77x for 2/1 VPUs)",
+        ],
+        data={"histograms": data, "geomeans": geomeans, "n_kernels": len(kernels)},
+    )

@@ -1,0 +1,53 @@
+"""Experiment registry and dispatcher."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (  # noqa: F401  (imported for side effect-free registry)
+    ablations,
+    energy,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    scaling,
+    table1,
+    table2,
+    table3,
+    validation,
+)
+from repro.experiments.report import ExperimentReport
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+    "fig17": fig17.run,
+    "fig18": fig18.run,
+    "fig19": fig19.run,
+    # Extensions beyond the paper's figures (DESIGN.md section 5).
+    "ablations": ablations.run,
+    "energy": energy.run,
+    "scaling": scaling.run,
+    "validation": validation.run,
+}
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentReport:
+    """Run one experiment by id (e.g. "fig15", "table2")."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        available = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; available: {available}") from None
+    return runner(**kwargs)

@@ -1,0 +1,54 @@
+"""Plain-text report formatting shared by the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentReport:
+    """A rendered experiment: title, tabular rows, raw data.
+
+    Attributes:
+        experiment: id such as "fig15" or "table2".
+        title: the paper's caption, abbreviated.
+        headers: column names.
+        rows: table body (stringifiable cells).
+        notes: free-form commentary lines (assumptions, caveats).
+        data: machine-readable results for tests and downstream use.
+    """
+
+    experiment: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]]
+    notes: List[str] = field(default_factory=list)
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Format as an aligned text table."""
+        headers = [str(h) for h in self.headers]
+        body = [[_fmt(cell) for cell in row] for row in self.rows]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered report."""
+        print(self.render())
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

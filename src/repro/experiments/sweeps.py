@@ -1,0 +1,84 @@
+"""Shared kernel-sweep machinery for the kernel-level figures (15-19).
+
+A sweep runs one named kernel at a grid of sparsity levels under several
+machine configurations and reports speedups over the paper's baseline
+(two 512-bit VPUs at 1.7 GHz, no SAVE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import BASELINE_2VPU, MachineConfig
+from repro.core.pipeline import simulate
+from repro.kernels.gemm import generate_gemm_trace
+from repro.kernels.library import KernelSpec
+from repro.kernels.tiling import Precision
+
+#: Default sparsity grid for quick sweeps (the paper uses 10% steps;
+#: pass ``full_grid=True`` to experiment runners for that resolution).
+QUICK_LEVELS: Tuple[float, ...] = (0.0, 0.3, 0.6, 0.9)
+PAPER_SWEEP_LEVELS: Tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(10))
+
+
+def kernel_time_ns(
+    spec: KernelSpec,
+    machine: MachineConfig,
+    bs: float,
+    nbs: float,
+    precision: Optional[Precision] = None,
+    k_steps: int = 24,
+    seed: int = 0,
+) -> float:
+    """Simulated execution time of one kernel configuration."""
+    trace = generate_gemm_trace(
+        spec.config(
+            broadcast_sparsity=bs,
+            nonbroadcast_sparsity=nbs,
+            precision=precision,
+            k_steps=k_steps,
+            seed=seed,
+        )
+    )
+    return simulate(trace, machine, keep_state=False).time_ns
+
+
+@dataclass
+class SweepResult:
+    """Speedups over the baseline for one machine configuration."""
+
+    label: str
+    #: (bs, nbs) → speedup.
+    speedups: Dict[Tuple[float, float], float]
+
+    def series(self, bs: float) -> List[float]:
+        """Speedups along the NBS axis at fixed BS (a Fig. 15/17 line)."""
+        return [v for (b, _n), v in sorted(self.speedups.items()) if b == bs]
+
+
+def sweep_kernel(
+    spec: KernelSpec,
+    machines: Dict[str, MachineConfig],
+    bs_levels: Sequence[float],
+    nbs_levels: Sequence[float],
+    precision: Optional[Precision] = None,
+    k_steps: int = 24,
+    baseline: MachineConfig = BASELINE_2VPU,
+) -> Dict[str, SweepResult]:
+    """Sweep one kernel over the sparsity grid under each machine.
+
+    The baseline time is measured once at dense inputs (its time is
+    sparsity-independent) and every (machine, bs, nbs) point's speedup
+    is relative to it — matching the figures' y-axes.
+    """
+    base_time = kernel_time_ns(spec, baseline, 0.0, 0.0, precision, k_steps)
+    results: Dict[str, SweepResult] = {}
+    for label, machine in machines.items():
+        speedups: Dict[Tuple[float, float], float] = {}
+        for bs in bs_levels:
+            for nbs in nbs_levels:
+                time = kernel_time_ns(spec, machine, bs, nbs, precision, k_steps)
+                speedups[(round(bs, 2), round(nbs, 2))] = base_time / time
+        results[label] = SweepResult(label, speedups)
+    return results

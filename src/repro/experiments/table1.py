@@ -1,0 +1,61 @@
+"""Table I: architecture configuration."""
+
+from __future__ import annotations
+
+from repro.core.config import BASELINE_2VPU, SAVE_1VPU
+from repro.experiments.report import ExperimentReport
+from repro.memory.dram import DramModel
+from repro.memory.hierarchy import HierarchyConfig
+from repro.memory.noc import MeshNoc
+
+
+def run(**_kwargs) -> ExperimentReport:
+    """Render the modeled machine's configuration (Table I)."""
+    core = BASELINE_2VPU.core
+    boosted = SAVE_1VPU.core
+    hierarchy = HierarchyConfig()
+    noc = MeshNoc()
+    dram = DramModel()
+    rows = [
+        (
+            "Core",
+            f"{hierarchy.cores} cores, no SMT, {core.rs_entries} RS entries, "
+            f"{core.rob_entries} ROB entries, {core.issue_width}-issue, "
+            f"1 VPU at {boosted.freq_ghz}GHz or 2 VPUs at {core.freq_ghz}GHz",
+        ),
+        (
+            "B$",
+            "32 lines direct-mapped, with data or with masks, 4 read ports",
+        ),
+        ("L1-D/I", f"{hierarchy.l1_size // 1024}KB/core private, {hierarchy.l1_ways}-way, LRU"),
+        (
+            "L2",
+            f"{hierarchy.l2_size // (1024 * 1024)}MB/core private, inclusive, "
+            f"{hierarchy.l2_ways}-way, LRU",
+        ),
+        (
+            "L3",
+            f"{hierarchy.l3_slice_size / 1024 / 1024:.3f}MB/core, shared, inclusive, "
+            f"{hierarchy.l3_ways}-way, SRRIP, NUCA",
+        ),
+        ("NoC", f"2D-mesh {noc.width}x{noc.height}, XY routing, {noc.hop_cycles}-cycle hop"),
+        (
+            "Memory",
+            f"{dram.bandwidth_gbps}GB/s BW, {dram.channels} channels, "
+            f"{dram.latency_ns:.0f}ns latency",
+        ),
+    ]
+    return ExperimentReport(
+        experiment="table1",
+        title="Architecture configuration",
+        headers=("Component", "Configuration"),
+        rows=rows,
+        data={
+            "cores": hierarchy.cores,
+            "rs_entries": core.rs_entries,
+            "rob_entries": core.rob_entries,
+            "issue_width": core.issue_width,
+            "freq_2vpu": core.freq_ghz,
+            "freq_1vpu": boosted.freq_ghz,
+        },
+    )

@@ -1,0 +1,73 @@
+"""AVX-512-like vector ISA substrate.
+
+This package defines the µop-level instruction model consumed by both the
+in-order reference executor (:mod:`repro.isa.semantics`) and the
+cycle-level out-of-order pipeline (:mod:`repro.core.pipeline`).
+
+The modeled ISA mirrors the subset of AVX-512 that DNNL-style GEMM
+kernels use (Sec. II-B of the paper):
+
+* 512-bit vector registers — 16 FP32 lanes or 32 BF16 lanes,
+* ``VFMA`` — FP32 fused multiply-add, per-lane ``C[i] += A[i] * B[i]``,
+* ``VDPBF16`` — the mixed-precision dot-product ``VDPBF16PS``: two BF16
+  multiplicand lanes per FP32 accumulator lane, computed as two chained
+  MACs (Fig. 2 of the paper),
+* vector loads/stores, *embedded* broadcast memory operands and
+  *explicit* broadcast loads, and
+* AVX-512 write masks for predication (used for pruned weights).
+"""
+
+from repro.isa.datatypes import (
+    BF16_LANES,
+    FP32_LANES,
+    VECTOR_BYTES,
+    bf16_round,
+    is_bf16_representable,
+)
+from repro.isa.registers import (
+    NUM_MASK_REGS,
+    NUM_VREGS,
+    ArchState,
+    Memory,
+)
+from repro.isa.uops import (
+    MemOperand,
+    RegOperand,
+    Uop,
+    UopKind,
+    kmov,
+    scalar_op,
+    vbcast,
+    vdpbf16,
+    vfma,
+    vload,
+    vstore,
+    vzero,
+)
+from repro.isa.semantics import ReferenceExecutor, execute_trace
+
+__all__ = [
+    "BF16_LANES",
+    "FP32_LANES",
+    "VECTOR_BYTES",
+    "NUM_MASK_REGS",
+    "NUM_VREGS",
+    "ArchState",
+    "Memory",
+    "MemOperand",
+    "RegOperand",
+    "ReferenceExecutor",
+    "Uop",
+    "UopKind",
+    "bf16_round",
+    "execute_trace",
+    "is_bf16_representable",
+    "kmov",
+    "scalar_op",
+    "vbcast",
+    "vdpbf16",
+    "vfma",
+    "vload",
+    "vstore",
+    "vzero",
+]

@@ -1,0 +1,67 @@
+"""Floating-point data types used by the modeled vector ISA.
+
+The ISA operates on 512-bit vectors holding either 16 FP32 lanes or
+32 BF16 lanes.  BF16 values are represented in Python as ``numpy.float32``
+values whose low 16 mantissa bits are zero, i.e. values that are exactly
+representable in BF16.  :func:`bf16_round` performs IEEE-style
+round-to-nearest-even truncation from FP32 to BF16 and is used both when
+generating BF16 operands and inside the VDPBF16 semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of FP32 lanes in one 512-bit vector register.
+FP32_LANES = 16
+
+#: Number of BF16 lanes in one 512-bit vector register.
+BF16_LANES = 32
+
+#: Bytes per 512-bit vector register / per cache line.
+VECTOR_BYTES = 64
+
+#: Bytes per FP32 element.
+FP32_BYTES = 4
+
+#: Bytes per BF16 element.
+BF16_BYTES = 2
+
+
+def bf16_round(values: np.ndarray) -> np.ndarray:
+    """Round FP32 values to the nearest BF16-representable FP32 values.
+
+    Uses round-to-nearest-even on the upper 16 bits of the FP32 encoding,
+    the same rounding used by hardware FP32→BF16 converters.
+
+    Args:
+        values: array of ``float32`` (any shape).
+
+    Returns:
+        A new ``float32`` array of the same shape where every element is
+        exactly representable in BF16.
+    """
+    arr = np.ascontiguousarray(values, dtype=np.float32)
+    bits = arr.view(np.uint32)
+    # Round to nearest even: add 0x7FFF plus the LSB of the surviving part.
+    rounded = bits + (0x7FFF + ((bits >> 16) & 1))
+    out = (rounded & np.uint32(0xFFFF0000)).view(np.float32).copy()
+    # NaN inputs must stay NaN: the bias add may overflow the exponent.
+    nan_mask = np.isnan(arr)
+    if nan_mask.any():
+        out[nan_mask] = np.float32("nan")
+    return out.reshape(arr.shape)
+
+
+def is_bf16_representable(values: np.ndarray) -> bool:
+    """Return True if every element of ``values`` is exact in BF16."""
+    arr = np.ascontiguousarray(values, dtype=np.float32)
+    bits = arr.view(np.uint32)
+    nan_mask = np.isnan(arr)
+    exact = (bits & 0xFFFF) == 0
+    return bool(np.all(exact | nan_mask))
+
+
+def fp32_zeros(n: int = FP32_LANES) -> np.ndarray:
+    """Return an ``n``-lane FP32 zero vector."""
+    return np.zeros(n, dtype=np.float32)

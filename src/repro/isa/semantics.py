@@ -1,0 +1,175 @@
+"""Functional (in-order) semantics for the modeled ISA.
+
+:class:`ReferenceExecutor` runs a µop trace sequentially against an
+:class:`~repro.isa.registers.ArchState`.  It is the golden model that the
+out-of-order pipeline (with or without SAVE) must match bit-for-bit —
+the paper's *software transparency* requirement.
+
+Arithmetic notes:
+
+* All FP32 operations use ``numpy.float32``; a MAC is computed as a
+  float32 multiply followed by a float32 add (two roundings).  Real VFMA
+  hardware fuses the two with a single rounding; since the pipeline model
+  uses the same two-rounding helper, reference and pipeline agree
+  bit-for-bit, which is the property we test.
+* VDPBF16 performs two *chained* MACs per accumulator lane in the lane
+  order ``2i`` then ``2i+1`` (Fig. 2) — the ordering that SAVE's
+  mixed-precision horizontal compression must preserve.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.isa.datatypes import BF16_LANES, FP32_LANES
+from repro.isa.registers import ArchState
+from repro.isa.uops import MemOperand, Operand, RegOperand, Uop, UopKind
+
+
+def mac(accum: np.float32, a: np.float32, b: np.float32) -> np.float32:
+    """One scalar FP32 multiply-accumulate with float32 rounding.
+
+    Shared by the reference executor and the pipeline's VPU model so the
+    two produce identical bit patterns.
+    """
+    return np.float32(accum + np.float32(a * b))
+
+
+class ReferenceExecutor:
+    """In-order functional executor over an architectural state."""
+
+    def __init__(self, state: Optional[ArchState] = None) -> None:
+        self.state = state if state is not None else ArchState()
+
+    # ------------------------------------------------------------------
+    # Operand fetch
+    # ------------------------------------------------------------------
+
+    def fetch_fp32_operand(self, operand: Operand) -> np.ndarray:
+        """Materialise a 16-lane FP32 vector from a register or memory."""
+        if isinstance(operand, RegOperand):
+            value = self.state.read_vreg(operand.reg)
+            if value.shape[0] != FP32_LANES:
+                raise ValueError("FP32 operand register holds a BF16 payload")
+            return value
+        memory = self.state.memory
+        if operand.broadcast:
+            scalar = memory.read(operand.addr)
+            return np.full(FP32_LANES, scalar, dtype=np.float32)
+        return memory.read_vector(operand.addr, FP32_LANES, operand.element_bytes)
+
+    def fetch_bf16_operand(self, operand: Operand) -> np.ndarray:
+        """Materialise a 32-lane BF16 vector (as BF16-exact float32)."""
+        if isinstance(operand, RegOperand):
+            value = self.state.read_vreg(operand.reg)
+            if value.shape[0] != BF16_LANES:
+                raise ValueError("BF16 operand register holds an FP32 payload")
+            return value
+        memory = self.state.memory
+        if operand.broadcast:
+            # m32bcst: one 32-bit element (= a pair of BF16 lanes)
+            # replicated across all accumulator-lane groups.
+            pair = [memory.read(operand.addr), memory.read(operand.addr + 2)]
+            return np.tile(np.array(pair, dtype=np.float32), FP32_LANES)
+        return memory.read_vector(operand.addr, BF16_LANES, operand.element_bytes)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, uop: Uop) -> None:
+        """Execute one µop, updating the architectural state."""
+        if uop.kind == UopKind.VFMA:
+            self._execute_vfma(uop)
+        elif uop.kind == UopKind.VDPBF16:
+            self._execute_vdpbf16(uop)
+        elif uop.kind == UopKind.VLOAD:
+            self._execute_vload(uop)
+        elif uop.kind == UopKind.VBCAST:
+            self._execute_vbcast(uop)
+        elif uop.kind == UopKind.VSTORE:
+            self._execute_vstore(uop)
+        elif uop.kind == UopKind.KMOV:
+            self.state.write_kreg(uop.dst, uop.imm)
+        elif uop.kind == UopKind.VZERO:
+            self.state.write_vreg(uop.dst, np.zeros(FP32_LANES, dtype=np.float32))
+        elif uop.kind == UopKind.SCALAR:
+            pass
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown µop kind {uop.kind}")
+
+    def run(self, trace: Iterable[Uop]) -> ArchState:
+        """Execute an entire trace in program order."""
+        for uop in trace:
+            self.execute(uop)
+        return self.state
+
+    # ------------------------------------------------------------------
+    # Per-kind helpers
+    # ------------------------------------------------------------------
+
+    def _write_mask(self, uop: Uop) -> int:
+        if uop.wmask is None:
+            return (1 << FP32_LANES) - 1
+        return self.state.read_kreg(uop.wmask)
+
+    def _execute_vfma(self, uop: Uop) -> None:
+        accum = self.state.read_vreg(uop.accum)
+        a = self.fetch_fp32_operand(uop.src_a)
+        b = self.fetch_fp32_operand(uop.src_b)
+        mask = self._write_mask(uop)
+        result = accum.copy()
+        for lane in range(FP32_LANES):
+            if mask & (1 << lane):
+                result[lane] = mac(accum[lane], a[lane], b[lane])
+        self.state.write_vreg(uop.dst, result)
+
+    def _execute_vdpbf16(self, uop: Uop) -> None:
+        accum = self.state.read_vreg(uop.accum)
+        if accum.shape[0] != FP32_LANES:
+            raise ValueError("VDPBF16 accumulator must hold FP32 lanes")
+        a = self.fetch_bf16_operand(uop.src_a)
+        b = self.fetch_bf16_operand(uop.src_b)
+        mask = self._write_mask(uop)
+        result = accum.copy()
+        for lane in range(FP32_LANES):
+            if not mask & (1 << lane):
+                continue
+            value = result[lane]
+            value = mac(value, a[2 * lane], b[2 * lane])
+            value = mac(value, a[2 * lane + 1], b[2 * lane + 1])
+            result[lane] = value
+        self.state.write_vreg(uop.dst, result)
+
+    def _execute_vload(self, uop: Uop) -> None:
+        operand: MemOperand = uop.src_a
+        lanes = BF16_LANES if operand.bf16 else FP32_LANES
+        value = self.state.memory.read_vector(operand.addr, lanes, operand.element_bytes)
+        self.state.write_vreg(uop.dst, value)
+
+    def _execute_vbcast(self, uop: Uop) -> None:
+        operand: MemOperand = uop.src_a
+        if operand.bf16:
+            pair = [
+                self.state.memory.read(operand.addr),
+                self.state.memory.read(operand.addr + 2),
+            ]
+            value = np.tile(np.array(pair, dtype=np.float32), FP32_LANES)
+        else:
+            scalar = self.state.memory.read(operand.addr)
+            value = np.full(FP32_LANES, scalar, dtype=np.float32)
+        self.state.write_vreg(uop.dst, value)
+
+    def _execute_vstore(self, uop: Uop) -> None:
+        source: RegOperand = uop.src_a
+        dest: MemOperand = uop.src_b
+        value = self.state.vregs[source.reg]
+        self.state.memory.write_vector(dest.addr, value, dest.element_bytes)
+
+
+def execute_trace(trace: Iterable[Uop], state: Optional[ArchState] = None) -> ArchState:
+    """Run ``trace`` on a fresh (or provided) architectural state."""
+    executor = ReferenceExecutor(state)
+    return executor.run(trace)

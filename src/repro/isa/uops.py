@@ -1,0 +1,249 @@
+"""µop record types for the modeled vector ISA.
+
+A *trace* is a list of :class:`Uop` in program order.  Both the in-order
+reference executor and the out-of-order pipeline consume the same traces,
+which is what lets the test suite check SAVE's software transparency
+bit-for-bit.
+
+µop kinds (Sec. II-B of the paper):
+
+* ``VFMA`` — FP32 fused multiply-add, ``C[i] += A[i] * B[i]`` over 16
+  lanes, optionally predicated by an AVX-512 write mask.  One
+  multiplicand may be a memory operand, either a full vector or an
+  *embedded broadcast* (scalar broadcast to all lanes).
+* ``VDPBF16`` — mixed-precision dot product (``VDPBF16PS``): multiplicand
+  registers hold 32 BF16 lanes, the accumulator holds 16 FP32 lanes, and
+  each accumulator lane receives the dot product of the corresponding
+  2-lane BF16 sub-vectors, computed as two chained MACs.
+* ``VLOAD`` / ``VSTORE`` — full-vector loads and stores.
+* ``VBCAST`` — *explicit* broadcast: load a scalar from memory and
+  replicate it across all lanes of a vector register.
+* ``KMOV`` — load an immediate into a mask register.
+* ``VZERO`` — zero a vector register (accumulator initialisation).
+* ``SCALAR`` — address-arithmetic / loop-control placeholder that only
+  consumes front-end and scalar-port bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import List, Optional, Tuple, Union
+
+
+class UopKind(Enum):
+    """Discriminator for µop record types."""
+
+    VFMA = auto()
+    VDPBF16 = auto()
+    VLOAD = auto()
+    VSTORE = auto()
+    VBCAST = auto()
+    KMOV = auto()
+    VZERO = auto()
+    SCALAR = auto()
+
+
+@dataclass(frozen=True)
+class RegOperand:
+    """A vector-register source operand."""
+
+    reg: int
+
+    def __repr__(self) -> str:
+        return f"zmm{self.reg}"
+
+
+@dataclass(frozen=True)
+class MemOperand:
+    """A memory source operand.
+
+    Args:
+        addr: byte address of the first (or only) element.
+        broadcast: if True this is an embedded broadcast — a scalar at
+            ``addr`` replicated across all lanes.
+        bf16: if True elements are BF16 (2 bytes), else FP32 (4 bytes).
+    """
+
+    addr: int
+    broadcast: bool = False
+    bf16: bool = False
+
+    @property
+    def element_bytes(self) -> int:
+        """Size in bytes of one element of this operand."""
+        return 2 if self.bf16 else 4
+
+    def __repr__(self) -> str:
+        suffix = "{1toN}" if self.broadcast else ""
+        return f"[0x{self.addr:x}]{suffix}"
+
+
+Operand = Union[RegOperand, MemOperand]
+
+
+@dataclass
+class Uop:
+    """One micro-operation in a trace.
+
+    Field usage by kind:
+
+    ======== ======== ========= ========= ========= ========
+    kind     dst      accum     src_a     src_b     wmask
+    ======== ======== ========= ========= ========= ========
+    VFMA     vreg     vreg      operand   operand   optional
+    VDPBF16  vreg     vreg      operand   operand   optional
+    VLOAD    vreg     —         mem       —         —
+    VSTORE   —        —         reg(src)  mem(dst)  —
+    VBCAST   vreg     —         mem       —         —
+    KMOV     kreg     —         imm       —         —
+    VZERO    vreg     —         —         —         —
+    SCALAR   —        —         —         —         —
+    ======== ======== ========= ========= ========= ========
+    """
+
+    kind: UopKind
+    dst: Optional[int] = None
+    accum: Optional[int] = None
+    src_a: Optional[Operand] = None
+    src_b: Optional[Operand] = None
+    wmask: Optional[int] = None
+    imm: Optional[int] = None
+    bf16: bool = False
+    #: Free-form annotation used by experiments (e.g. GEMM (i, j) tile).
+    tag: Optional[str] = None
+
+    def is_fma(self) -> bool:
+        """True for both FP32 VFMA and mixed-precision VDPBF16 µops."""
+        return self.kind in (UopKind.VFMA, UopKind.VDPBF16)
+
+    def register_sources(self) -> List[int]:
+        """Vector registers read by this µop (excluding mask registers)."""
+        regs: List[int] = []
+        if self.is_fma():
+            if self.accum is not None:
+                regs.append(self.accum)
+            for operand in (self.src_a, self.src_b):
+                if isinstance(operand, RegOperand):
+                    regs.append(operand.reg)
+        elif self.kind == UopKind.VSTORE:
+            if isinstance(self.src_a, RegOperand):
+                regs.append(self.src_a.reg)
+        return regs
+
+    def memory_operand(self) -> Optional[MemOperand]:
+        """The memory operand of this µop, if any."""
+        for operand in (self.src_a, self.src_b):
+            if isinstance(operand, MemOperand):
+                return operand
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.kind.name.lower()]
+        if self.dst is not None:
+            prefix = "k" if self.kind == UopKind.KMOV else "zmm"
+            parts.append(f"{prefix}{self.dst}")
+        if self.accum is not None:
+            parts.append(f"acc=zmm{self.accum}")
+        if self.src_a is not None:
+            parts.append(f"a={self.src_a!r}")
+        if self.src_b is not None:
+            parts.append(f"b={self.src_b!r}")
+        if self.wmask is not None:
+            parts.append(f"{{k{self.wmask}}}")
+        return " ".join(parts)
+
+
+def vfma(
+    dst: int,
+    src_a: Operand,
+    src_b: Operand,
+    wmask: Optional[int] = None,
+    tag: Optional[str] = None,
+) -> Uop:
+    """Build an FP32 VFMA µop ``dst[i] += a[i] * b[i]``.
+
+    ``dst`` doubles as the accumulator source, matching the x86
+    three-operand form where the destination is also an input.
+    """
+    return Uop(
+        kind=UopKind.VFMA,
+        dst=dst,
+        accum=dst,
+        src_a=src_a,
+        src_b=src_b,
+        wmask=wmask,
+        tag=tag,
+    )
+
+
+def vdpbf16(
+    dst: int,
+    src_a: Operand,
+    src_b: Operand,
+    wmask: Optional[int] = None,
+    tag: Optional[str] = None,
+) -> Uop:
+    """Build a mixed-precision VDPBF16PS µop.
+
+    ``dst[i] += a[2i] * b[2i] + a[2i+1] * b[2i+1]`` with BF16
+    multiplicands and an FP32 accumulator, computed as two chained MACs.
+    """
+    return Uop(
+        kind=UopKind.VDPBF16,
+        dst=dst,
+        accum=dst,
+        src_a=src_a,
+        src_b=src_b,
+        wmask=wmask,
+        bf16=True,
+        tag=tag,
+    )
+
+
+def vload(dst: int, addr: int, bf16: bool = False, tag: Optional[str] = None) -> Uop:
+    """Build a full-vector load of register ``dst`` from byte ``addr``."""
+    return Uop(
+        kind=UopKind.VLOAD,
+        dst=dst,
+        src_a=MemOperand(addr, broadcast=False, bf16=bf16),
+        bf16=bf16,
+        tag=tag,
+    )
+
+
+def vbcast(dst: int, addr: int, bf16: bool = False, tag: Optional[str] = None) -> Uop:
+    """Build an explicit broadcast load: scalar at ``addr`` to all lanes."""
+    return Uop(
+        kind=UopKind.VBCAST,
+        dst=dst,
+        src_a=MemOperand(addr, broadcast=True, bf16=bf16),
+        bf16=bf16,
+        tag=tag,
+    )
+
+
+def vstore(src: int, addr: int, bf16: bool = False, tag: Optional[str] = None) -> Uop:
+    """Build a full-vector store of register ``src`` to byte ``addr``."""
+    return Uop(
+        kind=UopKind.VSTORE,
+        src_a=RegOperand(src),
+        src_b=MemOperand(addr, broadcast=False, bf16=bf16),
+        bf16=bf16,
+        tag=tag,
+    )
+
+
+def kmov(dst: int, imm: int) -> Uop:
+    """Build a mask-register write ``k[dst] = imm``."""
+    return Uop(kind=UopKind.KMOV, dst=dst, imm=imm)
+
+
+def vzero(dst: int) -> Uop:
+    """Build a vector-register zeroing µop (accumulator init)."""
+    return Uop(kind=UopKind.VZERO, dst=dst)
+
+
+def scalar_op(tag: Optional[str] = None) -> Uop:
+    """Build a scalar/loop-overhead µop (front-end bandwidth only)."""
+    return Uop(kind=UopKind.SCALAR, tag=tag)

@@ -1,0 +1,37 @@
+"""GEMM kernel substrate — the stand-in for Intel DNNL's JIT kernels.
+
+* :mod:`repro.kernels.tiling` — register-tile geometry and the derived
+  scheduling quantities (dependence distance, effective combination
+  window).
+* :mod:`repro.kernels.gemm` — µop-trace generation for register-tiled
+  GEMM inner loops in the *explicit* and *embedded* broadcast patterns,
+  FP32 and mixed precision, with optional write masks.
+* :mod:`repro.kernels.trace` — the :class:`KernelTrace` container tying
+  a trace to its functional memory image and statistics.
+* :mod:`repro.kernels.conv` / :mod:`repro.kernels.lstm` — layer-shape →
+  GEMM lowering for convolutions and LSTM cells.
+* :mod:`repro.kernels.library` — the named kernels the paper's figures
+  study (ResNet2_2, ResNet3_2, ResNet4_1a, ResNet5_1a, ...).
+"""
+
+from repro.kernels.conv import ConvShape, Phase
+from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
+from repro.kernels.library import KERNEL_LIBRARY, get_kernel
+from repro.kernels.lstm import LstmShape
+from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
+from repro.kernels.trace import KernelTrace, TraceStats
+
+__all__ = [
+    "BroadcastPattern",
+    "ConvShape",
+    "GemmKernelConfig",
+    "KERNEL_LIBRARY",
+    "KernelTrace",
+    "LstmShape",
+    "Phase",
+    "Precision",
+    "RegisterTile",
+    "TraceStats",
+    "generate_gemm_trace",
+    "get_kernel",
+]

@@ -1,0 +1,150 @@
+"""Convolution-layer shapes and their lowering to GEMM.
+
+A convolution is computed as GEMM via im2col (Sec. II-A); training
+needs three GEMMs per layer (the paper's phases, Table III):
+
+* **forward** — ``C[pixels, out_ch] = im2col(in)[pixels, K] × W[K, out_ch]``
+  with ``K = in_ch · kh · kw``.  The *broadcasted* operand is the input
+  activation, the *non-broadcasted* operand is the weights.
+* **backward input** — ``dIn = dOut × Wᵀ``: broadcast = output
+  gradient, non-broadcast = weights.
+* **backward weight** — ``dW = im2col(in)ᵀ × dOut``: broadcast = input
+  activation, non-broadcast = output gradient.
+
+This operand assignment reproduces Table III exactly: e.g. dense
+ResNet-50 has sparsity only in forward-BS (activations) and
+backward-weight-BS, because BatchNorm eliminates output-gradient
+sparsity; pruned ResNet-50's backward-input has NBS (pruned weights)
+but no BS — the property Fig. 18 relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Phase(Enum):
+    """GEMM phases of one layer during training/inference."""
+
+    FORWARD = "forward"
+    BACKWARD_INPUT = "backward_input"
+    BACKWARD_WEIGHT = "backward_weight"
+
+
+class SparsitySource(Enum):
+    """What tensor feeds each GEMM operand's sparsity."""
+
+    INPUT_ACTIVATION = "input_activation"
+    OUTPUT_GRADIENT = "output_gradient"
+    WEIGHTS = "weights"
+    NONE = "none"
+
+
+#: Phase → (broadcasted-operand source, non-broadcasted-operand source).
+PHASE_SPARSITY_SOURCES = {
+    Phase.FORWARD: (SparsitySource.INPUT_ACTIVATION, SparsitySource.WEIGHTS),
+    Phase.BACKWARD_INPUT: (SparsitySource.OUTPUT_GRADIENT, SparsitySource.WEIGHTS),
+    Phase.BACKWARD_WEIGHT: (
+        SparsitySource.INPUT_ACTIVATION,
+        SparsitySource.OUTPUT_GRADIENT,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class GemmGeometry:
+    """Whole-layer GEMM dimensions for one phase.
+
+    ``m`` indexes the broadcasted operand's rows, ``n`` the vectorised
+    columns, ``k`` the reduction depth; MACs = m·n·k.
+    """
+
+    m: int
+    n: int
+    k: int
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count of the whole GEMM."""
+        return self.m * self.n * self.k
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+
+
+@dataclass(frozen=True)
+class ConvShape:
+    """One convolutional layer.
+
+    Args:
+        name: layer label (e.g. "conv3_2").
+        in_channels / out_channels: channel counts.
+        height / width: *input* spatial size.
+        kernel: square kernel size.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    height: int
+    width: int
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.in_channels, self.out_channels, self.height, self.width) <= 0:
+            raise ValueError(f"{self.name}: dimensions must be positive")
+        if self.kernel <= 0 or self.stride <= 0 or self.padding < 0:
+            raise ValueError(f"{self.name}: bad kernel/stride/padding")
+
+    @property
+    def out_height(self) -> int:
+        """Output feature-map height."""
+        return (self.height + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        """Output feature-map width."""
+        return (self.width + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def out_pixels(self) -> int:
+        return self.out_height * self.out_width
+
+    @property
+    def weight_count(self) -> int:
+        """Number of weights in the layer."""
+        return self.in_channels * self.out_channels * self.kernel * self.kernel
+
+    def gemm(self, phase: Phase, batch: int = 1) -> GemmGeometry:
+        """The GEMM dimensions for one phase (per mini-batch)."""
+        k_fwd = self.in_channels * self.kernel * self.kernel
+        k_bwd = self.out_channels * self.kernel * self.kernel
+        if phase == Phase.FORWARD:
+            return GemmGeometry(m=self.out_pixels * batch, n=self.out_channels, k=k_fwd)
+        if phase == Phase.BACKWARD_INPUT:
+            return GemmGeometry(
+                m=self.height * self.width * batch, n=self.in_channels, k=k_bwd
+            )
+        return GemmGeometry(m=k_fwd, n=self.out_channels, k=self.out_pixels * batch)
+
+    def macs(self, phase: Phase = Phase.FORWARD, batch: int = 1) -> int:
+        """MAC count for one phase over a mini-batch."""
+        return self.gemm(phase, batch).macs
+
+    def activation_bytes(self, batch: int = 1, element_bytes: int = 4) -> int:
+        """Input activation footprint (for memory-boundedness)."""
+        return self.in_channels * self.height * self.width * batch * element_bytes
+
+    def weight_bytes(self, element_bytes: int = 4) -> int:
+        """Weight footprint."""
+        return self.weight_count * element_bytes
+
+    def output_bytes(self, batch: int = 1, element_bytes: int = 4) -> int:
+        """Output activation footprint."""
+        return self.out_channels * self.out_pixels * batch * element_bytes

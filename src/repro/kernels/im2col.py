@@ -1,0 +1,131 @@
+"""Functional im2col lowering — the semantics behind the GEMM dims.
+
+The paper computes convolution "through (un)folding a big GEMM" [11]
+(Sec. II-A).  :mod:`repro.kernels.conv` derives the GEMM *dimensions*;
+this module implements the actual data transformation so the lowering
+is verified semantically: ``conv2d_via_gemm`` must equal a direct
+convolution, and its GEMM operand shapes must match
+:meth:`ConvShape.gemm`.
+
+Layouts: activations are ``(channels, height, width)``; weights are
+``(out_channels, in_channels, kh, kw)``; the unfolded patch matrix is
+``(out_pixels, in_channels·kh·kw)`` so the forward GEMM is
+``patches @ weights.reshape(out_ch, -1).T`` — the broadcasted operand
+(rows of ``patches``) is the activation side, as Table III requires.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.conv import ConvShape
+
+
+def im2col(
+    activations: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold a ``(C, H, W)`` input into the patch matrix.
+
+    Returns an ``(out_h·out_w, C·kernel·kernel)`` float32 matrix whose
+    row *p* holds the receptive field of output pixel *p* (row-major
+    over output pixels; channel-major then kh, kw within a row).
+    """
+    arr = np.asarray(activations, dtype=np.float32)
+    if arr.ndim != 3:
+        raise ValueError("activations must be (channels, height, width)")
+    channels, height, width = arr.shape
+    if kernel <= 0 or stride <= 0 or padding < 0:
+        raise ValueError("bad kernel/stride/padding")
+    padded = np.pad(
+        arr, ((0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("kernel larger than padded input")
+    columns = np.empty((out_h * out_w, channels * kernel * kernel), dtype=np.float32)
+    for oy in range(out_h):
+        for ox in range(out_w):
+            patch = padded[
+                :, oy * stride : oy * stride + kernel, ox * stride : ox * stride + kernel
+            ]
+            columns[oy * out_w + ox] = patch.reshape(-1)
+    return columns
+
+
+def conv2d_direct(
+    activations: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Reference direct convolution, ``(out_ch, out_h, out_w)``."""
+    arr = np.asarray(activations, dtype=np.float32)
+    w = np.asarray(weights, dtype=np.float32)
+    out_ch, in_ch, kh, kw = w.shape
+    if kh != kw:
+        raise ValueError("square kernels only")
+    if arr.shape[0] != in_ch:
+        raise ValueError("channel mismatch")
+    padded = np.pad(arr, ((0, 0), (padding, padding), (padding, padding)))
+    out_h = (arr.shape[1] + 2 * padding - kh) // stride + 1
+    out_w = (arr.shape[2] + 2 * padding - kw) // stride + 1
+    out = np.zeros((out_ch, out_h, out_w), dtype=np.float32)
+    for oc in range(out_ch):
+        for oy in range(out_h):
+            for ox in range(out_w):
+                patch = padded[
+                    :, oy * stride : oy * stride + kh, ox * stride : ox * stride + kw
+                ]
+                out[oc, oy, ox] = float(np.sum(patch * w[oc], dtype=np.float64))
+    return out
+
+
+def conv2d_via_gemm(
+    activations: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Convolution as the unfolded GEMM of Sec. II-A.
+
+    Returns ``(output, patches, weight_matrix)`` so callers can inspect
+    the GEMM operands (e.g. to check Table III's operand assignment or
+    feed the tile-level trace generators).
+    """
+    w = np.asarray(weights, dtype=np.float32)
+    out_ch, in_ch, kernel, _ = w.shape
+    patches = im2col(activations, kernel, stride, padding)
+    weight_matrix = w.reshape(out_ch, -1)  # (out_ch, in_ch·kh·kw)
+    flat = (
+        patches.astype(np.float64) @ weight_matrix.astype(np.float64).T
+    ).astype(np.float32)
+    height, width = np.asarray(activations).shape[1:]
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    output = flat.T.reshape(out_ch, out_h, out_w)
+    return output, patches, weight_matrix
+
+
+def gemm_operands_match_shape(conv: ConvShape) -> bool:
+    """Check that the functional lowering's operand dimensions match
+    the analytical :meth:`ConvShape.gemm` used by the estimators."""
+    from repro.kernels.conv import Phase
+
+    rng = np.random.default_rng(0)
+    activations = rng.normal(
+        size=(conv.in_channels, conv.height, conv.width)
+    ).astype(np.float32)
+    weights = rng.normal(
+        size=(conv.out_channels, conv.in_channels, conv.kernel, conv.kernel)
+    ).astype(np.float32)
+    _out, patches, weight_matrix = conv2d_via_gemm(
+        activations, weights, conv.stride, conv.padding
+    )
+    geometry = conv.gemm(Phase.FORWARD)
+    return (
+        patches.shape == (geometry.m, geometry.k)
+        and weight_matrix.shape == (geometry.n, geometry.k)
+    )

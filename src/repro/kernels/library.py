@@ -1,0 +1,137 @@
+"""The named kernels the paper's kernel-level figures study.
+
+Each entry fixes the register tiling (which determines the effective
+combination window and dependence distance — the quantities Figs. 15,
+17, 18 and 19 turn on) and the broadcast pattern, while sparsity levels
+and precision are supplied per experiment.
+
+Tile choices follow the paper's stated properties:
+
+* ``resnet3_2_bwd_input`` (Fig. 18a) — "uses 28 accumulators … each
+  non-broadcasted multiplicand is reused 28 times, so the effective CW
+  size is around 1 … common among kernels with the embedded broadcast
+  pattern": 28 rows × 1 column vector, embedded.
+* ``resnet5_1a_bwd_input`` (Fig. 18b) — "21 accumulators … each
+  non-broadcasted multiplicand is reused 7 times, so the effective CW
+  size is approximately 3": 7 rows × 3 column vectors, embedded.
+* ``resnet3_2_bwd_weights`` (Fig. 17) — an embedded-broadcast kernel
+  (the pattern whose L1 bandwidth the B$ relieves): 14 × 2.
+* ``resnet2_2_fwd`` (Fig. 15) — a forward kernel in the explicit
+  broadcast pattern: 4 × 6 (24 accumulators).
+* ``resnet4_1a_bwd_input`` (Fig. 19) — mixed-precision
+  backward-input kernel: 28 × 1, embedded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.kernels.gemm import GemmKernelConfig
+from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A library entry: tiling plus provenance."""
+
+    name: str
+    tile: RegisterTile
+    default_precision: Precision
+    description: str
+    paper_figure: str
+
+    def config(
+        self,
+        broadcast_sparsity: float = 0.0,
+        nonbroadcast_sparsity: float = 0.0,
+        precision: Optional[Precision] = None,
+        k_steps: int = 64,
+        use_write_masks: bool = False,
+        seed: int = 0,
+    ) -> GemmKernelConfig:
+        """Instantiate a trace config for this kernel."""
+        return GemmKernelConfig(
+            name=self.name,
+            tile=self.tile,
+            k_steps=k_steps,
+            precision=precision if precision is not None else self.default_precision,
+            broadcast_sparsity=broadcast_sparsity,
+            nonbroadcast_sparsity=nonbroadcast_sparsity,
+            use_write_masks=use_write_masks,
+            seed=seed,
+        )
+
+
+KERNEL_LIBRARY: Dict[str, KernelSpec] = {
+    spec.name: spec
+    for spec in [
+        KernelSpec(
+            name="resnet2_2_fwd",
+            tile=RegisterTile(4, 6, BroadcastPattern.EXPLICIT),
+            default_precision=Precision.MIXED,
+            description="ResNet2_2 forward propagation (Fig. 15 kernel)",
+            paper_figure="Fig. 15",
+        ),
+        KernelSpec(
+            name="resnet3_2_bwd_weights",
+            tile=RegisterTile(14, 2, BroadcastPattern.EMBEDDED),
+            default_precision=Precision.FP32,
+            description="ResNet3_2 back-propagation of weights (Fig. 17 kernel)",
+            paper_figure="Fig. 17",
+        ),
+        KernelSpec(
+            name="resnet3_2_bwd_input",
+            tile=RegisterTile(28, 1, BroadcastPattern.EMBEDDED),
+            default_precision=Precision.FP32,
+            description=(
+                "ResNet3_2 back-propagation of input: 28 accumulators, "
+                "effective CW ~1 (Fig. 18a kernel)"
+            ),
+            paper_figure="Fig. 18a",
+        ),
+        KernelSpec(
+            name="resnet5_1a_bwd_input",
+            tile=RegisterTile(7, 3, BroadcastPattern.EMBEDDED),
+            default_precision=Precision.FP32,
+            description=(
+                "ResNet5_1a back-propagation of input: 21 accumulators, "
+                "effective CW ~3 (Fig. 18b kernel)"
+            ),
+            paper_figure="Fig. 18b",
+        ),
+        KernelSpec(
+            name="resnet4_1a_bwd_input",
+            tile=RegisterTile(28, 1, BroadcastPattern.EMBEDDED),
+            default_precision=Precision.MIXED,
+            description=(
+                "ResNet4_1a mixed-precision back-propagation of input "
+                "(Fig. 19 kernel)"
+            ),
+            paper_figure="Fig. 19",
+        ),
+        KernelSpec(
+            name="explicit_wide",
+            tile=RegisterTile(4, 6, BroadcastPattern.EXPLICIT),
+            default_precision=Precision.FP32,
+            description="Generic wide explicit-broadcast forward kernel",
+            paper_figure="-",
+        ),
+        KernelSpec(
+            name="embedded_tall",
+            tile=RegisterTile(28, 1, BroadcastPattern.EMBEDDED),
+            default_precision=Precision.FP32,
+            description="Generic tall embedded-broadcast kernel",
+            paper_figure="-",
+        ),
+    ]
+}
+
+
+def get_kernel(name: str) -> KernelSpec:
+    """Look up a named kernel; raises with the available names."""
+    try:
+        return KERNEL_LIBRARY[name]
+    except KeyError:
+        names = ", ".join(sorted(KERNEL_LIBRARY))
+        raise KeyError(f"unknown kernel {name!r}; available: {names}") from None

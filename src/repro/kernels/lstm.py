@@ -1,0 +1,79 @@
+"""LSTM-cell shapes and their lowering to GEMM.
+
+An LSTM cell's work is one GEMM computing all four gates
+(Sec. II-A: "LSTMs use GEMM as a building block"):
+
+    gates[4·hidden, batch] = W[4·hidden, input + hidden] × x[input + hidden, batch]
+
+where ``x`` concatenates the cell input with the previous hidden
+state.  The broadcasted operand is the activation vector ``x`` (its
+sparsity comes from dropout — and is diluted by the concatenation with
+the previous output, which the paper notes); the non-broadcasted
+operand is the weight matrix (sparse when pruned).
+
+Training merges the backward-input and backward-weight phases for
+LSTMs (Table III shows a single "backward" column for GNMT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.conv import GemmGeometry, Phase
+
+
+@dataclass(frozen=True)
+class LstmShape:
+    """One LSTM layer.
+
+    Args:
+        name: layer label (e.g. "encoder_l0").
+        hidden: hidden-state width.
+        input_size: input width (before concatenation with hidden).
+        seq_len: time steps per sample.
+        dropout: dropout rate applied to activations (GNMT: 0.2).
+    """
+
+    name: str
+    hidden: int
+    input_size: int
+    seq_len: int = 1
+    dropout: float = 0.2
+
+    def __post_init__(self) -> None:
+        if min(self.hidden, self.input_size, self.seq_len) <= 0:
+            raise ValueError(f"{self.name}: dimensions must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError(f"{self.name}: dropout must be in [0, 1)")
+
+    @property
+    def weight_count(self) -> int:
+        """Weights in the cell's gate GEMM."""
+        return 4 * self.hidden * (self.input_size + self.hidden)
+
+    def gemm(self, phase: Phase = Phase.FORWARD, batch: int = 1) -> GemmGeometry:
+        """Gate-GEMM dimensions for one time step over a mini-batch.
+
+        The backward pass (either backward phase — they are merged for
+        LSTMs) has the same aggregate GEMM volume as forward, with the
+        transposed weight matrix.
+        """
+        return GemmGeometry(
+            m=batch,
+            n=4 * self.hidden,
+            k=self.input_size + self.hidden,
+        )
+
+    def macs(self, phase: Phase = Phase.FORWARD, batch: int = 1) -> int:
+        """MACs for one phase of the *whole sequence* over a batch."""
+        return self.gemm(phase, batch).macs * self.seq_len
+
+    def activation_sparsity(self) -> float:
+        """Effective broadcast-side sparsity after concatenation.
+
+        Dropout zeroes ``dropout`` of the cell input; the concatenated
+        previous hidden state is dense, so the mix halves the effective
+        rate for layers past the first.  We use the paper's flat 20%
+        (it models GNMT's activation sparsity as constant).
+        """
+        return self.dropout

@@ -1,0 +1,125 @@
+"""Serialize kernel traces to JSON and back.
+
+Lets traces be archived, diffed, or consumed by external tools, and —
+because the functional memory image rides along — a deserialized trace
+still executes and still checks transparency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.isa.registers import Memory
+from repro.isa.uops import MemOperand, Operand, RegOperand, Uop, UopKind
+from repro.kernels.trace import KernelTrace, count_uops
+from repro.memory.address import Region
+
+FORMAT_VERSION = 1
+
+
+def _operand_to_json(operand: Optional[Operand]) -> Optional[dict]:
+    if operand is None:
+        return None
+    if isinstance(operand, RegOperand):
+        return {"kind": "reg", "reg": operand.reg}
+    return {
+        "kind": "mem",
+        "addr": operand.addr,
+        "broadcast": operand.broadcast,
+        "bf16": operand.bf16,
+    }
+
+
+def _operand_from_json(payload: Optional[dict]) -> Optional[Operand]:
+    if payload is None:
+        return None
+    if payload["kind"] == "reg":
+        return RegOperand(payload["reg"])
+    return MemOperand(payload["addr"], payload["broadcast"], payload["bf16"])
+
+
+def _uop_to_json(uop: Uop) -> dict:
+    return {
+        "kind": uop.kind.name,
+        "dst": uop.dst,
+        "accum": uop.accum,
+        "src_a": _operand_to_json(uop.src_a),
+        "src_b": _operand_to_json(uop.src_b),
+        "wmask": uop.wmask,
+        "imm": uop.imm,
+        "bf16": uop.bf16,
+        "tag": uop.tag,
+    }
+
+
+def _uop_from_json(payload: dict) -> Uop:
+    return Uop(
+        kind=UopKind[payload["kind"]],
+        dst=payload["dst"],
+        accum=payload["accum"],
+        src_a=_operand_from_json(payload["src_a"]),
+        src_b=_operand_from_json(payload["src_b"]),
+        wmask=payload["wmask"],
+        imm=payload["imm"],
+        bf16=payload["bf16"],
+        tag=payload["tag"],
+    )
+
+
+def trace_to_json(trace: KernelTrace) -> dict:
+    """Serialize a trace (µops + memory + regions) to a JSON dict.
+
+    Generator metadata that is not JSON-representable (numpy matrices,
+    tile objects) is dropped; everything execution needs is kept.
+    """
+    simple_meta: Dict[str, Any] = {}
+    for key, value in trace.meta.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            simple_meta[key] = value
+    return {
+        "format": FORMAT_VERSION,
+        "name": trace.name,
+        "uops": [_uop_to_json(uop) for uop in trace.uops],
+        "memory": {str(addr): value for addr, value in trace.memory.snapshot().items()},
+        "regions": {
+            name: {"base": region.base, "size": region.size_bytes}
+            for name, region in trace.regions.items()
+        },
+        "meta": simple_meta,
+    }
+
+
+def trace_from_json(payload: dict) -> KernelTrace:
+    """Reconstruct an executable trace from :func:`trace_to_json` output."""
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format {payload.get('format')!r}")
+    memory = Memory()
+    for addr, value in payload["memory"].items():
+        memory.write(int(addr), value)
+    uops = [_uop_from_json(entry) for entry in payload["uops"]]
+    regions = {
+        name: Region(name, spec["base"], spec["size"])
+        for name, spec in payload["regions"].items()
+    }
+    return KernelTrace(
+        name=payload["name"],
+        uops=uops,
+        memory=memory,
+        regions=regions,
+        stats=count_uops(uops),
+        meta=dict(payload.get("meta", {})),
+    )
+
+
+def save_trace(trace: KernelTrace, path: Union[str, Path]) -> Path:
+    """Write a trace to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(trace_to_json(trace)))
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> KernelTrace:
+    """Read a trace back from :func:`save_trace` output."""
+    return trace_from_json(json.loads(Path(path).read_text()))

@@ -1,0 +1,137 @@
+"""SparseTrain-style software sparsity skipping (related work [20]).
+
+SparseTrain (Gong et al., PACT 2020) is the paper's software-only
+comparator: the GEMM kernel *tests the broadcasted scalar* and branches
+around the whole row of VFMAs when it is zero.  It therefore
+
+* exploits only *broadcasted* sparsity (a zero in the non-broadcasted
+  vector cannot be skipped in software),
+* pays branch/test overhead on every broadcast, and
+* runs on an unmodified machine (no SAVE hardware).
+
+This generator emits the software-skipped trace for the same GEMM data
+layout as :mod:`repro.kernels.gemm`: for every (row, step) broadcast it
+inserts test/branch scalar µops; when the broadcast value is zero, the
+row's VFMAs are *omitted from the instruction stream* (that is the
+point of the software scheme) at the cost of the branch µops plus a
+configurable misprediction penalty (sparsity is data-dependent and
+unpredictable, Sec. I of the SAVE paper).
+
+Because the skipped VFMAs would have contributed exactly zero, the
+trace still computes the same GEMM — the test suite checks this against
+the dense trace's reference result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.isa.uops import RegOperand, Uop, scalar_op, vbcast, vfma, vload, vstore, vzero
+from repro.kernels.gemm import GemmKernelConfig, _GemmTraceBuilder
+from repro.kernels.tiling import BroadcastPattern, Precision
+from repro.kernels.trace import KernelTrace, count_uops
+
+
+@dataclass(frozen=True)
+class SparseTrainConfig:
+    """Software-skipping parameters layered on a GEMM kernel config.
+
+    Args:
+        gemm: the underlying kernel (must be FP32 explicit-broadcast —
+            the pattern SparseTrain's code transformation targets).
+        branch_overhead_uops: scalar µops per broadcast for the
+            test-and-branch sequence.
+        misprediction_rate: fraction of *skip decisions that differ from
+            the previous one* charged a flush penalty; unstructured
+            sparsity makes the branch hard to predict.
+        misprediction_penalty_uops: front-end bubbles per mispredict,
+            modeled as dead scalar µops.
+    """
+
+    gemm: GemmKernelConfig
+    branch_overhead_uops: int = 2
+    misprediction_rate: float = 0.5
+    misprediction_penalty_uops: int = 14
+
+    def __post_init__(self) -> None:
+        if self.gemm.precision != Precision.FP32:
+            raise ValueError("SparseTrain transform models FP32 kernels")
+        if self.gemm.tile.pattern != BroadcastPattern.EXPLICIT:
+            raise ValueError("SparseTrain transform targets explicit broadcast")
+        if not 0.0 <= self.misprediction_rate <= 1.0:
+            raise ValueError("misprediction_rate must be in [0, 1]")
+
+
+def generate_sparsetrain_trace(config: SparseTrainConfig) -> KernelTrace:
+    """Generate the software-skipped trace.
+
+    The data layout and values are identical to the dense trace for the
+    same :class:`GemmKernelConfig` (same seed ⇒ same matrices); only the
+    instruction stream differs.
+    """
+    builder = _GemmTraceBuilder(config.gemm)
+    tile, gemm = builder.tile, config.gemm
+    uops: List[Uop] = []
+    rng = np.random.default_rng(gemm.seed + 1)
+
+    for accum in range(tile.accumulators):
+        uops.append(vzero(accum))
+
+    skipped_rows = 0
+    previous_skip = False
+    for k_step in range(gemm.k_steps):
+        for _ in range(gemm.scalar_overhead_per_step):
+            uops.append(scalar_op(tag=f"loop-k{k_step}"))
+        for j in range(tile.col_vectors):
+            uops.append(vload(builder.b_reg(j), builder.b_vector_addr(k_step, j)))
+        for row in range(tile.rows):
+            # The software test: load the scalar, compare, branch.
+            for _ in range(config.branch_overhead_uops):
+                uops.append(scalar_op(tag=f"test-r{row}k{k_step}"))
+            skip = builder.a[row, k_step] == 0
+            if skip != previous_skip and rng.random() < config.misprediction_rate:
+                for _ in range(config.misprediction_penalty_uops):
+                    uops.append(scalar_op(tag="mispredict"))
+            previous_skip = skip
+            if skip:
+                skipped_rows += 1
+                continue
+            a_reg = builder.a_regs[row % 2]
+            uops.append(vbcast(a_reg, builder.a_addr(row, k_step)))
+            for j in range(tile.col_vectors):
+                uops.append(
+                    vfma(
+                        builder.acc_reg(row, j),
+                        RegOperand(a_reg),
+                        RegOperand(builder.b_reg(j)),
+                        tag=f"k{k_step}r{row}c{j}",
+                    )
+                )
+
+    for row in range(tile.rows):
+        for j in range(tile.col_vectors):
+            uops.append(vstore(builder.acc_reg(row, j), builder.c_addr(row, j)))
+
+    meta = {
+        "tile": tile,
+        "k_steps": gemm.k_steps,
+        "precision": gemm.precision,
+        "broadcast_sparsity": gemm.broadcast_sparsity,
+        "nonbroadcast_sparsity": gemm.nonbroadcast_sparsity,
+        "c_rows": tile.rows,
+        "c_cols": tile.col_vectors * 16,
+        "a_matrix": builder.a,
+        "b_matrix": builder.b,
+        "skipped_rows": skipped_rows,
+    }
+    return KernelTrace(
+        name=f"sparsetrain-{gemm.name}",
+        uops=uops,
+        memory=builder.memory,
+        regions=builder.regions,
+        stats=count_uops(uops),
+        meta=meta,
+    )

@@ -1,0 +1,107 @@
+"""Register-tile geometry for GEMM inner kernels.
+
+A DNNL-style AVX-512 GEMM microkernel keeps a tile of C in vector
+registers: ``rows × col_vectors`` accumulators, each 16 FP32 lanes wide.
+Per reduction step it broadcasts one A scalar per row and multiplies it
+with each of ``col_vectors`` B vectors.
+
+The tile geometry determines the scheduling quantities the paper's
+Sec. VII-D discusses:
+
+* **dependence distance** — each accumulator is updated once per
+  reduction step, so the RAW distance between VFMAs on the same
+  accumulator equals the accumulator count.
+* **effective combination window** — VFMAs that reuse the *same*
+  non-broadcasted B vector share a sparsity pattern and conflict under
+  vertical coalescing, so the effective CW is the number of *distinct*
+  B vectors in flight: ``col_vectors`` (the CW size divided by the
+  per-register reuse count, as the paper puts it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.isa.registers import NUM_VREGS
+
+
+class BroadcastPattern(Enum):
+    """How the broadcasted multiplicand reaches the VFMA (Sec. II-B)."""
+
+    #: Broadcast once into a register with VBCAST, then reuse it.
+    EXPLICIT = "explicit"
+    #: Use a broadcast *memory operand* on every VFMA.
+    EMBEDDED = "embedded"
+
+
+class Precision(Enum):
+    """Arithmetic mode of the kernel."""
+
+    FP32 = "fp32"
+    #: BF16 multiplicands, FP32 accumulators (VDPBF16PS).
+    MIXED = "bf16"
+
+
+@dataclass(frozen=True)
+class RegisterTile:
+    """The C-tile register blocking of a GEMM microkernel.
+
+    Args:
+        rows: A-rows per tile (one broadcast scalar each per step).
+        col_vectors: B vectors per tile (16 FP32 columns each).
+        pattern: explicit or embedded broadcast.
+    """
+
+    rows: int
+    col_vectors: int
+    pattern: BroadcastPattern = BroadcastPattern.EXPLICIT
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.col_vectors <= 0:
+            raise ValueError("tile dimensions must be positive")
+        if self.registers_needed > NUM_VREGS:
+            raise ValueError(
+                f"tile {self.rows}x{self.col_vectors} needs "
+                f"{self.registers_needed} registers (> {NUM_VREGS})"
+            )
+
+    @property
+    def accumulators(self) -> int:
+        """Number of accumulator registers (= C-tile vectors)."""
+        return self.rows * self.col_vectors
+
+    @property
+    def registers_needed(self) -> int:
+        """Architectural registers the microkernel occupies.
+
+        Explicit broadcast keeps all B vectors resident plus two
+        rotating A-broadcast registers; embedded broadcast needs only
+        two rotating B registers (A comes from memory operands).
+        """
+        if self.pattern == BroadcastPattern.EXPLICIT:
+            return self.accumulators + self.col_vectors + 2
+        return self.accumulators + 2
+
+    @property
+    def dependence_distance(self) -> int:
+        """VFMAs between successive updates of one accumulator."""
+        return self.accumulators
+
+    @property
+    def b_vector_reuse(self) -> int:
+        """Times each non-broadcasted B vector is reused per step."""
+        return self.rows
+
+    @property
+    def effective_cw(self) -> int:
+        """Effective combination window under vertical coalescing.
+
+        Accumulator count divided by per-B-vector reuse — i.e. the
+        number of distinct non-broadcasted sparsity patterns in flight.
+        """
+        return self.col_vectors
+
+    def fmas_per_step(self) -> int:
+        """VFMAs per reduction step (one per accumulator)."""
+        return self.accumulators

@@ -1,0 +1,123 @@
+"""The :class:`KernelTrace` container produced by the generators.
+
+A trace bundles the µop list with the functional memory image it runs
+against, the address regions of the matrices, and summary statistics.
+Both the reference executor and the pipeline consume the same object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.isa.registers import ArchState, Memory
+from repro.isa.semantics import execute_trace
+from repro.isa.uops import Uop, UopKind
+from repro.memory.address import Region
+
+
+@dataclass
+class TraceStats:
+    """µop-count breakdown of a trace."""
+
+    fmas: int = 0
+    vector_loads: int = 0
+    broadcasts: int = 0
+    embedded_broadcasts: int = 0
+    stores: int = 0
+    scalars: int = 0
+    kmovs: int = 0
+    vzeros: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.fmas
+            + self.vector_loads
+            + self.broadcasts
+            + self.stores
+            + self.scalars
+            + self.kmovs
+            + self.vzeros
+        )
+
+
+def count_uops(trace: List[Uop]) -> TraceStats:
+    """Tally a trace into a :class:`TraceStats`."""
+    stats = TraceStats()
+    for uop in trace:
+        if uop.is_fma():
+            stats.fmas += 1
+            mem = uop.memory_operand()
+            if mem is not None and mem.broadcast:
+                stats.embedded_broadcasts += 1
+        elif uop.kind == UopKind.VLOAD:
+            stats.vector_loads += 1
+        elif uop.kind == UopKind.VBCAST:
+            stats.broadcasts += 1
+        elif uop.kind == UopKind.VSTORE:
+            stats.stores += 1
+        elif uop.kind == UopKind.SCALAR:
+            stats.scalars += 1
+        elif uop.kind == UopKind.KMOV:
+            stats.kmovs += 1
+        elif uop.kind == UopKind.VZERO:
+            stats.vzeros += 1
+    return stats
+
+
+@dataclass
+class KernelTrace:
+    """A generated kernel: µops + data + layout + metadata.
+
+    Attributes:
+        name: kernel label.
+        uops: the µop list in program order.
+        memory: functional memory image holding A, B (and C space).
+        regions: matrix name → address region.
+        stats: µop counts.
+        meta: generator-specific metadata (tile geometry, sparsity
+            levels, reduction depth, ...).
+    """
+
+    name: str
+    uops: List[Uop]
+    memory: Memory
+    regions: Dict[str, Region]
+    stats: TraceStats
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.uops)
+
+    def fresh_state(self) -> ArchState:
+        """An architectural state over a *copy* of the memory image.
+
+        Each consumer (reference run, pipeline run) gets its own memory
+        so stores from one run cannot leak into another.
+        """
+        clone = Memory()
+        for addr, value in self.memory.snapshot().items():
+            clone.write(addr, value)
+        return ArchState(clone)
+
+    def reference_result(self) -> ArchState:
+        """Run the in-order reference executor over the trace."""
+        return execute_trace(self.uops, self.fresh_state())
+
+    def result_matrix(self, state: ArchState) -> np.ndarray:
+        """Extract the stored C tile from a finished state.
+
+        Requires the generator to have recorded ``c_rows`` /
+        ``c_cols`` in :attr:`meta`.
+        """
+        rows = int(self.meta["c_rows"])
+        cols = int(self.meta["c_cols"])
+        region = self.regions["C"]
+        out = np.zeros((rows, cols), dtype=np.float32)
+        for row in range(rows):
+            base = region.base + row * cols * 4
+            out[row] = state.memory.read_vector(base, cols, 4)
+        return out

@@ -1,0 +1,42 @@
+"""Memory-subsystem substrate.
+
+Models the memory side of Table I:
+
+* 32 KB/core private 8-way L1-D with LRU,
+* 1 MB/core private inclusive 16-way L2 with LRU,
+* 2.375 MB/core shared inclusive 19-way L3 with SRRIP, NUCA-sliced
+  across a 2D-mesh NoC with XY routing and 2-cycle hops,
+* 119.2 GB/s, 6-channel, 50 ns DRAM,
+* and SAVE's 32-entry direct-mapped broadcast cache (B$) in both the
+  *data* and *mask* variants (Sec. IV-A).
+"""
+
+from repro.memory.address import CACHE_LINE_BYTES, Region, line_address
+from repro.memory.broadcast_cache import (
+    BroadcastCache,
+    BroadcastCacheKind,
+    BroadcastResult,
+)
+from repro.memory.cache import AccessResult, SetAssociativeCache
+from repro.memory.dram import DramModel
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memory.noc import MeshNoc
+from repro.memory.replacement import LruPolicy, ReplacementPolicy, SrripPolicy
+
+__all__ = [
+    "AccessResult",
+    "BroadcastCache",
+    "BroadcastCacheKind",
+    "BroadcastResult",
+    "CACHE_LINE_BYTES",
+    "DramModel",
+    "HierarchyConfig",
+    "LruPolicy",
+    "MemoryHierarchy",
+    "MeshNoc",
+    "Region",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "SrripPolicy",
+    "line_address",
+]

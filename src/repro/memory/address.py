@@ -1,0 +1,73 @@
+"""Address-space helpers shared by the kernel generators and caches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Cache line size in bytes (64 B everywhere in the modeled machine).
+CACHE_LINE_BYTES = 64
+
+
+def line_address(addr: int) -> int:
+    """Return the line-aligned address containing byte ``addr``."""
+    return addr & ~(CACHE_LINE_BYTES - 1)
+
+
+def line_index(addr: int) -> int:
+    """Return the line number containing byte ``addr``."""
+    return addr // CACHE_LINE_BYTES
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, line-aligned address region for one matrix buffer.
+
+    The GEMM generators place the A, B and C matrices in disjoint
+    regions so cache behaviour per matrix can be attributed in stats.
+    """
+
+    name: str
+    base: int
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.base % CACHE_LINE_BYTES:
+            raise ValueError(f"region {self.name} base must be line-aligned")
+        if self.size_bytes <= 0:
+            raise ValueError(f"region {self.name} must have positive size")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size_bytes
+
+    def contains(self, addr: int) -> bool:
+        """True if byte ``addr`` falls inside the region."""
+        return self.base <= addr < self.end
+
+    def element_address(self, index: int, element_bytes: int) -> int:
+        """Byte address of the ``index``-th element in the region."""
+        addr = self.base + index * element_bytes
+        if addr >= self.end:
+            raise IndexError(
+                f"element {index} ({element_bytes}B) outside region {self.name}"
+            )
+        return addr
+
+
+def make_regions(*specs: "tuple[str, int]", base: int = 0x1000_0000) -> "dict[str, Region]":
+    """Lay out disjoint line-aligned regions.
+
+    Args:
+        specs: ``(name, size_bytes)`` pairs laid out back-to-back with
+            line-aligned, 4 KB-padded starts (padding avoids false
+            set-index correlation between matrices).
+        base: byte address of the first region.
+    """
+    regions: dict[str, Region] = {}
+    cursor = base
+    for name, size in specs:
+        regions[name] = Region(name, cursor, size)
+        cursor = (cursor + size + 4095) & ~4095
+        cursor += 4096  # guard page between buffers
+    return regions

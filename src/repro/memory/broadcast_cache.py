@@ -1,0 +1,158 @@
+"""SAVE's broadcast cache (B$), Sec. IV-A of the paper.
+
+A small read-only cache that exclusively serves *broadcast* load
+requests, exploiting the spatial locality of the scalars GEMM broadcasts
+from matrix A.  Two designs:
+
+* ``DATA`` — each entry holds the broadcast-relevant values of one L1-D
+  line.  Any hit is served without touching the L1-D.
+* ``MASK`` — each entry holds a 16-bit is-zero mask of the line
+  (assuming 64 B lines / 4 B elements).  A hit on a *zero* element is
+  served by materialising zeros; a hit on a *non-zero* element still
+  reads the data from the L1-D.
+
+Both designs are 32-entry direct-mapped with 4 read ports in the paper's
+configuration.  The B$ is kept coherent with the L1-D via
+:meth:`BroadcastCache.invalidate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Callable, Dict, Optional
+
+from repro.memory.address import CACHE_LINE_BYTES
+
+
+class BroadcastCacheKind(Enum):
+    """B$ design variants (plus NONE for the ablation baseline)."""
+
+    NONE = auto()
+    DATA = auto()
+    MASK = auto()
+
+
+@dataclass
+class BroadcastResult:
+    """Outcome of one broadcast access.
+
+    Attributes:
+        hit: the B$ had the line.
+        l1_access: this access consumed an L1-D read port/lookup.
+        value_is_zero: the broadcasted element is zero (drives BS
+            skipping downstream).
+    """
+
+    hit: bool
+    l1_access: bool
+    value_is_zero: bool
+
+
+@dataclass
+class BroadcastCacheStats:
+    """Counters for B$ behaviour."""
+
+    hits: int = 0
+    misses: int = 0
+    l1_reads_saved: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class BroadcastCache:
+    """Direct-mapped broadcast cache.
+
+    Args:
+        kind: B$ design (``NONE`` models a machine without a B$; every
+            access then costs an L1-D read).
+        entries: number of lines (paper: 32, one per architectural
+            vector register).
+        ports: read ports per cycle (paper: 4) — enforced by the
+            pipeline's issue logic, recorded here for configuration.
+        value_reader: callable mapping a byte address to the element
+            value; used to evaluate zero-ness (the functional memory).
+    """
+
+    def __init__(
+        self,
+        kind: BroadcastCacheKind,
+        value_reader: Callable[[int], float],
+        entries: int = 32,
+        ports: int = 4,
+    ) -> None:
+        if entries <= 0 or ports <= 0:
+            raise ValueError("entries and ports must be positive")
+        self.kind = kind
+        self.entries = entries
+        self.ports = ports
+        self._value_reader = value_reader
+        self._tags: Dict[int, int] = {}  # slot -> line address
+        self.stats = BroadcastCacheStats()
+
+    def _slot(self, line_addr: int) -> int:
+        return (line_addr // CACHE_LINE_BYTES) % self.entries
+
+    def _is_zero(self, addr: int) -> bool:
+        return float(self._value_reader(addr)) == 0.0
+
+    def access(self, addr: int) -> BroadcastResult:
+        """Serve a broadcast load of the element at byte ``addr``."""
+        zero = self._is_zero(addr)
+        if self.kind == BroadcastCacheKind.NONE:
+            return BroadcastResult(hit=False, l1_access=True, value_is_zero=zero)
+
+        line_addr = addr & ~(CACHE_LINE_BYTES - 1)
+        slot = self._slot(line_addr)
+        if self._tags.get(slot) == line_addr:
+            self.stats.hits += 1
+            if self.kind == BroadcastCacheKind.DATA:
+                self.stats.l1_reads_saved += 1
+                return BroadcastResult(hit=True, l1_access=False, value_is_zero=zero)
+            # MASK design: only zero broadcasts skip the L1-D read.
+            if zero:
+                self.stats.l1_reads_saved += 1
+                return BroadcastResult(hit=True, l1_access=False, value_is_zero=True)
+            return BroadcastResult(hit=True, l1_access=True, value_is_zero=False)
+
+        # Miss: fetch the line from the L1-D and install it.
+        self.stats.misses += 1
+        self._tags[slot] = line_addr
+        return BroadcastResult(hit=False, l1_access=True, value_is_zero=zero)
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Coherence: drop the entry for ``line_addr`` if present."""
+        line_addr &= ~(CACHE_LINE_BYTES - 1)
+        slot = self._slot(line_addr)
+        if self._tags.get(slot) == line_addr:
+            del self._tags[slot]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Drop all entries (context switch / kernel boundary)."""
+        self._tags.clear()
+
+    def storage_bits(self, fp32_and_mixed: bool = True) -> int:
+        """Tag + payload storage in bits (Table II accounting).
+
+        Data design: 46-bit line tag + 64 B data per entry.
+        Mask design: 46-bit tag + 16-bit mask (FP32-only) or 32-bit mask
+        (when BF16 lines of 32 elements must also be covered).
+        """
+        tag_bits = 46
+        if self.kind == BroadcastCacheKind.DATA:
+            payload = CACHE_LINE_BYTES * 8
+        elif self.kind == BroadcastCacheKind.MASK:
+            payload = 32 if fp32_and_mixed else 16
+        else:
+            return 0
+        return self.entries * (tag_bits + payload)

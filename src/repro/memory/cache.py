@@ -1,0 +1,160 @@
+"""A generic set-associative cache with pluggable replacement.
+
+Used for L1-D, L2 and L3.  The cache tracks *presence* (tags), not data
+— the functional data lives in :class:`repro.isa.registers.Memory`; the
+cache model only answers hit/miss and accounts traffic, which is all the
+timing model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.memory.address import CACHE_LINE_BYTES
+from repro.memory.replacement import ReplacementPolicy, make_policy
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    evicted_line: Optional[int] = None
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """Tag-only set-associative cache.
+
+    Args:
+        name: label for stats/debugging.
+        size_bytes: total capacity.
+        ways: associativity.
+        policy: replacement policy name ("lru" or "srrip").
+        line_bytes: cache line size.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        ways: int,
+        policy: str = "lru",
+        line_bytes: int = CACHE_LINE_BYTES,
+    ) -> None:
+        if size_bytes % (ways * line_bytes):
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by ways*line "
+                f"({ways}*{line_bytes})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (ways * line_bytes)
+        self._policy_name = policy
+        self._tags: List[List[Optional[int]]] = [
+            [None] * ways for _ in range(self.num_sets)
+        ]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(policy, ways) for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+        #: Called with the evicted line address on every eviction
+        #: (used for inclusive back-invalidation).
+        self.on_evict: Optional[Callable[[int], None]] = None
+
+    # ------------------------------------------------------------------
+
+    def _set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def _find_way(self, line: int) -> Optional[int]:
+        tags = self._tags[self._set_index(line)]
+        for way, tag in enumerate(tags):
+            if tag == line:
+                return way
+        return None
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, addr: int) -> bool:
+        """Non-mutating presence check for byte address ``addr``."""
+        return self._find_way(addr // self.line_bytes) is not None
+
+    def access(self, addr: int) -> AccessResult:
+        """Access byte ``addr``: update recency on hit, fill on miss.
+
+        Returns the hit/miss outcome plus the evicted line address (if
+        the fill displaced a valid line).
+        """
+        line = addr // self.line_bytes
+        set_idx = self._set_index(line)
+        policy = self._policies[set_idx]
+        way = self._find_way(line)
+        if way is not None:
+            policy.on_hit(way)
+            self.stats.hits += 1
+            return AccessResult(hit=True)
+
+        self.stats.misses += 1
+        tags = self._tags[set_idx]
+        occupied = [tag is not None for tag in tags]
+        victim_way = policy.victim(occupied)
+        evicted = tags[victim_way]
+        evicted_addr: Optional[int] = None
+        if evicted is not None:
+            self.stats.evictions += 1
+            evicted_addr = evicted * self.line_bytes
+            if self.on_evict is not None:
+                self.on_evict(evicted_addr)
+        tags[victim_way] = line
+        policy.on_fill(victim_way)
+        return AccessResult(hit=False, evicted_line=evicted_addr)
+
+    def invalidate(self, addr: int) -> bool:
+        """Remove the line containing ``addr``; True if it was present."""
+        line = addr // self.line_bytes
+        way = self._find_way(line)
+        if way is None:
+            return False
+        self._tags[self._set_index(line)][way] = None
+        self.stats.invalidations += 1
+        return True
+
+    def resident_lines(self) -> Set[int]:
+        """Set of line addresses currently cached (for invariants)."""
+        lines: Set[int] = set()
+        for tags in self._tags:
+            for tag in tags:
+                if tag is not None:
+                    lines.add(tag * self.line_bytes)
+        return lines
+
+    def reset_stats(self) -> None:
+        """Zero the counters (e.g. after cache warm-up)."""
+        self.stats = CacheStats()
+
+    def clone_empty(self) -> "SetAssociativeCache":
+        """A fresh cache with the same geometry."""
+        return SetAssociativeCache(
+            self.name, self.size_bytes, self.ways, self._policy_name, self.line_bytes
+        )

@@ -1,0 +1,62 @@
+"""DRAM bandwidth/latency model (Table I: 119.2 GB/s, 6 channels, 50 ns).
+
+The model answers two questions:
+
+* the *unloaded* access latency in core cycles at a given frequency, and
+* the *effective* per-core bandwidth when ``active_cores`` stream
+  concurrently, with a simple queueing-derived latency inflation as
+  demand approaches the channel limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """Aggregate DRAM model shared by all cores.
+
+    Args:
+        bandwidth_gbps: peak aggregate bandwidth in GB/s.
+        channels: number of memory channels.
+        latency_ns: unloaded access latency.
+    """
+
+    bandwidth_gbps: float = 119.2
+    channels: int = 6
+    latency_ns: float = 50.0
+
+    @property
+    def bandwidth_bytes_per_ns(self) -> float:
+        """Peak bandwidth in bytes/ns."""
+        return self.bandwidth_gbps  # 1 GB/s == 1 byte/ns
+
+    def latency_cycles(self, freq_ghz: float) -> int:
+        """Unloaded latency in core cycles at ``freq_ghz``."""
+        if freq_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        return round(self.latency_ns * freq_ghz)
+
+    def per_core_bandwidth(self, active_cores: int) -> float:
+        """Fair-share bandwidth per core in bytes/ns."""
+        if active_cores <= 0:
+            raise ValueError("active_cores must be positive")
+        return self.bandwidth_bytes_per_ns / active_cores
+
+    def effective_latency_ns(self, demand_bytes_per_ns: float) -> float:
+        """Loaded latency under aggregate demand (M/D/1-style inflation).
+
+        Latency grows as ``1 / (1 - utilisation)``, capped at 10x the
+        unloaded latency to keep the model bounded when a workload is
+        fully bandwidth-saturated.
+        """
+        if demand_bytes_per_ns < 0:
+            raise ValueError("demand must be non-negative")
+        utilisation = min(demand_bytes_per_ns / self.bandwidth_bytes_per_ns, 0.999)
+        inflation = 1.0 / (1.0 - utilisation)
+        return self.latency_ns * min(inflation, 10.0)
+
+    def streaming_time_ns(self, total_bytes: float, active_cores: int = 1) -> float:
+        """Time to stream ``total_bytes`` from one core's fair share."""
+        return total_bytes / self.per_core_bandwidth(active_cores)

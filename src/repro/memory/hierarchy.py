@@ -1,0 +1,188 @@
+"""The inclusive L1/L2/L3 + DRAM hierarchy of Table I.
+
+The detailed pipeline simulates one core, so the hierarchy models that
+core's private L1-D and L2 plus its view of the shared L3 (NUCA-sliced
+across the mesh) and DRAM.  Multicore effects enter through the L3
+capacity share and the DRAM fair-share bandwidth
+(:mod:`repro.model.multicore`).
+
+Inclusivity (Table I models Skylake's L3 as a 2.375 MB/core *inclusive*
+cache): an L3 eviction back-invalidates L2 and L1; an L2 eviction
+back-invalidates L1.  The B$ is invalidated alongside the L1.
+
+Frequency domains: L1/L2 hit latencies are constant in *core cycles*
+(they scale with the core clock); L3 and DRAM latencies are constant in
+*nanoseconds* ("The core frequency affects L1 and L2 but not L3").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memory.address import CACHE_LINE_BYTES
+from repro.memory.broadcast_cache import BroadcastCache
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.dram import DramModel
+from repro.memory.noc import MeshNoc
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry and latencies for the modeled hierarchy (Table I)."""
+
+    l1_size: int = 32 * 1024
+    l1_ways: int = 8
+    l1_latency: int = 5  # cycles, load-to-use
+    l1_read_ports: int = 2
+
+    l2_size: int = 1024 * 1024
+    l2_ways: int = 16
+    l2_latency: int = 14  # cycles
+
+    l3_slice_size: int = 2_375 * 1024  # 2.375 MB per core (paper's stand-in)
+    l3_ways: int = 19
+    l3_latency_ns: float = 20.0
+    l3_policy: str = "srrip"
+
+    cores: int = 28
+
+    def l3_capacity(self, sharing_cores: int = 1) -> int:
+        """L3 capacity effectively available to one core.
+
+        With all cores running the same kernel each gets roughly its
+        slice; a single-core run can spill into the whole L3.
+        """
+        if sharing_cores <= 0:
+            raise ValueError("sharing_cores must be positive")
+        total = self.l3_slice_size * self.cores
+        return max(total // sharing_cores, self.l3_slice_size)
+
+
+@dataclass
+class TrafficStats:
+    """Bytes moved between levels (for roofline/bandwidth accounting)."""
+
+    l1_to_core: int = 0
+    l2_to_l1: int = 0
+    l3_to_l2: int = 0
+    dram_to_l3: int = 0
+    stores: int = 0
+
+
+class MemoryHierarchy:
+    """One core's load/store path through L1 → L2 → L3 → DRAM."""
+
+    def __init__(
+        self,
+        config: Optional[HierarchyConfig] = None,
+        core_id: int = 0,
+        sharing_cores: int = 1,
+        freq_ghz: float = 1.7,
+        noc: Optional[MeshNoc] = None,
+        dram: Optional[DramModel] = None,
+        broadcast_cache: Optional[BroadcastCache] = None,
+    ) -> None:
+        self.config = config if config is not None else HierarchyConfig()
+        self.core_id = core_id
+        self.sharing_cores = sharing_cores
+        self.freq_ghz = freq_ghz
+        self.noc = noc if noc is not None else MeshNoc()
+        self.dram = dram if dram is not None else DramModel()
+        self.broadcast_cache = broadcast_cache
+
+        cfg = self.config
+        self.l1 = SetAssociativeCache("L1-D", cfg.l1_size, cfg.l1_ways, "lru")
+        self.l2 = SetAssociativeCache("L2", cfg.l2_size, cfg.l2_ways, "lru")
+        self.l3 = SetAssociativeCache(
+            "L3", cfg.l3_capacity(sharing_cores), cfg.l3_ways, cfg.l3_policy
+        )
+        # Inclusive back-invalidation chains.
+        self.l3.on_evict = self._back_invalidate_from_l3
+        self.l2.on_evict = self._back_invalidate_from_l2
+        self.traffic = TrafficStats()
+        self._noc_round_trip = self.noc.average_round_trip(core_id)
+
+    # ------------------------------------------------------------------
+
+    def _back_invalidate_from_l3(self, line_addr: int) -> None:
+        self.l2.invalidate(line_addr)
+        self._back_invalidate_from_l2(line_addr)
+
+    def _back_invalidate_from_l2(self, line_addr: int) -> None:
+        self.l1.invalidate(line_addr)
+        if self.broadcast_cache is not None:
+            self.broadcast_cache.invalidate(line_addr)
+
+    # ------------------------------------------------------------------
+
+    def _l3_latency_cycles(self) -> int:
+        uncore_ns = self.config.l3_latency_ns + self._noc_round_trip / 2.0
+        return round(uncore_ns * self.freq_ghz)
+
+    def _dram_latency_cycles(self) -> int:
+        total_ns = (
+            self.config.l3_latency_ns
+            + self._noc_round_trip / 2.0
+            + self.dram.latency_ns
+        )
+        return round(total_ns * self.freq_ghz)
+
+    def access(self, addr: int, is_write: bool = False) -> int:
+        """Access one byte address; returns the load-to-use latency.
+
+        Fills all levels on the way back (inclusive hierarchy) and
+        accounts line traffic between levels.
+        """
+        cfg = self.config
+        line = CACHE_LINE_BYTES
+        self.traffic.l1_to_core += line
+        if is_write:
+            self.traffic.stores += line
+
+        if self.l1.access(addr).hit:
+            return cfg.l1_latency
+
+        self.traffic.l2_to_l1 += line
+        if self.l2.access(addr).hit:
+            return cfg.l2_latency
+
+        self.traffic.l3_to_l2 += line
+        if self.l3.access(addr).hit:
+            return self._l3_latency_cycles()
+
+        self.traffic.dram_to_l3 += line
+        return self._dram_latency_cycles()
+
+    def warm(self, addresses, level: str = "l3") -> None:
+        """Pre-load lines into a level (the paper warms L3 with the
+        previous operation's output before timing a kernel).
+
+        Args:
+            addresses: iterable of byte addresses.
+            level: "l1", "l2" or "l3" — fills that level and all levels
+                below it (inclusivity).
+        """
+        order = {"l1": (self.l3, self.l2, self.l1), "l2": (self.l3, self.l2), "l3": (self.l3,)}
+        try:
+            caches = order[level]
+        except KeyError:
+            raise ValueError(f"unknown level {level!r}") from None
+        for addr in addresses:
+            for cache in caches:
+                cache.access(addr)
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero all counters (post-warm-up)."""
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+        self.l3.reset_stats()
+        self.traffic = TrafficStats()
+
+    def check_inclusive(self) -> bool:
+        """Invariant: every L1/L2 line is also present in L3."""
+        l3_lines = self.l3.resident_lines()
+        return self.l1.resident_lines() <= l3_lines and (
+            self.l2.resident_lines() <= l3_lines
+        )

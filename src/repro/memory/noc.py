@@ -1,0 +1,63 @@
+"""2D-mesh network-on-chip with XY routing (Table I).
+
+The 28 cores tile a mesh; each core's tile also homes one NUCA slice of
+the shared L3.  A request from core *c* to the L3 slice homing line *l*
+crosses the Manhattan distance between the two tiles at 2 cycles per
+hop, there and back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class MeshNoc:
+    """An ``width × height`` mesh with XY dimension-ordered routing.
+
+    Args:
+        width: tiles per row.
+        height: rows.
+        hop_cycles: cycles per hop (Table I: 2).
+    """
+
+    width: int = 7
+    height: int = 4
+    hop_cycles: int = 2
+
+    @property
+    def num_tiles(self) -> int:
+        """Total number of tiles (= cores = L3 slices)."""
+        return self.width * self.height
+
+    def coordinates(self, tile: int) -> Tuple[int, int]:
+        """(x, y) position of a tile, row-major."""
+        if not 0 <= tile < self.num_tiles:
+            raise ValueError(f"tile {tile} outside {self.num_tiles}-tile mesh")
+        return tile % self.width, tile // self.width
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan hop count between two tiles under XY routing."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def latency(self, src: int, dst: int) -> int:
+        """One-way traversal latency in uncore cycles."""
+        return self.hops(src, dst) * self.hop_cycles
+
+    def round_trip_latency(self, src: int, dst: int) -> int:
+        """Request + response latency in uncore cycles."""
+        return 2 * self.latency(src, dst)
+
+    def home_slice(self, line_addr: int) -> int:
+        """NUCA home tile for a line (address-hashed distribution)."""
+        line = line_addr // 64
+        # Multiplicative hash spreads sequential lines across slices.
+        return (line * 0x9E3779B1 >> 16) % self.num_tiles
+
+    def average_round_trip(self, src: int) -> float:
+        """Mean round-trip latency from ``src`` to a uniform random slice."""
+        total = sum(self.round_trip_latency(src, dst) for dst in range(self.num_tiles))
+        return total / self.num_tiles

@@ -1,0 +1,106 @@
+"""Replacement policies for set-associative caches.
+
+Two policies from Table I: LRU (L1-D, L2) and SRRIP (L3).  Policies are
+stateful per cache *set*; the cache owns one policy instance per set.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+
+class ReplacementPolicy(ABC):
+    """Victim selection and recency bookkeeping for one cache set."""
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        self.ways = ways
+
+    @abstractmethod
+    def on_hit(self, way: int) -> None:
+        """Record a hit in ``way``."""
+
+    @abstractmethod
+    def on_fill(self, way: int) -> None:
+        """Record a fill (miss insertion) into ``way``."""
+
+    @abstractmethod
+    def victim(self, occupied: List[bool]) -> int:
+        """Choose a way to evict; prefer an unoccupied way if any."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """Classic least-recently-used with an explicit recency stack."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        # Index 0 = most recently used.
+        self._stack: List[int] = list(range(ways))
+
+    def _touch(self, way: int) -> None:
+        self._stack.remove(way)
+        self._stack.insert(0, way)
+
+    def on_hit(self, way: int) -> None:
+        self._touch(way)
+
+    def on_fill(self, way: int) -> None:
+        self._touch(way)
+
+    def victim(self, occupied: List[bool]) -> int:
+        for way in range(self.ways):
+            if not occupied[way]:
+                return way
+        return self._stack[-1]
+
+    def recency_order(self) -> List[int]:
+        """MRU→LRU way order (exposed for invariants testing)."""
+        return list(self._stack)
+
+
+class SrripPolicy(ReplacementPolicy):
+    """Static re-reference interval prediction (2-bit RRPV).
+
+    Fills insert with RRPV = 2 ("long re-reference"), hits promote to
+    RRPV = 0, and the victim is the first way with RRPV = 3, aging all
+    ways until one appears — the standard SRRIP-HP formulation used by
+    Skylake-class L3s.
+    """
+
+    MAX_RRPV = 3
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._rrpv: List[int] = [self.MAX_RRPV] * ways
+
+    def on_hit(self, way: int) -> None:
+        self._rrpv[way] = 0
+
+    def on_fill(self, way: int) -> None:
+        self._rrpv[way] = self.MAX_RRPV - 1
+
+    def victim(self, occupied: List[bool]) -> int:
+        for way in range(self.ways):
+            if not occupied[way]:
+                return way
+        while True:
+            for way in range(self.ways):
+                if self._rrpv[way] == self.MAX_RRPV:
+                    return way
+            for way in range(self.ways):
+                self._rrpv[way] += 1
+
+    def rrpv_values(self) -> List[int]:
+        """Current RRPV per way (exposed for invariants testing)."""
+        return list(self._rrpv)
+
+
+def make_policy(name: str, ways: int) -> ReplacementPolicy:
+    """Factory keyed by the policy names used in Table I."""
+    policies = {"lru": LruPolicy, "srrip": SrripPolicy}
+    try:
+        return policies[name.lower()](ways)
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}") from None

@@ -1,0 +1,67 @@
+"""DVFS switching-overhead check (Sec. VII-A's footnote claim).
+
+The Fig. 14 *dynamic* configuration switches VPU count and frequency
+per kernel.  The paper neglects the switching overhead "because the
+switching overhead of a typical DVFS manager is around ten
+microseconds, while our configuration switches at tens of
+milliseconds."  This module makes that claim checkable: given a dynamic
+schedule (the per-kernel config choices and times), it counts actual
+transitions and computes the overhead fraction a real DVFS manager
+would add.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.model.estimator import ONE_VPU, TWO_VPUS, KernelEstimate
+
+
+@dataclass(frozen=True)
+class DvfsModel:
+    """A DVFS manager with a fixed transition cost.
+
+    Args:
+        transition_ns: cost of one frequency/VPU-count transition
+            (paper: ~10 µs).
+    """
+
+    transition_ns: float = 10_000.0
+
+    def schedule(
+        self, estimates: Sequence[KernelEstimate]
+    ) -> Tuple[List[str], float, int]:
+        """The dynamic policy's choice sequence over a kernel stream.
+
+        Returns (choices, total kernel time, transition count).
+        """
+        choices: List[str] = []
+        total = 0.0
+        transitions = 0
+        previous = None
+        for est in estimates:
+            label = (
+                TWO_VPUS
+                if est.times_ns[TWO_VPUS] <= est.times_ns[ONE_VPU]
+                else ONE_VPU
+            )
+            choices.append(label)
+            total += est.times_ns[label]
+            if previous is not None and label != previous:
+                transitions += 1
+            previous = label
+        return choices, total, transitions
+
+    def overhead_fraction(self, estimates: Sequence[KernelEstimate]) -> float:
+        """Transition time as a fraction of the dynamic schedule's time."""
+        _choices, total, transitions = self.schedule(estimates)
+        if total <= 0:
+            raise ValueError("empty or zero-time schedule")
+        return transitions * self.transition_ns / total
+
+    def is_negligible(
+        self, estimates: Sequence[KernelEstimate], threshold: float = 0.02
+    ) -> bool:
+        """The paper's claim: overhead well under a few percent."""
+        return self.overhead_fraction(estimates) < threshold

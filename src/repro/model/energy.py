@@ -1,0 +1,113 @@
+"""Energy model for SAVE kernels (Sec. IV-D's power argument).
+
+Today's VPUs are power hungry enough that vendors downclock under wide
+SIMD; SAVE's frequency boost with one VPU disabled only makes sense if
+the energy story holds.  This model combines:
+
+* **VPU dynamic energy** — a per-operation base cost plus a per-active-
+  lane cost, so coalescing (fewer, fuller ops) saves energy beyond time,
+* **memory dynamic energy** — L1-D reads and broadcast-cache accesses
+  (B$ energies from Table II's CACTI calibration),
+* **static energy** — per-VPU leakage (a disabled VPU stops leaking,
+  gate-level) and baseline core power, integrated over the runtime.
+
+Per-event energies are calibrated constants at 22 nm, chosen so a dense
+FP32 GEMM lands near the ~0.5 nJ/FLOP ballpark of Skylake-class server
+cores; the *relative* story (SAVE ≤ baseline energy, 1-VPU saving
+leakage) is what the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MachineConfig
+from repro.core.pipeline import SimResult
+from repro.memory.broadcast_cache import BroadcastCacheKind
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Calibrated per-event energies (nJ) and static powers (W)."""
+
+    vpu_op_base_nj: float = 0.15
+    vpu_lane_nj: float = 0.05
+    l1_read_nj: float = 0.08
+    b_cache_data_nj: float = 1.6e-2  # Table II calibration
+    b_cache_mask_nj: float = 3.8e-4  # Table II calibration
+    mgu_nj: float = 0.002
+    vpu_leakage_w: float = 0.35  # per active VPU
+    core_static_w: float = 1.2  # rest of the core, frequency-independent
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one kernel run, by component (nanojoules)."""
+
+    vpu_dynamic_nj: float
+    memory_dynamic_nj: float
+    mgu_nj: float
+    static_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.vpu_dynamic_nj + self.memory_dynamic_nj + self.mgu_nj + self.static_nj
+
+    def relative_to(self, other: "EnergyBreakdown") -> float:
+        """This run's energy as a fraction of ``other``'s."""
+        return self.total_nj / other.total_nj
+
+
+class EnergyModel:
+    """Computes kernel energy from a :class:`SimResult`."""
+
+    def __init__(self, params: EnergyParams = EnergyParams()) -> None:
+        self.params = params
+
+    def kernel_energy(self, result: SimResult, machine: MachineConfig) -> EnergyBreakdown:
+        """Energy of one simulated kernel run.
+
+        Args:
+            result: the pipeline run's statistics.
+            machine: the configuration it ran under (VPU count, B$).
+        """
+        p = self.params
+        # Dynamic VPU energy: per op plus per active lane.  The baseline
+        # (and the naive scheme) activates all 16 lanes per op.
+        vpu = result.vpu_ops * p.vpu_op_base_nj + result.vpu_lane_slots * p.vpu_lane_nj
+
+        b_kind = (
+            machine.save.broadcast_cache
+            if machine.save.enabled
+            else BroadcastCacheKind.NONE
+        )
+        b_energy = {
+            BroadcastCacheKind.NONE: 0.0,
+            BroadcastCacheKind.DATA: p.b_cache_data_nj,
+            BroadcastCacheKind.MASK: p.b_cache_mask_nj,
+        }[b_kind]
+        b_accesses = result.b_cache_reads_saved  # hits served by the B$
+        memory = result.l1_port_accesses * p.l1_read_nj + b_accesses * b_energy
+
+        mgu = result.mgu_processed * p.mgu_nj
+
+        static_w = p.core_static_w + machine.core.num_vpus * p.vpu_leakage_w
+        static = static_w * result.time_ns  # W × ns = nJ
+
+        return EnergyBreakdown(
+            vpu_dynamic_nj=vpu,
+            memory_dynamic_nj=memory,
+            mgu_nj=mgu,
+            static_nj=static,
+        )
+
+    def energy_per_mac(
+        self, result: SimResult, machine: MachineConfig, macs_per_fma: int = 16
+    ) -> float:
+        """Average energy per dense-equivalent MAC (nJ).
+
+        Args:
+            macs_per_fma: 16 for FP32 kernels, 32 for mixed precision.
+        """
+        macs = result.fma_count * macs_per_fma
+        return self.kernel_energy(result, machine).total_nj / macs

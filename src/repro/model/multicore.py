@@ -1,0 +1,57 @@
+"""Work and bandwidth partitioning across the 28-core machine.
+
+The evaluated layers run data/output-parallel across all cores, so one
+layer's compute divides by the core count while the aggregate memory
+traffic shares the DRAM bandwidth — which is what makes the low
+compute-to-memory LSTM cells saturate early (Sec. VII-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.dram import DramModel
+
+
+@dataclass(frozen=True)
+class MulticoreSplit:
+    """Aggregate compute/bandwidth model for one parallel layer.
+
+    Args:
+        cores: active core count (Table I: 28).
+        dram: the shared DRAM model.
+        bandwidth_efficiency: achievable fraction of peak DRAM
+            bandwidth for streaming GEMM traffic.
+    """
+
+    cores: int = 28
+    dram: DramModel = DramModel()
+    bandwidth_efficiency: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if not 0.0 < self.bandwidth_efficiency <= 1.0:
+            raise ValueError("bandwidth_efficiency must be in (0, 1]")
+
+    def per_core_fmas(self, total_fmas: float) -> float:
+        """A core's share of the layer's VFMA instructions."""
+        return total_fmas / self.cores
+
+    def compute_time_ns(self, total_fmas: float, ns_per_fma: float) -> float:
+        """Layer compute time with all cores working in parallel."""
+        return self.per_core_fmas(total_fmas) * ns_per_fma
+
+    def memory_time_ns(self, total_bytes: float) -> float:
+        """Time to stream the layer's aggregate traffic from DRAM."""
+        effective = self.dram.bandwidth_bytes_per_ns * self.bandwidth_efficiency
+        return total_bytes / effective
+
+    def layer_time_ns(
+        self, total_fmas: float, ns_per_fma: float, total_bytes: float
+    ) -> float:
+        """Roofline: the slower of compute and memory."""
+        return max(
+            self.compute_time_ns(total_fmas, ns_per_fma),
+            self.memory_time_ns(total_bytes),
+        )

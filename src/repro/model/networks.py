@@ -1,0 +1,192 @@
+"""The evaluated networks: VGG16, ResNet-50 and GNMT (Sec. VI).
+
+Each :class:`NetworkModel` binds the layer shapes to the sparsity
+sources the evaluation needs per (layer, epoch, phase):
+
+* input-activation sparsity — from the Fig. 12 profiles,
+* output-gradient sparsity — the layer's *output* activation sparsity
+  when gradients flow through plain ReLU backward (VGG16), zero when
+  BatchNorm regenerates dense gradients (ResNet-50), and the dropout
+  rate for GNMT,
+* weight sparsity — from the Fig. 13 pruning schedule (zero if dense).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.kernels.conv import ConvShape
+from repro.kernels.lstm import LstmShape
+from repro.sparsity.profiles import (
+    ActivationProfile,
+    gnmt_activation_profile,
+    resnet50_dense_activation_profile,
+    resnet50_pruned_activation_profile,
+    vgg16_activation_profile,
+)
+from repro.sparsity.pruning import GNMT_PRUNING, RESNET50_PRUNING, PruningSchedule
+
+Layer = Union[ConvShape, LstmShape]
+
+
+def _vgg16_convs() -> List[ConvShape]:
+    """The 13 convolutions of VGG16 on 224x224 ImageNet inputs."""
+    plan = [
+        # (in_ch, out_ch, spatial) — two convs per block then pool.
+        (3, 64, 224), (64, 64, 224),
+        (64, 128, 112), (128, 128, 112),
+        (128, 256, 56), (256, 256, 56), (256, 256, 56),
+        (256, 512, 28), (512, 512, 28), (512, 512, 28),
+        (512, 512, 14), (512, 512, 14), (512, 512, 14),
+    ]
+    return [
+        ConvShape(f"conv{i + 1}", cin, cout, size, size, kernel=3, stride=1, padding=1)
+        for i, (cin, cout, size) in enumerate(plan)
+    ]
+
+
+def _resnet50_convs() -> List[ConvShape]:
+    """The 53 convolutions of ResNet-50 (stem + 16 bottlenecks + 4
+    downsample projections)."""
+    layers: List[ConvShape] = [
+        ConvShape("conv1", 3, 64, 224, 224, kernel=7, stride=2, padding=3)
+    ]
+    # (blocks, in_ch entering stage, mid_ch, out_ch, spatial after stride)
+    stages = [
+        (3, 64, 64, 256, 56),
+        (4, 256, 128, 512, 28),
+        (6, 512, 256, 1024, 14),
+        (3, 1024, 512, 2048, 7),
+    ]
+    for stage_idx, (blocks, in_ch, mid, out, size) in enumerate(stages, start=2):
+        for block in range(blocks):
+            cin = in_ch if block == 0 else out
+            prefix = f"conv{stage_idx}_{block + 1}"
+            layers.append(
+                ConvShape(f"{prefix}a", cin, mid, size, size, kernel=1, stride=1, padding=0)
+            )
+            layers.append(
+                ConvShape(f"{prefix}b", mid, mid, size, size, kernel=3, stride=1, padding=1)
+            )
+            layers.append(
+                ConvShape(f"{prefix}c", mid, out, size, size, kernel=1, stride=1, padding=0)
+            )
+            if block == 0:
+                layers.append(
+                    ConvShape(
+                        f"{prefix}_proj", cin, out, size, size, kernel=1, stride=1, padding=0
+                    )
+                )
+    return layers
+
+
+def _gnmt_cells() -> List[LstmShape]:
+    """GNMT: 4 encoder + 4 decoder LSTM layers, 1024 hidden units."""
+    cells: List[LstmShape] = []
+    for i in range(4):
+        cells.append(LstmShape(f"encoder_l{i}", hidden=1024, input_size=1024, seq_len=30))
+    for i in range(4):
+        cells.append(LstmShape(f"decoder_l{i}", hidden=1024, input_size=1024, seq_len=30))
+    return cells
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """One evaluated network configuration.
+
+    Args:
+        name: label matching the paper's figures.
+        layers: conv or LSTM layer shapes, in order.
+        activation_profile: Fig. 12 activation-sparsity progression.
+        pruning: Fig. 13 schedule (None = dense weights).
+        gradient_source: "relu" (output-gradient sparsity = output
+            activation sparsity), "none" (BatchNorm kills it), or
+            "dropout" (constant rate).
+        mlp_like: True for LSTM networks (merged backward phase,
+            no dense first layer).
+    """
+
+    name: str
+    layers: Sequence[Layer]
+    activation_profile: ActivationProfile
+    pruning: Optional[PruningSchedule] = None
+    gradient_source: str = "relu"
+    mlp_like: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gradient_source not in ("relu", "none", "dropout"):
+            raise ValueError(f"unknown gradient source {self.gradient_source!r}")
+        if len(self.layers) != self.activation_profile.n_layers:
+            raise ValueError(
+                f"{self.name}: {len(self.layers)} layers vs profile with "
+                f"{self.activation_profile.n_layers}"
+            )
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def total_steps(self) -> int:
+        """Training length (epochs or iterations)."""
+        return self.activation_profile.n_steps
+
+    def weight_sparsity_at(self, step: float) -> float:
+        """Weight sparsity from the pruning schedule at a step."""
+        if self.pruning is None:
+            return 0.0
+        return self.pruning.sparsity_at(step)
+
+    def input_activation_sparsity(self, layer_index: int, step: float) -> float:
+        """Input-activation sparsity of a 0-based layer at a step."""
+        return self.activation_profile.sparsity_at(layer_index + 1, step)
+
+    def output_gradient_sparsity(self, layer_index: int, step: float) -> float:
+        """Output-gradient sparsity of a 0-based layer at a step."""
+        if self.gradient_source == "none":
+            return 0.0
+        if self.gradient_source == "dropout":
+            return self.activation_profile.sparsity_at(layer_index + 1, step)
+        # ReLU backward: gradient zeros match the *output* activation's,
+        # which is the next layer's input (last layer ~ its own input).
+        next_layer = min(layer_index + 2, self.activation_profile.n_layers)
+        return self.activation_profile.sparsity_at(next_layer, step)
+
+
+#: Dense VGG16 (evaluated dense: its activation sparsity is already high).
+VGG16 = NetworkModel(
+    name="VGG16",
+    layers=_vgg16_convs(),
+    activation_profile=vgg16_activation_profile(90),
+    pruning=None,
+    gradient_source="relu",
+)
+
+#: Dense ResNet-50 (BatchNorm: dense output gradients).
+RESNET50_DENSE = NetworkModel(
+    name="ResNet-50",
+    layers=_resnet50_convs(),
+    activation_profile=resnet50_dense_activation_profile(90),
+    pruning=None,
+    gradient_source="none",
+)
+
+#: Pruned ResNet-50 (80% weights at epoch 60, Fig. 13).
+RESNET50_PRUNED = NetworkModel(
+    name="ResNet-50 pruned",
+    layers=_resnet50_convs(),
+    activation_profile=resnet50_pruned_activation_profile(102),
+    pruning=RESNET50_PRUNING,
+    gradient_source="none",
+)
+
+#: Pruned GNMT (90% weights at iteration 190K; 20% dropout sparsity).
+GNMT = NetworkModel(
+    name="GNMT pruned",
+    layers=_gnmt_cells(),
+    activation_profile=gnmt_activation_profile(340_000),
+    pruning=GNMT_PRUNING,
+    gradient_source="dropout",
+    mlp_like=True,
+)

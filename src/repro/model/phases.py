@@ -1,0 +1,66 @@
+"""Phase → sparsity and phase → kernel-tile mapping (Table III).
+
+``phase_sparsity`` evaluates the operand-sparsity assignment documented
+in :mod:`repro.kernels.conv` for one (network, layer, phase, step):
+
+=================  ====================  =====================
+phase              broadcasted operand   non-broadcasted operand
+=================  ====================  =====================
+forward            input activations     weights
+backward input     output gradients      weights
+backward weight    input activations     output gradients
+=================  ====================  =====================
+
+``kernel_tile_for_phase`` maps each phase onto the register tiling its
+DNNL kernel uses — forward kernels run the wide explicit-broadcast
+pattern, the backward kernels run the tall embedded-broadcast patterns
+the paper's Figs. 17-19 study.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.kernels.conv import Phase
+from repro.kernels.tiling import BroadcastPattern, RegisterTile
+from repro.model.networks import NetworkModel
+
+
+def phase_sparsity(
+    network: NetworkModel, layer_index: int, phase: Phase, step: float
+) -> Tuple[float, float]:
+    """(broadcasted, non-broadcasted) sparsity for one layer GEMM.
+
+    Args:
+        network: the network model.
+        layer_index: 0-based layer index.
+        phase: the GEMM phase.
+        step: training step (epoch/iteration); use the final step for
+            inference.
+    """
+    s_act = network.input_activation_sparsity(layer_index, step)
+    s_grad = network.output_gradient_sparsity(layer_index, step)
+    s_weights = network.weight_sparsity_at(step)
+    if phase == Phase.FORWARD:
+        return s_act, s_weights
+    if phase == Phase.BACKWARD_INPUT:
+        return s_grad, s_weights
+    return s_act, s_grad
+
+
+#: Phase → register tiling of the DNNL kernel computing it.
+_PHASE_TILES = {
+    Phase.FORWARD: RegisterTile(4, 6, BroadcastPattern.EXPLICIT),
+    Phase.BACKWARD_INPUT: RegisterTile(28, 1, BroadcastPattern.EMBEDDED),
+    Phase.BACKWARD_WEIGHT: RegisterTile(14, 2, BroadcastPattern.EMBEDDED),
+}
+
+#: LSTM cells use the wide explicit-broadcast tiling for all phases.
+_LSTM_TILE = RegisterTile(4, 6, BroadcastPattern.EXPLICIT)
+
+
+def kernel_tile_for_phase(phase: Phase, lstm: bool = False) -> RegisterTile:
+    """Register tile of the kernel implementing one phase."""
+    if lstm:
+        return _LSTM_TILE
+    return _PHASE_TILES[phase]

@@ -1,0 +1,68 @@
+"""Per-layer memory traffic for the roofline cap.
+
+SAVE reduces *computation*, never traffic — pruned models stay in dense
+form during training (Sec. II-D), so a layer's bytes are independent of
+sparsity.  As SAVE shrinks compute, memory becomes the binding
+constraint ("at high sparsity, the speedup reaches a ceiling because
+the execution becomes memory, frontend, or latency bound") — and for
+LSTM cells, whose compute-to-memory ratio is low, it binds almost
+immediately, capping GNMT's speedups below the CNNs' (Sec. VII-A).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.kernels.conv import ConvShape, Phase
+from repro.kernels.lstm import LstmShape
+
+Layer = Union[ConvShape, LstmShape]
+
+
+def layer_traffic_bytes(
+    layer: Layer, phase: Phase, batch: int = 1, element_bytes: int = 4
+) -> float:
+    """Aggregate DRAM-level traffic of one layer for one phase.
+
+    Weights move once (shared across the batch via the L3); activations
+    and gradients move once per sample; the phase's output is written
+    once.  This is the streaming lower bound a well-blocked GEMM
+    achieves.
+    """
+    if isinstance(layer, LstmShape):
+        weights = layer.weight_count * element_bytes
+        # Per time step: x and h vectors in, gate activations out.
+        acts = (layer.input_size + layer.hidden) * batch * element_bytes
+        gates = 4 * layer.hidden * batch * element_bytes
+        per_step = weights + acts + gates
+        total = per_step * layer.seq_len
+        if phase != Phase.FORWARD:
+            # Backward touches weights (transposed) plus gradients; the
+            # weight stream dominates and is shared by the two backward
+            # GEMMs, so each carries ~1.25x the forward traffic.
+            total *= 1.25
+        return float(total)
+
+    weights = layer.weight_bytes(element_bytes)
+    input_acts = layer.activation_bytes(batch, element_bytes)
+    output = layer.output_bytes(batch, element_bytes)
+    if phase == Phase.FORWARD:
+        return float(weights + input_acts + output)
+    if phase == Phase.BACKWARD_INPUT:
+        # Read weights + output gradients, write input gradients.
+        return float(weights + output + input_acts)
+    # BACKWARD_WEIGHT: read input acts + output gradients, write dW.
+    return float(input_acts + output + weights)
+
+
+def layer_memory_time_ns(
+    layer: Layer,
+    phase: Phase,
+    batch: int,
+    bandwidth_bytes_per_ns: float,
+    element_bytes: int = 4,
+) -> float:
+    """Streaming time of one layer phase at a given effective bandwidth."""
+    if bandwidth_bytes_per_ns <= 0:
+        raise ValueError("bandwidth must be positive")
+    return layer_traffic_bytes(layer, phase, batch, element_bytes) / bandwidth_bytes_per_ns

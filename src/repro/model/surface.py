@@ -1,0 +1,213 @@
+"""2D sparsity surfaces — the paper's sampling methodology (Sec. VI).
+
+"For each layer, we simulate SAVE with both weight and activation
+sparsities of 0%-90% at 10% intervals ... The result is a 2D surface of
+execution times ... we linearly map the profiled weight and activation
+sparsities to the 2D surface" — we do exactly this: the detailed
+pipeline simulates a kernel's steady-state inner loop at grid points of
+(broadcasted, non-broadcasted) sparsity, and whole-network estimators
+interpolate bilinearly.
+
+Because each grid point is a full cycle-level simulation, surfaces are
+memoised in a :class:`SurfaceStore` (JSON on disk), keyed by kernel
+tiling, precision, machine configuration and grid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import MachineConfig
+from repro.core.pipeline import simulate
+from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
+from repro.kernels.tiling import Precision, RegisterTile
+
+#: Bump when the kernel generator's layout/µop stream changes, so
+#: stale cached surfaces are never reused.
+TRACE_GENERATOR_VERSION = 2
+
+#: The paper's grid: 0%-90% at 10% intervals.
+PAPER_LEVELS = tuple(round(0.1 * i, 1) for i in range(10))
+
+#: Coarse grid for quick runs (tests, default benchmarks).
+COARSE_LEVELS = (0.0, 0.3, 0.6, 0.9)
+
+
+def machine_label(machine: MachineConfig) -> str:
+    """Stable identity string for cache keys and reports."""
+    core = machine.core
+    save = machine.save
+    if not save.enabled:
+        return f"baseline-{core.num_vpus}vpu@{core.freq_ghz}"
+    return (
+        f"save-{save.coalescing.value}"
+        f"{'+lwd' if save.lane_wise_dependence else ''}"
+        f"{'+mp' if save.mixed_precision_technique else ''}"
+        f"-b${save.broadcast_cache.name.lower()}"
+        f"-{core.num_vpus}vpu@{core.freq_ghz}"
+    )
+
+
+def simulate_point(
+    tile: RegisterTile,
+    precision: Precision,
+    machine: MachineConfig,
+    bs: float,
+    nbs: float,
+    k_steps: int = 24,
+    seed: int = 0,
+) -> float:
+    """One grid point: steady-state nanoseconds per VFMA instruction."""
+    trace = generate_gemm_trace(
+        GemmKernelConfig(
+            name="surface",
+            tile=tile,
+            k_steps=k_steps,
+            precision=precision,
+            broadcast_sparsity=bs,
+            nonbroadcast_sparsity=nbs,
+            seed=seed,
+        )
+    )
+    result = simulate(trace, machine, keep_state=False)
+    return result.time_ns / result.fma_count
+
+
+@dataclass
+class SparsitySurface:
+    """Execution time over the (BS, NBS) grid for one kernel/machine."""
+
+    levels: Sequence[float]
+    #: ns per VFMA, indexed ``[bs_index, nbs_index]``.
+    ns_per_fma: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.ns_per_fma = np.asarray(self.ns_per_fma, dtype=float)
+        n = len(self.levels)
+        if self.ns_per_fma.shape != (n, n):
+            raise ValueError("surface shape must match the grid")
+
+    def interpolate(self, bs: float, nbs: float) -> float:
+        """Bilinear interpolation, clamped to the grid's range."""
+        return float(_bilinear(self.levels, self.ns_per_fma, bs, nbs))
+
+    def to_json(self) -> dict:
+        return {
+            "levels": list(self.levels),
+            "ns_per_fma": self.ns_per_fma.tolist(),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SparsitySurface":
+        return cls(
+            levels=payload["levels"],
+            ns_per_fma=np.array(payload["ns_per_fma"]),
+            label=payload.get("label", ""),
+        )
+
+    @classmethod
+    def build(
+        cls,
+        tile: RegisterTile,
+        precision: Precision,
+        machine: MachineConfig,
+        levels: Sequence[float] = COARSE_LEVELS,
+        k_steps: int = 24,
+        seed: int = 0,
+    ) -> "SparsitySurface":
+        """Simulate the full grid (the expensive path; memoise it)."""
+        n = len(levels)
+        values = np.zeros((n, n))
+        for i, bs in enumerate(levels):
+            for j, nbs in enumerate(levels):
+                values[i, j] = simulate_point(
+                    tile, precision, machine, bs, nbs, k_steps=k_steps, seed=seed
+                )
+        return cls(levels=levels, ns_per_fma=values, label=machine_label(machine))
+
+
+def _bilinear(levels: Sequence[float], grid: np.ndarray, x: float, y: float) -> float:
+    levels = np.asarray(levels, dtype=float)
+    if len(levels) == 1:
+        return float(grid[0, 0])
+    x = float(np.clip(x, levels[0], levels[-1]))
+    y = float(np.clip(y, levels[0], levels[-1]))
+    xi = int(np.searchsorted(levels, x) - 1)
+    yi = int(np.searchsorted(levels, y) - 1)
+    xi = max(0, min(xi, len(levels) - 2))
+    yi = max(0, min(yi, len(levels) - 2))
+    x0, x1 = levels[xi], levels[xi + 1]
+    y0, y1 = levels[yi], levels[yi + 1]
+    tx = 0.0 if x1 == x0 else (x - x0) / (x1 - x0)
+    ty = 0.0 if y1 == y0 else (y - y0) / (y1 - y0)
+    v00, v01 = grid[xi, yi], grid[xi, yi + 1]
+    v10, v11 = grid[xi + 1, yi], grid[xi + 1, yi + 1]
+    return (
+        v00 * (1 - tx) * (1 - ty)
+        + v01 * (1 - tx) * ty
+        + v10 * tx * (1 - ty)
+        + v11 * tx * ty
+    )
+
+
+class SurfaceStore:
+    """Disk-backed memoisation of sparsity surfaces."""
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        if directory is None:
+            directory = Path(__file__).resolve().parents[3] / ".surface_cache"
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._memory: dict = {}
+
+    def _key(
+        self,
+        tile: RegisterTile,
+        precision: Precision,
+        machine: MachineConfig,
+        levels: Sequence[float],
+        k_steps: int,
+    ) -> str:
+        raw = json.dumps(
+            {
+                "generator": TRACE_GENERATOR_VERSION,
+                "tile": [tile.rows, tile.col_vectors, tile.pattern.value],
+                "precision": precision.value,
+                "machine": machine_label(machine),
+                "levels": list(levels),
+                "k_steps": k_steps,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(raw.encode()).hexdigest()[:24]
+
+    def get(
+        self,
+        tile: RegisterTile,
+        precision: Precision,
+        machine: MachineConfig,
+        levels: Sequence[float] = COARSE_LEVELS,
+        k_steps: int = 24,
+    ) -> SparsitySurface:
+        """Fetch (memory → disk → simulate) a surface."""
+        key = self._key(tile, precision, machine, levels, k_steps)
+        if key in self._memory:
+            return self._memory[key]
+        path = self.directory / f"{key}.json"
+        if path.exists():
+            surface = SparsitySurface.from_json(json.loads(path.read_text()))
+        else:
+            surface = SparsitySurface.build(
+                tile, precision, machine, levels=levels, k_steps=k_steps
+            )
+            path.write_text(json.dumps(surface.to_json()))
+        self._memory[key] = surface
+        return surface

@@ -1,0 +1,56 @@
+"""Sparsity substrate.
+
+Everything the evaluation needs to know about *where zeros come from*:
+
+* :mod:`repro.sparsity.generators` — deterministic random generation of
+  unstructured-sparse vectors/matrices (the paper sweeps uniform random
+  sparsity on a 10%-step grid, Sec. VI).
+* :mod:`repro.sparsity.stats` — sparsity measurement and lane-level
+  effectuality statistics.
+* :mod:`repro.sparsity.pruning` — magnitude pruning and the Zhu–Gupta
+  polynomial schedules behind Fig. 13.
+* :mod:`repro.sparsity.profiles` — the per-layer / per-epoch activation
+  sparsity progressions behind Fig. 12 and the end-to-end evaluation.
+"""
+
+from repro.sparsity.generators import (
+    sparse_matrix,
+    sparse_vector,
+    sparsify,
+    zero_mask,
+)
+from repro.sparsity.pruning import (
+    GNMT_PRUNING,
+    RESNET50_PRUNING,
+    PruningSchedule,
+    magnitude_prune,
+)
+from repro.sparsity.profiles import (
+    ActivationProfile,
+    gnmt_activation_profile,
+    resnet50_dense_activation_profile,
+    resnet50_pruned_activation_profile,
+    vgg16_activation_profile,
+)
+from repro.sparsity.stats import (
+    effectual_lane_fraction,
+    measured_sparsity,
+)
+
+__all__ = [
+    "ActivationProfile",
+    "GNMT_PRUNING",
+    "PruningSchedule",
+    "RESNET50_PRUNING",
+    "effectual_lane_fraction",
+    "gnmt_activation_profile",
+    "magnitude_prune",
+    "measured_sparsity",
+    "resnet50_dense_activation_profile",
+    "resnet50_pruned_activation_profile",
+    "sparse_matrix",
+    "sparse_vector",
+    "sparsify",
+    "vgg16_activation_profile",
+    "zero_mask",
+]

@@ -1,0 +1,150 @@
+"""Per-layer, per-epoch activation-sparsity progressions (Fig. 12).
+
+The paper obtains these curves by profiling real training runs (VGG16
+from Rhu et al. [51]; ResNet-50 by profiling their own training with and
+without pruning; GNMT's dropout keeps activation sparsity constant at
+20%).  We do not have those training runs, so the profiles here are
+parametric reconstructions that preserve the properties the evaluation
+depends on (documented in DESIGN.md):
+
+* VGG16 — high activation sparsity, rising with depth into the
+  40–90% band, increasing mildly as training converges.
+* ResNet-50 — markedly lower sparsity than VGG16 (residual connections
+  add positive bias before ReLU); layers that consume the output of a
+  residual add dip lower than layers inside a bottleneck.
+* Pruned ResNet-50 — the dense profile plus a small upward shift once
+  pruning starts driving pre-activations to zero.
+* GNMT — constant 20% from dropout.
+
+The first convolution of a CNN consumes the raw image and therefore has
+0% input-activation sparsity in every profile (the paper separates the
+"1st layer" in Fig. 14 for exactly this reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.sparsity.pruning import RESNET50_PRUNING
+
+SparsityFn = Callable[[int, float], float]
+
+
+@dataclass(frozen=True)
+class ActivationProfile:
+    """Activation sparsity as a function of (layer, training progress).
+
+    Args:
+        name: human-readable profile name.
+        n_layers: number of layers (1-indexed in :meth:`sparsity_at`).
+        n_steps: number of training steps (epochs or iterations).
+        fn: callable ``(layer, step) -> sparsity``.
+        first_layer_dense: if True, layer 1 always reports 0% sparsity.
+    """
+
+    name: str
+    n_layers: int
+    n_steps: int
+    fn: SparsityFn
+    first_layer_dense: bool = True
+
+    def sparsity_at(self, layer: int, step: float) -> float:
+        """Input-activation sparsity of ``layer`` (1-based) at ``step``."""
+        if not 1 <= layer <= self.n_layers:
+            raise ValueError(f"layer must be in [1, {self.n_layers}], got {layer}")
+        if not 0 <= step <= self.n_steps:
+            raise ValueError(f"step must be in [0, {self.n_steps}], got {step}")
+        if self.first_layer_dense and layer == 1:
+            return 0.0
+        value = self.fn(layer, step)
+        return float(min(max(value, 0.0), 0.95))
+
+    def table(self, step_samples: int = 0) -> np.ndarray:
+        """Matrix of sparsities, shape ``(n_layers, steps)``.
+
+        Args:
+            step_samples: number of evenly spaced steps (0 = every step,
+                capped at 128 samples for very long iteration counts).
+        """
+        if step_samples <= 0:
+            step_samples = min(self.n_steps, 128)
+        steps = np.linspace(0, self.n_steps, step_samples)
+        return np.array(
+            [
+                [self.sparsity_at(layer, step) for step in steps]
+                for layer in range(1, self.n_layers + 1)
+            ]
+        )
+
+    def final_sparsity(self, layer: int) -> float:
+        """Sparsity at the end of training (used for inference runs)."""
+        return self.sparsity_at(layer, self.n_steps)
+
+
+def _converge(step: float, n_steps: int, low: float, high: float) -> float:
+    """Saturating ramp from ``low`` to ``high`` over training."""
+    progress = min(max(step / n_steps, 0.0), 1.0)
+    return low + (high - low) * np.sqrt(progress)
+
+
+def vgg16_activation_profile(n_epochs: int = 90) -> ActivationProfile:
+    """VGG16 profile: deep layers reach ~90%, early layers ~40-50%."""
+
+    def fn(layer: int, step: float) -> float:
+        depth = (layer - 1) / 12  # 13 conv layers, 0..1
+        base = 0.42 + 0.45 * depth
+        scale = _converge(step, n_epochs, 0.82, 1.0)
+        return base * scale
+
+    return ActivationProfile("dense VGG16", 13, n_epochs, fn)
+
+
+def _resnet50_dense_fn(n_epochs: int) -> SparsityFn:
+    def fn(layer: int, step: float) -> float:
+        depth = (layer - 1) / 52  # 53 conv layers, 0..1
+        base = 0.28 + 0.30 * depth
+        # First conv of each bottleneck consumes a residual-add output:
+        # positive bias before ReLU lowers its input sparsity.
+        if (layer - 1) % 3 == 1:
+            base *= 0.55
+        scale = _converge(step, n_epochs, 0.85, 1.0)
+        return base * scale
+
+    return fn
+
+
+def resnet50_dense_activation_profile(n_epochs: int = 90) -> ActivationProfile:
+    """Dense ResNet-50: activation sparsity well below VGG16's."""
+    return ActivationProfile(
+        "dense ResNet-50", 53, n_epochs, _resnet50_dense_fn(n_epochs)
+    )
+
+
+def resnet50_pruned_activation_profile(n_epochs: int = 102) -> ActivationProfile:
+    """Pruned ResNet-50: dense profile plus a pruning-driven uplift."""
+    dense_fn = _resnet50_dense_fn(n_epochs)
+
+    def fn(layer: int, step: float) -> float:
+        uplift = 0.08 * (RESNET50_PRUNING.sparsity_at(step) / 0.80)
+        return dense_fn(layer, step) + uplift
+
+    return ActivationProfile("pruned ResNet-50", 53, n_epochs, fn)
+
+
+def gnmt_activation_profile(n_iterations: int = 340_000) -> ActivationProfile:
+    """GNMT: constant 20% activation sparsity from dropout.
+
+    GNMT does not use ReLU; its only activation sparsity is dropout's,
+    at a constant 20% rate, and it applies to every cell including the
+    first (no dense first layer).
+    """
+
+    def fn(layer: int, step: float) -> float:
+        return 0.20
+
+    return ActivationProfile(
+        "pruned GNMT", 8, n_iterations, fn, first_layer_dense=False
+    )

@@ -1,0 +1,64 @@
+"""Sparsity measurement and lane-level effectuality statistics.
+
+These helpers connect tensor-level sparsity to the lane-level quantities
+SAVE's scheduler sees: a VFMA lane is *effectual* iff both multiplicand
+elements are non-zero and the write-mask bit is set (Sec. III).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def measured_sparsity(values: np.ndarray) -> float:
+    """Fraction of exactly-zero elements in ``values``."""
+    arr = np.asarray(values)
+    if arr.size == 0:
+        raise ValueError("cannot measure sparsity of an empty array")
+    return float(np.count_nonzero(arr == 0) / arr.size)
+
+
+def effectual_lane_fraction(
+    a: np.ndarray, b: np.ndarray, write_mask: Optional[np.ndarray] = None
+) -> float:
+    """Fraction of lanes where both multiplicands are non-zero.
+
+    Args:
+        a, b: multiplicand arrays of identical shape.
+        write_mask: optional boolean predication mask (True = enabled).
+
+    This is the density of the Effectual Lane Mask an MGU would produce.
+    """
+    a_arr = np.asarray(a)
+    b_arr = np.asarray(b)
+    if a_arr.shape != b_arr.shape:
+        raise ValueError("multiplicand shapes differ")
+    effectual = (a_arr != 0) & (b_arr != 0)
+    if write_mask is not None:
+        effectual &= np.asarray(write_mask, dtype=bool)
+    return float(np.count_nonzero(effectual) / effectual.size)
+
+
+def expected_effectual_fraction(sparsity_a: float, sparsity_b: float) -> float:
+    """Expected effectual-lane density for independent uniform sparsity.
+
+    With independent zero placement the probability that a lane is
+    effectual is ``(1 - s_a) * (1 - s_b)``.
+    """
+    return (1.0 - sparsity_a) * (1.0 - sparsity_b)
+
+
+def accumulator_lane_skip_probability(ml_effectual_density: float) -> float:
+    """Probability a mixed-precision *accumulator* lane can be skipped.
+
+    An FP32 accumulator lane of a VDPBF16 is ineffectual only when both
+    of its BF16 multiplicand lanes are ineffectual (Sec. V) — so with
+    independent per-ML effectuality ``d`` the skip probability is
+    ``(1 - d)^2``.  This quantifies the paper's observation that plain
+    vertical coalescing only exploits the *square* of the sparsity.
+    """
+    if not 0.0 <= ml_effectual_density <= 1.0:
+        raise ValueError("density must be in [0, 1]")
+    return (1.0 - ml_effectual_density) ** 2

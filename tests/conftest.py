@@ -1,0 +1,13 @@
+"""Test-suite configuration: hypothesis profiles."""
+
+from hypothesis import HealthCheck, settings
+
+# Simulation-backed property tests legitimately take longer than
+# hypothesis's default deadline; disable it suite-wide and keep example
+# counts modest (individual tests override where they need more).
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

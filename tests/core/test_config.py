@@ -1,0 +1,75 @@
+"""Tests for machine configurations."""
+
+import pytest
+
+from repro.core.config import (
+    BASELINE_2VPU,
+    SAVE_1VPU,
+    SAVE_2VPU,
+    CoalescingScheme,
+    CoreConfig,
+    MachineConfig,
+    SaveConfig,
+)
+
+
+class TestPresets:
+    def test_baseline_matches_table1(self):
+        core = BASELINE_2VPU.core
+        assert core.issue_width == 5
+        assert core.rs_entries == 97
+        assert core.rob_entries == 224
+        assert core.num_vpus == 2
+        assert core.freq_ghz == 1.7
+        assert not BASELINE_2VPU.save.enabled
+
+    def test_one_vpu_boosted(self):
+        assert SAVE_1VPU.core.num_vpus == 1
+        assert SAVE_1VPU.core.freq_ghz == 2.1
+
+    def test_save_defaults(self):
+        save = SAVE_2VPU.save
+        assert save.enabled
+        assert save.coalescing == CoalescingScheme.ROTATE_VERTICAL
+        assert save.lane_wise_dependence
+        assert save.mixed_precision_technique
+        assert save.broadcast_cache_entries == 32
+        assert save.broadcast_cache_ports == 4
+        assert save.mgu_count == 5
+
+
+class TestLatencies:
+    def test_fma_latency_fp32(self):
+        assert BASELINE_2VPU.fma_latency(mixed=False) == 4
+
+    def test_fma_latency_mixed(self):
+        assert BASELINE_2VPU.fma_latency(mixed=True) == 6
+
+    def test_hc_adds_crossbar_latency(self):
+        machine = SAVE_2VPU.with_save(coalescing=CoalescingScheme.HORIZONTAL)
+        assert machine.fma_latency(mixed=False) == 4 + 6
+
+    def test_hc_latency_not_applied_to_baseline(self):
+        machine = BASELINE_2VPU.with_save(coalescing=CoalescingScheme.HORIZONTAL)
+        assert machine.fma_latency(mixed=False) == 4
+
+
+class TestOverrides:
+    def test_with_save_returns_copy(self):
+        modified = SAVE_2VPU.with_save(lane_wise_dependence=False)
+        assert not modified.save.lane_wise_dependence
+        assert SAVE_2VPU.save.lane_wise_dependence  # original untouched
+
+    def test_with_core(self):
+        modified = SAVE_2VPU.with_core(num_vpus=1, freq_ghz=2.1)
+        assert modified.core.num_vpus == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreConfig(num_vpus=0)
+        with pytest.raises(ValueError):
+            CoreConfig(freq_ghz=-1)
+        with pytest.raises(ValueError):
+            SaveConfig(rotation_states=2)
+        with pytest.raises(ValueError):
+            SaveConfig(mgu_count=0)

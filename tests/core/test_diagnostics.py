@@ -1,0 +1,65 @@
+"""Tests for bottleneck diagnostics."""
+
+import pytest
+
+from repro.core import BASELINE_2VPU, SAVE_2VPU, simulate
+from repro.core.diagnostics import BottleneckReport, analyze, explain
+from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
+from repro.kernels.tiling import BroadcastPattern, RegisterTile
+
+
+def run(machine, bs=0.0, nbs=0.0):
+    trace = generate_gemm_trace(
+        GemmKernelConfig(
+            name="diag",
+            tile=RegisterTile(4, 6, BroadcastPattern.EXPLICIT),
+            k_steps=24,
+            broadcast_sparsity=bs,
+            nonbroadcast_sparsity=nbs,
+            seed=0,
+        )
+    )
+    return simulate(trace, machine, keep_state=False)
+
+
+class TestAnalyze:
+    def test_dense_baseline_vpu_bound(self):
+        report = analyze(run(BASELINE_2VPU), BASELINE_2VPU)
+        assert report.binding == "vpu"
+        assert report.vpu_utilisation > 0.85
+
+    def test_sparse_save_not_vpu_bound(self):
+        report = analyze(run(SAVE_2VPU, bs=0.7, nbs=0.7), SAVE_2VPU)
+        assert report.binding != "vpu"
+        assert report.vpu_utilisation < 0.5
+
+    def test_utilisations_bounded(self):
+        report = analyze(run(SAVE_2VPU, nbs=0.5), SAVE_2VPU)
+        for value in (
+            report.vpu_utilisation,
+            report.frontend_utilisation,
+            report.l1_port_utilisation,
+            report.lane_utilisation,
+        ):
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_lane_utilisation_drops_with_sparsity(self):
+        dense = analyze(run(SAVE_2VPU), SAVE_2VPU)
+        sparse = analyze(run(SAVE_2VPU, nbs=0.7), SAVE_2VPU)
+        assert sparse.lane_utilisation <= dense.lane_utilisation
+
+
+class TestExplain:
+    def test_mentions_key_quantities(self):
+        result = run(SAVE_2VPU, bs=0.4, nbs=0.4)
+        text = explain(result, SAVE_2VPU)
+        assert "VFMAs retired" in text
+        assert "binding" in text
+        assert "B$ hit rate" in text
+        assert str(result.cycles) in text
+
+    def test_baseline_omits_save_sections(self):
+        result = run(BASELINE_2VPU)
+        text = explain(result, BASELINE_2VPU)
+        assert "B$ hit rate" not in text
+        assert "mean CW" not in text

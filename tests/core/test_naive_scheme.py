@@ -1,0 +1,81 @@
+"""Tests for the naive lane-skip strawman (paper's introduction)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BASELINE_2VPU, SAVE_2VPU, simulate
+from repro.core.config import CoalescingScheme
+from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
+from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
+
+NAIVE = SAVE_2VPU.with_save(coalescing=CoalescingScheme.NAIVE)
+
+
+def trace(bs=0.0, nbs=0.0, k_steps=16, precision=Precision.FP32, seed=0):
+    return generate_gemm_trace(
+        GemmKernelConfig(
+            name="naive",
+            tile=RegisterTile(4, 6, BroadcastPattern.EXPLICIT),
+            k_steps=k_steps,
+            precision=precision,
+            broadcast_sparsity=bs,
+            nonbroadcast_sparsity=nbs,
+            seed=seed,
+        )
+    )
+
+
+class TestNaiveTransparency:
+    @pytest.mark.parametrize("bs,nbs", [(0.0, 0.0), (0.5, 0.0), (0.0, 0.5), (0.7, 0.7)])
+    def test_matches_reference(self, bs, nbs):
+        t = trace(bs=bs, nbs=nbs)
+        reference = t.reference_result()
+        result = simulate(t, NAIVE)
+        for reg in range(32):
+            assert np.array_equal(
+                reference.read_vreg(reg), result.final_state.read_vreg(reg)
+            )
+
+    def test_mixed_precision_supported(self):
+        t = trace(bs=0.3, nbs=0.5, precision=Precision.MIXED)
+        reference = t.reference_result()
+        result = simulate(t, NAIVE)
+        for reg in range(32):
+            assert np.array_equal(
+                reference.read_vreg(reg), result.final_state.read_vreg(reg)
+            )
+
+
+class TestNaiveBehaviour:
+    def test_nbs_alone_barely_helps(self):
+        # The paper's strawman argument: "the vector instruction still
+        # has to wait for the other lanes".
+        base = simulate(trace(nbs=0.6), BASELINE_2VPU, keep_state=False)
+        naive = simulate(trace(nbs=0.6), NAIVE, keep_state=False)
+        assert naive.time_ns >= base.time_ns * 0.93
+
+    def test_full_save_beats_naive_on_nbs(self):
+        naive = simulate(trace(nbs=0.6), NAIVE, keep_state=False)
+        full = simulate(trace(nbs=0.6), SAVE_2VPU, keep_state=False)
+        assert full.time_ns < naive.time_ns
+
+    def test_bs_still_skips_whole_instructions(self):
+        result = simulate(trace(bs=1.0, k_steps=10), NAIVE, keep_state=False)
+        assert result.skipped_fmas == result.fma_count
+        assert result.vpu_ops == 0
+
+    def test_partial_bs_helps(self):
+        base = simulate(trace(bs=0.5), BASELINE_2VPU, keep_state=False)
+        naive = simulate(trace(bs=0.5), NAIVE, keep_state=False)
+        assert naive.time_ns < base.time_ns
+
+    def test_vpu_ops_count_surviving_instructions(self):
+        result = simulate(trace(bs=0.5, k_steps=20), NAIVE, keep_state=False)
+        assert result.vpu_ops == result.fma_count - result.skipped_fmas
+
+    def test_lane_accounting_consistent(self):
+        result = simulate(trace(bs=0.3, nbs=0.3), NAIVE, keep_state=False)
+        assert (
+            result.effectual_lanes + result.pass_through_lanes
+            == result.fma_count * 16
+        )

@@ -1,0 +1,195 @@
+"""Edge-case and robustness tests for the pipeline simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import BASELINE_2VPU, SAVE_2VPU, PipelineSimulator, simulate
+from repro.isa.registers import Memory
+from repro.isa.uops import (
+    MemOperand,
+    RegOperand,
+    kmov,
+    scalar_op,
+    vbcast,
+    vfma,
+    vload,
+    vstore,
+    vzero,
+)
+from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
+from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
+from repro.kernels.trace import KernelTrace, count_uops
+
+
+def make_trace(uops, memory=None, name="edge"):
+    return KernelTrace(
+        name=name,
+        uops=uops,
+        memory=memory if memory is not None else Memory(),
+        regions={},
+        stats=count_uops(uops),
+        meta={},
+    )
+
+
+def gemm(rows=2, cols=2, k_steps=4, **kwargs):
+    return generate_gemm_trace(
+        GemmKernelConfig(
+            name="edge",
+            tile=RegisterTile(rows, cols, kwargs.pop("pattern", BroadcastPattern.EXPLICIT)),
+            k_steps=k_steps,
+            **kwargs,
+        )
+    )
+
+
+class TestTinyResources:
+    def test_tiny_rob_still_correct(self):
+        trace = gemm(k_steps=8, nonbroadcast_sparsity=0.5)
+        machine = SAVE_2VPU.with_core(rob_entries=8)
+        reference = trace.reference_result()
+        result = simulate(trace, machine)
+        for reg in range(32):
+            assert np.array_equal(
+                reference.read_vreg(reg), result.final_state.read_vreg(reg)
+            )
+
+    def test_tiny_rob_slower(self):
+        trace = gemm(rows=4, cols=4, k_steps=16)
+        big = simulate(trace, SAVE_2VPU, keep_state=False)
+        small = simulate(trace, SAVE_2VPU.with_core(rob_entries=8), keep_state=False)
+        assert small.cycles >= big.cycles
+        assert small.stall_rob_cycles > 0
+
+    def test_tiny_rs_still_correct(self):
+        trace = gemm(k_steps=8, broadcast_sparsity=0.4)
+        machine = SAVE_2VPU.with_core(rs_entries=4)
+        reference = trace.reference_result()
+        result = simulate(trace, machine)
+        assert np.array_equal(
+            reference.read_vreg(0), result.final_state.read_vreg(0)
+        )
+
+    def test_single_issue(self):
+        trace = gemm(k_steps=6)
+        machine = SAVE_2VPU.with_core(issue_width=1)
+        result = simulate(trace, machine, keep_state=False)
+        # Front-end bound: at most one µop per cycle.
+        assert result.cycles >= result.uop_count
+
+    def test_single_scalar_port(self):
+        trace = make_trace([scalar_op() for _ in range(20)])
+        machine = BASELINE_2VPU.with_core(scalar_ports=1)
+        result = simulate(trace, machine, warm_level=None, keep_state=False)
+        assert result.cycles >= 20
+
+
+class TestDegenerateTraces:
+    def test_empty_ish_trace(self):
+        trace = make_trace([scalar_op()])
+        result = simulate(trace, SAVE_2VPU, warm_level=None)
+        assert result.cycles >= 1
+
+    def test_single_fma(self):
+        memory = Memory()
+        memory.write_array(0x0, [2.0] * 16, stride=4)
+        trace = make_trace([vzero(0), vload(1, 0x0), vfma(0, RegOperand(1), RegOperand(1))], memory)
+        result = simulate(trace, SAVE_2VPU, warm_level=None)
+        assert np.array_equal(
+            result.final_state.read_vreg(0), np.full(16, 4.0, dtype=np.float32)
+        )
+
+    def test_store_of_unwritten_register(self):
+        trace = make_trace([vstore(5, 0x100)])
+        result = simulate(trace, SAVE_2VPU, warm_level=None)
+        assert not result.final_state.memory.read_vector(0x100, 16, 4).any()
+
+    def test_fma_on_unwritten_registers(self):
+        trace = make_trace([vfma(0, RegOperand(1), RegOperand(2))])
+        result = simulate(trace, SAVE_2VPU, warm_level=None)
+        # 0 += 0*0: still zero, and fully skipped by SAVE.
+        assert not result.final_state.read_vreg(0).any()
+        assert result.skipped_fmas == 1
+
+    def test_full_vector_memory_operand(self):
+        memory = Memory()
+        memory.write_array(0x0, range(16), stride=4)
+        trace = make_trace(
+            [vzero(0), vbcast(1, 0x4), vfma(0, MemOperand(0x0), RegOperand(1))],
+            memory,
+        )
+        reference = trace.reference_result()
+        result = simulate(trace, SAVE_2VPU, warm_level=None)
+        assert np.array_equal(reference.read_vreg(0), result.final_state.read_vreg(0))
+
+    def test_one_by_one_tile(self):
+        trace = gemm(rows=1, cols=1, k_steps=3)
+        reference = trace.reference_result()
+        result = simulate(trace, SAVE_2VPU)
+        assert np.array_equal(reference.read_vreg(0), result.final_state.read_vreg(0))
+
+    def test_kmov_chain(self):
+        trace = make_trace(
+            [
+                vzero(0),
+                vbcast(1, 0x0),
+                kmov(1, 0xF0F0),
+                vfma(0, RegOperand(1), RegOperand(1), wmask=1),
+            ]
+        )
+        result = simulate(trace, SAVE_2VPU, warm_level=None)
+        reference = trace.reference_result()
+        assert np.array_equal(reference.read_vreg(0), result.final_state.read_vreg(0))
+
+
+class TestGuards:
+    def test_max_cycles_raises(self):
+        trace = gemm(k_steps=16)
+        sim = PipelineSimulator(trace, SAVE_2VPU, max_cycles=5)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            sim.run()
+
+    @pytest.mark.parametrize("level", ["l1", "l2", "l3", None])
+    def test_warm_levels(self, level):
+        trace = gemm(k_steps=4)
+        result = simulate(trace, SAVE_2VPU, warm_level=level, keep_state=False)
+        assert result.cycles > 0
+
+    def test_cold_caches_slower(self):
+        trace = gemm(rows=4, cols=4, k_steps=16)
+        warm = simulate(trace, SAVE_2VPU, warm_level="l1", keep_state=False)
+        cold = simulate(trace, SAVE_2VPU, warm_level=None, keep_state=False)
+        assert cold.cycles >= warm.cycles
+
+
+class TestLsuThrottling:
+    def test_l1_ports_limit_load_rate(self):
+        memory = Memory()
+        for i in range(64):
+            memory.write(i * 64, 1.0)
+        # 32 independent loads into distinct registers (reusing 8 regs).
+        uops = [vload(i % 8, (i % 32) * 64) for i in range(32)]
+        trace = make_trace(uops, memory)
+        result = simulate(trace, BASELINE_2VPU, warm_level="l1", keep_state=False)
+        # 2 ports: at least 16 service cycles plus latency.
+        assert result.cycles >= 16
+
+    def test_store_port_serialises(self):
+        uops = [vzero(0)] + [vstore(0, i * 64) for i in range(10)]
+        trace = make_trace(uops)
+        result = simulate(trace, BASELINE_2VPU, warm_level=None, keep_state=False)
+        assert result.cycles >= 10
+
+
+class TestMgUThroughput:
+    def test_mgu_count_one_throttles(self):
+        trace = gemm(rows=4, cols=4, k_steps=12)
+        full = simulate(trace, SAVE_2VPU, keep_state=False)
+        throttled = simulate(
+            trace, SAVE_2VPU.with_save(mgu_count=1), keep_state=False
+        )
+        assert throttled.cycles > full.cycles
+        # Still correct.
+        reference = trace.reference_result()
+        result = simulate(trace, SAVE_2VPU.with_save(mgu_count=1))
+        assert np.array_equal(reference.read_vreg(0), result.final_state.read_vreg(0))

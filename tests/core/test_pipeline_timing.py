@@ -1,0 +1,164 @@
+"""Timing behaviour of the pipeline: the paper's qualitative claims."""
+
+import pytest
+
+from repro.core import BASELINE_2VPU, SAVE_1VPU, SAVE_2VPU, simulate
+from repro.core.config import CoalescingScheme
+from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
+from repro.kernels.library import get_kernel
+from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
+
+
+def run(machine, bs=0.0, nbs=0.0, rows=4, cols=6, pattern=BroadcastPattern.EXPLICIT,
+        precision=Precision.FP32, k_steps=24, seed=0):
+    trace = generate_gemm_trace(
+        GemmKernelConfig(
+            name="t",
+            tile=RegisterTile(rows, cols, pattern),
+            k_steps=k_steps,
+            precision=precision,
+            broadcast_sparsity=bs,
+            nonbroadcast_sparsity=nbs,
+            seed=seed,
+        )
+    )
+    return simulate(trace, machine, keep_state=False)
+
+
+class TestDenseBehaviour:
+    def test_baseline_vpu_bound_at_two_per_cycle(self):
+        result = run(BASELINE_2VPU)
+        # VPU throughput is the bottleneck: close to 2 FMAs/cycle.
+        assert result.fmas_per_cycle > 1.6
+
+    def test_save_no_worse_than_baseline_dense(self):
+        base = run(BASELINE_2VPU)
+        save = run(SAVE_2VPU)
+        assert save.cycles <= base.cycles * 1.05
+
+    def test_one_vpu_dense_slowdown(self):
+        # Paper Sec. VII-B: ~29% slowdown at 0% sparsity with one VPU.
+        base = run(BASELINE_2VPU)
+        one = run(SAVE_1VPU)
+        slowdown = one.time_ns / base.time_ns
+        assert 1.15 < slowdown < 1.6
+
+    def test_dense_has_no_skips(self):
+        result = run(SAVE_2VPU)
+        assert result.skipped_fmas == 0
+        assert result.pass_through_lanes == 0
+
+
+class TestSparsitySpeedup:
+    def test_speedup_grows_with_bs(self):
+        base = run(BASELINE_2VPU)
+        times = [run(SAVE_2VPU, bs=bs).time_ns for bs in (0.0, 0.4, 0.8)]
+        assert times[0] >= times[1] >= times[2]
+        assert base.time_ns / times[2] > 1.2
+
+    def test_speedup_grows_with_nbs(self):
+        times = [run(SAVE_2VPU, nbs=nbs).time_ns for nbs in (0.0, 0.4, 0.8)]
+        assert times[0] >= times[1] >= times[2]
+
+    def test_one_vpu_wins_at_high_sparsity(self):
+        # Paper: beyond ~70% sparsity one boosted VPU beats two.
+        two = run(SAVE_2VPU, bs=0.9, nbs=0.0, k_steps=48)
+        one = run(SAVE_1VPU, bs=0.9, nbs=0.0, k_steps=48)
+        assert one.time_ns <= two.time_ns
+
+    def test_two_vpus_win_dense(self):
+        two = run(SAVE_2VPU)
+        one = run(SAVE_1VPU)
+        assert two.time_ns < one.time_ns
+
+    def test_vpu_ops_shrink_with_sparsity(self):
+        dense = run(SAVE_2VPU)
+        sparse = run(SAVE_2VPU, nbs=0.6)
+        assert sparse.vpu_ops < dense.vpu_ops
+
+
+class TestLaneBalancing:
+    """Fig. 18 qualitative behaviour on the effective-CW≈1 kernel."""
+
+    def kernel_run(self, machine, nbs):
+        return run(
+            machine,
+            nbs=nbs,
+            rows=28,
+            cols=1,
+            pattern=BroadcastPattern.EMBEDDED,
+            k_steps=24,
+        )
+
+    def test_rvc_beats_vc_on_cw1_kernel(self):
+        vc = SAVE_2VPU.with_save(
+            coalescing=CoalescingScheme.VERTICAL, lane_wise_dependence=False
+        )
+        rvc = SAVE_2VPU.with_save(lane_wise_dependence=False)
+        assert self.kernel_run(rvc, 0.5).cycles < self.kernel_run(vc, 0.5).cycles
+
+    def test_lwd_helps(self):
+        without = SAVE_2VPU.with_save(lane_wise_dependence=False)
+        with_lwd = SAVE_2VPU
+        assert self.kernel_run(with_lwd, 0.5).cycles <= self.kernel_run(without, 0.5).cycles
+
+    def test_hc_packs_at_least_as_well_as_rvc(self):
+        hc = SAVE_2VPU.with_save(coalescing=CoalescingScheme.HORIZONTAL)
+        rvc = SAVE_2VPU
+        assert self.kernel_run(hc, 0.5).vpu_ops <= self.kernel_run(rvc, 0.5).vpu_ops
+
+    def test_hc_latency_penalty_visible_dense(self):
+        hc = SAVE_2VPU.with_save(coalescing=CoalescingScheme.HORIZONTAL)
+        assert self.kernel_run(hc, 0.0).cycles >= self.kernel_run(SAVE_2VPU, 0.0).cycles
+
+
+class TestMixedPrecision:
+    def test_technique_reduces_vpu_ops_mid_sparsity(self):
+        on = run(SAVE_2VPU, precision=Precision.MIXED, nbs=0.5)
+        off = run(
+            SAVE_2VPU.with_save(mixed_precision_technique=False),
+            precision=Precision.MIXED,
+            nbs=0.5,
+        )
+        assert on.vpu_ops < off.vpu_ops
+        assert on.cycles <= off.cycles
+
+    def test_square_law_without_technique(self):
+        # At 50% NBS, without the technique only ~25% of ALs skip.
+        result = run(
+            SAVE_2VPU.with_save(mixed_precision_technique=False),
+            precision=Precision.MIXED,
+            nbs=0.5,
+            k_steps=32,
+        )
+        al_total = result.fma_count * 16
+        skip_fraction = result.pass_through_lanes / al_total
+        assert 0.15 < skip_fraction < 0.35
+
+    def test_mixed_latency_longer_than_fp32(self):
+        fp32 = run(BASELINE_2VPU, rows=1, cols=1, k_steps=4)
+        mixed = run(BASELINE_2VPU, rows=1, cols=1, k_steps=4, precision=Precision.MIXED)
+        # Serial accumulation chain: per-step latency 6 vs 4.
+        assert mixed.cycles > fp32.cycles
+
+
+class TestStallAccounting:
+    def test_rs_pressure_reported(self):
+        # A long dependency-free FMA burst fills the RS.
+        result = run(BASELINE_2VPU, rows=4, cols=6, k_steps=64)
+        assert result.stall_rs_cycles + result.stall_rob_cycles >= 0  # counters exist
+
+    def test_mgu_processes_all_fmas(self):
+        result = run(SAVE_2VPU, nbs=0.3)
+        assert result.mgu_processed == result.fma_count
+
+
+class TestLibraryKernelsSimulate:
+    @pytest.mark.parametrize("name", ["resnet3_2_bwd_input", "resnet5_1a_bwd_input"])
+    def test_fig18_kernels_run(self, name):
+        spec = get_kernel(name)
+        trace = generate_gemm_trace(
+            spec.config(nonbroadcast_sparsity=0.5, k_steps=8)
+        )
+        result = simulate(trace, SAVE_2VPU, keep_state=False)
+        assert result.cycles > 0

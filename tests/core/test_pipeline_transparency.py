@@ -1,0 +1,191 @@
+"""SAVE's software-transparency property (DESIGN.md invariant 1).
+
+For any trace and any SAVE configuration, the pipeline's final
+architectural state must equal the in-order reference execution —
+registers and memory, value-for-value.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BASELINE_2VPU, SAVE_1VPU, SAVE_2VPU, simulate
+from repro.core.config import CoalescingScheme
+from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
+from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
+
+
+def assert_transparent(trace, machine):
+    result = simulate(trace, machine)
+    reference = trace.reference_result()
+    state = result.final_state
+    for reg in range(32):
+        assert np.array_equal(
+            reference.read_vreg(reg), state.read_vreg(reg)
+        ), f"register zmm{reg} diverged"
+    ref_mem = reference.memory.snapshot()
+    sim_mem = state.memory.snapshot()
+    for addr in set(ref_mem) | set(sim_mem):
+        assert np.float32(ref_mem.get(addr, 0.0)) == np.float32(
+            sim_mem.get(addr, 0.0)
+        ), f"memory at 0x{addr:x} diverged"
+    return result
+
+
+def kernel(
+    rows=3,
+    cols=2,
+    pattern=BroadcastPattern.EXPLICIT,
+    k_steps=8,
+    precision=Precision.FP32,
+    bs=0.4,
+    nbs=0.4,
+    masks=False,
+    seed=0,
+):
+    return generate_gemm_trace(
+        GemmKernelConfig(
+            name="t",
+            tile=RegisterTile(rows, cols, pattern),
+            k_steps=k_steps,
+            precision=precision,
+            broadcast_sparsity=bs,
+            nonbroadcast_sparsity=nbs,
+            use_write_masks=masks,
+            seed=seed,
+        )
+    )
+
+
+ALL_SAVE_VARIANTS = [
+    pytest.param(SAVE_2VPU, id="rvc+lwd-2vpu"),
+    pytest.param(SAVE_1VPU, id="rvc+lwd-1vpu"),
+    pytest.param(
+        SAVE_2VPU.with_save(
+            coalescing=CoalescingScheme.VERTICAL, lane_wise_dependence=False
+        ),
+        id="vc",
+    ),
+    pytest.param(
+        SAVE_2VPU.with_save(coalescing=CoalescingScheme.VERTICAL), id="vc+lwd"
+    ),
+    pytest.param(
+        SAVE_2VPU.with_save(lane_wise_dependence=False), id="rvc"
+    ),
+    pytest.param(
+        SAVE_2VPU.with_save(coalescing=CoalescingScheme.HORIZONTAL), id="hc"
+    ),
+]
+
+
+class TestFp32Transparency:
+    @pytest.mark.parametrize("machine", ALL_SAVE_VARIANTS)
+    @pytest.mark.parametrize("pattern", list(BroadcastPattern))
+    def test_all_schemes_and_patterns(self, machine, pattern):
+        trace = kernel(pattern=pattern)
+        assert_transparent(trace, machine)
+
+    def test_baseline_matches_reference(self):
+        assert_transparent(kernel(), BASELINE_2VPU)
+
+    @pytest.mark.parametrize("bs", [0.0, 0.5, 1.0])
+    @pytest.mark.parametrize("nbs", [0.0, 0.5, 1.0])
+    def test_sparsity_extremes(self, bs, nbs):
+        trace = kernel(bs=bs, nbs=nbs)
+        assert_transparent(trace, SAVE_2VPU)
+
+    def test_with_write_masks(self):
+        trace = kernel(masks=True, nbs=0.6)
+        assert_transparent(trace, SAVE_2VPU)
+
+    def test_tall_embedded_kernel(self):
+        trace = kernel(rows=28, cols=1, pattern=BroadcastPattern.EMBEDDED, bs=0.0, nbs=0.7)
+        assert_transparent(trace, SAVE_2VPU)
+
+    @given(
+        bs=st.sampled_from([0.0, 0.2, 0.4, 0.6, 0.8]),
+        nbs=st.sampled_from([0.0, 0.3, 0.6, 0.9]),
+        seed=st.integers(0, 1000),
+        rows=st.integers(1, 6),
+        cols=st.integers(1, 4),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_random_kernels_property(self, bs, nbs, seed, rows, cols):
+        trace = kernel(rows=rows, cols=cols, k_steps=4, bs=bs, nbs=nbs, seed=seed)
+        assert_transparent(trace, SAVE_2VPU)
+
+
+class TestMixedTransparency:
+    @pytest.mark.parametrize("technique", [True, False], ids=["mp-on", "mp-off"])
+    @pytest.mark.parametrize("pattern", list(BroadcastPattern))
+    def test_mixed_precision(self, technique, pattern):
+        trace = kernel(precision=Precision.MIXED, pattern=pattern, bs=0.3, nbs=0.5)
+        machine = SAVE_2VPU.with_save(mixed_precision_technique=technique)
+        assert_transparent(trace, machine)
+
+    def test_mixed_baseline(self):
+        trace = kernel(precision=Precision.MIXED)
+        assert_transparent(trace, BASELINE_2VPU)
+
+    def test_mixed_accumulation_order_preserved(self):
+        # BF16 values chosen so any reordering of the accumulation
+        # changes the FP32 rounding: transparency implies order held.
+        trace = kernel(precision=Precision.MIXED, k_steps=16, bs=0.2, nbs=0.6, seed=11)
+        assert_transparent(trace, SAVE_2VPU)
+
+    def test_mixed_with_rotation_off(self):
+        trace = kernel(precision=Precision.MIXED, bs=0.3, nbs=0.5)
+        machine = SAVE_2VPU.with_save(
+            coalescing=CoalescingScheme.VERTICAL, rotation_states=1
+        )
+        assert_transparent(trace, machine)
+
+    @given(seed=st.integers(0, 500), nbs=st.sampled_from([0.0, 0.4, 0.8]))
+    @settings(max_examples=8, deadline=None)
+    def test_random_mixed_property(self, seed, nbs):
+        trace = kernel(
+            rows=2, cols=2, precision=Precision.MIXED, k_steps=6, bs=0.2,
+            nbs=nbs, seed=seed,
+        )
+        assert_transparent(trace, SAVE_2VPU)
+
+
+class TestWorkConservation:
+    """DESIGN.md invariant 2: every effectual lane executes exactly once."""
+
+    def test_fp32_lane_accounting(self):
+        trace = kernel(rows=4, cols=3, k_steps=10, bs=0.3, nbs=0.4, seed=2)
+        result = simulate(trace, SAVE_2VPU)
+        # Every FMA lane is either effectual (VPU) or passed through.
+        total_lanes = result.fma_count * 16
+        assert result.effectual_lanes + result.pass_through_lanes == total_lanes
+        # VPU slots carry exactly the effectual lanes.
+        assert result.vpu_lane_slots == result.effectual_lanes
+
+    def test_effectual_count_matches_data(self):
+        trace = kernel(rows=2, cols=2, k_steps=8, bs=0.0, nbs=0.5, seed=3)
+        result = simulate(trace, SAVE_2VPU)
+        # Count effectual lanes directly from the generated data.
+        expected = 0
+        for uop in trace.uops:
+            if not uop.is_fma():
+                continue
+        a = trace.meta["a_matrix"]
+        b = trace.meta["b_matrix"]
+        k_steps = trace.meta["k_steps"]
+        tile = trace.meta["tile"]
+        for k in range(k_steps):
+            for row in range(tile.rows):
+                for j in range(tile.col_vectors):
+                    segment = b[k, j * 16 : (j + 1) * 16]
+                    if a[row, k] == 0:
+                        continue
+                    expected += int(np.count_nonzero(segment))
+        assert result.effectual_lanes == expected
+
+    def test_bs_skips_whole_instructions(self):
+        trace = kernel(rows=2, cols=2, k_steps=20, bs=1.0, nbs=0.0)
+        result = simulate(trace, SAVE_2VPU)
+        assert result.skipped_fmas == result.fma_count
+        assert result.vpu_ops == 0

@@ -1,0 +1,99 @@
+"""Tests for terminal chart rendering."""
+
+import pytest
+
+from repro.experiments.charts import (
+    GLYPHS,
+    SHADES,
+    fig15_charts,
+    fig18_charts,
+    heatmap,
+    line_chart,
+)
+
+
+class TestHeatmap:
+    def grid(self):
+        return {
+            (0.0, 0.0): 1.0,
+            (0.0, 0.9): 1.5,
+            (0.9, 0.0): 1.4,
+            (0.9, 0.9): 2.0,
+        }
+
+    def test_contains_values_and_title(self):
+        text = heatmap(self.grid(), title="demo")
+        assert "demo" in text
+        assert "1.00" in text and "2.00" in text
+
+    def test_extremes_get_extreme_shades(self):
+        text = heatmap(self.grid())
+        assert SHADES[-1] in text  # max shade present
+
+    def test_axis_labels(self):
+        text = heatmap(self.grid())
+        assert "BS\\NBS" in text
+        assert "90%" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap({})
+
+    def test_constant_grid_safe(self):
+        text = heatmap({(0.0, 0.0): 1.0, (0.0, 0.9): 1.0})
+        assert "1.00" in text
+
+
+class TestLineChart:
+    def series(self):
+        return {
+            "a": {0.0: 1.0, 0.5: 1.5, 0.9: 2.0},
+            "b": {0.0: 0.8, 0.5: 1.0, 0.9: 1.2},
+        }
+
+    def test_legend_lists_series(self):
+        text = line_chart(self.series())
+        assert f"{GLYPHS[0]}=a" in text
+        assert f"{GLYPHS[1]}=b" in text
+
+    def test_y_axis_covers_range(self):
+        text = line_chart(self.series())
+        assert "2.00" in text
+        assert "0.80" in text
+
+    def test_glyphs_placed(self):
+        text = line_chart({"only": {0.0: 1.0, 1.0: 2.0}})
+        assert text.count(GLYPHS[0]) >= 2
+
+    def test_overlap_marked(self):
+        text = line_chart({"a": {0.0: 1.0}, "b": {0.0: 1.0}}, height=4)
+        assert "!" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+
+class TestFigureAdapters:
+    def test_fig15_charts_shapes(self):
+        data = {
+            "2vpu": {(0.0, 0.0): 1.0, (0.0, 0.9): 1.5, (0.9, 0.0): 1.4, (0.9, 0.9): 1.5},
+            "1vpu": {(0.0, 0.0): 0.7, (0.0, 0.9): 1.9, (0.9, 0.0): 1.9, (0.9, 0.9): 1.9},
+        }
+        text = fig15_charts(data)
+        assert "2 VPUs" in text and "1 VPU" in text
+
+    def test_fig18_charts_per_panel(self):
+        data = {
+            "a": {"VC": {(0.0, 0.0): 0.7, (0.0, 0.9): 1.6}},
+            "b": {"VC": {(0.0, 0.0): 0.75, (0.0, 0.9): 2.2}},
+        }
+        text = fig18_charts(data)
+        assert "Fig. 18 a" in text and "Fig. 18 b" in text
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig15", "--k-steps", "4", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "BS\\NBS" in out

@@ -1,0 +1,81 @@
+"""Tests for report export and experiment determinism."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments import fig13, fig15, table2
+from repro.experiments.export import export_all, export_report, load_exported
+from repro.experiments.report import ExperimentReport
+
+
+class TestExportReport:
+    def test_writes_text_and_json(self, tmp_path):
+        paths = export_report(table2.run(), tmp_path)
+        assert len(paths) == 2
+        assert (tmp_path / "table2.txt").exists()
+        assert (tmp_path / "table2.json").exists()
+
+    def test_json_roundtrip(self, tmp_path):
+        export_report(table2.run(), tmp_path)
+        payload = load_exported(tmp_path, "table2")
+        assert payload["experiment"] == "table2"
+        assert payload["data"]["b_data_bytes"] == 2260
+        assert payload["version"]
+
+    def test_numpy_data_serialised(self, tmp_path):
+        report = ExperimentReport(
+            experiment="demo",
+            title="demo",
+            headers=("a",),
+            rows=[(np.float64(1.5),)],
+            data={"array": np.arange(3), "tuple_key": {(0.0, 0.1): 2.0}},
+        )
+        export_report(report, tmp_path)
+        payload = load_exported(tmp_path, "demo")
+        assert payload["data"]["array"] == [0, 1, 2]
+
+    def test_export_all_manifest(self, tmp_path):
+        manifest = export_all([table2.run(), fig13.run()], tmp_path)
+        assert set(manifest) == {"table2", "fig13"}
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert "table2" in index["experiments"]
+
+    def test_cli_export_flag(self, tmp_path, capsys):
+        assert main(["table1", "--export", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.json").exists()
+
+
+class TestDeterminism:
+    """Every experiment is seeded: back-to-back runs must agree exactly."""
+
+    def test_fig13_identical_runs(self):
+        a = fig13.run()
+        b = fig13.run()
+        assert a.data["resnet50"] == b.data["resnet50"]
+
+    def test_fig15_identical_runs(self):
+        a = fig15.run(levels=(0.0, 0.9), k_steps=4)
+        b = fig15.run(levels=(0.0, 0.9), k_steps=4)
+        assert a.data["2vpu"] == b.data["2vpu"]
+        assert a.data["1vpu"] == b.data["1vpu"]
+
+    def test_simulation_determinism(self):
+        from repro.core import SAVE_2VPU, simulate
+        from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
+        from repro.kernels.tiling import BroadcastPattern, RegisterTile
+
+        config = GemmKernelConfig(
+            name="det",
+            tile=RegisterTile(4, 4, BroadcastPattern.EXPLICIT),
+            k_steps=12,
+            broadcast_sparsity=0.3,
+            nonbroadcast_sparsity=0.4,
+            seed=5,
+        )
+        first = simulate(generate_gemm_trace(config), SAVE_2VPU, keep_state=False)
+        second = simulate(generate_gemm_trace(config), SAVE_2VPU, keep_state=False)
+        assert first.cycles == second.cycles
+        assert first.vpu_ops == second.vpu_ops

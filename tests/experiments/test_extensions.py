@@ -1,0 +1,81 @@
+"""Tests for the extension experiments (ablations, energy)."""
+
+import pytest
+
+from repro.experiments import ablations, energy
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestRegistryExtensions:
+    def test_extensions_registered(self):
+        assert "ablations" in EXPERIMENTS
+        assert "energy" in EXPERIMENTS
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return ablations.run(k_steps=8)
+
+    def test_both_kernel_points_present(self, report):
+        assert len(report.data) == 2
+
+    def test_naive_flat_on_nbs_only(self, report):
+        point = report.data["bwd-input (embedded, NBS=60%)"]
+        assert point["naive lane-skip"] <= 1.1
+        assert point["SAVE (full)"] > point["naive lane-skip"]
+
+    def test_single_mgu_bottleneck(self, report):
+        # The inverse of the paper's claim: with only ONE MGU, ELM
+        # generation throttles the whole pipeline.
+        for point in report.data.values():
+            assert point["1 MGU"] < point["SAVE (full)"]
+
+    def test_tiny_b_cache_hurts_embedded(self, report):
+        point = report.data["bwd-input (embedded, NBS=60%)"]
+        assert point["B$ 4 entries"] < point["SAVE (full)"]
+
+    def test_rotation_off_hurts_embedded(self, report):
+        point = report.data["bwd-input (embedded, NBS=60%)"]
+        assert point["rotation off"] < point["SAVE (full)"]
+
+    def test_issue_width_headroom(self, report):
+        point = report.data["fwd (explicit, BS=40% NBS=40%)"]
+        assert point["issue width 4"] <= point["SAVE (full)"]
+        assert point["issue width 6"] >= point["SAVE (full)"]
+
+
+class TestEnergyExperiment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return energy.run(k_steps=8)
+
+    def test_three_sparsity_points(self, report):
+        assert len(report.data) == 3
+
+    def test_sparse_save_saves_energy(self, report):
+        point = report.data["BS=80% NBS=80%"]
+        assert point["SAVE 2 VPUs"] < point["baseline"]
+        assert point["SAVE 1 VPU"] < point["SAVE 2 VPUs"]
+
+    def test_dense_energy_comparable(self, report):
+        point = report.data["BS=0% NBS=0%"]
+        assert point["SAVE 2 VPUs"] == pytest.approx(point["baseline"], rel=0.1)
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.experiments import scaling
+
+        return scaling.run(k_steps=8)
+
+    def test_conv_stays_compute_bound(self, report):
+        assert report.data["conv"][28] < 0.5
+
+    def test_lstm_near_dram_floor(self, report):
+        assert report.data["lstm"][28] > 0.75
+
+    def test_memory_pressure_grows_with_cores(self, report):
+        conv = report.data["conv"]
+        assert conv[28] >= conv[1]

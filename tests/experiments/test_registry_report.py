@@ -1,0 +1,75 @@
+"""Tests for the experiment registry, report formatting and CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import ExperimentReport
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        expected = {
+            "table1", "table2", "table3",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+            "ablations", "energy", "validation", "scaling",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="available"):
+            run_experiment("fig99")
+
+    def test_run_experiment_dispatches(self):
+        report = run_experiment("table1")
+        assert report.experiment == "table1"
+
+
+class TestReport:
+    def report(self):
+        return ExperimentReport(
+            experiment="figX",
+            title="demo",
+            headers=("a", "bb"),
+            rows=[(1, 2.345), ("x", "y")],
+            notes=["hello"],
+        )
+
+    def test_render_contains_everything(self):
+        text = self.report().render()
+        assert "figX" in text and "demo" in text
+        assert "2.35" in text  # float formatting
+        assert "note: hello" in text
+
+    def test_render_aligns_columns(self):
+        lines = self.report().render().splitlines()
+        header, rule = lines[1], lines[2]
+        assert len(header) == len(rule)
+
+    def test_show_prints(self, capsys):
+        self.report().show()
+        assert "figX" in capsys.readouterr().out
+
+    def test_empty_rows_ok(self):
+        report = ExperimentReport("t", "empty", ("h",), [])
+        assert "empty" in report.render()
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15" in out and "table2" in out
+
+    def test_run_table(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "2260B" in out
+
+    def test_unknown_exits_2(self, capsys):
+        assert main(["nope"]) == 2
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

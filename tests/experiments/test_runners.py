@@ -1,0 +1,91 @@
+"""Fast sanity tests of the experiment runners (tiny grids).
+
+Deep shape checks live in ``benchmarks/``; these confirm every runner
+produces a well-formed report quickly.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig12,
+    fig13,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.sweeps import sweep_kernel
+from repro.core.config import SAVE_2VPU
+from repro.kernels.library import get_kernel
+from repro.model.surface import SurfaceStore
+
+TINY = (0.0, 0.9)
+
+
+class TestStaticRunners:
+    def test_table1(self):
+        report = table1.run()
+        assert report.data["cores"] == 28
+
+    def test_table2_sizes_exact(self):
+        data = table2.run().data
+        assert data["temp_fp32_bytes"] == 56
+        assert data["b_data_bytes"] == 2260
+
+    def test_table3_marks(self):
+        data = table3.run().data
+        assert data["dense ResNet-50"].count("X") == 2
+        assert data["dense VGG16"].count("X") == 4
+
+    def test_fig12_series_lengths(self):
+        data = fig12.run().data
+        assert len(data["dense VGG16"]) == 13
+        assert len(data["dense ResNet-50"]) == 53
+
+    def test_fig13_curves(self):
+        data = fig13.run().data
+        assert len(data["resnet50"]) == 103
+
+
+class TestSweepRunners:
+    def test_fig15_tiny(self):
+        report = fig15.run(levels=TINY, k_steps=4)
+        assert len(report.data["2vpu"]) == 4
+
+    def test_fig17_tiny(self):
+        report = fig17.run(levels=TINY, k_steps=4)
+        assert set(report.data) == {"No B$", "B$ w/ masks", "B$ w/ data"}
+
+    def test_fig18_tiny(self):
+        report = fig18.run(levels=TINY, k_steps=4)
+        for panel in report.data.values():
+            assert set(panel) == {"VC", "RVC", "VC+LWD", "RVC+LWD", "HC"}
+
+    def test_fig19_tiny(self):
+        report = fig19.run(levels=TINY, k_steps=4)
+        assert len(report.data["w/ MP technique"]) == 2
+
+    def test_fig16_tiny(self, tmp_path):
+        report = fig16.run(store=SurfaceStore(tmp_path), k_steps=4)
+        assert report.data["n_kernels"] > 60
+
+
+class TestSweepHelper:
+    def test_sweep_speedups_positive(self):
+        spec = get_kernel("explicit_wide")
+        results = sweep_kernel(
+            spec, {"save": SAVE_2VPU}, bs_levels=(0.0,), nbs_levels=(0.0, 0.9), k_steps=4
+        )
+        sweep = results["save"]
+        assert all(value > 0 for value in sweep.speedups.values())
+
+    def test_series_extraction(self):
+        spec = get_kernel("explicit_wide")
+        results = sweep_kernel(
+            spec, {"save": SAVE_2VPU}, bs_levels=(0.0,), nbs_levels=(0.0, 0.9), k_steps=4
+        )
+        assert len(results["save"].series(0.0)) == 2

@@ -1,0 +1,119 @@
+"""Tests for BF16/FP32 datatype helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.datatypes import (
+    BF16_LANES,
+    FP32_LANES,
+    VECTOR_BYTES,
+    bf16_round,
+    fp32_zeros,
+    is_bf16_representable,
+)
+
+
+class TestConstants:
+    def test_vector_geometry(self):
+        assert FP32_LANES == 16
+        assert BF16_LANES == 32
+        assert VECTOR_BYTES == 64
+        # 512-bit register holds exactly these lane counts.
+        assert FP32_LANES * 4 == VECTOR_BYTES
+        assert BF16_LANES * 2 == VECTOR_BYTES
+
+
+class TestBf16Round:
+    def test_exact_values_unchanged(self):
+        # Powers of two and small integers are BF16-exact.
+        values = np.array([0.0, 1.0, -2.0, 0.5, 4096.0], dtype=np.float32)
+        assert np.array_equal(bf16_round(values), values)
+
+    def test_rounding_drops_low_mantissa(self):
+        value = np.array([1.0 + 2**-20], dtype=np.float32)
+        rounded = bf16_round(value)
+        assert rounded[0] == np.float32(1.0)
+
+    def test_round_to_nearest_even_midpoint(self):
+        # 1 + 2^-8 is exactly halfway between BF16 neighbours 1.0 and
+        # 1 + 2^-7; round-to-even picks 1.0 (even mantissa).
+        value = np.array([1.0 + 2**-8], dtype=np.float32)
+        assert bf16_round(value)[0] == np.float32(1.0)
+
+    def test_round_up_above_midpoint(self):
+        value = np.array([1.0 + 2**-8 + 2**-12], dtype=np.float32)
+        assert bf16_round(value)[0] == np.float32(1.0 + 2**-7)
+
+    def test_nan_stays_nan(self):
+        value = np.array([np.nan], dtype=np.float32)
+        assert np.isnan(bf16_round(value)[0])
+
+    def test_inf_stays_inf(self):
+        value = np.array([np.inf, -np.inf], dtype=np.float32)
+        out = bf16_round(value)
+        assert out[0] == np.inf and out[1] == -np.inf
+
+    def test_sign_preserved(self):
+        values = np.array([-1.37, 1.37], dtype=np.float32)
+        out = bf16_round(values)
+        assert out[0] == -out[1]
+
+    def test_shape_preserved(self):
+        values = np.ones((4, 8), dtype=np.float32)
+        assert bf16_round(values).shape == (4, 8)
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-1e10, max_value=1e10, allow_nan=False, width=32
+            ),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_idempotent(self, values):
+        arr = np.array(values, dtype=np.float32)
+        once = bf16_round(arr)
+        twice = bf16_round(once)
+        assert np.array_equal(once, twice)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e10, max_value=1e10, allow_nan=False, width=32),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_output_is_representable(self, values):
+        arr = np.array(values, dtype=np.float32)
+        assert is_bf16_representable(bf16_round(arr))
+
+    @given(st.floats(min_value=0.0078125, max_value=1e10, allow_nan=False, width=32))
+    def test_relative_error_bound(self, value):
+        # BF16 has 8 mantissa bits: relative error <= 2^-8.
+        rounded = float(bf16_round(np.array([value], dtype=np.float32))[0])
+        assert abs(rounded - value) <= abs(value) * 2**-8
+
+
+class TestIsBf16Representable:
+    def test_detects_inexact(self):
+        assert not is_bf16_representable(np.array([1.0 + 2**-12], dtype=np.float32))
+
+    def test_zero_vector(self):
+        assert is_bf16_representable(fp32_zeros())
+
+    def test_nan_allowed(self):
+        assert is_bf16_representable(np.array([np.nan], dtype=np.float32))
+
+
+class TestFp32Zeros:
+    def test_default_width(self):
+        z = fp32_zeros()
+        assert z.shape == (FP32_LANES,)
+        assert z.dtype == np.float32
+        assert not z.any()
+
+    def test_custom_width(self):
+        assert fp32_zeros(32).shape == (32,)

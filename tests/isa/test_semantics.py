@@ -1,0 +1,228 @@
+"""Tests for the in-order reference executor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.datatypes import BF16_LANES, FP32_LANES, bf16_round
+from repro.isa.registers import ArchState, Memory
+from repro.isa.semantics import ReferenceExecutor, execute_trace, mac
+from repro.isa.uops import (
+    MemOperand,
+    RegOperand,
+    kmov,
+    scalar_op,
+    vbcast,
+    vdpbf16,
+    vfma,
+    vload,
+    vstore,
+    vzero,
+)
+
+
+def fresh_executor():
+    return ReferenceExecutor(ArchState(Memory()))
+
+
+class TestMac:
+    def test_matches_float32_arithmetic(self):
+        a, b, c = np.float32(1.5), np.float32(2.25), np.float32(0.125)
+        assert mac(c, a, b) == np.float32(c + np.float32(a * b))
+
+    def test_zero_multiplicand_is_identity(self):
+        c = np.float32(3.7)
+        assert mac(c, np.float32(0.0), np.float32(123.0)) == c
+
+
+class TestVfma:
+    def test_basic_fma(self):
+        ex = fresh_executor()
+        ex.state.write_vreg(1, np.full(FP32_LANES, 2.0, dtype=np.float32))
+        ex.state.write_vreg(2, np.full(FP32_LANES, 3.0, dtype=np.float32))
+        ex.state.write_vreg(0, np.full(FP32_LANES, 1.0, dtype=np.float32))
+        ex.execute(vfma(0, RegOperand(1), RegOperand(2)))
+        assert np.array_equal(ex.state.read_vreg(0), np.full(FP32_LANES, 7.0, dtype=np.float32))
+
+    def test_embedded_broadcast_operand(self):
+        ex = fresh_executor()
+        ex.state.memory.write(0x40, 5.0)
+        ex.state.write_vreg(2, np.ones(FP32_LANES, dtype=np.float32))
+        ex.execute(vfma(0, MemOperand(0x40, broadcast=True), RegOperand(2)))
+        assert np.array_equal(ex.state.read_vreg(0), np.full(FP32_LANES, 5.0, dtype=np.float32))
+
+    def test_full_vector_memory_operand(self):
+        ex = fresh_executor()
+        values = np.arange(FP32_LANES, dtype=np.float32)
+        ex.state.memory.write_vector(0x100, values, stride=4)
+        ex.state.write_vreg(2, np.ones(FP32_LANES, dtype=np.float32))
+        ex.execute(vfma(0, MemOperand(0x100), RegOperand(2)))
+        assert np.array_equal(ex.state.read_vreg(0), values)
+
+    def test_write_mask_merges(self):
+        ex = fresh_executor()
+        ex.state.write_vreg(0, np.full(FP32_LANES, 1.0, dtype=np.float32))
+        ex.state.write_vreg(1, np.full(FP32_LANES, 2.0, dtype=np.float32))
+        ex.state.write_vreg(2, np.full(FP32_LANES, 2.0, dtype=np.float32))
+        ex.execute(kmov(1, 0b0101))
+        ex.execute(vfma(0, RegOperand(1), RegOperand(2), wmask=1))
+        result = ex.state.read_vreg(0)
+        assert result[0] == 5.0 and result[2] == 5.0
+        assert result[1] == 1.0 and result[3] == 1.0
+
+    def test_zero_lane_leaves_accumulator(self):
+        ex = fresh_executor()
+        a = np.ones(FP32_LANES, dtype=np.float32)
+        a[5] = 0.0
+        ex.state.write_vreg(1, a)
+        ex.state.write_vreg(2, np.full(FP32_LANES, 4.0, dtype=np.float32))
+        ex.execute(vfma(0, RegOperand(1), RegOperand(2)))
+        result = ex.state.read_vreg(0)
+        assert result[5] == 0.0
+        assert result[0] == 4.0
+
+    @given(
+        st.lists(st.floats(-100, 100, width=32), min_size=16, max_size=16),
+        st.lists(st.floats(-100, 100, width=32), min_size=16, max_size=16),
+        st.lists(st.floats(-100, 100, width=32), min_size=16, max_size=16),
+    )
+    @settings(max_examples=30)
+    def test_matches_numpy_per_lane(self, accum, a, b):
+        ex = fresh_executor()
+        accum = np.array(accum, dtype=np.float32)
+        a = np.array(a, dtype=np.float32)
+        b = np.array(b, dtype=np.float32)
+        ex.state.write_vreg(0, accum)
+        ex.state.write_vreg(1, a)
+        ex.state.write_vreg(2, b)
+        ex.execute(vfma(0, RegOperand(1), RegOperand(2)))
+        expected = (accum + (a * b).astype(np.float32)).astype(np.float32)
+        assert np.array_equal(ex.state.read_vreg(0), expected)
+
+
+class TestVdpbf16:
+    def test_pairwise_dot_product(self):
+        ex = fresh_executor()
+        a = bf16_round(np.arange(BF16_LANES, dtype=np.float32))
+        b = bf16_round(np.ones(BF16_LANES, dtype=np.float32))
+        ex.state.write_vreg(1, a)
+        ex.state.write_vreg(2, b)
+        ex.execute(vdpbf16(0, RegOperand(1), RegOperand(2)))
+        result = ex.state.read_vreg(0)
+        expected = np.array(
+            [a[2 * i] + a[2 * i + 1] for i in range(FP32_LANES)], dtype=np.float32
+        )
+        assert np.array_equal(result, expected)
+
+    def test_chained_mac_order(self):
+        # The two MACs are chained (2i first): with values that round
+        # differently depending on order this is observable.
+        ex = fresh_executor()
+        a = np.zeros(BF16_LANES, dtype=np.float32)
+        b = np.zeros(BF16_LANES, dtype=np.float32)
+        a[0], a[1] = np.float32(2**-8), np.float32(1.0)
+        b[0], b[1] = np.float32(1.0), np.float32(1.0)
+        ex.state.write_vreg(1, a)
+        ex.state.write_vreg(2, b)
+        ex.execute(vdpbf16(0, RegOperand(1), RegOperand(2)))
+        expected = mac(mac(np.float32(0.0), a[0], b[0]), a[1], b[1])
+        assert ex.state.read_vreg(0)[0] == expected
+
+    def test_m32bcst_broadcast_pair(self):
+        ex = fresh_executor()
+        ex.state.memory.write(0x40, 2.0)
+        ex.state.memory.write(0x42, 3.0)
+        ex.state.write_vreg(2, bf16_round(np.ones(BF16_LANES, dtype=np.float32)))
+        ex.execute(vdpbf16(0, MemOperand(0x40, broadcast=True, bf16=True), RegOperand(2)))
+        assert np.array_equal(
+            ex.state.read_vreg(0), np.full(FP32_LANES, 5.0, dtype=np.float32)
+        )
+
+    def test_write_mask(self):
+        ex = fresh_executor()
+        ex.state.write_vreg(1, bf16_round(np.ones(BF16_LANES, dtype=np.float32)))
+        ex.state.write_vreg(2, bf16_round(np.ones(BF16_LANES, dtype=np.float32)))
+        ex.execute(kmov(1, 0b1))
+        ex.execute(vdpbf16(0, RegOperand(1), RegOperand(2), wmask=1))
+        result = ex.state.read_vreg(0)
+        assert result[0] == 2.0
+        assert not result[1:].any()
+
+
+class TestLoadsStores:
+    def test_vload_vstore_roundtrip(self):
+        ex = fresh_executor()
+        values = np.arange(FP32_LANES, dtype=np.float32)
+        ex.state.memory.write_vector(0x0, values, stride=4)
+        ex.execute(vload(3, 0x0))
+        ex.execute(vstore(3, 0x1000))
+        assert np.array_equal(
+            ex.state.memory.read_vector(0x1000, FP32_LANES, 4), values
+        )
+
+    def test_vbcast_fp32(self):
+        ex = fresh_executor()
+        ex.state.memory.write(0x44, 9.0)
+        ex.execute(vbcast(5, 0x44))
+        assert np.array_equal(
+            ex.state.read_vreg(5), np.full(FP32_LANES, 9.0, dtype=np.float32)
+        )
+
+    def test_vbcast_bf16_pair(self):
+        ex = fresh_executor()
+        ex.state.memory.write(0x40, 1.0)
+        ex.state.memory.write(0x42, 2.0)
+        ex.execute(vbcast(5, 0x40, bf16=True))
+        value = ex.state.read_vreg(5)
+        assert value.shape == (BF16_LANES,)
+        assert value[0] == 1.0 and value[1] == 2.0 and value[2] == 1.0
+
+    def test_bf16_vload_width(self):
+        ex = fresh_executor()
+        ex.state.memory.write_array(0, range(BF16_LANES), stride=2, bf16=True)
+        ex.execute(vload(4, 0, bf16=True))
+        assert ex.state.read_vreg(4).shape == (BF16_LANES,)
+
+    def test_vzero(self):
+        ex = fresh_executor()
+        ex.state.write_vreg(0, np.ones(FP32_LANES, dtype=np.float32))
+        ex.execute(vzero(0))
+        assert not ex.state.read_vreg(0).any()
+
+    def test_scalar_op_is_noop(self):
+        ex = fresh_executor()
+        before = ex.state.registers_snapshot()
+        ex.execute(scalar_op())
+        after = ex.state.registers_snapshot()
+        for reg in before:
+            assert np.array_equal(before[reg], after[reg])
+
+
+class TestExecuteTrace:
+    def test_small_dot_product_program(self):
+        mem = Memory()
+        mem.write_array(0x0, [1.0] * FP32_LANES, stride=4)
+        mem.write_array(0x100, [2.0] * FP32_LANES, stride=4)
+        trace = [
+            vzero(0),
+            vload(1, 0x0),
+            vload(2, 0x100),
+            vfma(0, RegOperand(1), RegOperand(2)),
+            vstore(0, 0x200),
+        ]
+        state = execute_trace(trace, ArchState(mem))
+        assert np.array_equal(
+            state.memory.read_vector(0x200, FP32_LANES, 4),
+            np.full(FP32_LANES, 2.0, dtype=np.float32),
+        )
+
+    def test_fma_chain_accumulates(self):
+        ex = fresh_executor()
+        ex.state.write_vreg(1, np.ones(FP32_LANES, dtype=np.float32))
+        ex.state.write_vreg(2, np.ones(FP32_LANES, dtype=np.float32))
+        trace = [vzero(0)] + [vfma(0, RegOperand(1), RegOperand(2))] * 10
+        ex.run(trace)
+        assert np.array_equal(
+            ex.state.read_vreg(0), np.full(FP32_LANES, 10.0, dtype=np.float32)
+        )

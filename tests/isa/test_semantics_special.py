@@ -1,0 +1,86 @@
+"""Special-value and consistency tests for the functional semantics."""
+
+import numpy as np
+import pytest
+
+from repro.isa.datatypes import FP32_LANES, bf16_round
+from repro.isa.registers import ArchState, Memory
+from repro.isa.semantics import ReferenceExecutor, mac
+from repro.isa.uops import RegOperand, vdpbf16, vfma, vzero
+
+
+def executor():
+    return ReferenceExecutor(ArchState(Memory()))
+
+
+class TestZeroSemantics:
+    """The x·0 = 0 axiom SAVE's skipping relies on (Sec. I)."""
+
+    def test_zero_times_anything_leaves_accumulator(self):
+        ex = executor()
+        accum = np.arange(1, 17, dtype=np.float32)
+        b = np.full(FP32_LANES, 1e30, dtype=np.float32)
+        ex.state.write_vreg(0, accum)
+        ex.state.write_vreg(1, np.zeros(FP32_LANES, dtype=np.float32))
+        ex.state.write_vreg(2, b)
+        ex.execute(vfma(0, RegOperand(1), RegOperand(2)))
+        assert np.array_equal(ex.state.read_vreg(0), accum)
+
+    def test_negative_zero_product_compares_equal(self):
+        # 0 * -5 = -0.0; adding it leaves the accumulator ==-equal.
+        c = mac(np.float32(3.0), np.float32(0.0), np.float32(-5.0))
+        assert c == np.float32(3.0)
+
+    def test_skipping_zero_product_is_value_exact(self):
+        # The optimisation SAVE performs: dropping a zero-product MAC.
+        for accum in (0.0, -0.0, 1.5, -2.25, 1e-30):
+            with_mac = mac(np.float32(accum), np.float32(0.0), np.float32(7.0))
+            assert with_mac == np.float32(accum)
+
+
+class TestMacRounding:
+    def test_large_small_cancellation(self):
+        big = np.float32(2.0**25)
+        one = np.float32(1.0)
+        # (big + 1) absorbs the 1 in FP32.
+        assert mac(big, one, one) == big
+
+    def test_mac_not_fused(self):
+        # Our MAC rounds the product before adding (documented model
+        # choice); a fused FMA would differ here.
+        a = np.float32(1.0 + 2**-12)
+        product_rounded = np.float32(a * a)
+        assert mac(np.float32(0.0), a, a) == product_rounded
+
+
+class TestVdpbf16Consistency:
+    def test_equals_two_fp32_macs(self):
+        ex = executor()
+        a = bf16_round(np.linspace(-2, 2, 32).astype(np.float32))
+        b = bf16_round(np.linspace(1, 3, 32).astype(np.float32))
+        ex.state.write_vreg(1, a)
+        ex.state.write_vreg(2, b)
+        ex.execute(vzero(0))
+        ex.execute(vdpbf16(0, RegOperand(1), RegOperand(2)))
+        result = ex.state.read_vreg(0)
+        for lane in range(FP32_LANES):
+            expected = mac(
+                mac(np.float32(0.0), a[2 * lane], b[2 * lane]),
+                a[2 * lane + 1],
+                b[2 * lane + 1],
+            )
+            assert result[lane] == expected
+
+    def test_mixed_rejects_fp32_width_sources(self):
+        ex = executor()
+        ex.state.write_vreg(1, np.ones(16, dtype=np.float32))
+        ex.state.write_vreg(2, np.ones(32, dtype=np.float32))
+        with pytest.raises(ValueError):
+            ex.execute(vdpbf16(0, RegOperand(1), RegOperand(2)))
+
+    def test_fp32_rejects_bf16_width_sources(self):
+        ex = executor()
+        ex.state.write_vreg(1, np.ones(32, dtype=np.float32))
+        ex.state.write_vreg(2, np.ones(16, dtype=np.float32))
+        with pytest.raises(ValueError):
+            ex.execute(vfma(0, RegOperand(1), RegOperand(2)))

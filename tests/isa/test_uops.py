@@ -1,0 +1,106 @@
+"""Tests for µop record types and constructors."""
+
+import pytest
+
+from repro.isa.uops import (
+    MemOperand,
+    RegOperand,
+    Uop,
+    UopKind,
+    kmov,
+    scalar_op,
+    vbcast,
+    vdpbf16,
+    vfma,
+    vload,
+    vstore,
+    vzero,
+)
+
+
+class TestOperands:
+    def test_mem_operand_element_bytes(self):
+        assert MemOperand(0).element_bytes == 4
+        assert MemOperand(0, bf16=True).element_bytes == 2
+
+    def test_reg_operand_repr(self):
+        assert repr(RegOperand(5)) == "zmm5"
+
+    def test_mem_operand_repr_broadcast(self):
+        assert "{1toN}" in repr(MemOperand(0x40, broadcast=True))
+
+
+class TestConstructors:
+    def test_vfma_dst_is_accumulator(self):
+        uop = vfma(4, RegOperand(1), RegOperand(2))
+        assert uop.kind == UopKind.VFMA
+        assert uop.dst == 4 and uop.accum == 4
+        assert not uop.bf16
+
+    def test_vdpbf16_marks_bf16(self):
+        uop = vdpbf16(0, RegOperand(1), RegOperand(2))
+        assert uop.kind == UopKind.VDPBF16
+        assert uop.bf16
+        assert uop.is_fma()
+
+    def test_vfma_with_write_mask(self):
+        uop = vfma(0, RegOperand(1), RegOperand(2), wmask=3)
+        assert uop.wmask == 3
+
+    def test_vload(self):
+        uop = vload(7, 0x80)
+        assert uop.kind == UopKind.VLOAD
+        assert uop.memory_operand().addr == 0x80
+        assert not uop.memory_operand().broadcast
+
+    def test_vbcast(self):
+        uop = vbcast(7, 0x84)
+        assert uop.kind == UopKind.VBCAST
+        assert uop.memory_operand().broadcast
+
+    def test_vstore_sources(self):
+        uop = vstore(3, 0x100)
+        assert uop.kind == UopKind.VSTORE
+        assert uop.register_sources() == [3]
+        assert uop.memory_operand().addr == 0x100
+
+    def test_kmov(self):
+        uop = kmov(1, 0xFFFF)
+        assert uop.kind == UopKind.KMOV
+        assert uop.imm == 0xFFFF
+
+    def test_vzero(self):
+        assert vzero(9).dst == 9
+
+    def test_scalar_op_has_no_operands(self):
+        uop = scalar_op()
+        assert uop.register_sources() == []
+        assert uop.memory_operand() is None
+
+
+class TestUopIntrospection:
+    def test_register_sources_fma_all_regs(self):
+        uop = vfma(4, RegOperand(1), RegOperand(2))
+        assert sorted(uop.register_sources()) == [1, 2, 4]
+
+    def test_register_sources_fma_with_mem(self):
+        uop = vfma(4, MemOperand(0x40, broadcast=True), RegOperand(2))
+        assert sorted(uop.register_sources()) == [2, 4]
+
+    def test_memory_operand_embedded_broadcast(self):
+        uop = vfma(4, MemOperand(0x40, broadcast=True), RegOperand(2))
+        mem = uop.memory_operand()
+        assert mem is not None and mem.broadcast
+
+    def test_memory_operand_none_for_reg_only(self):
+        uop = vfma(4, RegOperand(1), RegOperand(2))
+        assert uop.memory_operand() is None
+
+    def test_is_fma(self):
+        assert vfma(0, RegOperand(1), RegOperand(2)).is_fma()
+        assert not vload(0, 0).is_fma()
+        assert not scalar_op().is_fma()
+
+    def test_tag_annotation(self):
+        uop = vfma(0, RegOperand(1), RegOperand(2), tag="tile(0,0)")
+        assert uop.tag == "tile(0,0)"

@@ -1,0 +1,123 @@
+"""Tests for conv→GEMM and LSTM→GEMM lowering."""
+
+import pytest
+
+from repro.kernels.conv import (
+    PHASE_SPARSITY_SOURCES,
+    ConvShape,
+    GemmGeometry,
+    Phase,
+    SparsitySource,
+)
+from repro.kernels.lstm import LstmShape
+
+
+class TestConvShape:
+    def test_same_padding_preserves_size(self):
+        conv = ConvShape("c", 64, 64, 56, 56, kernel=3, stride=1, padding=1)
+        assert conv.out_height == 56 and conv.out_width == 56
+
+    def test_stride_halves(self):
+        conv = ConvShape("c", 64, 128, 56, 56, kernel=1, stride=2, padding=0)
+        assert conv.out_height == 28
+
+    def test_7x7_stem(self):
+        conv = ConvShape("conv1", 3, 64, 224, 224, kernel=7, stride=2, padding=3)
+        assert conv.out_height == 112
+
+    def test_weight_count(self):
+        conv = ConvShape("c", 64, 128, 56, 56, kernel=3)
+        assert conv.weight_count == 64 * 128 * 9
+
+    def test_forward_gemm_dims(self):
+        conv = ConvShape("c", 64, 128, 28, 28, kernel=3, stride=1, padding=1)
+        geometry = conv.gemm(Phase.FORWARD)
+        assert geometry.m == 28 * 28
+        assert geometry.n == 128
+        assert geometry.k == 64 * 9
+
+    def test_backward_input_gemm_dims(self):
+        conv = ConvShape("c", 64, 128, 28, 28, kernel=3, stride=1, padding=1)
+        geometry = conv.gemm(Phase.BACKWARD_INPUT)
+        assert geometry.m == 28 * 28
+        assert geometry.n == 64
+        assert geometry.k == 128 * 9
+
+    def test_backward_weight_gemm_dims(self):
+        conv = ConvShape("c", 64, 128, 28, 28, kernel=3, stride=1, padding=1)
+        geometry = conv.gemm(Phase.BACKWARD_WEIGHT)
+        assert geometry.n == 128
+        assert geometry.k == 28 * 28
+
+    def test_forward_macs_equals_standard_formula(self):
+        conv = ConvShape("c", 64, 128, 28, 28, kernel=3, stride=1, padding=1)
+        assert conv.macs(Phase.FORWARD) == 28 * 28 * 128 * 64 * 9
+
+    def test_batch_scales_macs(self):
+        conv = ConvShape("c", 16, 16, 8, 8)
+        assert conv.macs(Phase.FORWARD, batch=4) == 4 * conv.macs(Phase.FORWARD)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ConvShape("c", 0, 1, 8, 8)
+        with pytest.raises(ValueError):
+            ConvShape("c", 1, 1, 8, 8, stride=0)
+
+    def test_footprints(self):
+        conv = ConvShape("c", 2, 4, 8, 8, kernel=3)
+        assert conv.activation_bytes() == 2 * 8 * 8 * 4
+        assert conv.weight_bytes() == 2 * 4 * 9 * 4
+        assert conv.output_bytes() == 4 * 8 * 8 * 4
+
+
+class TestPhaseSparsityMapping:
+    """Operand→sparsity-source mapping must reproduce Table III."""
+
+    def test_forward_sources(self):
+        bs, nbs = PHASE_SPARSITY_SOURCES[Phase.FORWARD]
+        assert bs == SparsitySource.INPUT_ACTIVATION
+        assert nbs == SparsitySource.WEIGHTS
+
+    def test_backward_input_sources(self):
+        bs, nbs = PHASE_SPARSITY_SOURCES[Phase.BACKWARD_INPUT]
+        assert bs == SparsitySource.OUTPUT_GRADIENT
+        assert nbs == SparsitySource.WEIGHTS
+
+    def test_backward_weight_sources(self):
+        bs, nbs = PHASE_SPARSITY_SOURCES[Phase.BACKWARD_WEIGHT]
+        assert bs == SparsitySource.INPUT_ACTIVATION
+        assert nbs == SparsitySource.OUTPUT_GRADIENT
+
+
+class TestGemmGeometry:
+    def test_macs(self):
+        assert GemmGeometry(2, 3, 4).macs == 24
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GemmGeometry(0, 1, 1)
+
+
+class TestLstmShape:
+    def test_gemm_dims(self):
+        cell = LstmShape("enc0", hidden=1024, input_size=1024)
+        geometry = cell.gemm(batch=128)
+        assert geometry.n == 4096
+        assert geometry.k == 2048
+        assert geometry.m == 128
+
+    def test_weight_count(self):
+        cell = LstmShape("enc0", hidden=1024, input_size=512)
+        assert cell.weight_count == 4 * 1024 * (512 + 1024)
+
+    def test_macs_scale_with_seq_len(self):
+        short = LstmShape("c", 256, 256, seq_len=1)
+        long = LstmShape("c", 256, 256, seq_len=10)
+        assert long.macs() == 10 * short.macs()
+
+    def test_activation_sparsity_is_dropout(self):
+        assert LstmShape("c", 64, 64, dropout=0.2).activation_sparsity() == 0.2
+
+    def test_rejects_bad_dropout(self):
+        with pytest.raises(ValueError):
+            LstmShape("c", 64, 64, dropout=1.0)

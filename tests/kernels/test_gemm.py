@@ -1,0 +1,178 @@
+"""Tests for the GEMM trace generator — including functional correctness
+of the generated traces under the reference executor."""
+
+import numpy as np
+import pytest
+
+from repro.isa.uops import UopKind
+from repro.kernels.gemm import GemmKernelConfig, expected_c_matrix, generate_gemm_trace
+from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
+
+
+def make_config(
+    rows=2,
+    cols=2,
+    pattern=BroadcastPattern.EXPLICIT,
+    k_steps=8,
+    precision=Precision.FP32,
+    bs=0.0,
+    nbs=0.0,
+    masks=False,
+    seed=0,
+):
+    return GemmKernelConfig(
+        name="test",
+        tile=RegisterTile(rows, cols, pattern),
+        k_steps=k_steps,
+        precision=precision,
+        broadcast_sparsity=bs,
+        nonbroadcast_sparsity=nbs,
+        use_write_masks=masks,
+        seed=seed,
+    )
+
+
+class TestTraceStructure:
+    def test_fma_count_explicit(self):
+        trace = generate_gemm_trace(make_config(rows=3, cols=2, k_steps=10))
+        assert trace.stats.fmas == 3 * 2 * 10
+
+    def test_fma_count_embedded(self):
+        trace = generate_gemm_trace(
+            make_config(rows=4, cols=1, pattern=BroadcastPattern.EMBEDDED, k_steps=5)
+        )
+        assert trace.stats.fmas == 20
+        assert trace.stats.embedded_broadcasts == 20
+
+    def test_explicit_uses_vbcast(self):
+        trace = generate_gemm_trace(make_config(rows=3, cols=2, k_steps=10))
+        assert trace.stats.broadcasts == 3 * 10
+        assert trace.stats.embedded_broadcasts == 0
+
+    def test_load_count(self):
+        trace = generate_gemm_trace(make_config(rows=2, cols=3, k_steps=7))
+        assert trace.stats.vector_loads == 3 * 7
+
+    def test_store_count_matches_tile(self):
+        trace = generate_gemm_trace(make_config(rows=2, cols=3))
+        assert trace.stats.stores == 6
+
+    def test_scalar_overhead(self):
+        config = make_config(k_steps=5)
+        trace = generate_gemm_trace(config)
+        assert trace.stats.scalars == 5 * config.scalar_overhead_per_step
+
+    def test_write_masks_emit_kmovs(self):
+        trace = generate_gemm_trace(make_config(cols=2, k_steps=4, masks=True))
+        assert trace.stats.kmovs == 2 * 4
+        fmas = [u for u in trace.uops if u.is_fma()]
+        assert all(u.wmask is not None for u in fmas)
+
+    def test_no_masks_by_default(self):
+        trace = generate_gemm_trace(make_config())
+        fmas = [u for u in trace.uops if u.is_fma()]
+        assert all(u.wmask is None for u in fmas)
+
+    def test_accumulators_zeroed_first(self):
+        trace = generate_gemm_trace(make_config(rows=2, cols=2))
+        kinds = [u.kind for u in trace.uops[:4]]
+        assert kinds == [UopKind.VZERO] * 4
+
+    def test_deterministic_given_seed(self):
+        a = generate_gemm_trace(make_config(bs=0.5, nbs=0.5, seed=7))
+        b = generate_gemm_trace(make_config(bs=0.5, nbs=0.5, seed=7))
+        assert np.array_equal(a.meta["a_matrix"], b.meta["a_matrix"])
+        assert np.array_equal(b.meta["b_matrix"], b.meta["b_matrix"])
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            make_config(k_steps=0)
+        with pytest.raises(ValueError):
+            make_config(bs=1.5)
+
+
+class TestSparsityInjection:
+    def test_broadcast_sparsity_measured(self):
+        trace = generate_gemm_trace(make_config(rows=8, k_steps=50, bs=0.4))
+        a = trace.meta["a_matrix"]
+        assert np.count_nonzero(a == 0) / a.size == pytest.approx(0.4, abs=0.01)
+
+    def test_nonbroadcast_sparsity_measured(self):
+        trace = generate_gemm_trace(make_config(cols=2, k_steps=50, nbs=0.7))
+        b = trace.meta["b_matrix"]
+        assert np.count_nonzero(b == 0) / b.size == pytest.approx(0.7, abs=0.01)
+
+
+class TestFunctionalCorrectness:
+    """The generated trace, executed in order, computes the GEMM."""
+
+    @pytest.mark.parametrize("pattern", list(BroadcastPattern))
+    @pytest.mark.parametrize("bs,nbs", [(0.0, 0.0), (0.3, 0.5), (0.8, 0.8)])
+    def test_fp32_matches_linear_algebra(self, pattern, bs, nbs):
+        config = make_config(rows=3, cols=2, pattern=pattern, k_steps=16, bs=bs, nbs=nbs)
+        trace = generate_gemm_trace(config)
+        state = trace.reference_result()
+        result = trace.result_matrix(state)
+        expected = expected_c_matrix(trace)
+        np.testing.assert_allclose(result, expected, rtol=1e-5, atol=1e-5)
+
+    @pytest.mark.parametrize("pattern", list(BroadcastPattern))
+    def test_mixed_matches_linear_algebra(self, pattern):
+        config = make_config(
+            rows=2, cols=2, pattern=pattern, k_steps=8, precision=Precision.MIXED,
+            bs=0.3, nbs=0.3,
+        )
+        trace = generate_gemm_trace(config)
+        result = trace.result_matrix(trace.reference_result())
+        expected = expected_c_matrix(trace)
+        # BF16 inputs are exact in FP32; only accumulation order differs.
+        np.testing.assert_allclose(result, expected, rtol=1e-4, atol=1e-4)
+
+    def test_write_masks_do_not_change_result(self):
+        base = generate_gemm_trace(make_config(rows=3, cols=2, k_steps=12, nbs=0.5))
+        masked = generate_gemm_trace(
+            make_config(rows=3, cols=2, k_steps=12, nbs=0.5, masks=True)
+        )
+        np.testing.assert_array_equal(
+            base.result_matrix(base.reference_result()),
+            masked.result_matrix(masked.reference_result()),
+        )
+
+    def test_mixed_k_depth_doubles(self):
+        config = make_config(precision=Precision.MIXED, k_steps=8)
+        assert config.k_depth == 16
+        trace = generate_gemm_trace(config)
+        assert trace.meta["a_matrix"].shape[1] == 16
+
+    def test_fresh_state_isolated(self):
+        trace = generate_gemm_trace(make_config())
+        first = trace.reference_result()
+        # Mutating the first run's memory must not affect a second run.
+        first.memory.write(trace.regions["C"].base, 999.0)
+        second = trace.reference_result()
+        assert second.memory.read(trace.regions["C"].base) != np.float32(999.0)
+
+
+class TestLibrary:
+    def test_all_library_kernels_generate(self):
+        from repro.kernels.library import KERNEL_LIBRARY
+
+        for spec in KERNEL_LIBRARY.values():
+            trace = generate_gemm_trace(spec.config(k_steps=2))
+            assert trace.stats.fmas == spec.tile.accumulators * 2
+
+    def test_get_kernel_unknown(self):
+        from repro.kernels.library import get_kernel
+
+        with pytest.raises(KeyError):
+            get_kernel("nope")
+
+    def test_paper_kernel_properties(self):
+        from repro.kernels.library import get_kernel
+
+        fig18a = get_kernel("resnet3_2_bwd_input")
+        assert fig18a.tile.effective_cw == 1
+        assert fig18a.tile.accumulators == 28
+        fig18b = get_kernel("resnet5_1a_bwd_input")
+        assert fig18b.tile.effective_cw == 3
+        assert fig18b.tile.accumulators == 21

@@ -1,0 +1,95 @@
+"""Tests for the functional im2col conv→GEMM lowering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.conv import ConvShape, Phase
+from repro.kernels.im2col import (
+    conv2d_direct,
+    conv2d_via_gemm,
+    gemm_operands_match_shape,
+    im2col,
+)
+
+
+class TestIm2col:
+    def test_identity_1x1_kernel(self):
+        arr = np.arange(2 * 3 * 3, dtype=np.float32).reshape(2, 3, 3)
+        patches = im2col(arr, kernel=1)
+        assert patches.shape == (9, 2)
+        np.testing.assert_array_equal(patches[:, 0], arr[0].reshape(-1))
+
+    def test_3x3_same_padding_shape(self):
+        arr = np.ones((4, 8, 8), dtype=np.float32)
+        patches = im2col(arr, kernel=3, padding=1)
+        assert patches.shape == (64, 36)
+
+    def test_stride_halves_pixels(self):
+        arr = np.ones((1, 8, 8), dtype=np.float32)
+        patches = im2col(arr, kernel=1, stride=2)
+        assert patches.shape == (16, 1)
+
+    def test_padding_zeros_at_border(self):
+        arr = np.ones((1, 2, 2), dtype=np.float32)
+        patches = im2col(arr, kernel=3, padding=1)
+        # Corner pixel's patch: 5 padded zeros.
+        assert np.count_nonzero(patches[0] == 0) == 5
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            im2col(np.ones((3, 3), dtype=np.float32), kernel=1)
+        with pytest.raises(ValueError):
+            im2col(np.ones((1, 3, 3), dtype=np.float32), kernel=0)
+        with pytest.raises(ValueError):
+            im2col(np.ones((1, 2, 2), dtype=np.float32), kernel=5)
+
+
+class TestConvEquivalence:
+    @given(
+        in_ch=st.integers(1, 3),
+        out_ch=st.integers(1, 4),
+        size=st.integers(3, 7),
+        kernel=st.sampled_from([1, 3]),
+        stride=st.integers(1, 2),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=20)
+    def test_gemm_equals_direct(self, in_ch, out_ch, size, kernel, stride, seed):
+        rng = np.random.default_rng(seed)
+        padding = kernel // 2
+        activations = rng.normal(size=(in_ch, size, size)).astype(np.float32)
+        weights = rng.normal(size=(out_ch, in_ch, kernel, kernel)).astype(np.float32)
+        direct = conv2d_direct(activations, weights, stride, padding)
+        via_gemm, _p, _w = conv2d_via_gemm(activations, weights, stride, padding)
+        np.testing.assert_allclose(via_gemm, direct, rtol=1e-4, atol=1e-4)
+
+    def test_sparse_activations_propagate(self):
+        activations = np.zeros((2, 4, 4), dtype=np.float32)
+        weights = np.ones((3, 2, 3, 3), dtype=np.float32)
+        out, patches, _w = conv2d_via_gemm(activations, weights, 1, 1)
+        assert not out.any()
+        assert not patches.any()
+
+
+class TestShapeConsistency:
+    @pytest.mark.parametrize(
+        "conv",
+        [
+            ConvShape("c1", 3, 8, 12, 12, kernel=3, stride=1, padding=1),
+            ConvShape("c2", 4, 4, 10, 10, kernel=1, stride=1, padding=0),
+            ConvShape("c3", 2, 6, 9, 9, kernel=3, stride=2, padding=1),
+        ],
+    )
+    def test_functional_matches_analytical_dims(self, conv):
+        assert gemm_operands_match_shape(conv)
+
+    def test_macs_match_functional_gemm(self):
+        conv = ConvShape("c", 2, 4, 6, 6, kernel=3, stride=1, padding=1)
+        geometry = conv.gemm(Phase.FORWARD)
+        rng = np.random.default_rng(1)
+        activations = rng.normal(size=(2, 6, 6)).astype(np.float32)
+        weights = rng.normal(size=(4, 2, 3, 3)).astype(np.float32)
+        _out, patches, weight_matrix = conv2d_via_gemm(activations, weights, 1, 1)
+        assert patches.shape[0] * weight_matrix.shape[0] * patches.shape[1] == geometry.macs

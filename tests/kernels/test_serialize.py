@@ -1,0 +1,98 @@
+"""Tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import SAVE_2VPU, simulate
+from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
+from repro.kernels.serialize import (
+    load_trace,
+    save_trace,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
+
+
+def make_trace(precision=Precision.FP32, masks=False):
+    return generate_gemm_trace(
+        GemmKernelConfig(
+            name="ser",
+            tile=RegisterTile(2, 2, BroadcastPattern.EXPLICIT),
+            k_steps=4,
+            precision=precision,
+            broadcast_sparsity=0.3,
+            nonbroadcast_sparsity=0.4,
+            use_write_masks=masks,
+            seed=3,
+        )
+    )
+
+
+class TestRoundtrip:
+    def test_uops_preserved(self):
+        trace = make_trace()
+        clone = trace_from_json(trace_to_json(trace))
+        assert len(clone) == len(trace)
+        for original, restored in zip(trace.uops, clone.uops):
+            assert original.kind == restored.kind
+            assert original.dst == restored.dst
+            assert original.src_a == restored.src_a
+            assert original.src_b == restored.src_b
+
+    def test_memory_preserved(self):
+        trace = make_trace()
+        clone = trace_from_json(trace_to_json(trace))
+        assert clone.memory.snapshot() == trace.memory.snapshot()
+
+    def test_regions_preserved(self):
+        trace = make_trace()
+        clone = trace_from_json(trace_to_json(trace))
+        assert clone.regions["A"].base == trace.regions["A"].base
+        assert clone.regions["C"].size_bytes == trace.regions["C"].size_bytes
+
+    def test_stats_recomputed(self):
+        trace = make_trace()
+        clone = trace_from_json(trace_to_json(trace))
+        assert clone.stats.fmas == trace.stats.fmas
+
+    def test_mixed_precision_roundtrip(self):
+        trace = make_trace(precision=Precision.MIXED)
+        clone = trace_from_json(trace_to_json(trace))
+        assert all(u.bf16 for u in clone.uops if u.is_fma())
+
+    def test_masked_roundtrip(self):
+        trace = make_trace(masks=True)
+        clone = trace_from_json(trace_to_json(trace))
+        assert any(u.wmask is not None for u in clone.uops if u.is_fma())
+
+
+class TestExecutability:
+    def test_restored_trace_executes_identically(self):
+        trace = make_trace()
+        clone = trace_from_json(trace_to_json(trace))
+        original = trace.reference_result()
+        restored = clone.reference_result()
+        for reg in range(32):
+            assert np.array_equal(original.read_vreg(reg), restored.read_vreg(reg))
+
+    def test_restored_trace_simulates(self):
+        trace = make_trace()
+        clone = trace_from_json(trace_to_json(trace))
+        a = simulate(trace, SAVE_2VPU, keep_state=False, warm_level=None)
+        b = simulate(clone, SAVE_2VPU, keep_state=False, warm_level=None)
+        assert a.cycles == b.cycles
+        assert a.vpu_ops == b.vpu_ops
+
+
+class TestFiles:
+    def test_save_load(self, tmp_path):
+        trace = make_trace()
+        path = save_trace(trace, tmp_path / "kernel.json")
+        clone = load_trace(path)
+        assert clone.name == trace.name
+        assert len(clone) == len(trace)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            trace_from_json({"format": 99})

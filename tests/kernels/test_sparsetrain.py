@@ -1,0 +1,110 @@
+"""Tests for the SparseTrain software-skipping baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import BASELINE_2VPU, SAVE_2VPU, simulate
+from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
+from repro.kernels.sparsetrain import SparseTrainConfig, generate_sparsetrain_trace
+from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
+
+
+def gemm_config(bs=0.0, nbs=0.0, k_steps=16, seed=0, pattern=BroadcastPattern.EXPLICIT,
+                precision=Precision.FP32):
+    return GemmKernelConfig(
+        name="st",
+        tile=RegisterTile(4, 6, pattern),
+        k_steps=k_steps,
+        precision=precision,
+        broadcast_sparsity=bs,
+        nonbroadcast_sparsity=nbs,
+        seed=seed,
+    )
+
+
+class TestGeneration:
+    def test_dense_emits_all_rows(self):
+        trace = generate_sparsetrain_trace(SparseTrainConfig(gemm_config()))
+        dense = generate_gemm_trace(gemm_config())
+        assert trace.stats.fmas == dense.stats.fmas
+        assert trace.meta["skipped_rows"] == 0
+
+    def test_bs_removes_fmas_from_stream(self):
+        config = SparseTrainConfig(gemm_config(bs=0.5, k_steps=32))
+        trace = generate_sparsetrain_trace(config)
+        dense = generate_gemm_trace(gemm_config(bs=0.5, k_steps=32))
+        assert trace.stats.fmas < dense.stats.fmas
+        skipped = trace.meta["skipped_rows"]
+        assert trace.stats.fmas == dense.stats.fmas - skipped * 6
+
+    def test_branch_overhead_scalars_present(self):
+        config = SparseTrainConfig(gemm_config(k_steps=8), branch_overhead_uops=2)
+        trace = generate_sparsetrain_trace(config)
+        # 2 per (row, step) + loop overhead.
+        assert trace.stats.scalars >= 2 * 4 * 8
+
+    def test_rejects_mixed_precision(self):
+        with pytest.raises(ValueError):
+            SparseTrainConfig(gemm_config(precision=Precision.MIXED))
+
+    def test_rejects_embedded_pattern(self):
+        with pytest.raises(ValueError):
+            SparseTrainConfig(gemm_config(pattern=BroadcastPattern.EMBEDDED))
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            SparseTrainConfig(gemm_config(), misprediction_rate=2.0)
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("bs,nbs", [(0.0, 0.0), (0.5, 0.0), (0.5, 0.5)])
+    def test_same_result_as_dense_trace(self, bs, nbs):
+        dense = generate_gemm_trace(gemm_config(bs=bs, nbs=nbs))
+        skipped = generate_sparsetrain_trace(SparseTrainConfig(gemm_config(bs=bs, nbs=nbs)))
+        dense_c = dense.result_matrix(dense.reference_result())
+        skipped_c = skipped.result_matrix(skipped.reference_result())
+        np.testing.assert_array_equal(dense_c, skipped_c)
+
+
+class TestPerformanceComparison:
+    def test_software_skipping_helps_at_high_bs(self):
+        dense = generate_gemm_trace(gemm_config(bs=0.7, k_steps=32))
+        st = generate_sparsetrain_trace(SparseTrainConfig(gemm_config(bs=0.7, k_steps=32)))
+        dense_time = simulate(dense, BASELINE_2VPU, keep_state=False).time_ns
+        st_time = simulate(st, BASELINE_2VPU, keep_state=False).time_ns
+        assert st_time < dense_time
+
+    def test_cannot_exploit_nbs(self):
+        dense = generate_gemm_trace(gemm_config(nbs=0.7, k_steps=32))
+        st = generate_sparsetrain_trace(SparseTrainConfig(gemm_config(nbs=0.7, k_steps=32)))
+        dense_time = simulate(dense, BASELINE_2VPU, keep_state=False).time_ns
+        st_time = simulate(st, BASELINE_2VPU, keep_state=False).time_ns
+        # Pure NBS: SparseTrain pays overhead without removing work.
+        assert st_time >= dense_time * 0.98
+
+    def test_save_beats_sparsetrain_with_both_types(self):
+        # SAVE exploits BS and NBS in hardware; SparseTrain only BS in
+        # software, with branch overhead.
+        config = gemm_config(bs=0.4, nbs=0.6, k_steps=32)
+        dense = generate_gemm_trace(config)
+        st = generate_sparsetrain_trace(SparseTrainConfig(config))
+        save_time = simulate(dense, SAVE_2VPU, keep_state=False).time_ns
+        st_time = simulate(st, BASELINE_2VPU, keep_state=False).time_ns
+        assert save_time < st_time
+
+    def test_misprediction_penalty_costs_time(self):
+        cheap = SparseTrainConfig(
+            gemm_config(bs=0.5, k_steps=32), misprediction_rate=0.0
+        )
+        costly = SparseTrainConfig(
+            gemm_config(bs=0.5, k_steps=32),
+            misprediction_rate=1.0,
+            misprediction_penalty_uops=20,
+        )
+        cheap_time = simulate(
+            generate_sparsetrain_trace(cheap), BASELINE_2VPU, keep_state=False
+        ).time_ns
+        costly_time = simulate(
+            generate_sparsetrain_trace(costly), BASELINE_2VPU, keep_state=False
+        ).time_ns
+        assert costly_time > cheap_time

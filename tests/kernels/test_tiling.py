@@ -1,0 +1,50 @@
+"""Tests for register-tile geometry."""
+
+import pytest
+
+from repro.kernels.tiling import BroadcastPattern, RegisterTile
+
+
+class TestRegisterTile:
+    def test_accumulator_count(self):
+        assert RegisterTile(4, 6).accumulators == 24
+        assert RegisterTile(28, 1, BroadcastPattern.EMBEDDED).accumulators == 28
+
+    def test_register_budget_explicit(self):
+        tile = RegisterTile(4, 6, BroadcastPattern.EXPLICIT)
+        assert tile.registers_needed == 24 + 6 + 2
+
+    def test_register_budget_embedded(self):
+        tile = RegisterTile(28, 1, BroadcastPattern.EMBEDDED)
+        assert tile.registers_needed == 30
+
+    def test_rejects_over_budget(self):
+        # 4x7 explicit needs 28+7+2=37 > 32.
+        with pytest.raises(ValueError):
+            RegisterTile(4, 7, BroadcastPattern.EXPLICIT)
+
+    def test_28x1_explicit_fits(self):
+        # 28 + 1 + 2 = 31 <= 32.
+        assert RegisterTile(28, 1, BroadcastPattern.EXPLICIT).registers_needed == 31
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            RegisterTile(0, 1)
+        with pytest.raises(ValueError):
+            RegisterTile(1, -1)
+
+    def test_dependence_distance(self):
+        assert RegisterTile(7, 3, BroadcastPattern.EMBEDDED).dependence_distance == 21
+
+    def test_effective_cw_paper_kernels(self):
+        # Fig. 18a kernel: 28 accumulators, reuse 28 -> effective CW 1.
+        fig18a = RegisterTile(28, 1, BroadcastPattern.EMBEDDED)
+        assert fig18a.b_vector_reuse == 28
+        assert fig18a.effective_cw == 1
+        # Fig. 18b kernel: 21 accumulators, reuse 7 -> effective CW 3.
+        fig18b = RegisterTile(7, 3, BroadcastPattern.EMBEDDED)
+        assert fig18b.b_vector_reuse == 7
+        assert fig18b.effective_cw == 3
+
+    def test_fmas_per_step(self):
+        assert RegisterTile(4, 6).fmas_per_step() == 24

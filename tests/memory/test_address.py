@@ -1,0 +1,69 @@
+"""Tests for address helpers and regions."""
+
+import pytest
+
+from repro.memory.address import (
+    CACHE_LINE_BYTES,
+    Region,
+    line_address,
+    line_index,
+    make_regions,
+)
+
+
+class TestLineHelpers:
+    def test_line_address_aligns_down(self):
+        assert line_address(0) == 0
+        assert line_address(63) == 0
+        assert line_address(64) == 64
+        assert line_address(130) == 128
+
+    def test_line_index(self):
+        assert line_index(0) == 0
+        assert line_index(64) == 1
+        assert line_index(6400) == 100
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region("A", 0x1000, 256)
+        assert region.contains(0x1000)
+        assert region.contains(0x10FF)
+        assert not region.contains(0x1100)
+        assert not region.contains(0xFFF)
+
+    def test_element_address(self):
+        region = Region("A", 0x1000, 256)
+        assert region.element_address(0, 4) == 0x1000
+        assert region.element_address(10, 4) == 0x1028
+        assert region.element_address(10, 2) == 0x1014
+
+    def test_element_out_of_range(self):
+        region = Region("A", 0x1000, 16)
+        with pytest.raises(IndexError):
+            region.element_address(4, 4)
+
+    def test_rejects_unaligned_base(self):
+        with pytest.raises(ValueError):
+            Region("A", 0x1001, 64)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Region("A", 0x1000, 0)
+
+
+class TestMakeRegions:
+    def test_disjoint_and_ordered(self):
+        regions = make_regions(("A", 1000), ("B", 2000), ("C", 512))
+        a, b, c = regions["A"], regions["B"], regions["C"]
+        assert a.end <= b.base <= c.base
+        assert b.end <= c.base
+
+    def test_line_aligned_bases(self):
+        regions = make_regions(("A", 100), ("B", 100))
+        for region in regions.values():
+            assert region.base % CACHE_LINE_BYTES == 0
+
+    def test_guard_gap_present(self):
+        regions = make_regions(("A", 64), ("B", 64))
+        assert regions["B"].base - regions["A"].end >= 4096

@@ -1,0 +1,138 @@
+"""Tests for the broadcast cache (B$) — Sec. IV-A."""
+
+import pytest
+
+from repro.memory.broadcast_cache import (
+    BroadcastCache,
+    BroadcastCacheKind,
+    BroadcastResult,
+)
+
+
+class FakeMemory:
+    """Address → value mapping for zero-ness evaluation."""
+
+    def __init__(self, zeros=()):
+        self.zeros = set(zeros)
+
+    def __call__(self, addr):
+        return 0.0 if addr in self.zeros else 1.0
+
+
+def make_b(kind, zeros=(), entries=32):
+    return BroadcastCache(kind, FakeMemory(zeros), entries=entries)
+
+
+class TestDataDesign:
+    def test_miss_then_hit_same_line(self):
+        b = make_b(BroadcastCacheKind.DATA)
+        first = b.access(0x100)
+        assert not first.hit and first.l1_access
+        # Adjacent element in the same line hits and skips L1.
+        second = b.access(0x104)
+        assert second.hit and not second.l1_access
+
+    def test_hit_serves_nonzero_without_l1(self):
+        b = make_b(BroadcastCacheKind.DATA)
+        b.access(0x100)
+        result = b.access(0x108)
+        assert result.hit and not result.l1_access and not result.value_is_zero
+
+    def test_hit_serves_zero_without_l1(self):
+        b = make_b(BroadcastCacheKind.DATA, zeros={0x108})
+        b.access(0x100)
+        result = b.access(0x108)
+        assert result.hit and not result.l1_access and result.value_is_zero
+
+    def test_direct_mapped_conflict(self):
+        b = make_b(BroadcastCacheKind.DATA, entries=32)
+        b.access(0x0)
+        b.access(32 * 64)  # same slot, different line: evicts
+        assert not b.access(0x0).hit
+
+    def test_l1_reads_saved_counter(self):
+        b = make_b(BroadcastCacheKind.DATA)
+        b.access(0x0)
+        b.access(0x4)
+        b.access(0x8)
+        assert b.stats.l1_reads_saved == 2
+
+
+class TestMaskDesign:
+    def test_zero_hit_skips_l1(self):
+        b = make_b(BroadcastCacheKind.MASK, zeros={0x104})
+        b.access(0x100)
+        result = b.access(0x104)
+        assert result.hit and not result.l1_access and result.value_is_zero
+
+    def test_nonzero_hit_still_reads_l1(self):
+        # The key limitation of the mask design (Fig. 6f).
+        b = make_b(BroadcastCacheKind.MASK)
+        b.access(0x100)
+        result = b.access(0x104)
+        assert result.hit and result.l1_access and not result.value_is_zero
+
+    def test_miss_reads_l1(self):
+        b = make_b(BroadcastCacheKind.MASK)
+        result = b.access(0x200)
+        assert not result.hit and result.l1_access
+
+
+class TestNoneDesign:
+    def test_every_access_reads_l1(self):
+        b = make_b(BroadcastCacheKind.NONE)
+        for _ in range(3):
+            result = b.access(0x100)
+            assert not result.hit and result.l1_access
+
+    def test_zeroness_still_reported(self):
+        b = make_b(BroadcastCacheKind.NONE, zeros={0x100})
+        assert b.access(0x100).value_is_zero
+
+
+class TestCoherence:
+    def test_invalidate_drops_line(self):
+        b = make_b(BroadcastCacheKind.DATA)
+        b.access(0x100)
+        assert b.invalidate(0x100)
+        assert not b.access(0x104).hit
+
+    def test_invalidate_miss_returns_false(self):
+        b = make_b(BroadcastCacheKind.DATA)
+        assert not b.invalidate(0x100)
+
+    def test_invalidate_unaligned_address(self):
+        b = make_b(BroadcastCacheKind.DATA)
+        b.access(0x100)
+        assert b.invalidate(0x104)  # same line
+
+    def test_flush(self):
+        b = make_b(BroadcastCacheKind.DATA)
+        b.access(0x0)
+        b.flush()
+        assert not b.access(0x4).hit
+
+
+class TestStorageAccounting:
+    def test_data_design_larger_than_mask(self):
+        data = make_b(BroadcastCacheKind.DATA)
+        mask = make_b(BroadcastCacheKind.MASK)
+        assert data.storage_bits() > mask.storage_bits()
+
+    def test_none_design_free(self):
+        assert make_b(BroadcastCacheKind.NONE).storage_bits() == 0
+
+    def test_hit_rate_high_for_gemm_like_stream(self):
+        # GEMM broadcasts consecutive elements of a few lines: >90% hits
+        # (the paper reports >90% for all tested kernels).
+        b = make_b(BroadcastCacheKind.DATA)
+        accesses = 0
+        for line in range(8):
+            for element in range(16):
+                b.access(line * 64 + element * 4)
+                accesses += 1
+        assert b.stats.hit_rate > 0.9
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            BroadcastCache(BroadcastCacheKind.DATA, FakeMemory(), entries=0)

@@ -1,0 +1,134 @@
+"""Tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import SetAssociativeCache
+
+
+def small_cache(ways=2, sets=4, policy="lru"):
+    return SetAssociativeCache("test", ways * sets * 64, ways, policy)
+
+
+class TestGeometry:
+    def test_set_count(self):
+        cache = SetAssociativeCache("L1", 32 * 1024, 8)
+        assert cache.num_sets == 64
+
+    def test_rejects_nondivisible_size(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache("bad", 1000, 3)
+
+
+class TestAccessBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0x40).hit
+        assert cache.access(0x40).hit
+
+    def test_same_line_different_bytes_hit(self):
+        cache = small_cache()
+        cache.access(0x40)
+        assert cache.access(0x7F).hit
+        assert not cache.access(0x80).hit
+
+    def test_eviction_reports_victim(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.access(0x0)
+        result = cache.access(0x40)
+        assert result.evicted_line == 0x0
+
+    def test_eviction_callback_fires(self):
+        cache = small_cache(ways=1, sets=1)
+        evicted = []
+        cache.on_evict = evicted.append
+        cache.access(0x0)
+        cache.access(0x40)
+        assert evicted == [0x0]
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.access(0x0)
+        cache.access(0x40)
+        cache.access(0x0)  # touch 0x0, 0x40 becomes LRU
+        result = cache.access(0x80)
+        assert result.evicted_line == 0x40
+
+    def test_stats_accumulate(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(64 * 4)  # different set
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+
+    def test_lookup_does_not_mutate(self):
+        cache = small_cache()
+        assert not cache.lookup(0x40)
+        assert cache.stats.accesses == 0
+        cache.access(0x40)
+        assert cache.lookup(0x40)
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.access(0x40)
+        assert cache.invalidate(0x40)
+        assert not cache.lookup(0x40)
+        assert not cache.invalidate(0x40)
+
+    def test_resident_lines(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.access(0x100)
+        assert cache.resident_lines() == {0x0, 0x100}
+
+    def test_reset_stats(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+
+    def test_clone_empty(self):
+        cache = small_cache()
+        cache.access(0)
+        clone = cache.clone_empty()
+        assert not clone.resident_lines()
+        assert clone.num_sets == cache.num_sets
+
+
+class TestCapacityProperties:
+    def test_working_set_within_capacity_all_hits(self):
+        cache = SetAssociativeCache("L1", 32 * 1024, 8)
+        lines = [i * 64 for i in range(512)]  # exactly 32 KB
+        for addr in lines:
+            cache.access(addr)
+        cache.reset_stats()
+        for addr in lines:
+            cache.access(addr)
+        assert cache.stats.hit_rate == 1.0
+
+    def test_streaming_working_set_misses(self):
+        cache = SetAssociativeCache("L1", 4 * 1024, 4)
+        for rep in range(3):
+            for i in range(256):  # 16 KB stream, 4x capacity
+                cache.access(i * 64)
+        # Pure streaming with LRU: every access past the first pass
+        # still misses.
+        assert cache.stats.hit_rate == 0.0
+
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=300))
+    @settings(max_examples=20)
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        cache = small_cache(ways=2, sets=4)
+        for addr in addrs:
+            cache.access(addr)
+        assert len(cache.resident_lines()) <= 8
+
+    @given(st.lists(st.integers(0, 2**14), min_size=1, max_size=300))
+    @settings(max_examples=20)
+    def test_hit_iff_resident(self, addrs):
+        cache = small_cache(ways=2, sets=4)
+        for addr in addrs:
+            resident = (addr // 64) * 64 in cache.resident_lines()
+            assert cache.access(addr).hit == resident

@@ -1,0 +1,143 @@
+"""Tests for the inclusive L1/L2/L3 + DRAM hierarchy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.broadcast_cache import BroadcastCache, BroadcastCacheKind
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+def tiny_hierarchy(**kwargs):
+    """A small hierarchy so eviction paths are exercised quickly."""
+    config = HierarchyConfig(
+        l1_size=1024,
+        l1_ways=2,
+        l2_size=4096,
+        l2_ways=4,
+        l3_slice_size=8192,
+        l3_ways=4,
+        cores=1,
+    )
+    return MemoryHierarchy(config, **kwargs)
+
+
+class TestLatencies:
+    def test_cold_access_pays_dram(self):
+        h = MemoryHierarchy()
+        latency = h.access(0x1000)
+        assert latency >= h.dram.latency_cycles(1.7)
+
+    def test_l1_hit_after_fill(self):
+        h = MemoryHierarchy()
+        h.access(0x1000)
+        assert h.access(0x1000) == h.config.l1_latency
+
+    def test_latency_ordering(self):
+        h = MemoryHierarchy()
+        cfg = h.config
+        assert cfg.l1_latency < cfg.l2_latency < h._l3_latency_cycles() < h._dram_latency_cycles()
+
+    def test_l3_latency_scales_with_frequency(self):
+        slow = MemoryHierarchy(freq_ghz=1.7)
+        fast = MemoryHierarchy(freq_ghz=2.1)
+        # ns-domain latencies cost more cycles at higher core frequency.
+        assert fast._l3_latency_cycles() > slow._l3_latency_cycles()
+
+    def test_l1_latency_constant_in_cycles(self):
+        slow = MemoryHierarchy(freq_ghz=1.7)
+        fast = MemoryHierarchy(freq_ghz=2.1)
+        assert slow.config.l1_latency == fast.config.l1_latency
+
+
+class TestInclusivity:
+    def test_invariant_holds_under_random_stream(self):
+        h = tiny_hierarchy()
+        import random
+
+        rng = random.Random(0)
+        for _ in range(2000):
+            h.access(rng.randrange(0, 1 << 16) & ~3)
+            assert h.check_inclusive()
+
+    def test_l3_eviction_back_invalidates(self):
+        h = tiny_hierarchy()
+        h.access(0x0)
+        assert h.l1.lookup(0x0)
+        # Stream enough lines to evict 0x0 from L3.
+        for i in range(1, 4096):
+            h.access(i * 64)
+        assert not h.l3.lookup(0x0)
+        assert not h.l1.lookup(0x0)
+        assert not h.l2.lookup(0x0)
+
+    def test_b_cache_invalidated_with_l1(self):
+        bcache = BroadcastCache(BroadcastCacheKind.DATA, lambda addr: 1.0)
+        h = tiny_hierarchy(broadcast_cache=bcache)
+        bcache.access(0x0)
+        h.access(0x0)
+        for i in range(1, 4096):
+            h.access(i * 64)
+        # Hierarchy evictions propagated into the B$.
+        assert bcache.stats.invalidations >= 1
+
+
+class TestTrafficAccounting:
+    def test_l1_hit_generates_no_downstream_traffic(self):
+        h = MemoryHierarchy()
+        h.access(0x0)
+        h.reset_stats()
+        h.access(0x0)
+        assert h.traffic.l2_to_l1 == 0
+        assert h.traffic.dram_to_l3 == 0
+        assert h.traffic.l1_to_core == 64
+
+    def test_cold_miss_traffic_at_every_level(self):
+        h = MemoryHierarchy()
+        h.access(0x0)
+        assert h.traffic.l2_to_l1 == 64
+        assert h.traffic.l3_to_l2 == 64
+        assert h.traffic.dram_to_l3 == 64
+
+    def test_store_traffic_tracked(self):
+        h = MemoryHierarchy()
+        h.access(0x0, is_write=True)
+        assert h.traffic.stores == 64
+
+
+class TestWarm:
+    def test_warm_l3_hits_at_l3(self):
+        h = MemoryHierarchy()
+        h.warm([0x0], level="l3")
+        latency = h.access(0x0)
+        assert latency == h._l3_latency_cycles()
+
+    def test_warm_l1(self):
+        h = MemoryHierarchy()
+        h.warm([0x0], level="l1")
+        assert h.access(0x0) == h.config.l1_latency
+        assert h.check_inclusive()
+
+    def test_warm_resets_stats(self):
+        h = MemoryHierarchy()
+        h.warm([0x0, 0x40], level="l3")
+        assert h.l3.stats.accesses == 0
+
+    def test_warm_unknown_level(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy().warm([0], level="l4")
+
+
+class TestL3Sharing:
+    def test_capacity_shrinks_with_sharers(self):
+        cfg = HierarchyConfig()
+        assert cfg.l3_capacity(1) == cfg.l3_slice_size * 28
+        assert cfg.l3_capacity(28) == cfg.l3_slice_size
+
+    def test_capacity_never_below_slice(self):
+        cfg = HierarchyConfig()
+        assert cfg.l3_capacity(1000) == cfg.l3_slice_size
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig().l3_capacity(0)

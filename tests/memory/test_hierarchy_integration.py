@@ -1,0 +1,87 @@
+"""Integration tests of the hierarchy's policies working together."""
+
+import pytest
+
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+class TestSrripAtL3:
+    def test_l3_uses_srrip(self):
+        h = MemoryHierarchy()
+        assert h.l3._policy_name == "srrip"
+        assert h.l1._policy_name == "lru"
+
+    def test_srrip_scan_resistance_vs_lru(self):
+        """A hot set survives a streaming scan under SRRIP but not LRU."""
+        srrip = SetAssociativeCache("s", 4 * 64, 4, "srrip")
+        lru = SetAssociativeCache("l", 4 * 64, 4, "lru")
+        hot = 0x0
+        for cache in (srrip, lru):
+            cache.access(hot)
+            cache.access(hot)  # promote
+            # Stream 6 never-reused lines through the single set.
+            for i in range(1, 7):
+                cache.access(i * 64 * 1)  # same set (1 set)
+        assert srrip.lookup(hot)
+        assert not lru.lookup(hot)
+
+
+class TestNucaLatency:
+    def test_l3_latency_includes_noc(self):
+        near = MemoryHierarchy(core_id=10)  # centre tile
+        far = MemoryHierarchy(core_id=0)  # corner tile
+        assert far._l3_latency_cycles() >= near._l3_latency_cycles()
+
+    def test_dram_latency_exceeds_l3(self):
+        h = MemoryHierarchy()
+        assert h._dram_latency_cycles() > h._l3_latency_cycles()
+
+
+class TestInclusiveInterplay:
+    def test_l2_eviction_invalidates_l1_not_l3(self):
+        config = HierarchyConfig(
+            l1_size=1024, l1_ways=2,
+            l2_size=2048, l2_ways=2,
+            l3_slice_size=64 * 1024, l3_ways=8, cores=1,
+        )
+        h = MemoryHierarchy(config)
+        h.access(0x0)
+        # Fill L2's set until 0x0 evicts from L2 (32 sets L1 / 16 sets L2).
+        set_stride = h.l2.num_sets * 64
+        for i in range(1, 4):
+            h.access(i * set_stride)
+        assert not h.l2.lookup(0x0)
+        assert not h.l1.lookup(0x0)  # back-invalidated
+        assert h.l3.lookup(0x0)  # L3 unaffected
+
+    def test_reaccess_after_back_invalidation_misses_l1(self):
+        config = HierarchyConfig(
+            l1_size=1024, l1_ways=2,
+            l2_size=2048, l2_ways=2,
+            l3_slice_size=64 * 1024, l3_ways=8, cores=1,
+        )
+        h = MemoryHierarchy(config)
+        h.access(0x0)
+        set_stride = h.l2.num_sets * 64
+        for i in range(1, 4):
+            h.access(i * set_stride)
+        latency = h.access(0x0)
+        assert latency > config.l1_latency
+
+
+class TestFrequencyDomains:
+    @pytest.mark.parametrize("freq", [1.0, 1.7, 2.1, 3.0])
+    def test_l3_cycles_scale_linearly(self, freq):
+        h = MemoryHierarchy(freq_ghz=freq)
+        base = MemoryHierarchy(freq_ghz=1.0)
+        assert h._l3_latency_cycles() == pytest.approx(
+            base._l3_latency_cycles() * freq, abs=1.0
+        )
+
+    def test_warm_then_access_traffic_only_at_l1(self):
+        h = MemoryHierarchy()
+        h.warm([0x0], level="l1")
+        h.access(0x0)
+        assert h.traffic.l2_to_l1 == 0
+        assert h.traffic.l1_to_core == 64

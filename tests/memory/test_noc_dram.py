@@ -1,0 +1,89 @@
+"""Tests for the mesh NoC and DRAM models."""
+
+import pytest
+
+from repro.memory.dram import DramModel
+from repro.memory.noc import MeshNoc
+
+
+class TestMeshNoc:
+    def test_default_covers_28_cores(self):
+        assert MeshNoc().num_tiles == 28
+
+    def test_coordinates_row_major(self):
+        noc = MeshNoc(width=7, height=4)
+        assert noc.coordinates(0) == (0, 0)
+        assert noc.coordinates(6) == (6, 0)
+        assert noc.coordinates(7) == (0, 1)
+        assert noc.coordinates(27) == (6, 3)
+
+    def test_coordinates_out_of_range(self):
+        with pytest.raises(ValueError):
+            MeshNoc().coordinates(28)
+
+    def test_hops_manhattan(self):
+        noc = MeshNoc()
+        assert noc.hops(0, 0) == 0
+        assert noc.hops(0, 27) == 6 + 3
+
+    def test_hops_symmetric(self):
+        noc = MeshNoc()
+        for src, dst in [(0, 13), (5, 22), (27, 1)]:
+            assert noc.hops(src, dst) == noc.hops(dst, src)
+
+    def test_latency_two_cycles_per_hop(self):
+        noc = MeshNoc()
+        assert noc.latency(0, 1) == 2
+        assert noc.round_trip_latency(0, 1) == 4
+
+    def test_home_slice_in_range(self):
+        noc = MeshNoc()
+        for line in range(0, 64 * 1000, 64):
+            assert 0 <= noc.home_slice(line) < 28
+
+    def test_home_slice_spreads(self):
+        noc = MeshNoc()
+        homes = {noc.home_slice(i * 64) for i in range(1000)}
+        assert len(homes) == 28
+
+    def test_average_round_trip_positive(self):
+        noc = MeshNoc()
+        corner = noc.average_round_trip(0)
+        # Centre tiles are closer to everyone than corner tiles.
+        centre = noc.average_round_trip(10)
+        assert centre < corner
+
+
+class TestDram:
+    def test_latency_cycles_scale_with_frequency(self):
+        dram = DramModel()
+        assert dram.latency_cycles(1.7) == 85
+        assert dram.latency_cycles(2.1) == 105
+
+    def test_latency_rejects_bad_freq(self):
+        with pytest.raises(ValueError):
+            DramModel().latency_cycles(0)
+
+    def test_per_core_bandwidth_fair_share(self):
+        dram = DramModel()
+        assert dram.per_core_bandwidth(28) == pytest.approx(119.2 / 28)
+
+    def test_effective_latency_unloaded(self):
+        dram = DramModel()
+        assert dram.effective_latency_ns(0.0) == pytest.approx(50.0)
+
+    def test_effective_latency_grows_with_load(self):
+        dram = DramModel()
+        low = dram.effective_latency_ns(10.0)
+        high = dram.effective_latency_ns(100.0)
+        assert high > low > 50.0 - 1e-9
+
+    def test_effective_latency_capped(self):
+        dram = DramModel()
+        assert dram.effective_latency_ns(1e9) <= 500.0 + 1e-9
+
+    def test_streaming_time(self):
+        dram = DramModel()
+        # 119.2 bytes at full BW from one core = 1 ns.
+        assert dram.streaming_time_ns(119.2, active_cores=1) == pytest.approx(1.0)
+        assert dram.streaming_time_ns(119.2, active_cores=2) == pytest.approx(2.0)

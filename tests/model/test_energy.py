@@ -1,0 +1,85 @@
+"""Tests for the kernel energy model."""
+
+import pytest
+
+from repro.core import BASELINE_2VPU, SAVE_1VPU, SAVE_2VPU, simulate
+from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
+from repro.kernels.tiling import BroadcastPattern, RegisterTile
+from repro.model.energy import EnergyBreakdown, EnergyModel, EnergyParams
+
+
+def run(machine, bs=0.0, nbs=0.0, k_steps=16):
+    trace = generate_gemm_trace(
+        GemmKernelConfig(
+            name="e",
+            tile=RegisterTile(4, 6, BroadcastPattern.EXPLICIT),
+            k_steps=k_steps,
+            broadcast_sparsity=bs,
+            nonbroadcast_sparsity=nbs,
+            seed=0,
+        )
+    )
+    return simulate(trace, machine, keep_state=False)
+
+
+MODEL = EnergyModel()
+
+
+class TestEnergyBreakdown:
+    def test_total_sums_components(self):
+        breakdown = EnergyBreakdown(1.0, 2.0, 0.5, 3.0)
+        assert breakdown.total_nj == pytest.approx(6.5)
+
+    def test_relative(self):
+        a = EnergyBreakdown(1.0, 0.0, 0.0, 0.0)
+        b = EnergyBreakdown(2.0, 0.0, 0.0, 0.0)
+        assert a.relative_to(b) == pytest.approx(0.5)
+
+
+class TestKernelEnergy:
+    def test_components_positive(self):
+        result = run(BASELINE_2VPU)
+        energy = MODEL.kernel_energy(result, BASELINE_2VPU)
+        assert energy.vpu_dynamic_nj > 0
+        assert energy.memory_dynamic_nj > 0
+        assert energy.static_nj > 0
+
+    def test_baseline_has_no_mgu_energy(self):
+        result = run(BASELINE_2VPU)
+        assert MODEL.kernel_energy(result, BASELINE_2VPU).mgu_nj == 0.0
+
+    def test_save_sparse_cheaper_than_baseline(self):
+        base = MODEL.kernel_energy(run(BASELINE_2VPU, bs=0.5, nbs=0.5), BASELINE_2VPU)
+        save = MODEL.kernel_energy(run(SAVE_2VPU, bs=0.5, nbs=0.5), SAVE_2VPU)
+        assert save.total_nj < base.total_nj
+
+    def test_save_dense_costs_about_the_same(self):
+        base = MODEL.kernel_energy(run(BASELINE_2VPU), BASELINE_2VPU)
+        save = MODEL.kernel_energy(run(SAVE_2VPU), SAVE_2VPU)
+        assert save.total_nj == pytest.approx(base.total_nj, rel=0.1)
+
+    def test_vpu_gating_saves_leakage_at_high_sparsity(self):
+        two = MODEL.kernel_energy(run(SAVE_2VPU, bs=0.8, nbs=0.8), SAVE_2VPU)
+        one = MODEL.kernel_energy(run(SAVE_1VPU, bs=0.8, nbs=0.8), SAVE_1VPU)
+        assert one.total_nj < two.total_nj
+
+    def test_vpu_gating_wastes_energy_dense(self):
+        # Dense: the 1-VPU run takes much longer, so its static energy
+        # dominates the saved leakage.
+        two = MODEL.kernel_energy(run(SAVE_2VPU), SAVE_2VPU)
+        one = MODEL.kernel_energy(run(SAVE_1VPU), SAVE_1VPU)
+        assert one.total_nj > two.total_nj
+
+    def test_energy_per_mac(self):
+        result = run(BASELINE_2VPU)
+        per_mac = MODEL.energy_per_mac(result, BASELINE_2VPU)
+        # Skylake-class ballpark: tenths of a nJ per MAC.
+        assert 0.05 < per_mac < 2.0
+
+    def test_custom_params(self):
+        hot = EnergyModel(EnergyParams(vpu_leakage_w=10.0))
+        result = run(SAVE_2VPU)
+        assert (
+            hot.kernel_energy(result, SAVE_2VPU).static_nj
+            > MODEL.kernel_energy(result, SAVE_2VPU).static_nj
+        )

@@ -1,0 +1,71 @@
+"""Invariant tests on the whole-network estimator's aggregation."""
+
+import pytest
+
+from repro.kernels.conv import Phase
+from repro.kernels.tiling import Precision
+from repro.model.estimator import (
+    BASELINE,
+    DYNAMIC,
+    ONE_VPU,
+    STATIC,
+    TWO_VPUS,
+    KernelEstimate,
+    aggregate,
+)
+
+
+def estimate(category, base, two, one, name="layer"):
+    return KernelEstimate(
+        layer_name=name,
+        phase=Phase.FORWARD,
+        category=category,
+        times_ns={BASELINE: base, TWO_VPUS: two, ONE_VPU: one},
+    )
+
+
+class TestAggregate:
+    def test_breakdown_sums_to_total(self):
+        steps = [
+            [estimate("forward", 10, 8, 9), estimate("backward weight", 20, 15, 18)],
+            [estimate("forward", 12, 9, 10), estimate("backward weight", 22, 16, 19)],
+        ]
+        configs = aggregate(steps, include_static=True)
+        for result in configs.values():
+            assert sum(result.breakdown_ns.values()) == pytest.approx(result.total_ns)
+
+    def test_dynamic_never_slower_than_fixed(self):
+        steps = [[estimate("forward", 10, 8, 12), estimate("forward", 10, 12, 8)]]
+        configs = aggregate(steps, include_static=True)
+        assert configs[DYNAMIC].total_ns <= configs[TWO_VPUS].total_ns + 1e-12
+        assert configs[DYNAMIC].total_ns <= configs[ONE_VPU].total_ns + 1e-12
+
+    def test_static_between_fixed_and_dynamic(self):
+        steps = [
+            [estimate("forward", 10, 8, 12), estimate("forward", 10, 12, 8)],
+            [estimate("forward", 10, 9, 20)],
+        ]
+        configs = aggregate(steps, include_static=True)
+        best_fixed = min(configs[TWO_VPUS].total_ns, configs[ONE_VPU].total_ns)
+        assert configs[DYNAMIC].total_ns <= configs[STATIC].total_ns + 1e-12
+        assert configs[STATIC].total_ns <= best_fixed + 1e-12
+
+    def test_dynamic_equals_per_kernel_min(self):
+        steps = [[estimate("forward", 10, 8, 12), estimate("forward", 10, 12, 8)]]
+        configs = aggregate(steps, include_static=False)
+        assert configs[DYNAMIC].total_ns == pytest.approx(16.0)
+
+    def test_step_averaging(self):
+        steps = [[estimate("forward", 10, 10, 10)], [estimate("forward", 30, 30, 30)]]
+        configs = aggregate(steps, include_static=False)
+        assert configs[BASELINE].total_ns == pytest.approx(20.0)
+
+    def test_static_excluded_for_inference(self):
+        configs = aggregate([[estimate("forward", 1, 1, 1)]], include_static=False)
+        assert STATIC not in configs
+
+    def test_speedup_normalisation(self):
+        configs = aggregate([[estimate("forward", 10, 5, 8)]], include_static=False)
+        base = configs[BASELINE].total_ns
+        assert configs[TWO_VPUS].speedup(base) == pytest.approx(2.0)
+        assert configs[TWO_VPUS].normalized(base) == pytest.approx(0.5)

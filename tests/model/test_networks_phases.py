@@ -1,0 +1,137 @@
+"""Tests for the network zoo and the Table III phase mapping."""
+
+import pytest
+
+from repro.kernels.conv import ConvShape, Phase
+from repro.kernels.lstm import LstmShape
+from repro.kernels.tiling import BroadcastPattern
+from repro.model.networks import GNMT, RESNET50_DENSE, RESNET50_PRUNED, VGG16, NetworkModel
+from repro.model.phases import kernel_tile_for_phase, phase_sparsity
+from repro.sparsity.profiles import vgg16_activation_profile
+
+
+class TestNetworkZoo:
+    def test_vgg16_has_13_convs(self):
+        assert VGG16.n_layers == 13
+        assert all(isinstance(layer, ConvShape) for layer in VGG16.layers)
+
+    def test_resnet50_has_53_convs(self):
+        assert RESNET50_DENSE.n_layers == 53
+
+    def test_gnmt_has_8_cells(self):
+        assert GNMT.n_layers == 8
+        assert all(isinstance(layer, LstmShape) for layer in GNMT.layers)
+
+    def test_vgg16_first_layer_rgb(self):
+        assert VGG16.layers[0].in_channels == 3
+
+    def test_resnet50_stem_is_7x7_stride2(self):
+        stem = RESNET50_DENSE.layers[0]
+        assert stem.kernel == 7 and stem.stride == 2
+
+    def test_resnet50_total_weights_plausible(self):
+        # ResNet-50 has ~23.5M conv weights (25.6M incl. FC).
+        total = sum(layer.weight_count for layer in RESNET50_DENSE.layers)
+        assert 20e6 < total < 28e6
+
+    def test_vgg16_conv_weights_plausible(self):
+        # VGG16 has ~14.7M conv weights.
+        total = sum(layer.weight_count for layer in VGG16.layers)
+        assert 13e6 < total < 16e6
+
+    def test_pruning_bindings(self):
+        assert VGG16.pruning is None
+        assert RESNET50_PRUNED.pruning is not None
+        assert GNMT.pruning is not None
+
+    def test_weight_sparsity_progression(self):
+        assert RESNET50_PRUNED.weight_sparsity_at(0) == 0.0
+        assert RESNET50_PRUNED.weight_sparsity_at(102) == pytest.approx(0.80)
+        assert RESNET50_DENSE.weight_sparsity_at(90) == 0.0
+
+    def test_gradient_sources(self):
+        # VGG16: ReLU gradients are sparse; ResNet-50: BatchNorm kills
+        # gradient sparsity; GNMT: dropout.
+        assert VGG16.output_gradient_sparsity(5, 90) > 0
+        assert RESNET50_DENSE.output_gradient_sparsity(5, 90) == 0.0
+        assert GNMT.output_gradient_sparsity(3, 100_000) == pytest.approx(0.20)
+
+    def test_layer_profile_length_validated(self):
+        with pytest.raises(ValueError):
+            NetworkModel(
+                name="bad",
+                layers=VGG16.layers[:5],
+                activation_profile=vgg16_activation_profile(),
+            )
+
+    def test_unknown_gradient_source_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(
+                name="bad",
+                layers=VGG16.layers,
+                activation_profile=vgg16_activation_profile(),
+                gradient_source="magic",
+            )
+
+
+class TestPhaseSparsity:
+    """The mapping must reproduce Table III's check marks."""
+
+    def test_dense_vgg16_row(self):
+        step = 45
+        fwd = phase_sparsity(VGG16, 5, Phase.FORWARD, step)
+        bwd_in = phase_sparsity(VGG16, 5, Phase.BACKWARD_INPUT, step)
+        bwd_w = phase_sparsity(VGG16, 5, Phase.BACKWARD_WEIGHT, step)
+        assert fwd[0] > 0 and fwd[1] == 0  # BS only
+        assert bwd_in[0] > 0 and bwd_in[1] == 0  # BS only
+        assert bwd_w[0] > 0 and bwd_w[1] > 0  # BS and NBS
+
+    def test_dense_resnet50_row(self):
+        step = 45
+        fwd = phase_sparsity(RESNET50_DENSE, 5, Phase.FORWARD, step)
+        bwd_in = phase_sparsity(RESNET50_DENSE, 5, Phase.BACKWARD_INPUT, step)
+        bwd_w = phase_sparsity(RESNET50_DENSE, 5, Phase.BACKWARD_WEIGHT, step)
+        assert fwd[0] > 0 and fwd[1] == 0
+        assert bwd_in == (0.0, 0.0)  # no sparsity at all (paper note)
+        assert bwd_w[0] > 0 and bwd_w[1] == 0
+
+    def test_pruned_resnet50_row(self):
+        step = 90  # pruning complete
+        fwd = phase_sparsity(RESNET50_PRUNED, 5, Phase.FORWARD, step)
+        bwd_in = phase_sparsity(RESNET50_PRUNED, 5, Phase.BACKWARD_INPUT, step)
+        bwd_w = phase_sparsity(RESNET50_PRUNED, 5, Phase.BACKWARD_WEIGHT, step)
+        assert fwd[0] > 0 and fwd[1] == pytest.approx(0.80)
+        # Fig. 18's premise: NBS present while BS is not.
+        assert bwd_in[0] == 0.0 and bwd_in[1] == pytest.approx(0.80)
+        assert bwd_w[0] > 0 and bwd_w[1] == 0
+
+    def test_pruned_gnmt_row(self):
+        step = 300_000
+        fwd = phase_sparsity(GNMT, 3, Phase.FORWARD, step)
+        bwd = phase_sparsity(GNMT, 3, Phase.BACKWARD_INPUT, step)
+        assert fwd[0] == pytest.approx(0.20) and fwd[1] == pytest.approx(0.90)
+        assert bwd[0] == pytest.approx(0.20) and bwd[1] == pytest.approx(0.90)
+
+    def test_first_layer_has_no_activation_sparsity(self):
+        fwd = phase_sparsity(VGG16, 0, Phase.FORWARD, 90)
+        assert fwd[0] == 0.0
+
+
+class TestKernelTiles:
+    def test_forward_is_explicit(self):
+        tile = kernel_tile_for_phase(Phase.FORWARD)
+        assert tile.pattern == BroadcastPattern.EXPLICIT
+
+    def test_backward_input_matches_fig18a(self):
+        tile = kernel_tile_for_phase(Phase.BACKWARD_INPUT)
+        assert tile.accumulators == 28
+        assert tile.effective_cw == 1
+        assert tile.pattern == BroadcastPattern.EMBEDDED
+
+    def test_backward_weight_embedded(self):
+        tile = kernel_tile_for_phase(Phase.BACKWARD_WEIGHT)
+        assert tile.pattern == BroadcastPattern.EMBEDDED
+
+    def test_lstm_tile(self):
+        tile = kernel_tile_for_phase(Phase.BACKWARD_INPUT, lstm=True)
+        assert tile.pattern == BroadcastPattern.EXPLICIT

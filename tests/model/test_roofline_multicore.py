@@ -1,0 +1,90 @@
+"""Tests for the roofline traffic model and multicore split."""
+
+import pytest
+
+from repro.kernels.conv import ConvShape, Phase
+from repro.kernels.lstm import LstmShape
+from repro.model.multicore import MulticoreSplit
+from repro.model.roofline import layer_memory_time_ns, layer_traffic_bytes
+
+
+CONV = ConvShape("c", 64, 128, 28, 28, kernel=3, stride=1, padding=1)
+LSTM = LstmShape("l", hidden=1024, input_size=1024, seq_len=30)
+
+
+class TestTraffic:
+    def test_conv_forward_traffic_components(self):
+        traffic = layer_traffic_bytes(CONV, Phase.FORWARD, batch=1)
+        expected = CONV.weight_bytes() + CONV.activation_bytes() + CONV.output_bytes()
+        assert traffic == expected
+
+    def test_batch_scales_activations_not_weights(self):
+        t1 = layer_traffic_bytes(CONV, Phase.FORWARD, batch=1)
+        t2 = layer_traffic_bytes(CONV, Phase.FORWARD, batch=2)
+        delta = t2 - t1
+        assert delta == CONV.activation_bytes() + CONV.output_bytes()
+
+    def test_element_bytes_halve_traffic(self):
+        fp32 = layer_traffic_bytes(CONV, Phase.FORWARD, batch=1, element_bytes=4)
+        bf16 = layer_traffic_bytes(CONV, Phase.FORWARD, batch=1, element_bytes=2)
+        assert bf16 == fp32 / 2
+
+    def test_lstm_weights_dominate(self):
+        traffic = layer_traffic_bytes(LSTM, Phase.FORWARD, batch=84)
+        weights = LSTM.weight_count * 4 * LSTM.seq_len
+        assert traffic / weights < 1.2  # weight stream dominates
+
+    def test_lstm_backward_heavier(self):
+        fwd = layer_traffic_bytes(LSTM, Phase.FORWARD, batch=84)
+        bwd = layer_traffic_bytes(LSTM, Phase.BACKWARD_INPUT, batch=84)
+        assert bwd > fwd
+
+    def test_memory_time_positive_bandwidth_required(self):
+        with pytest.raises(ValueError):
+            layer_memory_time_ns(CONV, Phase.FORWARD, 1, 0.0)
+
+    def test_memory_time_scales_inverse_bandwidth(self):
+        slow = layer_memory_time_ns(CONV, Phase.FORWARD, 1, 10.0)
+        fast = layer_memory_time_ns(CONV, Phase.FORWARD, 1, 20.0)
+        assert slow == pytest.approx(2 * fast)
+
+
+class TestMulticoreSplit:
+    def test_compute_divides_by_cores(self):
+        split = MulticoreSplit(cores=28)
+        assert split.compute_time_ns(28e6, 1.0) == pytest.approx(1e6)
+
+    def test_roofline_takes_max(self):
+        split = MulticoreSplit(cores=1)
+        compute_bound = split.layer_time_ns(1e9, 1.0, 1.0)
+        assert compute_bound == pytest.approx(1e9)
+        memory_bound = split.layer_time_ns(1.0, 1.0, 1e9)
+        assert memory_bound > 1e7
+
+    def test_memory_time_uses_efficiency(self):
+        full = MulticoreSplit(bandwidth_efficiency=1.0)
+        derated = MulticoreSplit(bandwidth_efficiency=0.5)
+        assert derated.memory_time_ns(1e6) == pytest.approx(2 * full.memory_time_ns(1e6))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MulticoreSplit(cores=0)
+        with pytest.raises(ValueError):
+            MulticoreSplit(bandwidth_efficiency=0.0)
+
+    def test_lstm_memory_bound_cnn_compute_bound(self):
+        # The paper's Sec. VII-A contrast, at realistic rates.
+        split = MulticoreSplit()
+        ns_per_fma = 0.3  # ~2 FMAs/cycle at 1.7 GHz, 28 cores
+        conv_fmas = CONV.macs(Phase.FORWARD, batch=28) / 16
+        conv_traffic = layer_traffic_bytes(CONV, Phase.FORWARD, batch=28)
+        assert split.compute_time_ns(conv_fmas, ns_per_fma) > split.memory_time_ns(
+            conv_traffic
+        )
+        lstm_fmas = LSTM.macs(Phase.FORWARD, batch=84) / 16
+        lstm_traffic = layer_traffic_bytes(LSTM, Phase.FORWARD, batch=84)
+        # LSTM compute headroom over memory is thin: under 3x.
+        ratio = split.compute_time_ns(lstm_fmas, ns_per_fma) / split.memory_time_ns(
+            lstm_traffic
+        )
+        assert ratio < 3.0

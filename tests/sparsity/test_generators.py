@@ -1,0 +1,89 @@
+"""Tests for sparse tensor generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparsity.generators import sparse_matrix, sparse_vector, sparsify, zero_mask
+from repro.sparsity.stats import measured_sparsity
+
+
+class TestZeroMask:
+    def test_exact_count(self):
+        mask = zero_mask((100,), 0.3, rng=0)
+        assert mask.sum() == 30
+
+    def test_zero_sparsity(self):
+        assert not zero_mask((64,), 0.0, rng=0).any()
+
+    def test_full_sparsity(self):
+        assert zero_mask((64,), 1.0, rng=0).all()
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            zero_mask((10,), 1.5)
+        with pytest.raises(ValueError):
+            zero_mask((10,), -0.1)
+
+    def test_deterministic_with_seed(self):
+        a = zero_mask((256,), 0.5, rng=42)
+        b = zero_mask((256,), 0.5, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = zero_mask((256,), 0.5, rng=1)
+        b = zero_mask((256,), 0.5, rng=2)
+        assert not np.array_equal(a, b)
+
+    def test_2d_shape(self):
+        mask = zero_mask((16, 16), 0.25, rng=0)
+        assert mask.shape == (16, 16)
+        assert mask.sum() == 64
+
+    @given(st.floats(0.0, 1.0), st.integers(1, 500))
+    @settings(max_examples=30)
+    def test_count_matches_rounding(self, sparsity, n):
+        mask = zero_mask((n,), sparsity, rng=0)
+        assert mask.sum() == int(round(sparsity * n))
+
+
+class TestSparseGeneration:
+    def test_vector_sparsity(self):
+        vec = sparse_vector(1000, 0.4, rng=0)
+        assert measured_sparsity(vec) == pytest.approx(0.4)
+
+    def test_matrix_sparsity(self):
+        mat = sparse_matrix((50, 40), 0.7, rng=0)
+        assert measured_sparsity(mat) == pytest.approx(0.7)
+
+    def test_nonzero_magnitudes_bounded(self):
+        vec = sparse_vector(1000, 0.0, rng=0)
+        mags = np.abs(vec)
+        assert (mags >= 0.25).all() and (mags < 2.0).all()
+
+    def test_both_signs_present(self):
+        vec = sparse_vector(1000, 0.0, rng=0)
+        assert (vec > 0).any() and (vec < 0).any()
+
+    def test_dtype_is_float32(self):
+        assert sparse_vector(16, 0.5, rng=0).dtype == np.float32
+
+    def test_nonzeros_survive_bf16_rounding(self):
+        from repro.isa.datatypes import bf16_round
+
+        vec = sparse_vector(1000, 0.5, rng=0)
+        rounded = bf16_round(vec)
+        assert np.array_equal(rounded == 0, vec == 0)
+
+
+class TestSparsify:
+    def test_preserves_input(self):
+        values = np.ones(100, dtype=np.float32)
+        out = sparsify(values, 0.5, rng=0)
+        assert values.all()  # original untouched
+        assert measured_sparsity(out) == pytest.approx(0.5)
+
+    def test_zero_rate_is_identity(self):
+        values = np.arange(1, 11, dtype=np.float32)
+        assert np.array_equal(sparsify(values, 0.0, rng=0), values)

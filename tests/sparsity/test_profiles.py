@@ -1,0 +1,92 @@
+"""Tests for activation-sparsity profiles (Fig. 12 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.sparsity.profiles import (
+    gnmt_activation_profile,
+    resnet50_dense_activation_profile,
+    resnet50_pruned_activation_profile,
+    vgg16_activation_profile,
+)
+
+
+class TestVgg16Profile:
+    def test_layer_count(self):
+        assert vgg16_activation_profile().n_layers == 13
+
+    def test_first_layer_dense(self):
+        profile = vgg16_activation_profile()
+        assert profile.sparsity_at(1, 0) == 0.0
+        assert profile.sparsity_at(1, 90) == 0.0
+
+    def test_range_matches_relu_band(self):
+        # Paper: ReLU networks see 40-90% activation sparsity.
+        profile = vgg16_activation_profile()
+        finals = [profile.final_sparsity(l) for l in range(2, 14)]
+        assert min(finals) >= 0.35
+        assert max(finals) <= 0.95
+
+    def test_deeper_layers_sparser(self):
+        profile = vgg16_activation_profile()
+        assert profile.final_sparsity(13) > profile.final_sparsity(2)
+
+    def test_sparsity_grows_during_training(self):
+        profile = vgg16_activation_profile()
+        assert profile.sparsity_at(7, 90) >= profile.sparsity_at(7, 1)
+
+    def test_table_shape(self):
+        table = vgg16_activation_profile().table()
+        assert table.shape[0] == 13
+
+    def test_bounds_validation(self):
+        profile = vgg16_activation_profile()
+        with pytest.raises(ValueError):
+            profile.sparsity_at(0, 10)
+        with pytest.raises(ValueError):
+            profile.sparsity_at(14, 10)
+        with pytest.raises(ValueError):
+            profile.sparsity_at(5, 1000)
+
+
+class TestResnet50Profiles:
+    def test_layer_count(self):
+        assert resnet50_dense_activation_profile().n_layers == 53
+
+    def test_lower_than_vgg16(self):
+        vgg = vgg16_activation_profile()
+        res = resnet50_dense_activation_profile()
+        vgg_mean = np.mean([vgg.final_sparsity(l) for l in range(2, 14)])
+        res_mean = np.mean([res.final_sparsity(l) for l in range(2, 54)])
+        assert res_mean < vgg_mean
+
+    def test_residual_consumers_dip(self):
+        profile = resnet50_dense_activation_profile()
+        # Layer with (layer-1) % 3 == 1 consumes a residual-add output.
+        assert profile.final_sparsity(5) < profile.final_sparsity(4)
+
+    def test_pruned_uplift_after_pruning_starts(self):
+        dense = resnet50_dense_activation_profile(102)
+        pruned = resnet50_pruned_activation_profile(102)
+        assert pruned.sparsity_at(30, 90) > dense.sparsity_at(30, 90)
+
+    def test_pruned_matches_dense_before_pruning(self):
+        dense = resnet50_dense_activation_profile(102)
+        pruned = resnet50_pruned_activation_profile(102)
+        assert pruned.sparsity_at(30, 10) == pytest.approx(dense.sparsity_at(30, 10))
+
+    def test_all_values_clamped(self):
+        table = resnet50_pruned_activation_profile().table()
+        assert (table >= 0).all() and (table <= 0.95).all()
+
+
+class TestGnmtProfile:
+    def test_constant_twenty_percent(self):
+        profile = gnmt_activation_profile()
+        for layer in (1, 4, 8):
+            for step in (0, 100_000, 340_000):
+                assert profile.sparsity_at(layer, step) == pytest.approx(0.20)
+
+    def test_no_dense_first_layer(self):
+        # GNMT's first cell also sees dropout sparsity.
+        assert gnmt_activation_profile().sparsity_at(1, 0) == pytest.approx(0.20)

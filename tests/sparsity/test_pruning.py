@@ -1,0 +1,100 @@
+"""Tests for pruning schedules and magnitude pruning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparsity.pruning import (
+    GNMT_PRUNING,
+    RESNET50_PRUNING,
+    PruningSchedule,
+    magnitude_prune,
+    pruning_write_mask,
+)
+from repro.sparsity.stats import measured_sparsity
+
+
+class TestPruningSchedule:
+    def test_zero_before_start(self):
+        assert RESNET50_PRUNING.sparsity_at(0) == 0.0
+        assert RESNET50_PRUNING.sparsity_at(32) == 0.0
+
+    def test_target_after_end(self):
+        assert RESNET50_PRUNING.sparsity_at(60) == pytest.approx(0.80)
+        assert RESNET50_PRUNING.sparsity_at(102) == pytest.approx(0.80)
+
+    def test_monotone_nondecreasing(self):
+        curve = RESNET50_PRUNING.curve()
+        assert (np.diff(curve) >= -1e-12).all()
+
+    def test_cubic_shape_midpoint(self):
+        # Zhu-Gupta is front-loaded: at the schedule midpoint sparsity
+        # exceeds half the target.
+        mid = (32 + 60) / 2
+        assert RESNET50_PRUNING.sparsity_at(mid) > 0.40
+
+    def test_gnmt_parameters(self):
+        assert GNMT_PRUNING.sparsity_at(40_000) == 0.0
+        assert GNMT_PRUNING.sparsity_at(190_000) == pytest.approx(0.90)
+        assert GNMT_PRUNING.sparsity_at(340_000) == pytest.approx(0.90)
+        assert GNMT_PRUNING.step_name == "iteration"
+
+    def test_curve_length(self):
+        assert len(RESNET50_PRUNING.curve()) == 103
+        assert len(GNMT_PRUNING.curve(points=50)) == 50
+
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            PruningSchedule(start_step=10, end_step=5, target_sparsity=0.5, total_steps=20)
+        with pytest.raises(ValueError):
+            PruningSchedule(start_step=0, end_step=5, target_sparsity=1.5, total_steps=20)
+
+    @given(st.floats(0, 102))
+    @settings(max_examples=50)
+    def test_bounded_by_target(self, step):
+        value = RESNET50_PRUNING.sparsity_at(step)
+        assert 0.0 <= value <= 0.80 + 1e-12
+
+
+class TestMagnitudePrune:
+    def test_prunes_smallest(self):
+        weights = np.array([0.1, -5.0, 0.2, 3.0], dtype=np.float32)
+        pruned = magnitude_prune(weights, 0.5)
+        assert pruned[0] == 0 and pruned[2] == 0
+        assert pruned[1] == -5.0 and pruned[3] == 3.0
+
+    def test_exact_sparsity(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=1000).astype(np.float32)
+        pruned = magnitude_prune(weights, 0.8)
+        assert measured_sparsity(pruned) == pytest.approx(0.8)
+
+    def test_zero_sparsity_identity(self):
+        weights = np.array([1.0, 2.0], dtype=np.float32)
+        assert np.array_equal(magnitude_prune(weights, 0.0), weights)
+
+    def test_preserves_shape_and_input(self):
+        weights = np.ones((4, 4), dtype=np.float32)
+        pruned = magnitude_prune(weights, 0.25)
+        assert pruned.shape == (4, 4)
+        assert weights.all()
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            magnitude_prune(np.ones(4), 2.0)
+
+    def test_threshold_property(self):
+        # Every surviving weight must be >= every pruned weight in magnitude.
+        rng = np.random.default_rng(1)
+        weights = rng.normal(size=200).astype(np.float32)
+        pruned = magnitude_prune(weights, 0.6)
+        survivor_min = np.abs(pruned[pruned != 0]).min()
+        dropped = np.abs(weights[pruned == 0])
+        assert (dropped <= survivor_min + 1e-12).all()
+
+
+class TestPruningWriteMask:
+    def test_mask_marks_survivors(self):
+        weights = np.array([0.0, 1.0, 0.0, -2.0])
+        assert np.array_equal(pruning_write_mask(weights), [False, True, False, True])

@@ -1,0 +1,73 @@
+"""Tests for sparsity statistics."""
+
+import numpy as np
+import pytest
+
+from repro.sparsity.generators import sparse_vector
+from repro.sparsity.stats import (
+    accumulator_lane_skip_probability,
+    effectual_lane_fraction,
+    expected_effectual_fraction,
+    measured_sparsity,
+)
+
+
+class TestMeasuredSparsity:
+    def test_dense(self):
+        assert measured_sparsity(np.ones(10)) == 0.0
+
+    def test_all_zero(self):
+        assert measured_sparsity(np.zeros(10)) == 1.0
+
+    def test_half(self):
+        values = np.array([0, 1, 0, 1], dtype=np.float32)
+        assert measured_sparsity(values) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            measured_sparsity(np.array([]))
+
+
+class TestEffectualLaneFraction:
+    def test_both_dense(self):
+        a = np.ones(16)
+        b = np.ones(16)
+        assert effectual_lane_fraction(a, b) == 1.0
+
+    def test_zero_in_either_kills_lane(self):
+        a = np.array([1.0, 0.0, 1.0, 0.0])
+        b = np.array([1.0, 1.0, 0.0, 0.0])
+        assert effectual_lane_fraction(a, b) == 0.25
+
+    def test_write_mask_kills_lane(self):
+        a = np.ones(4)
+        b = np.ones(4)
+        mask = np.array([True, False, True, False])
+        assert effectual_lane_fraction(a, b, mask) == 0.5
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            effectual_lane_fraction(np.ones(4), np.ones(5))
+
+    def test_statistical_match_with_expected(self):
+        rng = np.random.default_rng(0)
+        a = sparse_vector(20000, 0.3, rng)
+        b = sparse_vector(20000, 0.5, rng)
+        measured = effectual_lane_fraction(a, b)
+        assert measured == pytest.approx(expected_effectual_fraction(0.3, 0.5), abs=0.02)
+
+
+class TestMixedPrecisionSkipProbability:
+    def test_dense_never_skips(self):
+        assert accumulator_lane_skip_probability(1.0) == 0.0
+
+    def test_fully_sparse_always_skips(self):
+        assert accumulator_lane_skip_probability(0.0) == 1.0
+
+    def test_square_law(self):
+        # Paper Sec. V: at 50% multiplicand sparsity only 25% of ALs skip.
+        assert accumulator_lane_skip_probability(0.5) == pytest.approx(0.25)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            accumulator_lane_skip_probability(1.5)

@@ -1,0 +1,29 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; these tests keep them from
+bit-rotting.  Each runs in-process via runpy (sharing the surface
+cache) with stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart.py" in EXAMPLES
