@@ -1,0 +1,48 @@
+"""Benchmark: serial vs parallel kernel sweep through the executor.
+
+Times the same coarse-grid Fig. 15 sweep under the serial backend and a
+2-worker process pool, and asserts the results are identical — the
+execution layer's determinism contract.  The wall-time comparison is
+informational: on a single-core CI box the pool's startup cost can
+outweigh the parallelism, which is exactly why ``jobs`` defaults to
+serial.
+"""
+
+import pytest
+
+from repro.core.config import SAVE_1VPU, SAVE_2VPU
+from repro.experiments.executor import SimExecutor
+from repro.experiments.sweeps import sweep_kernel
+from repro.kernels.library import get_kernel
+
+MACHINES = {"2 VPUs": SAVE_2VPU, "1 VPU": SAVE_1VPU}
+LEVELS = (0.0, 0.3, 0.6, 0.9)
+K_STEPS = 8
+
+
+def _sweep(executor=None):
+    return sweep_kernel(
+        get_kernel("resnet2_2_fwd"),
+        MACHINES,
+        bs_levels=LEVELS,
+        nbs_levels=LEVELS,
+        k_steps=K_STEPS,
+        executor=executor,
+    )
+
+
+@pytest.mark.experiment("parallel_sweep")
+def test_serial_sweep(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    assert len(results["2 VPUs"].speedups) == len(LEVELS) ** 2
+
+
+@pytest.mark.experiment("parallel_sweep")
+def test_parallel_sweep_matches_serial(benchmark):
+    serial = _sweep()
+    executor = SimExecutor(jobs=2)
+    parallel = benchmark.pedantic(
+        _sweep, kwargs={"executor": executor}, rounds=1, iterations=1
+    )
+    for label in MACHINES:
+        assert parallel[label].speedups == serial[label].speedups

@@ -35,6 +35,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduction steps per simulated kernel (trade accuracy/speed)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for grid-point simulations (default: the "
+            "REPRO_JOBS environment variable, else serial); results are "
+            "identical to a serial run"
+        ),
+    )
+    parser.add_argument(
         "--panel",
         default="all",
         help="fig14 only: panel a/b/c/d (default: all)",
@@ -62,10 +73,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
 
+    from repro.experiments.executor import SimExecutor
+
+    executor = SimExecutor(jobs=args.jobs)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reports = []
     for name in names:
-        kwargs = {"full_grid": args.full_grid}
+        kwargs = {"full_grid": args.full_grid, "executor": executor}
         if args.k_steps is not None:
             kwargs["k_steps"] = args.k_steps
         if name == "fig14":

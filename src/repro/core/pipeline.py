@@ -171,6 +171,10 @@ class PipelineSimulator:
         self.lwd = save.enabled and save.lane_wise_dependence
         self.mp_technique = save.enabled and save.mixed_precision_technique
         self.scheme = save.coalescing if save.enabled else None
+        # Scheme predicates as plain bools: enum comparisons in the
+        # per-lane dispatch path are measurable hot-loop cost.
+        self._naive = self.scheme == CoalescingScheme.NAIVE
+        self._horizontal = self.scheme == CoalescingScheme.HORIZONTAL
         self.baseline_sched = BaselineScheduler()
         self.slot_sched = SlotScheduler(FP32_LANES)
         self.horizontal_sched = HorizontalScheduler()
@@ -232,25 +236,43 @@ class PipelineSimulator:
     # ------------------------------------------------------------------
 
     def run(self) -> SimResult:
-        """Simulate to completion and return the results."""
+        """Simulate to completion and return the results.
+
+        The loop body is guarded so idle stages (empty MGU queue, empty
+        scalar/memory queues, fully-allocated trace) cost one truthiness
+        check instead of a call — most cycles of a memory-bound stretch
+        touch none of them.
+        """
         total = len(self.trace.uops)
         cycle = 0
+        save_enabled = self.save_enabled
+        mgu = self.mgu
+        lsu = self.lsu
+        worklist = self._worklist
+        scalar_queue = self._scalar_queue
+        load_events = self._load_events
+        max_cycles = self.max_cycles
         while self.retire_ptr < total:
             self.cycle = cycle
             self._process_completions(cycle)
-            self._drain_worklist()
-            self._retire()
-            if self.save_enabled:
-                for dyn in self.mgu.step():
-                    self._activate(dyn)
+            if worklist:
                 self._drain_worklist()
+            self._retire()
+            if save_enabled and len(mgu):
+                for dyn in mgu.step():
+                    self._activate(dyn)
+                if worklist:
+                    self._drain_worklist()
             self._schedule(cycle)
-            self._issue_scalars(cycle)
-            for complete_cycle, request in self.lsu.service(cycle):
-                self._load_events.setdefault(complete_cycle, []).append(request)
-            self._allocate(cycle)
+            if scalar_queue:
+                self._issue_scalars(cycle)
+            if lsu.pending():
+                for complete_cycle, request in lsu.service(cycle):
+                    load_events.setdefault(complete_cycle, []).append(request)
+            if self.alloc_ptr < total:
+                self._allocate(cycle)
             cycle += 1
-            if cycle > self.max_cycles:
+            if cycle > max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded {self.max_cycles} cycles "
                     f"(retired {self.retire_ptr}/{total})"
@@ -456,33 +478,35 @@ class PipelineSimulator:
         self.baseline_sched.insert(dyn.seq, dyn)
 
     def _dispatch_all_lanes(self, dyn: DynUop) -> None:
+        try_dispatch = self._try_dispatch_lane
         for lane in range(FP32_LANES):
-            self._try_dispatch_lane(dyn, lane)
+            try_dispatch(dyn, lane)
 
     def _try_dispatch_lane(self, dyn: DynUop, lane: int) -> None:
         """Dispatch one lane: pass-through or queue for a VPU slot."""
         bit = 1 << lane
         if dyn.lanes_dispatched_mask & bit or not dyn.active:
             return
-        if self.scheme == CoalescingScheme.NAIVE and dyn.elm:
+        if self._naive and dyn.elm:
             # Strawman: non-skipped µops issue whole, never lane-wise.
             return
-        if dyn.mixed and self.mp_technique:
+        mixed_mp = dyn.mixed and self.mp_technique
+        if mixed_mp:
             # Only pass-through lanes reach here in MP-technique mode.
             if dyn.ml_effectual[lane]:
                 return
-        if self.lwd or (dyn.mixed and self.mp_technique):
+        if self.lwd or mixed_mp:
             if not dyn.acc_lane_available(lane):
                 return
         elif not dyn.acc_fully_available():
             return
 
-        dyn.mark_lane_dispatched(lane)
-        if dyn.elm & bit and not (dyn.mixed and self.mp_technique):
+        dyn.lanes_dispatched_mask |= bit
+        if dyn.elm & bit and not mixed_mp:
             self.effectual_lanes += 1
             dyn.queued_lanes += 1
             self._cw_enter(dyn)
-            if self.scheme == CoalescingScheme.HORIZONTAL:
+            if self._horizontal:
                 self.horizontal_sched.insert(dyn.seq, (dyn, lane))
             else:
                 slot = slot_for_lane(lane, dyn.rotation)
@@ -582,6 +606,8 @@ class PipelineSimulator:
             self._cw_samples += 1
             self._cw_sum += self._cw_size
         if not self.save_enabled or self.scheme == CoalescingScheme.NAIVE:
+            if not self.baseline_sched.pending():
+                return
             for _ in range(num_vpus):
                 dyn = self.baseline_sched.pop_oldest()
                 if dyn is None:
@@ -600,6 +626,8 @@ class PipelineSimulator:
             return
 
         if self.scheme == CoalescingScheme.HORIZONTAL:
+            if not self.horizontal_sched.pending():
+                return
             for _ in range(num_vpus):
                 op = TempOp(TempOpKind.LANES, cycle, 0)
                 for _ in range(FP32_LANES):
@@ -621,11 +649,14 @@ class PipelineSimulator:
             return
 
         # (Rotate-)vertical coalescing: per-slot oldest-first selection.
+        if not self.slot_sched.pending():
+            return
         ops = [TempOp(TempOpKind.LANES, cycle, 0) for _ in range(num_vpus)]
         any_filled = False
+        pop_oldest = self.slot_sched.pop_oldest
         for slot in range(FP32_LANES):
             for op in ops:
-                item = self.slot_sched.pop_oldest(slot)
+                item = pop_oldest(slot)
                 if item is None:
                     break
                 any_filled = True
@@ -671,14 +702,17 @@ class PipelineSimulator:
     # ------------------------------------------------------------------
 
     def _process_completions(self, cycle: int) -> None:
-        for request in self._load_events.pop(cycle, ()):
-            self._complete_memory(request)
-        for op in self._vpu_events.pop(cycle, ()):
-            self._complete_vpu_op(op)
-        for dyn in self._scalar_events.pop(cycle, ()):
-            dyn.completed = True
-            self.rs_count -= 1
-            dyn.rs_freed = True
+        if self._load_events:
+            for request in self._load_events.pop(cycle, ()):
+                self._complete_memory(request)
+        if self._vpu_events:
+            for op in self._vpu_events.pop(cycle, ()):
+                self._complete_vpu_op(op)
+        if self._scalar_events:
+            for dyn in self._scalar_events.pop(cycle, ()):
+                dyn.completed = True
+                self.rs_count -= 1
+                dyn.rs_freed = True
 
     def _complete_memory(self, request: MemRequest) -> None:
         dyn = request.dyn

@@ -30,10 +30,12 @@ class SlotScheduler:
         self.slots = slots
         self._heaps: List[List[Tuple[int, int, Any]]] = [[] for _ in range(slots)]
         self._tiebreak = 0
+        self._pending = 0
 
     def insert(self, slot: int, seq: int, item: Any) -> None:
         """Queue ``item`` (priority = program order ``seq``) at ``slot``."""
         self._tiebreak += 1
+        self._pending += 1
         heapq.heappush(self._heaps[slot], (seq, self._tiebreak, item))
 
     def pop_oldest(self, slot: int) -> Optional[Any]:
@@ -41,11 +43,12 @@ class SlotScheduler:
         heap = self._heaps[slot]
         if not heap:
             return None
+        self._pending -= 1
         return heapq.heappop(heap)[2]
 
     def pending(self) -> int:
-        """Total queued items across all slots."""
-        return sum(len(heap) for heap in self._heaps)
+        """Total queued items across all slots (O(1))."""
+        return self._pending
 
     def slot_occupancy(self) -> List[int]:
         """Queued items per slot (lane-imbalance diagnostics)."""
@@ -74,6 +77,8 @@ class HorizontalScheduler:
 
 class BaselineScheduler:
     """Whole-instruction ready queue (the non-SAVE machine)."""
+
+    __slots__ = ("_heap",)
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, Any]] = []

@@ -12,7 +12,6 @@ per-lane program order produce bit-identical architectural results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from enum import Enum, auto
 from typing import List, Tuple
 
@@ -32,21 +31,32 @@ class TempOpKind(Enum):
     CHAIN = auto()  # mixed-precision chain slots (ML pairs)
 
 
-@dataclass
 class TempOp:
-    """One VPU operation in flight."""
+    """One VPU operation in flight.
 
-    kind: TempOpKind
-    issue_cycle: int
-    latency: int
-    #: WHOLE: the µop.
-    whole: DynUop = None
-    #: LANES: (µop, lane) pairs.
-    lane_entries: List[Tuple[DynUop, int]] = field(default_factory=list)
-    #: CHAIN: (chain lane, MLs taken, acc base at issue) triples.
-    chain_entries: List[Tuple[ChainLane, List[MlRef], np.float32]] = field(
-        default_factory=list
-    )
+    A plain ``__slots__`` class (not a dataclass): the scheduler builds
+    one per VPU per busy cycle, so construction cost is hot-loop cost.
+    """
+
+    __slots__ = ("kind", "issue_cycle", "latency", "whole", "lane_entries",
+                 "chain_entries")
+
+    def __init__(
+        self,
+        kind: TempOpKind,
+        issue_cycle: int,
+        latency: int,
+        whole: DynUop = None,
+    ) -> None:
+        self.kind = kind
+        self.issue_cycle = issue_cycle
+        self.latency = latency
+        #: WHOLE: the µop.
+        self.whole = whole
+        #: LANES: (µop, lane) pairs.
+        self.lane_entries: List[Tuple[DynUop, int]] = []
+        #: CHAIN: (chain lane, MLs taken, acc base at issue) triples.
+        self.chain_entries: List[Tuple[ChainLane, List[MlRef], np.float32]] = []
 
     @property
     def complete_cycle(self) -> int:

@@ -9,7 +9,20 @@ whose rows mirror the corresponding table/figure, regenerable via::
 or through the benchmark suite (``pytest benchmarks/``).
 """
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
-from repro.experiments.report import ExperimentReport
-
+# Deliberately lazy (PEP 562): the registry imports every runner, and
+# runners import repro.model.surface, which itself imports the
+# execution layer from this package — an eager import here would make
+# that a cycle.
 __all__ = ["EXPERIMENTS", "ExperimentReport", "run_experiment"]
+
+
+def __getattr__(name):
+    if name in ("EXPERIMENTS", "run_experiment"):
+        from repro.experiments import registry
+
+        return getattr(registry, name)
+    if name == "ExperimentReport":
+        from repro.experiments.report import ExperimentReport
+
+        return ExperimentReport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

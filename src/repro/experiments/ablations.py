@@ -17,8 +17,7 @@ BS / 40% NBS, reporting speedups over the unmodified baseline.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import (
     BASELINE_2VPU,
@@ -26,9 +25,8 @@ from repro.core.config import (
     CoalescingScheme,
     MachineConfig,
 )
-from repro.core.pipeline import simulate
+from repro.experiments.executor import PointJob, SimExecutor, default_executor
 from repro.experiments.report import ExperimentReport
-from repro.kernels.gemm import generate_gemm_trace
 from repro.kernels.library import get_kernel
 
 KERNEL_POINTS = {
@@ -50,27 +48,37 @@ def _ablation_machines() -> Dict[str, MachineConfig]:
     }
 
 
-def run(k_steps: int = 24, **_kwargs) -> ExperimentReport:
+def run(
+    k_steps: int = 24,
+    executor: Optional[SimExecutor] = None,
+    **_kwargs,
+) -> ExperimentReport:
     """Render the design-choice ablation table."""
     from repro.kernels.tiling import Precision
 
+    machines = _ablation_machines()
+    jobs: List[PointJob] = []
+    for kernel_name, bs, nbs in KERNEL_POINTS.values():
+        config = get_kernel(kernel_name).config(
+            broadcast_sparsity=bs,
+            nonbroadcast_sparsity=nbs,
+            precision=Precision.FP32,
+            k_steps=k_steps,
+        )
+        jobs.append(PointJob(config=config, machine=BASELINE_2VPU))
+        jobs.extend(
+            PointJob(config=config, machine=machine) for machine in machines.values()
+        )
+    times = default_executor(executor).map(jobs)
+
     rows: List[Tuple[str, str, float]] = []
     data: Dict[str, Dict[str, float]] = {}
-    for point_label, (kernel_name, bs, nbs) in KERNEL_POINTS.items():
-        spec = get_kernel(kernel_name)
-        trace = generate_gemm_trace(
-            spec.config(
-                broadcast_sparsity=bs,
-                nonbroadcast_sparsity=nbs,
-                precision=Precision.FP32,
-                k_steps=k_steps,
-            )
-        )
-        base_time = simulate(trace, BASELINE_2VPU, keep_state=False).time_ns
+    stride = 1 + len(machines)
+    for point_index, point_label in enumerate(KERNEL_POINTS):
+        base_time = times[point_index * stride]
         data[point_label] = {}
-        for label, machine in _ablation_machines().items():
-            time = simulate(trace, machine, keep_state=False).time_ns
-            speedup = base_time / time
+        for m_index, label in enumerate(machines):
+            speedup = base_time / times[point_index * stride + 1 + m_index]
             data[point_label][label] = speedup
             rows.append((point_label, label, speedup))
     return ExperimentReport(

@@ -1,0 +1,174 @@
+"""Execution layer: fan independent grid-point simulations out to workers.
+
+Every figure in the reproduction is assembled from hundreds of
+*independent* cycle-level simulations — the paper's own methodology
+(Sec. VI) is a 2D sparsity grid per kernel.  A :class:`SimExecutor`
+turns a batch of picklable :class:`PointJob` work units into results,
+either in-process (``jobs=1``, the default — tests and debugging stay
+single-process) or across a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism is the contract: results always come back in job-index
+order, regardless of worker completion order, and each job re-derives
+its trace from a seeded config, so a parallel run is bit-identical to a
+serial one.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import MachineConfig
+from repro.kernels.gemm import GemmKernelConfig
+
+#: Environment fallback for the worker count (the CLI's ``--jobs``
+#: takes precedence).
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Result metrics a job can request from its simulation.
+METRIC_TIME_NS = "time_ns"
+METRIC_NS_PER_FMA = "ns_per_fma"
+
+
+@dataclass(frozen=True)
+class PointJob:
+    """One grid-point simulation: a trace config on one machine.
+
+    Frozen and built only from frozen dataclasses, so it pickles
+    cleanly across process boundaries.  The trace is regenerated inside
+    the worker from the seeded config — traces carry functional memory
+    images and are much bigger than their configs.
+    """
+
+    config: GemmKernelConfig
+    machine: MachineConfig
+    metric: str = METRIC_TIME_NS
+
+    def run(self) -> float:
+        """Simulate this point in the current process."""
+        # Imported here so workers pay the import once, not per job.
+        from repro.core.pipeline import simulate
+        from repro.kernels.gemm import generate_gemm_trace
+
+        result = simulate(
+            generate_gemm_trace(self.config), self.machine, keep_state=False
+        )
+        if self.metric == METRIC_NS_PER_FMA:
+            return result.time_ns / result.fma_count
+        return result.time_ns
+
+
+def _run_chunk(chunk: List[Tuple[int, PointJob]]) -> List[Tuple[int, float]]:
+    """Worker entry point: run one chunk of (index, job) pairs."""
+    return [(index, job.run()) for index, job in chunk]
+
+
+def merge_indexed(
+    chunks: Iterable[Sequence[Tuple[int, float]]], total: int
+) -> List[float]:
+    """Reassemble chunk results into job-index order.
+
+    Chunks may arrive in *any* order (workers complete out of order);
+    the output is always ``results[i] == value of job i``.
+    """
+    results: List[Optional[float]] = [None] * total
+    seen = 0
+    for chunk in chunks:
+        for index, value in chunk:
+            if not 0 <= index < total:
+                raise ValueError(f"job index {index} outside batch of {total}")
+            if results[index] is not None:
+                raise ValueError(f"duplicate result for job index {index}")
+            results[index] = value
+            seen += 1
+    if seen != total:
+        missing = [i for i, v in enumerate(results) if v is None]
+        raise ValueError(f"missing results for job indices {missing[:8]}")
+    return results  # type: ignore[return-value]
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit value, else ``REPRO_JOBS``, else serial."""
+    if jobs is not None:
+        return max(1, jobs)
+    env = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+    return 1
+
+
+class SimExecutor:
+    """Runs batches of :class:`PointJob` serially or across processes.
+
+    Args:
+        jobs: worker processes; ``1`` (default) short-circuits to plain
+            in-process execution with no pool, no pickling.
+        chunksize: jobs per worker submission; defaults to an even
+            split targeting ~4 chunks per worker (amortises process
+            round-trips while keeping the pool load-balanced).
+    """
+
+    def __init__(self, jobs: Optional[int] = None, chunksize: Optional[int] = None):
+        self.jobs = resolve_jobs(jobs)
+        if chunksize is not None and chunksize <= 0:
+            raise ValueError("chunksize must be positive")
+        self.chunksize = chunksize
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimExecutor(jobs={self.jobs}, chunksize={self.chunksize})"
+
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1
+
+    def _chunks(
+        self, indexed: List[Tuple[int, PointJob]]
+    ) -> List[List[Tuple[int, PointJob]]]:
+        size = self.chunksize
+        if size is None:
+            size = max(1, len(indexed) // (self.jobs * 4))
+        return [indexed[i : i + size] for i in range(0, len(indexed), size)]
+
+    def map(self, jobs: Sequence[PointJob]) -> List[float]:
+        """Run a batch; results are in job order on every backend."""
+        if not jobs:
+            return []
+        if not self.parallel or len(jobs) == 1:
+            return [job.run() for job in jobs]
+        indexed = list(enumerate(jobs))
+        chunks = self._chunks(indexed)
+        workers = min(self.jobs, len(chunks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+            completed = [future.result() for future in as_completed(futures)]
+        return merge_indexed(completed, len(jobs))
+
+
+#: Module default: serial execution (what every call site gets when no
+#: executor is passed).
+SERIAL_EXECUTOR = SimExecutor(jobs=1)
+
+
+def default_executor(executor: Optional[SimExecutor]) -> SimExecutor:
+    """Call-site helper: an explicit executor, or the serial default."""
+    return executor if executor is not None else SERIAL_EXECUTOR
+
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "METRIC_NS_PER_FMA",
+    "METRIC_TIME_NS",
+    "PointJob",
+    "SERIAL_EXECUTOR",
+    "SimExecutor",
+    "default_executor",
+    "merge_indexed",
+    "resolve_jobs",
+]

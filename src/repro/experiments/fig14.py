@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.experiments.executor import SimExecutor
 from repro.experiments.report import ExperimentReport
 from repro.kernels.tiling import Precision
 from repro.model.estimator import NetworkEvaluation
@@ -78,11 +79,14 @@ def run(
     store: Optional[SurfaceStore] = None,
     k_steps: int = 16,
     samples: int = 5,
+    executor: Optional[SimExecutor] = None,
     **_kwargs,
 ) -> ExperimentReport:
     """Render Fig. 14 (or one panel of it)."""
     if store is None:
-        store = SurfaceStore()
+        store = SurfaceStore(executor=executor)
+    elif executor is not None:
+        store.executor = executor
     panels = ("a", "b", "c", "d") if panel == "all" else (panel,)
     rows = []
     data: Dict[str, dict] = {}

@@ -6,6 +6,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.config import SAVE_1VPU, SAVE_2VPU
+from repro.experiments.executor import SimExecutor
 from repro.experiments.report import ExperimentReport
 from repro.experiments.sweeps import PAPER_SWEEP_LEVELS, QUICK_LEVELS, sweep_kernel
 from repro.kernels.library import get_kernel
@@ -15,6 +16,7 @@ def run(
     full_grid: bool = False,
     k_steps: int = 24,
     levels: Optional[Sequence[float]] = None,
+    executor: Optional[SimExecutor] = None,
     **_kwargs,
 ) -> ExperimentReport:
     """Render the Fig. 15 speedup grids."""
@@ -27,6 +29,7 @@ def run(
         bs_levels=levels,
         nbs_levels=levels,
         k_steps=k_steps,
+        executor=executor,
     )
     rows = []
     for label, sweep in results.items():

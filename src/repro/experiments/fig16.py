@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import BASELINE_2VPU, SAVE_1VPU, SAVE_2VPU, MachineConfig
+from repro.experiments.executor import SimExecutor
 from repro.experiments.report import ExperimentReport
 from repro.kernels.conv import Phase
 from repro.kernels.lstm import LstmShape
@@ -90,11 +91,14 @@ def _cap(
 def run(
     store: Optional[SurfaceStore] = None,
     k_steps: int = 16,
+    executor: Optional[SimExecutor] = None,
     **_kwargs,
 ) -> ExperimentReport:
     """Render the Fig. 16 speedup-cap histograms."""
     if store is None:
-        store = SurfaceStore()
+        store = SurfaceStore(executor=executor)
+    elif executor is not None:
+        store.executor = executor
     split = MulticoreSplit()
     kernels = studied_kernels()
     rows = []

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.config import SAVE_1VPU, CoalescingScheme
+from repro.experiments.executor import SimExecutor
 from repro.experiments.report import ExperimentReport
 from repro.experiments.sweeps import PAPER_SWEEP_LEVELS, QUICK_LEVELS, sweep_kernel
 from repro.kernels.library import get_kernel
@@ -44,6 +45,7 @@ def run(
     full_grid: bool = False,
     k_steps: int = 24,
     levels: Optional[Sequence[float]] = None,
+    executor: Optional[SimExecutor] = None,
     **_kwargs,
 ) -> ExperimentReport:
     """Render the Fig. 18 lane-balancing comparison."""
@@ -54,7 +56,12 @@ def run(
     for panel, kernel_name in KERNELS.items():
         spec = get_kernel(kernel_name)
         results = sweep_kernel(
-            spec, TECHNIQUES, bs_levels=(0.0,), nbs_levels=levels, k_steps=k_steps
+            spec,
+            TECHNIQUES,
+            bs_levels=(0.0,),
+            nbs_levels=levels,
+            k_steps=k_steps,
+            executor=executor,
         )
         data[panel] = {label: sweep.speedups for label, sweep in results.items()}
         for label, sweep in results.items():

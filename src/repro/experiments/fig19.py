@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.config import SAVE_1VPU
+from repro.experiments.executor import SimExecutor
 from repro.experiments.report import ExperimentReport
 from repro.experiments.sweeps import PAPER_SWEEP_LEVELS, QUICK_LEVELS, sweep_kernel
 from repro.kernels.library import get_kernel
@@ -23,6 +24,7 @@ def run(
     full_grid: bool = False,
     k_steps: int = 24,
     levels: Optional[Sequence[float]] = None,
+    executor: Optional[SimExecutor] = None,
     **_kwargs,
 ) -> ExperimentReport:
     """Render the Fig. 19 mixed-precision ablation."""
@@ -30,7 +32,12 @@ def run(
         levels = PAPER_SWEEP_LEVELS if full_grid else QUICK_LEVELS
     spec = get_kernel("resnet4_1a_bwd_input")
     results = sweep_kernel(
-        spec, CONFIGS, bs_levels=(0.0,), nbs_levels=levels, k_steps=k_steps
+        spec,
+        CONFIGS,
+        bs_levels=(0.0,),
+        nbs_levels=levels,
+        k_steps=k_steps,
+        executor=executor,
     )
     rows = []
     for label, sweep in results.items():

@@ -43,10 +43,12 @@ def _layer_times(layer, lstm: bool, cores: int, store: SurfaceStore, k_steps: in
     )
 
 
-def run(store=None, k_steps: int = 16, **_kwargs) -> ExperimentReport:
+def run(store=None, k_steps: int = 16, executor=None, **_kwargs) -> ExperimentReport:
     """Render the core-count scaling table."""
     if store is None:
-        store = SurfaceStore()
+        store = SurfaceStore(executor=executor)
+    elif executor is not None:
+        store.executor = executor
     rows: List[tuple] = []
     data: Dict[str, Dict[int, float]] = {"conv": {}, "lstm": {}}
     for label, layer, lstm in (("conv", CONV, False), ("lstm", LSTM, True)):

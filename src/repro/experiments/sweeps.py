@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import BASELINE_2VPU, MachineConfig
 from repro.core.pipeline import simulate
+from repro.experiments.executor import PointJob, SimExecutor, default_executor
 from repro.kernels.gemm import generate_gemm_trace
 from repro.kernels.library import KernelSpec
 from repro.kernels.tiling import Precision
@@ -65,20 +66,54 @@ def sweep_kernel(
     precision: Optional[Precision] = None,
     k_steps: int = 24,
     baseline: MachineConfig = BASELINE_2VPU,
+    seed: int = 0,
+    executor: Optional[SimExecutor] = None,
 ) -> Dict[str, SweepResult]:
     """Sweep one kernel over the sparsity grid under each machine.
 
     The baseline time is measured once at dense inputs (its time is
     sparsity-independent) and every (machine, bs, nbs) point's speedup
     is relative to it — matching the figures' y-axes.
+
+    Every point of the (machine, bs, nbs) product — plus the baseline
+    point — is an independent simulation; the whole sweep goes to the
+    executor as one batch.  Results return in job order, so a parallel
+    sweep's speedup dicts are identical to a serial one's.
     """
-    base_time = kernel_time_ns(spec, baseline, 0.0, 0.0, precision, k_steps)
+    jobs: List[PointJob] = [
+        PointJob(
+            config=spec.config(
+                broadcast_sparsity=0.0,
+                nonbroadcast_sparsity=0.0,
+                precision=precision,
+                k_steps=k_steps,
+                seed=seed,
+            ),
+            machine=baseline,
+        )
+    ]
+    points = [(bs, nbs) for bs in bs_levels for nbs in nbs_levels]
+    for machine in machines.values():
+        for bs, nbs in points:
+            jobs.append(
+                PointJob(
+                    config=spec.config(
+                        broadcast_sparsity=bs,
+                        nonbroadcast_sparsity=nbs,
+                        precision=precision,
+                        k_steps=k_steps,
+                        seed=seed,
+                    ),
+                    machine=machine,
+                )
+            )
+    times = default_executor(executor).map(jobs)
+    base_time, point_times = times[0], times[1:]
     results: Dict[str, SweepResult] = {}
-    for label, machine in machines.items():
+    for m_index, label in enumerate(machines):
         speedups: Dict[Tuple[float, float], float] = {}
-        for bs in bs_levels:
-            for nbs in nbs_levels:
-                time = kernel_time_ns(spec, machine, bs, nbs, precision, k_steps)
-                speedups[(round(bs, 2), round(nbs, 2))] = base_time / time
+        for p_index, (bs, nbs) in enumerate(points):
+            time = point_times[m_index * len(points) + p_index]
+            speedups[(round(bs, 2), round(nbs, 2))] = base_time / time
         results[label] = SweepResult(label, speedups)
     return results

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.memory.address import CACHE_LINE_BYTES
-from repro.memory.replacement import ReplacementPolicy, make_policy
+from repro.memory.replacement import ReplacementPolicy, policy_class
 
 
 @dataclass
@@ -71,12 +71,12 @@ class SetAssociativeCache:
         self.line_bytes = line_bytes
         self.num_sets = size_bytes // (ways * line_bytes)
         self._policy_name = policy
-        self._tags: List[List[Optional[int]]] = [
-            [None] * ways for _ in range(self.num_sets)
-        ]
-        self._policies: List[ReplacementPolicy] = [
-            make_policy(policy, ways) for _ in range(self.num_sets)
-        ]
+        self._policy_cls = policy_class(policy)
+        # Sets are materialised lazily on first touch: a kernel trace
+        # visits a tiny fraction of an L3's sets, and eager allocation
+        # dominated simulator construction time.
+        self._tags: Dict[int, List[Optional[int]]] = {}
+        self._policies: Dict[int, ReplacementPolicy] = {}
         self.stats = CacheStats()
         #: Called with the evicted line address on every eviction
         #: (used for inclusive back-invalidation).
@@ -87,8 +87,22 @@ class SetAssociativeCache:
     def _set_index(self, line: int) -> int:
         return line % self.num_sets
 
+    def _set_tags(self, set_idx: int) -> List[Optional[int]]:
+        tags = self._tags.get(set_idx)
+        if tags is None:
+            tags = self._tags[set_idx] = [None] * self.ways
+        return tags
+
+    def _set_policy(self, set_idx: int) -> ReplacementPolicy:
+        policy = self._policies.get(set_idx)
+        if policy is None:
+            policy = self._policies[set_idx] = self._policy_cls(self.ways)
+        return policy
+
     def _find_way(self, line: int) -> Optional[int]:
-        tags = self._tags[self._set_index(line)]
+        tags = self._tags.get(self._set_index(line))
+        if tags is None:
+            return None
         for way, tag in enumerate(tags):
             if tag == line:
                 return way
@@ -108,7 +122,7 @@ class SetAssociativeCache:
         """
         line = addr // self.line_bytes
         set_idx = self._set_index(line)
-        policy = self._policies[set_idx]
+        policy = self._set_policy(set_idx)
         way = self._find_way(line)
         if way is not None:
             policy.on_hit(way)
@@ -116,7 +130,7 @@ class SetAssociativeCache:
             return AccessResult(hit=True)
 
         self.stats.misses += 1
-        tags = self._tags[set_idx]
+        tags = self._set_tags(set_idx)
         occupied = [tag is not None for tag in tags]
         victim_way = policy.victim(occupied)
         evicted = tags[victim_way]
@@ -143,7 +157,7 @@ class SetAssociativeCache:
     def resident_lines(self) -> Set[int]:
         """Set of line addresses currently cached (for invariants)."""
         lines: Set[int] = set()
-        for tags in self._tags:
+        for tags in self._tags.values():
             for tag in tags:
                 if tag is not None:
                     lines.add(tag * self.line_bytes)

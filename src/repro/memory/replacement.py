@@ -97,10 +97,17 @@ class SrripPolicy(ReplacementPolicy):
         return list(self._rrpv)
 
 
-def make_policy(name: str, ways: int) -> ReplacementPolicy:
-    """Factory keyed by the policy names used in Table I."""
-    policies = {"lru": LruPolicy, "srrip": SrripPolicy}
+_POLICIES = {"lru": LruPolicy, "srrip": SrripPolicy}
+
+
+def policy_class(name: str) -> type:
+    """Resolve a policy name (Table I) to its class."""
     try:
-        return policies[name.lower()](ways)
+        return _POLICIES[name.lower()]
     except KeyError:
         raise ValueError(f"unknown replacement policy {name!r}") from None
+
+
+def make_policy(name: str, ways: int) -> ReplacementPolicy:
+    """Factory keyed by the policy names used in Table I."""
+    return policy_class(name)(ways)

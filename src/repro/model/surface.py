@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -25,6 +26,12 @@ import numpy as np
 
 from repro.core.config import MachineConfig
 from repro.core.pipeline import simulate
+from repro.experiments.executor import (
+    METRIC_NS_PER_FMA,
+    PointJob,
+    SimExecutor,
+    default_executor,
+)
 from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
 from repro.kernels.tiling import Precision, RegisterTile
 
@@ -54,6 +61,26 @@ def machine_label(machine: MachineConfig) -> str:
     )
 
 
+def point_config(
+    tile: RegisterTile,
+    precision: Precision,
+    bs: float,
+    nbs: float,
+    k_steps: int = 24,
+    seed: int = 0,
+) -> GemmKernelConfig:
+    """The trace config of one surface grid point."""
+    return GemmKernelConfig(
+        name="surface",
+        tile=tile,
+        k_steps=k_steps,
+        precision=precision,
+        broadcast_sparsity=bs,
+        nonbroadcast_sparsity=nbs,
+        seed=seed,
+    )
+
+
 def simulate_point(
     tile: RegisterTile,
     precision: Precision,
@@ -64,17 +91,7 @@ def simulate_point(
     seed: int = 0,
 ) -> float:
     """One grid point: steady-state nanoseconds per VFMA instruction."""
-    trace = generate_gemm_trace(
-        GemmKernelConfig(
-            name="surface",
-            tile=tile,
-            k_steps=k_steps,
-            precision=precision,
-            broadcast_sparsity=bs,
-            nonbroadcast_sparsity=nbs,
-            seed=seed,
-        )
-    )
+    trace = generate_gemm_trace(point_config(tile, precision, bs, nbs, k_steps, seed))
     result = simulate(trace, machine, keep_state=False)
     return result.time_ns / result.fma_count
 
@@ -122,15 +139,26 @@ class SparsitySurface:
         levels: Sequence[float] = COARSE_LEVELS,
         k_steps: int = 24,
         seed: int = 0,
+        executor: Optional[SimExecutor] = None,
     ) -> "SparsitySurface":
-        """Simulate the full grid (the expensive path; memoise it)."""
+        """Simulate the full grid (the expensive path; memoise it).
+
+        All ``n × n`` grid points are independent simulations; they go
+        to the executor as one batch, so a parallel executor fills the
+        whole surface concurrently.  Results come back in job order, so
+        the surface is identical whichever backend ran it.
+        """
         n = len(levels)
-        values = np.zeros((n, n))
-        for i, bs in enumerate(levels):
-            for j, nbs in enumerate(levels):
-                values[i, j] = simulate_point(
-                    tile, precision, machine, bs, nbs, k_steps=k_steps, seed=seed
-                )
+        jobs = [
+            PointJob(
+                config=point_config(tile, precision, bs, nbs, k_steps, seed),
+                machine=machine,
+                metric=METRIC_NS_PER_FMA,
+            )
+            for bs in levels
+            for nbs in levels
+        ]
+        values = np.array(default_executor(executor).map(jobs)).reshape(n, n)
         return cls(levels=levels, ns_per_fma=values, label=machine_label(machine))
 
 
@@ -159,14 +187,42 @@ def _bilinear(levels: Sequence[float], grid: np.ndarray, x: float, y: float) -> 
 
 
 class SurfaceStore:
-    """Disk-backed memoisation of sparsity surfaces."""
+    """Disk-backed memoisation of sparsity surfaces.
 
-    def __init__(self, directory: Optional[Path] = None) -> None:
+    Args:
+        directory: cache directory (defaults to the repo-level
+            ``.surface_cache``).
+        executor: used to fill missing surfaces' grid points; a
+            parallel :class:`SimExecutor` builds each surface as one
+            concurrent batch.  ``None`` means serial.
+        memo_size: capacity of the in-memory LRU memo.  Repeated
+            ``get()`` calls in one process hit the memo instead of
+            re-reading and re-parsing the JSON cache file; least
+            recently used surfaces are evicted beyond this size.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Path] = None,
+        executor: Optional[SimExecutor] = None,
+        memo_size: int = 256,
+    ) -> None:
         if directory is None:
             directory = Path(__file__).resolve().parents[3] / ".surface_cache"
+        if memo_size <= 0:
+            raise ValueError("memo_size must be positive")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        self._memory: dict = {}
+        self.executor = executor
+        self.memo_size = memo_size
+        self._memory: "OrderedDict[str, SparsitySurface]" = OrderedDict()
+
+    def _memo_put(self, key: str, surface: SparsitySurface) -> None:
+        memory = self._memory
+        memory[key] = surface
+        memory.move_to_end(key)
+        while len(memory) > self.memo_size:
+            memory.popitem(last=False)
 
     def _key(
         self,
@@ -196,18 +252,30 @@ class SurfaceStore:
         machine: MachineConfig,
         levels: Sequence[float] = COARSE_LEVELS,
         k_steps: int = 24,
+        executor: Optional[SimExecutor] = None,
     ) -> SparsitySurface:
-        """Fetch (memory → disk → simulate) a surface."""
+        """Fetch (memory → disk → simulate) a surface.
+
+        A miss simulates every grid point in one executor batch and
+        writes the disk cache exactly once.
+        """
         key = self._key(tile, precision, machine, levels, k_steps)
-        if key in self._memory:
-            return self._memory[key]
+        memo = self._memory.get(key)
+        if memo is not None:
+            self._memory.move_to_end(key)
+            return memo
         path = self.directory / f"{key}.json"
         if path.exists():
             surface = SparsitySurface.from_json(json.loads(path.read_text()))
         else:
             surface = SparsitySurface.build(
-                tile, precision, machine, levels=levels, k_steps=k_steps
+                tile,
+                precision,
+                machine,
+                levels=levels,
+                k_steps=k_steps,
+                executor=executor if executor is not None else self.executor,
             )
             path.write_text(json.dumps(surface.to_json()))
-        self._memory[key] = surface
+        self._memo_put(key, surface)
         return surface

@@ -1,0 +1,188 @@
+"""Tests for the execution layer: determinism, ordering, LRU memo.
+
+The contract under test: a parallel run is *indistinguishable* from a
+serial run — same speedup dicts, same surfaces, results always in job
+order no matter how workers interleave.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SAVE_1VPU, SAVE_2VPU
+from repro.experiments import executor as executor_mod
+from repro.experiments.executor import (
+    JOBS_ENV_VAR,
+    METRIC_NS_PER_FMA,
+    PointJob,
+    SimExecutor,
+    merge_indexed,
+    resolve_jobs,
+)
+from repro.experiments.sweeps import sweep_kernel
+from repro.kernels.library import get_kernel
+from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
+from repro.model.surface import (
+    SparsitySurface,
+    SurfaceStore,
+    point_config,
+    simulate_point,
+)
+
+TILE = RegisterTile(2, 2, BroadcastPattern.EXPLICIT)
+
+
+class TestMergeIndexed:
+    def test_out_of_order_chunks_restore_job_order(self):
+        # Chunks complete in reverse and interleaved order.
+        chunks = [[(3, 30.0)], [(0, 0.0), (2, 20.0)], [(1, 10.0)]]
+        assert merge_indexed(chunks, 4) == [0.0, 10.0, 20.0, 30.0]
+
+    def test_missing_result_raises(self):
+        with pytest.raises(ValueError, match="missing"):
+            merge_indexed([[(0, 1.0)]], 2)
+
+    def test_duplicate_result_raises(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            merge_indexed([[(0, 1.0)], [(0, 2.0)]], 1)
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(ValueError, match="outside"):
+            merge_indexed([[(5, 1.0)]], 2)
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "8")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "4")
+        assert resolve_jobs(None) == 4
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "lots")
+        with pytest.raises(ValueError):
+            resolve_jobs(None)
+
+    def test_floor_of_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-3) == 1
+
+
+def _jobs(n, machine=SAVE_2VPU, k_steps=4):
+    return [
+        PointJob(
+            config=point_config(TILE, Precision.FP32, 0.0, 0.3 * (i % 3), k_steps, i),
+            machine=machine,
+            metric=METRIC_NS_PER_FMA,
+        )
+        for i in range(n)
+    ]
+
+
+class TestSimExecutor:
+    def test_empty_batch(self):
+        assert SimExecutor(jobs=2).map([]) == []
+
+    def test_serial_never_touches_a_pool(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise AssertionError("jobs=1 must stay in-process")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", explode)
+        results = SimExecutor(jobs=1).map(_jobs(3))
+        assert len(results) == 3 and all(v > 0 for v in results)
+
+    def test_single_job_short_circuits(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise AssertionError("a one-job batch must stay in-process")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", explode)
+        assert len(SimExecutor(jobs=4).map(_jobs(1))) == 1
+
+    def test_parallel_matches_serial_exactly(self):
+        jobs = _jobs(5)
+        serial = SimExecutor(jobs=1).map(jobs)
+        parallel = SimExecutor(jobs=2, chunksize=2).map(jobs)
+        assert parallel == serial
+
+    def test_point_job_matches_simulate_point(self):
+        job = _jobs(1)[0]
+        expected = simulate_point(
+            TILE, Precision.FP32, SAVE_2VPU,
+            job.config.broadcast_sparsity, job.config.nonbroadcast_sparsity,
+            k_steps=job.config.k_steps, seed=job.config.seed,
+        )
+        assert job.run() == expected
+
+    def test_chunksize_validation(self):
+        with pytest.raises(ValueError):
+            SimExecutor(jobs=2, chunksize=0)
+
+
+class TestSweepDeterminism:
+    def test_parallel_sweep_identical_to_serial(self):
+        spec = get_kernel("explicit_wide")
+        machines = {"2vpu": SAVE_2VPU, "1vpu": SAVE_1VPU}
+        kwargs = dict(bs_levels=(0.0, 0.6), nbs_levels=(0.0, 0.6), k_steps=4)
+        serial = sweep_kernel(spec, machines, **kwargs)
+        parallel = sweep_kernel(
+            spec, machines, executor=SimExecutor(jobs=2), **kwargs
+        )
+        for label in machines:
+            assert parallel[label].speedups == serial[label].speedups
+
+    def test_parallel_surface_identical_to_serial(self):
+        serial = SparsitySurface.build(
+            TILE, Precision.FP32, SAVE_2VPU, levels=(0.0, 0.9), k_steps=4
+        )
+        parallel = SparsitySurface.build(
+            TILE, Precision.FP32, SAVE_2VPU, levels=(0.0, 0.9), k_steps=4,
+            executor=SimExecutor(jobs=2),
+        )
+        assert np.array_equal(parallel.ns_per_fma, serial.ns_per_fma)
+
+
+class TestSurfaceStoreLru:
+    def test_memo_hit_skips_disk(self, tmp_path, monkeypatch):
+        store = SurfaceStore(tmp_path)
+        first = store.get(TILE, Precision.FP32, SAVE_2VPU, levels=(0.0,), k_steps=4)
+
+        import repro.model.surface as surface_mod
+
+        def no_parse(*args, **kwargs):
+            raise AssertionError("memo hit must not re-parse the JSON file")
+
+        monkeypatch.setattr(surface_mod.json, "loads", no_parse)
+        again = store.get(TILE, Precision.FP32, SAVE_2VPU, levels=(0.0,), k_steps=4)
+        assert again is first
+
+    def test_eviction_beyond_capacity(self, tmp_path):
+        store = SurfaceStore(tmp_path, memo_size=1)
+        a1 = store.get(TILE, Precision.FP32, SAVE_2VPU, levels=(0.0,), k_steps=4)
+        store.get(TILE, Precision.FP32, SAVE_1VPU, levels=(0.0,), k_steps=4)
+        # A was evicted: this reloads from disk (new object, same data).
+        a2 = store.get(TILE, Precision.FP32, SAVE_2VPU, levels=(0.0,), k_steps=4)
+        assert a2 is not a1
+        assert np.array_equal(a2.ns_per_fma, a1.ns_per_fma)
+
+    def test_lru_order_refreshed_by_get(self, tmp_path):
+        store = SurfaceStore(tmp_path, memo_size=2)
+        a = store.get(TILE, Precision.FP32, SAVE_2VPU, levels=(0.0,), k_steps=4)
+        store.get(TILE, Precision.FP32, SAVE_1VPU, levels=(0.0,), k_steps=4)
+        # Touch A so B is now the least recently used, then add C.
+        assert store.get(TILE, Precision.FP32, SAVE_2VPU, levels=(0.0,), k_steps=4) is a
+        store.get(TILE, Precision.MIXED, SAVE_2VPU, levels=(0.0,), k_steps=4)
+        assert store.get(TILE, Precision.FP32, SAVE_2VPU, levels=(0.0,), k_steps=4) is a
+
+    def test_memo_size_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            SurfaceStore(tmp_path, memo_size=0)
+
+    def test_parallel_store_fill_writes_once(self, tmp_path):
+        store = SurfaceStore(tmp_path, executor=SimExecutor(jobs=2))
+        store.get(TILE, Precision.FP32, SAVE_2VPU, levels=(0.0, 0.9), k_steps=4)
+        assert len(list(tmp_path.glob("*.json"))) == 1
