@@ -9,6 +9,7 @@ through pytest-benchmark.
 
 import pytest
 
+from repro.experiments.context import RunContext
 from repro.model.surface import SurfaceStore
 
 
@@ -26,9 +27,14 @@ def store():
 
 @pytest.fixture
 def run_once(benchmark):
-    """Run an experiment exactly once under the benchmark timer."""
+    """Run an experiment exactly once under the benchmark timer.
 
-    def _run(func, **kwargs):
-        return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)
+    Keyword arguments are :class:`RunContext` fields; the runner is
+    invoked with the assembled context.
+    """
+
+    def _run(func, **options):
+        ctx = RunContext(**options)
+        return benchmark.pedantic(func, args=(ctx,), rounds=1, iterations=1)
 
     return _run

@@ -8,6 +8,7 @@ substrate is a from-scratch simulator, not the authors' Sniper setup).
 import pytest
 
 from repro.experiments import fig14
+from repro.experiments.context import RunContext
 
 
 def dynamic_speedup(report, panel, network, precision="bf16"):
@@ -22,7 +23,7 @@ def config_speedup(report, panel, network, config, precision="bf16"):
 
 @pytest.fixture(scope="module")
 def report(store):
-    return fig14.run(panel="all", store=store, k_steps=16, samples=5)
+    return fig14.run(RunContext(panel="all", store=store, k_steps=16, samples=5))
 
 
 @pytest.mark.experiment("fig14")

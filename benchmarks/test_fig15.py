@@ -3,11 +3,12 @@
 import pytest
 
 from repro.experiments import fig15
+from repro.experiments.context import RunContext
 
 
 @pytest.fixture(scope="module")
 def report():
-    return fig15.run(k_steps=24)
+    return fig15.run(RunContext(k_steps=24))
 
 
 @pytest.mark.experiment("fig15")

@@ -3,11 +3,12 @@
 import pytest
 
 from repro.experiments import fig16
+from repro.experiments.context import RunContext
 
 
 @pytest.fixture(scope="module")
 def report(store):
-    return fig16.run(store=store, k_steps=16)
+    return fig16.run(RunContext(store=store, k_steps=16))
 
 
 @pytest.mark.experiment("fig16")

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments import fig18
+from repro.experiments.context import RunContext
 
 PANEL_A = "a (ResNet3_2, eff. CW~1)"
 PANEL_B = "b (ResNet5_1a, eff. CW~3)"
@@ -10,7 +11,7 @@ PANEL_B = "b (ResNet5_1a, eff. CW~3)"
 
 @pytest.fixture(scope="module")
 def report():
-    return fig18.run(k_steps=24)
+    return fig18.run(RunContext(k_steps=24))
 
 
 def series(report, panel, technique):

@@ -3,11 +3,12 @@
 import pytest
 
 from repro.experiments import fig19
+from repro.experiments.context import RunContext
 
 
 @pytest.fixture(scope="module")
 def report():
-    return fig19.run(k_steps=24)
+    return fig19.run(RunContext(k_steps=24))
 
 
 def series(report, label):

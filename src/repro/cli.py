@@ -8,7 +8,10 @@ import time
 from typing import List, Optional
 
 from repro._version import __version__
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import EXPERIMENTS, RunContext, run_experiment
+
+#: Experiments the ``--chart`` flag can render.
+CHART_EXPERIMENTS = ("fig15", "fig18")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,13 +50,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--panel",
-        default="all",
+        default=None,
         help="fig14 only: panel a/b/c/d (default: all)",
     )
     parser.add_argument(
         "--chart",
         action="store_true",
         help="also render fig15/fig18 as terminal charts",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect pipeline metrics and print the aggregate after each run",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write a JSONL event trace of every simulated cycle to FILE "
+            "(forces serial simulation)"
+        ),
     )
     parser.add_argument(
         "--export",
@@ -65,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _warn(message: str) -> None:
+    print(f"warning: {message}", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -72,40 +93,86 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+        available = ", ".join(sorted(EXPERIMENTS))
+        print(
+            f"unknown experiment {args.experiment!r}; available: {available}",
+            file=sys.stderr,
+        )
+        return 2
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.panel is not None and "fig14" not in names:
+        _warn(f"--panel only applies to fig14; ignored for {', '.join(names)}")
+    if args.chart and not any(name in CHART_EXPERIMENTS for name in names):
+        _warn(
+            f"--chart only applies to {'/'.join(CHART_EXPERIMENTS)}; "
+            f"ignored for {', '.join(names)}"
+        )
 
     from repro.experiments.executor import SimExecutor
+    from repro.obs import MetricsRegistry
 
-    executor = SimExecutor(jobs=args.jobs)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    registry = MetricsRegistry() if args.metrics else None
+    sink = None
+    if args.trace:
+        from repro.obs import JsonlTraceSink
+
+        if registry is None:
+            registry = MetricsRegistry()
+        sink = JsonlTraceSink(args.trace)
+    executor = SimExecutor(jobs=args.jobs, metrics=registry, trace_sink=sink)
+    ctx = RunContext(
+        full_grid=args.full_grid,
+        k_steps=args.k_steps,
+        executor=executor,
+        panel=args.panel if args.panel is not None else "all",
+        metrics=registry,
+    )
+
     reports = []
-    for name in names:
-        kwargs = {"full_grid": args.full_grid, "executor": executor}
-        if args.k_steps is not None:
-            kwargs["k_steps"] = args.k_steps
-        if name == "fig14":
-            kwargs["panel"] = args.panel
-        start = time.time()
-        try:
-            report = run_experiment(name, **kwargs)
-        except KeyError as error:
-            print(error, file=sys.stderr)
-            return 2
-        report.show()
-        if args.chart and name == "fig15":
-            from repro.experiments.charts import fig15_charts
+    failures: List[str] = []
+    try:
+        for name in names:
+            start = time.time()
+            try:
+                report = run_experiment(name, ctx)
+            except Exception as error:  # noqa: BLE001 - 'all' must keep going
+                if args.experiment != "all":
+                    raise
+                failures.append(name)
+                print(f"[{name} FAILED: {error}]\n", file=sys.stderr)
+                continue
+            report.show()
+            if args.chart and name == "fig15":
+                from repro.experiments.charts import fig15_charts
 
-            print(fig15_charts(report.data))
-        if args.chart and name == "fig18":
-            from repro.experiments.charts import fig18_charts
+                print(fig15_charts(report.data))
+            if args.chart and name == "fig18":
+                from repro.experiments.charts import fig18_charts
 
-            print(fig18_charts(report.data))
-        reports.append(report)
-        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+                print(fig18_charts(report.data))
+            reports.append(report)
+            print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+    finally:
+        if sink is not None:
+            sink.close()
+            print(f"trace: {sink.events_written} events -> {args.trace}")
+    if registry is not None:
+        from repro.obs import format_metrics
+
+        print(format_metrics(registry.snapshot()))
     if args.export:
         from repro.experiments.export import export_all
 
         manifest = export_all(reports, args.export)
         print(f"exported {len(manifest)} report(s) to {args.export}")
+    if failures:
+        print(
+            f"{len(failures)} experiment(s) failed: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

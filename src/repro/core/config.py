@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Optional
 
 from repro.memory.broadcast_cache import BroadcastCacheKind
 from repro.memory.hierarchy import HierarchyConfig

@@ -9,11 +9,11 @@ on the kernel", Sec. VII-B).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any, Dict, List
 
 from repro.core.config import MachineConfig
 from repro.core.pipeline import SimResult
-from repro.isa.datatypes import FP32_LANES
+from repro.obs.metrics import hist_stats
 
 
 @dataclass(frozen=True)
@@ -78,4 +78,41 @@ def explain(result: SimResult, machine: MachineConfig) -> str:
             f"  alloc stalls  : ROB {result.stall_rob_cycles}, "
             f"RS {result.stall_rs_cycles} cycles"
         )
+    if result.metrics:
+        lines.extend(_distribution_lines(result.metrics))
     return "\n".join(lines)
+
+
+#: Histograms worth surfacing in ``explain``, with display labels.
+_EXPLAIN_HISTOGRAMS = (
+    ("CW occupancy", "cw_occupancy"),
+    ("lanes per op", "lanes_per_op"),
+    ("ELM wait", "elm_wait_cycles"),
+    ("CW residency", "cw_residency_cycles"),
+    ("retire wait", "retire_wait_cycles"),
+)
+
+
+def _distribution_lines(metrics: Dict[str, Any]) -> List[str]:
+    """Distribution summaries from an instrumented run's snapshot.
+
+    This is where the flat means of :class:`SimResult` become
+    distributions: occupancy and per-stage waits as p50/p95/max, the
+    level of detail the paper's Sec. VII-B attribution arguments need.
+    """
+    lines: List[str] = []
+    histograms = metrics.get("histograms", {})
+    for label, key in _EXPLAIN_HISTOGRAMS:
+        snapshot = histograms.get(key)
+        if not snapshot or not snapshot.get("count"):
+            continue
+        stats = hist_stats(snapshot)
+        lines.append(
+            f"  {label:<14}: mean {stats['mean']:.1f}, p50 {stats['p50']}, "
+            f"p95 {stats['p95']}, max {stats['max']} (n={stats['count']})"
+        )
+    counters = metrics.get("counters", {})
+    stalls = counters.get("lwd_stalls")
+    if stalls:
+        lines.append(f"  LWD stalls    : {stalls} lane-dispatch attempts blocked")
+    return lines

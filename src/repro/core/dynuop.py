@@ -15,7 +15,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.isa.uops import MemOperand, RegOperand, Uop, UopKind
+from repro.isa.uops import Uop, UopKind
 
 #: Consumer roles for wake-up routing.
 ROLE_A = "a"
@@ -67,6 +67,7 @@ class DynUop:
         "retired",
         "rs_freed",
         "alloc_cycle",
+        "activate_cycle",
         "complete_cycle",
     )
 
@@ -114,6 +115,8 @@ class DynUop:
         self.retired = False
         self.rs_freed = False
         self.alloc_cycle = -1
+        #: Cycle the ELM became ready (µop entered the CW); -1 if never.
+        self.activate_cycle = -1
         self.complete_cycle = -1
 
     # ------------------------------------------------------------------

@@ -17,7 +17,7 @@ transparency checks).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
 import numpy as np
@@ -28,6 +28,7 @@ from repro.isa.registers import Memory
 from repro.isa.uops import MemOperand
 from repro.memory.broadcast_cache import BroadcastCache, BroadcastCacheKind
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs import Instrumentation
 
 
 @dataclass
@@ -68,12 +69,14 @@ class LoadStoreUnit:
         broadcast_cache: Optional[BroadcastCache],
         l1_read_ports: int = 2,
         store_ports: int = 1,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.memory = memory
         self.hierarchy = hierarchy
         self.broadcast_cache = broadcast_cache
         self.l1_read_ports = l1_read_ports
         self.store_ports = store_ports
+        self.obs = obs
         self._broadcast_queue: Deque[MemRequest] = deque()
         self._l1_queue: Deque[MemRequest] = deque()
         self._store_queue: Deque[MemRequest] = deque()
@@ -133,6 +136,9 @@ class LoadStoreUnit:
         """
         completions: List[Tuple[int, MemRequest]] = []
         l1_ports_left = self.l1_read_ports
+        obs = self.obs
+        if obs is not None:
+            obs.metrics.gauge("lsu_peak_pending").set_max(self.pending())
 
         # Broadcast path through the B$.
         if self._has_b_cache():
@@ -142,6 +148,19 @@ class LoadStoreUnit:
                 result = self.broadcast_cache.access(request.operand.addr)
                 b_ports_left -= 1
                 self._broadcast_queue.popleft()
+                if obs is not None:
+                    name = "bcache_hit" if result.hit else "bcache_miss"
+                    obs.metrics.counter(
+                        "bcache_hits" if result.hit else "bcache_misses"
+                    ).inc()
+                    if obs.tracing:
+                        obs.emit(
+                            cycle,
+                            name,
+                            addr=request.operand.addr,
+                            zero=result.value_is_zero,
+                            l1_access=result.l1_access,
+                        )
                 if result.l1_access:
                     if l1_ports_left > 0:
                         l1_ports_left -= 1

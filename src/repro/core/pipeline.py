@@ -27,7 +27,7 @@ test suite checks on every configuration.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -45,7 +45,11 @@ from repro.core.lsu import LoadStoreUnit, MemRequest
 from repro.core.prf import PrfTracker
 from repro.core.save.elm import MguStage
 from repro.core.save.mixed import ChainLane, ChainManager
-from repro.core.save.rotate import rotation_offset, slot_for_lane
+from repro.core.save.rotate import (
+    rotation_offset,
+    rotation_state_name,
+    slot_for_lane,
+)
 from repro.core.save.window import (
     BaselineScheduler,
     HorizontalScheduler,
@@ -60,10 +64,12 @@ from repro.core.vpu import (
 )
 from repro.isa.datatypes import FP32_LANES
 from repro.isa.registers import ArchState
-from repro.isa.uops import MemOperand, RegOperand, Uop, UopKind
+from repro.isa.uops import RegOperand, Uop, UopKind
 from repro.kernels.trace import KernelTrace
 from repro.memory.broadcast_cache import BroadcastCache, BroadcastCacheKind
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs import Instrumentation
+from repro.obs.metrics import log2_bucket
 
 
 @dataclass
@@ -92,6 +98,10 @@ class SimResult:
     prf_peak_base: int = 32
     #: Peak live rotated-copy count (Sec. IV-B register overhead).
     prf_peak_copies: int = 0
+    #: Metrics snapshot (``repro.obs``), present only when the run was
+    #: instrumented: per-stage wait histograms, CW-occupancy and
+    #: lane-utilisation distributions, structure peaks, event counters.
+    metrics: Optional[Dict] = None
     final_state: Optional[ArchState] = None
 
     @property
@@ -131,11 +141,19 @@ class PipelineSimulator:
         warm_level: Optional[str] = "l2",
         keep_state: bool = True,
         max_cycles: int = 5_000_000,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.trace = trace
         self.config = config
         self.keep_state = keep_state
         self.max_cycles = max_cycles
+        # Observability: ``None`` (the default) keeps every hook to one
+        # pointer comparison; ``_tracing`` additionally gates event
+        # assembly so metrics-only runs never build event dicts.
+        self.obs = obs
+        self._tracing = obs is not None and obs.tracing
+        if obs is not None and not obs.kernel:
+            obs.kernel = trace.name
 
         self.init_state = trace.fresh_state()
         memory = self.init_state.memory
@@ -164,6 +182,7 @@ class PipelineSimulator:
             self.bcache,
             l1_read_ports=config.hierarchy.l1_read_ports,
             store_ports=config.core.store_ports,
+            obs=obs,
         )
 
         # Schedulers.
@@ -281,6 +300,10 @@ class PipelineSimulator:
 
     def _result(self, cycles: int) -> SimResult:
         bc_stats = self.bcache.stats if self.bcache is not None else None
+        metrics = None
+        if self.obs is not None:
+            self._record_structure_metrics(cycles)
+            metrics = self.obs.metrics.snapshot()
         return SimResult(
             name=self.trace.name,
             cycles=cycles,
@@ -301,8 +324,28 @@ class PipelineSimulator:
             mean_cw=self._cw_sum / self._cw_samples if self._cw_samples else 0.0,
             prf_peak_base=self.prf.peak_base,
             prf_peak_copies=self.prf.peak_copies,
+            metrics=metrics,
             final_state=self.final_state() if self.keep_state else None,
         )
+
+    def _record_structure_metrics(self, cycles: int) -> None:
+        """End-of-run structure peaks and totals (metrics enabled only)."""
+        m = self.obs.metrics
+        m.counter("sim_cycles").inc(cycles)
+        m.counter("sim_runs").inc()
+        m.gauge("mgu_peak_queue").set_max(self.mgu.peak_queue)
+        m.gauge("slot_sched_peak_pending").set_max(self.slot_sched.peak_pending)
+        m.gauge("horizontal_sched_peak_pending").set_max(
+            self.horizontal_sched.peak_pending
+        )
+        m.gauge("prf_peak_copies").set_max(self.prf.peak_copies)
+        m.counter("effectual_lanes").inc(self.effectual_lanes)
+        m.counter("pass_through_lanes").inc(self.pass_through_lanes)
+        m.counter("stall_rob_cycles").inc(self.stall_rob_cycles)
+        m.counter("stall_rs_cycles").inc(self.stall_rs_cycles)
+        if self.chains.created:
+            m.counter("chains_created").inc(self.chains.created)
+            m.counter("chain_mls_appended").inc(self.chains.mls_appended)
 
     def final_state(self) -> ArchState:
         """Reconstruct the architectural state after the trace."""
@@ -345,6 +388,10 @@ class PipelineSimulator:
             self.alloc_ptr += 1
             self.rob_count += 1
             budget -= 1
+            if self._tracing:
+                self.obs.emit(
+                    cycle, "dispatch", seq=dyn.seq, kind=uop.kind.name.lower()
+                )
             self._rename(dyn)
             self.prf.on_rename(dyn)
 
@@ -450,6 +497,9 @@ class PipelineSimulator:
     def _activate(self, dyn: DynUop) -> None:
         """ELM ready: the µop enters the combination window."""
         dyn.active = True
+        dyn.activate_cycle = self.cycle
+        if self.obs is not None:
+            self._note_activation(dyn)
         if dyn.elm == 0:
             self.skipped_fmas += 1
         if self.scheme == CoalescingScheme.NAIVE:
@@ -497,6 +547,14 @@ class PipelineSimulator:
                 return
         if self.lwd or mixed_mp:
             if not dyn.acc_lane_available(lane):
+                # LWD lane-order stall: the lane attempted dispatch but
+                # its accumulator input lane has not completed yet.
+                if self.obs is not None:
+                    self.obs.metrics.counter("lwd_stalls").inc()
+                    if self._tracing:
+                        self.obs.emit(
+                            self.cycle, "lwd_stall", seq=dyn.seq, lane=lane
+                        )
                 return
         elif not dyn.acc_fully_available():
             return
@@ -579,6 +637,16 @@ class PipelineSimulator:
             chain = self.chains.lane(root, lane, slot)
             for p in mls:
                 chain.append(dyn, p)
+            self.chains.mls_appended += len(mls)
+            if self._tracing:
+                self.obs.emit(
+                    self.cycle,
+                    "chain_append",
+                    seq=dyn.seq,
+                    root=root.seq,
+                    lane=lane,
+                    mls=list(mls),
+                )
             if chain.acc_value is None and root.acc_lane_available(lane):
                 chain.acc_value = root.acc_lane_value(lane)
             self._enqueue_chain_if_ready(chain)
@@ -605,6 +673,8 @@ class PipelineSimulator:
         if self.save_enabled and self._cw_size > 0:
             self._cw_samples += 1
             self._cw_sum += self._cw_size
+            if self.obs is not None:
+                self.obs.metrics.histogram("cw_occupancy").record(self._cw_size)
         if not self.save_enabled or self.scheme == CoalescingScheme.NAIVE:
             if not self.baseline_sched.pending():
                 return
@@ -690,7 +760,76 @@ class PipelineSimulator:
     def _issue(self, op: TempOp) -> None:
         self.vpu_ops += 1
         self.vpu_lane_slots += op.lane_count()
+        if self.obs is not None:
+            self._note_issue(op)
         self._vpu_events.setdefault(op.complete_cycle, []).append(op)
+
+    # ------------------------------------------------------------------
+    # Observability hooks (reached only when instrumentation is on)
+    # ------------------------------------------------------------------
+
+    def _note_activation(self, dyn: DynUop) -> None:
+        """ELM generated: record the distribution and SAVE skip events."""
+        m = self.obs.metrics
+        m.histogram("elm_wait_cycles", log2_bucket).record(
+            dyn.activate_cycle - dyn.alloc_cycle
+        )
+        m.histogram("elm_popcount").record(bin(dyn.elm).count("1"))
+        if dyn.elm == 0:
+            m.counter("bs_skips").inc()
+        if self._tracing:
+            self.obs.emit(self.cycle, "elm", seq=dyn.seq, elm=dyn.elm)
+            if dyn.elm == 0:
+                self.obs.emit(self.cycle, "bs_skip", seq=dyn.seq)
+
+    def _note_issue(self, op: TempOp) -> None:
+        """VPU op issued: lane-occupancy distribution plus merge detail."""
+        m = self.obs.metrics
+        m.histogram("lanes_per_op").record(op.lane_count())
+        m.counter(f"vpu_ops_{op.kind.name.lower()}").inc()
+        if not self._tracing:
+            return
+        cycle = op.issue_cycle
+        self.obs.emit(cycle, "issue", **op.describe())
+        if op.kind == TempOpKind.WHOLE:
+            return
+        scheme = self.scheme.name.lower() if self.scheme is not None else "baseline"
+        entries = []
+        for dyn, lane in op.lane_entries:
+            entries.append(
+                {
+                    "seq": dyn.seq,
+                    "lane": lane,
+                    "slot": slot_for_lane(lane, dyn.rotation),
+                    "rstate": rotation_state_name(dyn.rotation),
+                }
+            )
+        for chain, mls, _acc in op.chain_entries:
+            entries.append(
+                {
+                    "root": chain.root.seq,
+                    "lane": chain.lane,
+                    "slot": chain.slot,
+                    "mls": [[dyn.seq, p] for dyn, p in mls],
+                }
+            )
+        self.obs.emit(cycle, "merge", scheme=scheme, entries=entries)
+
+    def _note_retire(self, dyn: DynUop) -> None:
+        """Per-stage cycle attribution, recorded once at retirement."""
+        m = self.obs.metrics
+        if dyn.is_fma:
+            if dyn.activate_cycle >= 0:
+                m.histogram("cw_residency_cycles", log2_bucket).record(
+                    (dyn.complete_cycle if dyn.complete_cycle >= 0 else self.cycle)
+                    - dyn.activate_cycle
+                )
+            if dyn.complete_cycle >= 0:
+                m.histogram("retire_wait_cycles", log2_bucket).record(
+                    self.cycle - dyn.complete_cycle
+                )
+        if self._tracing:
+            self.obs.emit(self.cycle, "retire", seq=dyn.seq)
 
     def _issue_scalars(self, cycle: int) -> None:
         for _ in range(min(self.config.core.scalar_ports, len(self._scalar_queue))):
@@ -833,6 +972,7 @@ class PipelineSimulator:
 
     def _retire(self) -> None:
         budget = self.config.core.issue_width
+        obs = self.obs
         while (
             budget > 0
             and self.retire_ptr < len(self.dyns)
@@ -841,6 +981,8 @@ class PipelineSimulator:
             dyn = self.dyns[self.retire_ptr]
             dyn.retired = True
             self.prf.on_retire(dyn)
+            if obs is not None:
+                self._note_retire(dyn)
             self.retire_ptr += 1
             self.rob_count -= 1
             budget -= 1
@@ -851,8 +993,14 @@ def simulate(
     config: MachineConfig,
     warm_level: Optional[str] = "l2",
     keep_state: bool = True,
+    obs: Optional[Instrumentation] = None,
 ) -> SimResult:
-    """Convenience wrapper: run one trace on one configuration."""
+    """Convenience wrapper: run one trace on one configuration.
+
+    Pass an :class:`repro.obs.Instrumentation` as ``obs`` to collect
+    metrics and (if its sink is real) structured trace events; the
+    returned :attr:`SimResult.metrics` then holds the snapshot.
+    """
     return PipelineSimulator(
-        trace, config, warm_level=warm_level, keep_state=keep_state
+        trace, config, warm_level=warm_level, keep_state=keep_state, obs=obs
     ).run()

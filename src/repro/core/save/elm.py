@@ -15,7 +15,6 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
-import numpy as np
 
 from repro.core.dynuop import DynUop
 from repro.isa.datatypes import FP32_LANES
@@ -67,10 +66,15 @@ class MguStage:
         self.mgus_per_cycle = mgus_per_cycle
         self._queue: Deque[DynUop] = deque()
         self.processed = 0
+        #: Peak backlog of VFMAs awaiting ELM generation (observability
+        #: check of the paper's "MGUs are never the bottleneck" claim).
+        self.peak_queue = 0
 
     def enqueue(self, dyn: DynUop) -> None:
         """Queue a VFMA whose multiplicands just became ready."""
         self._queue.append(dyn)
+        if len(self._queue) > self.peak_queue:
+            self.peak_queue = len(self._queue)
 
     def step(self) -> List[DynUop]:
         """Process up to the per-cycle budget; returns activated µops."""

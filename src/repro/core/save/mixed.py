@@ -67,6 +67,10 @@ class ChainManager:
 
     def __init__(self) -> None:
         self._chains: Dict[Tuple[int, int], ChainLane] = {}
+        #: Chain-lane records ever created (observability).
+        self.created = 0
+        #: Effectual MLs appended across all chain lanes (observability).
+        self.mls_appended = 0
 
     @staticmethod
     def chain_root(dyn: DynUop) -> DynUop:
@@ -92,6 +96,7 @@ class ChainManager:
         if chain is None:
             chain = ChainLane(root, lane, slot)
             self._chains[key] = chain
+            self.created += 1
         return chain
 
     def existing_lane(self, root: DynUop, lane: int) -> Optional[ChainLane]:

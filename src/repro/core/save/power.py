@@ -15,9 +15,8 @@ intervals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Dict, Iterable, Tuple
+from typing import Dict, Tuple
 
 
 class VpuPolicy(Enum):

@@ -18,6 +18,14 @@ from __future__ import annotations
 #: Offset per R-state: state 0 → none, 1 → right (+1), 2 → left (-1).
 _STATE_OFFSETS = {0: 0, 1: 1, 2: -1}
 
+#: Human-readable R-state names, keyed by lane offset (trace events).
+ROTATION_STATE_NAMES = {0: "none", 1: "right", -1: "left"}
+
+
+def rotation_state_name(offset: int) -> str:
+    """Trace-event label for a rotation offset (``rotation_offset``)."""
+    return ROTATION_STATE_NAMES[offset]
+
 
 def rotation_offset(accumulator_reg: int, rotation_states: int = 3) -> int:
     """Lane offset for a µop accumulating into ``accumulator_reg``.

@@ -31,11 +31,15 @@ class SlotScheduler:
         self._heaps: List[List[Tuple[int, int, Any]]] = [[] for _ in range(slots)]
         self._tiebreak = 0
         self._pending = 0
+        #: Peak total queue depth over the run (observability).
+        self.peak_pending = 0
 
     def insert(self, slot: int, seq: int, item: Any) -> None:
         """Queue ``item`` (priority = program order ``seq``) at ``slot``."""
         self._tiebreak += 1
         self._pending += 1
+        if self._pending > self.peak_pending:
+            self.peak_pending = self._pending
         heapq.heappush(self._heaps[slot], (seq, self._tiebreak, item))
 
     def pop_oldest(self, slot: int) -> Optional[Any]:
@@ -61,10 +65,14 @@ class HorizontalScheduler:
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, Any]] = []
         self._tiebreak = 0
+        #: Peak queue depth over the run (observability).
+        self.peak_pending = 0
 
     def insert(self, seq: int, item: Any) -> None:
         self._tiebreak += 1
         heapq.heappush(self._heap, (seq, self._tiebreak, item))
+        if len(self._heap) > self.peak_pending:
+            self.peak_pending = len(self._heap)
 
     def pop_oldest(self) -> Optional[Any]:
         if not self._heap:

@@ -78,6 +78,25 @@ class TempOp:
             return len(self.lane_entries)
         return len(self.chain_entries)
 
+    def uop_count(self) -> int:
+        """Distinct µops contributing to this op (coalescing degree)."""
+        if self.kind == TempOpKind.WHOLE:
+            return 1
+        if self.kind == TempOpKind.LANES:
+            return len({dyn.seq for dyn, _lane in self.lane_entries})
+        return len(
+            {dyn.seq for _chain, mls, _acc in self.chain_entries for dyn, _p in mls}
+        )
+
+    def describe(self) -> dict:
+        """Flat summary for ``issue`` trace events."""
+        return {
+            "kind": self.kind.name.lower(),
+            "lanes": self.lane_count(),
+            "uops": self.uop_count(),
+            "latency": self.latency,
+        }
+
 
 def compute_whole(dyn: DynUop) -> np.ndarray:
     """Architectural result of a whole VFMA (baseline issue)."""

@@ -25,7 +25,8 @@ from repro.core.config import (
     CoalescingScheme,
     MachineConfig,
 )
-from repro.experiments.executor import PointJob, SimExecutor, default_executor
+from repro.experiments.context import RunContext
+from repro.experiments.executor import PointJob, default_executor
 from repro.experiments.report import ExperimentReport
 from repro.kernels.library import get_kernel
 
@@ -48,14 +49,12 @@ def _ablation_machines() -> Dict[str, MachineConfig]:
     }
 
 
-def run(
-    k_steps: int = 24,
-    executor: Optional[SimExecutor] = None,
-    **_kwargs,
-) -> ExperimentReport:
+def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     """Render the design-choice ablation table."""
     from repro.kernels.tiling import Precision
 
+    ctx = ctx if ctx is not None else RunContext()
+    k_steps = ctx.resolve_k_steps(24)
     machines = _ablation_machines()
     jobs: List[PointJob] = []
     for kernel_name, bs, nbs in KERNEL_POINTS.values():
@@ -69,7 +68,7 @@ def run(
         jobs.extend(
             PointJob(config=config, machine=machine) for machine in machines.values()
         )
-    times = default_executor(executor).map(jobs)
+    times = default_executor(ctx.executor).map(jobs)
 
     rows: List[Tuple[str, str, float]] = []
     data: Dict[str, Dict[str, float]] = {}

@@ -12,7 +12,7 @@ Both return strings, so they compose with reports and tests.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Tuple
 
 #: Shade ramp from low to high.
 SHADES = " .:-=+*#%@"

@@ -8,10 +8,11 @@ behind the VPU-gating feature.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.config import BASELINE_2VPU, SAVE_1VPU, SAVE_2VPU
 from repro.core.pipeline import simulate
+from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
 from repro.kernels.gemm import generate_gemm_trace
 from repro.kernels.library import get_kernel
@@ -27,8 +28,10 @@ MACHINES = {
 SPARSITY_POINTS = ((0.0, 0.0), (0.4, 0.4), (0.8, 0.8))
 
 
-def run(k_steps: int = 24, **_kwargs) -> ExperimentReport:
+def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     """Render the energy comparison table."""
+    ctx = ctx if ctx is not None else RunContext()
+    k_steps = ctx.resolve_k_steps(24)
     model = EnergyModel()
     spec = get_kernel("resnet2_2_fwd")
     rows: List[tuple] = []

@@ -11,6 +11,14 @@ Determinism is the contract: results always come back in job-index
 order, regardless of worker completion order, and each job re-derives
 its trace from a seeded config, so a parallel run is bit-identical to a
 serial one.
+
+Observability rides on the executor: give a :class:`SimExecutor` a
+``metrics`` registry and every simulated point is instrumented with its
+*own* per-job registry whose snapshot travels back with the result;
+snapshots merge into the shared registry in job-index order on every
+backend, so a ``--jobs 8`` run's metrics are bit-identical to a serial
+run's.  A ``trace_sink`` forces in-process execution (event streams
+interleave nondeterministically across processes and would be useless).
 """
 
 from __future__ import annotations
@@ -18,10 +26,11 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import MachineConfig
 from repro.kernels.gemm import GemmKernelConfig
+from repro.obs import Instrumentation, MetricsRegistry, TraceSink
 
 #: Environment fallback for the worker count (the CLI's ``--jobs``
 #: takes precedence).
@@ -46,23 +55,45 @@ class PointJob:
     machine: MachineConfig
     metric: str = METRIC_TIME_NS
 
-    def run(self) -> float:
+    def run(self, obs: Optional[Instrumentation] = None) -> float:
         """Simulate this point in the current process."""
         # Imported here so workers pay the import once, not per job.
         from repro.core.pipeline import simulate
         from repro.kernels.gemm import generate_gemm_trace
 
         result = simulate(
-            generate_gemm_trace(self.config), self.machine, keep_state=False
+            generate_gemm_trace(self.config), self.machine, keep_state=False,
+            obs=obs,
         )
         if self.metric == METRIC_NS_PER_FMA:
             return result.time_ns / result.fma_count
         return result.time_ns
 
+    def run_instrumented(
+        self, sink: Optional[TraceSink] = None
+    ) -> Tuple[float, Dict[str, Any]]:
+        """Run with a fresh per-job registry; return (value, snapshot).
+
+        A *fresh* registry per job is what makes cross-process merging
+        deterministic: each job's snapshot is computed from zero in
+        isolation, and the caller folds snapshots together in job-index
+        order — identical float-addition grouping on every backend.
+        """
+        obs = Instrumentation(metrics=MetricsRegistry(), sink=sink)
+        value = self.run(obs)
+        return value, obs.snapshot()
+
 
 def _run_chunk(chunk: List[Tuple[int, PointJob]]) -> List[Tuple[int, float]]:
     """Worker entry point: run one chunk of (index, job) pairs."""
     return [(index, job.run()) for index, job in chunk]
+
+
+def _run_chunk_instrumented(
+    chunk: List[Tuple[int, PointJob]],
+) -> List[Tuple[int, Tuple[float, Dict[str, Any]]]]:
+    """Worker entry point when metrics are collected."""
+    return [(index, job.run_instrumented()) for index, job in chunk]
 
 
 def merge_indexed(
@@ -113,16 +144,35 @@ class SimExecutor:
         chunksize: jobs per worker submission; defaults to an even
             split targeting ~4 chunks per worker (amortises process
             round-trips while keeping the pool load-balanced).
+        metrics: shared registry that accumulates every job's metrics.
+            Each job runs against a fresh private registry; snapshots
+            are folded into this one in job-index order after the batch
+            completes, so parallel and serial runs merge identically.
+        trace_sink: event sink for per-cycle traces.  Tracing forces
+            in-process execution — interleaved multi-process event
+            streams would be nondeterministic and unusable.
     """
 
-    def __init__(self, jobs: Optional[int] = None, chunksize: Optional[int] = None):
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_sink: Optional[TraceSink] = None,
+    ):
         self.jobs = resolve_jobs(jobs)
         if chunksize is not None and chunksize <= 0:
             raise ValueError("chunksize must be positive")
         self.chunksize = chunksize
+        self.metrics = metrics
+        self.trace_sink = trace_sink
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimExecutor(jobs={self.jobs}, chunksize={self.chunksize})"
+
+    @property
+    def instrumented(self) -> bool:
+        return self.metrics is not None or self.trace_sink is not None
 
     @property
     def parallel(self) -> bool:
@@ -140,6 +190,8 @@ class SimExecutor:
         """Run a batch; results are in job order on every backend."""
         if not jobs:
             return []
+        if self.instrumented:
+            return self._map_instrumented(jobs)
         if not self.parallel or len(jobs) == 1:
             return [job.run() for job in jobs]
         indexed = list(enumerate(jobs))
@@ -149,6 +201,31 @@ class SimExecutor:
             futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
             completed = [future.result() for future in as_completed(futures)]
         return merge_indexed(completed, len(jobs))
+
+    def _map_instrumented(self, jobs: Sequence[PointJob]) -> List[float]:
+        """Instrumented batch: collect per-job snapshots, merge in order.
+
+        Serial and parallel paths build the *same* list of per-job
+        snapshots and fold them identically — one ``merge_snapshot``
+        per job, in job-index order — so the shared registry ends up
+        bit-for-bit the same regardless of worker count.
+        """
+        if self.trace_sink is not None or not self.parallel or len(jobs) == 1:
+            pairs = [job.run_instrumented(self.trace_sink) for job in jobs]
+        else:
+            indexed = list(enumerate(jobs))
+            chunks = self._chunks(indexed)
+            workers = min(self.jobs, len(chunks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_run_chunk_instrumented, chunk) for chunk in chunks
+                ]
+                completed = [future.result() for future in as_completed(futures)]
+            pairs = merge_indexed(completed, len(jobs))
+        if self.metrics is not None:
+            for _, snapshot in pairs:
+                self.metrics.merge_snapshot(snapshot)
+        return [value for value, _ in pairs]
 
 
 #: Module default: serial execution (what every call site gets when no

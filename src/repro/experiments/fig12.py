@@ -7,11 +7,14 @@ final sparsity for the three CNN configurations.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
 from repro.model.networks import RESNET50_DENSE, RESNET50_PRUNED, VGG16
 
 
-def run(**_kwargs) -> ExperimentReport:
+def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     """Render the activation-sparsity progressions (Fig. 12)."""
     rows = []
     data = {}

@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Optional
 
+from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
 from repro.sparsity.pruning import GNMT_PRUNING, RESNET50_PRUNING
 
 
-def run(**_kwargs) -> ExperimentReport:
+def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     """Render the pruning schedules (Fig. 13)."""
     rows = []
     resnet_steps = [0, 32, 40, 48, 60, 80, 102]

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.experiments.executor import SimExecutor
+from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
 from repro.kernels.tiling import Precision
 from repro.model.estimator import NetworkEvaluation
@@ -73,25 +73,20 @@ def _evaluate(panel: str, full_grid: bool, store: SurfaceStore, k_steps: int,
     return evaluations
 
 
-def run(
-    panel: str = "all",
-    full_grid: bool = False,
-    store: Optional[SurfaceStore] = None,
-    k_steps: int = 16,
-    samples: int = 5,
-    executor: Optional[SimExecutor] = None,
-    **_kwargs,
-) -> ExperimentReport:
+def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     """Render Fig. 14 (or one panel of it)."""
+    ctx = ctx if ctx is not None else RunContext()
+    store = ctx.store
     if store is None:
-        store = SurfaceStore(executor=executor)
-    elif executor is not None:
-        store.executor = executor
-    panels = ("a", "b", "c", "d") if panel == "all" else (panel,)
+        store = SurfaceStore(executor=ctx.executor)
+    elif ctx.executor is not None:
+        store.executor = ctx.executor
+    k_steps = ctx.resolve_k_steps(16)
+    panels = ("a", "b", "c", "d") if ctx.panel == "all" else (ctx.panel,)
     rows = []
     data: Dict[str, dict] = {}
     for p in panels:
-        for evaluation in _evaluate(p, full_grid, store, k_steps, samples):
+        for evaluation in _evaluate(p, ctx.full_grid, store, k_steps, ctx.samples):
             key = f"14{p}/{evaluation.network}/{evaluation.precision.value}"
             data[key] = {
                 label: result.total_ns

@@ -3,33 +3,29 @@ ResNet2_2 with two VPUs (a) or one VPU (b), over the NBS × BS grid."""
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.core.config import SAVE_1VPU, SAVE_2VPU
-from repro.experiments.executor import SimExecutor
+from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
 from repro.experiments.sweeps import PAPER_SWEEP_LEVELS, QUICK_LEVELS, sweep_kernel
 from repro.kernels.library import get_kernel
 
 
-def run(
-    full_grid: bool = False,
-    k_steps: int = 24,
-    levels: Optional[Sequence[float]] = None,
-    executor: Optional[SimExecutor] = None,
-    **_kwargs,
-) -> ExperimentReport:
+def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     """Render the Fig. 15 speedup grids."""
+    ctx = ctx if ctx is not None else RunContext()
+    levels = ctx.levels
     if levels is None:
-        levels = PAPER_SWEEP_LEVELS if full_grid else QUICK_LEVELS
+        levels = PAPER_SWEEP_LEVELS if ctx.full_grid else QUICK_LEVELS
     spec = get_kernel("resnet2_2_fwd")
     results = sweep_kernel(
         spec,
         {"2 VPUs @1.7GHz": SAVE_2VPU, "1 VPU @2.1GHz": SAVE_1VPU},
         bs_levels=levels,
         nbs_levels=levels,
-        k_steps=k_steps,
-        executor=executor,
+        k_steps=ctx.resolve_k_steps(24),
+        executor=ctx.executor,
     )
     rows = []
     for label, sweep in results.items():

@@ -16,12 +16,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import BASELINE_2VPU, SAVE_1VPU, SAVE_2VPU, MachineConfig
-from repro.experiments.executor import SimExecutor
+from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
 from repro.kernels.conv import Phase
 from repro.kernels.lstm import LstmShape
 from repro.kernels.tiling import Precision
-from repro.model.estimator import NetworkEstimator
 from repro.model.multicore import MulticoreSplit
 from repro.model.networks import GNMT, RESNET50_DENSE, VGG16
 from repro.model.phases import kernel_tile_for_phase
@@ -88,17 +87,15 @@ def _cap(
     return base_time / save_time
 
 
-def run(
-    store: Optional[SurfaceStore] = None,
-    k_steps: int = 16,
-    executor: Optional[SimExecutor] = None,
-    **_kwargs,
-) -> ExperimentReport:
+def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     """Render the Fig. 16 speedup-cap histograms."""
+    ctx = ctx if ctx is not None else RunContext()
+    store = ctx.store
     if store is None:
-        store = SurfaceStore(executor=executor)
-    elif executor is not None:
-        store.executor = executor
+        store = SurfaceStore(executor=ctx.executor)
+    elif ctx.executor is not None:
+        store.executor = ctx.executor
+    k_steps = ctx.resolve_k_steps(16)
     split = MulticoreSplit()
     kernels = studied_kernels()
     rows = []

@@ -7,10 +7,10 @@ back-propagation-of-weights kernel of ResNet3_2 (two VPUs), at BS of
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.core.config import SAVE_2VPU
-from repro.experiments.executor import SimExecutor
+from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
 from repro.experiments.sweeps import PAPER_SWEEP_LEVELS, QUICK_LEVELS, sweep_kernel
 from repro.kernels.library import get_kernel
@@ -23,24 +23,20 @@ CONFIGS = {
 }
 
 
-def run(
-    full_grid: bool = False,
-    k_steps: int = 24,
-    levels: Optional[Sequence[float]] = None,
-    executor: Optional[SimExecutor] = None,
-    **_kwargs,
-) -> ExperimentReport:
+def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     """Render the Fig. 17 B$-design comparison."""
+    ctx = ctx if ctx is not None else RunContext()
+    levels = ctx.levels
     if levels is None:
-        levels = PAPER_SWEEP_LEVELS if full_grid else QUICK_LEVELS
+        levels = PAPER_SWEEP_LEVELS if ctx.full_grid else QUICK_LEVELS
     spec = get_kernel("resnet3_2_bwd_weights")
     results = sweep_kernel(
         spec,
         CONFIGS,
         bs_levels=(0.0, 0.4),
         nbs_levels=levels,
-        k_steps=k_steps,
-        executor=executor,
+        k_steps=ctx.resolve_k_steps(24),
+        executor=ctx.executor,
     )
     rows = []
     for label, sweep in results.items():

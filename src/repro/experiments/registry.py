@@ -1,8 +1,15 @@
-"""Experiment registry and dispatcher."""
+"""Experiment registry and dispatcher.
+
+Every runner has the same shape — ``run(ctx: RunContext)`` — and
+:func:`run_experiment` is the one front door: it resolves the runner,
+builds/extends the context, and rejects options no experiment
+understands instead of silently swallowing them.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import dataclasses
+from typing import Callable, Dict, Optional
 
 from repro.experiments import (  # noqa: F401  (imported for side effect-free registry)
     ablations,
@@ -21,6 +28,7 @@ from repro.experiments import (  # noqa: F401  (imported for side effect-free re
     table3,
     validation,
 )
+from repro.experiments.context import CONTEXT_FIELDS, RunContext
 from repro.experiments.report import ExperimentReport
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
@@ -43,11 +51,30 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
 }
 
 
-def run_experiment(name: str, **kwargs) -> ExperimentReport:
-    """Run one experiment by id (e.g. "fig15", "table2")."""
+def run_experiment(
+    name: str, ctx: Optional[RunContext] = None, **options
+) -> ExperimentReport:
+    """Run one experiment by id (e.g. "fig15", "table2").
+
+    ``options`` are :class:`RunContext` field overrides (``k_steps=8``,
+    ``executor=...``); anything else raises ``TypeError`` — the old
+    ``**_kwargs`` swallowing let typos pass silently.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
         available = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {name!r}; available: {available}") from None
-    return runner(**kwargs)
+    unknown = sorted(set(options) - set(CONTEXT_FIELDS))
+    if unknown:
+        raise TypeError(
+            f"run_experiment() got unknown option(s) {', '.join(unknown)}; "
+            f"valid options: {', '.join(CONTEXT_FIELDS)}"
+        )
+    context = ctx if ctx is not None else RunContext()
+    if options:
+        context = dataclasses.replace(context, **options)
+    return runner(context)
+
+
+__all__ = ["EXPERIMENTS", "RunContext", "run_experiment"]

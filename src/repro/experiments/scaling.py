@@ -9,9 +9,10 @@ cap below the CNNs' (Sec. VII-A).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.config import SAVE_2VPU
+from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
 from repro.kernels.conv import ConvShape, Phase
 from repro.kernels.lstm import LstmShape
@@ -43,12 +44,15 @@ def _layer_times(layer, lstm: bool, cores: int, store: SurfaceStore, k_steps: in
     )
 
 
-def run(store=None, k_steps: int = 16, executor=None, **_kwargs) -> ExperimentReport:
+def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     """Render the core-count scaling table."""
+    ctx = ctx if ctx is not None else RunContext()
+    store = ctx.store
     if store is None:
-        store = SurfaceStore(executor=executor)
-    elif executor is not None:
-        store.executor = executor
+        store = SurfaceStore(executor=ctx.executor)
+    elif ctx.executor is not None:
+        store.executor = ctx.executor
+    k_steps = ctx.resolve_k_steps(16)
     rows: List[tuple] = []
     data: Dict[str, Dict[int, float]] = {"conv": {}, "lstm": {}}
     for label, layer, lstm in (("conv", CONV, False), ("lstm", LSTM, True)):

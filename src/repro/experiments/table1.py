@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.config import BASELINE_2VPU, SAVE_1VPU
+from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
 from repro.memory.dram import DramModel
 from repro.memory.hierarchy import HierarchyConfig
 from repro.memory.noc import MeshNoc
 
 
-def run(**_kwargs) -> ExperimentReport:
+def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     """Render the modeled machine's configuration (Table I)."""
     core = BASELINE_2VPU.core
     boosted = SAVE_1VPU.core

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import math
 
+from typing import Optional
+
 from repro.core.config import BASELINE_2VPU
+from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
 
 TAG_BITS = 53  # line tag + valid/metadata, as in the paper's accounting
@@ -49,7 +52,7 @@ def b_cache_bytes(payload_bits: int, entries: int = B_CACHE_ENTRIES) -> int:
     return math.ceil(bits / 8)
 
 
-def run(**_kwargs) -> ExperimentReport:
+def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     """Render the storage-structure accounting (Table II)."""
     rs = BASELINE_2VPU.core.rs_entries
     fp32_lat = BASELINE_2VPU.core.fp32_fma_latency

@@ -7,8 +7,9 @@ some training step.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
 from repro.kernels.conv import Phase
 from repro.model.networks import GNMT, RESNET50_DENSE, RESNET50_PRUNED, VGG16
@@ -24,7 +25,7 @@ def _marks(network, phase: Phase) -> Tuple[str, str]:
     return ("X" if bs > 0 else "", "X" if nbs > 0 else "")
 
 
-def run(**_kwargs) -> ExperimentReport:
+def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     """Render the sparsity-type matrix (Table III)."""
     rows: List[Tuple[str, ...]] = []
     for network in (VGG16, RESNET50_DENSE, RESNET50_PRUNED):

@@ -8,7 +8,7 @@ transparent to software" claim.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.config import (
     BASELINE_2VPU,
@@ -16,6 +16,7 @@ from repro.core.config import (
     SAVE_2VPU,
     CoalescingScheme,
 )
+from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
 from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
 from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
@@ -44,8 +45,10 @@ KERNELS = [
 ]
 
 
-def run(k_steps: int = 8, **_kwargs) -> ExperimentReport:
+def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     """Render the transparency validation matrix."""
+    ctx = ctx if ctx is not None else RunContext()
+    k_steps = ctx.resolve_k_steps(8)
     rows: List[tuple] = []
     failures: Dict[str, List[str]] = {}
     checks = 0

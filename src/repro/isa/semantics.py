@@ -19,7 +19,7 @@ Arithmetic notes:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional
 
 import numpy as np
 

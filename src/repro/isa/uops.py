@@ -26,9 +26,9 @@ bit-for-bit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum, auto
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Union
 
 
 class UopKind(Enum):

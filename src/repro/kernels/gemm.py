@@ -23,8 +23,8 @@ GEMM result — the transparency tests depend on this.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.isa.registers import Memory
 from repro.isa.uops import MemOperand, Operand, RegOperand, Uop, UopKind

@@ -8,7 +8,7 @@ Both the reference executor and the pipeline consume the same object.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

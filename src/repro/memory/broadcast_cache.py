@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum, auto
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from repro.memory.address import CACHE_LINE_BYTES
 

@@ -8,7 +8,7 @@ timing model needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.memory.address import CACHE_LINE_BYTES

@@ -17,7 +17,7 @@ Frequency domains: L1/L2 hit latencies are constant in *core cycles*
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.memory.address import CACHE_LINE_BYTES

@@ -7,7 +7,7 @@ stateful per cache *set*; the cache owns one policy instance per set.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional
+from typing import List
 
 
 class ReplacementPolicy(ABC):

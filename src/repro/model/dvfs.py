@@ -13,7 +13,7 @@ would add.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.model.estimator import ONE_VPU, TWO_VPUS, KernelEstimate
 

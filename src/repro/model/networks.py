@@ -13,7 +13,7 @@ sources the evaluation needs per (layer, epoch, phase):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
 from repro.kernels.conv import ConvShape

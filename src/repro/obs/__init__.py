@@ -1,0 +1,101 @@
+"""Observability layer: metrics, structured tracing, instrumentation.
+
+The simulator answers *how fast*; this package answers *why*.  It has
+three parts (see ``docs/architecture.md`` § Observability):
+
+* :mod:`repro.obs.metrics` — counters / gauges / histograms in a
+  :class:`MetricsRegistry`, with picklable snapshots that merge
+  deterministically across worker processes.
+* :mod:`repro.obs.trace` — per-cycle structured events (dispatch, ELM
+  generation, BS skip, VC/RVC merges with rotation state, LWD stalls,
+  B$ hits/misses, retire) through a pluggable :class:`TraceSink`;
+  :class:`JsonlTraceSink` writes schema-validated JSONL.
+* :class:`Instrumentation` — the bundle a simulation carries.  Pass
+  one to :func:`repro.core.pipeline.simulate` (or set ``metrics`` /
+  ``trace_sink`` on a :class:`repro.experiments.executor.SimExecutor`)
+  to turn observation on; when absent, every hook in the hot path
+  reduces to a single ``is None`` check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metrics,
+    hist_stats,
+    log2_bucket,
+)
+from repro.obs.trace import (
+    EVENT_FIELDS,
+    NULL_SINK,
+    TRACE_SCHEMA_VERSION,
+    JsonlTraceSink,
+    ListSink,
+    NullSink,
+    TraceSink,
+    read_jsonl,
+    validate_event,
+)
+
+__all__ = [
+    "Counter",
+    "EVENT_FIELDS",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "JsonlTraceSink",
+    "ListSink",
+    "MetricsRegistry",
+    "NULL_SINK",
+    "NullSink",
+    "TRACE_SCHEMA_VERSION",
+    "TraceSink",
+    "format_metrics",
+    "hist_stats",
+    "log2_bucket",
+    "read_jsonl",
+    "validate_event",
+]
+
+
+class Instrumentation:
+    """Everything one simulation records into.
+
+    Attributes:
+        metrics: the registry counters/histograms go to.
+        sink: structured-event consumer.
+        tracing: precomputed "is the sink real" flag — the pipeline
+            guards event assembly behind it so a metrics-only run never
+            pays event-dict construction.
+        kernel: label stamped on every emitted event (set by the
+            pipeline to the trace name).
+    """
+
+    __slots__ = ("metrics", "sink", "tracing", "kernel")
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        sink: Optional[TraceSink] = None,
+        kernel: str = "",
+    ) -> None:
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+        self.sink = NULL_SINK if sink is None else sink
+        self.tracing = not isinstance(self.sink, NullSink)
+        self.kernel = kernel
+
+    def emit(self, cycle: int, event: str, **fields: Any) -> None:
+        """Stamp the common fields and forward one event to the sink."""
+        fields["cycle"] = cycle
+        fields["event"] = event
+        fields["kernel"] = self.kernel
+        self.sink.emit(fields)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The metrics snapshot (picklable plain dict)."""
+        return self.metrics.snapshot()

@@ -1,0 +1,283 @@
+"""Metrics primitives: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is the write side of the observability
+layer: simulator components record into named instruments, and the
+registry renders a plain-``dict`` :func:`MetricsRegistry.snapshot`
+that is picklable (it crosses process boundaries in parallel runs),
+JSON-serialisable, and mergeable.
+
+Two properties drive the design:
+
+* **Near-zero cost when disabled.** Nothing here is consulted unless a
+  registry was explicitly passed in; the simulator guards every record
+  site behind a single ``obs is not None`` check, so the default run
+  pays one pointer comparison per site.
+* **Deterministic merging.** Snapshots merge with pure integer/float
+  addition (counters, histogram bins), ``max`` (gauges: peak
+  semantics), and ``min``/``max`` (histogram extrema).  Callers merge
+  in job-index order, so a parallel run's merged snapshot is
+  bit-identical to a serial run's — the same contract the execution
+  layer gives for simulation results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "format_metrics",
+    "hist_stats",
+    "log2_bucket",
+]
+
+
+def log2_bucket(value: int) -> int:
+    """Bucket a non-negative integer: exact below 16, power-of-two above.
+
+    Keeps duration histograms (cycle counts spanning 0..10^6) at a
+    bounded number of bins while preserving exact small values, which
+    is where scheduling distinctions live.
+    """
+    if value <= 16:
+        return int(value)
+    return 1 << int(value - 1).bit_length()
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Point-in-time level with peak-tracking merge semantics."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Distribution of recorded values over exact (or bucketed) bins.
+
+    The paper's analysis sections need *distributions* — CW occupancy,
+    lanes per VPU op, time-in-stage — not just means; a dict-of-bins
+    histogram keeps every recorded level distinguishable while staying
+    picklable and mergeable.
+    """
+
+    __slots__ = ("bins", "count", "total", "min", "max", "bucket")
+
+    def __init__(self, bucket: Optional[Callable[[int], int]] = None) -> None:
+        self.bins: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self.bucket = bucket
+
+    def record(self, value: int) -> None:
+        key = self.bucket(value) if self.bucket is not None else value
+        self.bins[key] = self.bins.get(key, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[int]:
+        """Bin value at quantile ``q`` (bucket granularity)."""
+        if not self.count:
+            return None
+        threshold = q * self.count
+        seen = 0
+        for key in sorted(self.bins):
+            seen += self.bins[key]
+            if seen >= threshold:
+                return key
+        return self.max
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "bins": {int(k): self.bins[k] for k in sorted(self.bins)},
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+def hist_stats(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Derived summary (mean/p50/p95/extrema) of a histogram snapshot."""
+    count = snapshot.get("count", 0)
+    if not count:
+        return {"count": 0, "mean": 0.0, "p50": None, "p95": None,
+                "min": None, "max": None}
+    bins = snapshot["bins"]
+
+    def pct(q: float) -> int:
+        threshold = q * count
+        seen = 0
+        for key in sorted(bins):
+            seen += bins[key]
+            if seen >= threshold:
+                return key
+        return snapshot["max"]
+
+    return {
+        "count": count,
+        "mean": snapshot["total"] / count,
+        "p50": pct(0.50),
+        "p95": pct(0.95),
+        "min": snapshot["min"],
+        "max": snapshot["max"],
+    }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with get-or-create access."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access ------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, bucket: Optional[Callable[[int], int]] = None
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(bucket)
+        return instrument
+
+    def __bool__(self) -> bool:
+        return bool(self._counters or self._gauges or self._histograms)
+
+    # -- snapshot / merge -------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view: picklable, JSON-safe, deterministically keyed."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold one snapshot into this registry.
+
+        Merging is additive for counters and histogram bins, peak for
+        gauges.  Call in a fixed (job-index) order: histogram ``total``
+        sums are floats in general, and float addition is
+        order-sensitive — ordered merging is what makes a parallel
+        run's metrics bit-identical to a serial run's.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set_max(value)
+        for name, hist_snap in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name)
+            for key, count in hist_snap["bins"].items():
+                key = int(key)
+                hist.bins[key] = hist.bins.get(key, 0) + count
+            hist.count += hist_snap["count"]
+            hist.total += hist_snap["total"]
+            for bound, pick in (("min", min), ("max", max)):
+                other = hist_snap[bound]
+                if other is not None:
+                    ours = getattr(hist, bound)
+                    setattr(hist, bound, other if ours is None else pick(ours, other))
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def format_metrics(snapshot: Dict[str, Any]) -> str:
+    """Human-readable metrics summary (the CLI's ``--metrics`` output)."""
+    lines: List[str] = ["== metrics =="]
+    counters: Dict[str, int] = snapshot.get("counters", {})
+    gauges: Dict[str, float] = snapshot.get("gauges", {})
+    histograms: Dict[str, Any] = snapshot.get("histograms", {})
+    if counters:
+        width = max(len(name) for name in counters)
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name.ljust(width)}  {counters[name]}")
+    if gauges:
+        width = max(len(name) for name in gauges)
+        lines.append("gauges (peak):")
+        for name in sorted(gauges):
+            lines.append(f"  {name.ljust(width)}  {gauges[name]}")
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(name) for name in histograms)
+        for name in sorted(histograms):
+            stats = hist_stats(histograms[name])
+            if not stats["count"]:
+                continue
+            lines.append(
+                f"  {name.ljust(width)}  n={stats['count']} "
+                f"mean={stats['mean']:.2f} p50={stats['p50']} "
+                f"p95={stats['p95']} max={stats['max']}"
+            )
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def merge_ordered(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge snapshots in list order into one snapshot."""
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge_snapshot(snapshot)
+    return registry.snapshot()

@@ -1,0 +1,151 @@
+"""Structured event tracing: per-cycle pipeline events as JSONL.
+
+The simulator emits one event per interesting micro-architectural
+occurrence — dispatch, ELM generation, BS skip, (rotate-)vertical or
+chain merge, issue, retire, LWD lane-order stall, B$ hit/miss — into a
+pluggable :class:`TraceSink`.  The default sink is a no-op singleton,
+so tracing costs one boolean check per site when off.
+
+Every event is a flat dict with three common fields — ``cycle``,
+``event``, ``kernel`` — plus event-specific fields listed in
+:data:`EVENT_FIELDS`.  :func:`validate_event` enforces the schema (the
+test suite validates every line a :class:`JsonlTraceSink` writes).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Union
+
+__all__ = [
+    "EVENT_FIELDS",
+    "TRACE_SCHEMA_VERSION",
+    "JsonlTraceSink",
+    "ListSink",
+    "NullSink",
+    "NULL_SINK",
+    "TraceSink",
+    "read_jsonl",
+    "validate_event",
+]
+
+#: Bump on incompatible schema changes; stamped on every JSONL line.
+TRACE_SCHEMA_VERSION = 1
+
+#: Required event-specific fields, per event type.
+EVENT_FIELDS: Dict[str, tuple] = {
+    # Front-end and retirement.
+    "dispatch": ("seq", "kind"),
+    "retire": ("seq",),
+    # SAVE: ELM generation and BS instruction skipping (Sec. III).
+    "elm": ("seq", "elm"),
+    "bs_skip": ("seq",),
+    # VPU issue; "merge" details a coalesced op's constituents
+    # (Sec. IV: VC/RVC with rotation state; Sec. V: chain slots).
+    "issue": ("kind", "lanes"),
+    "merge": ("scheme", "entries"),
+    # Mixed-precision accumulator chains (Sec. V-B).
+    "chain_append": ("seq", "root", "lane", "mls"),
+    # Lane-wise dependence stall: a lane attempted dispatch but its
+    # accumulator input lane was not yet available.
+    "lwd_stall": ("seq", "lane"),
+    # Broadcast-cache behaviour (Sec. IV-A).
+    "bcache_hit": ("addr",),
+    "bcache_miss": ("addr",),
+}
+
+#: Fields common to every event.
+COMMON_FIELDS = ("cycle", "event", "kernel")
+
+
+def validate_event(event: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``event`` matches the trace schema."""
+    for name in COMMON_FIELDS:
+        if name not in event:
+            raise ValueError(f"trace event missing common field {name!r}: {event}")
+    kind = event["event"]
+    required = EVENT_FIELDS.get(kind)
+    if required is None:
+        raise ValueError(f"unknown trace event type {kind!r}")
+    if not isinstance(event["cycle"], int) or event["cycle"] < 0:
+        raise ValueError(f"trace event cycle must be a non-negative int: {event}")
+    for name in required:
+        if name not in event:
+            raise ValueError(
+                f"trace event {kind!r} missing required field {name!r}: {event}"
+            )
+
+
+class TraceSink:
+    """Event consumer interface; subclass and override :meth:`emit`."""
+
+    def emit(self, event: Dict[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (no-op by default)."""
+
+
+class NullSink(TraceSink):
+    """Discards everything; the default when tracing is off."""
+
+    __slots__ = ()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        pass
+
+
+#: Shared no-op sink; identity-compared to detect "tracing off" cheaply.
+NULL_SINK = NullSink()
+
+
+class ListSink(TraceSink):
+    """Buffers events in memory (tests and programmatic analysis)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(dict(event))
+
+    def of_type(self, kind: str) -> List[Dict[str, Any]]:
+        return [e for e in self.events if e["event"] == kind]
+
+
+class JsonlTraceSink(TraceSink):
+    """Writes one JSON object per line to a file.
+
+    Lines carry a ``v`` schema-version field.  The sink owns the file
+    handle; call :meth:`close` (or use as a context manager).
+    """
+
+    def __init__(self, path: Union[str, "object"]) -> None:
+        self.path = str(path)
+        self._file = open(self.path, "w", encoding="utf-8")
+        self.events_written = 0
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        record = {"v": TRACE_SCHEMA_VERSION}
+        record.update(event)
+        self._file.write(json.dumps(record, separators=(",", ":")))
+        self._file.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_jsonl(path: str) -> Iterator[Dict[str, Any]]:
+    """Yield events from a JSONL trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

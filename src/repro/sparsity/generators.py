@@ -13,7 +13,7 @@ so that "zero" and "non-zero" are unambiguous after FP32/BF16 rounding.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Tuple, Union
 
 import numpy as np
 

@@ -23,7 +23,7 @@ The first convolution of a CNN consumes the raw image and therefore has
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

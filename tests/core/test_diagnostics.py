@@ -63,3 +63,90 @@ class TestExplain:
         text = explain(result, BASELINE_2VPU)
         assert "B$ hit rate" not in text
         assert "mean CW" not in text
+
+
+def synthetic_result(machine, cycles=1000, vpu_ops=0, uops=0, l1=0, metrics=None):
+    """A hand-built SimResult hitting a chosen utilisation profile."""
+    from repro.core.pipeline import SimResult
+
+    return SimResult(
+        name="synthetic",
+        cycles=cycles,
+        freq_ghz=machine.core.freq_ghz,
+        uop_count=uops,
+        fma_count=100,
+        vpu_ops=vpu_ops,
+        vpu_lane_slots=vpu_ops * 16,
+        effectual_lanes=0,
+        pass_through_lanes=0,
+        skipped_fmas=0,
+        stall_rob_cycles=0,
+        stall_rs_cycles=0,
+        mgu_processed=0,
+        l1_port_accesses=l1,
+        b_cache_hit_rate=0.0,
+        b_cache_reads_saved=0,
+        metrics=metrics,
+    )
+
+
+class TestBindingSelection:
+    def test_frontend_binding(self):
+        # Saturate the front end, leave VPUs and L1 ports idle.
+        width = SAVE_2VPU.core.issue_width
+        result = synthetic_result(SAVE_2VPU, uops=1000 * width, vpu_ops=10, l1=10)
+        assert analyze(result, SAVE_2VPU).binding == "frontend"
+
+    def test_l1_port_binding(self):
+        ports = SAVE_2VPU.hierarchy.l1_read_ports
+        result = synthetic_result(SAVE_2VPU, l1=1000 * ports, vpu_ops=10, uops=10)
+        assert analyze(result, SAVE_2VPU).binding == "l1_ports"
+
+    def test_vpu_binding(self):
+        vpus = SAVE_2VPU.core.num_vpus
+        result = synthetic_result(SAVE_2VPU, vpu_ops=1000 * vpus, uops=10, l1=10)
+        assert analyze(result, SAVE_2VPU).binding == "vpu"
+
+
+class TestExplainDistributions:
+    def _metrics(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        for v in (2, 4, 4, 8):
+            reg.histogram("cw_occupancy").record(v)
+            reg.histogram("elm_wait_cycles").record(v)
+        reg.counter("lwd_stalls").inc(17)
+        return reg.snapshot()
+
+    def test_distribution_lines_present_when_instrumented(self):
+        result = synthetic_result(SAVE_2VPU, vpu_ops=10, metrics=self._metrics())
+        text = explain(result, SAVE_2VPU)
+        assert "CW occupancy" in text
+        assert "ELM wait" in text
+        assert "p95" in text
+        assert "LWD stalls" in text and "17" in text
+
+    def test_no_distribution_lines_without_metrics(self):
+        result = synthetic_result(SAVE_2VPU, vpu_ops=10)
+        text = explain(result, SAVE_2VPU)
+        assert "CW occupancy" not in text
+
+    def test_real_instrumented_run_explains(self):
+        from repro.obs import Instrumentation
+
+        obs = Instrumentation()
+        trace = generate_gemm_trace(
+            GemmKernelConfig(
+                name="diag",
+                tile=RegisterTile(4, 6, BroadcastPattern.EXPLICIT),
+                k_steps=8,
+                broadcast_sparsity=0.4,
+                nonbroadcast_sparsity=0.4,
+                seed=0,
+            )
+        )
+        result = simulate(trace, SAVE_2VPU, keep_state=False, obs=obs)
+        text = explain(result, SAVE_2VPU)
+        assert "lanes per op" in text
+        assert "retire wait" in text

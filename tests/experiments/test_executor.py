@@ -186,3 +186,45 @@ class TestSurfaceStoreLru:
         store = SurfaceStore(tmp_path, executor=SimExecutor(jobs=2))
         store.get(TILE, Precision.FP32, SAVE_2VPU, levels=(0.0, 0.9), k_steps=4)
         assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+class TestExecutorMetrics:
+    def _run(self, jobs, **executor_kwargs):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        values = SimExecutor(jobs=jobs, metrics=registry, **executor_kwargs).map(
+            _jobs(6)
+        )
+        return values, registry.snapshot()
+
+    def test_parallel_metrics_identical_to_serial(self):
+        import json
+
+        serial_values, serial_snap = self._run(jobs=1)
+        parallel_values, parallel_snap = self._run(jobs=2, chunksize=2)
+        assert parallel_values == serial_values
+        assert json.dumps(parallel_snap, sort_keys=True) == json.dumps(
+            serial_snap, sort_keys=True
+        )
+
+    def test_metrics_populated(self):
+        _, snap = self._run(jobs=1)
+        assert snap["counters"]["sim_runs"] == 6
+        assert snap["histograms"]["cw_occupancy"]["count"] > 0
+
+    def test_uninstrumented_values_unchanged(self):
+        values, _ = self._run(jobs=1)
+        assert SimExecutor(jobs=1).map(_jobs(6)) == values
+
+    def test_trace_sink_forces_in_process(self, monkeypatch):
+        from repro.obs import ListSink
+
+        def explode(*args, **kwargs):
+            raise AssertionError("tracing must not use a process pool")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", explode)
+        sink = ListSink()
+        values = SimExecutor(jobs=4, trace_sink=sink).map(_jobs(3))
+        assert len(values) == 3
+        assert sink.events  # events flowed through the shared sink

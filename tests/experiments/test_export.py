@@ -7,6 +7,7 @@ import pytest
 
 from repro.cli import main
 from repro.experiments import fig13, fig15, table2
+from repro.experiments.context import RunContext
 from repro.experiments.export import export_all, export_report, load_exported
 from repro.experiments.report import ExperimentReport
 
@@ -57,8 +58,8 @@ class TestDeterminism:
         assert a.data["resnet50"] == b.data["resnet50"]
 
     def test_fig15_identical_runs(self):
-        a = fig15.run(levels=(0.0, 0.9), k_steps=4)
-        b = fig15.run(levels=(0.0, 0.9), k_steps=4)
+        a = fig15.run(RunContext(levels=(0.0, 0.9), k_steps=4))
+        b = fig15.run(RunContext(levels=(0.0, 0.9), k_steps=4))
         assert a.data["2vpu"] == b.data["2vpu"]
         assert a.data["1vpu"] == b.data["1vpu"]
 

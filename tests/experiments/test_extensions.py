@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments import ablations, energy
-from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.registry import EXPERIMENTS, RunContext
 
 
 class TestRegistryExtensions:
@@ -15,7 +15,7 @@ class TestRegistryExtensions:
 class TestAblations:
     @pytest.fixture(scope="class")
     def report(self):
-        return ablations.run(k_steps=8)
+        return ablations.run(RunContext(k_steps=8))
 
     def test_both_kernel_points_present(self, report):
         assert len(report.data) == 2
@@ -48,7 +48,7 @@ class TestAblations:
 class TestEnergyExperiment:
     @pytest.fixture(scope="class")
     def report(self):
-        return energy.run(k_steps=8)
+        return energy.run(RunContext(k_steps=8))
 
     def test_three_sparsity_points(self, report):
         assert len(report.data) == 3
@@ -68,7 +68,7 @@ class TestScaling:
     def report(self):
         from repro.experiments import scaling
 
-        return scaling.run(k_steps=8)
+        return scaling.run(RunContext(k_steps=8))
 
     def test_conv_stays_compute_bound(self, report):
         assert report.data["conv"][28] < 0.5

@@ -73,3 +73,114 @@ class TestCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestRunContextApi:
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError, match="bogus"):
+            run_experiment("table1", bogus=1)
+
+    def test_typo_rejected_not_swallowed(self):
+        # The old **_kwargs signatures silently ignored misspellings.
+        with pytest.raises(TypeError, match="valid options"):
+            run_experiment("fig15", kstep=4)
+
+    def test_context_overrides(self):
+        from repro.experiments.registry import RunContext
+
+        ctx = RunContext(k_steps=4)
+        report = run_experiment("fig15", ctx, levels=(0.0, 0.9))
+        assert report.experiment == "fig15"
+
+    def test_context_frozen(self):
+        from repro.experiments.registry import RunContext
+
+        ctx = RunContext()
+        with pytest.raises(Exception):
+            ctx.k_steps = 3
+
+    def test_with_options(self):
+        from repro.experiments.registry import RunContext
+
+        ctx = RunContext(k_steps=4)
+        derived = ctx.with_options(full_grid=True)
+        assert derived.full_grid and derived.k_steps == 4
+        assert not ctx.full_grid
+
+    def test_resolve_k_steps(self):
+        from repro.experiments.registry import RunContext
+
+        assert RunContext().resolve_k_steps(24) == 24
+        assert RunContext(k_steps=4).resolve_k_steps(24) == 4
+
+
+class TestCliWarnings:
+    def test_panel_warns_on_non_fig14(self, capsys):
+        assert main(["table1", "--panel", "b"]) == 0
+        assert "--panel only applies to fig14" in capsys.readouterr().err
+
+    def test_chart_warns_on_unsupported(self, capsys):
+        assert main(["table1", "--chart"]) == 0
+        assert "--chart only applies to" in capsys.readouterr().err
+
+    def test_no_warning_without_flags(self, capsys):
+        assert main(["table1"]) == 0
+        assert "warning" not in capsys.readouterr().err
+
+
+class TestCliAll:
+    def test_all_continues_past_failures(self, capsys, monkeypatch):
+        import repro.cli as cli_mod
+        import repro.experiments.registry as registry_mod
+        from repro.experiments.report import ExperimentReport
+
+        calls = []
+
+        def fake_run(name, ctx=None, **options):
+            calls.append(name)
+            if name == "bad":
+                raise RuntimeError("boom")
+            return ExperimentReport(name, name, ("h",), [])
+
+        fake_experiments = {"bad": None, "good": None, "worse": None}
+        monkeypatch.setattr(registry_mod, "EXPERIMENTS", fake_experiments)
+        monkeypatch.setattr(cli_mod, "EXPERIMENTS", fake_experiments)
+        monkeypatch.setattr(cli_mod, "run_experiment", fake_run)
+        assert main(["all"]) == 1
+        err = capsys.readouterr().err
+        assert calls == ["bad", "good", "worse"]  # kept going past 'bad'
+        assert "bad FAILED" in err and "1 experiment(s) failed" in err
+
+    def test_single_failure_propagates(self, monkeypatch):
+        import repro.cli as cli_mod
+
+        def fake_run(name, ctx=None, **options):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(cli_mod, "EXPERIMENTS", {"solo": None})
+        monkeypatch.setattr(cli_mod, "run_experiment", fake_run)
+        with pytest.raises(RuntimeError):
+            main(["solo"])
+
+
+class TestCliObservability:
+    def test_metrics_flag_prints_summary(self, capsys):
+        assert main(["fig15", "--k-steps", "4", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "== metrics ==" in out
+        assert "sim_runs" in out
+
+    def test_trace_writes_schema_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs import validate_event, read_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["fig15", "--k-steps", "4", "--trace", str(path)]) == 0
+        events = list(read_jsonl(str(path)))
+        assert events
+        kinds = set()
+        for event in events:
+            validate_event(event)
+            kinds.add(event["event"])
+        assert "bs_skip" in kinds
+        assert "merge" in kinds
+        assert "bcache_hit" in kinds or "bcache_miss" in kinds

@@ -18,6 +18,7 @@ from repro.experiments import (
     table2,
     table3,
 )
+from repro.experiments.context import RunContext
 from repro.experiments.sweeps import sweep_kernel
 from repro.core.config import SAVE_2VPU
 from repro.kernels.library import get_kernel
@@ -53,24 +54,24 @@ class TestStaticRunners:
 
 class TestSweepRunners:
     def test_fig15_tiny(self):
-        report = fig15.run(levels=TINY, k_steps=4)
+        report = fig15.run(RunContext(levels=TINY, k_steps=4))
         assert len(report.data["2vpu"]) == 4
 
     def test_fig17_tiny(self):
-        report = fig17.run(levels=TINY, k_steps=4)
+        report = fig17.run(RunContext(levels=TINY, k_steps=4))
         assert set(report.data) == {"No B$", "B$ w/ masks", "B$ w/ data"}
 
     def test_fig18_tiny(self):
-        report = fig18.run(levels=TINY, k_steps=4)
+        report = fig18.run(RunContext(levels=TINY, k_steps=4))
         for panel in report.data.values():
             assert set(panel) == {"VC", "RVC", "VC+LWD", "RVC+LWD", "HC"}
 
     def test_fig19_tiny(self):
-        report = fig19.run(levels=TINY, k_steps=4)
+        report = fig19.run(RunContext(levels=TINY, k_steps=4))
         assert len(report.data["w/ MP technique"]) == 2
 
     def test_fig16_tiny(self, tmp_path):
-        report = fig16.run(store=SurfaceStore(tmp_path), k_steps=4)
+        report = fig16.run(RunContext(store=SurfaceStore(tmp_path), k_steps=4))
         assert report.data["n_kernels"] > 60
 
 

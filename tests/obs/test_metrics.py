@@ -1,0 +1,155 @@
+"""Tests for the metrics primitives and registry merge semantics."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metrics,
+    hist_stats,
+    log2_bucket,
+    merge_ordered,
+)
+
+
+class TestLog2Bucket:
+    def test_exact_below_threshold(self):
+        assert [log2_bucket(v) for v in range(17)] == list(range(17))
+
+    def test_power_of_two_above(self):
+        assert log2_bucket(17) == 32
+        assert log2_bucket(32) == 32
+        assert log2_bucket(33) == 64
+        assert log2_bucket(1000) == 1024
+
+    def test_buckets_monotone(self):
+        values = [log2_bucket(v) for v in range(500)]
+        assert values == sorted(values)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_peak(self):
+        g = Gauge()
+        g.set_max(3)
+        g.set_max(2)
+        assert g.value == 3
+        g.set(1)
+        assert g.value == 1
+
+    def test_histogram_stats(self):
+        h = Histogram()
+        for v in (1, 1, 2, 10):
+            h.record(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(3.5)
+        assert h.percentile(0.5) == 1
+        assert h.min == 1 and h.max == 10
+
+    def test_histogram_bucketed(self):
+        h = Histogram(log2_bucket)
+        h.record(100)
+        assert h.bins == {128: 1}
+        assert h.max == 100  # extrema stay exact
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.mean == 0.0
+        assert h.percentile(0.5) is None
+
+    def test_hist_stats_roundtrip(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.record(v)
+        stats = hist_stats(h.snapshot())
+        assert stats["p50"] == 50
+        assert stats["p95"] == 95
+        assert stats["mean"] == pytest.approx(50.5)
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_bool(self):
+        reg = MetricsRegistry()
+        assert not reg
+        reg.counter("x")
+        assert reg
+
+    def test_snapshot_sorted_and_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc(2)
+        reg.histogram("h").record(3)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        json.dumps(snap)  # must not raise
+
+    def test_merge_counters_add_gauges_peak(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        a.gauge("peak").set_max(5)
+        b.counter("n").inc(3)
+        b.gauge("peak").set_max(4)
+        merged = merge_ordered([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["n"] == 5
+        assert merged["gauges"]["peak"] == 5
+
+    def test_merge_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").record(1)
+        a.histogram("h").record(9)
+        b.histogram("h").record(1)
+        merged = merge_ordered([a.snapshot(), b.snapshot()])
+        h = merged["histograms"]["h"]
+        assert h["bins"] == {1: 2, 9: 1}
+        assert h["count"] == 3
+        assert h["min"] == 1 and h["max"] == 9
+
+    def test_merge_order_deterministic(self):
+        # Same per-job snapshots folded in the same order give the same
+        # bytes — the executor's parallel==serial contract.
+        parts = []
+        for seed in range(4):
+            reg = MetricsRegistry()
+            reg.histogram("h").record(seed)
+            reg.counter("c").inc(seed)
+            parts.append(reg.snapshot())
+        once = json.dumps(merge_ordered(parts), sort_keys=True)
+        again = json.dumps(merge_ordered(parts), sort_keys=True)
+        assert once == again
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.clear()
+        assert not reg
+
+
+class TestFormat:
+    def test_format_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("events").inc(7)
+        reg.gauge("peak").set_max(3)
+        reg.histogram("h").record(2)
+        text = format_metrics(reg.snapshot())
+        assert "counters:" in text
+        assert "events" in text and "7" in text
+        assert "gauges (peak):" in text
+        assert "histograms:" in text
+
+    def test_format_empty(self):
+        assert "no metrics" in format_metrics(MetricsRegistry().snapshot())

@@ -1,0 +1,129 @@
+"""Tests for trace sinks, the event schema, and instrumented runs."""
+
+import pytest
+
+from repro.core import SAVE_2VPU, simulate
+from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
+from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
+from repro.obs import (
+    EVENT_FIELDS,
+    Instrumentation,
+    JsonlTraceSink,
+    ListSink,
+    MetricsRegistry,
+    NULL_SINK,
+    NullSink,
+    read_jsonl,
+    validate_event,
+)
+
+
+class TestSchema:
+    def test_valid_event_passes(self):
+        validate_event({"cycle": 3, "event": "retire", "kernel": "k", "seq": 7})
+
+    def test_missing_common_field(self):
+        with pytest.raises(ValueError, match="kernel"):
+            validate_event({"cycle": 3, "event": "retire", "seq": 7})
+
+    def test_unknown_event_type(self):
+        with pytest.raises(ValueError, match="unknown"):
+            validate_event({"cycle": 0, "event": "teleport", "kernel": "k"})
+
+    def test_missing_required_field(self):
+        with pytest.raises(ValueError, match="elm"):
+            validate_event({"cycle": 0, "event": "elm", "kernel": "k", "seq": 1})
+
+    def test_negative_cycle(self):
+        with pytest.raises(ValueError, match="cycle"):
+            validate_event({"cycle": -1, "event": "retire", "kernel": "k", "seq": 0})
+
+
+class TestSinks:
+    def test_null_sink_discards(self):
+        NULL_SINK.emit({"anything": True})  # must not raise
+
+    def test_list_sink_buffers_and_filters(self):
+        sink = ListSink()
+        sink.emit({"event": "retire", "seq": 1})
+        sink.emit({"event": "elm", "seq": 2})
+        assert len(sink.events) == 2
+        assert [e["seq"] for e in sink.of_type("elm")] == [2]
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTraceSink(path) as sink:
+            sink.emit({"cycle": 1, "event": "retire", "kernel": "k", "seq": 0})
+        events = list(read_jsonl(str(path)))
+        assert len(events) == 1
+        assert events[0]["v"] == 1
+        assert sink.events_written == 1
+
+
+class TestInstrumentation:
+    def test_defaults(self):
+        obs = Instrumentation()
+        assert isinstance(obs.sink, NullSink)
+        assert not obs.tracing
+
+    def test_emit_stamps_common_fields(self):
+        sink = ListSink()
+        obs = Instrumentation(sink=sink, kernel="k1")
+        obs.emit(5, "retire", seq=9)
+        event = sink.events[0]
+        assert event["cycle"] == 5
+        assert event["event"] == "retire"
+        assert event["kernel"] == "k1"
+        assert event["seq"] == 9
+
+
+def _simulate(obs=None, bs=0.3, nbs=0.6):
+    trace = generate_gemm_trace(
+        GemmKernelConfig(
+            name="obs-test",
+            tile=RegisterTile(4, 4, BroadcastPattern.EMBEDDED),
+            k_steps=6,
+            precision=Precision.MIXED,
+            broadcast_sparsity=bs,
+            nonbroadcast_sparsity=nbs,
+            seed=3,
+        )
+    )
+    return simulate(trace, SAVE_2VPU, keep_state=False, obs=obs)
+
+
+class TestInstrumentedSimulation:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        sink = ListSink()
+        obs = Instrumentation(metrics=MetricsRegistry(), sink=sink)
+        result = _simulate(obs)
+        return result, sink, obs
+
+    def test_every_event_schema_valid(self, traced):
+        _, sink, _ = traced
+        for event in sink.events:
+            validate_event(event)
+
+    def test_save_specific_events_present(self, traced):
+        _, sink, _ = traced
+        kinds = {e["event"] for e in sink.events}
+        assert {"dispatch", "elm", "issue", "merge", "retire"} <= kinds
+        assert "bs_skip" in kinds
+        assert "bcache_hit" in kinds or "bcache_miss" in kinds
+
+    def test_only_known_event_types(self, traced):
+        _, sink, _ = traced
+        assert {e["event"] for e in sink.events} <= set(EVENT_FIELDS)
+
+    def test_result_carries_metrics(self, traced):
+        result, _, _ = traced
+        assert result.metrics is not None
+        assert result.metrics["counters"]["sim_runs"] == 1
+        assert result.metrics["histograms"]["cw_occupancy"]["count"] > 0
+
+    def test_instrumentation_does_not_change_timing(self, traced):
+        result, _, _ = traced
+        bare = _simulate()
+        assert bare.cycles == result.cycles
+        assert bare.metrics is None
