@@ -1,4 +1,10 @@
-"""Command-line entry point: ``python -m repro <experiment>``."""
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Besides the experiment runners, two observability subcommands live
+here: ``python -m repro bench`` (the performance ledger, see
+:mod:`repro.obs.bench`) and ``python -m repro trace-report FILE``
+(offline trace analytics, see :mod:`repro.obs.analyze`).
+"""
 
 from __future__ import annotations
 
@@ -24,7 +30,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig15, table2) or 'list' / 'all'",
+        help=(
+            "experiment id (e.g. fig15, table2), 'list' / 'all', or a "
+            "subcommand: 'bench' (performance ledger), "
+            "'trace-report FILE' (trace analytics)"
+        ),
     )
     parser.add_argument(
         "--full-grid",
@@ -76,7 +86,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--export",
         metavar="DIR",
         default=None,
-        help="write each report to DIR as <id>.txt and <id>.json",
+        help="write each report to DIR as <id>.txt, <id>.json and <id>.csv",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "record host wall-clock spans (build/simulate/merge/report) "
+            "and print the phase table after the run"
+        ),
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write the run's span profile (plus the --trace events, when "
+            "collected) as Chrome trace-event JSON viewable in Perfetto"
+        ),
     )
     parser.add_argument("--version", action="version", version=__version__)
     return parser
@@ -88,7 +115,19 @@ def _warn(message: str) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    # Observability subcommands take their own options, so they dispatch
+    # before the experiment parser sees (and rejects) those flags.
+    if raw and raw[0] == "bench":
+        from repro.obs.bench import bench_main
+
+        return bench_main(raw[1:])
+    if raw and raw[0] == "trace-report":
+        from repro.obs.analyze import trace_report_main
+
+        return trace_report_main(raw[1:])
+
+    args = build_parser().parse_args(raw)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
@@ -111,28 +150,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
     from repro.experiments.executor import SimExecutor
-    from repro.obs import MetricsRegistry
+    from repro.obs import MetricsRegistry, SpanRecorder, maybe_span
 
     registry = MetricsRegistry() if args.metrics else None
-    sink = None
-    if args.trace:
-        from repro.obs import JsonlTraceSink
-
-        if registry is None:
-            registry = MetricsRegistry()
-        sink = JsonlTraceSink(args.trace)
-    executor = SimExecutor(jobs=args.jobs, metrics=registry, trace_sink=sink)
-    ctx = RunContext(
-        full_grid=args.full_grid,
-        k_steps=args.k_steps,
-        executor=executor,
-        panel=args.panel if args.panel is not None else "all",
-        metrics=registry,
-    )
+    spans = SpanRecorder() if (args.profile or args.chrome_trace) else None
+    if args.trace and registry is None:
+        registry = MetricsRegistry()
 
     reports = []
     failures: List[str] = []
+    sink = None
     try:
+        # The sink opens inside the try so *every* exit path — including
+        # a failure while building the executor or an experiment raising
+        # under a non-'all' run — flushes and closes the trace file
+        # rather than leaving a truncated last line behind.
+        if args.trace:
+            from repro.obs import JsonlTraceSink
+
+            sink = JsonlTraceSink(args.trace)
+        executor = SimExecutor(
+            jobs=args.jobs, metrics=registry, trace_sink=sink, spans=spans
+        )
+        ctx = RunContext(
+            full_grid=args.full_grid,
+            k_steps=args.k_steps,
+            executor=executor,
+            panel=args.panel if args.panel is not None else "all",
+            metrics=registry,
+            spans=spans,
+        )
+
         for name in names:
             start = time.time()
             try:
@@ -143,15 +191,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 failures.append(name)
                 print(f"[{name} FAILED: {error}]\n", file=sys.stderr)
                 continue
-            report.show()
-            if args.chart and name == "fig15":
-                from repro.experiments.charts import fig15_charts
+            with maybe_span(spans, "report", experiment=name):
+                report.show()
+                if args.chart and name == "fig15":
+                    from repro.experiments.charts import fig15_charts
 
-                print(fig15_charts(report.data))
-            if args.chart and name == "fig18":
-                from repro.experiments.charts import fig18_charts
+                    print(fig15_charts(report.data))
+                if args.chart and name == "fig18":
+                    from repro.experiments.charts import fig18_charts
 
-                print(fig18_charts(report.data))
+                    print(fig18_charts(report.data))
             reports.append(report)
             print(f"[{name} completed in {time.time() - start:.1f}s]\n")
     finally:
@@ -162,10 +211,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs import format_metrics
 
         print(format_metrics(registry.snapshot()))
+    if spans is not None and args.profile:
+        from repro.obs import phase_table
+
+        print(phase_table(spans))
+    if args.chrome_trace:
+        from repro.obs.chrometrace import write_chrome_trace
+
+        events = None
+        if args.trace:
+            from repro.obs import read_jsonl
+
+            events = list(read_jsonl(args.trace))
+        write_chrome_trace(
+            args.chrome_trace,
+            spans=spans.records if spans is not None else None,
+            events=events,
+        )
+        print(f"chrome trace -> {args.chrome_trace}")
     if args.export:
         from repro.experiments.export import export_all
 
-        manifest = export_all(reports, args.export)
+        manifest = export_all(
+            reports,
+            args.export,
+            metrics=registry.snapshot() if registry is not None else None,
+        )
         print(f"exported {len(manifest)} report(s) to {args.export}")
     if failures:
         print(

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 if TYPE_CHECKING:  # imports only for annotations; keeps this module cycle-free
     from repro.experiments.executor import SimExecutor
     from repro.model.surface import SurfaceStore
-    from repro.obs import MetricsRegistry
+    from repro.obs import MetricsRegistry, SpanRecorder
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,11 @@ class RunContext:
         metrics: shared metrics registry for this run, if the caller
             wants aggregate counters/histograms back.  Conventionally
             the same registry installed on ``executor``.
+        spans: host wall-clock :class:`repro.obs.SpanRecorder` for
+            phase attribution (build / simulate / merge / report).
+            Conventionally the same recorder installed on ``executor``;
+            ``run_experiment`` opens an ``experiment:<id>`` span on it
+            around each runner.
         store: shared :class:`repro.model.surface.SurfaceStore` so
             surface-backed experiments (fig14/fig16/scaling) can reuse
             each other's interpolation surfaces across one session.
@@ -58,6 +63,7 @@ class RunContext:
     executor: Optional["SimExecutor"] = None
     panel: str = "all"
     metrics: Optional["MetricsRegistry"] = None
+    spans: Optional["SpanRecorder"] = None
     store: Optional["SurfaceStore"] = None
     levels: Optional[Sequence[float]] = None
     samples: int = 5

@@ -30,7 +30,13 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import MachineConfig
 from repro.kernels.gemm import GemmKernelConfig
-from repro.obs import Instrumentation, MetricsRegistry, TraceSink
+from repro.obs import (
+    Instrumentation,
+    MetricsRegistry,
+    SpanRecorder,
+    TraceSink,
+    maybe_span,
+)
 
 #: Environment fallback for the worker count (the CLI's ``--jobs``
 #: takes precedence).
@@ -151,6 +157,10 @@ class SimExecutor:
         trace_sink: event sink for per-cycle traces.  Tracing forces
             in-process execution — interleaved multi-process event
             streams would be nondeterministic and unusable.
+        spans: host wall-clock :class:`repro.obs.SpanRecorder`; when
+            set, every batch opens a ``simulate`` span (and metric
+            merging a ``merge`` span) so runs attribute their time to
+            phases.  Spans wrap whole batches, never per-cycle work.
     """
 
     def __init__(
@@ -159,6 +169,7 @@ class SimExecutor:
         chunksize: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
         trace_sink: Optional[TraceSink] = None,
+        spans: Optional[SpanRecorder] = None,
     ):
         self.jobs = resolve_jobs(jobs)
         if chunksize is not None and chunksize <= 0:
@@ -166,6 +177,7 @@ class SimExecutor:
         self.chunksize = chunksize
         self.metrics = metrics
         self.trace_sink = trace_sink
+        self.spans = spans
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimExecutor(jobs={self.jobs}, chunksize={self.chunksize})"
@@ -190,17 +202,20 @@ class SimExecutor:
         """Run a batch; results are in job order on every backend."""
         if not jobs:
             return []
-        if self.instrumented:
-            return self._map_instrumented(jobs)
-        if not self.parallel or len(jobs) == 1:
-            return [job.run() for job in jobs]
-        indexed = list(enumerate(jobs))
-        chunks = self._chunks(indexed)
-        workers = min(self.jobs, len(chunks))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
-            completed = [future.result() for future in as_completed(futures)]
-        return merge_indexed(completed, len(jobs))
+        with maybe_span(
+            self.spans, "simulate", points=len(jobs), workers=self.jobs
+        ):
+            if self.instrumented:
+                return self._map_instrumented(jobs)
+            if not self.parallel or len(jobs) == 1:
+                return [job.run() for job in jobs]
+            indexed = list(enumerate(jobs))
+            chunks = self._chunks(indexed)
+            workers = min(self.jobs, len(chunks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+                completed = [future.result() for future in as_completed(futures)]
+            return merge_indexed(completed, len(jobs))
 
     def _map_instrumented(self, jobs: Sequence[PointJob]) -> List[float]:
         """Instrumented batch: collect per-job snapshots, merge in order.
@@ -223,8 +238,9 @@ class SimExecutor:
                 completed = [future.result() for future in as_completed(futures)]
             pairs = merge_indexed(completed, len(jobs))
         if self.metrics is not None:
-            for _, snapshot in pairs:
-                self.metrics.merge_snapshot(snapshot)
+            with maybe_span(self.spans, "merge", snapshots=len(pairs)):
+                for _, snapshot in pairs:
+                    self.metrics.merge_snapshot(snapshot)
         return [value for value, _ in pairs]
 
 

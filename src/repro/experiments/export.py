@@ -1,16 +1,22 @@
-"""Export experiment reports to disk (text + JSON).
+"""Export experiment reports to disk (text + JSON + CSV).
 
 ``python -m repro all --export results/`` writes, per experiment,
-``<id>.txt`` (the rendered table) and ``<id>.json`` (the
-machine-readable ``data``), plus an ``index.json`` manifest — so a full
-reproduction run leaves a reviewable artifact tree.
+``<id>.txt`` (the rendered table), ``<id>.json`` (the machine-readable
+``data``) and ``<id>.csv`` (the table as spreadsheet-ready rows), plus
+an ``index.json`` manifest — so a full reproduction run leaves a
+reviewable artifact tree.  When the run collected metrics
+(``--metrics`` / an instrumented executor), the merged
+:class:`repro.obs.MetricsRegistry` snapshot is flattened into
+``metrics.csv`` alongside the reports: one row per instrument with
+value / count / mean / percentile columns.
 """
 
 from __future__ import annotations
 
+import csv
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro._version import __version__
 from repro.experiments.report import ExperimentReport
@@ -30,11 +36,12 @@ def _jsonable(value: Any) -> Any:
 
 
 def export_report(report: ExperimentReport, directory: Path) -> List[Path]:
-    """Write one report's text and JSON files; returns the paths."""
+    """Write one report's text, JSON and CSV files; returns the paths."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     text_path = directory / f"{report.experiment}.txt"
     json_path = directory / f"{report.experiment}.json"
+    csv_path = directory / f"{report.experiment}.csv"
     text_path.write_text(report.render() + "\n")
     payload = {
         "experiment": report.experiment,
@@ -46,18 +53,77 @@ def export_report(report: ExperimentReport, directory: Path) -> List[Path]:
         "version": __version__,
     }
     json_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    return [text_path, json_path]
+    with csv_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([str(h) for h in report.headers])
+        for row in report.rows:
+            writer.writerow([_jsonable(cell) for cell in row])
+    return [text_path, json_path, csv_path]
+
+
+#: metrics.csv column order (one row per instrument).
+METRICS_CSV_COLUMNS = (
+    "kind", "name", "value", "count", "mean", "p50", "p95", "min", "max",
+)
+
+
+def export_metrics_csv(snapshot: Dict[str, Any], directory: Path) -> Path:
+    """Flatten one metrics snapshot into ``metrics.csv``.
+
+    Counters and gauges fill the ``value`` column; histograms fill the
+    distribution columns (via :func:`repro.obs.hist_stats`).  Rows are
+    sorted by (kind, name), so two exports of the same run are
+    byte-identical.
+    """
+    from repro.obs import hist_stats
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "metrics.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(METRICS_CSV_COLUMNS)
+        for name in sorted(snapshot.get("counters", {})):
+            writer.writerow(
+                ["counter", name, snapshot["counters"][name]] + [""] * 6
+            )
+        for name in sorted(snapshot.get("gauges", {})):
+            writer.writerow(["gauge", name, snapshot["gauges"][name]] + [""] * 6)
+        for name in sorted(snapshot.get("histograms", {})):
+            stats = hist_stats(snapshot["histograms"][name])
+            writer.writerow(
+                [
+                    "histogram",
+                    name,
+                    "",
+                    stats["count"],
+                    round(stats["mean"], 6),
+                    stats["p50"],
+                    stats["p95"],
+                    stats["min"],
+                    stats["max"],
+                ]
+            )
+    return path
 
 
 def export_all(
-    reports: Iterable[ExperimentReport], directory: Path
+    reports: Iterable[ExperimentReport],
+    directory: Path,
+    metrics: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, List[str]]:
-    """Export several reports and write an ``index.json`` manifest."""
+    """Export several reports and write an ``index.json`` manifest.
+
+    Pass the run's merged metrics snapshot as ``metrics`` to also write
+    ``metrics.csv`` (listed in the manifest under ``"metrics"``).
+    """
     directory = Path(directory)
     manifest: Dict[str, List[str]] = {}
     for report in reports:
         paths = export_report(report, directory)
         manifest[report.experiment] = [path.name for path in paths]
+    if metrics is not None:
+        manifest["metrics"] = [export_metrics_csv(metrics, directory).name]
     (directory / "index.json").write_text(
         json.dumps({"version": __version__, "experiments": manifest}, indent=2)
     )

@@ -30,6 +30,7 @@ from repro.experiments import (  # noqa: F401  (imported for side effect-free re
 )
 from repro.experiments.context import CONTEXT_FIELDS, RunContext
 from repro.experiments.report import ExperimentReport
+from repro.obs import maybe_span
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "table1": table1.run,
@@ -74,7 +75,8 @@ def run_experiment(
     context = ctx if ctx is not None else RunContext()
     if options:
         context = dataclasses.replace(context, **options)
-    return runner(context)
+    with maybe_span(context.spans, f"experiment:{name}"):
+        return runner(context)
 
 
 __all__ = ["EXPERIMENTS", "RunContext", "run_experiment"]

@@ -16,6 +16,7 @@ from repro.experiments.executor import PointJob, SimExecutor, default_executor
 from repro.kernels.gemm import generate_gemm_trace
 from repro.kernels.library import KernelSpec
 from repro.kernels.tiling import Precision
+from repro.obs import maybe_span
 
 #: Default sparsity grid for quick sweeps (the paper uses 10% steps;
 #: pass ``full_grid=True`` to experiment runners for that resolution).
@@ -107,13 +108,15 @@ def sweep_kernel(
                     machine=machine,
                 )
             )
-    times = default_executor(executor).map(jobs)
+    runner = default_executor(executor)
+    times = runner.map(jobs)
     base_time, point_times = times[0], times[1:]
-    results: Dict[str, SweepResult] = {}
-    for m_index, label in enumerate(machines):
-        speedups: Dict[Tuple[float, float], float] = {}
-        for p_index, (bs, nbs) in enumerate(points):
-            time = point_times[m_index * len(points) + p_index]
-            speedups[(round(bs, 2), round(nbs, 2))] = base_time / time
-        results[label] = SweepResult(label, speedups)
-    return results
+    with maybe_span(runner.spans, "sweep.assemble", kernel=spec.name):
+        results: Dict[str, SweepResult] = {}
+        for m_index, label in enumerate(machines):
+            speedups: Dict[Tuple[float, float], float] = {}
+            for p_index, (bs, nbs) in enumerate(points):
+                time = point_times[m_index * len(points) + p_index]
+                speedups[(round(bs, 2), round(nbs, 2))] = base_time / time
+            results[label] = SweepResult(label, speedups)
+        return results

@@ -34,6 +34,7 @@ from repro.experiments.executor import (
 )
 from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
 from repro.kernels.tiling import Precision, RegisterTile
+from repro.obs import maybe_span
 
 #: Bump when the kernel generator's layout/µop stream changes, so
 #: stale cached surfaces are never reused.
@@ -149,17 +150,20 @@ class SparsitySurface:
         the surface is identical whichever backend ran it.
         """
         n = len(levels)
-        jobs = [
-            PointJob(
-                config=point_config(tile, precision, bs, nbs, k_steps, seed),
-                machine=machine,
-                metric=METRIC_NS_PER_FMA,
-            )
-            for bs in levels
-            for nbs in levels
-        ]
-        values = np.array(default_executor(executor).map(jobs)).reshape(n, n)
-        return cls(levels=levels, ns_per_fma=values, label=machine_label(machine))
+        runner = default_executor(executor)
+        label = machine_label(machine)
+        with maybe_span(runner.spans, "surface.build", machine=label, grid=n * n):
+            jobs = [
+                PointJob(
+                    config=point_config(tile, precision, bs, nbs, k_steps, seed),
+                    machine=machine,
+                    metric=METRIC_NS_PER_FMA,
+                )
+                for bs in levels
+                for nbs in levels
+            ]
+            values = np.array(runner.map(jobs)).reshape(n, n)
+        return cls(levels=levels, ns_per_fma=values, label=label)
 
 
 def _bilinear(levels: Sequence[float], grid: np.ndarray, x: float, y: float) -> float:

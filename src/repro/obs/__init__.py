@@ -1,7 +1,7 @@
-"""Observability layer: metrics, structured tracing, instrumentation.
+"""Observability layer: metrics, tracing, spans, analytics, ledger.
 
-The simulator answers *how fast*; this package answers *why*.  It has
-three parts (see ``docs/architecture.md`` § Observability):
+The simulator answers *how fast*; this package answers *why*.  The raw
+layer (see ``docs/architecture.md`` § Observability):
 
 * :mod:`repro.obs.metrics` — counters / gauges / histograms in a
   :class:`MetricsRegistry`, with picklable snapshots that merge
@@ -15,6 +15,16 @@ three parts (see ``docs/architecture.md`` § Observability):
   ``trace_sink`` on a :class:`repro.experiments.executor.SimExecutor`)
   to turn observation on; when absent, every hook in the hot path
   reduces to a single ``is None`` check.
+
+And the analysis-and-ledger layer on top of it:
+
+* :mod:`repro.obs.spans` — nestable host wall-clock spans attributing
+  pipeline time to build / simulate / merge / report phases.
+* :mod:`repro.obs.analyze` — offline trace analytics (timelines,
+  distributions, bottleneck attribution); ``repro trace-report``.
+* :mod:`repro.obs.chrometrace` — Chrome trace-event export (Perfetto).
+* :mod:`repro.obs.bench` — the ``BENCH_<seq>.json`` performance ledger
+  behind ``repro bench``.
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ from repro.obs.metrics import (
     hist_stats,
     log2_bucket,
 )
+from repro.obs.spans import SpanRecord, SpanRecorder, maybe_span, phase_table
 from repro.obs.trace import (
     EVENT_FIELDS,
     NULL_SINK,
@@ -37,6 +48,7 @@ from repro.obs.trace import (
     JsonlTraceSink,
     ListSink,
     NullSink,
+    TraceFormatError,
     TraceSink,
     read_jsonl,
     validate_event,
@@ -53,11 +65,16 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SINK",
     "NullSink",
+    "SpanRecord",
+    "SpanRecorder",
     "TRACE_SCHEMA_VERSION",
+    "TraceFormatError",
     "TraceSink",
     "format_metrics",
     "hist_stats",
     "log2_bucket",
+    "maybe_span",
+    "phase_table",
     "read_jsonl",
     "validate_event",
 ]

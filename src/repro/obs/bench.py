@@ -1,0 +1,387 @@
+"""The performance ledger: ``repro bench`` and ``BENCH_<seq>.json``.
+
+PR 1 made the simulator 4.5-7.5x faster; nothing since would notice if
+a change gave that back.  This module closes the loop: a *fixed* suite
+of simulator workloads (one SAVE point, a coarse sweep, the same sweep
+through a 2-worker pool) is timed and appended to an on-disk ledger of
+``BENCH_0001.json``, ``BENCH_0002.json``, ... entries.  Every run
+compares itself against the previous entry and **exits non-zero when
+wall time regresses beyond the threshold** — the CI ``bench-smoke``
+job runs ``repro bench --quick`` on every PR.
+
+Each workload records three things:
+
+* ``wall_s`` — best-of-``repeats`` wall time of the *uninstrumented*
+  run (what users feel; instrumentation is off so the hot path is the
+  one being guarded),
+* ``cycles_per_sec`` — simulated cycles per host second, the
+  scale-free throughput number that survives workload renames,
+* ``counters`` — key metric counters from one separately-run
+  *instrumented* pass (never timed).  Counter drift between entries
+  means the simulated machine itself changed — reported as a warning,
+  not a regression, since model changes are sometimes the point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import re
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro._version import __version__
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_LEDGER_DIR",
+    "DEFAULT_THRESHOLD",
+    "bench_main",
+    "compare_entries",
+    "ledger_paths",
+    "next_seq",
+    "run_suite",
+    "validate_entry",
+    "write_entry",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Wall-time increase (fractional) that counts as a regression.
+DEFAULT_THRESHOLD = 0.25
+
+#: Ledger location, relative to the invoking directory.
+DEFAULT_LEDGER_DIR = Path("benchmarks") / "ledger"
+
+_ENTRY_NAME = re.compile(r"^BENCH_(\d{4,})\.json$")
+
+#: Counters copied into the ledger when the instrumented pass saw them.
+KEY_COUNTERS = (
+    "sim_cycles",
+    "sim_runs",
+    "bs_skips",
+    "lwd_stalls",
+    "effectual_lanes",
+    "pass_through_lanes",
+    "bcache_hits",
+    "bcache_misses",
+)
+
+
+# ---------------------------------------------------------------------------
+# Workload suite
+# ---------------------------------------------------------------------------
+
+
+def _suite(quick: bool) -> List[Tuple[str, int, Any]]:
+    """(name, jobs, job-list builder) triples — fixed order, fixed seeds."""
+    from repro.core.config import SAVE_2VPU
+    from repro.experiments.executor import METRIC_TIME_NS, PointJob
+    from repro.kernels.library import get_kernel
+
+    spec = get_kernel("resnet2_2_fwd")
+
+    def point_jobs(levels, k_steps):
+        return [
+            PointJob(
+                config=spec.config(
+                    broadcast_sparsity=bs,
+                    nonbroadcast_sparsity=nbs,
+                    k_steps=k_steps,
+                    seed=0,
+                ),
+                machine=SAVE_2VPU,
+                metric=METRIC_TIME_NS,
+            )
+            for bs in levels
+            for nbs in levels
+        ]
+
+    if quick:
+        single = point_jobs((0.6,), 6)
+        sweep = point_jobs((0.0, 0.9), 4)
+    else:
+        single = point_jobs((0.6,), 24)
+        sweep = point_jobs((0.0, 0.3, 0.6, 0.9), 8)
+    return [
+        ("single_save_point", 1, single),
+        ("coarse_sweep", 1, sweep),
+        ("parallel_sweep", 2, sweep),
+    ]
+
+
+def _run_workload(
+    name: str, jobs: int, point_jobs: List[Any], repeats: int
+) -> Dict[str, Any]:
+    """Time one workload and collect its instrumented counters."""
+    from repro.experiments.executor import SimExecutor
+    from repro.obs import MetricsRegistry
+
+    # Timed passes: uninstrumented, best-of-N (the guard on the
+    # obs=None hot path the observability layer promises not to touch).
+    executor = SimExecutor(jobs=jobs)
+    best = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        executor.map(point_jobs)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+
+    # Counter pass: instrumented, never timed.
+    registry = MetricsRegistry()
+    SimExecutor(jobs=1, metrics=registry).map(point_jobs)
+    counters = registry.snapshot()["counters"]
+    sim_cycles = int(counters.get("sim_cycles", 0))
+    return {
+        "wall_s": round(best, 6),
+        "jobs": jobs,
+        "points": len(point_jobs),
+        "sim_cycles": sim_cycles,
+        "cycles_per_sec": round(sim_cycles / best, 1) if best else 0.0,
+        "counters": {
+            key: int(counters[key]) for key in KEY_COUNTERS if key in counters
+        },
+    }
+
+
+def run_suite(
+    quick: bool = False, repeats: int = 2, echo=None
+) -> Dict[str, Any]:
+    """Run the fixed suite; returns a schema-valid (seq-less) entry."""
+    workloads: Dict[str, Any] = {}
+    for name, jobs, point_jobs in _suite(quick):
+        result = _run_workload(name, jobs, point_jobs, repeats)
+        workloads[name] = result
+        if echo is not None:
+            echo(
+                f"  {name}: {result['wall_s']:.3f}s wall, "
+                f"{result['sim_cycles']} cycles "
+                f"({result['cycles_per_sec']:.0f} cyc/s, jobs={jobs})"
+            )
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "created_unix": round(time.time(), 3),
+        "quick": bool(quick),
+        "repeats": int(repeats),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "version": __version__,
+        "workloads": workloads,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Ledger on disk
+# ---------------------------------------------------------------------------
+
+
+def ledger_paths(directory: Path) -> List[Tuple[int, Path]]:
+    """All ``BENCH_<seq>.json`` entries under ``directory``, seq order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = []
+    for path in directory.iterdir():
+        match = _ENTRY_NAME.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def next_seq(directory: Path) -> int:
+    entries = ledger_paths(directory)
+    return entries[-1][0] + 1 if entries else 1
+
+
+def write_entry(directory: Path, entry: Dict[str, Any]) -> Path:
+    """Assign the next sequence number and persist one entry."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    seq = next_seq(directory)
+    entry = dict(entry, seq=seq)
+    validate_entry(entry)
+    path = directory / f"BENCH_{seq:04d}.json"
+    path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def validate_entry(entry: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``entry`` matches the ledger schema."""
+    if not isinstance(entry, dict):
+        raise ValueError("ledger entry must be a JSON object")
+    if entry.get("schema") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"ledger entry schema {entry.get('schema')!r} is not the "
+            f"supported version {BENCH_SCHEMA_VERSION}"
+        )
+    for key, kind in (
+        ("seq", int),
+        ("quick", bool),
+        ("python", str),
+        ("workloads", dict),
+    ):
+        if not isinstance(entry.get(key), kind):
+            raise ValueError(f"ledger entry field {key!r} must be {kind.__name__}")
+    if not entry["workloads"]:
+        raise ValueError("ledger entry has no workloads")
+    for name, workload in entry["workloads"].items():
+        for key in ("wall_s", "sim_cycles", "cycles_per_sec", "counters"):
+            if key not in workload:
+                raise ValueError(f"workload {name!r} missing field {key!r}")
+        if workload["wall_s"] <= 0:
+            raise ValueError(f"workload {name!r} wall_s must be positive")
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+def compare_entries(
+    previous: Dict[str, Any],
+    current: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Dict[str, Any]]:
+    """Per-workload deltas of ``current`` vs ``previous``.
+
+    A workload regresses when its wall time grew by more than
+    ``threshold`` (fractional).  Comparing a ``--quick`` entry against
+    a full one would be meaningless; callers should compare entries of
+    the same flavour (``bench_main`` compares against the latest entry
+    with matching ``quick``).
+    """
+    deltas: List[Dict[str, Any]] = []
+    prev_workloads = previous.get("workloads", {})
+    for name, workload in current.get("workloads", {}).items():
+        prior = prev_workloads.get(name)
+        if prior is None:
+            deltas.append({"workload": name, "status": "new", "regressed": False})
+            continue
+        prev_wall, cur_wall = prior["wall_s"], workload["wall_s"]
+        change = (cur_wall - prev_wall) / prev_wall if prev_wall else 0.0
+        drift = prior.get("sim_cycles") != workload.get("sim_cycles")
+        deltas.append(
+            {
+                "workload": name,
+                "status": "regressed" if change > threshold else "ok",
+                "regressed": change > threshold,
+                "prev_wall_s": prev_wall,
+                "wall_s": cur_wall,
+                "change": round(change, 4),
+                "sim_drift": drift,
+            }
+        )
+    return deltas
+
+
+def _latest_comparable(
+    directory: Path, quick: bool
+) -> Optional[Tuple[Path, Dict[str, Any]]]:
+    """The newest existing entry with the same quick/full flavour."""
+    for _seq, path in reversed(ledger_paths(directory)):
+        try:
+            entry = json.loads(path.read_text())
+            validate_entry(entry)
+        except ValueError as error:
+            print(f"warning: skipping unreadable ledger entry {path}: {error}",
+                  file=sys.stderr)
+            continue
+        if entry.get("quick") == quick:
+            return path, entry
+    return None
+
+
+# ---------------------------------------------------------------------------
+# CLI: ``repro bench``
+# ---------------------------------------------------------------------------
+
+
+def bench_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro bench``."""
+    parser = argparse.ArgumentParser(
+        prog="save-repro bench",
+        description=(
+            "Run the fixed simulator benchmark suite, append a "
+            "BENCH_<seq>.json entry to the ledger, and compare against "
+            "the previous entry; exits 1 on a wall-time regression."
+        ),
+    )
+    parser.add_argument(
+        "--ledger",
+        metavar="DIR",
+        default=str(DEFAULT_LEDGER_DIR),
+        help=f"ledger directory (default: {DEFAULT_LEDGER_DIR})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workloads for CI smoke runs (compared only against "
+        "other --quick entries)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        metavar="FRAC",
+        help="fractional wall-time increase that fails the run "
+        f"(default: {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        metavar="N",
+        help="timed repetitions per workload; best is recorded (default: 2)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="run and compare but do not append a ledger entry",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        parser.error("--threshold must be non-negative")
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    directory = Path(args.ledger)
+    print(f"bench: running {'quick ' if args.quick else ''}suite "
+          f"(repeats={args.repeats})")
+    entry = run_suite(quick=args.quick, repeats=args.repeats, echo=print)
+
+    previous = _latest_comparable(directory, args.quick)
+    exit_code = 0
+    if previous is None:
+        print("bench: no previous comparable entry; baseline recorded")
+    else:
+        prev_path, prev_entry = previous
+        print(f"bench: comparing against {prev_path.name}")
+        deltas = compare_entries(
+            prev_entry, dict(entry, seq=0), threshold=args.threshold
+        )
+        for delta in deltas:
+            if delta["status"] == "new":
+                print(f"  {delta['workload']}: new workload (no baseline)")
+                continue
+            drift = "  [sim-cycle drift: simulated machine changed]" \
+                if delta["sim_drift"] else ""
+            print(
+                f"  {delta['workload']}: {delta['prev_wall_s']:.3f}s -> "
+                f"{delta['wall_s']:.3f}s ({delta['change']:+.1%}) "
+                f"{delta['status']}{drift}"
+            )
+        if any(delta["regressed"] for delta in deltas):
+            print(
+                f"bench: REGRESSION beyond +{args.threshold:.0%} threshold",
+                file=sys.stderr,
+            )
+            exit_code = 1
+
+    if not args.no_write:
+        path = write_entry(directory, entry)
+        print(f"bench: ledger entry -> {path}")
+    return exit_code

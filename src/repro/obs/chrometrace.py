@@ -1,0 +1,192 @@
+"""Chrome trace-event export: spans and traces, viewable in Perfetto.
+
+Two sources, two kinds of track:
+
+* **Host spans** (:mod:`repro.obs.spans`) become complete ``"X"``
+  events on one track per recorder.  Spans obey a stack discipline, so
+  slices on a track are strictly nested and never partially overlap —
+  exactly what the trace viewer's flame layout expects.
+* **Simulator events** (:mod:`repro.obs.trace` JSONL) become instant
+  ``"i"`` events plus ``"C"`` counter tracks (in-flight µops, lanes per
+  issued op), with one simulated cycle mapped to one microsecond of
+  viewer time.
+
+Load the written file at https://ui.perfetto.dev (or
+``chrome://tracing``).  The format is the Trace Event Format's JSON
+object form: ``{"traceEvents": [...]}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.spans import SpanRecord
+
+__all__ = [
+    "chrome_trace",
+    "sim_trace_events",
+    "span_trace_events",
+    "write_chrome_trace",
+]
+
+#: pid for host-side (span) tracks and for simulator tracks.
+HOST_PID = 1
+SIM_PID = 2
+
+#: tids within the simulator pid.
+SIM_TID_PIPELINE = 1
+SIM_TID_VPU = 2
+SIM_TID_SAVE = 3
+SIM_TID_BCACHE = 4
+
+#: Which instant-event track each simulator event kind lands on.
+_EVENT_TID = {
+    "dispatch": SIM_TID_PIPELINE,
+    "retire": SIM_TID_PIPELINE,
+    "issue": SIM_TID_VPU,
+    "merge": SIM_TID_VPU,
+    "elm": SIM_TID_SAVE,
+    "bs_skip": SIM_TID_SAVE,
+    "lwd_stall": SIM_TID_SAVE,
+    "chain_append": SIM_TID_SAVE,
+    "bcache_hit": SIM_TID_BCACHE,
+    "bcache_miss": SIM_TID_BCACHE,
+}
+
+
+def _meta(pid: int, tid: Optional[int], name: str) -> Dict[str, Any]:
+    event: Dict[str, Any] = {
+        "ph": "M",
+        "pid": pid,
+        "name": "process_name" if tid is None else "thread_name",
+        "args": {"name": name},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def span_trace_events(
+    records: Sequence[SpanRecord], pid: int = HOST_PID, tid: int = 1
+) -> List[Dict[str, Any]]:
+    """Complete (``"X"``) events for one recorder's spans, one track.
+
+    Timestamps are microseconds from the recorder's epoch.  Records
+    come from a stack discipline, so the produced slices are properly
+    nested per track.
+    """
+    events: List[Dict[str, Any]] = []
+    for record in records:
+        events.append(
+            {
+                "name": record.name,
+                "ph": "X",
+                "ts": record.start * 1e6,
+                "dur": max(0.0, record.duration) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "cat": "host",
+                "args": dict(record.attrs),
+            }
+        )
+    return events
+
+
+def sim_trace_events(
+    events: Iterable[Dict[str, Any]], pid: int = SIM_PID
+) -> List[Dict[str, Any]]:
+    """Instant + counter events for a simulator event stream.
+
+    One simulated cycle maps to 1 µs of viewer time.  Emits an
+    ``inflight`` counter (dispatched-not-retired µops, stepped at every
+    change) and a ``lanes`` counter sampled at each issue.  Back-to-back
+    simulations in one trace (cycle counter restarting at zero) are
+    laid out sequentially, the same concatenation
+    :func:`repro.obs.analyze.analyze_events` uses.
+    """
+    out: List[Dict[str, Any]] = []
+    inflight = 0
+    offset = 0
+    last_raw = -1
+    for event in events:
+        kind = event["event"]
+        raw_cycle = event["cycle"]
+        if raw_cycle < last_raw:
+            offset += last_raw + 1
+        last_raw = raw_cycle
+        cycle = offset + raw_cycle
+        tid = _EVENT_TID.get(kind)
+        if tid is None:
+            continue
+        args = {
+            key: value
+            for key, value in event.items()
+            if key not in ("event", "cycle", "kernel", "v")
+        }
+        out.append(
+            {
+                "name": kind,
+                "ph": "i",
+                "s": "t",
+                "ts": float(cycle),
+                "pid": pid,
+                "tid": tid,
+                "cat": "sim",
+                "args": args,
+            }
+        )
+        if kind == "issue":
+            out.append(
+                {
+                    "name": "lanes_per_op",
+                    "ph": "C",
+                    "ts": float(cycle),
+                    "pid": pid,
+                    "args": {"lanes": event.get("lanes", 0)},
+                }
+            )
+        elif kind in ("dispatch", "retire"):
+            inflight += 1 if kind == "dispatch" else -1
+            out.append(
+                {
+                    "name": "inflight_uops",
+                    "ph": "C",
+                    "ts": float(cycle),
+                    "pid": pid,
+                    "args": {"uops": inflight},
+                }
+            )
+    return out
+
+
+def chrome_trace(
+    spans: Optional[Sequence[SpanRecord]] = None,
+    events: Optional[Iterable[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Assemble the Trace Event Format JSON-object document."""
+    trace_events: List[Dict[str, Any]] = []
+    if spans:
+        trace_events.append(_meta(HOST_PID, None, "host (repro pipeline)"))
+        trace_events.append(_meta(HOST_PID, 1, "phases"))
+        trace_events.extend(span_trace_events(spans))
+    if events is not None:
+        trace_events.append(_meta(SIM_PID, None, "simulator (1 cycle = 1us)"))
+        trace_events.append(_meta(SIM_PID, SIM_TID_PIPELINE, "pipeline"))
+        trace_events.append(_meta(SIM_PID, SIM_TID_VPU, "vpu issue/merge"))
+        trace_events.append(_meta(SIM_PID, SIM_TID_SAVE, "save engine"))
+        trace_events.append(_meta(SIM_PID, SIM_TID_BCACHE, "broadcast cache"))
+        trace_events.extend(sim_trace_events(events))
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Optional[Sequence[SpanRecord]] = None,
+    events: Optional[Iterable[Dict[str, Any]]] = None,
+) -> str:
+    """Write the trace document to ``path``; returns the path."""
+    document = chrome_trace(spans=spans, events=events)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+    return path

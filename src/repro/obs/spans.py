@@ -1,0 +1,181 @@
+"""Host-side span profiling: where does the *wall clock* go?
+
+The metrics/trace layer explains the simulated machine; this module
+explains the reproduction pipeline itself.  A :class:`SpanRecorder`
+hands out nestable context-manager spans (monotonic host time via
+``time.perf_counter``) that the execution layer opens around its
+phases — surface build, simulation batches, snapshot merging, report
+rendering — so one run answers "which phase is slow" without a
+sampling profiler.
+
+Spans are strictly nested (a stack discipline enforced by the context
+manager), which is what lets :mod:`repro.obs.chrometrace` lay them out
+as non-overlapping slices per track, and what makes
+:meth:`SpanRecorder.summary` able to attribute *self* time (span time
+minus child time) exactly.
+
+Cost model: a span is two ``perf_counter`` calls and one list append.
+Spans wrap *batches* (hundreds of thousands of simulated cycles), never
+per-cycle work, so the instrumentation-off hot path is untouched — call
+sites guard with :func:`maybe_span`, which returns a shared no-op
+context when no recorder is present.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "SpanRecord",
+    "SpanRecorder",
+    "maybe_span",
+    "phase_table",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One closed span: a named interval on the host clock.
+
+    ``start`` / ``end`` are ``perf_counter`` readings relative to the
+    recorder's epoch (its construction time), so records from one
+    recorder share a timeline.  ``parent`` is the index of the
+    enclosing span in :attr:`SpanRecorder.records`, or ``-1``.
+    """
+
+    name: str
+    start: float
+    end: float
+    depth: int
+    parent: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SpanRecorder:
+    """Collects nested spans; the pipeline's wall-clock ledger.
+
+    Usage::
+
+        rec = SpanRecorder()
+        with rec.span("simulate", jobs=64):
+            ...
+        print(phase_table(rec))
+
+    Spans close in LIFO order by construction (``with`` blocks cannot
+    interleave), so the record list is a valid serialisation of a call
+    tree.  A recorder is single-threaded by design: the pipeline's
+    parallelism lives in worker *processes*, and spans measure the
+    coordinating process only.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[SpanRecord] = []
+        self._stack: List[int] = []
+        self.epoch = time.perf_counter()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[SpanRecord]:
+        """Open a named span; closes (and timestamps) on exit, even on error."""
+        record = SpanRecord(
+            name=name,
+            start=time.perf_counter() - self.epoch,
+            end=0.0,
+            depth=len(self._stack),
+            parent=self._stack[-1] if self._stack else -1,
+            attrs=dict(attrs),
+        )
+        index = len(self.records)
+        self.records.append(record)
+        self._stack.append(index)
+        try:
+            yield record
+        finally:
+            record.end = time.perf_counter() - self.epoch
+            self._stack.pop()
+
+    # -- analysis ---------------------------------------------------------
+
+    def children(self, index: int) -> List[SpanRecord]:
+        return [r for r in self.records if r.parent == index]
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-name totals: count, total time, and self (exclusive) time.
+
+        Self time subtracts direct children's durations, so a phase
+        that spends all its time inside sub-spans shows near-zero self
+        time — the sub-spans carry the attribution.
+        """
+        child_time = [0.0] * len(self.records)
+        for record in self.records:
+            if record.parent >= 0:
+                child_time[record.parent] += record.duration
+        out: Dict[str, Dict[str, float]] = {}
+        for index, record in enumerate(self.records):
+            row = out.setdefault(
+                record.name, {"count": 0, "total_s": 0.0, "self_s": 0.0}
+            )
+            row["count"] += 1
+            row["total_s"] += record.duration
+            row["self_s"] += max(0.0, record.duration - child_time[index])
+        return out
+
+    def total_time(self) -> float:
+        """Wall time covered by top-level spans."""
+        return sum(r.duration for r in self.records if r.parent == -1)
+
+
+def phase_table(recorder: SpanRecorder) -> str:
+    """Render the recorder's summary as an aligned text table."""
+    summary = recorder.summary()
+    if not summary:
+        return "== phases ==\n(no spans recorded)"
+    total = recorder.total_time() or 1.0
+    names = sorted(summary, key=lambda n: -summary[n]["total_s"])
+    width = max(len(name) for name in names)
+    lines = ["== phases ==", f"{'phase'.ljust(width)}  count  total_s   self_s    %"]
+    for name in names:
+        row = summary[name]
+        lines.append(
+            f"{name.ljust(width)}  {int(row['count']):5d}  "
+            f"{row['total_s']:7.3f}  {row['self_s']:7.3f}  "
+            f"{100.0 * row['total_s'] / total:4.0f}"
+        )
+    return "\n".join(lines)
+
+
+class _NoopSpan:
+    """Shared no-op context for uninstrumented call sites."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def maybe_span(recorder: Optional[SpanRecorder], name: str, **attrs: Any):
+    """A span on ``recorder``, or a shared no-op when ``recorder`` is None.
+
+    The call-site idiom::
+
+        with maybe_span(executor.spans, "surface.build", label=label):
+            ...
+    """
+    if recorder is None:
+        return _NOOP_SPAN
+    return recorder.span(name, **attrs)

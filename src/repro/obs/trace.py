@@ -24,6 +24,7 @@ __all__ = [
     "ListSink",
     "NullSink",
     "NULL_SINK",
+    "TraceFormatError",
     "TraceSink",
     "read_jsonl",
     "validate_event",
@@ -127,12 +128,15 @@ class JsonlTraceSink(TraceSink):
     def emit(self, event: Dict[str, Any]) -> None:
         record = {"v": TRACE_SCHEMA_VERSION}
         record.update(event)
-        self._file.write(json.dumps(record, separators=(",", ":")))
-        self._file.write("\n")
+        # One write call per line: an exception between two writes (or a
+        # crash mid-run with the file left open) must not leave a line
+        # without its terminator for readers to choke on.
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
         self.events_written += 1
 
     def close(self) -> None:
         if not self._file.closed:
+            self._file.flush()
             self._file.close()
 
     def __enter__(self) -> "JsonlTraceSink":
@@ -142,10 +146,55 @@ class JsonlTraceSink(TraceSink):
         self.close()
 
 
+class TraceFormatError(ValueError):
+    """A trace file line could not be understood.
+
+    Carries enough context (path, 1-based line number, reason) for the
+    CLI to print one clear sentence instead of a stack trace.
+    """
+
+    def __init__(self, path: str, line_no: int, reason: str) -> None:
+        super().__init__(f"{path}:{line_no}: {reason}")
+        self.path = path
+        self.line_no = line_no
+        self.reason = reason
+
+
 def read_jsonl(path: str) -> Iterator[Dict[str, Any]]:
-    """Yield events from a JSONL trace file."""
+    """Yield events from a JSONL trace file.
+
+    Raises :class:`TraceFormatError` (a ``ValueError``) with the file
+    and line number on unparseable lines — including the truncated last
+    line a killed writer leaves behind — and on lines whose ``v``
+    schema-version stamp does not match :data:`TRACE_SCHEMA_VERSION`.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                yield json.loads(line)
+        saw_newline = True
+        for line_no, raw in enumerate(handle, start=1):
+            saw_newline = raw.endswith("\n")
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                reason = (
+                    "truncated trailing line (writer was interrupted "
+                    "mid-event?)"
+                    if not saw_newline
+                    else f"not valid JSON ({error.msg})"
+                )
+                raise TraceFormatError(path, line_no, reason) from None
+            if not isinstance(event, dict):
+                raise TraceFormatError(
+                    path, line_no, f"expected a JSON object, got {type(event).__name__}"
+                )
+            version = event.get("v")
+            if version is not None and version != TRACE_SCHEMA_VERSION:
+                raise TraceFormatError(
+                    path,
+                    line_no,
+                    f"trace schema version {version!r} is not the supported "
+                    f"version {TRACE_SCHEMA_VERSION}",
+                )
+            yield event

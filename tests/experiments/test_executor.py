@@ -228,3 +228,49 @@ class TestExecutorMetrics:
         values = SimExecutor(jobs=4, trace_sink=sink).map(_jobs(3))
         assert len(values) == 3
         assert sink.events  # events flowed through the shared sink
+
+
+class TestExecutorSpans:
+    def test_map_records_simulate_span(self):
+        from repro.obs import SpanRecorder
+
+        spans = SpanRecorder()
+        SimExecutor(jobs=1, spans=spans).map(_jobs(3))
+        simulate_spans = [r for r in spans.records if r.name == "simulate"]
+        assert len(simulate_spans) == 1
+        assert simulate_spans[0].attrs == {"points": 3, "workers": 1}
+
+    def test_instrumented_map_records_merge_span(self):
+        from repro.obs import MetricsRegistry, SpanRecorder
+
+        spans = SpanRecorder()
+        registry = MetricsRegistry()
+        SimExecutor(jobs=1, metrics=registry, spans=spans).map(_jobs(2))
+        names = [r.name for r in spans.records]
+        assert "simulate" in names and "merge" in names
+        merge = spans.records[names.index("merge")]
+        assert merge.parent == names.index("simulate")
+
+    def test_default_is_unprofiled(self):
+        executor = SimExecutor(jobs=1)
+        assert executor.spans is None
+        assert executor.map(_jobs(1))
+
+    def test_surface_build_records_span(self):
+        from repro.obs import SpanRecorder
+
+        spans = SpanRecorder()
+        executor = SimExecutor(jobs=1, spans=spans)
+        SparsitySurface.build(
+            TILE, Precision.FP32, SAVE_2VPU,
+            levels=(0.0, 0.9), k_steps=4, executor=executor,
+        )
+        build_spans = [r for r in spans.records if r.name == "surface.build"]
+        assert len(build_spans) == 1
+        assert build_spans[0].attrs["grid"] == 4
+        # The executor's simulate span nests inside the build span.
+        names = [r.name for r in spans.records]
+        simulate_idx = names.index("simulate")
+        assert spans.records[simulate_idx].parent == spans.records.index(
+            build_spans[0]
+        )

@@ -13,11 +13,23 @@ from repro.experiments.report import ExperimentReport
 
 
 class TestExportReport:
-    def test_writes_text_and_json(self, tmp_path):
+    def test_writes_text_json_and_csv(self, tmp_path):
         paths = export_report(table2.run(), tmp_path)
-        assert len(paths) == 2
+        assert len(paths) == 3
         assert (tmp_path / "table2.txt").exists()
         assert (tmp_path / "table2.json").exists()
+        assert (tmp_path / "table2.csv").exists()
+
+    def test_csv_matches_report_rows(self, tmp_path):
+        import csv
+
+        report = table2.run()
+        export_report(report, tmp_path)
+        with (tmp_path / "table2.csv").open(newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == [str(h) for h in report.headers]
+        assert len(rows) == len(report.rows) + 1
+        assert rows[1][0] == str(report.rows[0][0])
 
     def test_json_roundtrip(self, tmp_path):
         export_report(table2.run(), tmp_path)
@@ -47,6 +59,52 @@ class TestExportReport:
     def test_cli_export_flag(self, tmp_path, capsys):
         assert main(["table1", "--export", str(tmp_path)]) == 0
         assert (tmp_path / "table1.json").exists()
+        assert (tmp_path / "table1.csv").exists()
+
+
+class TestMetricsCsv:
+    def _snapshot(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("sim_cycles").inc(100)
+        reg.gauge("peak_inflight").set_max(7)
+        reg.histogram("lanes_per_op").record(4)
+        reg.histogram("lanes_per_op").record(8)
+        return reg.snapshot()
+
+    def test_rows_and_columns(self, tmp_path):
+        import csv
+
+        from repro.experiments.export import METRICS_CSV_COLUMNS, export_metrics_csv
+
+        path = export_metrics_csv(self._snapshot(), tmp_path)
+        with path.open(newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(METRICS_CSV_COLUMNS)
+        by_name = {(row[0], row[1]): row for row in rows[1:]}
+        assert by_name[("counter", "sim_cycles")][2] == "100"
+        assert by_name[("gauge", "peak_inflight")][2] == "7"
+        hist = by_name[("histogram", "lanes_per_op")]
+        assert hist[3] == "2"  # count
+        assert float(hist[4]) == 6.0  # mean
+
+    def test_deterministic_bytes(self, tmp_path):
+        from repro.experiments.export import export_metrics_csv
+
+        snapshot = self._snapshot()
+        first = export_metrics_csv(snapshot, tmp_path / "a").read_bytes()
+        second = export_metrics_csv(snapshot, tmp_path / "b").read_bytes()
+        assert first == second
+
+    def test_export_all_includes_metrics(self, tmp_path):
+        manifest = export_all([table2.run()], tmp_path, metrics=self._snapshot())
+        assert manifest["metrics"] == ["metrics.csv"]
+        assert (tmp_path / "metrics.csv").exists()
+
+    def test_cli_metrics_export(self, tmp_path, capsys):
+        assert main(["table1", "--metrics", "--export", str(tmp_path)]) == 0
+        assert (tmp_path / "metrics.csv").exists()
 
 
 class TestDeterminism:

@@ -184,3 +184,87 @@ class TestCliObservability:
         assert "bs_skip" in kinds
         assert "merge" in kinds
         assert "bcache_hit" in kinds or "bcache_miss" in kinds
+
+
+class TestCliProfiling:
+    def test_profile_prints_phase_table(self, capsys):
+        assert main(["fig15", "--k-steps", "4", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "== phases ==" in out
+        assert "simulate" in out
+        assert "report" in out
+
+    def test_no_profile_no_phase_table(self, capsys):
+        assert main(["fig15", "--k-steps", "4"]) == 0
+        assert "== phases ==" not in capsys.readouterr().out
+
+    def test_chrome_trace_with_events(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.jsonl"
+        chrome = tmp_path / "c.json"
+        assert main(
+            [
+                "fig15", "--k-steps", "4",
+                "--trace", str(trace),
+                "--chrome-trace", str(chrome),
+            ]
+        ) == 0
+        document = json.loads(chrome.read_text())
+        phases = {event["ph"] for event in document["traceEvents"]}
+        # Host spans, simulator instants, counters and track metadata.
+        assert {"X", "i", "C", "M"} <= phases
+
+
+class TestCliSubcommands:
+    def test_trace_report_dispatch(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["fig15", "--k-steps", "4", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "# Trace report" in out
+        assert "B$ hit rate" in out
+
+    def test_trace_report_missing_file(self, tmp_path, capsys):
+        assert main(["trace-report", str(tmp_path / "absent.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bench_dispatch(self, tmp_path, capsys, monkeypatch):
+        # Route the ledger into tmp and fake the suite: this tests the
+        # dispatch seam, not the benchmark itself (see tests/obs/test_bench).
+        from repro.obs import bench
+
+        def fake_run_suite(quick=False, repeats=2, echo=None):
+            return {
+                "schema": bench.BENCH_SCHEMA_VERSION,
+                "created_unix": 0.0,
+                "quick": quick,
+                "repeats": repeats,
+                "python": "3",
+                "platform": "t",
+                "version": "0",
+                "workloads": {
+                    "w": {
+                        "wall_s": 0.1,
+                        "jobs": 1,
+                        "points": 1,
+                        "sim_cycles": 10,
+                        "cycles_per_sec": 100.0,
+                        "counters": {},
+                    }
+                },
+            }
+
+        monkeypatch.setattr(bench, "run_suite", fake_run_suite)
+        assert main(["bench", "--quick", "--ledger", str(tmp_path)]) == 0
+        assert "baseline recorded" in capsys.readouterr().out
+        assert (tmp_path / "BENCH_0001.json").exists()
+
+    def test_subcommand_help_is_its_own(self, capsys):
+        # The subcommand's own parser handles its flags: --help names
+        # the subcommand, not the experiment runner.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace-report", "--help"])
+        assert excinfo.value.code == 0
+        assert "trace-report" in capsys.readouterr().out

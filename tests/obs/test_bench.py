@@ -1,0 +1,222 @@
+"""Tests for the performance ledger and ``repro bench``."""
+
+import json
+
+import pytest
+
+from repro.obs import bench
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    bench_main,
+    compare_entries,
+    ledger_paths,
+    next_seq,
+    validate_entry,
+    write_entry,
+)
+
+
+def _entry(wall=0.5, cycles=1000, quick=True, **overrides):
+    entry = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "created_unix": 1700000000.0,
+        "quick": quick,
+        "repeats": 2,
+        "python": "3.12.0",
+        "platform": "test",
+        "version": "0.0",
+        "workloads": {
+            "single_save_point": {
+                "wall_s": wall,
+                "jobs": 1,
+                "points": 1,
+                "sim_cycles": cycles,
+                "cycles_per_sec": cycles / wall,
+                "counters": {"sim_cycles": cycles},
+            }
+        },
+    }
+    entry.update(overrides)
+    return entry
+
+
+class TestValidate:
+    def test_valid_entry_passes(self):
+        validate_entry(dict(_entry(), seq=1))
+
+    def test_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_entry(dict(_entry(), seq=1, schema=99))
+
+    def test_missing_seq(self):
+        with pytest.raises(ValueError, match="seq"):
+            validate_entry(_entry())
+
+    def test_empty_workloads(self):
+        with pytest.raises(ValueError, match="workloads"):
+            validate_entry(dict(_entry(), seq=1, workloads={}))
+
+    def test_nonpositive_wall(self):
+        bad = _entry(wall=0.5)
+        bad["workloads"]["single_save_point"]["wall_s"] = 0
+        with pytest.raises(ValueError, match="wall_s"):
+            validate_entry(dict(bad, seq=1))
+
+    def test_missing_workload_field(self):
+        bad = _entry()
+        del bad["workloads"]["single_save_point"]["counters"]
+        with pytest.raises(ValueError, match="counters"):
+            validate_entry(dict(bad, seq=1))
+
+
+class TestLedgerFiles:
+    def test_empty_directory(self, tmp_path):
+        assert ledger_paths(tmp_path) == []
+        assert ledger_paths(tmp_path / "absent") == []
+        assert next_seq(tmp_path) == 1
+
+    def test_write_assigns_sequence(self, tmp_path):
+        first = write_entry(tmp_path, _entry())
+        second = write_entry(tmp_path, _entry())
+        assert first.name == "BENCH_0001.json"
+        assert second.name == "BENCH_0002.json"
+        assert json.loads(second.read_text())["seq"] == 2
+        assert [seq for seq, _ in ledger_paths(tmp_path)] == [1, 2]
+
+    def test_non_entry_files_ignored(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("x")
+        (tmp_path / "BENCH_12.json").write_text("{}")  # too few digits
+        write_entry(tmp_path, _entry())
+        assert len(ledger_paths(tmp_path)) == 1
+
+    def test_write_rejects_invalid(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_entry(tmp_path, dict(_entry(), workloads={}))
+        assert ledger_paths(tmp_path) == []
+
+
+class TestCompare:
+    def test_ok_within_threshold(self):
+        deltas = compare_entries(_entry(wall=1.0), _entry(wall=1.2), threshold=0.25)
+        assert deltas[0]["status"] == "ok"
+        assert not deltas[0]["regressed"]
+        assert deltas[0]["change"] == pytest.approx(0.2)
+
+    def test_regression_beyond_threshold(self):
+        deltas = compare_entries(_entry(wall=1.0), _entry(wall=1.4), threshold=0.25)
+        assert deltas[0]["status"] == "regressed"
+        assert deltas[0]["regressed"]
+
+    def test_speedup_is_ok(self):
+        deltas = compare_entries(_entry(wall=1.0), _entry(wall=0.5))
+        assert deltas[0]["status"] == "ok"
+
+    def test_new_workload(self):
+        previous = _entry()
+        current = _entry()
+        current["workloads"]["brand_new"] = dict(
+            current["workloads"]["single_save_point"]
+        )
+        deltas = compare_entries(previous, current)
+        by_name = {delta["workload"]: delta for delta in deltas}
+        assert by_name["brand_new"]["status"] == "new"
+        assert not by_name["brand_new"]["regressed"]
+
+    def test_sim_cycle_drift_flagged_not_regressed(self):
+        deltas = compare_entries(
+            _entry(wall=1.0, cycles=1000), _entry(wall=1.0, cycles=1100)
+        )
+        assert deltas[0]["sim_drift"]
+        assert not deltas[0]["regressed"]
+
+
+class TestBenchMain:
+    """End-to-end CLI runs with the suite monkeypatched to be instant."""
+
+    @pytest.fixture
+    def fake_suite(self, monkeypatch):
+        state = {"wall": 0.1}
+
+        def fake_run_suite(quick=False, repeats=2, echo=None):
+            return _entry(wall=state["wall"], quick=quick)
+
+        monkeypatch.setattr(bench, "run_suite", fake_run_suite)
+        return state
+
+    def test_first_run_records_baseline(self, tmp_path, capsys, fake_suite):
+        ledger = tmp_path / "ledger"
+        assert bench_main(["--ledger", str(ledger), "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline recorded" in out
+        assert ledger_paths(ledger)
+
+    def test_second_run_compares_and_passes(self, tmp_path, capsys, fake_suite):
+        ledger = tmp_path / "ledger"
+        bench_main(["--ledger", str(ledger), "--quick"])
+        fake_suite["wall"] = 0.11  # +10%, within the default 25%
+        assert bench_main(["--ledger", str(ledger), "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "comparing against BENCH_0001.json" in out
+        assert "ok" in out
+        assert len(ledger_paths(ledger)) == 2
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys, fake_suite):
+        ledger = tmp_path / "ledger"
+        bench_main(["--ledger", str(ledger), "--quick"])
+        fake_suite["wall"] = 0.2  # +100%
+        assert bench_main(["--ledger", str(ledger), "--quick"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        # The regressed entry is still written (the ledger is a record,
+        # not a gate).
+        assert len(ledger_paths(ledger)) == 2
+
+    def test_threshold_flag(self, tmp_path, fake_suite):
+        ledger = tmp_path / "ledger"
+        bench_main(["--ledger", str(ledger), "--quick"])
+        fake_suite["wall"] = 0.11  # +10%
+        assert (
+            bench_main(["--ledger", str(ledger), "--quick", "--threshold", "0.05"])
+            == 1
+        )
+
+    def test_no_write(self, tmp_path, fake_suite):
+        ledger = tmp_path / "ledger"
+        assert bench_main(["--ledger", str(ledger), "--quick", "--no-write"]) == 0
+        assert ledger_paths(ledger) == []
+
+    def test_quick_compares_only_quick(self, tmp_path, capsys, fake_suite):
+        ledger = tmp_path / "ledger"
+        bench_main(["--ledger", str(ledger)])  # full entry
+        capsys.readouterr()
+        assert bench_main(["--ledger", str(ledger), "--quick"]) == 0
+        assert "baseline recorded" in capsys.readouterr().out
+
+    def test_unreadable_entry_skipped(self, tmp_path, capsys, fake_suite):
+        ledger = tmp_path / "ledger"
+        bench_main(["--ledger", str(ledger), "--quick"])
+        # Corrupt a later entry; the compare should fall back past it.
+        (ledger / "BENCH_0002.json").write_text('{"schema": 99}')
+        capsys.readouterr()
+        assert bench_main(["--ledger", str(ledger), "--quick"]) == 0
+        captured = capsys.readouterr()
+        assert "skipping unreadable ledger entry" in captured.err
+        assert "comparing against BENCH_0001.json" in captured.out
+
+
+class TestRealSuiteSmoke:
+    def test_run_suite_quick_is_schema_valid(self, tmp_path):
+        entry = bench.run_suite(quick=True, repeats=1)
+        path = write_entry(tmp_path, entry)
+        stored = json.loads(path.read_text())
+        validate_entry(stored)
+        workloads = stored["workloads"]
+        assert set(workloads) == {
+            "single_save_point",
+            "coarse_sweep",
+            "parallel_sweep",
+        }
+        for workload in workloads.values():
+            assert workload["wall_s"] > 0
+            assert workload["sim_cycles"] > 0
+            assert workload["counters"]["sim_cycles"] == workload["sim_cycles"]

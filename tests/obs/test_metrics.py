@@ -153,3 +153,47 @@ class TestFormat:
 
     def test_format_empty(self):
         assert "no metrics" in format_metrics(MetricsRegistry().snapshot())
+
+
+class TestFormatDeterminism:
+    """format_metrics output must not depend on insertion order."""
+
+    def _fill(self, reg, order):
+        for name in order:
+            reg.counter(name).inc(len(name))
+        for name in order:
+            reg.gauge("g_" + name).set_max(len(name))
+        for name in order:
+            reg.histogram("h_" + name).record(len(name))
+
+    def test_same_across_insertion_orders(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        self._fill(a, ["zeta", "alpha", "mid"])
+        self._fill(b, ["mid", "zeta", "alpha"])
+        assert format_metrics(a.snapshot()) == format_metrics(b.snapshot())
+
+    def test_same_across_repeated_runs(self):
+        texts = set()
+        for _ in range(3):
+            reg = MetricsRegistry()
+            self._fill(reg, ["b", "a", "c"])
+            texts.add(format_metrics(reg.snapshot()))
+        assert len(texts) == 1
+
+    def test_merged_parallel_snapshots_format_identically(self):
+        # Worker snapshots merged in either job-index order must format
+        # the same — the executor sorts by job index before merging.
+        def worker(names):
+            reg = MetricsRegistry()
+            self._fill(reg, names)
+            return reg.snapshot()
+
+        first = worker(["x", "y"])
+        second = worker(["y", "z"])
+        merged_a = MetricsRegistry()
+        merged_a.merge_snapshot(merge_ordered([first, second]))
+        merged_b = MetricsRegistry()
+        merged_b.merge_snapshot(merge_ordered([first, second]))
+        assert format_metrics(merged_a.snapshot()) == format_metrics(
+            merged_b.snapshot()
+        )

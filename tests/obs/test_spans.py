@@ -1,0 +1,99 @@
+"""Tests for the host wall-clock span recorder."""
+
+import pytest
+
+from repro.obs import SpanRecorder, maybe_span, phase_table
+
+
+class TestSpanRecorder:
+    def test_records_nested_spans(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner", detail=1):
+                pass
+            with rec.span("inner"):
+                pass
+        assert [r.name for r in rec.records] == ["outer", "inner", "inner"]
+        outer, first, second = rec.records
+        assert outer.depth == 0 and outer.parent == -1
+        assert first.depth == 1 and first.parent == 0
+        assert second.parent == 0
+        assert first.attrs == {"detail": 1}
+
+    def test_span_times_are_ordered(self):
+        rec = SpanRecorder()
+        with rec.span("a"):
+            with rec.span("b"):
+                pass
+        a, b = rec.records
+        assert a.start <= b.start
+        assert b.end <= a.end
+        assert a.duration >= 0 and b.duration >= 0
+
+    def test_span_closes_on_exception(self):
+        rec = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("will-fail"):
+                raise RuntimeError("boom")
+        record = rec.records[0]
+        assert record.end >= record.start
+        # The stack unwound: a new span is top-level again.
+        with rec.span("after"):
+            pass
+        assert rec.records[1].parent == -1
+
+    def test_summary_attributes_self_time(self):
+        rec = SpanRecorder()
+        with rec.span("parent"):
+            with rec.span("child"):
+                pass
+        summary = rec.summary()
+        assert set(summary) == {"parent", "child"}
+        parent = summary["parent"]
+        assert parent["count"] == 1
+        assert parent["self_s"] <= parent["total_s"]
+        assert summary["child"]["total_s"] <= parent["total_s"]
+
+    def test_total_time_counts_top_level_only(self):
+        rec = SpanRecorder()
+        with rec.span("top"):
+            with rec.span("nested"):
+                pass
+        assert rec.total_time() == pytest.approx(rec.records[0].duration)
+
+    def test_children(self):
+        rec = SpanRecorder()
+        with rec.span("p"):
+            with rec.span("c1"):
+                pass
+            with rec.span("c2"):
+                pass
+        assert [r.name for r in rec.children(0)] == ["c1", "c2"]
+
+
+class TestMaybeSpan:
+    def test_none_recorder_is_noop(self):
+        with maybe_span(None, "anything") as span:
+            assert span is None
+
+    def test_real_recorder_records(self):
+        rec = SpanRecorder()
+        with maybe_span(rec, "phase", jobs=3):
+            pass
+        assert rec.records[0].name == "phase"
+        assert rec.records[0].attrs == {"jobs": 3}
+
+
+class TestPhaseTable:
+    def test_empty(self):
+        assert "no spans" in phase_table(SpanRecorder())
+
+    def test_table_lists_phases(self):
+        rec = SpanRecorder()
+        with rec.span("simulate"):
+            with rec.span("merge"):
+                pass
+        text = phase_table(rec)
+        assert "== phases ==" in text
+        assert "simulate" in text and "merge" in text
+        assert "total_s" in text

@@ -127,3 +127,79 @@ class TestInstrumentedSimulation:
         bare = _simulate()
         assert bare.cycles == result.cycles
         assert bare.metrics is None
+
+
+class TestReadJsonlErrors:
+    """read_jsonl must fail with one clear sentence, not a stack trace."""
+
+    def _line(self, **extra):
+        import json
+
+        event = {"v": 1, "cycle": 0, "event": "retire", "kernel": "k", "seq": 0}
+        event.update(extra)
+        return json.dumps(event)
+
+    def test_garbage_line_reports_position(self, tmp_path):
+        from repro.obs import TraceFormatError
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(self._line() + "\n{not json\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            list(read_jsonl(str(path)))
+        assert excinfo.value.line_no == 2
+        assert "not valid JSON" in excinfo.value.reason
+        assert str(path) in str(excinfo.value)
+
+    def test_truncated_last_line(self, tmp_path):
+        from repro.obs import TraceFormatError
+
+        # A killed writer leaves a final line without its newline.
+        path = tmp_path / "t.jsonl"
+        path.write_text(self._line() + "\n" + self._line()[: 20])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(read_jsonl(str(path)))
+
+    def test_schema_version_mismatch(self, tmp_path):
+        from repro.obs import TraceFormatError
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(self._line(v=999) + "\n")
+        with pytest.raises(TraceFormatError, match="schema version"):
+            list(read_jsonl(str(path)))
+
+    def test_non_object_line(self, tmp_path):
+        from repro.obs import TraceFormatError
+
+        path = tmp_path / "t.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(TraceFormatError, match="JSON object"):
+            list(read_jsonl(str(path)))
+
+    def test_error_is_a_value_error(self, tmp_path):
+        # Callers that predate TraceFormatError catch ValueError.
+        path = tmp_path / "t.jsonl"
+        path.write_text("nope\n")
+        with pytest.raises(ValueError):
+            list(read_jsonl(str(path)))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(self._line() + "\n\n" + self._line() + "\n")
+        assert len(list(read_jsonl(str(path)))) == 2
+
+
+class TestJsonlSinkLifecycle:
+    def test_context_manager_closes_on_error(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with pytest.raises(RuntimeError):
+            with JsonlTraceSink(path) as sink:
+                sink.emit({"cycle": 0, "event": "retire", "kernel": "k", "seq": 0})
+                raise RuntimeError("boom")
+        assert sink._file.closed
+        # The event written before the failure is intact and readable.
+        assert len(list(read_jsonl(str(path)))) == 1
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
