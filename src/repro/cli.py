@@ -1,9 +1,11 @@
 """Command-line entry point: ``python -m repro <experiment>``.
 
 Besides the experiment runners, two observability subcommands live
-here: ``python -m repro bench`` (the performance ledger, see
+here — ``python -m repro bench`` (the performance ledger, see
 :mod:`repro.obs.bench`) and ``python -m repro trace-report FILE``
-(offline trace analytics, see :mod:`repro.obs.analyze`).
+(offline trace analytics, see :mod:`repro.obs.analyze`) — plus the
+serving layer (see :mod:`repro.serve`): ``python -m repro serve``,
+``... submit`` and ``... store {stats,gc}``.
 """
 
 from __future__ import annotations
@@ -33,7 +35,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment id (e.g. fig15, table2), 'list' / 'all', or a "
             "subcommand: 'bench' (performance ledger), "
-            "'trace-report FILE' (trace analytics)"
+            "'trace-report FILE' (trace analytics), 'serve' (simulation "
+            "service), 'submit' (client round-trip), 'store' "
+            "(result-store stats/gc)"
         ),
     )
     parser.add_argument(
@@ -116,8 +120,8 @@ def _warn(message: str) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     raw = list(sys.argv[1:] if argv is None else argv)
-    # Observability subcommands take their own options, so they dispatch
-    # before the experiment parser sees (and rejects) those flags.
+    # Subcommands take their own options, so they dispatch before the
+    # experiment parser sees (and rejects) those flags.
     if raw and raw[0] == "bench":
         from repro.obs.bench import bench_main
 
@@ -126,6 +130,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.analyze import trace_report_main
 
         return trace_report_main(raw[1:])
+    if raw and raw[0] == "serve":
+        from repro.serve.cli import serve_main
+
+        return serve_main(raw[1:])
+    if raw and raw[0] == "submit":
+        from repro.serve.cli import submit_main
+
+        return submit_main(raw[1:])
+    if raw and raw[0] == "store":
+        from repro.serve.cli import store_main
+
+        return store_main(raw[1:])
 
     args = build_parser().parse_args(raw)
     if args.experiment == "list":

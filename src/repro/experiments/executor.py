@@ -161,6 +161,13 @@ class SimExecutor:
             set, every batch opens a ``simulate`` span (and metric
             merging a ``merge`` span) so runs attribute their time to
             phases.  Spans wrap whole batches, never per-cycle work.
+        persistent: keep one worker pool alive across ``map`` calls
+            instead of spinning one up per batch.  One-shot experiment
+            runs amortise pool startup over a single large batch, so
+            they keep the default; a long-lived service calling ``map``
+            per micro-batch would otherwise pay process startup on
+            every request.  Call :meth:`close` (or use the executor as
+            a context manager) to shut the pool down.
     """
 
     def __init__(
@@ -170,6 +177,7 @@ class SimExecutor:
         metrics: Optional[MetricsRegistry] = None,
         trace_sink: Optional[TraceSink] = None,
         spans: Optional[SpanRecorder] = None,
+        persistent: bool = False,
     ):
         self.jobs = resolve_jobs(jobs)
         if chunksize is not None and chunksize <= 0:
@@ -178,6 +186,8 @@ class SimExecutor:
         self.metrics = metrics
         self.trace_sink = trace_sink
         self.spans = spans
+        self.persistent = persistent
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimExecutor(jobs={self.jobs}, chunksize={self.chunksize})"
@@ -198,6 +208,30 @@ class SimExecutor:
             size = max(1, len(indexed) // (self.jobs * 4))
         return [indexed[i : i + size] for i in range(0, len(indexed), size)]
 
+    def _run_chunks(self, fn, chunks):
+        """Fan chunks out to workers; collect in completion order."""
+        if self.persistent:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            futures = [self._pool.submit(fn, chunk) for chunk in chunks]
+            return [future.result() for future in as_completed(futures)]
+        workers = min(self.jobs, len(chunks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(fn, chunk) for chunk in chunks]
+            return [future.result() for future in as_completed(futures)]
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op otherwise)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SimExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def map(self, jobs: Sequence[PointJob]) -> List[float]:
         """Run a batch; results are in job order on every backend."""
         if not jobs:
@@ -211,10 +245,7 @@ class SimExecutor:
                 return [job.run() for job in jobs]
             indexed = list(enumerate(jobs))
             chunks = self._chunks(indexed)
-            workers = min(self.jobs, len(chunks))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
-                completed = [future.result() for future in as_completed(futures)]
+            completed = self._run_chunks(_run_chunk, chunks)
             return merge_indexed(completed, len(jobs))
 
     def _map_instrumented(self, jobs: Sequence[PointJob]) -> List[float]:
@@ -230,12 +261,7 @@ class SimExecutor:
         else:
             indexed = list(enumerate(jobs))
             chunks = self._chunks(indexed)
-            workers = min(self.jobs, len(chunks))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_run_chunk_instrumented, chunk) for chunk in chunks
-                ]
-                completed = [future.result() for future in as_completed(futures)]
+            completed = self._run_chunks(_run_chunk_instrumented, chunks)
             pairs = merge_indexed(completed, len(jobs))
         if self.metrics is not None:
             with maybe_span(self.spans, "merge", snapshots=len(pairs)):

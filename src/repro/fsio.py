@@ -1,0 +1,136 @@
+"""Filesystem primitives shared by the on-disk stores.
+
+Both :class:`repro.model.surface.SurfaceStore` and
+:class:`repro.serve.store.ResultStore` are content-addressed JSON
+caches that may be written by several processes at once (a parallel
+sweep and a long-running service can race on the same entry).  Two
+primitives make that safe:
+
+* :func:`atomic_write_text` — write-to-temp + :func:`os.replace`, so a
+  reader can never observe a torn file: it sees either the old content
+  or the new content, never a partial write.
+* :class:`FileLock` — an advisory, inter-process exclusive lock on a
+  sidecar ``.lock`` file (``fcntl.flock`` where available, with an
+  ``O_EXCL`` lockfile fallback elsewhere).  Builders take it around
+  check-then-simulate-then-write so two processes never duplicate an
+  expensive build or interleave writes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+try:  # POSIX; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock", "LockTimeout", "atomic_write_text"]
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Atomically replace ``path`` with ``text``.
+
+    The payload lands in a same-directory temp file first (uniquified
+    by PID, so concurrent writers never share one), then ``os.replace``
+    publishes it in a single atomic rename.
+    """
+    path = Path(path)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        # Only reached with the temp file still present when the write
+        # or replace itself failed.
+        if tmp.exists():  # pragma: no cover - error-path cleanup
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+class LockTimeout(TimeoutError):
+    """Raised when a :class:`FileLock` cannot be acquired in time."""
+
+
+class FileLock:
+    """Advisory inter-process exclusive lock (context manager).
+
+    Args:
+        path: the lock file (created on demand; conventionally the
+            protected file's path plus ``.lock``).
+        timeout: seconds to wait for the holder before raising
+            :class:`LockTimeout`.
+        poll_interval: seconds between acquisition attempts.
+
+    Locks are advisory: they only exclude other ``FileLock`` users, who
+    must agree on the path.  Re-entry from the same process is not
+    supported (it would deadlock the lockfile fallback).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        timeout: float = 60.0,
+        poll_interval: float = 0.01,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self._fd: Optional[int] = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def _try_acquire(self) -> bool:
+        if fcntl is not None:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                return False
+            self._fd = fd
+            return True
+        try:  # pragma: no cover - non-POSIX fallback
+            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT | os.O_EXCL, 0o644)
+            return True
+        except FileExistsError:  # pragma: no cover
+            return False
+
+    def acquire(self) -> "FileLock":
+        if self.held:
+            raise RuntimeError(f"lock {self.path} already held by this object")
+        deadline = time.monotonic() + self.timeout
+        while not self._try_acquire():
+            if time.monotonic() >= deadline:
+                raise LockTimeout(
+                    f"could not acquire {self.path} within {self.timeout}s"
+                )
+            time.sleep(self.poll_interval)
+        return self
+
+    def release(self) -> None:
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        else:  # pragma: no cover - non-POSIX fallback
+            os.close(fd)
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()

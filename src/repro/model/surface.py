@@ -32,6 +32,7 @@ from repro.experiments.executor import (
     SimExecutor,
     default_executor,
 )
+from repro.fsio import FileLock, atomic_write_text
 from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
 from repro.kernels.tiling import Precision, RegisterTile
 from repro.obs import maybe_span
@@ -39,6 +40,13 @@ from repro.obs import maybe_span
 #: Bump when the kernel generator's layout/µop stream changes, so
 #: stale cached surfaces are never reused.
 TRACE_GENERATOR_VERSION = 2
+
+#: Code/schema version of the on-disk surface cache.  It is part of
+#: every disk key *and* stamped inside each entry, so entries written
+#: by an older build are invalidated (left orphaned, rebuilt under a
+#: new key) instead of silently reused.  Bump on any change to the
+#: simulator, the surface payload layout, or the key recipe.
+SURFACE_SCHEMA_VERSION = 1
 
 #: The paper's grid: 0%-90% at 10% intervals.
 PAPER_LEVELS = tuple(round(0.1 * i, 1) for i in range(10))
@@ -238,6 +246,7 @@ class SurfaceStore:
     ) -> str:
         raw = json.dumps(
             {
+                "schema": SURFACE_SCHEMA_VERSION,
                 "generator": TRACE_GENERATOR_VERSION,
                 "tile": [tile.rows, tile.col_vectors, tile.pattern.value],
                 "precision": precision.value,
@@ -261,7 +270,11 @@ class SurfaceStore:
         """Fetch (memory → disk → simulate) a surface.
 
         A miss simulates every grid point in one executor batch and
-        writes the disk cache exactly once.
+        publishes the disk entry with one atomic replace.  The
+        build-and-write runs under a per-entry advisory
+        :class:`repro.fsio.FileLock`, so two processes missing on the
+        same key simulate it once: the second blocks, then reads the
+        first's result from disk.
         """
         key = self._key(tile, precision, machine, levels, k_steps)
         memo = self._memory.get(key)
@@ -269,17 +282,53 @@ class SurfaceStore:
             self._memory.move_to_end(key)
             return memo
         path = self.directory / f"{key}.json"
-        if path.exists():
-            surface = SparsitySurface.from_json(json.loads(path.read_text()))
-        else:
-            surface = SparsitySurface.build(
-                tile,
-                precision,
-                machine,
-                levels=levels,
-                k_steps=k_steps,
-                executor=executor if executor is not None else self.executor,
-            )
-            path.write_text(json.dumps(surface.to_json()))
+        surface = self._read_entry(path)
+        if surface is None:
+            with FileLock(path.with_suffix(".lock")):
+                # Double-checked under the lock: a concurrent builder
+                # may have published the entry while we waited.
+                surface = self._read_entry(path)
+                if surface is None:
+                    surface = SparsitySurface.build(
+                        tile,
+                        precision,
+                        machine,
+                        levels=levels,
+                        k_steps=k_steps,
+                        executor=executor if executor is not None else self.executor,
+                    )
+                    atomic_write_text(
+                        path,
+                        json.dumps(
+                            {
+                                "schema": SURFACE_SCHEMA_VERSION,
+                                "surface": surface.to_json(),
+                            }
+                        ),
+                    )
         self._memo_put(key, surface)
         return surface
+
+    @staticmethod
+    def _read_entry(path: Path) -> Optional[SparsitySurface]:
+        """Load one disk entry; ``None`` on miss, stale schema or damage.
+
+        Unreadable entries (pre-envelope format, torn or truncated
+        JSON, schema mismatch) are treated as misses and rebuilt rather
+        than raising — the cache must never be able to wedge a run.
+        """
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != SURFACE_SCHEMA_VERSION
+        ):
+            return None
+        try:
+            return SparsitySurface.from_json(payload["surface"])
+        except (KeyError, TypeError, ValueError):
+            return None

@@ -74,6 +74,10 @@ class Gauge:
         if value > self.value:
             self.value = value
 
+    def add(self, delta: float) -> None:
+        """Adjust the level by ``delta`` (queue-depth style gauges)."""
+        self.value += delta
+
 
 class Histogram:
     """Distribution of recorded values over exact (or bucketed) bins.

@@ -1,0 +1,157 @@
+"""Thin stdlib client for the ``repro serve`` HTTP API.
+
+:class:`ServeClient` wraps the four verbs a caller needs — ``submit``,
+``poll``, ``result`` and the blocking convenience ``run`` (submit,
+honour backpressure, poll to completion, fetch).  Errors map to typed
+exceptions so callers can distinguish "try again later"
+(:class:`Backpressure`) from "the request is wrong"
+(:class:`ClientError`) from "the simulation failed" (:class:`JobFailed`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "Backpressure",
+    "ClientError",
+    "JobFailed",
+    "ServeClient",
+]
+
+
+class ClientError(RuntimeError):
+    """The server rejected the request (4xx other than 429)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class Backpressure(RuntimeError):
+    """The server asked us to retry later (HTTP 429 / 503)."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(f"server busy; retry after {retry_after_s}s")
+        self.retry_after_s = retry_after_s
+
+
+class JobFailed(RuntimeError):
+    """The simulation behind a job key failed server-side."""
+
+
+class ServeClient:
+    """HTTP client for one service endpoint.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8731`` (trailing slash ok).
+        timeout: per-HTTP-call socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------
+
+    def _call(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            method=method,
+            data=json.dumps(body).encode() if body is not None else None,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return json.loads(reply.read())
+        except urllib.error.HTTPError as error:
+            payload: Dict[str, Any] = {}
+            try:
+                payload = json.loads(error.read())
+            except (json.JSONDecodeError, OSError):
+                pass
+            if error.code in (429, 503):
+                retry_after = payload.get(
+                    "retry_after_s", error.headers.get("Retry-After", 1)
+                )
+                raise Backpressure(float(retry_after)) from None
+            raise ClientError(
+                error.code, str(payload.get("error", error.reason))
+            ) from None
+
+    # -- verbs ------------------------------------------------------------
+
+    def submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a request body; returns ``{"job", "status", "outcome"}``."""
+        return self._call("POST", "/v1/submit", request)
+
+    def poll(self, key: str) -> Dict[str, Any]:
+        """Job status for a key."""
+        return self._call("GET", f"/v1/jobs/{key}")
+
+    def result(self, key: str) -> Dict[str, Any]:
+        """The completed result payload for a key.
+
+        Raises:
+            JobFailed: the server reports the job failed.
+            ClientError: the key is unknown or still in flight.
+        """
+        try:
+            return self._call("GET", f"/v1/result/{key}")
+        except ClientError as error:
+            if error.status == 500:
+                raise JobFailed(str(error)) from None
+            raise
+
+    def healthz(self) -> Dict[str, Any]:
+        try:
+            return self._call("GET", "/healthz")
+        except Backpressure:  # draining still answers /healthz with 503
+            return {"status": "draining"}
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._call("GET", "/metrics")
+
+    # -- convenience ------------------------------------------------------
+
+    def run(
+        self,
+        request: Dict[str, Any],
+        timeout: float = 120.0,
+        poll_interval: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Submit and block until the result payload is available.
+
+        Retries backpressured submits (honouring ``Retry-After``) and
+        polls the job until done, all within ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                ticket = self.submit(request)
+                break
+            except Backpressure as error:
+                wait = min(error.retry_after_s, max(0, deadline - time.monotonic()))
+                if time.monotonic() + wait >= deadline:
+                    raise TimeoutError(
+                        f"submit still backpressured after {timeout}s"
+                    ) from None
+                time.sleep(wait)
+        key = ticket["job"]
+        while True:
+            status = self.poll(key)["status"]
+            if status == "done":
+                return self.result(key)
+            if status == "failed":
+                raise JobFailed(self.poll(key).get("error") or "job failed")
+            if status == "unknown":
+                raise ClientError(404, f"job {key} disappeared")
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {key} not done after {timeout}s")
+            time.sleep(poll_interval)

@@ -1,0 +1,150 @@
+"""Local HTTP JSON API over a :class:`~repro.serve.service.SimService`.
+
+Stdlib only (:class:`http.server.ThreadingHTTPServer`): the service is
+a local/cluster-internal tool, not an internet-facing one.  Endpoints:
+
+==============================  =======================================
+``POST /v1/submit``             body: a request (see
+                                :func:`repro.serve.schema.parse_request`)
+                                → ``202`` ``{"job", "status"}`` or
+                                ``200`` with ``"status": "done"`` when
+                                served from cache; ``429`` +
+                                ``Retry-After`` under backpressure;
+                                ``503`` while draining.
+``GET /v1/jobs/<key>``          → job status (``pending`` / ``running``
+                                / ``done`` / ``failed`` / ``unknown``).
+``GET /v1/result/<key>``        → the stored result payload; ``404``
+                                unknown, ``409`` still in flight,
+                                ``500`` failed.
+``GET /healthz``                → liveness + queue depth.
+``GET /metrics``                → the service metrics snapshot
+                                (:class:`repro.obs.MetricsRegistry`).
+==============================  =======================================
+
+Result payloads come straight from the store, so every client of one
+key receives byte-identical JSON bodies.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.schema import RequestError, parse_request
+from repro.serve.service import QueueFull, ServiceDraining, SimService
+
+__all__ = ["ServeHTTPServer", "make_server"]
+
+#: Request bodies beyond this are rejected (a grid request is tiny).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server that carries the service reference."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: SimService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServeHTTPServer
+
+    # -- plumbing ---------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # request logging would swamp test output; metrics cover it
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise RequestError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise RequestError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise RequestError(f"invalid JSON body: {error}") from None
+
+    # -- routes -----------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/v1/submit":
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+            return
+        service = self.server.service
+        try:
+            request = parse_request(self._read_body())
+            job, outcome = service.submit(request)
+        except RequestError as error:
+            self._send_json(400, {"error": str(error)})
+        except QueueFull as error:
+            self._send_json(
+                429,
+                {"error": "queue full", "retry_after_s": error.retry_after_s},
+                headers={"Retry-After": str(max(1, int(error.retry_after_s)))},
+            )
+        except ServiceDraining as error:
+            self._send_json(503, {"error": str(error)})
+        else:
+            status = 200 if outcome == "cached" else 202
+            self._send_json(
+                status,
+                {"job": job.key, "status": job.state, "outcome": outcome},
+            )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        if self.path == "/healthz":
+            health = service.health()
+            code = 200 if health["status"] == "ok" else 503
+            self._send_json(code, health)
+            return
+        if self.path == "/metrics":
+            self._send_json(200, service.metrics.snapshot())
+            return
+        if self.path.startswith("/v1/jobs/"):
+            key = self.path[len("/v1/jobs/"):]
+            self._send_json(200, service.status(key))
+            return
+        if self.path.startswith("/v1/result/"):
+            key = self.path[len("/v1/result/"):]
+            payload = service.result(key)
+            if payload is not None:
+                self._send_json(200, payload)
+                return
+            status = service.status(key)
+            if status["status"] in ("pending", "running"):
+                self._send_json(409, status)
+            elif status["status"] == "failed":
+                self._send_json(500, status)
+            else:
+                self._send_json(404, status)
+            return
+        self._send_json(404, {"error": f"unknown path {self.path}"})
+
+
+def make_server(service: SimService) -> ServeHTTPServer:
+    """Bind a server for the service (port 0 picks an ephemeral port)."""
+    config = service.config
+    return ServeHTTPServer((config.host, config.port), service)

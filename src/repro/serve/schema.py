@@ -1,0 +1,355 @@
+"""Request model of the simulation service.
+
+A :class:`SimRequest` names a batch of grid-point simulations — one
+kernel (tile geometry, precision, reduction depth, seed) on one machine
+configuration, evaluated at one ``(bs, nbs)`` point or over a sparsity
+sweep grid.  Everything the service does hangs off two derived
+identities:
+
+* :meth:`SimRequest.fingerprint` — a content address over the full
+  canonical request (including :data:`SERVE_SCHEMA_VERSION`).  Equal
+  fingerprints ⇒ bit-identical results, so the fingerprint is the
+  dedup key, the job id, and the result-store key all at once.
+* :meth:`SimRequest.batch_key` — the fingerprint *minus* the sparsity
+  points.  Requests sharing a batch key differ only in which grid
+  points they evaluate, so the service coalesces them into a single
+  :meth:`repro.experiments.executor.SimExecutor.map` call.
+
+Requests arrive as JSON; :func:`parse_request` validates and
+canonicalises (unknown fields are rejected — silent typos would
+fragment the content address space).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace as dc_replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import (
+    BASELINE_2VPU,
+    SAVE_1VPU,
+    SAVE_2VPU,
+    CoalescingScheme,
+    MachineConfig,
+)
+from repro.experiments.executor import (
+    METRIC_NS_PER_FMA,
+    METRIC_TIME_NS,
+    PointJob,
+)
+from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
+from repro.memory.broadcast_cache import BroadcastCacheKind
+from repro.model.surface import point_config
+
+__all__ = [
+    "MACHINE_PRESETS",
+    "SERVE_SCHEMA_VERSION",
+    "RequestError",
+    "SimRequest",
+    "parse_request",
+]
+
+#: Code/schema version of the service protocol *and* the result store.
+#: Part of every fingerprint, so entries persisted by an older build
+#: are never served to a newer one.  Bump on any change to the request
+#: canonical form, the result payload layout, or the simulator itself.
+SERVE_SCHEMA_VERSION = 1
+
+#: Machine configurations clients can name (Table I presets).
+MACHINE_PRESETS: Dict[str, MachineConfig] = {
+    "baseline": BASELINE_2VPU,
+    "save": SAVE_2VPU,
+    "save_1vpu": SAVE_1VPU,
+}
+
+_METRICS = (METRIC_NS_PER_FMA, METRIC_TIME_NS)
+
+_REQUEST_FIELDS = {"kind", "kernel", "machine", "metric", "point", "levels"}
+_KERNEL_FIELDS = {"rows", "cols", "pattern", "precision", "k_steps", "seed"}
+_MACHINE_FIELDS = {"preset", "core", "save"}
+
+#: ``save`` override fields whose JSON value names an enum member.
+_SAVE_ENUMS = {
+    "coalescing": CoalescingScheme,
+    "broadcast_cache": BroadcastCacheKind,
+}
+
+
+class RequestError(ValueError):
+    """A malformed or out-of-range request (HTTP 400)."""
+
+
+def _enum_value(enum_cls: type, raw: Any, field: str) -> Any:
+    """Resolve a JSON string to an enum member, by value then by name."""
+    for member in enum_cls:
+        if raw == member.value or (
+            isinstance(raw, str) and raw.upper() == member.name
+        ):
+            return member
+    choices = ", ".join(
+        str(m.value) if not isinstance(m.value, int) else m.name.lower()
+        for m in enum_cls
+    )
+    raise RequestError(f"{field}: unknown value {raw!r} (choices: {choices})")
+
+
+def _check_fields(payload: Dict[str, Any], allowed: set, where: str) -> None:
+    unknown = set(payload) - allowed
+    if unknown:
+        raise RequestError(
+            f"{where}: unknown field(s) {sorted(unknown)} "
+            f"(allowed: {sorted(allowed)})"
+        )
+
+
+def _canonical_machine(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a machine spec and return its canonical form."""
+    if not isinstance(spec, dict):
+        raise RequestError("machine: must be an object")
+    _check_fields(spec, _MACHINE_FIELDS, "machine")
+    preset = spec.get("preset", "save")
+    if preset not in MACHINE_PRESETS:
+        raise RequestError(
+            f"machine.preset: unknown preset {preset!r} "
+            f"(choices: {sorted(MACHINE_PRESETS)})"
+        )
+    canonical: Dict[str, Any] = {"preset": preset}
+    base = MACHINE_PRESETS[preset]
+    for section, target in (("core", base.core), ("save", base.save)):
+        overrides = spec.get(section)
+        if overrides is None:
+            continue
+        if not isinstance(overrides, dict):
+            raise RequestError(f"machine.{section}: must be an object")
+        clean: Dict[str, Any] = {}
+        for name in sorted(overrides):
+            if not hasattr(target, name):
+                raise RequestError(
+                    f"machine.{section}: unknown field {name!r}"
+                )
+            value = overrides[name]
+            if section == "save" and name in _SAVE_ENUMS:
+                # Validate now; keep the canonical string in the spec.
+                member = _enum_value(
+                    _SAVE_ENUMS[name], value, f"machine.save.{name}"
+                )
+                value = (
+                    member.value
+                    if not isinstance(member.value, int)
+                    else member.name.lower()
+                )
+            clean[name] = value
+        if clean:
+            canonical[section] = clean
+    # Construct once to surface dataclass validation errors as 400s.
+    _resolve_machine(canonical)
+    return canonical
+
+
+def _resolve_machine(canonical: Dict[str, Any]) -> MachineConfig:
+    machine = MACHINE_PRESETS[canonical["preset"]]
+    core = canonical.get("core")
+    if core:
+        try:
+            machine = machine.with_core(**core)
+        except (TypeError, ValueError) as error:
+            raise RequestError(f"machine.core: {error}") from None
+    save = canonical.get("save")
+    if save:
+        kwargs = dict(save)
+        for name, enum_cls in _SAVE_ENUMS.items():
+            if name in kwargs:
+                kwargs[name] = _enum_value(
+                    enum_cls, kwargs[name], f"machine.save.{name}"
+                )
+        try:
+            machine = machine.with_save(**kwargs)
+        except (TypeError, ValueError) as error:
+            raise RequestError(f"machine.save: {error}") from None
+    return machine
+
+
+def _sparsity(raw: Any, field: str) -> float:
+    if not isinstance(raw, (int, float)) or isinstance(raw, bool):
+        raise RequestError(f"{field}: must be a number, got {raw!r}")
+    value = round(float(raw), 6)
+    if not 0.0 <= value <= 1.0:
+        raise RequestError(f"{field}: sparsity {value} outside [0, 1]")
+    return value
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One validated, canonical simulation request.
+
+    ``points`` is the expanded evaluation set: a single pair for
+    ``kind="point"``, the full ``levels × levels`` cross product (in
+    row-major ``(bs, nbs)`` order, matching
+    :meth:`repro.model.surface.SparsitySurface.build`) for sweeps.
+    """
+
+    kind: str
+    rows: int
+    cols: int
+    pattern: BroadcastPattern
+    precision: Precision
+    k_steps: int
+    seed: int
+    metric: str
+    machine_spec: str  # canonical JSON (dataclasses must stay hashable)
+    points: Tuple[Tuple[float, float], ...]
+    levels: Optional[Tuple[float, ...]] = None
+
+    # -- identity ---------------------------------------------------------
+
+    def canonical(self) -> Dict[str, Any]:
+        """The canonical dict the fingerprint is computed over."""
+        return {
+            "schema": SERVE_SCHEMA_VERSION,
+            "kind": self.kind,
+            "kernel": {
+                "rows": self.rows,
+                "cols": self.cols,
+                "pattern": self.pattern.value,
+                "precision": self.precision.value,
+                "k_steps": self.k_steps,
+                "seed": self.seed,
+            },
+            "machine": json.loads(self.machine_spec),
+            "metric": self.metric,
+            "points": [list(p) for p in self.points],
+            "levels": list(self.levels) if self.levels is not None else None,
+        }
+
+    def _digest(self, payload: Dict[str, Any]) -> str:
+        raw = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(raw.encode()).hexdigest()[:24]
+
+    def fingerprint(self) -> str:
+        """Content address: dedup key, job id and store key in one."""
+        return self._digest(self.canonical())
+
+    def batch_key(self) -> str:
+        """Identity minus the evaluation points: the coalescing key."""
+        payload = self.canonical()
+        payload.pop("points")
+        payload.pop("levels")
+        payload.pop("kind")
+        return self._digest(payload)
+
+    # -- resolution -------------------------------------------------------
+
+    def tile(self) -> RegisterTile:
+        return RegisterTile(self.rows, self.cols, self.pattern)
+
+    def machine(self) -> MachineConfig:
+        return _resolve_machine(json.loads(self.machine_spec))
+
+    def jobs(self) -> List[PointJob]:
+        """The executor work units, one per evaluation point."""
+        tile = self.tile()
+        machine = self.machine()
+        return [
+            PointJob(
+                config=point_config(
+                    tile, self.precision, bs, nbs, self.k_steps, self.seed
+                ),
+                machine=machine,
+                metric=self.metric,
+            )
+            for bs, nbs in self.points
+        ]
+
+    def with_points(
+        self, points: Sequence[Tuple[float, float]]
+    ) -> "SimRequest":
+        return dc_replace(self, points=tuple(points))
+
+
+def parse_request(payload: Any) -> SimRequest:
+    """Validate a JSON request body into a :class:`SimRequest`.
+
+    Raises:
+        RequestError: on any malformed, unknown or out-of-range field.
+    """
+    if not isinstance(payload, dict):
+        raise RequestError("request body must be a JSON object")
+    _check_fields(payload, _REQUEST_FIELDS, "request")
+    kind = payload.get("kind", "point")
+    if kind not in ("point", "sweep"):
+        raise RequestError(f"kind: must be 'point' or 'sweep', got {kind!r}")
+
+    kernel = payload.get("kernel")
+    if not isinstance(kernel, dict):
+        raise RequestError("kernel: must be an object")
+    _check_fields(kernel, _KERNEL_FIELDS, "kernel")
+    rows = kernel.get("rows", 2)
+    cols = kernel.get("cols", 2)
+    k_steps = kernel.get("k_steps", 24)
+    seed = kernel.get("seed", 0)
+    for name, value in (("rows", rows), ("cols", cols),
+                        ("k_steps", k_steps), ("seed", seed)):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise RequestError(f"kernel.{name}: must be an integer")
+    pattern = _enum_value(
+        BroadcastPattern, kernel.get("pattern", "explicit"), "kernel.pattern"
+    )
+    precision = _enum_value(
+        Precision, kernel.get("precision", "fp32"), "kernel.precision"
+    )
+    try:
+        RegisterTile(rows, cols, pattern)
+    except ValueError as error:
+        raise RequestError(f"kernel: {error}") from None
+    if k_steps <= 0:
+        raise RequestError("kernel.k_steps: must be positive")
+
+    machine_spec = _canonical_machine(payload.get("machine", {"preset": "save"}))
+
+    metric = payload.get("metric", METRIC_NS_PER_FMA)
+    if metric not in _METRICS:
+        raise RequestError(
+            f"metric: must be one of {list(_METRICS)}, got {metric!r}"
+        )
+
+    levels: Optional[Tuple[float, ...]] = None
+    if kind == "point":
+        if "levels" in payload:
+            raise RequestError("levels: only valid for kind='sweep'")
+        point = payload.get("point")
+        if (
+            not isinstance(point, (list, tuple))
+            or len(point) != 2
+        ):
+            raise RequestError("point: must be a [bs, nbs] pair")
+        points = (
+            (_sparsity(point[0], "point[0]"), _sparsity(point[1], "point[1]")),
+        )
+    else:
+        if "point" in payload:
+            raise RequestError("point: only valid for kind='point'")
+        raw_levels = payload.get("levels")
+        if not isinstance(raw_levels, (list, tuple)) or not raw_levels:
+            raise RequestError("levels: must be a non-empty list of sparsities")
+        levels = tuple(
+            _sparsity(level, f"levels[{i}]") for i, level in enumerate(raw_levels)
+        )
+        if len(set(levels)) != len(levels):
+            raise RequestError("levels: must not contain duplicates")
+        points = tuple((bs, nbs) for bs in levels for nbs in levels)
+
+    return SimRequest(
+        kind=kind,
+        rows=rows,
+        cols=cols,
+        pattern=pattern,
+        precision=precision,
+        k_steps=k_steps,
+        seed=seed,
+        metric=metric,
+        machine_spec=json.dumps(machine_spec, sort_keys=True),
+        points=points,
+        levels=levels,
+    )

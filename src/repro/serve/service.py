@@ -1,0 +1,410 @@
+"""The simulation service core: queue, dedup, micro-batching, drain.
+
+A :class:`SimService` is the long-lived engine behind ``repro serve``.
+Requests flow::
+
+    submit ─► [store hit? ── serve cached]
+              [in-flight twin? ── share its job]        (deduplication)
+              [queue full? ── backpressure (retry later)]
+              bounded queue ─► dispatcher thread
+                              groups by batch_key       (micro-batching)
+                              one SimExecutor.map per group
+                              payloads ─► ResultStore ─► waiters
+
+Identical concurrent requests (equal fingerprints) share one
+:class:`Job` — the simulation runs once and every waiter gets the same
+payload object.  Requests that differ only in their sparsity points
+(equal :meth:`~repro.serve.schema.SimRequest.batch_key`) coalesce into
+a single executor batch, with overlapping points simulated once.
+
+The dispatcher is a single thread; parallelism lives below it, in the
+:class:`~repro.experiments.executor.SimExecutor` worker pool — so the
+service inherits the executor's determinism contract (results depend
+only on the request, never on arrival order or worker count).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
+
+from repro.experiments.executor import SimExecutor
+from repro.model.surface import machine_label
+from repro.obs import MetricsRegistry, log2_bucket
+from repro.serve.schema import SERVE_SCHEMA_VERSION, SimRequest
+from repro.serve.store import ResultStore
+
+__all__ = [
+    "Job",
+    "QueueFull",
+    "ServeConfig",
+    "ServiceDraining",
+    "SimService",
+]
+
+
+class QueueFull(RuntimeError):
+    """Backpressure: the job queue is at capacity (HTTP 429)."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__("job queue is full")
+        self.retry_after_s = retry_after_s
+
+
+class ServiceDraining(RuntimeError):
+    """The service is shutting down and accepts no new work (HTTP 503)."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs of a :class:`SimService` / ``repro serve``."""
+
+    host: str = "127.0.0.1"
+    port: int = 8731
+    #: Executor worker processes (``None``: ``REPRO_JOBS``, else serial).
+    jobs: Optional[int] = None
+    #: Result-store directory (``None``: the repo-level ``.serve_store``).
+    store_dir: Optional[Union[str, Path]] = None
+    #: Bounded queue capacity; submits beyond it get backpressure.
+    queue_limit: int = 64
+    #: ``Retry-After`` hint handed to backpressured clients.
+    retry_after_s: float = 1.0
+    #: Dispatcher linger after the first pending job, letting closely
+    #: spaced requests coalesce into one batch.  ``0`` batches only
+    #: what is already queued.
+    batch_window_s: float = 0.0
+    #: Upper bound on requests drained into one dispatch round.
+    max_batch_requests: int = 32
+    #: Seconds :meth:`SimService.close` waits for in-flight work.
+    drain_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.queue_limit <= 0:
+            raise ValueError("queue_limit must be positive")
+        if self.max_batch_requests <= 0:
+            raise ValueError("max_batch_requests must be positive")
+        if self.batch_window_s < 0 or self.retry_after_s < 0:
+            raise ValueError("windows and delays must be non-negative")
+
+
+@dataclass
+class Job:
+    """One in-flight unit of work, shared by every duplicate submitter."""
+
+    key: str
+    request: SimRequest
+    state: str = "pending"  # pending | running | done | failed
+    payload: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.monotonic)
+    _event: threading.Event = field(default_factory=threading.Event)
+
+    def finish(self, payload: Dict[str, Any]) -> None:
+        self.payload = payload
+        self.state = "done"
+        self._event.set()
+
+    def fail(self, error: str) -> None:
+        self.error = error
+        self.state = "failed"
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until done/failed; ``False`` on timeout."""
+        return self._event.wait(timeout)
+
+
+class SimService:
+    """Queue + dedup + batching on top of a :class:`SimExecutor`.
+
+    Args:
+        config: service tuning (queue bound, batching window, ...).
+        store: result store (defaults to one at ``config.store_dir``).
+        executor: simulation backend; defaults to a *persistent*
+            executor sized by ``config.jobs`` so a parallel pool
+            survives across micro-batches.
+        metrics: registry for service-level metrics (created when
+            omitted; rendered by ``/metrics``).
+
+    Call :meth:`start` before submitting and :meth:`close` when done
+    (or use the service as a context manager).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        store: Optional[ResultStore] = None,
+        executor: Optional[SimExecutor] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.store = store or ResultStore(self.config.store_dir)
+        self.executor = executor or SimExecutor(
+            jobs=self.config.jobs, persistent=True
+        )
+        self.metrics = metrics or MetricsRegistry()
+        self.started_at = time.time()
+        self._cv = threading.Condition()
+        self._queue: Deque[Job] = deque()
+        self._inflight: "OrderedDict[str, Job]" = OrderedDict()
+        #: Recently failed jobs, kept so pollers see the error instead
+        #: of "unknown" (bounded; oldest evicted first).
+        self._failed: "OrderedDict[str, Job]" = OrderedDict()
+        self._active = 0  # jobs drained from the queue, not yet finished
+        self._paused = False
+        self._draining = False
+        self._stop = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the dispatcher thread is live."""
+        return self._thread is not None
+
+    def start(self) -> "SimService":
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def __enter__(self) -> "SimService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def pause(self) -> None:
+        """Hold the dispatcher (tests use this to force wide batches)."""
+        with self._cv:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._cv:
+            self._paused = False
+            self._cv.notify_all()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop accepting work; wait for the queue to empty.
+
+        Returns ``True`` when everything in flight completed.
+        """
+        if timeout is None:
+            timeout = self.config.drain_timeout_s
+        deadline = time.monotonic() + timeout
+        with self._cv:
+            self._draining = True
+            self._paused = False
+            self._cv.notify_all()
+            while self._queue or self._active:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cv.wait(min(remaining, 0.05))
+        return True
+
+    def close(self) -> bool:
+        """Drain, stop the dispatcher, flush the store, free the pool."""
+        drained = self.drain()
+        with self._cv:
+            self._stop = True
+            self._cv.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=self.config.drain_timeout_s)
+            self._thread = None
+        # Anything still queued after a failed drain must not hang its
+        # waiters forever.
+        with self._cv:
+            leftovers = list(self._queue)
+            self._queue.clear()
+        for job in leftovers:
+            job.fail("service stopped before the job ran")
+            with self._cv:
+                self._inflight.pop(job.key, None)
+        self.store.flush()
+        self.executor.close()
+        return drained
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, request: SimRequest) -> Tuple[Job, str]:
+        """Enqueue (or join, or short-circuit) one request.
+
+        Returns ``(job, outcome)`` with outcome one of ``"accepted"``
+        (queued fresh), ``"dedup"`` (joined an identical in-flight
+        job) or ``"cached"`` (served from the result store — the job
+        comes back already done).
+
+        Raises:
+            QueueFull: the bounded queue is at capacity.
+            ServiceDraining: the service is shutting down.
+        """
+        key = request.fingerprint()
+        self.metrics.counter("serve.requests").inc()
+        with self._cv:
+            twin = self._inflight.get(key)
+            if twin is not None:
+                self.metrics.counter("serve.dedup_hits").inc()
+                return twin, "dedup"
+        cached = self.store.get(key)
+        if cached is not None:
+            self.metrics.counter("serve.cache_hits").inc()
+            job = Job(key=key, request=request)
+            job.finish(cached)
+            return job, "cached"
+        with self._cv:
+            # Re-check under the lock: the store probe dropped it.
+            twin = self._inflight.get(key)
+            if twin is not None:
+                self.metrics.counter("serve.dedup_hits").inc()
+                return twin, "dedup"
+            if self._draining or self._stop:
+                raise ServiceDraining("service is draining")
+            if len(self._queue) >= self.config.queue_limit:
+                self.metrics.counter("serve.rejected").inc()
+                raise QueueFull(self.config.retry_after_s)
+            job = Job(key=key, request=request)
+            self._inflight[key] = job
+            self._queue.append(job)
+            self.metrics.gauge("serve.queue_depth").set(len(self._queue))
+            self._cv.notify_all()
+        return job, "accepted"
+
+    def status(self, key: str) -> Dict[str, Any]:
+        """Poll view of one job key (in-flight, done-on-disk or unknown)."""
+        with self._cv:
+            job = self._inflight.get(key) or self._failed.get(key)
+            if job is not None:
+                return {"job": key, "status": job.state, "error": job.error}
+        if self.store.get(key) is not None:
+            return {"job": key, "status": "done", "error": None}
+        return {"job": key, "status": "unknown", "error": None}
+
+    def result(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for a completed key, else ``None``."""
+        return self.store.get(key)
+
+    def health(self) -> Dict[str, Any]:
+        with self._cv:
+            return {
+                "status": "draining" if (self._draining or self._stop) else "ok",
+                "queue_depth": len(self._queue),
+                "active": self._active,
+                "inflight": len(self._inflight),
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "schema": SERVE_SCHEMA_VERSION,
+            }
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._stop and (self._paused or not self._queue):
+                    self._cv.wait(0.05)
+                if self._stop and not self._queue:
+                    return
+                if self._paused and not self._stop:
+                    continue
+                batch = self._drain_batch_locked()
+            if self.config.batch_window_s > 0:
+                # Linger so closely spaced submits join this round.
+                time.sleep(self.config.batch_window_s)
+                with self._cv:
+                    batch.extend(self._drain_batch_locked(
+                        self.config.max_batch_requests - len(batch)
+                    ))
+            if batch:
+                self._process(batch)
+
+    def _drain_batch_locked(self, limit: Optional[int] = None) -> List[Job]:
+        if limit is None:
+            limit = self.config.max_batch_requests
+        batch: List[Job] = []
+        while self._queue and len(batch) < limit:
+            job = self._queue.popleft()
+            job.state = "running"
+            batch.append(job)
+        self._active += len(batch)
+        self.metrics.gauge("serve.queue_depth").set(len(self._queue))
+        return batch
+
+    def _process(self, batch: List[Job]) -> None:
+        groups: "OrderedDict[str, List[Job]]" = OrderedDict()
+        for job in batch:
+            groups.setdefault(job.request.batch_key(), []).append(job)
+        for jobs in groups.values():
+            try:
+                self._run_group(jobs)
+            except Exception as error:  # noqa: BLE001 - service must survive
+                self.metrics.counter("serve.failures").inc(len(jobs))
+                for job in jobs:
+                    job.fail(f"{type(error).__name__}: {error}")
+            finally:
+                with self._cv:
+                    for job in jobs:
+                        self._inflight.pop(job.key, None)
+                        if job.state == "failed":
+                            self._failed[job.key] = job
+                            while len(self._failed) > 128:
+                                self._failed.popitem(last=False)
+                    self._active -= len(jobs)
+                    self._cv.notify_all()
+
+    def _run_group(self, jobs: List[Job]) -> None:
+        """Simulate one batch-key group as a single executor batch.
+
+        All jobs in the group share kernel/machine/metric, so their
+        union of sparsity points is deduplicated and simulated once;
+        each request's payload is then assembled from the shared
+        values.
+        """
+        order: "OrderedDict[Tuple[float, float], int]" = OrderedDict()
+        for job in jobs:
+            for point in job.request.points:
+                if point not in order:
+                    order[point] = len(order)
+        template = jobs[0].request.with_points(list(order))
+        point_jobs = template.jobs()
+        self.metrics.counter("serve.batches").inc()
+        self.metrics.histogram("serve.batch_width", log2_bucket).record(
+            len(point_jobs)
+        )
+        values = self.executor.map(point_jobs)
+        self.metrics.counter("serve.simulated_points").inc(len(point_jobs))
+        label = machine_label(template.machine())
+        now = time.monotonic()
+        for job in jobs:
+            payload = self._payload(job.request, job.key, order, values, label)
+            self.store.put(job.key, payload)
+            self.metrics.histogram("serve.latency_ms", log2_bucket).record(
+                max(0, int((now - job.submitted_at) * 1000))
+            )
+            job.finish(payload)
+
+    @staticmethod
+    def _payload(
+        request: SimRequest,
+        key: str,
+        order: Dict[Tuple[float, float], int],
+        values: List[float],
+        label: str,
+    ) -> Dict[str, Any]:
+        return {
+            "schema": SERVE_SCHEMA_VERSION,
+            "key": key,
+            "kind": request.kind,
+            "metric": request.metric,
+            "label": label,
+            "points": [list(point) for point in request.points],
+            "values": [values[order[point]] for point in request.points],
+            "levels": list(request.levels) if request.levels is not None else None,
+        }

@@ -274,3 +274,29 @@ class TestExecutorSpans:
         assert spans.records[simulate_idx].parent == spans.records.index(
             build_spans[0]
         )
+
+
+class TestPersistentPool:
+    """The long-lived-service mode: one pool reused across batches."""
+
+    def test_persistent_parallel_matches_serial(self):
+        jobs = _jobs(5)
+        serial = SimExecutor(jobs=1).map(jobs)
+        with SimExecutor(jobs=2, chunksize=2, persistent=True) as executor:
+            assert executor.map(jobs) == serial
+
+    def test_pool_survives_across_batches(self):
+        with SimExecutor(jobs=2, chunksize=1, persistent=True) as executor:
+            first = executor.map(_jobs(3))
+            pool = executor._pool
+            assert pool is not None
+            second = executor.map(_jobs(3))
+            assert executor._pool is pool  # same pool, not a fresh one
+            assert second == first
+        assert executor._pool is None  # context exit closed it
+
+    def test_close_is_idempotent_and_safe_when_serial(self):
+        executor = SimExecutor(jobs=1, persistent=True)
+        executor.map(_jobs(1))
+        executor.close()
+        executor.close()

@@ -1,13 +1,18 @@
 """Tests for sparsity surfaces, interpolation and the disk store."""
 
+import json
+import threading
+
 import numpy as np
 import pytest
 
 from repro.core.config import BASELINE_2VPU, SAVE_2VPU
+from repro.fsio import FileLock
 from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
 from repro.model.surface import (
     COARSE_LEVELS,
     PAPER_LEVELS,
+    SURFACE_SCHEMA_VERSION,
     SparsitySurface,
     SurfaceStore,
     machine_label,
@@ -110,3 +115,83 @@ class TestMachineLabel:
     def test_save_label_mentions_features(self):
         label = machine_label(SAVE_2VPU)
         assert "rvc" in label and "lwd" in label and "2vpu@1.7" in label
+
+
+class TestSurfaceStoreDurability:
+    """Atomic writes, advisory locking, schema-version invalidation."""
+
+    def entry_path(self, tmp_path):
+        store = SurfaceStore(tmp_path)
+        store.get(TILE, Precision.FP32, SAVE_2VPU, levels=(0.0, 0.9), k_steps=4)
+        (path,) = tmp_path.glob("*.json")
+        return path
+
+    def test_entries_carry_schema_envelope(self, tmp_path):
+        payload = json.loads(self.entry_path(tmp_path).read_text())
+        assert payload["schema"] == SURFACE_SCHEMA_VERSION
+        assert "surface" in payload
+
+    def test_stale_schema_entry_is_rebuilt(self, tmp_path):
+        path = self.entry_path(tmp_path)
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = SURFACE_SCHEMA_VERSION - 1
+        path.write_text(json.dumps(envelope))
+        fresh = SurfaceStore(tmp_path)
+        surface = fresh.get(
+            TILE, Precision.FP32, SAVE_2VPU, levels=(0.0, 0.9), k_steps=4
+        )
+        assert surface.ns_per_fma.shape == (2, 2)
+        assert json.loads(path.read_text())["schema"] == SURFACE_SCHEMA_VERSION
+
+    def test_torn_entry_is_rebuilt_not_fatal(self, tmp_path):
+        path = self.entry_path(tmp_path)
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) // 2])
+        surface = SurfaceStore(tmp_path).get(
+            TILE, Precision.FP32, SAVE_2VPU, levels=(0.0, 0.9), k_steps=4
+        )
+        assert surface.ns_per_fma.shape == (2, 2)
+        # The damaged file was replaced by a valid envelope.
+        assert json.loads(path.read_text())["schema"] == SURFACE_SCHEMA_VERSION
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        self.entry_path(tmp_path)
+        stray = [p.name for p in tmp_path.iterdir()
+                 if p.suffix not in (".json", ".lock")]
+        assert stray == []
+
+    def test_waiting_builder_reuses_winners_entry(self, tmp_path, monkeypatch):
+        """A second process blocked on the lock must not re-simulate."""
+        first = SurfaceStore(tmp_path)
+        surface = first.get(
+            TILE, Precision.FP32, SAVE_2VPU, levels=(0.0, 0.9), k_steps=4
+        )
+        (path,) = tmp_path.glob("*.json")
+        envelope = path.read_text()
+        path.unlink()
+
+        def forbidden_build(*args, **kwargs):
+            raise AssertionError("waiter must read the winner's entry")
+
+        monkeypatch.setattr(SparsitySurface, "build", forbidden_build)
+        second = SurfaceStore(tmp_path)
+        lock = FileLock(path.with_suffix(".lock")).acquire()
+        done = []
+
+        def waiter():
+            got = second.get(
+                TILE, Precision.FP32, SAVE_2VPU, levels=(0.0, 0.9), k_steps=4
+            )
+            done.append(got)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        try:
+            thread.join(timeout=0.3)
+            assert thread.is_alive()  # blocked on the advisory lock
+            path.write_text(envelope)  # the "winner" publishes its build
+        finally:
+            lock.release()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert np.array_equal(done[0].ns_per_fma, surface.ns_per_fma)

@@ -1,0 +1,155 @@
+"""Tests for the service request model: validation + fingerprints."""
+
+import pytest
+
+from repro.core.config import CoalescingScheme, SAVE_2VPU
+from repro.kernels.tiling import BroadcastPattern, Precision
+from repro.serve.schema import (
+    SERVE_SCHEMA_VERSION,
+    RequestError,
+    parse_request,
+)
+
+
+def point_body(**overrides):
+    body = {
+        "kind": "point",
+        "kernel": {"rows": 2, "cols": 2, "k_steps": 4},
+        "machine": {"preset": "save"},
+        "point": [0.3, 0.6],
+    }
+    body.update(overrides)
+    return {key: value for key, value in body.items() if value is not None}
+
+
+class TestParsing:
+    def test_point_defaults(self):
+        request = parse_request(point_body())
+        assert request.kind == "point"
+        assert request.pattern == BroadcastPattern.EXPLICIT
+        assert request.precision == Precision.FP32
+        assert request.metric == "ns_per_fma"
+        assert request.points == ((0.3, 0.6),)
+        assert request.levels is None
+
+    def test_sweep_expands_row_major(self):
+        request = parse_request(
+            point_body(kind="sweep", point=None, levels=[0.0, 0.9])
+        )
+        assert request.points == ((0.0, 0.0), (0.0, 0.9), (0.9, 0.0), (0.9, 0.9))
+        assert request.levels == (0.0, 0.9)
+
+    def test_sweep_point_order_matches_surface_build(self):
+        # SparsitySurface.build iterates `for bs in levels for nbs in
+        # levels`; the service must agree so values reshape into the
+        # same grid.
+        levels = (0.0, 0.3, 0.9)
+        request = parse_request(
+            point_body(kind="sweep", point=None, levels=list(levels))
+        )
+        expected = tuple((bs, nbs) for bs in levels for nbs in levels)
+        assert request.points == expected
+
+    def test_machine_overrides_resolve(self):
+        request = parse_request(
+            point_body(
+                machine={
+                    "preset": "save",
+                    "save": {"coalescing": "vc", "lane_wise_dependence": False},
+                    "core": {"num_vpus": 1},
+                }
+            )
+        )
+        machine = request.machine()
+        assert machine.save.coalescing == CoalescingScheme.VERTICAL
+        assert machine.save.lane_wise_dependence is False
+        assert machine.core.num_vpus == 1
+
+    def test_default_machine_is_save(self):
+        body = point_body()
+        del body["machine"]
+        assert parse_request(body).machine() == SAVE_2VPU
+
+    def test_jobs_one_per_point(self):
+        request = parse_request(
+            point_body(kind="sweep", point=None, levels=[0.0, 0.9])
+        )
+        jobs = request.jobs()
+        assert len(jobs) == 4
+        assert jobs[1].config.broadcast_sparsity == 0.0
+        assert jobs[1].config.nonbroadcast_sparsity == 0.9
+        assert all(job.metric == "ns_per_fma" for job in jobs)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            {"kind": "diagonal"},
+            {"metric": "flops"},
+            {"point": [0.3]},
+            {"point": [0.3, 1.5]},
+            {"bogus": 1},
+            {"kernel": {"rows": 2, "cols": 2, "bogus": 1}},
+            {"kernel": {"rows": 0, "cols": 2}},
+            {"kernel": {"rows": 2, "cols": 2, "k_steps": 0}},
+            {"machine": {"preset": "tpu"}},
+            {"machine": {"preset": "save", "save": {"bogus": 1}}},
+            {"machine": {"preset": "save", "save": {"coalescing": "zigzag"}}},
+            {"machine": {"preset": "save", "save": {"rotation_states": 2}}},
+        ],
+    )
+    def test_bad_bodies_rejected(self, mutate):
+        with pytest.raises(RequestError):
+            parse_request(point_body(**mutate))
+
+    def test_sweep_rejects_point_field(self):
+        with pytest.raises(RequestError, match="point"):
+            parse_request(point_body(kind="sweep", levels=[0.0, 0.9]))
+
+    def test_point_rejects_levels_field(self):
+        with pytest.raises(RequestError, match="levels"):
+            parse_request(point_body(levels=[0.0]))
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(RequestError, match="duplicates"):
+            parse_request(point_body(kind="sweep", point=None, levels=[0.3, 0.3]))
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(RequestError):
+            parse_request([1, 2, 3])
+
+
+class TestFingerprints:
+    def test_identical_requests_identical_fingerprints(self):
+        a = parse_request(point_body())
+        # Same content, different field order / float spelling.
+        b = parse_request(
+            {
+                "point": [0.30, 0.60],
+                "machine": {"preset": "save"},
+                "kernel": {"k_steps": 4, "cols": 2, "rows": 2},
+                "kind": "point",
+            }
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_distinct_requests_distinct_fingerprints(self):
+        a = parse_request(point_body())
+        b = parse_request(point_body(point=[0.3, 0.7]))
+        c = parse_request(point_body(machine={"preset": "baseline"}))
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+
+    def test_schema_version_in_canonical(self):
+        assert parse_request(point_body()).canonical()["schema"] == (
+            SERVE_SCHEMA_VERSION
+        )
+
+    def test_batch_key_ignores_points_only(self):
+        a = parse_request(point_body())
+        b = parse_request(point_body(point=[0.9, 0.0]))
+        sweep = parse_request(point_body(kind="sweep", point=None, levels=[0.3]))
+        other = parse_request(point_body(machine={"preset": "baseline"}))
+        assert a.batch_key() == b.batch_key() == sweep.batch_key()
+        assert a.batch_key() != other.batch_key()
+        assert a.fingerprint() != b.fingerprint()

@@ -1,0 +1,63 @@
+"""Tests for the shared filesystem primitives (atomic writes, locks)."""
+
+import threading
+
+import pytest
+
+from repro.fsio import FileLock, LockTimeout, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_creates_and_replaces(self, tmp_path):
+        target = tmp_path / "entry.json"
+        atomic_write_text(target, "one")
+        assert target.read_text() == "one"
+        atomic_write_text(target, "two")
+        assert target.read_text() == "two"
+
+    def test_no_temp_files_left(self, tmp_path):
+        target = tmp_path / "entry.json"
+        atomic_write_text(target, "payload")
+        assert [p.name for p in tmp_path.iterdir()] == ["entry.json"]
+
+
+class TestFileLock:
+    def test_exclusion(self, tmp_path):
+        path = tmp_path / "entry.lock"
+        with FileLock(path):
+            with pytest.raises(LockTimeout):
+                FileLock(path, timeout=0.1).acquire()
+
+    def test_release_allows_reacquire(self, tmp_path):
+        path = tmp_path / "entry.lock"
+        lock = FileLock(path)
+        with lock:
+            assert lock.held
+        assert not lock.held
+        with FileLock(path, timeout=0.5):
+            pass
+
+    def test_reentry_rejected(self, tmp_path):
+        lock = FileLock(tmp_path / "entry.lock")
+        with lock:
+            with pytest.raises(RuntimeError):
+                lock.acquire()
+
+    def test_waiter_proceeds_after_release(self, tmp_path):
+        path = tmp_path / "entry.lock"
+        held = threading.Event()
+        order = []
+
+        def holder():
+            with FileLock(path):
+                held.set()
+                order.append("held")
+
+        lock = FileLock(path, timeout=5.0)
+        thread = threading.Thread(target=holder)
+        thread.start()
+        held.wait(5)
+        thread.join(5)
+        with lock:
+            order.append("acquired")
+        assert order == ["held", "acquired"]
