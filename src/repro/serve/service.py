@@ -168,12 +168,13 @@ class SimService:
         return self._thread is not None
 
     def start(self) -> "SimService":
-        if self._thread is not None:
-            raise RuntimeError("service already started")
-        self._thread = threading.Thread(
-            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
-        )
-        self._thread.start()
+        with self._cv:
+            if self._thread is not None:
+                raise RuntimeError("service already started")
+            self._thread = threading.Thread(
+                target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+            )
+            self._thread.start()
         return self
 
     def __enter__(self) -> "SimService":
@@ -217,9 +218,11 @@ class SimService:
         with self._cv:
             self._stop = True
             self._cv.notify_all()
-        if self._thread is not None:
-            self._thread.join(timeout=self.config.drain_timeout_s)
-            self._thread = None
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.config.drain_timeout_s)
+            with self._cv:
+                self._thread = None
         # Anything still queued after a failed drain must not hang its
         # waiters forever.
         with self._cv:
