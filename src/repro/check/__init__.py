@@ -1,0 +1,62 @@
+"""Project-invariant static analysis: ``repro check``.
+
+The reproduction's headline claims rest on invariants that unit tests
+can only sample: the cycle-accurate core must stay deterministic
+(parallel == serial bit-for-bit), every trace event the simulator emits
+must match the versioned schema in :mod:`repro.obs.trace`, and the
+threaded serving layer must touch shared state only under its locks.
+This package machine-checks those invariants on every change with an
+AST-based rule engine over ``src/``:
+
+* :mod:`repro.check.engine` — file walking, suppression comments,
+  diagnostics, and the :class:`Rule` base classes.
+* :mod:`repro.check.determinism` — wall-clock reads, unseeded RNGs,
+  hash-order-dependent logic and float equality in simulation code.
+* :mod:`repro.check.schema_drift` — cross-checks ``Instrumentation``
+  emit sites and ``MetricsRegistry`` instrument names against the
+  trace schema and its consumers, in both directions.
+* :mod:`repro.check.locks` — attribute writes outside the owning
+  lock in the serving layer's lock-holding classes.
+* :mod:`repro.check.cli` — the ``repro check`` command.
+
+Suppress an intentional violation with a trailing
+``# repro: no-check[rule-id]`` comment (see ``docs/architecture.md``
+§ Static analysis for the full syntax and the rule catalogue).
+"""
+
+from __future__ import annotations
+
+from repro.check.determinism import DETERMINISM_RULES
+from repro.check.engine import (
+    CheckedFile,
+    CheckResult,
+    Diagnostic,
+    Rule,
+    UnknownRuleError,
+    run_checks,
+)
+from repro.check.locks import LockDisciplineRule
+from repro.check.schema_drift import SchemaDriftRule
+
+__all__ = [
+    "ALL_RULES",
+    "CheckResult",
+    "CheckedFile",
+    "Diagnostic",
+    "Rule",
+    "UnknownRuleError",
+    "all_rules",
+    "run_checks",
+]
+
+#: Every registered rule, in catalogue order.
+ALL_RULES: tuple = (
+    *DETERMINISM_RULES,
+    SchemaDriftRule(),
+    LockDisciplineRule(),
+)
+
+
+def all_rules() -> tuple:
+    """The default rule set (a fresh reference to :data:`ALL_RULES`)."""
+    return ALL_RULES

@@ -1,0 +1,116 @@
+"""The ``repro check`` command.
+
+Exit codes follow the lint-tool convention::
+
+    0  clean (no error-severity diagnostics)
+    1  diagnostics found (or unparseable files)
+    2  usage error (bad root, unknown --rule id)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.check import ALL_RULES, UnknownRuleError, run_checks
+
+__all__ = ["check_main"]
+
+#: Default scan root, relative to the invoking directory.
+DEFAULT_ROOT = "src"
+
+
+def _list_rules() -> str:
+    lines = ["rule catalogue:"]
+    for rule in ALL_RULES:
+        scope = "project-wide" if rule.project_wide else (
+            ", ".join(rule.include) if rule.include else "all files"
+        )
+        lines.append(f"  {rule.id:<20} [{scope}]")
+        lines.append(f"      {rule.description}")
+    return "\n".join(lines)
+
+
+def check_main(argv: Optional[list[str]] = None) -> int:
+    """Entry point for ``python -m repro check [ROOT]``."""
+    parser = argparse.ArgumentParser(
+        prog="save-repro check",
+        description=(
+            "Project-invariant static analysis: determinism, trace-schema "
+            "drift and lock discipline over the source tree.  Suppress an "
+            "intentional finding with `# repro: no-check[rule-id]` (see "
+            "docs/architecture.md)."
+        ),
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=DEFAULT_ROOT,
+        help=f"directory or file to analyse (default: {DEFAULT_ROOT}/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        default=None,
+        help="run only this rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    root = Path(args.root)
+    if not root.exists():
+        print(f"error: no such path: {root}", file=sys.stderr)
+        return 2
+    try:
+        result = run_checks(root, rule_ids=args.rule)
+    except UnknownRuleError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        document = {
+            "root": str(root),
+            "files_checked": result.files_checked,
+            "suppressed": result.suppressed,
+            "ok": result.ok,
+            "diagnostics": [
+                {
+                    "path": d.path,
+                    "line": d.line,
+                    "col": d.col,
+                    "rule": d.rule,
+                    "severity": d.severity,
+                    "message": d.message,
+                }
+                for d in result.diagnostics
+            ],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for diagnostic in result.diagnostics:
+            print(diagnostic.format())
+        summary = (
+            f"checked {result.files_checked} files: "
+            f"{len(result.errors)} error(s), "
+            f"{result.suppressed} suppressed"
+        )
+        print(summary if result.diagnostics else f"OK — {summary}")
+    return 0 if result.ok else 1

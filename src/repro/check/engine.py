@@ -1,0 +1,396 @@
+"""Rule engine for ``repro check``: files, suppressions, diagnostics.
+
+The engine is deliberately small: it walks a directory of Python
+files, parses each once, hands the ASTs to a set of :class:`Rule`
+objects, filters the resulting :class:`Diagnostic` list through
+suppression comments, and returns a deterministic, sorted
+:class:`CheckResult`.  Rules never import or execute the code they
+inspect — fixtures with unsatisfiable imports are fine, and checking
+is safe on any tree.
+
+Two rule shapes exist:
+
+* **Per-file rules** override :meth:`Rule.check_file` and are invoked
+  once per file matching their ``include``/``exclude`` path prefixes.
+* **Project rules** set ``project_wide = True`` and override
+  :meth:`Rule.check_project`; they see every parsed file at once (the
+  schema-drift rule cross-checks emit sites in one module against a
+  schema declared in another).
+
+Suppression comments::
+
+    x = time.time()  # repro: no-check[no-wallclock]  -- host-side cache TTL
+    y = frob()       # repro: no-check                -- all rules, this line
+    # repro: no-check-file[no-float-eq]               -- whole file, one rule
+
+Every suppression should carry a human justification after the
+marker; the marker itself only needs the ``repro: no-check`` prefix.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "CheckResult",
+    "CheckedFile",
+    "Diagnostic",
+    "Rule",
+    "Suppressions",
+    "UnknownRuleError",
+    "dotted_call_name",
+    "import_map",
+    "local_nodes",
+    "run_checks",
+    "scope_nodes",
+]
+
+#: ``# repro: no-check`` / ``no-check-file`` with an optional rule list.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*no-check(?P<scope>-file)?(?:\[(?P<ids>[^\]]*)\])?"
+)
+
+#: Scope-introducing AST nodes; region walks stop at these boundaries.
+_SCOPE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: ``path:line:col: rule: message``.
+
+    Field order doubles as the report sort order (path, then line).
+    ``path`` is relative to the scanned root, with POSIX separators.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = "error"
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+class Suppressions:
+    """Parsed ``# repro: no-check`` markers of one file."""
+
+    def __init__(self) -> None:
+        #: line -> suppressed rule ids on that line (``None`` = all rules).
+        self.lines: dict[int, Optional[set[str]]] = {}
+        self.file_all = False
+        self.file_ids: set[str] = set()
+        #: Total number of markers seen (for reporting).
+        self.count = 0
+
+    def covers(self, rule: str, line: int) -> bool:
+        if self.file_all or rule in self.file_ids:
+            return True
+        if line in self.lines:
+            ids = self.lines[line]
+            return ids is None or rule in ids
+        return False
+
+    @classmethod
+    def parse(cls, source: str) -> Suppressions:
+        out = cls()
+        for line_no, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            out.count += 1
+            raw_ids = match.group("ids")
+            ids = (
+                {part.strip() for part in raw_ids.split(",") if part.strip()}
+                if raw_ids is not None
+                else None
+            )
+            if match.group("scope"):
+                if ids is None:
+                    out.file_all = True
+                else:
+                    out.file_ids |= ids
+            elif ids is None:
+                out.lines[line_no] = None
+            else:
+                prior = out.lines.get(line_no)
+                if prior is not None:
+                    out.lines[line_no] = prior | ids
+                elif line_no not in out.lines:
+                    out.lines[line_no] = set(ids)
+        return out
+
+
+@dataclass
+class CheckedFile:
+    """One parsed source file handed to rules.
+
+    ``rel`` is the on-disk path relative to the scanned root (what
+    diagnostics display); ``mod`` is the normalised module path used
+    for rule scoping — a leading ``src/`` is stripped and a bare
+    package root gains its package-name prefix, so scoping prefixes
+    like ``repro/core/`` work whether the scan root is the repo, its
+    ``src/`` directory, or the package directory itself.
+    """
+
+    path: Path
+    rel: str
+    mod: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions = field(default_factory=Suppressions)
+
+
+class Rule:
+    """Base class for checks; subclass and override one ``check_*``."""
+
+    id: str = ""
+    description: str = ""
+    severity: str = "error"
+    #: Module-path prefixes (``mod``) the rule applies to; empty = all.
+    include: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    project_wide: bool = False
+
+    def matches(self, mod: str) -> bool:
+        if any(mod == e or mod.startswith(e) for e in self.exclude):
+            return False
+        if not self.include:
+            return True
+        return any(mod == i or mod.startswith(i) for i in self.include)
+
+    def check_file(self, checked: CheckedFile) -> Iterable[Diagnostic]:
+        return ()
+
+    def check_project(self, files: Sequence[CheckedFile]) -> Iterable[Diagnostic]:
+        return ()
+
+    def diagnostic(
+        self, checked: CheckedFile, node: ast.AST, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=checked.rel,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", -1) + 1,
+            rule=self.id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+class UnknownRuleError(ValueError):
+    """``--rule`` named a rule id that is not registered."""
+
+
+@dataclass
+class CheckResult:
+    """Everything one :func:`run_checks` invocation produced."""
+
+    root: Path
+    diagnostics: list[Diagnostic]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+# ---------------------------------------------------------------------------
+# File collection
+# ---------------------------------------------------------------------------
+
+
+def _module_path(rel: str, root: Path) -> str:
+    """Normalise a root-relative path for rule scoping (see CheckedFile)."""
+    mod = rel
+    if mod.startswith("src/"):
+        mod = mod[len("src/"):]
+    if (root / "__init__.py").is_file():
+        mod = f"{root.name}/{mod}"
+    return mod
+
+
+def collect_files(root: Path) -> tuple[list[CheckedFile], list[Diagnostic]]:
+    """Parse every ``.py`` file under ``root`` (or ``root`` itself).
+
+    Unparseable files become ``parse-error`` diagnostics instead of
+    aborting the run — a syntax error must fail the gate, not crash it.
+    """
+    root = Path(root)
+    if root.is_file():
+        paths = [root]
+        base = root.parent
+    else:
+        paths = sorted(p for p in root.rglob("*.py") if "__pycache__" not in p.parts)
+        base = root
+    files: list[CheckedFile] = []
+    parse_errors: list[Diagnostic] = []
+    for path in paths:
+        rel = path.relative_to(base).as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, ValueError, OSError) as error:
+            line = getattr(error, "lineno", 0) or 0
+            parse_errors.append(
+                Diagnostic(
+                    path=rel,
+                    line=line,
+                    col=1,
+                    rule="parse-error",
+                    message=f"could not parse file: {error}",
+                )
+            )
+            continue
+        files.append(
+            CheckedFile(
+                path=path,
+                rel=rel,
+                mod=_module_path(rel, base),
+                source=source,
+                tree=tree,
+                suppressions=Suppressions.parse(source),
+            )
+        )
+    return files, parse_errors
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+def run_checks(
+    root: Path,
+    rules: Optional[Sequence[Rule]] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> CheckResult:
+    """Run ``rules`` (default: the registered set) over ``root``.
+
+    Args:
+        root: directory (or single file) to analyse.
+        rules: rule objects to run; defaults to
+            :data:`repro.check.ALL_RULES`.
+        rule_ids: restrict to these rule ids (``repro check --rule``).
+
+    Raises:
+        UnknownRuleError: ``rule_ids`` named an unregistered rule.
+    """
+    if rules is None:
+        from repro.check import ALL_RULES
+
+        rules = ALL_RULES
+    if rule_ids:
+        known = {rule.id for rule in rules}
+        missing = sorted(set(rule_ids) - known)
+        if missing:
+            raise UnknownRuleError(
+                f"unknown rule id(s) {missing}; known: {sorted(known)}"
+            )
+        rules = [rule for rule in rules if rule.id in rule_ids]
+
+    files, diagnostics = collect_files(Path(root))
+    for rule in rules:
+        if rule.project_wide:
+            diagnostics.extend(rule.check_project(files))
+        else:
+            for checked in files:
+                if rule.matches(checked.mod):
+                    diagnostics.extend(rule.check_file(checked))
+
+    by_rel = {checked.rel: checked for checked in files}
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for diag in diagnostics:
+        checked = by_rel.get(diag.path)
+        if checked is not None and checked.suppressions.covers(diag.rule, diag.line):
+            suppressed += 1
+            continue
+        kept.append(diag)
+    kept.sort()
+    return CheckResult(
+        root=Path(root),
+        diagnostics=kept,
+        files_checked=len(files),
+        suppressed=suppressed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def import_map(tree: ast.Module) -> dict[str, str]:
+    """Local name -> dotted module path, from the file's imports.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import
+    perf_counter as pc`` maps ``pc -> time.perf_counter``.  Relative
+    imports are ignored (the banned names are all absolute stdlib or
+    third-party paths).
+    """
+    names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    names[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    names[head] = head
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                names[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return names
+
+
+def dotted_call_name(func: ast.expr, names: dict[str, str]) -> Optional[str]:
+    """Resolve a call target to its dotted import path, if statically known.
+
+    ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+    when the file imported ``numpy as np``; calls on local objects
+    (whose base name is not an import) resolve to ``None``.
+    """
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = names.get(node.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def scope_nodes(tree: ast.Module) -> Iterable[ast.AST]:
+    """The module plus every named scope (function/method/class) in it."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, _SCOPE_TYPES) and not isinstance(node, ast.Lambda):
+            yield node
+
+
+def local_nodes(scope: ast.AST) -> Iterable[ast.AST]:
+    """Descendants of ``scope`` without entering nested scopes.
+
+    Used for poor-man's scope resolution: assignments and calls that
+    belong to one function body, excluding its inner ``def``s.
+    """
+    for child in ast.iter_child_nodes(scope):
+        yield child
+        if not isinstance(child, _SCOPE_TYPES):
+            yield from local_nodes(child)

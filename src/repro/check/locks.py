@@ -1,0 +1,176 @@
+"""Lock discipline: shared state in the serving layer stays locked.
+
+The ``repro.serve`` service is the one place in the tree where multiple
+threads touch the same object (HTTP request threads + the dispatcher).
+Its convention: a class that owns a ``threading.Lock``/``RLock``/
+``Condition`` attribute must write its other attributes only inside a
+``with self.<lock>`` block.
+
+The rule flags attribute (re)binds — ``self.x = ...``,
+``self.x += ...``, ``self.x[k] = ...`` — in methods of lock-holding
+classes that are not under any of the class's locks.  Exemptions that
+encode the codebase's own conventions:
+
+* ``__init__`` — the object is not shared before construction returns;
+* methods named ``*_locked`` — the caller-holds-the-lock helper
+  convention (``_drain_batch_locked``);
+* reads (never flagged) and writes through non-``self`` names.
+
+This is a single-method, syntactic check: it does not track lock
+hand-offs across calls, so helpers that expect a held lock must use
+the ``_locked`` naming convention to stay exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+from collections.abc import Iterable
+
+from repro.check.engine import (
+    CheckedFile,
+    Diagnostic,
+    Rule,
+    dotted_call_name,
+    import_map,
+)
+
+__all__ = ["LockDisciplineRule", "lock_attributes"]
+
+#: Constructors whose result makes an attribute "a lock" for this rule.
+_LOCK_CONSTRUCTORS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+    }
+)
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``self.<name>`` → name, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def lock_attributes(cls: ast.ClassDef, names: dict) -> set[str]:
+    """Attributes of ``cls`` assigned a lock constructor anywhere."""
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        if dotted_call_name(node.value.func, names) not in _LOCK_CONSTRUCTORS:
+            continue
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                locks.add(attr)
+    return locks
+
+
+def _write_targets(stmt: ast.stmt) -> list[ast.expr]:
+    if isinstance(stmt, ast.Assign):
+        return list(stmt.targets)
+    if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        return [stmt.target]
+    return []
+
+
+def _written_attr(target: ast.expr) -> Optional[str]:
+    """The ``self`` attribute a target writes, unwrapping subscripts."""
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Starred)):
+        node = node.value
+    return _self_attr(node)
+
+
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    description = (
+        "attribute writes outside `with self.<lock>` in lock-holding "
+        "classes of the serving layer"
+    )
+    include = ("repro/serve/", "repro/fsio.py")
+
+    def check_file(self, checked: CheckedFile) -> Iterable[Diagnostic]:
+        names = import_map(checked.tree)
+        for node in ast.walk(checked.tree):
+            if isinstance(node, ast.ClassDef):
+                locks = lock_attributes(node, names)
+                if locks:
+                    yield from self._check_class(checked, node, locks)
+
+    def _check_class(
+        self, checked: CheckedFile, cls: ast.ClassDef, locks: set[str]
+    ) -> Iterable[Diagnostic]:
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__" or method.name.endswith("_locked"):
+                continue
+            yield from self._check_body(
+                checked, method.body, locks, method.name, held=False
+            )
+
+    def _check_body(
+        self,
+        checked: CheckedFile,
+        body: list[ast.stmt],
+        locks: set[str],
+        method: str,
+        held: bool,
+    ) -> Iterable[Diagnostic]:
+        for stmt in body:
+            for target in _write_targets(stmt):
+                attr = _written_attr(target)
+                if attr is None or held:
+                    continue
+                if attr in locks:
+                    message = (
+                        f"{method}() rebinds the lock attribute "
+                        f"self.{attr}; locks are created once in __init__"
+                    )
+                else:
+                    message = (
+                        f"{method}() writes self.{attr} outside "
+                        f"`with self.{{{', '.join(sorted(locks))}}}`; "
+                        "shared state must be written under the lock"
+                    )
+                yield self.diagnostic(checked, stmt, message)
+            yield from self._check_children(checked, stmt, locks, method, held)
+
+    def _check_children(
+        self,
+        checked: CheckedFile,
+        stmt: ast.stmt,
+        locks: set[str],
+        method: str,
+        held: bool,
+    ) -> Iterable[Diagnostic]:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            acquires = any(
+                (_self_attr(item.context_expr) or "") in locks
+                for item in stmt.items
+            )
+            yield from self._check_body(
+                checked, stmt.body, locks, method, held or acquires
+            )
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes run who-knows-when; out of scope
+        for field_name, value in ast.iter_fields(stmt):
+            if field_name in ("body", "orelse", "finalbody"):
+                if isinstance(value, list):
+                    yield from self._check_body(
+                        checked, value, locks, method, held
+                    )
+            elif field_name == "handlers" and isinstance(value, list):
+                for handler in value:
+                    yield from self._check_body(
+                        checked, handler.body, locks, method, held
+                    )

@@ -1,0 +1,436 @@
+"""Schema drift: emit sites, consumers and the trace schema must agree.
+
+The trace schema (``EVENT_FIELDS`` in :mod:`repro.obs.trace`) is the
+contract between three parties that never import each other's string
+literals: the simulator's ``Instrumentation.emit`` call sites, the
+versioned JSONL validator, and the offline consumers
+(:mod:`repro.obs.analyze`, :mod:`repro.obs.chrometrace`).  A renamed
+event or counter slips through unit tests easily — the producer and
+consumer each stay self-consistent while silently disagreeing.  This
+project-wide rule extracts all three vocabularies statically and
+cross-checks them **in both directions**:
+
+Events
+    * every emitted event name must exist in ``EVENT_FIELDS``;
+    * every emit site must pass the event's required fields as
+      keywords (skipped when the site splats ``**kwargs``) and must
+      not override the stamped common fields (``cycle``/``event``/
+      ``kernel``);
+    * every schema event must be emitted somewhere (skipped when an
+      emit site's event name could not be resolved — an unresolved
+      producer could be the missing one);
+    * every consumed event name must exist in the schema.
+
+Metrics
+    * every metric name a consumer reads (``counters.get("...")`` or a
+      ``KEY_COUNTERS`` table) must be produced by some
+      ``MetricsRegistry`` ``counter``/``gauge``/``histogram`` call
+      site.  Dynamic producer names (f-strings like
+      ``f"vpu_ops_{kind}"``) count as prefix wildcards.  The converse
+      (produced-but-unconsumed) is *not* an error: every metric is
+      exported wholesale via ``--metrics`` and ``/metrics``.
+
+Resolution is deliberately shallow: event-name arguments may be string
+constants, conditional expressions over string constants, or local
+names assigned from either (the ``bcache_hit``/``bcache_miss`` site in
+``repro.core.lsu``).  Anything else is its own diagnostic rather than
+a silent gap.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+from collections.abc import Iterable, Sequence
+
+from repro.check.engine import (
+    CheckedFile,
+    Diagnostic,
+    Rule,
+    local_nodes,
+    scope_nodes,
+)
+
+__all__ = ["SchemaDriftRule"]
+
+#: Module-level dict tables whose keys are consumed event names.
+CONSUMER_TABLES = ("_WINDOW_FIELD", "_EVENT_TID")
+
+#: Module-level tuple/list tables whose items are consumed metric names.
+METRIC_TABLES = ("KEY_COUNTERS",)
+
+#: Receiver names whose ``.get("...")`` reads a trace-event count.
+_EVENT_COUNT_RECEIVERS = ("event_counts", "counts")
+
+#: Receiver names whose ``.get("...")`` reads a metric.
+_METRIC_RECEIVERS = ("counters",)
+
+#: ``MetricsRegistry`` factory methods that produce a named instrument.
+_INSTRUMENT_FACTORIES = ("counter", "gauge", "histogram")
+
+
+def _const_str(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _receiver_name(func: ast.expr) -> Optional[str]:
+    """Terminal name of a method call's receiver: ``a.b.get`` → ``b``."""
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return None
+
+
+def _string_values(node: ast.expr) -> Optional[set[str]]:
+    """All string values a constant-ish expression can take, else None."""
+    value = _const_str(node)
+    if value is not None:
+        return {value}
+    if isinstance(node, ast.IfExp):
+        body = _string_values(node.body)
+        orelse = _string_values(node.orelse)
+        if body is not None and orelse is not None:
+            return body | orelse
+    return None
+
+
+class _EmitSite:
+    """One ``*.emit(cycle, <event>, field=..., ...)`` call."""
+
+    def __init__(
+        self,
+        checked: CheckedFile,
+        node: ast.Call,
+        events: Optional[set[str]],
+        fields: set[str],
+        has_star_kwargs: bool,
+    ) -> None:
+        self.checked = checked
+        self.node = node
+        self.events = events  # None: could not be resolved statically
+        self.fields = fields
+        self.has_star_kwargs = has_star_kwargs
+
+
+def _resolve_event_arg(arg: ast.expr, scope: ast.AST) -> Optional[set[str]]:
+    """Resolve an emit call's event argument to its string value(s).
+
+    Handles constants, conditionals over constants, and a local name
+    assigned (once) from either within the same function scope.
+    """
+    values = _string_values(arg)
+    if values is not None:
+        return values
+    if not isinstance(arg, ast.Name):
+        return None
+    resolved: Optional[set[str]] = None
+    for node in local_nodes(scope):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == arg.id:
+                values = _string_values(node.value)
+                if values is None or resolved is not None:
+                    return None  # opaque value, or multiply assigned
+                resolved = values
+    return resolved
+
+
+def _collect_emit_sites(files: Sequence[CheckedFile]) -> list[_EmitSite]:
+    sites: list[_EmitSite] = []
+    for checked in files:
+        for scope in scope_nodes(checked.tree):
+            for node in local_nodes(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+                    continue
+                # Instrumentation.emit(cycle, event, **fields): two
+                # positional args.  Single-arg sites are TraceSink.emit
+                # (already-assembled dict) — a different protocol.
+                if len(node.args) != 2:
+                    continue
+                fields = {kw.arg for kw in node.keywords if kw.arg is not None}
+                sites.append(
+                    _EmitSite(
+                        checked,
+                        node,
+                        events=_resolve_event_arg(node.args[1], scope),
+                        fields=fields,
+                        has_star_kwargs=any(
+                            kw.arg is None for kw in node.keywords
+                        ),
+                    )
+                )
+    return sites
+
+
+def _find_schema(
+    files: Sequence[CheckedFile],
+) -> tuple[Optional[CheckedFile], dict[str, tuple[str, ...]], dict[str, int], tuple[str, ...]]:
+    """Locate ``EVENT_FIELDS`` and ``COMMON_FIELDS`` declarations.
+
+    Returns ``(file, event_fields, key_lines, common_fields)``;
+    ``key_lines`` maps each event name to the line its schema entry
+    sits on (where never-emitted diagnostics anchor).
+    """
+    for checked in files:
+        event_fields: dict[str, tuple[str, ...]] = {}
+        key_lines: dict[str, int] = {}
+        common: tuple[str, ...] = ()
+        found = False
+        for node in checked.tree.body:
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            if not isinstance(target, ast.Name) or value is None:
+                continue
+            if target.id == "EVENT_FIELDS" and isinstance(value, ast.Dict):
+                found = True
+                for key, val in zip(value.keys, value.values):
+                    name = _const_str(key) if key is not None else None
+                    if name is None:
+                        continue
+                    fields = tuple(
+                        field
+                        for field in (
+                            _const_str(item)
+                            for item in getattr(val, "elts", ())
+                        )
+                        if field is not None
+                    )
+                    event_fields[name] = fields
+                    key_lines[name] = key.lineno if key is not None else node.lineno
+            elif target.id == "COMMON_FIELDS":
+                common = tuple(
+                    name
+                    for name in (
+                        _const_str(item) for item in getattr(value, "elts", ())
+                    )
+                    if name is not None
+                )
+        if found:
+            return checked, event_fields, key_lines, common
+    return None, {}, {}, ()
+
+
+def _consumed_events(
+    files: Sequence[CheckedFile],
+) -> list[tuple[CheckedFile, ast.AST, str]]:
+    """``(file, node, event)`` triples for every consumed event name.
+
+    Only files that declare one of :data:`CONSUMER_TABLES` are treated
+    as consumers — that keeps ``counts.get(...)`` in unrelated code
+    from being misread as a trace-event access.
+    """
+    consumed: list[tuple[CheckedFile, ast.AST, str]] = []
+    for checked in files:
+        is_consumer = False
+        for node in ast.walk(checked.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in CONSUMER_TABLES
+                    and isinstance(node.value, ast.Dict)
+                ):
+                    is_consumer = True
+                    for key in node.value.keys:
+                        name = _const_str(key) if key is not None else None
+                        if name is not None:
+                            consumed.append((checked, key, name))
+        if not is_consumer:
+            continue
+        for node in ast.walk(checked.tree):
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "get"
+                    and _receiver_name(node.func) in _EVENT_COUNT_RECEIVERS
+                    and node.args
+                ):
+                    name = _const_str(node.args[0])
+                    if name is not None:
+                        consumed.append((checked, node, name))
+            elif isinstance(node, ast.Compare) and isinstance(node.left, ast.Name):
+                if node.left.id not in ("kind", "event"):
+                    continue
+                for op, comparator in zip(node.ops, node.comparators):
+                    if isinstance(op, (ast.Eq, ast.NotEq)):
+                        name = _const_str(comparator)
+                        if name is not None:
+                            consumed.append((checked, comparator, name))
+                    elif isinstance(op, (ast.In, ast.NotIn)):
+                        for item in getattr(comparator, "elts", ()):
+                            name = _const_str(item)
+                            if name is not None:
+                                consumed.append((checked, item, name))
+    return consumed
+
+
+def _produced_metrics(
+    files: Sequence[CheckedFile],
+) -> tuple[set[str], set[str]]:
+    """``(exact_names, prefixes)`` of metric-producing call sites."""
+    exact: set[str] = set()
+    prefixes: set[str] = set()
+    for checked in files:
+        for node in ast.walk(checked.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _INSTRUMENT_FACTORIES
+            ):
+                continue
+            arg = node.args[0]
+            values = _string_values(arg)
+            if values is not None:
+                exact |= values
+            elif isinstance(arg, ast.JoinedStr) and arg.values:
+                head = arg.values[0]
+                prefix = _const_str(head) if isinstance(head, ast.Constant) else None
+                if prefix:
+                    prefixes.add(prefix)
+            # Non-literal names (registry plumbing like merge_snapshot
+            # re-registering snapshot keys) are skipped, not errors.
+    return exact, prefixes
+
+
+def _consumed_metrics(
+    files: Sequence[CheckedFile],
+) -> list[tuple[CheckedFile, ast.AST, str]]:
+    consumed: list[tuple[CheckedFile, ast.AST, str]] = []
+    for checked in files:
+        for node in ast.walk(checked.tree):
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "get"
+                    and _receiver_name(node.func) in _METRIC_RECEIVERS
+                    and node.args
+                ):
+                    name = _const_str(node.args[0])
+                    if name is not None:
+                        consumed.append((checked, node, name))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in METRIC_TABLES
+                    ):
+                        for item in getattr(node.value, "elts", ()):
+                            name = _const_str(item)
+                            if name is not None:
+                                consumed.append((checked, item, name))
+    return consumed
+
+
+class SchemaDriftRule(Rule):
+    id = "schema-drift"
+    description = (
+        "trace events/metrics drifting from the versioned schema and "
+        "its consumers (checked in both directions)"
+    )
+    project_wide = True
+
+    def check_project(
+        self, files: Sequence[CheckedFile]
+    ) -> Iterable[Diagnostic]:
+        files = [f for f in files if not f.mod.startswith("repro/check/")]
+        schema_file, event_fields, key_lines, common = _find_schema(files)
+        if schema_file is None:
+            return  # nothing to check against (e.g. a fixture subset)
+
+        sites = _collect_emit_sites(files)
+        emitted: set[str] = set()
+        any_unresolved = False
+        for site in sites:
+            if site.events is None:
+                any_unresolved = True
+                yield self.diagnostic(
+                    site.checked,
+                    site.node,
+                    "emit() event name could not be resolved statically; "
+                    "use a string literal, a conditional over literals, "
+                    "or a single local assignment of those",
+                )
+                continue
+            emitted |= site.events
+            for event in sorted(site.events):
+                required = event_fields.get(event)
+                if required is None:
+                    yield self.diagnostic(
+                        site.checked,
+                        site.node,
+                        f"emits event {event!r} which is not in the trace "
+                        "schema (EVENT_FIELDS); add it to the schema or "
+                        "fix the name",
+                    )
+                    continue
+                overridden = site.fields & set(common)
+                for name in sorted(overridden):
+                    yield self.diagnostic(
+                        site.checked,
+                        site.node,
+                        f"emit({event!r}) passes common field {name!r} as "
+                        "a keyword; Instrumentation.emit stamps it",
+                    )
+                if not site.has_star_kwargs:
+                    missing = set(required) - site.fields
+                    for name in sorted(missing):
+                        yield self.diagnostic(
+                            site.checked,
+                            site.node,
+                            f"emit({event!r}) is missing required field "
+                            f"{name!r} (schema: {required})",
+                        )
+
+        if not any_unresolved:
+            for event in sorted(set(event_fields) - emitted):
+                yield Diagnostic(
+                    path=schema_file.rel,
+                    line=key_lines.get(event, 0),
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"schema event {event!r} is never emitted by any "
+                        "Instrumentation.emit site; dead schema entries "
+                        "hide drift — remove it or emit it"
+                    ),
+                    severity=self.severity,
+                )
+
+        for checked, node, name in _consumed_events(files):
+            if name not in event_fields:
+                yield self.diagnostic(
+                    checked,
+                    node,
+                    f"consumes event {name!r} which is not in the trace "
+                    "schema (EVENT_FIELDS); nothing can ever produce it",
+                )
+
+        produced, prefixes = _produced_metrics(files)
+        for checked, node, name in _consumed_metrics(files):
+            if name in produced:
+                continue
+            if any(name.startswith(prefix) for prefix in prefixes):
+                continue
+            yield self.diagnostic(
+                checked,
+                node,
+                f"reads metric {name!r} which no MetricsRegistry "
+                "counter/gauge/histogram call site produces",
+            )

@@ -5,7 +5,8 @@ here — ``python -m repro bench`` (the performance ledger, see
 :mod:`repro.obs.bench`) and ``python -m repro trace-report FILE``
 (offline trace analytics, see :mod:`repro.obs.analyze`) — plus the
 serving layer (see :mod:`repro.serve`): ``python -m repro serve``,
-``... submit`` and ``... store {stats,gc}``.
+``... submit`` and ``... store {stats,gc}``, and the static analyzer
+(see :mod:`repro.check`): ``python -m repro check [ROOT]``.
 """
 
 from __future__ import annotations
@@ -13,7 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from typing import Optional
 
 from repro._version import __version__
 from repro.experiments.registry import EXPERIMENTS, RunContext, run_experiment
@@ -37,7 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
             "subcommand: 'bench' (performance ledger), "
             "'trace-report FILE' (trace analytics), 'serve' (simulation "
             "service), 'submit' (client round-trip), 'store' "
-            "(result-store stats/gc)"
+            "(result-store stats/gc), 'check' (static analysis)"
         ),
     )
     parser.add_argument(
@@ -117,7 +118,7 @@ def _warn(message: str) -> None:
     print(f"warning: {message}", file=sys.stderr)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     raw = list(sys.argv[1:] if argv is None else argv)
     # Subcommands take their own options, so they dispatch before the
@@ -142,6 +143,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.serve.cli import store_main
 
         return store_main(raw[1:])
+    if raw and raw[0] == "check":
+        from repro.check.cli import check_main
+
+        return check_main(raw[1:])
 
     args = build_parser().parse_args(raw)
     if args.experiment == "list":
@@ -174,7 +179,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         registry = MetricsRegistry()
 
     reports = []
-    failures: List[str] = []
+    failures: list[str] = []
     sink = None
     try:
         # The sink opens inside the try so *every* exit path — including

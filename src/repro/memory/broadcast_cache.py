@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum, auto
-from typing import Callable, Dict
+from collections.abc import Callable
 
 from repro.memory.address import CACHE_LINE_BYTES
 
@@ -94,14 +94,17 @@ class BroadcastCache:
         self.entries = entries
         self.ports = ports
         self._value_reader = value_reader
-        self._tags: Dict[int, int] = {}  # slot -> line address
+        self._tags: dict[int, int] = {}  # slot -> line address
         self.stats = BroadcastCacheStats()
 
     def _slot(self, line_addr: int) -> int:
         return (line_addr // CACHE_LINE_BYTES) % self.entries
 
     def _is_zero(self, addr: int) -> bool:
-        return float(self._value_reader(addr)) == 0.0
+        # SAVE's zero detection is an exact bit test on the operand
+        # (Sec. III): 0.0 is sparse, 1e-30 is not.  A tolerance here
+        # would change which lanes are "effectual".
+        return float(self._value_reader(addr)) == 0.0  # repro: no-check[no-float-eq]
 
     def access(self, addr: int) -> BroadcastResult:
         """Serve a broadcast load of the element at byte ``addr``."""

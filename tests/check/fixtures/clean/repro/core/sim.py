@@ -1,0 +1,21 @@
+"""Deterministic simulation code: nothing to flag."""
+
+import numpy as np
+
+
+def run(obs, cycle, seq, done):
+    rng = np.random.default_rng(1234)
+    obs.emit(cycle, "dispatch", seq=seq)
+    name = "retire" if done else "dispatch"
+    obs.emit(cycle, name, seq=seq)
+    obs.metrics.counter("sim_cycles").inc()
+    obs.metrics.counter(f"vpu_ops_{name}").inc()
+    return rng.random()
+
+
+def near(a, b):
+    return abs(a - b) < 1e-9
+
+
+def ordered(ops):
+    return sorted({op.seq for op in ops})

@@ -1,0 +1,12 @@
+"""Consumers that agree with the schema and the producers."""
+
+_WINDOW_FIELD = {
+    "dispatch": "dispatches",
+    "retire": "retires",
+}
+
+
+def summarize(event_counts, counters):
+    total = event_counts.get("dispatch", 0)
+    vpu = counters.get("vpu_ops_add", 0)
+    return total + counters.get("sim_cycles", 0) + vpu

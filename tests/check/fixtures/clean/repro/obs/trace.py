@@ -1,0 +1,8 @@
+"""Mini trace schema, fully emitted and consumed."""
+
+EVENT_FIELDS = {
+    "dispatch": ("seq",),
+    "retire": ("seq",),
+}
+
+COMMON_FIELDS = ("cycle", "event", "kernel")

@@ -1,0 +1,11 @@
+"""The same violations, each silenced by a suppression comment."""
+
+import time
+
+
+def timestamped_cycle(cycle):
+    return cycle + time.time()  # repro: no-check[no-wallclock] -- fixture
+
+
+def is_done(acc):
+    return acc == 1.0  # repro: no-check -- fixture: all rules on this line

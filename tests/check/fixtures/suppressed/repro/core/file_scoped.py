@@ -1,0 +1,5 @@
+"""File-scoped suppression of one rule id."""
+# repro: no-check-file[no-float-eq] -- fixture: exact comparisons intended
+
+def exact(a):
+    return a == 0.0 or a != 1.0

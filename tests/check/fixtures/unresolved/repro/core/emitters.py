@@ -1,0 +1,6 @@
+"""An emit site whose event name defeats static resolution."""
+
+
+def run(obs, cycle, picker):
+    obs.emit(cycle, "dispatch", seq=1)
+    obs.emit(cycle, picker(), seq=2)  # line 6: unresolvable event name

@@ -1,0 +1,8 @@
+"""Schema with an event that *looks* never-emitted."""
+
+EVENT_FIELDS = {
+    "dispatch": ("seq",),
+    "maybe_dynamic": ("seq",),
+}
+
+COMMON_FIELDS = ("cycle", "event", "kernel")

@@ -1,0 +1,28 @@
+"""Seeded determinism violations; tests assert the exact lines."""
+
+import random
+import time
+
+import numpy as np
+
+
+def timestamped_cycle(cycle):
+    return cycle + time.time()  # line 10: no-wallclock
+
+
+def jitter():
+    rng = np.random.default_rng()  # line 14: no-unseeded-random
+    return rng.random() + random.random()  # line 15: no-unseeded-random
+
+
+def dedup(ops):
+    seen = {}
+    for op in ops:
+        seen[id(op)] = op  # line 21: no-unstable-order
+    for op in {ops[0], ops[-1]}:  # line 22: no-unstable-order
+        seen.pop(id(op), None)  # line 23: no-unstable-order
+    return seen
+
+
+def is_done(acc):
+    return acc == 1.0  # line 28: no-float-eq

@@ -1,0 +1,8 @@
+"""Emit-site violations against the fixture schema."""
+
+
+def run(obs, cycle):
+    obs.emit(cycle, "dispatch")  # line 5: schema-drift (missing 'seq')
+    obs.emit(cycle, "unknown_event", seq=1)  # line 6: schema-drift
+    obs.emit(cycle, "retire", seq=2, kernel="x")  # line 7: schema-drift
+    obs.metrics.counter("real_metric").inc()

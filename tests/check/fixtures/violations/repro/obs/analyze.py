@@ -1,0 +1,10 @@
+"""Consumer-side violations against the fixture schema."""
+
+_WINDOW_FIELD = {
+    "dispatch": "dispatches",
+    "ghost_event": "ghosts",  # line 5: schema-drift (not in schema)
+}
+
+
+def summarize(counters):
+    return counters.get("ghost_metric", 0)  # line 10: schema-drift

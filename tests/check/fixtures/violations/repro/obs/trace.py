@@ -1,0 +1,9 @@
+"""Mini trace schema for the schema-drift fixtures."""
+
+EVENT_FIELDS = {
+    "dispatch": ("seq",),
+    "retire": ("seq",),
+    "phantom": ("x",),  # line 6: schema-drift (never emitted)
+}
+
+COMMON_FIELDS = ("cycle", "event", "kernel")

@@ -1,0 +1,20 @@
+"""Lock-discipline violations."""
+
+import threading
+
+
+class MiniService:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.jobs = 0
+
+    def submit(self):
+        self.jobs += 1  # line 12: lock-discipline (unlocked write)
+        with self._lock:
+            self.jobs += 1  # locked: clean
+
+    def reset_locked(self):
+        self.jobs = 0  # exempt: *_locked convention
+
+    def rebind(self):
+        self._lock = threading.Lock()  # line 20: lock-discipline (rebind)

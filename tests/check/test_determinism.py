@@ -1,0 +1,65 @@
+"""Determinism rules: each seeded violation flagged at the right line."""
+
+from repro.check import run_checks
+
+
+def _lines(result, rule, path):
+    return [
+        d.line
+        for d in result.diagnostics
+        if d.rule == rule and d.path == path
+    ]
+
+
+def test_violation_lines(fixtures_dir):
+    result = run_checks(fixtures_dir / "violations")
+    path = "repro/core/bad_determinism.py"
+    assert _lines(result, "no-wallclock", path) == [10]
+    assert _lines(result, "no-unseeded-random", path) == [14, 15]
+    assert _lines(result, "no-unstable-order", path) == [21, 22, 23]
+    assert _lines(result, "no-float-eq", path) == [28]
+
+
+def test_clean_tree_passes(fixtures_dir):
+    result = run_checks(fixtures_dir / "clean")
+    assert result.ok
+    assert not result.diagnostics
+
+
+def test_suppressions_silence_and_count(fixtures_dir):
+    result = run_checks(fixtures_dir / "suppressed")
+    assert result.ok
+    assert not result.diagnostics
+    assert result.suppressed == 4
+
+
+def test_rules_scoped_to_sim_paths(tmp_path):
+    # The same wall-clock read outside the simulation scope is fine:
+    # serve/cli/fsio legitimately use host time.
+    serve = tmp_path / "repro" / "serve"
+    serve.mkdir(parents=True)
+    (serve / "timing.py").write_text(
+        "import time\n\ndef now():\n    return time.time()\n"
+    )
+    result = run_checks(tmp_path)
+    assert result.ok
+
+
+def test_seeded_rng_not_flagged(tmp_path):
+    core = tmp_path / "repro" / "core"
+    core.mkdir(parents=True)
+    (core / "rng.py").write_text(
+        "import numpy as np\n\nrng = np.random.default_rng(42)\n"
+    )
+    result = run_checks(tmp_path)
+    assert result.ok
+
+
+def test_aliased_import_still_caught(tmp_path):
+    core = tmp_path / "repro" / "core"
+    core.mkdir(parents=True)
+    (core / "t.py").write_text(
+        "from time import perf_counter as pc\n\ndef f():\n    return pc()\n"
+    )
+    result = run_checks(tmp_path)
+    assert [d.rule for d in result.diagnostics] == ["no-wallclock"]

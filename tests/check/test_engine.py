@@ -1,0 +1,160 @@
+"""Engine mechanics: suppressions, file collection, rule scoping."""
+
+import ast
+
+import pytest
+
+from repro.check import ALL_RULES, UnknownRuleError, run_checks
+from repro.check.engine import (
+    Diagnostic,
+    Rule,
+    Suppressions,
+    collect_files,
+    dotted_call_name,
+    import_map,
+)
+
+
+class TestSuppressions:
+    def test_line_all_rules(self):
+        sup = Suppressions.parse("x = 1  # repro: no-check\n")
+        assert sup.covers("anything", 1)
+        assert not sup.covers("anything", 2)
+
+    def test_line_specific_rules(self):
+        sup = Suppressions.parse("x = 1  # repro: no-check[a, b]\n")
+        assert sup.covers("a", 1)
+        assert sup.covers("b", 1)
+        assert not sup.covers("c", 1)
+
+    def test_file_scoped_specific(self):
+        sup = Suppressions.parse("# repro: no-check-file[no-float-eq]\nx = 1\n")
+        assert sup.covers("no-float-eq", 99)
+        assert not sup.covers("no-wallclock", 99)
+
+    def test_file_scoped_all(self):
+        sup = Suppressions.parse("# repro: no-check-file\n")
+        assert sup.covers("anything", 123)
+
+    def test_trailing_justification_allowed(self):
+        sup = Suppressions.parse("x  # repro: no-check[r] -- because reasons\n")
+        assert sup.covers("r", 1)
+        assert sup.count == 1
+
+    def test_non_marker_comments_ignored(self):
+        sup = Suppressions.parse("# just a comment\nx = 1  # noqa\n")
+        assert sup.count == 0
+
+
+class TestRuleScoping:
+    def test_include_prefix(self):
+        rule = Rule()
+        rule.include = ("repro/core/",)
+        assert rule.matches("repro/core/pipeline.py")
+        assert not rule.matches("repro/serve/service.py")
+
+    def test_exclude_wins(self):
+        rule = Rule()
+        rule.include = ("repro/obs/",)
+        rule.exclude = ("repro/obs/spans.py",)
+        assert rule.matches("repro/obs/trace.py")
+        assert not rule.matches("repro/obs/spans.py")
+
+    def test_empty_include_matches_all(self):
+        assert Rule().matches("anything/at/all.py")
+
+
+class TestCollectFiles:
+    def test_src_prefix_stripped_for_scoping(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "core"
+        target.mkdir(parents=True)
+        (target / "x.py").write_text("a = 1\n")
+        files, errors = collect_files(tmp_path)
+        assert not errors
+        assert files[0].rel == "src/repro/core/x.py"
+        assert files[0].mod == "repro/core/x.py"
+
+    def test_package_root_gains_prefix(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "core").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "core" / "x.py").write_text("a = 1\n")
+        files, _ = collect_files(pkg)
+        mods = {f.mod for f in files}
+        assert "repro/core/x.py" in mods
+
+    def test_syntax_error_becomes_diagnostic(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        files, errors = collect_files(tmp_path)
+        assert not files
+        assert errors[0].rule == "parse-error"
+        assert errors[0].path == "broken.py"
+
+    def test_pycache_skipped(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "x.py").write_text("a = 1\n")
+        (tmp_path / "y.py").write_text("b = 2\n")
+        files, _ = collect_files(tmp_path)
+        assert [f.rel for f in files] == ["y.py"]
+
+
+class TestRunChecks:
+    def test_unknown_rule_id_raises(self, tmp_path):
+        (tmp_path / "x.py").write_text("a = 1\n")
+        with pytest.raises(UnknownRuleError):
+            run_checks(tmp_path, rule_ids=["no-such-rule"])
+
+    def test_rule_filter_limits_diagnostics(self, fixtures_dir):
+        result = run_checks(
+            fixtures_dir / "violations", rule_ids=["lock-discipline"]
+        )
+        assert result.diagnostics
+        assert {d.rule for d in result.diagnostics} == {"lock-discipline"}
+
+    def test_parse_error_fails_the_gate(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        result = run_checks(tmp_path)
+        assert not result.ok
+
+    def test_diagnostics_sorted_and_deterministic(self, fixtures_dir):
+        first = run_checks(fixtures_dir / "violations")
+        second = run_checks(fixtures_dir / "violations")
+        assert first.diagnostics == second.diagnostics
+        assert first.diagnostics == sorted(first.diagnostics)
+
+    def test_all_rules_have_unique_ids(self):
+        ids = [rule.id for rule in ALL_RULES]
+        assert len(ids) == len(set(ids))
+        assert all(ids)
+
+
+class TestAstHelpers:
+    def test_import_map_aliases(self):
+        tree = ast.parse(
+            "import numpy as np\n"
+            "import time\n"
+            "from time import perf_counter as pc\n"
+        )
+        names = import_map(tree)
+        assert names["np"] == "numpy"
+        assert names["time"] == "time"
+        assert names["pc"] == "time.perf_counter"
+
+    def test_dotted_call_name_resolution(self):
+        tree = ast.parse("import numpy as np\nnp.random.default_rng()\n")
+        names = import_map(tree)
+        call = tree.body[1].value
+        assert dotted_call_name(call.func, names) == "numpy.random.default_rng"
+
+    def test_dotted_call_name_unknown_base(self):
+        tree = ast.parse("rng.random()\n")
+        call = tree.body[0].value
+        assert dotted_call_name(call.func, import_map(tree)) is None
+
+
+def test_diagnostic_format():
+    diag = Diagnostic(
+        path="a/b.py", line=3, col=7, rule="r", message="m", severity="error"
+    )
+    assert diag.format() == "a/b.py:3:7: r: m"

@@ -1,0 +1,125 @@
+"""Lock-discipline rule: unlocked writes, conventions, exemptions."""
+
+from repro.check import run_checks
+
+
+def _locks(result):
+    return [
+        (d.path, d.line)
+        for d in result.diagnostics
+        if d.rule == "lock-discipline"
+    ]
+
+
+def test_fixture_lines(fixtures_dir):
+    result = run_checks(fixtures_dir / "violations")
+    assert _locks(result) == [
+        ("repro/serve/service.py", 12),
+        ("repro/serve/service.py", 20),
+    ]
+
+
+def _write(tmp_path, body):
+    serve = tmp_path / "repro" / "serve"
+    serve.mkdir(parents=True)
+    (serve / "svc.py").write_text(body)
+    return run_checks(tmp_path, rule_ids=["lock-discipline"])
+
+
+def test_init_exempt(tmp_path):
+    result = _write(
+        tmp_path,
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.state = 0\n",
+    )
+    assert result.ok
+
+
+def test_locked_suffix_exempt(tmp_path):
+    result = _write(
+        tmp_path,
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.state = 0\n"
+        "    def bump_locked(self):\n"
+        "        self.state += 1\n",
+    )
+    assert result.ok
+
+
+def test_nested_with_covers_writes(tmp_path):
+    result = _write(
+        tmp_path,
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._cv = threading.Condition()\n"
+        "        self.state = 0\n"
+        "    def bump(self):\n"
+        "        with self._cv:\n"
+        "            if self.state < 3:\n"
+        "                self.state += 1\n",
+    )
+    assert result.ok
+
+
+def test_write_in_try_outside_lock_flagged(tmp_path):
+    result = _write(
+        tmp_path,
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.state = 0\n"
+        "    def bump(self):\n"
+        "        try:\n"
+        "            self.state += 1\n"
+        "        except ValueError:\n"
+        "            self.state = 0\n",
+    )
+    assert [d.line for d in result.diagnostics] == [8, 10]
+
+
+def test_subscript_write_through_attr_flagged(tmp_path):
+    result = _write(
+        tmp_path,
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.memo = {}\n"
+        "    def put(self, k, v):\n"
+        "        self.memo[k] = v\n",
+    )
+    assert [d.line for d in result.diagnostics] == [7]
+
+
+def test_lockless_class_ignored(tmp_path):
+    result = _write(
+        tmp_path,
+        "class Plain:\n"
+        "    def set(self, v):\n"
+        "        self.value = v\n",
+    )
+    assert result.ok
+
+
+def test_non_threading_lock_ignored(tmp_path):
+    # FileLock and friends are not threading primitives; classes that
+    # hold only those are out of this rule's scope.
+    result = _write(
+        tmp_path,
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._event = threading.Event()\n"
+        "        self.state = 0\n"
+        "    def set(self):\n"
+        "        self.state = 1\n",
+    )
+    assert result.ok
