@@ -94,11 +94,11 @@ class MachineConfig:
             return base + self.save.hc_extra_latency
         return base
 
-    def with_save(self, **kwargs) -> "MachineConfig":
+    def with_save(self, **kwargs) -> MachineConfig:
         """A copy with SAVE fields overridden."""
         return replace(self, save=replace(self.save, **kwargs))
 
-    def with_core(self, **kwargs) -> "MachineConfig":
+    def with_core(self, **kwargs) -> MachineConfig:
         """A copy with core fields overridden."""
         return replace(self, core=replace(self.core, **kwargs))
 

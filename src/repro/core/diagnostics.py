@@ -9,7 +9,7 @@ on the kernel", Sec. VII-B).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List
+from typing import Any
 
 from repro.core.config import MachineConfig
 from repro.core.pipeline import SimResult
@@ -93,14 +93,14 @@ _EXPLAIN_HISTOGRAMS = (
 )
 
 
-def _distribution_lines(metrics: Dict[str, Any]) -> List[str]:
+def _distribution_lines(metrics: dict[str, Any]) -> list[str]:
     """Distribution summaries from an instrumented run's snapshot.
 
     This is where the flat means of :class:`SimResult` become
     distributions: occupancy and per-stage waits as p50/p95/max, the
     level of detail the paper's Sec. VII-B attribution arguments need.
     """
-    lines: List[str] = []
+    lines: list[str] = []
     histograms = metrics.get("histograms", {})
     for label, key in _EXPLAIN_HISTOGRAMS:
         snapshot = histograms.get(key)

@@ -11,7 +11,7 @@ reference.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -90,10 +90,10 @@ class DynUop:
 
         self.elm: Optional[int] = None
         #: Per accumulator lane, tuple of effectual ML indices (mixed).
-        self.ml_effectual: Optional[List[Tuple[int, ...]]] = None
+        self.ml_effectual: Optional[list[tuple[int, ...]]] = None
         #: Per accumulator lane, count of not-yet-processed MLs (mixed
         #: technique bookkeeping).
-        self.ml_remaining: Optional[List[int]] = None
+        self.ml_remaining: Optional[list[int]] = None
         self.rotation = 0
         self.active = False  # operands + ELM ready, participates in CW
         self.appended = False  # mixed technique: MLs appended to chain
@@ -110,7 +110,7 @@ class DynUop:
         self.lanes_dispatched_mask = 0
         self.full_mask = (1 << lanes) - 1
 
-        self.consumers: List[Tuple["DynUop", str]] = []
+        self.consumers: list[tuple["DynUop", str]] = []
         self.completed = False
         self.retired = False
         self.rs_freed = False

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -77,9 +77,9 @@ class LoadStoreUnit:
         self.l1_read_ports = l1_read_ports
         self.store_ports = store_ports
         self.obs = obs
-        self._broadcast_queue: Deque[MemRequest] = deque()
-        self._l1_queue: Deque[MemRequest] = deque()
-        self._store_queue: Deque[MemRequest] = deque()
+        self._broadcast_queue: deque[MemRequest] = deque()
+        self._l1_queue: deque[MemRequest] = deque()
+        self._store_queue: deque[MemRequest] = deque()
         self.stats = LsuStats()
 
     # ------------------------------------------------------------------
@@ -128,13 +128,13 @@ class LoadStoreUnit:
     # Per-cycle service
     # ------------------------------------------------------------------
 
-    def service(self, cycle: int) -> List[Tuple[int, MemRequest]]:
+    def service(self, cycle: int) -> list[tuple[int, MemRequest]]:
         """Serve this cycle's requests.
 
         Returns ``(completion_cycle, request)`` pairs; the pipeline
         delivers values to consumers at the completion cycle.
         """
-        completions: List[Tuple[int, MemRequest]] = []
+        completions: list[tuple[int, MemRequest]] = []
         l1_ports_left = self.l1_read_ports
         obs = self.obs
         if obs is not None:

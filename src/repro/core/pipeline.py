@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -101,7 +101,7 @@ class SimResult:
     #: Metrics snapshot (``repro.obs``), present only when the run was
     #: instrumented: per-stage wait histograms, CW-occupancy and
     #: lane-utilisation distributions, structure peaks, event counters.
-    metrics: Optional[Dict] = None
+    metrics: Optional[dict] = None
     final_state: Optional[ArchState] = None
 
     @property
@@ -126,7 +126,7 @@ class SimResult:
             return 0.0
         return self.vpu_lane_slots / (self.vpu_ops * FP32_LANES)
 
-    def speedup_over(self, other: "SimResult") -> float:
+    def speedup_over(self, other: SimResult) -> float:
         """Wall-clock speedup of this run relative to ``other``."""
         return other.time_ns / self.time_ns
 
@@ -201,18 +201,18 @@ class PipelineSimulator:
         self.chains = ChainManager()
 
         # Dynamic state.
-        self.dyns: List[DynUop] = []
+        self.dyns: list[DynUop] = []
         self.alloc_ptr = 0
         self.retire_ptr = 0
         self.rob_count = 0
         self.rs_count = 0
-        self.reg_producer: Dict[int, DynUop] = {}
-        self.kreg_producer: Dict[int, DynUop] = {}
-        self._scalar_queue: Deque[DynUop] = deque()
-        self._vpu_events: Dict[int, List[TempOp]] = {}
-        self._load_events: Dict[int, List[MemRequest]] = {}
-        self._scalar_events: Dict[int, List[DynUop]] = {}
-        self._worklist: Deque[Tuple[str, DynUop, int]] = deque()
+        self.reg_producer: dict[int, DynUop] = {}
+        self.kreg_producer: dict[int, DynUop] = {}
+        self._scalar_queue: deque[DynUop] = deque()
+        self._vpu_events: dict[int, list[TempOp]] = {}
+        self._load_events: dict[int, list[MemRequest]] = {}
+        self._scalar_events: dict[int, list[DynUop]] = {}
+        self._worklist: deque[tuple[str, DynUop, int]] = deque()
 
         # Stats.
         self.cycle = 0
@@ -242,7 +242,7 @@ class PipelineSimulator:
         plus the software prefetch/blocking that keeps a tuned GEMM's
         streaming inputs out of DRAM; the C output stays cold.
         """
-        addrs: List[int] = []
+        addrs: list[int] = []
         for name in ("A", "B"):
             region = self.trace.regions.get(name)
             if region is None:
@@ -541,10 +541,9 @@ class PipelineSimulator:
             # Strawman: non-skipped µops issue whole, never lane-wise.
             return
         mixed_mp = dyn.mixed and self.mp_technique
-        if mixed_mp:
-            # Only pass-through lanes reach here in MP-technique mode.
-            if dyn.ml_effectual[lane]:
-                return
+        # Only pass-through lanes reach here in MP-technique mode.
+        if mixed_mp and dyn.ml_effectual[lane]:
+            return
         if self.lwd or mixed_mp:
             if not dyn.acc_lane_available(lane):
                 # LWD lane-order stall: the lane attempted dispatch but

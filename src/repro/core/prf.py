@@ -22,7 +22,7 @@ for embedded broadcast — so the PRF need not grow.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 from repro.core.dynuop import DynUop
 from repro.isa.registers import NUM_VREGS
@@ -34,13 +34,13 @@ class PrfTracker:
 
     def __init__(self) -> None:
         self._in_flight_dests = 0
-        self._copy_refs: Dict[Tuple[int, int], int] = defaultdict(int)
+        self._copy_refs: dict[tuple[int, int], int] = defaultdict(int)
         self._live_copies = 0
         self.peak_base = NUM_VREGS
         self.peak_copies = 0
         #: (source id, rotation) key per dyn seq, for release at retire.
-        self._dyn_copy_key: Dict[int, Tuple[int, int]] = {}
-        self._dyn_has_dest: Dict[int, bool] = {}
+        self._dyn_copy_key: dict[int, tuple[int, int]] = {}
+        self._dyn_has_dest: dict[int, bool] = {}
 
     # ------------------------------------------------------------------
 

@@ -13,14 +13,14 @@ anyway so the claim is checkable (and ablatable).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Optional
 
 
 from repro.core.dynuop import DynUop
 from repro.isa.datatypes import FP32_LANES
 
 
-def compute_elm(dyn: DynUop) -> Tuple[int, Optional[List[Tuple[int, ...]]]]:
+def compute_elm(dyn: DynUop) -> tuple[int, Optional[list[tuple[int, ...]]]]:
     """Compute the ELM (and per-AL effectual-ML lists for mixed).
 
     Requires the µop's multiplicands and write mask to be resolved.
@@ -43,7 +43,7 @@ def compute_elm(dyn: DynUop) -> Tuple[int, Optional[List[Tuple[int, ...]]]]:
                 elm |= 1 << lane
         return elm, None
 
-    ml_effectual: List[Tuple[int, ...]] = []
+    ml_effectual: list[tuple[int, ...]] = []
     for lane in range(FP32_LANES):
         if not wm & (1 << lane):
             ml_effectual.append(())
@@ -64,7 +64,7 @@ class MguStage:
         if mgus_per_cycle <= 0:
             raise ValueError("mgus_per_cycle must be positive")
         self.mgus_per_cycle = mgus_per_cycle
-        self._queue: Deque[DynUop] = deque()
+        self._queue: deque[DynUop] = deque()
         self.processed = 0
         #: Peak backlog of VFMAs awaiting ELM generation (observability
         #: check of the paper's "MGUs are never the bottleneck" claim).
@@ -76,9 +76,9 @@ class MguStage:
         if len(self._queue) > self.peak_queue:
             self.peak_queue = len(self._queue)
 
-    def step(self) -> List[DynUop]:
+    def step(self) -> list[DynUop]:
         """Process up to the per-cycle budget; returns activated µops."""
-        activated: List[DynUop] = []
+        activated: list[DynUop] = []
         for _ in range(min(self.mgus_per_cycle, len(self._queue))):
             dyn = self._queue.popleft()
             dyn.elm, dyn.ml_effectual = compute_elm(dyn)

@@ -17,14 +17,14 @@ VPU op is forwarded as the accumulation base of the next, Fig. 11).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.core.dynuop import DynUop
 
 #: One pending multiplicand-lane: (owning µop, ML index within the AL).
-MlRef = Tuple[DynUop, int]
+MlRef = tuple[DynUop, int]
 
 
 class ChainLane:
@@ -34,7 +34,7 @@ class ChainLane:
         self.root = root
         self.lane = lane
         self.slot = slot
-        self.queue: Deque[MlRef] = deque()
+        self.queue: deque[MlRef] = deque()
         #: Forwarded partial accumulator; None until the chain's initial
         #: accumulator value is available.
         self.acc_value: Optional[np.float32] = None
@@ -54,9 +54,9 @@ class ChainLane:
         """Program-order priority of the oldest pending ML."""
         return self.queue[0][0].seq
 
-    def take(self, max_mls: int = 2) -> List[MlRef]:
+    def take(self, max_mls: int = 2) -> list[MlRef]:
         """Dequeue up to ``max_mls`` MLs for one VPU AL slot."""
-        taken: List[MlRef] = []
+        taken: list[MlRef] = []
         while self.queue and len(taken) < max_mls:
             taken.append(self.queue.popleft())
         return taken
@@ -66,7 +66,7 @@ class ChainManager:
     """All live accumulator chains of a mixed-precision kernel."""
 
     def __init__(self) -> None:
-        self._chains: Dict[Tuple[int, int], ChainLane] = {}
+        self._chains: dict[tuple[int, int], ChainLane] = {}
         #: Chain-lane records ever created (observability).
         self.created = 0
         #: Effectual MLs appended across all chain lanes (observability).
@@ -103,6 +103,6 @@ class ChainManager:
         """Look up a chain-lane without creating it."""
         return self._chains.get((root.seq, lane))
 
-    def all_lanes(self) -> List[ChainLane]:
+    def all_lanes(self) -> list[ChainLane]:
         """All chain lanes (diagnostics/tests)."""
         return list(self._chains.values())

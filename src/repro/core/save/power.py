@@ -16,7 +16,6 @@ intervals.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, Tuple
 
 
 class VpuPolicy(Enum):
@@ -29,7 +28,7 @@ class VpuPolicy(Enum):
     DYNAMIC = "dynamic"  # per-kernel best
 
 
-def best_configuration(times_ns: Dict[str, float]) -> Tuple[str, float]:
+def best_configuration(times_ns: dict[str, float]) -> tuple[str, float]:
     """Pick the fastest of the candidate configurations.
 
     Args:

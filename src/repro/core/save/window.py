@@ -14,7 +14,7 @@ stations (Sec. III).  Three schedulers model the paper's design points:
 from __future__ import annotations
 
 import heapq
-from typing import Any, List, Optional, Tuple
+from typing import Any, Optional
 
 
 class SlotScheduler:
@@ -28,7 +28,7 @@ class SlotScheduler:
         if slots <= 0:
             raise ValueError("slots must be positive")
         self.slots = slots
-        self._heaps: List[List[Tuple[int, int, Any]]] = [[] for _ in range(slots)]
+        self._heaps: list[list[tuple[int, int, Any]]] = [[] for _ in range(slots)]
         self._tiebreak = 0
         self._pending = 0
         #: Peak total queue depth over the run (observability).
@@ -54,7 +54,7 @@ class SlotScheduler:
         """Total queued items across all slots (O(1))."""
         return self._pending
 
-    def slot_occupancy(self) -> List[int]:
+    def slot_occupancy(self) -> list[int]:
         """Queued items per slot (lane-imbalance diagnostics)."""
         return [len(heap) for heap in self._heaps]
 
@@ -63,7 +63,7 @@ class HorizontalScheduler:
     """Single global ready queue for 16-lane horizontal compression."""
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[int, int, Any]] = []
+        self._heap: list[tuple[int, int, Any]] = []
         self._tiebreak = 0
         #: Peak queue depth over the run (observability).
         self.peak_pending = 0
@@ -89,7 +89,7 @@ class BaselineScheduler:
     __slots__ = ("_heap",)
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[int, Any]] = []
+        self._heap: list[tuple[int, Any]] = []
 
     def insert(self, seq: int, item: Any) -> None:
         heapq.heappush(self._heap, (seq, item))

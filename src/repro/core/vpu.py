@@ -13,7 +13,6 @@ per-lane program order produce bit-identical architectural results.
 from __future__ import annotations
 
 from enum import Enum, auto
-from typing import List, Tuple
 
 import numpy as np
 
@@ -54,9 +53,9 @@ class TempOp:
         #: WHOLE: the µop.
         self.whole = whole
         #: LANES: (µop, lane) pairs.
-        self.lane_entries: List[Tuple[DynUop, int]] = []
+        self.lane_entries: list[tuple[DynUop, int]] = []
         #: CHAIN: (chain lane, MLs taken, acc base at issue) triples.
-        self.chain_entries: List[Tuple[ChainLane, List[MlRef], np.float32]] = []
+        self.chain_entries: list[tuple[ChainLane, list[MlRef], np.float32]] = []
 
     @property
     def complete_cycle(self) -> int:
@@ -134,8 +133,8 @@ def compute_lane(dyn: DynUop, lane: int) -> np.float32:
 
 
 def compute_chain_slot(
-    mls: List[MlRef], lane: int, acc_base: np.float32
-) -> Tuple[np.float32, List[Tuple[DynUop, int, np.float32]]]:
+    mls: list[MlRef], lane: int, acc_base: np.float32
+) -> tuple[np.float32, list[tuple[DynUop, int, np.float32]]]:
     """Process up to two MLs of one chain slot (Fig. 11 semantics).
 
     Args:
@@ -149,7 +148,7 @@ def compute_chain_slot(
     back if the ML is its instruction's last (Sec. V-B).
     """
     value = np.float32(acc_base)
-    partials: List[Tuple[DynUop, int, np.float32]] = []
+    partials: list[tuple[DynUop, int, np.float32]] = []
     for dyn, p in mls:
         value = mac(value, dyn.a_value[2 * lane + p], dyn.b_value[2 * lane + p])
         partials.append((dyn, p, value))

@@ -17,7 +17,7 @@ BS / 40% NBS, reporting speedups over the unmodified baseline.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from repro.core.config import (
     BASELINE_2VPU,
@@ -36,7 +36,7 @@ KERNEL_POINTS = {
 }
 
 
-def _ablation_machines() -> Dict[str, MachineConfig]:
+def _ablation_machines() -> dict[str, MachineConfig]:
     return {
         "SAVE (full)": SAVE_2VPU,
         "naive lane-skip": SAVE_2VPU.with_save(coalescing=CoalescingScheme.NAIVE),
@@ -56,7 +56,7 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     ctx = ctx if ctx is not None else RunContext()
     k_steps = ctx.resolve_k_steps(24)
     machines = _ablation_machines()
-    jobs: List[PointJob] = []
+    jobs: list[PointJob] = []
     for kernel_name, bs, nbs in KERNEL_POINTS.values():
         config = get_kernel(kernel_name).config(
             broadcast_sparsity=bs,
@@ -70,8 +70,8 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
         )
     times = default_executor(ctx.executor).map(jobs)
 
-    rows: List[Tuple[str, str, float]] = []
-    data: Dict[str, Dict[str, float]] = {}
+    rows: list[tuple[str, str, float]] = []
+    data: dict[str, dict[str, float]] = {}
     stride = 1 + len(machines)
     for point_index, point_label in enumerate(KERNEL_POINTS):
         base_time = times[point_index * stride]

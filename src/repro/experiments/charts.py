@@ -12,7 +12,7 @@ Both return strings, so they compose with reports and tests.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Tuple
+from collections.abc import Mapping
 
 #: Shade ramp from low to high.
 SHADES = " .:-=+*#%@"
@@ -28,7 +28,7 @@ def _scale(value: float, low: float, high: float) -> float:
 
 
 def heatmap(
-    grid: Mapping[Tuple[float, float], float],
+    grid: Mapping[tuple[float, float], float],
     title: str = "",
     cell_width: int = 6,
 ) -> str:
@@ -86,7 +86,7 @@ def line_chart(
     # Canvas: rows top (high) to bottom (low).
     width = len(xs)
     canvas = [[" "] * width for _ in range(height)]
-    for index, (label, points) in enumerate(series.items()):
+    for index, points in enumerate(series.values()):
         glyph = GLYPHS[index % len(GLYPHS)]
         for col, x in enumerate(xs):
             if x not in points:
@@ -111,7 +111,7 @@ def line_chart(
     return "\n".join(lines)
 
 
-def fig15_charts(data: Dict) -> str:
+def fig15_charts(data: dict) -> str:
     """Render a fig15 report's data as two heatmaps."""
     return "\n\n".join(
         heatmap(data[key], title=f"Fig. 15 ({label})")
@@ -119,7 +119,7 @@ def fig15_charts(data: Dict) -> str:
     )
 
 
-def fig18_charts(data: Dict) -> str:
+def fig18_charts(data: dict) -> str:
     """Render a fig18 report's data as one line chart per panel."""
     charts = []
     for panel, techniques in data.items():

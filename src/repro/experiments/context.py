@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Optional
+from collections.abc import Sequence
 
 if TYPE_CHECKING:  # imports only for annotations; keeps this module cycle-free
     from repro.experiments.executor import SimExecutor
@@ -72,7 +73,7 @@ class RunContext:
         """The context's ``k_steps``, or the experiment's ``default``."""
         return default if self.k_steps is None else self.k_steps
 
-    def with_options(self, **changes) -> "RunContext":
+    def with_options(self, **changes) -> RunContext:
         """A copy with the given fields replaced (frozen-safe update)."""
         return dataclasses.replace(self, **changes)
 

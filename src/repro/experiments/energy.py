@@ -8,7 +8,7 @@ behind the VPU-gating feature.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 from repro.core.config import BASELINE_2VPU, SAVE_1VPU, SAVE_2VPU
 from repro.core.pipeline import simulate
@@ -34,8 +34,8 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     k_steps = ctx.resolve_k_steps(24)
     model = EnergyModel()
     spec = get_kernel("resnet2_2_fwd")
-    rows: List[tuple] = []
-    data: Dict[str, Dict[str, float]] = {}
+    rows: list[tuple] = []
+    data: dict[str, dict[str, float]] = {}
     for bs, nbs in SPARSITY_POINTS:
         trace = generate_gemm_trace(
             spec.config(

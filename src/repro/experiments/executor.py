@@ -26,7 +26,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Optional
+from collections.abc import Iterable, Sequence
 
 from repro.core.config import MachineConfig
 from repro.kernels.gemm import GemmKernelConfig
@@ -77,7 +78,7 @@ class PointJob:
 
     def run_instrumented(
         self, sink: Optional[TraceSink] = None
-    ) -> Tuple[float, Dict[str, Any]]:
+    ) -> tuple[float, dict[str, Any]]:
         """Run with a fresh per-job registry; return (value, snapshot).
 
         A *fresh* registry per job is what makes cross-process merging
@@ -90,27 +91,27 @@ class PointJob:
         return value, obs.snapshot()
 
 
-def _run_chunk(chunk: List[Tuple[int, PointJob]]) -> List[Tuple[int, float]]:
+def _run_chunk(chunk: list[tuple[int, PointJob]]) -> list[tuple[int, float]]:
     """Worker entry point: run one chunk of (index, job) pairs."""
     return [(index, job.run()) for index, job in chunk]
 
 
 def _run_chunk_instrumented(
-    chunk: List[Tuple[int, PointJob]],
-) -> List[Tuple[int, Tuple[float, Dict[str, Any]]]]:
+    chunk: list[tuple[int, PointJob]],
+) -> list[tuple[int, tuple[float, dict[str, Any]]]]:
     """Worker entry point when metrics are collected."""
     return [(index, job.run_instrumented()) for index, job in chunk]
 
 
 def merge_indexed(
-    chunks: Iterable[Sequence[Tuple[int, float]]], total: int
-) -> List[float]:
+    chunks: Iterable[Sequence[tuple[int, float]]], total: int
+) -> list[float]:
     """Reassemble chunk results into job-index order.
 
     Chunks may arrive in *any* order (workers complete out of order);
     the output is always ``results[i] == value of job i``.
     """
-    results: List[Optional[float]] = [None] * total
+    results: list[Optional[float]] = [None] * total
     seen = 0
     for chunk in chunks:
         for index, value in chunk:
@@ -201,8 +202,8 @@ class SimExecutor:
         return self.jobs > 1
 
     def _chunks(
-        self, indexed: List[Tuple[int, PointJob]]
-    ) -> List[List[Tuple[int, PointJob]]]:
+        self, indexed: list[tuple[int, PointJob]]
+    ) -> list[list[tuple[int, PointJob]]]:
         size = self.chunksize
         if size is None:
             size = max(1, len(indexed) // (self.jobs * 4))
@@ -226,13 +227,13 @@ class SimExecutor:
         if pool is not None:
             pool.shutdown(wait=True)
 
-    def __enter__(self) -> "SimExecutor":
+    def __enter__(self) -> SimExecutor:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def map(self, jobs: Sequence[PointJob]) -> List[float]:
+    def map(self, jobs: Sequence[PointJob]) -> list[float]:
         """Run a batch; results are in job order on every backend."""
         if not jobs:
             return []
@@ -248,7 +249,7 @@ class SimExecutor:
             completed = self._run_chunks(_run_chunk, chunks)
             return merge_indexed(completed, len(jobs))
 
-    def _map_instrumented(self, jobs: Sequence[PointJob]) -> List[float]:
+    def _map_instrumented(self, jobs: Sequence[PointJob]) -> list[float]:
         """Instrumented batch: collect per-job snapshots, merge in order.
 
         Serial and parallel paths build the *same* list of per-job

@@ -16,7 +16,8 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Optional
+from collections.abc import Iterable
 
 from repro._version import __version__
 from repro.experiments.report import ExperimentReport
@@ -35,7 +36,7 @@ def _jsonable(value: Any) -> Any:
     return str(value)
 
 
-def export_report(report: ExperimentReport, directory: Path) -> List[Path]:
+def export_report(report: ExperimentReport, directory: Path) -> list[Path]:
     """Write one report's text, JSON and CSV files; returns the paths."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -67,7 +68,7 @@ METRICS_CSV_COLUMNS = (
 )
 
 
-def export_metrics_csv(snapshot: Dict[str, Any], directory: Path) -> Path:
+def export_metrics_csv(snapshot: dict[str, Any], directory: Path) -> Path:
     """Flatten one metrics snapshot into ``metrics.csv``.
 
     Counters and gauges fill the ``value`` column; histograms fill the
@@ -110,15 +111,15 @@ def export_metrics_csv(snapshot: Dict[str, Any], directory: Path) -> Path:
 def export_all(
     reports: Iterable[ExperimentReport],
     directory: Path,
-    metrics: Optional[Dict[str, Any]] = None,
-) -> Dict[str, List[str]]:
+    metrics: Optional[dict[str, Any]] = None,
+) -> dict[str, list[str]]:
     """Export several reports and write an ``index.json`` manifest.
 
     Pass the run's merged metrics snapshot as ``metrics`` to also write
     ``metrics.csv`` (listed in the manifest under ``"metrics"``).
     """
     directory = Path(directory)
-    manifest: Dict[str, List[str]] = {}
+    manifest: dict[str, list[str]] = {}
     for report in reports:
         paths = export_report(report, directory)
         manifest[report.experiment] = [path.name for path in paths]

@@ -12,7 +12,7 @@ Four panels:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
@@ -40,9 +40,9 @@ PAPER_DYNAMIC = {
 
 
 def _evaluate(panel: str, full_grid: bool, store: SurfaceStore, k_steps: int,
-              samples: int) -> List[NetworkEvaluation]:
+              samples: int) -> list[NetworkEvaluation]:
     levels = PAPER_LEVELS if full_grid else COARSE_LEVELS
-    evaluations: List[NetworkEvaluation] = []
+    evaluations: list[NetworkEvaluation] = []
     if panel == "a":
         networks, mode = CNNS, "inference"
     elif panel == "b":
@@ -84,7 +84,7 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     k_steps = ctx.resolve_k_steps(16)
     panels = ("a", "b", "c", "d") if ctx.panel == "all" else (ctx.panel,)
     rows = []
-    data: Dict[str, dict] = {}
+    data: dict[str, dict] = {}
     for p in panels:
         for evaluation in _evaluate(p, ctx.full_grid, store, k_steps, ctx.samples):
             key = f"14{p}/{evaluation.network}/{evaluation.precision.value}"

@@ -13,7 +13,7 @@ bucket the caps.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from repro.core.config import BASELINE_2VPU, SAVE_1VPU, SAVE_2VPU, MachineConfig
 from repro.experiments.context import RunContext
@@ -30,12 +30,12 @@ from repro.model.surface import SurfaceStore
 BUCKETS = ((1.0, 1.2), (1.2, 1.4), (1.4, 1.6), (1.6, 1.8), (1.8, 2.0), (2.0, 99.0))
 BUCKET_LABELS = ("1.0-1.2x", "1.2-1.4x", "1.4-1.6x", "1.6-1.8x", "1.8-2.0x", ">2.0x")
 
-CONFIGS: Dict[str, MachineConfig] = {"2 VPUs": SAVE_2VPU, "1 VPU": SAVE_1VPU}
+CONFIGS: dict[str, MachineConfig] = {"2 VPUs": SAVE_2VPU, "1 VPU": SAVE_1VPU}
 
 
-def studied_kernels() -> List[Tuple[object, Phase, bool]]:
+def studied_kernels() -> list[tuple[object, Phase, bool]]:
     """Distinct (layer, phase) kernels across the evaluated networks."""
-    kernels: List[Tuple[object, Phase, bool]] = []
+    kernels: list[tuple[object, Phase, bool]] = []
     seen = set()
     for network in (VGG16, RESNET50_DENSE, GNMT):
         for index, layer in enumerate(network.layers):
@@ -99,7 +99,7 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     split = MulticoreSplit()
     kernels = studied_kernels()
     rows = []
-    data: Dict[str, Dict[str, List[int]]] = {}
+    data: dict[str, dict[str, list[int]]] = {}
     geomeans = {}
     for precision in (Precision.FP32, Precision.MIXED):
         for label, machine in CONFIGS.items():

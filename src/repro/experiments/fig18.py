@@ -61,7 +61,7 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
         )
         data[panel] = {label: sweep.speedups for label, sweep in results.items()}
         for label, sweep in results.items():
-            for (bs, nbs), speedup in sorted(sweep.speedups.items()):
+            for (_bs, nbs), speedup in sorted(sweep.speedups.items()):
                 rows.append((panel, label, f"{nbs:.0%}", speedup))
     return ExperimentReport(
         experiment="fig18",

@@ -37,7 +37,7 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     )
     rows = []
     for label, sweep in results.items():
-        for (bs, nbs), speedup in sorted(sweep.speedups.items()):
+        for (_bs, nbs), speedup in sorted(sweep.speedups.items()):
             rows.append((label, f"{nbs:.0%}", speedup))
     return ExperimentReport(
         experiment="fig19",

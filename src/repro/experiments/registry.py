@@ -9,7 +9,8 @@ understands instead of silently swallowing them.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Optional
+from typing import Optional
+from collections.abc import Callable
 
 from repro.experiments import (  # noqa: F401  (imported for side effect-free registry)
     ablations,
@@ -32,7 +33,7 @@ from repro.experiments.context import CONTEXT_FIELDS, RunContext
 from repro.experiments.report import ExperimentReport
 from repro.obs import maybe_span
 
-EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
+EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
     "table1": table1.run,
     "table2": table2.run,
     "table3": table3.run,

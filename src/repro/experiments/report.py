@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any
+from collections.abc import Sequence
 
 
 @dataclass
@@ -22,9 +23,9 @@ class ExperimentReport:
     experiment: str
     title: str
     headers: Sequence[str]
-    rows: List[Sequence[Any]]
-    notes: List[str] = field(default_factory=list)
-    data: Dict[str, Any] = field(default_factory=dict)
+    rows: list[Sequence[Any]]
+    notes: list[str] = field(default_factory=list)
+    data: dict[str, Any] = field(default_factory=dict)
 
     def render(self) -> str:
         """Format as an aligned text table."""

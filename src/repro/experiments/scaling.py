@@ -9,7 +9,7 @@ cap below the CNNs' (Sec. VII-A).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 from repro.core.config import SAVE_2VPU
 from repro.experiments.context import RunContext
@@ -53,8 +53,8 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     elif ctx.executor is not None:
         store.executor = ctx.executor
     k_steps = ctx.resolve_k_steps(16)
-    rows: List[tuple] = []
-    data: Dict[str, Dict[int, float]] = {"conv": {}, "lstm": {}}
+    rows: list[tuple] = []
+    data: dict[str, dict[int, float]] = {"conv": {}, "lstm": {}}
     for label, layer, lstm in (("conv", CONV, False), ("lstm", LSTM, True)):
         for cores in CORE_COUNTS:
             compute, memory = _layer_times(layer, lstm, cores, store, k_steps)

@@ -8,7 +8,8 @@ machine configurations and reports speedups over the paper's baseline
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional
+from collections.abc import Sequence
 
 from repro.core.config import BASELINE_2VPU, MachineConfig
 from repro.core.pipeline import simulate
@@ -20,8 +21,8 @@ from repro.obs import maybe_span
 
 #: Default sparsity grid for quick sweeps (the paper uses 10% steps;
 #: pass ``full_grid=True`` to experiment runners for that resolution).
-QUICK_LEVELS: Tuple[float, ...] = (0.0, 0.3, 0.6, 0.9)
-PAPER_SWEEP_LEVELS: Tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(10))
+QUICK_LEVELS: tuple[float, ...] = (0.0, 0.3, 0.6, 0.9)
+PAPER_SWEEP_LEVELS: tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(10))
 
 
 def kernel_time_ns(
@@ -52,16 +53,16 @@ class SweepResult:
 
     label: str
     #: (bs, nbs) → speedup.
-    speedups: Dict[Tuple[float, float], float]
+    speedups: dict[tuple[float, float], float]
 
-    def series(self, bs: float) -> List[float]:
+    def series(self, bs: float) -> list[float]:
         """Speedups along the NBS axis at fixed BS (a Fig. 15/17 line)."""
         return [v for (b, _n), v in sorted(self.speedups.items()) if b == bs]
 
 
 def sweep_kernel(
     spec: KernelSpec,
-    machines: Dict[str, MachineConfig],
+    machines: dict[str, MachineConfig],
     bs_levels: Sequence[float],
     nbs_levels: Sequence[float],
     precision: Optional[Precision] = None,
@@ -69,7 +70,7 @@ def sweep_kernel(
     baseline: MachineConfig = BASELINE_2VPU,
     seed: int = 0,
     executor: Optional[SimExecutor] = None,
-) -> Dict[str, SweepResult]:
+) -> dict[str, SweepResult]:
     """Sweep one kernel over the sparsity grid under each machine.
 
     The baseline time is measured once at dense inputs (its time is
@@ -81,7 +82,7 @@ def sweep_kernel(
     executor as one batch.  Results return in job order, so a parallel
     sweep's speedup dicts are identical to a serial one's.
     """
-    jobs: List[PointJob] = [
+    jobs: list[PointJob] = [
         PointJob(
             config=spec.config(
                 broadcast_sparsity=0.0,
@@ -112,9 +113,9 @@ def sweep_kernel(
     times = runner.map(jobs)
     base_time, point_times = times[0], times[1:]
     with maybe_span(runner.spans, "sweep.assemble", kernel=spec.name):
-        results: Dict[str, SweepResult] = {}
+        results: dict[str, SweepResult] = {}
         for m_index, label in enumerate(machines):
-            speedups: Dict[Tuple[float, float], float] = {}
+            speedups: dict[tuple[float, float], float] = {}
             for p_index, (bs, nbs) in enumerate(points):
                 time = point_times[m_index * len(points) + p_index]
                 speedups[(round(bs, 2), round(nbs, 2))] = base_time / time

@@ -7,7 +7,7 @@ some training step.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
@@ -16,7 +16,7 @@ from repro.model.networks import GNMT, RESNET50_DENSE, RESNET50_PRUNED, VGG16
 from repro.model.phases import phase_sparsity
 
 
-def _marks(network, phase: Phase) -> Tuple[str, str]:
+def _marks(network, phase: Phase) -> tuple[str, str]:
     """(BS, NBS) check marks for one network phase."""
     # Probe a mid-network layer late in training (pruning ramped up).
     layer = min(4, network.n_layers - 1)
@@ -27,7 +27,7 @@ def _marks(network, phase: Phase) -> Tuple[str, str]:
 
 def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     """Render the sparsity-type matrix (Table III)."""
-    rows: List[Tuple[str, ...]] = []
+    rows: list[tuple[str, ...]] = []
     for network in (VGG16, RESNET50_DENSE, RESNET50_PRUNED):
         fwd = _marks(network, Phase.FORWARD)
         bwd_in = _marks(network, Phase.BACKWARD_INPUT)

@@ -8,7 +8,7 @@ transparent to software" claim.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 from repro.core.config import (
     BASELINE_2VPU,
@@ -49,8 +49,8 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     """Render the transparency validation matrix."""
     ctx = ctx if ctx is not None else RunContext()
     k_steps = ctx.resolve_k_steps(8)
-    rows: List[tuple] = []
-    failures: Dict[str, List[str]] = {}
+    rows: list[tuple] = []
+    failures: dict[str, list[str]] = {}
     checks = 0
     for kernel_label, tile, precision in KERNELS:
         trace = generate_gemm_trace(

@@ -18,6 +18,7 @@ primitives make that safe:
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from pathlib import Path
@@ -47,10 +48,8 @@ def atomic_write_text(path: Union[str, Path], text: str) -> None:
         # Only reached with the temp file still present when the write
         # or replace itself failed.
         if tmp.exists():  # pragma: no cover - error-path cleanup
-            try:
+            with contextlib.suppress(OSError):
                 tmp.unlink()
-            except OSError:
-                pass
 
 
 class LockTimeout(TimeoutError):
@@ -103,7 +102,7 @@ class FileLock:
         except FileExistsError:  # pragma: no cover
             return False
 
-    def acquire(self) -> "FileLock":
+    def acquire(self) -> FileLock:
         if self.held:
             raise RuntimeError(f"lock {self.path} already held by this object")
         deadline = time.monotonic() + self.timeout
@@ -124,12 +123,10 @@ class FileLock:
             os.close(fd)
         else:  # pragma: no cover - non-POSIX fallback
             os.close(fd)
-            try:
+            with contextlib.suppress(OSError):
                 self.path.unlink()
-            except OSError:
-                pass
 
-    def __enter__(self) -> "FileLock":
+    def __enter__(self) -> FileLock:
         return self.acquire()
 
     def __exit__(self, *exc_info: object) -> None:

@@ -9,7 +9,8 @@ store; addresses are byte addresses and values are FP32 (4 bytes) or BF16
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Optional
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -33,7 +34,7 @@ class Memory:
     """
 
     def __init__(self) -> None:
-        self._data: Dict[int, float] = {}
+        self._data: dict[int, float] = {}
 
     def read(self, addr: int) -> np.float32:
         """Read one element at byte address ``addr``."""
@@ -79,7 +80,7 @@ class Memory:
         for i, value in enumerate(arr):
             self._data[addr + i * stride] = float(value)
 
-    def snapshot(self) -> Dict[int, float]:
+    def snapshot(self) -> dict[int, float]:
         """Return a copy of the backing store (for state comparison)."""
         return dict(self._data)
 
@@ -100,10 +101,10 @@ class ArchState:
     """
 
     def __init__(self, memory: Optional[Memory] = None) -> None:
-        self.vregs: Dict[int, np.ndarray] = {
+        self.vregs: dict[int, np.ndarray] = {
             i: np.zeros(FP32_LANES, dtype=np.float32) for i in range(NUM_VREGS)
         }
-        self.kregs: Dict[int, int] = {i: (1 << FP32_LANES) - 1 for i in range(NUM_MASK_REGS)}
+        self.kregs: dict[int, int] = {i: (1 << FP32_LANES) - 1 for i in range(NUM_MASK_REGS)}
         self.memory = memory if memory is not None else Memory()
 
     def read_vreg(self, reg: int) -> np.ndarray:
@@ -125,6 +126,6 @@ class ArchState:
         """Overwrite mask register ``reg``."""
         self.kregs[reg] = int(value)
 
-    def registers_snapshot(self) -> Dict[int, np.ndarray]:
+    def registers_snapshot(self) -> dict[int, np.ndarray]:
         """Return a copy of all vector registers (for state comparison)."""
         return {reg: val.copy() for reg, val in self.vregs.items()}

@@ -19,7 +19,8 @@ Arithmetic notes:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Optional
+from collections.abc import Iterable
 
 import numpy as np
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum, auto
-from typing import List, Optional, Union
+from typing import Optional, Union
 
 
 class UopKind(Enum):
@@ -117,18 +117,17 @@ class Uop:
         """True for both FP32 VFMA and mixed-precision VDPBF16 µops."""
         return self.kind in (UopKind.VFMA, UopKind.VDPBF16)
 
-    def register_sources(self) -> List[int]:
+    def register_sources(self) -> list[int]:
         """Vector registers read by this µop (excluding mask registers)."""
-        regs: List[int] = []
+        regs: list[int] = []
         if self.is_fma():
             if self.accum is not None:
                 regs.append(self.accum)
             for operand in (self.src_a, self.src_b):
                 if isinstance(operand, RegOperand):
                     regs.append(operand.reg)
-        elif self.kind == UopKind.VSTORE:
-            if isinstance(self.src_a, RegOperand):
-                regs.append(self.src_a.reg)
+        elif self.kind == UopKind.VSTORE and isinstance(self.src_a, RegOperand):
+            regs.append(self.src_a.reg)
         return regs
 
     def memory_operand(self) -> Optional[MemOperand]:

@@ -24,7 +24,6 @@ GEMM result — the transparency tests depend on this.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 
@@ -87,7 +86,7 @@ class _GemmTraceBuilder:
         self.tile = config.tile
         self.mixed = config.precision == Precision.MIXED
         self.element_bytes = 2 if self.mixed else 4
-        self.uops: List[Uop] = []
+        self.uops: list[Uop] = []
         self.memory = Memory()
         rng = np.random.default_rng(config.seed)
 

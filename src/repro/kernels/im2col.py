@@ -16,7 +16,6 @@ Layouts: activations are ``(channels, height, width)``; weights are
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 
@@ -88,7 +87,7 @@ def conv2d_via_gemm(
     weights: np.ndarray,
     stride: int = 1,
     padding: int = 0,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Convolution as the unfolded GEMM of Sec. II-A.
 
     Returns ``(output, patches, weight_matrix)`` so callers can inspect

@@ -25,7 +25,7 @@ Tile choices follow the paper's stated properties:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.kernels.gemm import GemmKernelConfig
 from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
@@ -63,7 +63,7 @@ class KernelSpec:
         )
 
 
-KERNEL_LIBRARY: Dict[str, KernelSpec] = {
+KERNEL_LIBRARY: dict[str, KernelSpec] = {
     spec.name: spec
     for spec in [
         KernelSpec(

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Optional, Union
 
 from repro.isa.registers import Memory
 from repro.isa.uops import MemOperand, Operand, RegOperand, Uop, UopKind
@@ -74,7 +74,7 @@ def trace_to_json(trace: KernelTrace) -> dict:
     Generator metadata that is not JSON-representable (numpy matrices,
     tile objects) is dropped; everything execution needs is kept.
     """
-    simple_meta: Dict[str, Any] = {}
+    simple_meta: dict[str, Any] = {}
     for key, value in trace.meta.items():
         if isinstance(value, (str, int, float, bool)) or value is None:
             simple_meta[key] = value

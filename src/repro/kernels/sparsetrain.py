@@ -25,7 +25,6 @@ the dense trace's reference result.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 
@@ -74,7 +73,7 @@ def generate_sparsetrain_trace(config: SparseTrainConfig) -> KernelTrace:
     """
     builder = _GemmTraceBuilder(config.gemm)
     tile, gemm = builder.tile, config.gemm
-    uops: List[Uop] = []
+    uops: list[Uop] = []
     rng = np.random.default_rng(gemm.seed + 1)
 
     for accum in range(tile.accumulators):

@@ -8,7 +8,6 @@ Both the reference executor and the pipeline consume the same object.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
 
 import numpy as np
 
@@ -44,7 +43,7 @@ class TraceStats:
         )
 
 
-def count_uops(trace: List[Uop]) -> TraceStats:
+def count_uops(trace: list[Uop]) -> TraceStats:
     """Tally a trace into a :class:`TraceStats`."""
     stats = TraceStats()
     for uop in trace:
@@ -83,11 +82,11 @@ class KernelTrace:
     """
 
     name: str
-    uops: List[Uop]
+    uops: list[Uop]
     memory: Memory
-    regions: Dict[str, Region]
+    regions: dict[str, Region]
     stats: TraceStats
-    meta: Dict[str, object] = field(default_factory=dict)
+    meta: dict[str, object] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.uops)

@@ -55,7 +55,7 @@ class Region:
         return addr
 
 
-def make_regions(*specs: "tuple[str, int]", base: int = 0x1000_0000) -> "dict[str, Region]":
+def make_regions(*specs: tuple[str, int], base: int = 0x1000_0000) -> dict[str, Region]:
     """Lay out disjoint line-aligned regions.
 
     Args:

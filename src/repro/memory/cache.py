@@ -9,7 +9,8 @@ timing model needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import Optional
+from collections.abc import Callable
 
 from repro.memory.address import CACHE_LINE_BYTES
 from repro.memory.replacement import ReplacementPolicy, policy_class
@@ -75,8 +76,8 @@ class SetAssociativeCache:
         # Sets are materialised lazily on first touch: a kernel trace
         # visits a tiny fraction of an L3's sets, and eager allocation
         # dominated simulator construction time.
-        self._tags: Dict[int, List[Optional[int]]] = {}
-        self._policies: Dict[int, ReplacementPolicy] = {}
+        self._tags: dict[int, list[Optional[int]]] = {}
+        self._policies: dict[int, ReplacementPolicy] = {}
         self.stats = CacheStats()
         #: Called with the evicted line address on every eviction
         #: (used for inclusive back-invalidation).
@@ -87,7 +88,7 @@ class SetAssociativeCache:
     def _set_index(self, line: int) -> int:
         return line % self.num_sets
 
-    def _set_tags(self, set_idx: int) -> List[Optional[int]]:
+    def _set_tags(self, set_idx: int) -> list[Optional[int]]:
         tags = self._tags.get(set_idx)
         if tags is None:
             tags = self._tags[set_idx] = [None] * self.ways
@@ -154,9 +155,9 @@ class SetAssociativeCache:
         self.stats.invalidations += 1
         return True
 
-    def resident_lines(self) -> Set[int]:
+    def resident_lines(self) -> set[int]:
         """Set of line addresses currently cached (for invariants)."""
-        lines: Set[int] = set()
+        lines: set[int] = set()
         for tags in self._tags.values():
             for tag in tags:
                 if tag is not None:
@@ -167,7 +168,7 @@ class SetAssociativeCache:
         """Zero the counters (e.g. after cache warm-up)."""
         self.stats = CacheStats()
 
-    def clone_empty(self) -> "SetAssociativeCache":
+    def clone_empty(self) -> SetAssociativeCache:
         """A fresh cache with the same geometry."""
         return SetAssociativeCache(
             self.name, self.size_bytes, self.ways, self._policy_name, self.line_bytes

@@ -9,7 +9,6 @@ hop, there and back.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 
 @dataclass(frozen=True)
@@ -31,7 +30,7 @@ class MeshNoc:
         """Total number of tiles (= cores = L3 slices)."""
         return self.width * self.height
 
-    def coordinates(self, tile: int) -> Tuple[int, int]:
+    def coordinates(self, tile: int) -> tuple[int, int]:
         """(x, y) position of a tile, row-major."""
         if not 0 <= tile < self.num_tiles:
             raise ValueError(f"tile {tile} outside {self.num_tiles}-tile mesh")

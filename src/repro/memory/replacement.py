@@ -7,7 +7,6 @@ stateful per cache *set*; the cache owns one policy instance per set.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List
 
 
 class ReplacementPolicy(ABC):
@@ -27,7 +26,7 @@ class ReplacementPolicy(ABC):
         """Record a fill (miss insertion) into ``way``."""
 
     @abstractmethod
-    def victim(self, occupied: List[bool]) -> int:
+    def victim(self, occupied: list[bool]) -> int:
         """Choose a way to evict; prefer an unoccupied way if any."""
 
 
@@ -37,7 +36,7 @@ class LruPolicy(ReplacementPolicy):
     def __init__(self, ways: int) -> None:
         super().__init__(ways)
         # Index 0 = most recently used.
-        self._stack: List[int] = list(range(ways))
+        self._stack: list[int] = list(range(ways))
 
     def _touch(self, way: int) -> None:
         self._stack.remove(way)
@@ -49,13 +48,13 @@ class LruPolicy(ReplacementPolicy):
     def on_fill(self, way: int) -> None:
         self._touch(way)
 
-    def victim(self, occupied: List[bool]) -> int:
+    def victim(self, occupied: list[bool]) -> int:
         for way in range(self.ways):
             if not occupied[way]:
                 return way
         return self._stack[-1]
 
-    def recency_order(self) -> List[int]:
+    def recency_order(self) -> list[int]:
         """MRU→LRU way order (exposed for invariants testing)."""
         return list(self._stack)
 
@@ -73,7 +72,7 @@ class SrripPolicy(ReplacementPolicy):
 
     def __init__(self, ways: int) -> None:
         super().__init__(ways)
-        self._rrpv: List[int] = [self.MAX_RRPV] * ways
+        self._rrpv: list[int] = [self.MAX_RRPV] * ways
 
     def on_hit(self, way: int) -> None:
         self._rrpv[way] = 0
@@ -81,7 +80,7 @@ class SrripPolicy(ReplacementPolicy):
     def on_fill(self, way: int) -> None:
         self._rrpv[way] = self.MAX_RRPV - 1
 
-    def victim(self, occupied: List[bool]) -> int:
+    def victim(self, occupied: list[bool]) -> int:
         for way in range(self.ways):
             if not occupied[way]:
                 return way
@@ -92,7 +91,7 @@ class SrripPolicy(ReplacementPolicy):
             for way in range(self.ways):
                 self._rrpv[way] += 1
 
-    def rrpv_values(self) -> List[int]:
+    def rrpv_values(self) -> list[int]:
         """Current RRPV per way (exposed for invariants testing)."""
         return list(self._rrpv)
 

@@ -13,7 +13,7 @@ would add.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.model.estimator import ONE_VPU, TWO_VPUS, KernelEstimate
 
@@ -31,12 +31,12 @@ class DvfsModel:
 
     def schedule(
         self, estimates: Sequence[KernelEstimate]
-    ) -> Tuple[List[str], float, int]:
+    ) -> tuple[list[str], float, int]:
         """The dynamic policy's choice sequence over a kernel stream.
 
         Returns (choices, total kernel time, transition count).
         """
-        choices: List[str] = []
+        choices: list[str] = []
         total = 0.0
         transitions = 0
         previous = None

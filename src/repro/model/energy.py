@@ -53,7 +53,7 @@ class EnergyBreakdown:
     def total_nj(self) -> float:
         return self.vpu_dynamic_nj + self.memory_dynamic_nj + self.mgu_nj + self.static_nj
 
-    def relative_to(self, other: "EnergyBreakdown") -> float:
+    def relative_to(self, other: EnergyBreakdown) -> float:
         """This run's energy as a fraction of ``other``'s."""
         return self.total_nj / other.total_nj
 

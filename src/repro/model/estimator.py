@@ -18,7 +18,8 @@ the per-kernel *dynamic* best.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional
+from collections.abc import Sequence
 
 
 from repro.core.config import BASELINE_2VPU, SAVE_1VPU, SAVE_2VPU, MachineConfig
@@ -38,7 +39,7 @@ ONE_VPU = "1 VPU"
 STATIC = "static"
 DYNAMIC = "dynamic"
 
-MACHINES: Dict[str, MachineConfig] = {
+MACHINES: dict[str, MachineConfig] = {
     BASELINE: BASELINE_2VPU,
     TWO_VPUS: SAVE_2VPU,
     ONE_VPU: SAVE_1VPU,
@@ -53,7 +54,7 @@ class KernelEstimate:
     phase: Phase
     category: str
     #: config label → nanoseconds (baseline / 2 VPUs / 1 VPU).
-    times_ns: Dict[str, float]
+    times_ns: dict[str, float]
 
     def dynamic_time(self) -> float:
         """Per-kernel best of the SAVE configurations."""
@@ -66,7 +67,7 @@ class ConfigResult:
 
     label: str
     total_ns: float
-    breakdown_ns: Dict[str, float]
+    breakdown_ns: dict[str, float]
 
     def normalized(self, baseline_ns: float) -> float:
         """Execution time normalised to the baseline (Fig. 14 y-axis)."""
@@ -83,7 +84,7 @@ class NetworkEvaluation:
     network: str
     precision: Precision
     mode: str  # "inference" | "training"
-    configs: Dict[str, ConfigResult]
+    configs: dict[str, ConfigResult]
 
     @property
     def baseline_ns(self) -> float:
@@ -92,7 +93,7 @@ class NetworkEvaluation:
     def speedup(self, label: str) -> float:
         return self.configs[label].speedup(self.baseline_ns)
 
-    def rows(self) -> List[Tuple[str, float, float]]:
+    def rows(self) -> list[tuple[str, float, float]]:
         """(config, normalised time, speedup) rows for reports."""
         base = self.baseline_ns
         return [
@@ -154,7 +155,7 @@ class NetworkEstimator:
         fmas = macs / self.macs_per_fma
         traffic = layer_traffic_bytes(layer, phase, batch, self.element_bytes)
 
-        times: Dict[str, float] = {}
+        times: dict[str, float] = {}
         for label, machine in MACHINES.items():
             surface = self._surface(phase, lstm, machine)
             ns_per_fma = surface.interpolate(bs, nbs)
@@ -175,7 +176,7 @@ class NetworkEstimator:
 
     # ------------------------------------------------------------------
 
-    def phases_for(self, layer_index: int, training: bool) -> List[Phase]:
+    def phases_for(self, layer_index: int, training: bool) -> list[Phase]:
         """Phases executed for one layer (Sec. VI conventions).
 
         The first conv layer never back-propagates input; LSTMs run a
@@ -191,9 +192,9 @@ class NetworkEstimator:
             phases.insert(1, Phase.BACKWARD_INPUT)
         return phases
 
-    def step_estimates(self, step: float, training: bool) -> List[KernelEstimate]:
+    def step_estimates(self, step: float, training: bool) -> list[KernelEstimate]:
         """All kernel estimates of one training step (or inference run)."""
-        estimates: List[KernelEstimate] = []
+        estimates: list[KernelEstimate] = []
         for layer_index in range(self.network.n_layers):
             for phase in self.phases_for(layer_index, training):
                 estimates.append(self.kernel_estimate(layer_index, phase, step))
@@ -201,9 +202,9 @@ class NetworkEstimator:
 
 
 def aggregate(
-    estimates_per_step: List[List[KernelEstimate]],
+    estimates_per_step: list[list[KernelEstimate]],
     include_static: bool,
-) -> Dict[str, ConfigResult]:
+) -> dict[str, ConfigResult]:
     """Aggregate sampled steps into Fig. 14's configuration bars."""
     labels = [BASELINE, TWO_VPUS, ONE_VPU]
     if include_static:
@@ -211,7 +212,7 @@ def aggregate(
     labels.append(DYNAMIC)
 
     totals = {label: 0.0 for label in labels}
-    breakdowns: Dict[str, Dict[str, float]] = {label: {} for label in labels}
+    breakdowns: dict[str, dict[str, float]] = {label: {} for label in labels}
 
     def add(label: str, category: str, value: float) -> None:
         totals[label] += value

@@ -9,7 +9,8 @@ inference — so the bars are baseline / 2 VPUs / 1 VPU / dynamic.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
+from collections.abc import Sequence
 
 from repro.kernels.tiling import Precision
 from repro.model.estimator import (

@@ -14,7 +14,8 @@ sources the evaluation needs per (layer, epoch, phase):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Union
+from collections.abc import Sequence
 
 from repro.kernels.conv import ConvShape
 from repro.kernels.lstm import LstmShape
@@ -30,7 +31,7 @@ from repro.sparsity.pruning import GNMT_PRUNING, RESNET50_PRUNING, PruningSchedu
 Layer = Union[ConvShape, LstmShape]
 
 
-def _vgg16_convs() -> List[ConvShape]:
+def _vgg16_convs() -> list[ConvShape]:
     """The 13 convolutions of VGG16 on 224x224 ImageNet inputs."""
     plan = [
         # (in_ch, out_ch, spatial) — two convs per block then pool.
@@ -46,10 +47,10 @@ def _vgg16_convs() -> List[ConvShape]:
     ]
 
 
-def _resnet50_convs() -> List[ConvShape]:
+def _resnet50_convs() -> list[ConvShape]:
     """The 53 convolutions of ResNet-50 (stem + 16 bottlenecks + 4
     downsample projections)."""
-    layers: List[ConvShape] = [
+    layers: list[ConvShape] = [
         ConvShape("conv1", 3, 64, 224, 224, kernel=7, stride=2, padding=3)
     ]
     # (blocks, in_ch entering stage, mid_ch, out_ch, spatial after stride)
@@ -81,9 +82,9 @@ def _resnet50_convs() -> List[ConvShape]:
     return layers
 
 
-def _gnmt_cells() -> List[LstmShape]:
+def _gnmt_cells() -> list[LstmShape]:
     """GNMT: 4 encoder + 4 decoder LSTM layers, 1024 hidden units."""
-    cells: List[LstmShape] = []
+    cells: list[LstmShape] = []
     for i in range(4):
         cells.append(LstmShape(f"encoder_l{i}", hidden=1024, input_size=1024, seq_len=30))
     for i in range(4):

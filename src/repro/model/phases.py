@@ -19,7 +19,6 @@ the paper's Figs. 17-19 study.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from repro.kernels.conv import Phase
 from repro.kernels.tiling import BroadcastPattern, RegisterTile
@@ -28,7 +27,7 @@ from repro.model.networks import NetworkModel
 
 def phase_sparsity(
     network: NetworkModel, layer_index: int, phase: Phase, step: float
-) -> Tuple[float, float]:
+) -> tuple[float, float]:
     """(broadcasted, non-broadcasted) sparsity for one layer GEMM.
 
     Args:

@@ -20,7 +20,8 @@ import json
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Optional
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -132,7 +133,7 @@ class SparsitySurface:
         }
 
     @classmethod
-    def from_json(cls, payload: dict) -> "SparsitySurface":
+    def from_json(cls, payload: dict) -> SparsitySurface:
         return cls(
             levels=payload["levels"],
             ns_per_fma=np.array(payload["ns_per_fma"]),
@@ -149,7 +150,7 @@ class SparsitySurface:
         k_steps: int = 24,
         seed: int = 0,
         executor: Optional[SimExecutor] = None,
-    ) -> "SparsitySurface":
+    ) -> SparsitySurface:
         """Simulate the full grid (the expensive path; memoise it).
 
         All ``n × n`` grid points are independent simulations; they go
@@ -227,7 +228,7 @@ class SurfaceStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.executor = executor
         self.memo_size = memo_size
-        self._memory: "OrderedDict[str, SparsitySurface]" = OrderedDict()
+        self._memory: OrderedDict[str, SparsitySurface] = OrderedDict()
 
     def _memo_put(self, key: str, surface: SparsitySurface) -> None:
         memory = self._memory

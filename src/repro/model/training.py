@@ -12,7 +12,8 @@ The *static* policy chooses the better VPU count once per sampled step
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -27,7 +28,7 @@ from repro.model.networks import NetworkModel
 from repro.model.surface import COARSE_LEVELS, SurfaceStore
 
 
-def sampled_steps(total_steps: int, samples: int) -> List[float]:
+def sampled_steps(total_steps: int, samples: int) -> list[float]:
     """Evenly spaced training steps covering the whole run."""
     if samples <= 0:
         raise ValueError("samples must be positive")

@@ -29,7 +29,7 @@ And the analysis-and-ledger layer on top of it:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Optional
 
 from repro.obs.metrics import (
     Counter,
@@ -113,6 +113,6 @@ class Instrumentation:
         fields["kernel"] = self.kernel
         self.sink.emit(fields)
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self) -> dict[str, Any]:
         """The metrics snapshot (picklable plain dict)."""
         return self.metrics.snapshot()

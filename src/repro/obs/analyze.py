@@ -26,7 +26,8 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Optional
+from collections.abc import Iterable, Sequence
 
 from repro.isa.datatypes import FP32_LANES
 from repro.obs.trace import read_jsonl
@@ -92,21 +93,21 @@ class TraceAnalysis:
 
     cycles: int
     runs: int
-    kernels: List[str]
-    event_counts: Dict[str, int]
+    kernels: list[str]
+    event_counts: dict[str, int]
     #: Coalescing width: occupied lanes per issued VPU op.
-    lanes_per_op: Dict[int, int]
+    lanes_per_op: dict[int, int]
     #: Entries per ``merge`` event (instructions coalesced per op).
-    merge_widths: Dict[int, int]
+    merge_widths: dict[int, int]
     #: Rotation-state name → lane-entry count (RVC only; empty for VC).
-    rotation_states: Dict[str, int]
+    rotation_states: dict[str, int]
     #: ELM popcount distribution (effectual lanes per VFMA).
-    elm_popcounts: Dict[int, int]
-    schemes: Dict[str, int]
-    windows: List[WindowStats]
+    elm_popcounts: dict[int, int]
+    schemes: dict[str, int]
+    windows: list[WindowStats]
     window_size: int
     busy_cycles: int
-    notes: List[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
 
     # -- headline rates ---------------------------------------------------
 
@@ -163,14 +164,14 @@ class TraceAnalysis:
 
     # -- attribution ------------------------------------------------------
 
-    def bottleneck(self) -> Dict[str, Any]:
+    def bottleneck(self) -> dict[str, Any]:
         """Heuristic attribution: which signal dominates the slow cycles.
 
         Deterministic rules over the derived rates; the verdict names
         the strongest signal, the ``signals`` dict shows all of them so
         a reader can disagree with the ranking.
         """
-        signals: Dict[str, float] = {
+        signals: dict[str, float] = {
             "vpu_idle_fraction": 1.0 - self.busy_fraction,
             "coalescing_headroom": (
                 1.0 - self.mean_coalescing_width / FP32_LANES
@@ -210,12 +211,12 @@ class TraceAnalysis:
         return {"verdict": verdict, "signals": signals}
 
 
-def _dist_add(dist: Dict, key, n: int = 1) -> None:
+def _dist_add(dist: dict, key, n: int = 1) -> None:
     dist[key] = dist.get(key, 0) + n
 
 
 def analyze_events(
-    events: Iterable[Dict[str, Any]], window: Optional[int] = None
+    events: Iterable[dict[str, Any]], window: Optional[int] = None
 ) -> TraceAnalysis:
     """Analyse one event stream (one pass, bounded memory).
 
@@ -225,16 +226,16 @@ def analyze_events(
         window: timeline interval in cycles.  Default: the smallest
             round size giving at most :data:`DEFAULT_MAX_WINDOWS` rows.
     """
-    counts: Dict[str, int] = {}
-    lanes_per_op: Dict[int, int] = {}
-    merge_widths: Dict[int, int] = {}
-    rotation_states: Dict[str, int] = {}
-    elm_popcounts: Dict[int, int] = {}
-    schemes: Dict[str, int] = {}
-    kernels: Dict[str, None] = {}
+    counts: dict[str, int] = {}
+    lanes_per_op: dict[int, int] = {}
+    merge_widths: dict[int, int] = {}
+    rotation_states: dict[str, int] = {}
+    elm_popcounts: dict[int, int] = {}
+    schemes: dict[str, int] = {}
+    kernels: dict[str, None] = {}
     busy_cycles_seen: set = set()
     #: (timeline-cycle, event-kind, lanes) triples for the windowing pass.
-    slim: List = []
+    slim: list = []
     max_cycle = -1
     # Run concatenation: within one simulation, events arrive in
     # nondecreasing cycle order; a backwards jump means a new run.
@@ -306,7 +307,7 @@ def analyze_events(
         inflight += stats.dispatches - stats.retires
         stats.inflight_end = inflight
 
-    notes: List[str] = []
+    notes: list[str] = []
     if counts.get("dispatch", 0) and not counts.get("retire", 0):
         notes.append("no retire events: trace looks truncated mid-run")
     return TraceAnalysis(
@@ -336,7 +337,7 @@ def analyze_file(path: str, window: Optional[int] = None) -> TraceAnalysis:
 # ---------------------------------------------------------------------------
 
 
-def _md_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> List[str]:
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> list[str]:
     lines = [
         "| " + " | ".join(str(h) for h in headers) + " |",
         "|" + "|".join(" --- " for _ in headers) + "|",
@@ -352,7 +353,7 @@ def _fmt_opt(value: Optional[float], as_pct: bool = False) -> str:
     return f"{value:.1%}" if as_pct else f"{value:.2f}"
 
 
-def _dist_rows(dist: Dict, total: Optional[int] = None) -> List[List[Any]]:
+def _dist_rows(dist: dict, total: Optional[int] = None) -> list[list[Any]]:
     total = total if total is not None else sum(dist.values()) or 1
     return [[key, n, f"{n / total:.1%}"] for key, n in dist.items()]
 
@@ -360,7 +361,7 @@ def _dist_rows(dist: Dict, total: Optional[int] = None) -> List[List[Any]]:
 def render_markdown(analysis: TraceAnalysis, source: str = "") -> str:
     """The ``repro trace-report`` document."""
     a = analysis
-    lines: List[str] = ["# Trace report"]
+    lines: list[str] = ["# Trace report"]
     if source:
         lines.append(f"\nSource: `{source}`")
     lines += [
@@ -466,7 +467,7 @@ def render_markdown(analysis: TraceAnalysis, source: str = "") -> str:
 # ---------------------------------------------------------------------------
 
 
-def trace_report_main(argv: Optional[List[str]] = None) -> int:
+def trace_report_main(argv: Optional[list[str]] = None) -> int:
     """Entry point for ``python -m repro trace-report FILE``."""
     parser = argparse.ArgumentParser(
         prog="save-repro trace-report",

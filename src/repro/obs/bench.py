@@ -30,8 +30,9 @@ import platform
 import re
 import sys
 import time
+from collections.abc import Callable
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Optional
 
 from repro._version import __version__
 
@@ -76,7 +77,7 @@ KEY_COUNTERS = (
 # ---------------------------------------------------------------------------
 
 
-def _suite(quick: bool) -> List[Tuple[str, int, Any]]:
+def _suite(quick: bool) -> list[tuple[str, int, Any]]:
     """(name, jobs, job-list builder) triples — fixed order, fixed seeds."""
     from repro.core.config import SAVE_2VPU
     from repro.experiments.executor import METRIC_TIME_NS, PointJob
@@ -114,8 +115,8 @@ def _suite(quick: bool) -> List[Tuple[str, int, Any]]:
 
 
 def _run_workload(
-    name: str, jobs: int, point_jobs: List[Any], repeats: int
-) -> Dict[str, Any]:
+    name: str, jobs: int, point_jobs: list[Any], repeats: int
+) -> dict[str, Any]:
     """Time one workload and collect its instrumented counters."""
     from repro.experiments.executor import SimExecutor
     from repro.obs import MetricsRegistry
@@ -123,13 +124,14 @@ def _run_workload(
     # Timed passes: uninstrumented, best-of-N (the guard on the
     # obs=None hot path the observability layer promises not to touch).
     executor = SimExecutor(jobs=jobs)
-    best = None
+    best: Optional[float] = None
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
         executor.map(point_jobs)
         elapsed = time.perf_counter() - start
         if best is None or elapsed < best:
             best = elapsed
+    assert best is not None  # the range above is never empty
 
     # Counter pass: instrumented, never timed.
     registry = MetricsRegistry()
@@ -149,10 +151,12 @@ def _run_workload(
 
 
 def run_suite(
-    quick: bool = False, repeats: int = 2, echo=None
-) -> Dict[str, Any]:
+    quick: bool = False,
+    repeats: int = 2,
+    echo: Optional[Callable[[str], Any]] = None,
+) -> dict[str, Any]:
     """Run the fixed suite; returns a schema-valid (seq-less) entry."""
-    workloads: Dict[str, Any] = {}
+    workloads: dict[str, Any] = {}
     for name, jobs, point_jobs in _suite(quick):
         result = _run_workload(name, jobs, point_jobs, repeats)
         workloads[name] = result
@@ -179,7 +183,7 @@ def run_suite(
 # ---------------------------------------------------------------------------
 
 
-def ledger_paths(directory: Path) -> List[Tuple[int, Path]]:
+def ledger_paths(directory: Path) -> list[tuple[int, Path]]:
     """All ``BENCH_<seq>.json`` entries under ``directory``, seq order."""
     directory = Path(directory)
     if not directory.is_dir():
@@ -197,7 +201,7 @@ def next_seq(directory: Path) -> int:
     return entries[-1][0] + 1 if entries else 1
 
 
-def write_entry(directory: Path, entry: Dict[str, Any]) -> Path:
+def write_entry(directory: Path, entry: dict[str, Any]) -> Path:
     """Assign the next sequence number and persist one entry."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -209,7 +213,7 @@ def write_entry(directory: Path, entry: Dict[str, Any]) -> Path:
     return path
 
 
-def validate_entry(entry: Dict[str, Any]) -> None:
+def validate_entry(entry: dict[str, Any]) -> None:
     """Raise ``ValueError`` unless ``entry`` matches the ledger schema."""
     if not isinstance(entry, dict):
         raise ValueError("ledger entry must be a JSON object")
@@ -242,10 +246,10 @@ def validate_entry(entry: Dict[str, Any]) -> None:
 
 
 def compare_entries(
-    previous: Dict[str, Any],
-    current: Dict[str, Any],
+    previous: dict[str, Any],
+    current: dict[str, Any],
     threshold: float = DEFAULT_THRESHOLD,
-) -> List[Dict[str, Any]]:
+) -> list[dict[str, Any]]:
     """Per-workload deltas of ``current`` vs ``previous``.
 
     A workload regresses when its wall time grew by more than
@@ -254,7 +258,7 @@ def compare_entries(
     the same flavour (``bench_main`` compares against the latest entry
     with matching ``quick``).
     """
-    deltas: List[Dict[str, Any]] = []
+    deltas: list[dict[str, Any]] = []
     prev_workloads = previous.get("workloads", {})
     for name, workload in current.get("workloads", {}).items():
         prior = prev_workloads.get(name)
@@ -280,7 +284,7 @@ def compare_entries(
 
 def _latest_comparable(
     directory: Path, quick: bool
-) -> Optional[Tuple[Path, Dict[str, Any]]]:
+) -> Optional[tuple[Path, dict[str, Any]]]:
     """The newest existing entry with the same quick/full flavour."""
     for _seq, path in reversed(ledger_paths(directory)):
         try:
@@ -300,7 +304,7 @@ def _latest_comparable(
 # ---------------------------------------------------------------------------
 
 
-def bench_main(argv: Optional[List[str]] = None) -> int:
+def bench_main(argv: Optional[list[str]] = None) -> int:
     """Entry point for ``python -m repro bench``."""
     parser = argparse.ArgumentParser(
         prog="save-repro bench",

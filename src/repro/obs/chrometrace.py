@@ -19,7 +19,8 @@ object form: ``{"traceEvents": [...]}``.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Optional
+from collections.abc import Iterable, Sequence
 
 from repro.obs.spans import SpanRecord
 
@@ -55,8 +56,8 @@ _EVENT_TID = {
 }
 
 
-def _meta(pid: int, tid: Optional[int], name: str) -> Dict[str, Any]:
-    event: Dict[str, Any] = {
+def _meta(pid: int, tid: Optional[int], name: str) -> dict[str, Any]:
+    event: dict[str, Any] = {
         "ph": "M",
         "pid": pid,
         "name": "process_name" if tid is None else "thread_name",
@@ -69,14 +70,14 @@ def _meta(pid: int, tid: Optional[int], name: str) -> Dict[str, Any]:
 
 def span_trace_events(
     records: Sequence[SpanRecord], pid: int = HOST_PID, tid: int = 1
-) -> List[Dict[str, Any]]:
+) -> list[dict[str, Any]]:
     """Complete (``"X"``) events for one recorder's spans, one track.
 
     Timestamps are microseconds from the recorder's epoch.  Records
     come from a stack discipline, so the produced slices are properly
     nested per track.
     """
-    events: List[Dict[str, Any]] = []
+    events: list[dict[str, Any]] = []
     for record in records:
         events.append(
             {
@@ -94,8 +95,8 @@ def span_trace_events(
 
 
 def sim_trace_events(
-    events: Iterable[Dict[str, Any]], pid: int = SIM_PID
-) -> List[Dict[str, Any]]:
+    events: Iterable[dict[str, Any]], pid: int = SIM_PID
+) -> list[dict[str, Any]]:
     """Instant + counter events for a simulator event stream.
 
     One simulated cycle maps to 1 µs of viewer time.  Emits an
@@ -105,7 +106,7 @@ def sim_trace_events(
     laid out sequentially, the same concatenation
     :func:`repro.obs.analyze.analyze_events` uses.
     """
-    out: List[Dict[str, Any]] = []
+    out: list[dict[str, Any]] = []
     inflight = 0
     offset = 0
     last_raw = -1
@@ -162,10 +163,10 @@ def sim_trace_events(
 
 def chrome_trace(
     spans: Optional[Sequence[SpanRecord]] = None,
-    events: Optional[Iterable[Dict[str, Any]]] = None,
-) -> Dict[str, Any]:
+    events: Optional[Iterable[dict[str, Any]]] = None,
+) -> dict[str, Any]:
     """Assemble the Trace Event Format JSON-object document."""
-    trace_events: List[Dict[str, Any]] = []
+    trace_events: list[dict[str, Any]] = []
     if spans:
         trace_events.append(_meta(HOST_PID, None, "host (repro pipeline)"))
         trace_events.append(_meta(HOST_PID, 1, "phases"))
@@ -183,7 +184,7 @@ def chrome_trace(
 def write_chrome_trace(
     path: str,
     spans: Optional[Sequence[SpanRecord]] = None,
-    events: Optional[Iterable[Dict[str, Any]]] = None,
+    events: Optional[Iterable[dict[str, Any]]] = None,
 ) -> str:
     """Write the trace document to ``path``; returns the path."""
     document = chrome_trace(spans=spans, events=events)

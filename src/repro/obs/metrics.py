@@ -22,7 +22,8 @@ Two properties drive the design:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Optional
+from collections.abc import Callable
 
 __all__ = [
     "Counter",
@@ -65,7 +66,7 @@ class Gauge:
     __slots__ = ("value",)
 
     def __init__(self) -> None:
-        self.value = 0
+        self.value: float = 0.0
 
     def set(self, value: float) -> None:
         self.value = value
@@ -91,7 +92,7 @@ class Histogram:
     __slots__ = ("bins", "count", "total", "min", "max", "bucket")
 
     def __init__(self, bucket: Optional[Callable[[int], int]] = None) -> None:
-        self.bins: Dict[int, int] = {}
+        self.bins: dict[int, int] = {}
         self.count = 0
         self.total = 0
         self.min: Optional[int] = None
@@ -124,7 +125,7 @@ class Histogram:
                 return key
         return self.max
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self) -> dict[str, Any]:
         return {
             "bins": {int(k): self.bins[k] for k in sorted(self.bins)},
             "count": self.count,
@@ -134,7 +135,7 @@ class Histogram:
         }
 
 
-def hist_stats(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+def hist_stats(snapshot: dict[str, Any]) -> dict[str, Any]:
     """Derived summary (mean/p50/p95/extrema) of a histogram snapshot."""
     count = snapshot.get("count", 0)
     if not count:
@@ -167,9 +168,9 @@ class MetricsRegistry:
     __slots__ = ("_counters", "_gauges", "_histograms")
 
     def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     # -- instrument access ------------------------------------------------
 
@@ -198,7 +199,7 @@ class MetricsRegistry:
 
     # -- snapshot / merge -------------------------------------------------
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self) -> dict[str, Any]:
         """Plain-dict view: picklable, JSON-safe, deterministically keyed."""
         return {
             "counters": {
@@ -214,7 +215,7 @@ class MetricsRegistry:
             },
         }
 
-    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
         """Fold one snapshot into this registry.
 
         Merging is additive for counters and histogram bins, peak for
@@ -246,12 +247,12 @@ class MetricsRegistry:
         self._histograms.clear()
 
 
-def format_metrics(snapshot: Dict[str, Any]) -> str:
+def format_metrics(snapshot: dict[str, Any]) -> str:
     """Human-readable metrics summary (the CLI's ``--metrics`` output)."""
-    lines: List[str] = ["== metrics =="]
-    counters: Dict[str, int] = snapshot.get("counters", {})
-    gauges: Dict[str, float] = snapshot.get("gauges", {})
-    histograms: Dict[str, Any] = snapshot.get("histograms", {})
+    lines: list[str] = ["== metrics =="]
+    counters: dict[str, int] = snapshot.get("counters", {})
+    gauges: dict[str, float] = snapshot.get("gauges", {})
+    histograms: dict[str, Any] = snapshot.get("histograms", {})
     if counters:
         width = max(len(name) for name in counters)
         lines.append("counters:")
@@ -279,7 +280,7 @@ def format_metrics(snapshot: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
-def merge_ordered(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
+def merge_ordered(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
     """Merge snapshots in list order into one snapshot."""
     registry = MetricsRegistry()
     for snapshot in snapshots:

@@ -26,7 +26,8 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Optional
+from collections.abc import Iterator
 
 __all__ = [
     "SpanRecord",
@@ -51,7 +52,7 @@ class SpanRecord:
     end: float
     depth: int
     parent: int
-    attrs: Dict[str, Any] = field(default_factory=dict)
+    attrs: dict[str, Any] = field(default_factory=dict)
 
     @property
     def duration(self) -> float:
@@ -76,8 +77,8 @@ class SpanRecorder:
     """
 
     def __init__(self) -> None:
-        self.records: List[SpanRecord] = []
-        self._stack: List[int] = []
+        self.records: list[SpanRecord] = []
+        self._stack: list[int] = []
         self.epoch = time.perf_counter()
 
     def __len__(self) -> int:
@@ -105,10 +106,10 @@ class SpanRecorder:
 
     # -- analysis ---------------------------------------------------------
 
-    def children(self, index: int) -> List[SpanRecord]:
+    def children(self, index: int) -> list[SpanRecord]:
         return [r for r in self.records if r.parent == index]
 
-    def summary(self) -> Dict[str, Dict[str, float]]:
+    def summary(self) -> dict[str, dict[str, float]]:
         """Per-name totals: count, total time, and self (exclusive) time.
 
         Self time subtracts direct children's durations, so a phase
@@ -119,7 +120,7 @@ class SpanRecorder:
         for record in self.records:
             if record.parent >= 0:
                 child_time[record.parent] += record.duration
-        out: Dict[str, Dict[str, float]] = {}
+        out: dict[str, dict[str, float]] = {}
         for index, record in enumerate(self.records):
             row = out.setdefault(
                 record.name, {"count": 0, "total_s": 0.0, "self_s": 0.0}

@@ -15,7 +15,9 @@ test suite validates every line a :class:`JsonlTraceSink` writes).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterator, List, Union
+import os
+from typing import Any, Union
+from collections.abc import Iterator
 
 __all__ = [
     "EVENT_FIELDS",
@@ -34,7 +36,7 @@ __all__ = [
 TRACE_SCHEMA_VERSION = 1
 
 #: Required event-specific fields, per event type.
-EVENT_FIELDS: Dict[str, tuple] = {
+EVENT_FIELDS: dict[str, tuple] = {
     # Front-end and retirement.
     "dispatch": ("seq", "kind"),
     "retire": ("seq",),
@@ -59,7 +61,7 @@ EVENT_FIELDS: Dict[str, tuple] = {
 COMMON_FIELDS = ("cycle", "event", "kernel")
 
 
-def validate_event(event: Dict[str, Any]) -> None:
+def validate_event(event: dict[str, Any]) -> None:
     """Raise ``ValueError`` unless ``event`` matches the trace schema."""
     for name in COMMON_FIELDS:
         if name not in event:
@@ -80,7 +82,7 @@ def validate_event(event: Dict[str, Any]) -> None:
 class TraceSink:
     """Event consumer interface; subclass and override :meth:`emit`."""
 
-    def emit(self, event: Dict[str, Any]) -> None:  # pragma: no cover
+    def emit(self, event: dict[str, Any]) -> None:  # pragma: no cover
         raise NotImplementedError
 
     def close(self) -> None:
@@ -92,7 +94,7 @@ class NullSink(TraceSink):
 
     __slots__ = ()
 
-    def emit(self, event: Dict[str, Any]) -> None:
+    def emit(self, event: dict[str, Any]) -> None:
         pass
 
 
@@ -104,12 +106,12 @@ class ListSink(TraceSink):
     """Buffers events in memory (tests and programmatic analysis)."""
 
     def __init__(self) -> None:
-        self.events: List[Dict[str, Any]] = []
+        self.events: list[dict[str, Any]] = []
 
-    def emit(self, event: Dict[str, Any]) -> None:
+    def emit(self, event: dict[str, Any]) -> None:
         self.events.append(dict(event))
 
-    def of_type(self, kind: str) -> List[Dict[str, Any]]:
+    def of_type(self, kind: str) -> list[dict[str, Any]]:
         return [e for e in self.events if e["event"] == kind]
 
 
@@ -120,12 +122,14 @@ class JsonlTraceSink(TraceSink):
     handle; call :meth:`close` (or use as a context manager).
     """
 
-    def __init__(self, path: Union[str, "object"]) -> None:
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
         self.path = str(path)
-        self._file = open(self.path, "w", encoding="utf-8")
+        # The sink outlives __init__ and owns the handle; callers close
+        # via close() or the context-manager protocol.
+        self._file = open(self.path, "w", encoding="utf-8")  # noqa: SIM115
         self.events_written = 0
 
-    def emit(self, event: Dict[str, Any]) -> None:
+    def emit(self, event: dict[str, Any]) -> None:
         record = {"v": TRACE_SCHEMA_VERSION}
         record.update(event)
         # One write call per line: an exception between two writes (or a
@@ -139,7 +143,7 @@ class JsonlTraceSink(TraceSink):
             self._file.flush()
             self._file.close()
 
-    def __enter__(self) -> "JsonlTraceSink":
+    def __enter__(self) -> JsonlTraceSink:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -160,7 +164,7 @@ class TraceFormatError(ValueError):
         self.reason = reason
 
 
-def read_jsonl(path: str) -> Iterator[Dict[str, Any]]:
+def read_jsonl(path: str) -> Iterator[dict[str, Any]]:
     """Yield events from a JSONL trace file.
 
     Raises :class:`TraceFormatError` (a ``ValueError``) with the file
@@ -168,7 +172,7 @@ def read_jsonl(path: str) -> Iterator[Dict[str, Any]]:
     line a killed writer leaves behind — and on lines whose ``v``
     schema-version stamp does not match :data:`TRACE_SCHEMA_VERSION`.
     """
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         saw_newline = True
         for line_no, raw in enumerate(handle, start=1):
             saw_newline = raw.endswith("\n")

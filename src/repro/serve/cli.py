@@ -15,7 +15,7 @@ import json
 import signal
 import sys
 import threading
-from typing import List, Optional
+from typing import Optional
 
 from repro.serve.schema import RequestError
 
@@ -55,7 +55,7 @@ def _serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def serve_main(argv: Optional[List[str]] = None) -> int:
+def serve_main(argv: Optional[list[str]] = None) -> int:
     args = _serve_parser().parse_args(argv)
     from repro.experiments.executor import SimExecutor
     from repro.serve.http import make_server
@@ -181,7 +181,7 @@ def _submit_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _csv_floats(raw: str, flag: str) -> List[float]:
+def _csv_floats(raw: str, flag: str) -> list[float]:
     try:
         return [float(part) for part in raw.split(",") if part.strip() != ""]
     except ValueError:
@@ -220,7 +220,7 @@ def build_request(args: argparse.Namespace) -> dict:
     return body
 
 
-def submit_main(argv: Optional[List[str]] = None) -> int:
+def submit_main(argv: Optional[list[str]] = None) -> int:
     args = _submit_parser().parse_args(argv)
     from repro.serve.client import ClientError, JobFailed, ServeClient
 
@@ -258,7 +258,7 @@ def _store_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def store_main(argv: Optional[List[str]] = None) -> int:
+def store_main(argv: Optional[list[str]] = None) -> int:
     args = _store_parser().parse_args(argv)
     from repro.serve.store import ResultStore
 

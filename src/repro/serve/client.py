@@ -10,11 +10,12 @@ exceptions so callers can distinguish "try again later"
 
 from __future__ import annotations
 
+import contextlib
 import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Optional
+from typing import Any, Optional
 
 __all__ = [
     "Backpressure",
@@ -59,8 +60,8 @@ class ServeClient:
     # -- transport --------------------------------------------------------
 
     def _call(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
-    ) -> Dict[str, Any]:
+        self, method: str, path: str, body: Optional[dict[str, Any]] = None
+    ) -> dict[str, Any]:
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             method=method,
@@ -71,11 +72,9 @@ class ServeClient:
             with urllib.request.urlopen(request, timeout=self.timeout) as reply:
                 return json.loads(reply.read())
         except urllib.error.HTTPError as error:
-            payload: Dict[str, Any] = {}
-            try:
+            payload: dict[str, Any] = {}
+            with contextlib.suppress(json.JSONDecodeError, OSError):
                 payload = json.loads(error.read())
-            except (json.JSONDecodeError, OSError):
-                pass
             if error.code in (429, 503):
                 retry_after = payload.get(
                     "retry_after_s", error.headers.get("Retry-After", 1)
@@ -87,15 +86,15 @@ class ServeClient:
 
     # -- verbs ------------------------------------------------------------
 
-    def submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+    def submit(self, request: dict[str, Any]) -> dict[str, Any]:
         """Submit a request body; returns ``{"job", "status", "outcome"}``."""
         return self._call("POST", "/v1/submit", request)
 
-    def poll(self, key: str) -> Dict[str, Any]:
+    def poll(self, key: str) -> dict[str, Any]:
         """Job status for a key."""
         return self._call("GET", f"/v1/jobs/{key}")
 
-    def result(self, key: str) -> Dict[str, Any]:
+    def result(self, key: str) -> dict[str, Any]:
         """The completed result payload for a key.
 
         Raises:
@@ -109,23 +108,23 @@ class ServeClient:
                 raise JobFailed(str(error)) from None
             raise
 
-    def healthz(self) -> Dict[str, Any]:
+    def healthz(self) -> dict[str, Any]:
         try:
             return self._call("GET", "/healthz")
         except Backpressure:  # draining still answers /healthz with 503
             return {"status": "draining"}
 
-    def metrics(self) -> Dict[str, Any]:
+    def metrics(self) -> dict[str, Any]:
         return self._call("GET", "/metrics")
 
     # -- convenience ------------------------------------------------------
 
     def run(
         self,
-        request: Dict[str, Any],
+        request: dict[str, Any],
         timeout: float = 120.0,
         poll_interval: float = 0.05,
-    ) -> Dict[str, Any]:
+    ) -> dict[str, Any]:
         """Submit and block until the result payload is available.
 
         Retries backpressured submits (honouring ``Retry-After``) and

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Optional
 
 from repro.serve.schema import RequestError, parse_request
 from repro.serve.service import QueueFull, ServiceDraining, SimService
@@ -46,7 +46,7 @@ class ServeHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address: Tuple[str, int], service: SimService) -> None:
+    def __init__(self, address: tuple[str, int], service: SimService) -> None:
         super().__init__(address, _Handler)
         self.service = service
 
@@ -62,8 +62,8 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_json(
         self,
         status: int,
-        payload: Dict[str, Any],
-        headers: Optional[Dict[str, str]] = None,
+        payload: dict[str, Any],
+        headers: Optional[dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(status)

@@ -25,7 +25,9 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, replace as dc_replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from enum import Enum
+from typing import Any, Optional
+from collections.abc import Sequence
 
 from repro.core.config import (
     BASELINE_2VPU,
@@ -58,7 +60,7 @@ __all__ = [
 SERVE_SCHEMA_VERSION = 1
 
 #: Machine configurations clients can name (Table I presets).
-MACHINE_PRESETS: Dict[str, MachineConfig] = {
+MACHINE_PRESETS: dict[str, MachineConfig] = {
     "baseline": BASELINE_2VPU,
     "save": SAVE_2VPU,
     "save_1vpu": SAVE_1VPU,
@@ -71,7 +73,7 @@ _KERNEL_FIELDS = {"rows", "cols", "pattern", "precision", "k_steps", "seed"}
 _MACHINE_FIELDS = {"preset", "core", "save"}
 
 #: ``save`` override fields whose JSON value names an enum member.
-_SAVE_ENUMS = {
+_SAVE_ENUMS: dict[str, type[Enum]] = {
     "coalescing": CoalescingScheme,
     "broadcast_cache": BroadcastCacheKind,
 }
@@ -81,7 +83,7 @@ class RequestError(ValueError):
     """A malformed or out-of-range request (HTTP 400)."""
 
 
-def _enum_value(enum_cls: type, raw: Any, field: str) -> Any:
+def _enum_value(enum_cls: type[Enum], raw: Any, field: str) -> Any:
     """Resolve a JSON string to an enum member, by value then by name."""
     for member in enum_cls:
         if raw == member.value or (
@@ -95,7 +97,7 @@ def _enum_value(enum_cls: type, raw: Any, field: str) -> Any:
     raise RequestError(f"{field}: unknown value {raw!r} (choices: {choices})")
 
 
-def _check_fields(payload: Dict[str, Any], allowed: set, where: str) -> None:
+def _check_fields(payload: dict[str, Any], allowed: set, where: str) -> None:
     unknown = set(payload) - allowed
     if unknown:
         raise RequestError(
@@ -104,7 +106,7 @@ def _check_fields(payload: Dict[str, Any], allowed: set, where: str) -> None:
         )
 
 
-def _canonical_machine(spec: Dict[str, Any]) -> Dict[str, Any]:
+def _canonical_machine(spec: dict[str, Any]) -> dict[str, Any]:
     """Validate a machine spec and return its canonical form."""
     if not isinstance(spec, dict):
         raise RequestError("machine: must be an object")
@@ -115,7 +117,7 @@ def _canonical_machine(spec: Dict[str, Any]) -> Dict[str, Any]:
             f"machine.preset: unknown preset {preset!r} "
             f"(choices: {sorted(MACHINE_PRESETS)})"
         )
-    canonical: Dict[str, Any] = {"preset": preset}
+    canonical: dict[str, Any] = {"preset": preset}
     base = MACHINE_PRESETS[preset]
     for section, target in (("core", base.core), ("save", base.save)):
         overrides = spec.get(section)
@@ -123,7 +125,7 @@ def _canonical_machine(spec: Dict[str, Any]) -> Dict[str, Any]:
             continue
         if not isinstance(overrides, dict):
             raise RequestError(f"machine.{section}: must be an object")
-        clean: Dict[str, Any] = {}
+        clean: dict[str, Any] = {}
         for name in sorted(overrides):
             if not hasattr(target, name):
                 raise RequestError(
@@ -148,7 +150,7 @@ def _canonical_machine(spec: Dict[str, Any]) -> Dict[str, Any]:
     return canonical
 
 
-def _resolve_machine(canonical: Dict[str, Any]) -> MachineConfig:
+def _resolve_machine(canonical: dict[str, Any]) -> MachineConfig:
     machine = MACHINE_PRESETS[canonical["preset"]]
     core = canonical.get("core")
     if core:
@@ -199,12 +201,12 @@ class SimRequest:
     seed: int
     metric: str
     machine_spec: str  # canonical JSON (dataclasses must stay hashable)
-    points: Tuple[Tuple[float, float], ...]
-    levels: Optional[Tuple[float, ...]] = None
+    points: tuple[tuple[float, float], ...]
+    levels: Optional[tuple[float, ...]] = None
 
     # -- identity ---------------------------------------------------------
 
-    def canonical(self) -> Dict[str, Any]:
+    def canonical(self) -> dict[str, Any]:
         """The canonical dict the fingerprint is computed over."""
         return {
             "schema": SERVE_SCHEMA_VERSION,
@@ -223,7 +225,7 @@ class SimRequest:
             "levels": list(self.levels) if self.levels is not None else None,
         }
 
-    def _digest(self, payload: Dict[str, Any]) -> str:
+    def _digest(self, payload: dict[str, Any]) -> str:
         raw = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(raw.encode()).hexdigest()[:24]
 
@@ -247,7 +249,7 @@ class SimRequest:
     def machine(self) -> MachineConfig:
         return _resolve_machine(json.loads(self.machine_spec))
 
-    def jobs(self) -> List[PointJob]:
+    def jobs(self) -> list[PointJob]:
         """The executor work units, one per evaluation point."""
         tile = self.tile()
         machine = self.machine()
@@ -263,8 +265,8 @@ class SimRequest:
         ]
 
     def with_points(
-        self, points: Sequence[Tuple[float, float]]
-    ) -> "SimRequest":
+        self, points: Sequence[tuple[float, float]]
+    ) -> SimRequest:
         return dc_replace(self, points=tuple(points))
 
 
@@ -314,7 +316,7 @@ def parse_request(payload: Any) -> SimRequest:
             f"metric: must be one of {list(_METRICS)}, got {metric!r}"
         )
 
-    levels: Optional[Tuple[float, ...]] = None
+    levels: Optional[tuple[float, ...]] = None
     if kind == "point":
         if "levels" in payload:
             raise RequestError("levels: only valid for kind='sweep'")

@@ -30,7 +30,7 @@ import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Deque, Dict, List, Optional, Tuple, Union
+from typing import Any, Optional, Union
 
 from repro.experiments.executor import SimExecutor
 from repro.model.surface import machine_label
@@ -98,12 +98,12 @@ class Job:
     key: str
     request: SimRequest
     state: str = "pending"  # pending | running | done | failed
-    payload: Optional[Dict[str, Any]] = None
+    payload: Optional[dict[str, Any]] = None
     error: Optional[str] = None
     submitted_at: float = field(default_factory=time.monotonic)
     _event: threading.Event = field(default_factory=threading.Event)
 
-    def finish(self, payload: Dict[str, Any]) -> None:
+    def finish(self, payload: dict[str, Any]) -> None:
         self.payload = payload
         self.state = "done"
         self._event.set()
@@ -149,11 +149,11 @@ class SimService:
         self.metrics = metrics or MetricsRegistry()
         self.started_at = time.time()
         self._cv = threading.Condition()
-        self._queue: Deque[Job] = deque()
-        self._inflight: "OrderedDict[str, Job]" = OrderedDict()
+        self._queue: deque[Job] = deque()
+        self._inflight: OrderedDict[str, Job] = OrderedDict()
         #: Recently failed jobs, kept so pollers see the error instead
         #: of "unknown" (bounded; oldest evicted first).
-        self._failed: "OrderedDict[str, Job]" = OrderedDict()
+        self._failed: OrderedDict[str, Job] = OrderedDict()
         self._active = 0  # jobs drained from the queue, not yet finished
         self._paused = False
         self._draining = False
@@ -167,7 +167,7 @@ class SimService:
         """Whether the dispatcher thread is live."""
         return self._thread is not None
 
-    def start(self) -> "SimService":
+    def start(self) -> SimService:
         with self._cv:
             if self._thread is not None:
                 raise RuntimeError("service already started")
@@ -177,7 +177,7 @@ class SimService:
             self._thread.start()
         return self
 
-    def __enter__(self) -> "SimService":
+    def __enter__(self) -> SimService:
         return self.start()
 
     def __exit__(self, *exc_info: object) -> None:
@@ -238,7 +238,7 @@ class SimService:
 
     # -- submission -------------------------------------------------------
 
-    def submit(self, request: SimRequest) -> Tuple[Job, str]:
+    def submit(self, request: SimRequest) -> tuple[Job, str]:
         """Enqueue (or join, or short-circuit) one request.
 
         Returns ``(job, outcome)`` with outcome one of ``"accepted"``
@@ -281,7 +281,7 @@ class SimService:
             self._cv.notify_all()
         return job, "accepted"
 
-    def status(self, key: str) -> Dict[str, Any]:
+    def status(self, key: str) -> dict[str, Any]:
         """Poll view of one job key (in-flight, done-on-disk or unknown)."""
         with self._cv:
             job = self._inflight.get(key) or self._failed.get(key)
@@ -291,11 +291,11 @@ class SimService:
             return {"job": key, "status": "done", "error": None}
         return {"job": key, "status": "unknown", "error": None}
 
-    def result(self, key: str) -> Optional[Dict[str, Any]]:
+    def result(self, key: str) -> Optional[dict[str, Any]]:
         """The stored payload for a completed key, else ``None``."""
         return self.store.get(key)
 
-    def health(self) -> Dict[str, Any]:
+    def health(self) -> dict[str, Any]:
         with self._cv:
             return {
                 "status": "draining" if (self._draining or self._stop) else "ok",
@@ -328,10 +328,10 @@ class SimService:
             if batch:
                 self._process(batch)
 
-    def _drain_batch_locked(self, limit: Optional[int] = None) -> List[Job]:
+    def _drain_batch_locked(self, limit: Optional[int] = None) -> list[Job]:
         if limit is None:
             limit = self.config.max_batch_requests
-        batch: List[Job] = []
+        batch: list[Job] = []
         while self._queue and len(batch) < limit:
             job = self._queue.popleft()
             job.state = "running"
@@ -340,8 +340,8 @@ class SimService:
         self.metrics.gauge("serve.queue_depth").set(len(self._queue))
         return batch
 
-    def _process(self, batch: List[Job]) -> None:
-        groups: "OrderedDict[str, List[Job]]" = OrderedDict()
+    def _process(self, batch: list[Job]) -> None:
+        groups: OrderedDict[str, list[Job]] = OrderedDict()
         for job in batch:
             groups.setdefault(job.request.batch_key(), []).append(job)
         for jobs in groups.values():
@@ -362,7 +362,7 @@ class SimService:
                     self._active -= len(jobs)
                     self._cv.notify_all()
 
-    def _run_group(self, jobs: List[Job]) -> None:
+    def _run_group(self, jobs: list[Job]) -> None:
         """Simulate one batch-key group as a single executor batch.
 
         All jobs in the group share kernel/machine/metric, so their
@@ -370,7 +370,7 @@ class SimService:
         each request's payload is then assembled from the shared
         values.
         """
-        order: "OrderedDict[Tuple[float, float], int]" = OrderedDict()
+        order: OrderedDict[tuple[float, float], int] = OrderedDict()
         for job in jobs:
             for point in job.request.points:
                 if point not in order:
@@ -397,10 +397,10 @@ class SimService:
     def _payload(
         request: SimRequest,
         key: str,
-        order: Dict[Tuple[float, float], int],
-        values: List[float],
+        order: dict[tuple[float, float], int],
+        values: list[float],
         label: str,
-    ) -> Dict[str, Any]:
+    ) -> dict[str, Any]:
         return {
             "schema": SERVE_SCHEMA_VERSION,
             "key": key,

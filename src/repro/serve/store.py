@@ -13,13 +13,14 @@ an older build read as misses rather than as silently-stale results.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Optional, Union
 
 from repro.fsio import FileLock, atomic_write_text
 from repro.serve.schema import SERVE_SCHEMA_VERSION
@@ -55,7 +56,7 @@ class ResultStore:
         self.directory = Path(directory) if directory else default_store_dir()
         self.directory.mkdir(parents=True, exist_ok=True)
         self.memo_size = memo_size
-        self._memo: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._memo: OrderedDict[str, dict[str, Any]] = OrderedDict()
         self._lock = threading.Lock()
 
     def path(self, key: str) -> Path:
@@ -63,7 +64,7 @@ class ResultStore:
 
     # -- read / write -----------------------------------------------------
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
+    def get(self, key: str) -> Optional[dict[str, Any]]:
         """Fetch a payload (memo → disk); ``None`` on miss or damage.
 
         Torn files, non-envelope JSON, stale schema versions and
@@ -90,7 +91,7 @@ class ResultStore:
         self._memo_put(key, payload)
         return payload
 
-    def put(self, key: str, payload: Dict[str, Any]) -> None:
+    def put(self, key: str, payload: dict[str, Any]) -> None:
         """Persist one payload atomically (and memoise it)."""
         envelope = {
             "schema": SERVE_SCHEMA_VERSION,
@@ -103,7 +104,7 @@ class ResultStore:
             atomic_write_text(path, json.dumps(envelope))
         self._memo_put(key, payload)
 
-    def _memo_put(self, key: str, payload: Dict[str, Any]) -> None:
+    def _memo_put(self, key: str, payload: dict[str, Any]) -> None:
         with self._lock:
             self._memo[key] = payload
             self._memo.move_to_end(key)
@@ -137,13 +138,13 @@ class ResultStore:
                 envelope = None
             yield path, envelope if isinstance(envelope, dict) else None
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(self) -> dict[str, Any]:
         """Entry counts, footprint and schema mix of the directory."""
         entries = 0
         size = 0
         stale = 0
         damaged = 0
-        by_schema: Dict[str, int] = {}
+        by_schema: dict[str, int] = {}
         for path, envelope in self._entries():
             entries += 1
             size += path.stat().st_size
@@ -164,7 +165,7 @@ class ResultStore:
             "by_schema": by_schema,
         }
 
-    def gc(self, max_age_s: Optional[float] = None) -> Dict[str, int]:
+    def gc(self, max_age_s: Optional[float] = None) -> dict[str, int]:
         """Remove stale-schema, damaged and (optionally) aged entries.
 
         Args:
@@ -185,11 +186,10 @@ class ResultStore:
                     now - created > max_age_s
                 )
             if drop:
-                try:
+                # Suppressed: concurrent removal by another gc run.
+                with contextlib.suppress(OSError):
                     path.unlink()
                     removed += 1
-                except OSError:  # pragma: no cover - concurrent removal
-                    pass
             else:
                 kept += 1
         with self._lock:

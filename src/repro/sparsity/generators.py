@@ -13,7 +13,7 @@ so that "zero" and "non-zero" are unambiguous after FP32/BF16 rounding.
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Union
 
 import numpy as np
 
@@ -26,7 +26,7 @@ def _as_rng(rng: RngLike) -> np.random.Generator:
     return np.random.default_rng(rng)
 
 
-def zero_mask(shape: Tuple[int, ...], sparsity: float, rng: RngLike = None) -> np.ndarray:
+def zero_mask(shape: tuple[int, ...], sparsity: float, rng: RngLike = None) -> np.ndarray:
     """Return a boolean array where True marks a zeroed element.
 
     Args:
@@ -55,7 +55,7 @@ def sparse_vector(n: int, sparsity: float, rng: RngLike = None) -> np.ndarray:
 
 
 def sparse_matrix(
-    shape: Tuple[int, ...], sparsity: float, rng: RngLike = None
+    shape: tuple[int, ...], sparsity: float, rng: RngLike = None
 ) -> np.ndarray:
     """Return an FP32 tensor with the given fraction of exact zeros.
 

@@ -24,7 +24,7 @@ The first convolution of a CNN consumes the raw image and therefore has
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -10,7 +10,7 @@ so downstream users can validate their own traces and configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -27,7 +27,7 @@ class TransparencyReport:
     trace_name: str
     machine_label: str
     transparent: bool
-    mismatches: List[str] = field(default_factory=list)
+    mismatches: list[str] = field(default_factory=list)
     result: Optional[SimResult] = None
 
     def raise_if_failed(self) -> None:
@@ -39,9 +39,9 @@ class TransparencyReport:
             )
 
 
-def compare_states(reference: ArchState, state: ArchState) -> List[str]:
+def compare_states(reference: ArchState, state: ArchState) -> list[str]:
     """List every register/memory divergence between two states."""
-    mismatches: List[str] = []
+    mismatches: list[str] = []
     for reg in range(32):
         ref_val = reference.read_vreg(reg)
         got = state.read_vreg(reg)
