@@ -50,6 +50,7 @@ SIM_SCOPE: tuple[str, ...] = (
     "repro/sparsity/",
     "repro/isa/",
     "repro/experiments/",
+    "repro/fastsim/",
 )
 
 #: Cycle-accounting code proper (the ISSUE's float-eq scope).

@@ -38,7 +38,8 @@ def build_parser() -> argparse.ArgumentParser:
             "subcommand: 'bench' (performance ledger), "
             "'trace-report FILE' (trace analytics), 'serve' (simulation "
             "service), 'submit' (client round-trip), 'store' "
-            "(result-store stats/gc), 'check' (static analysis)"
+            "(result-store stats/gc), 'check' (static analysis), "
+            "'fastsim-calibrate' (fast-tier calibration)"
         ),
     )
     parser.add_argument(
@@ -67,6 +68,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--panel",
         default=None,
         help="fig14 only: panel a/b/c/d (default: all)",
+    )
+    parser.add_argument(
+        "--engine",
+        default="exact",
+        choices=("exact", "fast", "analytic"),
+        help=(
+            "simulation tier: 'exact' is the cycle-level pipeline; "
+            "'fast' is the calibrated structure-of-arrays estimator "
+            "(~10-100x faster per point); 'analytic' is the closed-form "
+            "model (fastest, loosest)"
+        ),
     )
     parser.add_argument(
         "--chart",
@@ -147,6 +159,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.check.cli import check_main
 
         return check_main(raw[1:])
+    if raw and raw[0] == "fastsim-calibrate":
+        from repro.fastsim.cli import calibrate_main
+
+        return calibrate_main(raw[1:])
 
     args = build_parser().parse_args(raw)
     if args.experiment == "list":
@@ -200,6 +216,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             panel=args.panel if args.panel is not None else "all",
             metrics=registry,
             spans=spans,
+            engine=args.engine,
         )
 
         for name in names:

@@ -103,6 +103,9 @@ class SimResult:
     #: lane-utilisation distributions, structure peaks, event counters.
     metrics: Optional[dict] = None
     final_state: Optional[ArchState] = None
+    #: Which engine tier produced this result ("exact", "fast",
+    #: "analytic").  Carried everywhere so tiers never mix silently.
+    engine: str = "exact"
 
     @property
     def prf_rotation_overhead(self) -> float:
@@ -993,13 +996,25 @@ def simulate(
     warm_level: Optional[str] = "l2",
     keep_state: bool = True,
     obs: Optional[Instrumentation] = None,
+    engine: str = "exact",
 ) -> SimResult:
     """Convenience wrapper: run one trace on one configuration.
 
     Pass an :class:`repro.obs.Instrumentation` as ``obs`` to collect
     metrics and (if its sink is real) structured trace events; the
     returned :attr:`SimResult.metrics` then holds the snapshot.
+
+    ``engine`` selects the tier: ``"exact"`` (this module's cycle-level
+    pipeline, the default), or ``"fast"``/``"analytic"`` which delegate
+    to :mod:`repro.fastsim`'s estimators (no µop execution, no
+    ``final_state``/``metrics``); results carry an ``engine`` tag.
     """
+    if engine != "exact":
+        # Imported lazily: repro.fastsim depends on modules that import
+        # this one, so a module-level import would be a cycle.
+        from repro.fastsim import simulate_trace
+
+        return simulate_trace(trace, config, engine)
     return PipelineSimulator(
         trace, config, warm_level=warm_level, keep_state=keep_state, obs=obs
     ).run()

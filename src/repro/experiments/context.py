@@ -57,6 +57,11 @@ class RunContext:
             the quick/full grid choice.
         samples: per-layer sparsity samples for Fig. 14's dynamic
             activation model.
+        engine: simulation engine tier for every grid point —
+            ``"exact"`` (cycle-level pipeline), ``"fast"`` (calibrated
+            structure-of-arrays bounds) or ``"analytic"`` (closed-form
+            model).  Results and cached surfaces carry the tag, so
+            tiers never mix.
     """
 
     full_grid: bool = False
@@ -68,6 +73,7 @@ class RunContext:
     store: Optional["SurfaceStore"] = None
     levels: Optional[Sequence[float]] = None
     samples: int = 5
+    engine: str = "exact"
 
     def resolve_k_steps(self, default: int) -> int:
         """The context's ``k_steps``, or the experiment's ``default``."""

@@ -61,17 +61,28 @@ class PointJob:
     config: GemmKernelConfig
     machine: MachineConfig
     metric: str = METRIC_TIME_NS
+    #: Engine tier ("exact", "fast", "analytic").  Fast tiers estimate
+    #: from the seeded config directly — no trace, no instrumentation.
+    engine: str = "exact"
 
     def run(self, obs: Optional[Instrumentation] = None) -> float:
         """Simulate this point in the current process."""
-        # Imported here so workers pay the import once, not per job.
-        from repro.core.pipeline import simulate
-        from repro.kernels.gemm import generate_gemm_trace
+        if self.engine != "exact":
+            # Imported lazily to keep the exact path's import graph
+            # unchanged (and repro.fastsim depends on this module's
+            # importers, so a module-level import would cycle).
+            from repro.fastsim import simulate_config
 
-        result = simulate(
-            generate_gemm_trace(self.config), self.machine, keep_state=False,
-            obs=obs,
-        )
+            result = simulate_config(self.config, self.machine, self.engine)
+        else:
+            # Imported here so workers pay the import once, not per job.
+            from repro.core.pipeline import simulate
+            from repro.kernels.gemm import generate_gemm_trace
+
+            result = simulate(
+                generate_gemm_trace(self.config), self.machine,
+                keep_state=False, obs=obs,
+            )
         if self.metric == METRIC_NS_PER_FMA:
             return result.time_ns / result.fma_count
         return result.time_ns

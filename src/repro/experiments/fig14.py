@@ -40,7 +40,7 @@ PAPER_DYNAMIC = {
 
 
 def _evaluate(panel: str, full_grid: bool, store: SurfaceStore, k_steps: int,
-              samples: int) -> list[NetworkEvaluation]:
+              samples: int, engine: str = "exact") -> list[NetworkEvaluation]:
     levels = PAPER_LEVELS if full_grid else COARSE_LEVELS
     evaluations: list[NetworkEvaluation] = []
     if panel == "a":
@@ -56,7 +56,8 @@ def _evaluate(panel: str, full_grid: bool, store: SurfaceStore, k_steps: int,
             if mode == "inference":
                 evaluations.append(
                     evaluate_inference(
-                        network, precision, store=store, levels=levels, k_steps=k_steps
+                        network, precision, store=store, levels=levels,
+                        k_steps=k_steps, engine=engine,
                     )
                 )
             else:
@@ -68,6 +69,7 @@ def _evaluate(panel: str, full_grid: bool, store: SurfaceStore, k_steps: int,
                         levels=levels,
                         k_steps=k_steps,
                         samples=samples,
+                        engine=engine,
                     )
                 )
     return evaluations
@@ -86,7 +88,9 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     rows = []
     data: dict[str, dict] = {}
     for p in panels:
-        for evaluation in _evaluate(p, ctx.full_grid, store, k_steps, ctx.samples):
+        for evaluation in _evaluate(
+            p, ctx.full_grid, store, k_steps, ctx.samples, ctx.engine
+        ):
             key = f"14{p}/{evaluation.network}/{evaluation.precision.value}"
             data[key] = {
                 label: result.total_ns

@@ -67,6 +67,7 @@ def _cap(
     split: MulticoreSplit,
     k_steps: int,
     high: float = 0.9,
+    engine: str = "exact",
 ) -> float:
     """Speedup at saturating sparsity for one kernel."""
     tile = kernel_tile_for_phase(phase, lstm=lstm)
@@ -76,9 +77,13 @@ def _cap(
     fmas = layer.macs(phase, batch=batch) / macs_per_fma
     traffic = layer_traffic_bytes(layer, phase, batch, element_bytes)
 
-    base_surface = store.get(tile, precision, BASELINE_2VPU, levels=(0.0,), k_steps=k_steps)
+    base_surface = store.get(
+        tile, precision, BASELINE_2VPU, levels=(0.0,), k_steps=k_steps,
+        engine=engine,
+    )
     save_surface = store.get(
-        tile, precision, machine, levels=(0.0, high), k_steps=k_steps
+        tile, precision, machine, levels=(0.0, high), k_steps=k_steps,
+        engine=engine,
     )
     base_time = split.layer_time_ns(fmas, base_surface.interpolate(0, 0), traffic)
     save_time = split.layer_time_ns(
@@ -108,7 +113,8 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
             caps = []
             for layer, phase, lstm in kernels:
                 cap = _cap(
-                    layer, phase, lstm, precision, machine, store, split, k_steps
+                    layer, phase, lstm, precision, machine, store, split,
+                    k_steps, engine=ctx.engine,
                 )
                 caps.append(cap)
                 for b, (low, highb) in enumerate(BUCKETS):

@@ -58,6 +58,7 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
             nbs_levels=levels,
             k_steps=ctx.resolve_k_steps(24),
             executor=ctx.executor,
+            engine=ctx.engine,
         )
         data[panel] = {label: sweep.speedups for label, sweep in results.items()}
         for label, sweep in results.items():

@@ -34,6 +34,7 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
         nbs_levels=levels,
         k_steps=ctx.resolve_k_steps(24),
         executor=ctx.executor,
+        engine=ctx.engine,
     )
     rows = []
     for label, sweep in results.items():

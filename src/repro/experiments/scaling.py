@@ -28,10 +28,14 @@ LSTM = LstmShape("gnmt_cell", hidden=1024, input_size=1024, seq_len=30)
 CORE_COUNTS = (1, 4, 8, 14, 28)
 
 
-def _layer_times(layer, lstm: bool, cores: int, store: SurfaceStore, k_steps: int):
+def _layer_times(layer, lstm: bool, cores: int, store: SurfaceStore,
+                 k_steps: int, engine: str = "exact"):
     """(compute time, memory time) for a weak-scaled layer."""
     tile = kernel_tile_for_phase(Phase.FORWARD, lstm=lstm)
-    surface = store.get(tile, Precision.FP32, SAVE_2VPU, levels=(0.0, 0.9), k_steps=k_steps)
+    surface = store.get(
+        tile, Precision.FP32, SAVE_2VPU, levels=(0.0, 0.9), k_steps=k_steps,
+        engine=engine,
+    )
     bs, nbs = (0.2, 0.9) if lstm else (0.5, 0.0)
     ns_per_fma = surface.interpolate(bs, nbs)
     batch = 3 * cores if lstm else cores
@@ -57,7 +61,9 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     data: dict[str, dict[int, float]] = {"conv": {}, "lstm": {}}
     for label, layer, lstm in (("conv", CONV, False), ("lstm", LSTM, True)):
         for cores in CORE_COUNTS:
-            compute, memory = _layer_times(layer, lstm, cores, store, k_steps)
+            compute, memory = _layer_times(
+                layer, lstm, cores, store, k_steps, ctx.engine
+            )
             time = max(compute, memory)
             bound_frac = memory / time
             data[label][cores] = bound_frac

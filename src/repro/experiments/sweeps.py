@@ -70,6 +70,7 @@ def sweep_kernel(
     baseline: MachineConfig = BASELINE_2VPU,
     seed: int = 0,
     executor: Optional[SimExecutor] = None,
+    engine: str = "exact",
 ) -> dict[str, SweepResult]:
     """Sweep one kernel over the sparsity grid under each machine.
 
@@ -80,7 +81,9 @@ def sweep_kernel(
     Every point of the (machine, bs, nbs) product — plus the baseline
     point — is an independent simulation; the whole sweep goes to the
     executor as one batch.  Results return in job order, so a parallel
-    sweep's speedup dicts are identical to a serial one's.
+    sweep's speedup dicts are identical to a serial one's.  ``engine``
+    selects the tier for every point, baseline included, so speedup
+    ratios never mix tiers.
     """
     jobs: list[PointJob] = [
         PointJob(
@@ -92,6 +95,7 @@ def sweep_kernel(
                 seed=seed,
             ),
             machine=baseline,
+            engine=engine,
         )
     ]
     points = [(bs, nbs) for bs in bs_levels for nbs in nbs_levels]
@@ -107,6 +111,7 @@ def sweep_kernel(
                         seed=seed,
                     ),
                     machine=machine,
+                    engine=engine,
                 )
             )
     runner = default_executor(executor)

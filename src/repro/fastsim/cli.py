@@ -1,0 +1,176 @@
+"""``repro fastsim-calibrate``: fit / validate the fast tier.
+
+Modes:
+
+* default — run the harness on the chosen grid, refit per-class
+  weights, print the error table (nothing written);
+* ``--write`` — additionally write the payload to the committed
+  ``calibration.json`` (or ``--output``);
+* ``--check`` — validate the *committed* artifact instead of refitting:
+  assert its fingerprint matches this tree (cheap, no simulation),
+  assert its recorded errors meet the budget, then re-evaluate the
+  committed weights on the chosen grid (``--quick`` for the reduced CI
+  grid) and assert the live errors stay inside ``--max-median`` /
+  ``--max-p95``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.fastsim import calibration as cal
+
+__all__ = ["calibrate_main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fastsim-calibrate",
+        description="Calibrate the fast simulation tier against the exact model",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"reduced sparsity grid {cal.QUICK_LEVELS} instead of the full "
+        "10%%-interval grid",
+    )
+    parser.add_argument(
+        "--k-steps", type=int, default=24, help="reduction steps per point"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="trace seed")
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (REPRO_JOBS)"
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="write the fitted payload to the committed calibration.json",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the committed artifact (fingerprint, budget, live "
+        "re-evaluation) instead of refitting",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write/read path override (default: the committed artifact)",
+    )
+    parser.add_argument(
+        "--max-median",
+        type=float,
+        default=0.08,
+        help="--check live-evaluation median budget (default 0.08)",
+    )
+    parser.add_argument(
+        "--max-p95",
+        type=float,
+        default=0.20,
+        help="--check live-evaluation p95 budget (default 0.20)",
+    )
+    return parser
+
+
+def _executor(jobs):
+    from repro.experiments.executor import SimExecutor
+
+    return SimExecutor(jobs=jobs)
+
+
+def _check(args: argparse.Namespace, levels: tuple[float, ...]) -> int:
+    path = args.output or cal.CALIBRATION_PATH
+    payload = cal.load_calibration(path)
+    if payload is None:
+        print(f"error: no readable calibration artifact at {path}", file=sys.stderr)
+        return 1
+    expected = cal.expected_fingerprint(
+        tuple(payload["levels"]), payload["k_steps"], payload["seed"]
+    )
+    if payload.get("fingerprint") != expected:
+        print(
+            "error: committed calibration is STALE "
+            f"(fingerprint {payload.get('fingerprint')} != expected {expected}); "
+            "re-run `repro fastsim-calibrate --write`",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"fingerprint ok: {expected}")
+    problems = cal.validate_budget(payload)
+    if problems:
+        for problem in problems:
+            print(f"error: recorded errors over budget: {problem}", file=sys.stderr)
+        return 1
+    summary = payload["summary"]
+    print(
+        f"recorded errors ok: median {summary['median_rel_err']:.3%}, "
+        f"p95 {summary['p95_rel_err']:.3%} over {summary['points']} points"
+    )
+    print(
+        f"re-evaluating committed weights on {len(levels)}x{len(levels)} grid "
+        f"(k_steps={args.k_steps}) ..."
+    )
+    live = cal.run_calibration(
+        levels=levels,
+        k_steps=args.k_steps,
+        seed=args.seed,
+        executor=_executor(args.jobs),
+        fit=False,
+        weights=cal.committed_weights(payload),
+        echo=print,
+    )
+    problems = cal.validate_budget(live, args.max_median, args.max_p95)
+    if problems:
+        for problem in problems:
+            print(f"error: live evaluation over budget: {problem}", file=sys.stderr)
+        return 1
+    live_summary = live["summary"]
+    print(
+        f"live evaluation ok: median {live_summary['median_rel_err']:.3%}, "
+        f"p95 {live_summary['p95_rel_err']:.3%}"
+    )
+    return 0
+
+
+def calibrate_main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    levels = cal.QUICK_LEVELS if args.quick else cal.FULL_LEVELS
+    if args.check:
+        return _check(args, levels)
+    if args.write and args.quick:
+        print(
+            "error: refusing to commit a quick-grid calibration; "
+            "drop --quick for --write",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"calibrating {len(cal.calibration_classes())} kernel classes on a "
+        f"{len(levels)}x{len(levels)} sparsity grid (k_steps={args.k_steps}) ..."
+    )
+    payload = cal.run_calibration(
+        levels=levels,
+        k_steps=args.k_steps,
+        seed=args.seed,
+        executor=_executor(args.jobs),
+        echo=print,
+    )
+    summary = payload["summary"]
+    print(
+        f"overall: median {summary['median_rel_err']:.3%}, "
+        f"p95 {summary['p95_rel_err']:.3%}, max {summary['max_rel_err']:.3%} "
+        f"over {summary['points']} points"
+    )
+    problems = cal.validate_budget(payload)
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    if args.write:
+        path = args.output or cal.CALIBRATION_PATH
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+        return 1 if problems else 0
+    return 1 if problems else 0

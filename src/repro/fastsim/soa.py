@@ -1,0 +1,216 @@
+"""Structure-of-arrays view of a GEMM inner-loop kernel.
+
+The exact pipeline walks a list of µop *objects*; everything the fast
+engine needs from that stream is a handful of dense numpy tensors:
+
+* the non-zero masks of the two input matrices (``a_nz``, ``b_nz``),
+* the per-(step, row, column-vector, lane) **effectual tensor** — the
+  vectorised Effectual Lane Mask of every VFMA in the trace, computed
+  with exactly the semantics of :func:`repro.core.save.elm.compute_elm`
+  (a lane is effectual iff both multiplicand elements are non-zero;
+  mixed precision is per accumulator lane over its two multiplicand
+  pairs),
+* per-µop-class counts (loads, broadcasts, kmovs, FMAs, scalar
+  overhead) for front-end accounting.
+
+:meth:`TraceArrays.from_config` rebuilds the matrices by replaying the
+trace builder's seeded RNG calls, so the arrays match a generated trace
+bit-for-bit *without* materialising a single µop object — that is where
+the fast tier's per-point speedup comes from.
+:meth:`TraceArrays.from_trace` reads the same matrices out of an
+already-built :class:`repro.kernels.trace.KernelTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.datatypes import FP32_LANES, bf16_round
+from repro.kernels.gemm import GemmKernelConfig
+from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
+from repro.kernels.trace import KernelTrace
+from repro.sparsity.generators import sparse_matrix
+
+__all__ = ["TraceArrays"]
+
+
+@dataclass(frozen=True)
+class TraceArrays:
+    """Dense-array equivalent of one generated kernel trace.
+
+    ``effectual`` has shape ``(k_steps, rows, col_vectors, 16)`` and is
+    True where the VFMA of reduction step ``k`` on accumulator
+    ``(row, j)`` does real work in accumulator lane ``l``.
+    ``ml_count`` is the per-lane effectual multiplicand-lane count —
+    identical to ``effectual`` for FP32, and in ``{0, 1, 2}`` for mixed
+    precision (two reduction levels per accumulator lane).
+    """
+
+    name: str
+    tile: RegisterTile
+    k_steps: int
+    precision: Precision
+    use_write_masks: bool
+    scalar_overhead_per_step: int
+    a_nz: np.ndarray  # bool (rows, k_depth)
+    b_nz: np.ndarray  # bool (k_depth, col_vectors * 16)
+    effectual: np.ndarray  # bool (k_steps, rows, col_vectors, 16)
+    ml_count: np.ndarray  # int8, same shape as ``effectual``
+    broadcast_nonzero: np.ndarray  # bool (k_steps, rows)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_config(cls, config: GemmKernelConfig) -> TraceArrays:
+        """Build the arrays straight from a seeded trace config.
+
+        Replays the exact RNG call sequence of
+        :class:`repro.kernels.gemm._GemmTraceBuilder` (one generator,
+        A first, then B), so the non-zero structure is identical to the
+        trace the exact engine would simulate.
+        """
+        tile = config.tile
+        rows, cv = tile.rows, tile.col_vectors
+        k_depth = config.k_depth
+        rng = np.random.default_rng(config.seed)
+        a = sparse_matrix((rows, k_depth), config.broadcast_sparsity, rng)
+        b = sparse_matrix(
+            (k_depth, cv * FP32_LANES), config.nonbroadcast_sparsity, rng
+        )
+        if config.precision == Precision.MIXED:
+            a = bf16_round(a)
+            b = bf16_round(b)
+        return cls._from_matrices(config, a, b)
+
+    @classmethod
+    def from_trace(cls, trace: KernelTrace) -> TraceArrays:
+        """Build the arrays from an already-generated trace's metadata."""
+        meta = trace.meta
+        config = GemmKernelConfig(
+            name=trace.name,
+            tile=meta["tile"],
+            k_steps=meta["k_steps"],
+            precision=meta["precision"],
+            broadcast_sparsity=meta["broadcast_sparsity"],
+            nonbroadcast_sparsity=meta["nonbroadcast_sparsity"],
+            use_write_masks=meta.get("use_write_masks", False),
+            scalar_overhead_per_step=meta.get("scalar_overhead_per_step", 2),
+        )
+        return cls._from_matrices(
+            config, np.asarray(meta["a_matrix"]), np.asarray(meta["b_matrix"])
+        )
+
+    @classmethod
+    def _from_matrices(
+        cls, config: GemmKernelConfig, a: np.ndarray, b: np.ndarray
+    ) -> TraceArrays:
+        tile = config.tile
+        rows, cv = tile.rows, tile.col_vectors
+        k = config.k_steps
+        # Exact-zero operand test — same sparsity-detection semantics as
+        # the hardware model (generators guarantee zeros are exact).
+        a_nz = a != 0
+        b_nz = b != 0
+        if config.precision == Precision.MIXED:
+            # ELM semantics per accumulator lane over pairs p in (0, 1):
+            # pair p effectual iff A[r, 2k+p] != 0 and B[2k+p, j*16+l] != 0.
+            a_pair = a_nz.T.reshape(k, 2, rows)  # [k, p, r]
+            b_pair = b_nz.reshape(k, 2, cv, FP32_LANES)  # [k, p, j, l]
+            ml = (
+                a_pair[:, :, :, None, None] & b_pair[:, :, None, :, :]
+            )  # [k, p, r, j, l]
+            ml_count = ml.sum(axis=1, dtype=np.int8)
+            effectual = ml.any(axis=1)
+            broadcast_nonzero = a_pair.any(axis=1)  # [k, r]
+        else:
+            a_steps = a_nz.T  # [k, r]
+            b_steps = b_nz.reshape(k, cv, FP32_LANES)  # [k, j, l]
+            effectual = a_steps[:, :, None, None] & b_steps[:, None, :, :]
+            ml_count = effectual.astype(np.int8)
+            broadcast_nonzero = a_steps
+        return cls(
+            name=config.name,
+            tile=tile,
+            k_steps=k,
+            precision=config.precision,
+            use_write_masks=config.use_write_masks,
+            scalar_overhead_per_step=config.scalar_overhead_per_step,
+            a_nz=a_nz,
+            b_nz=b_nz,
+            effectual=effectual,
+            ml_count=ml_count,
+            broadcast_nonzero=broadcast_nonzero,
+        )
+
+    # -- derived structure -------------------------------------------------
+
+    @property
+    def mixed(self) -> bool:
+        return self.precision == Precision.MIXED
+
+    @property
+    def element_bytes(self) -> int:
+        return 2 if self.mixed else 4
+
+    @property
+    def k_depth(self) -> int:
+        return self.k_steps * (2 if self.mixed else 1)
+
+    @property
+    def accumulators(self) -> int:
+        return self.tile.accumulators
+
+    @property
+    def fma_count(self) -> int:
+        """VFMAs in the trace (one per step per accumulator)."""
+        return self.k_steps * self.accumulators
+
+    @property
+    def loads_per_step(self) -> int:
+        return self.tile.col_vectors
+
+    @property
+    def broadcasts_per_step(self) -> int:
+        """Broadcast *reads* per step (µops for explicit, operands for
+        embedded — every embedded VFMA carries one)."""
+        if self.tile.pattern == BroadcastPattern.EXPLICIT:
+            return self.tile.rows
+        return self.tile.rows * self.tile.col_vectors
+
+    @property
+    def uops_per_step(self) -> int:
+        """Allocated µops per reduction step."""
+        count = (
+            self.scalar_overhead_per_step
+            + self.loads_per_step
+            + self.accumulators
+        )
+        if self.tile.pattern == BroadcastPattern.EXPLICIT:
+            count += self.tile.rows  # VBCAST µops
+        if self.use_write_masks:
+            count += self.tile.col_vectors  # KMOVs
+        return count
+
+    @property
+    def uop_count(self) -> int:
+        """Total µops: VZEROs + K steps + accumulator VSTOREs."""
+        return 2 * self.accumulators + self.k_steps * self.uops_per_step
+
+    @property
+    def skipped_fmas(self) -> int:
+        """VFMAs whose whole ELM is zero (BS-skippable)."""
+        return int(self.fma_count - np.count_nonzero(self.effectual.any(axis=3)))
+
+    @property
+    def effectual_lanes(self) -> int:
+        """Total effectual multiplicand work items across the trace."""
+        return int(self.ml_count.sum(dtype=np.int64))
+
+    @property
+    def pass_through_lanes(self) -> int:
+        """Accumulator lanes that pass through with no VPU work."""
+        return int(self.fma_count * FP32_LANES) - int(
+            np.count_nonzero(self.effectual)
+        )

@@ -267,6 +267,8 @@ class _GemmTraceBuilder:
             "precision": cfg.precision,
             "broadcast_sparsity": cfg.broadcast_sparsity,
             "nonbroadcast_sparsity": cfg.nonbroadcast_sparsity,
+            "use_write_masks": cfg.use_write_masks,
+            "scalar_overhead_per_step": cfg.scalar_overhead_per_step,
             "c_rows": tile.rows,
             "c_cols": tile.col_vectors * FP32_LANES,
             "a_matrix": self.a,

@@ -115,6 +115,7 @@ class NetworkEstimator:
         split: Optional[MulticoreSplit] = None,
         cnn_batch: int = 28,
         lstm_batch: int = 84,
+        engine: str = "exact",
     ) -> None:
         self.network = network
         self.precision = precision
@@ -124,6 +125,7 @@ class NetworkEstimator:
         self.split = split if split is not None else MulticoreSplit()
         self.cnn_batch = cnn_batch
         self.lstm_batch = lstm_batch
+        self.engine = engine
         self.element_bytes = 2 if precision == Precision.MIXED else 4
         self.macs_per_fma = 32 if precision == Precision.MIXED else 16
 
@@ -134,10 +136,12 @@ class NetworkEstimator:
         if not machine.save.enabled:
             # Baseline time is sparsity-independent: a single-point grid.
             return self.store.get(
-                tile, self.precision, machine, levels=(0.0,), k_steps=self.k_steps
+                tile, self.precision, machine, levels=(0.0,),
+                k_steps=self.k_steps, engine=self.engine,
             )
         return self.store.get(
-            tile, self.precision, machine, levels=self.levels, k_steps=self.k_steps
+            tile, self.precision, machine, levels=self.levels,
+            k_steps=self.k_steps, engine=self.engine,
         )
 
     def _batch(self, layer) -> int:

@@ -30,6 +30,7 @@ def evaluate_inference(
     levels: Sequence[float] = COARSE_LEVELS,
     k_steps: int = 24,
     split: Optional[MulticoreSplit] = None,
+    engine: str = "exact",
 ) -> NetworkEvaluation:
     """Fig. 14a/b bars for one network × precision."""
     estimator = NetworkEstimator(
@@ -39,6 +40,7 @@ def evaluate_inference(
         levels=levels,
         k_steps=k_steps,
         split=split,
+        engine=engine,
     )
     final_step = network.total_steps
     estimates = estimator.step_estimates(final_step, training=False)

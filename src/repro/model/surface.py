@@ -114,6 +114,9 @@ class SparsitySurface:
     #: ns per VFMA, indexed ``[bs_index, nbs_index]``.
     ns_per_fma: np.ndarray
     label: str = ""
+    #: Engine tier that produced every point ("exact", "fast",
+    #: "analytic") — surfaces never mix tiers.
+    engine: str = "exact"
 
     def __post_init__(self) -> None:
         self.ns_per_fma = np.asarray(self.ns_per_fma, dtype=float)
@@ -130,6 +133,7 @@ class SparsitySurface:
             "levels": list(self.levels),
             "ns_per_fma": self.ns_per_fma.tolist(),
             "label": self.label,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -138,6 +142,7 @@ class SparsitySurface:
             levels=payload["levels"],
             ns_per_fma=np.array(payload["ns_per_fma"]),
             label=payload.get("label", ""),
+            engine=payload.get("engine", "exact"),
         )
 
     @classmethod
@@ -150,13 +155,16 @@ class SparsitySurface:
         k_steps: int = 24,
         seed: int = 0,
         executor: Optional[SimExecutor] = None,
+        engine: str = "exact",
     ) -> SparsitySurface:
         """Simulate the full grid (the expensive path; memoise it).
 
         All ``n × n`` grid points are independent simulations; they go
         to the executor as one batch, so a parallel executor fills the
         whole surface concurrently.  Results come back in job order, so
-        the surface is identical whichever backend ran it.
+        the surface is identical whichever backend ran it.  ``engine``
+        selects the tier for *every* point and is recorded on the
+        surface.
         """
         n = len(levels)
         runner = default_executor(executor)
@@ -167,12 +175,13 @@ class SparsitySurface:
                     config=point_config(tile, precision, bs, nbs, k_steps, seed),
                     machine=machine,
                     metric=METRIC_NS_PER_FMA,
+                    engine=engine,
                 )
                 for bs in levels
                 for nbs in levels
             ]
             values = np.array(runner.map(jobs)).reshape(n, n)
-        return cls(levels=levels, ns_per_fma=values, label=label)
+        return cls(levels=levels, ns_per_fma=values, label=label, engine=engine)
 
 
 def _bilinear(levels: Sequence[float], grid: np.ndarray, x: float, y: float) -> float:
@@ -244,6 +253,7 @@ class SurfaceStore:
         machine: MachineConfig,
         levels: Sequence[float],
         k_steps: int,
+        engine: str = "exact",
     ) -> str:
         raw = json.dumps(
             {
@@ -254,6 +264,7 @@ class SurfaceStore:
                 "machine": machine_label(machine),
                 "levels": list(levels),
                 "k_steps": k_steps,
+                "engine": engine,
             },
             sort_keys=True,
         )
@@ -267,6 +278,7 @@ class SurfaceStore:
         levels: Sequence[float] = COARSE_LEVELS,
         k_steps: int = 24,
         executor: Optional[SimExecutor] = None,
+        engine: str = "exact",
     ) -> SparsitySurface:
         """Fetch (memory → disk → simulate) a surface.
 
@@ -275,9 +287,10 @@ class SurfaceStore:
         build-and-write runs under a per-entry advisory
         :class:`repro.fsio.FileLock`, so two processes missing on the
         same key simulate it once: the second blocks, then reads the
-        first's result from disk.
+        first's result from disk.  ``engine`` is part of the cache key:
+        surfaces from different tiers never collide.
         """
-        key = self._key(tile, precision, machine, levels, k_steps)
+        key = self._key(tile, precision, machine, levels, k_steps, engine)
         memo = self._memory.get(key)
         if memo is not None:
             self._memory.move_to_end(key)
@@ -297,6 +310,7 @@ class SurfaceStore:
                         levels=levels,
                         k_steps=k_steps,
                         executor=executor if executor is not None else self.executor,
+                        engine=engine,
                     )
                     atomic_write_text(
                         path,

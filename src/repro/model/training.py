@@ -45,6 +45,7 @@ def evaluate_training(
     k_steps: int = 24,
     samples: int = 8,
     split: Optional[MulticoreSplit] = None,
+    engine: str = "exact",
 ) -> NetworkEvaluation:
     """Fig. 14c/d bars for one network × precision."""
     estimator = NetworkEstimator(
@@ -54,6 +55,7 @@ def evaluate_training(
         levels=levels,
         k_steps=k_steps,
         split=split,
+        engine=engine,
     )
     estimates_per_step = [
         estimator.step_estimates(step, training=True)

@@ -20,6 +20,12 @@ Each workload records three things:
   *instrumented* pass (never timed).  Counter drift between entries
   means the simulated machine itself changed — reported as a warning,
   not a regression, since model changes are sometimes the point.
+
+The ``fastsim_sweep`` workload times the same coarse sweep on the
+exact and fast engine tiers and records ``speedup_over_exact`` — the
+ledger is where the fast tier's headline speedup is demonstrated and
+guarded.  ``repro bench report`` renders the committed entries as a
+per-workload trajectory so the repo's perf history reads at a glance.
 """
 
 from __future__ import annotations
@@ -42,8 +48,10 @@ __all__ = [
     "DEFAULT_THRESHOLD",
     "bench_main",
     "compare_entries",
+    "format_report",
     "ledger_paths",
     "next_seq",
+    "report_main",
     "run_suite",
     "validate_entry",
     "write_entry",
@@ -111,6 +119,7 @@ def _suite(quick: bool) -> list[tuple[str, int, Any]]:
         ("single_save_point", 1, single),
         ("coarse_sweep", 1, sweep),
         ("parallel_sweep", 2, sweep),
+        ("fastsim_sweep", 1, sweep),
     ]
 
 
@@ -150,6 +159,67 @@ def _run_workload(
     }
 
 
+def _run_fastsim_workload(point_jobs: list[Any], repeats: int) -> dict[str, Any]:
+    """Time the same sweep on the exact and fast engine tiers.
+
+    ``wall_s`` is the *fast* tier's wall time — the number the
+    regression gate guards — while ``exact_wall_s`` and
+    ``speedup_over_exact`` record how far the fast tier stays ahead of
+    the cycle-level pipeline on identical points.  Counters come from
+    the fast results themselves: the fast tier computes them
+    statically, so a separate instrumented pass would add nothing.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.executor import SimExecutor
+    from repro.fastsim import simulate_config
+
+    fast_jobs = [replace(job, engine="fast") for job in point_jobs]
+    executor = SimExecutor(jobs=1)
+
+    def best_of(jobs: list[Any]) -> float:
+        best: Optional[float] = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            executor.map(jobs)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        assert best is not None  # the range above is never empty
+        return best
+
+    # Warm-up: the first fast call pays the one-time calibration-table
+    # load; charge neither tier for it.
+    executor.map(fast_jobs[:1])
+    fast_wall = best_of(fast_jobs)
+    exact_wall = best_of(point_jobs)
+
+    sim_cycles = sim_runs = effectual = pass_through = 0
+    for job in fast_jobs:
+        result = simulate_config(job.config, job.machine, job.engine)
+        sim_cycles += result.cycles
+        sim_runs += 1
+        effectual += result.effectual_lanes
+        pass_through += result.pass_through_lanes
+    return {
+        "wall_s": round(fast_wall, 6),
+        "exact_wall_s": round(exact_wall, 6),
+        "speedup_over_exact": (
+            round(exact_wall / fast_wall, 2) if fast_wall else 0.0
+        ),
+        "jobs": 1,
+        "points": len(point_jobs),
+        "sim_cycles": sim_cycles,
+        "cycles_per_sec": round(sim_cycles / fast_wall, 1) if fast_wall else 0.0,
+        "counters": {
+            "sim_cycles": sim_cycles,
+            "sim_runs": sim_runs,
+            "effectual_lanes": effectual,
+            "pass_through_lanes": pass_through,
+        },
+    }
+
+
 def run_suite(
     quick: bool = False,
     repeats: int = 2,
@@ -158,13 +228,19 @@ def run_suite(
     """Run the fixed suite; returns a schema-valid (seq-less) entry."""
     workloads: dict[str, Any] = {}
     for name, jobs, point_jobs in _suite(quick):
-        result = _run_workload(name, jobs, point_jobs, repeats)
+        if name == "fastsim_sweep":
+            result = _run_fastsim_workload(point_jobs, repeats)
+        else:
+            result = _run_workload(name, jobs, point_jobs, repeats)
         workloads[name] = result
         if echo is not None:
+            extra = ""
+            if "speedup_over_exact" in result:
+                extra = f", {result['speedup_over_exact']:.1f}x vs exact"
             echo(
                 f"  {name}: {result['wall_s']:.3f}s wall, "
                 f"{result['sim_cycles']} cycles "
-                f"({result['cycles_per_sec']:.0f} cyc/s, jobs={jobs})"
+                f"({result['cycles_per_sec']:.0f} cyc/s, jobs={jobs}{extra})"
             )
     return {
         "schema": BENCH_SCHEMA_VERSION,
@@ -201,12 +277,22 @@ def next_seq(directory: Path) -> int:
     return entries[-1][0] + 1 if entries else 1
 
 
-def write_entry(directory: Path, entry: dict[str, Any]) -> Path:
-    """Assign the next sequence number and persist one entry."""
+def write_entry(
+    directory: Path, entry: dict[str, Any], seq: Optional[int] = None
+) -> Path:
+    """Persist one entry under ``seq`` (default: next in sequence).
+
+    An explicit ``seq`` pins the entry number — the committed per-PR
+    entries use the PR number — and refuses to overwrite an existing
+    entry rather than silently rewriting history.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    seq = next_seq(directory)
-    entry = dict(entry, seq=seq)
+    if seq is None:
+        seq = next_seq(directory)
+    elif any(existing == seq for existing, _ in ledger_paths(directory)):
+        raise ValueError(f"ledger entry with seq {seq} already exists")
+    entry = dict(entry, seq=int(seq))
     validate_entry(entry)
     path = directory / f"BENCH_{seq:04d}.json"
     path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
@@ -300,12 +386,113 @@ def _latest_comparable(
 
 
 # ---------------------------------------------------------------------------
-# CLI: ``repro bench``
+# CLI: ``repro bench`` and ``repro bench report``
 # ---------------------------------------------------------------------------
+
+
+def format_report(
+    entries: list[dict[str, Any]], workload: Optional[str] = None
+) -> str:
+    """Per-workload wall-time trajectory over ledger entries.
+
+    Change is computed against the previous entry of the *same*
+    flavour — comparing a ``--quick`` run against a full one would be
+    meaningless.
+    """
+    names: list[str] = []
+    for entry in entries:
+        for name in entry["workloads"]:
+            if name not in names:
+                names.append(name)
+    if workload is not None:
+        if workload not in names:
+            raise ValueError(
+                f"unknown workload {workload!r}; ledger has: {', '.join(names)}"
+            )
+        names = [workload]
+
+    lines: list[str] = []
+    for name in names:
+        lines.append(f"{name}:")
+        lines.append(
+            f"  {'seq':>4} {'flavour':>7} {'wall_s':>9} "
+            f"{'cyc/s':>12} {'change':>8}"
+        )
+        previous: dict[str, float] = {}
+        for entry in entries:
+            record = entry["workloads"].get(name)
+            if record is None:
+                continue
+            flavour = "quick" if entry.get("quick") else "full"
+            prior = previous.get(flavour)
+            change = (
+                ""
+                if prior is None
+                else f"{(record['wall_s'] - prior) / prior:+.1%}"
+            )
+            previous[flavour] = record["wall_s"]
+            extra = ""
+            if "speedup_over_exact" in record:
+                extra = f"  {record['speedup_over_exact']:.1f}x vs exact"
+            lines.append(
+                f"  {entry['seq']:>4} {flavour:>7} {record['wall_s']:>9.3f} "
+                f"{record['cycles_per_sec']:>12.0f} {change:>8}{extra}".rstrip()
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")
+
+
+def report_main(argv: Optional[list[str]] = None) -> int:
+    """Entry point for ``python -m repro bench report``."""
+    parser = argparse.ArgumentParser(
+        prog="save-repro bench report",
+        description=(
+            "Render the ledger's committed BENCH_<seq>.json entries as "
+            "a per-workload wall-time trajectory."
+        ),
+    )
+    parser.add_argument(
+        "--ledger",
+        metavar="DIR",
+        default=str(DEFAULT_LEDGER_DIR),
+        help=f"ledger directory (default: {DEFAULT_LEDGER_DIR})",
+    )
+    parser.add_argument(
+        "--workload",
+        default=None,
+        help="limit the report to one workload",
+    )
+    args = parser.parse_args(argv)
+
+    directory = Path(args.ledger)
+    entries: list[dict[str, Any]] = []
+    for _seq, path in ledger_paths(directory):
+        try:
+            entry = json.loads(path.read_text())
+            validate_entry(entry)
+        except ValueError as error:
+            print(
+                f"warning: skipping unreadable ledger entry {path}: {error}",
+                file=sys.stderr,
+            )
+            continue
+        entries.append(entry)
+    if not entries:
+        print(f"no ledger entries under {directory}", file=sys.stderr)
+        return 1
+    try:
+        print(format_report(entries, workload=args.workload))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def bench_main(argv: Optional[list[str]] = None) -> int:
     """Entry point for ``python -m repro bench``."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "report":
+        return report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="save-repro bench",
         description=(
@@ -345,6 +532,14 @@ def bench_main(argv: Optional[list[str]] = None) -> int:
         "--no-write",
         action="store_true",
         help="run and compare but do not append a ledger entry",
+    )
+    parser.add_argument(
+        "--seq",
+        type=int,
+        default=None,
+        metavar="N",
+        help="pin the written entry's sequence number instead of taking "
+        "the next one (refuses to overwrite an existing entry)",
     )
     args = parser.parse_args(argv)
     if args.threshold < 0:
@@ -386,6 +581,6 @@ def bench_main(argv: Optional[list[str]] = None) -> int:
             exit_code = 1
 
     if not args.no_write:
-        path = write_entry(directory, entry)
+        path = write_entry(directory, entry, seq=args.seq)
         print(f"bench: ledger entry -> {path}")
     return exit_code

@@ -171,6 +171,10 @@ def _submit_parser() -> argparse.ArgumentParser:
         "--metric", default="ns_per_fma", choices=("ns_per_fma", "time_ns")
     )
     parser.add_argument(
+        "--engine", default="exact", choices=("exact", "fast", "analytic"),
+        help="simulation tier (fast/analytic estimate; exact is cycle-level)",
+    )
+    parser.add_argument(
         "--timeout", type=float, default=300.0,
         help="seconds to wait for the result (including 429 retries)",
     )
@@ -205,6 +209,7 @@ def build_request(args: argparse.Namespace) -> dict:
         },
         "machine": {"preset": args.machine},
         "metric": args.metric,
+        "engine": args.engine,
     }
     if (args.point is None) == (args.levels is None):
         raise RequestError("exactly one of --point or --levels is required")

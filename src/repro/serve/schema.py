@@ -41,6 +41,7 @@ from repro.experiments.executor import (
     METRIC_TIME_NS,
     PointJob,
 )
+from repro.fastsim import ENGINES
 from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
 from repro.memory.broadcast_cache import BroadcastCacheKind
 from repro.model.surface import point_config
@@ -57,7 +58,10 @@ __all__ = [
 #: Part of every fingerprint, so entries persisted by an older build
 #: are never served to a newer one.  Bump on any change to the request
 #: canonical form, the result payload layout, or the simulator itself.
-SERVE_SCHEMA_VERSION = 1
+#: v2: per-request ``engine`` tier (exact/fast/analytic) in the
+#: canonical form — results from different tiers never share a
+#: fingerprint, so they never collide in the result store.
+SERVE_SCHEMA_VERSION = 2
 
 #: Machine configurations clients can name (Table I presets).
 MACHINE_PRESETS: dict[str, MachineConfig] = {
@@ -68,7 +72,9 @@ MACHINE_PRESETS: dict[str, MachineConfig] = {
 
 _METRICS = (METRIC_NS_PER_FMA, METRIC_TIME_NS)
 
-_REQUEST_FIELDS = {"kind", "kernel", "machine", "metric", "point", "levels"}
+_REQUEST_FIELDS = {
+    "kind", "kernel", "machine", "metric", "point", "levels", "engine",
+}
 _KERNEL_FIELDS = {"rows", "cols", "pattern", "precision", "k_steps", "seed"}
 _MACHINE_FIELDS = {"preset", "core", "save"}
 
@@ -203,6 +209,7 @@ class SimRequest:
     machine_spec: str  # canonical JSON (dataclasses must stay hashable)
     points: tuple[tuple[float, float], ...]
     levels: Optional[tuple[float, ...]] = None
+    engine: str = "exact"
 
     # -- identity ---------------------------------------------------------
 
@@ -221,6 +228,7 @@ class SimRequest:
             },
             "machine": json.loads(self.machine_spec),
             "metric": self.metric,
+            "engine": self.engine,
             "points": [list(p) for p in self.points],
             "levels": list(self.levels) if self.levels is not None else None,
         }
@@ -260,6 +268,7 @@ class SimRequest:
                 ),
                 machine=machine,
                 metric=self.metric,
+                engine=self.engine,
             )
             for bs, nbs in self.points
         ]
@@ -316,6 +325,12 @@ def parse_request(payload: Any) -> SimRequest:
             f"metric: must be one of {list(_METRICS)}, got {metric!r}"
         )
 
+    engine = payload.get("engine", "exact")
+    if engine not in ENGINES:
+        raise RequestError(
+            f"engine: must be one of {list(ENGINES)}, got {engine!r}"
+        )
+
     levels: Optional[tuple[float, ...]] = None
     if kind == "point":
         if "levels" in payload:
@@ -354,4 +369,5 @@ def parse_request(payload: Any) -> SimRequest:
         machine_spec=json.dumps(machine_spec, sort_keys=True),
         points=points,
         levels=levels,
+        engine=engine,
     )

@@ -406,6 +406,7 @@ class SimService:
             "key": key,
             "kind": request.kind,
             "metric": request.metric,
+            "engine": request.engine,
             "label": label,
             "points": [list(point) for point in request.points],
             "values": [values[order[point]] for point in request.points],

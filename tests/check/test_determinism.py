@@ -55,6 +55,26 @@ def test_seeded_rng_not_flagged(tmp_path):
     assert result.ok
 
 
+def test_fastsim_scope_covered(tmp_path):
+    # The fast engine tier feeds reported cycle counts, so it sits in
+    # the determinism scope like the exact pipeline does.
+    fastsim = tmp_path / "repro" / "fastsim"
+    fastsim.mkdir(parents=True)
+    (fastsim / "bad.py").write_text(
+        "import time\n"
+        "import numpy as np\n"
+        "\n"
+        "def jitter():\n"
+        "    return time.perf_counter()\n"
+        "\n"
+        "rng = np.random.default_rng()\n"
+    )
+    result = run_checks(tmp_path)
+    assert not result.ok
+    rules = sorted(d.rule for d in result.diagnostics)
+    assert rules == ["no-unseeded-random", "no-wallclock"]
+
+
 def test_aliased_import_still_caught(tmp_path):
     core = tmp_path / "repro" / "core"
     core.mkdir(parents=True)

@@ -109,6 +109,18 @@ class TestSimExecutor:
         parallel = SimExecutor(jobs=2, chunksize=2).map(jobs)
         assert parallel == serial
 
+    def test_fast_engine_parallel_matches_serial(self):
+        # The fast tier reads only the seeded config and the committed
+        # calibration table, so worker processes must reproduce the
+        # serial results bit for bit.
+        from dataclasses import replace
+
+        jobs = [replace(job, engine="fast") for job in _jobs(5)]
+        serial = SimExecutor(jobs=1).map(jobs)
+        parallel = SimExecutor(jobs=2, chunksize=2).map(jobs)
+        assert parallel == serial
+        assert all(value > 0 for value in serial)
+
     def test_point_job_matches_simulate_point(self):
         job = _jobs(1)[0]
         expected = simulate_point(

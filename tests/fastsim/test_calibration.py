@@ -1,0 +1,81 @@
+"""The committed calibration artifact: freshness, budget, spot accuracy."""
+
+import pytest
+
+from repro.fastsim import calibration as cal
+from repro.fastsim.cli import calibrate_main
+
+
+@pytest.fixture(scope="module")
+def payload():
+    loaded = cal.load_calibration()
+    assert loaded is not None, (
+        "missing committed calibration.json; run "
+        "`repro fastsim-calibrate --write`"
+    )
+    return loaded
+
+
+class TestCommittedArtifact:
+    def test_schema_and_engine(self, payload):
+        assert payload["schema"] == cal.CALIBRATION_SCHEMA_VERSION
+        assert payload["engine"] == "fast"
+
+    def test_fingerprint_fresh(self, payload):
+        # Recomputing the fingerprint needs no simulation; a mismatch
+        # means the trace generator, the bound model, the feature
+        # vector, the grid or the kernel library moved underneath the
+        # committed weights.
+        expected = cal.expected_fingerprint(
+            tuple(payload["levels"]), payload["k_steps"], payload["seed"]
+        )
+        assert payload["fingerprint"] == expected, (
+            "committed calibration is stale; re-run "
+            "`repro fastsim-calibrate --write`"
+        )
+
+    def test_fitted_on_the_full_grid(self, payload):
+        assert tuple(payload["levels"]) == cal.FULL_LEVELS
+
+    def test_recorded_errors_inside_issue_budget(self, payload):
+        # The ISSUE's acceptance budget: <=5% median, <=15% p95
+        # relative cycle error on the full calibration grid.
+        assert cal.validate_budget(payload) == []
+        summary = payload["summary"]
+        assert summary["median_rel_err"] <= cal.BUDGET_MEDIAN
+        assert summary["p95_rel_err"] <= cal.BUDGET_P95
+
+    def test_every_class_has_weights(self, payload):
+        expected_classes = set(cal.calibration_classes())
+        assert set(payload["classes"]) == expected_classes
+        for entry in payload["classes"].values():
+            assert len(entry["weights"]) == 6  # matches FEATURE_NAMES
+
+    def test_weights_for_known_and_unknown(self, payload):
+        key = sorted(payload["classes"])[0]
+        assert cal.weights_for(key) is not None
+        assert cal.weights_for("no-such-class") is None
+
+
+class TestHarness:
+    def test_validate_budget_flags_over_budget(self):
+        bad = {"summary": {"median_rel_err": 0.5, "p95_rel_err": 0.5}}
+        problems = cal.validate_budget(bad)
+        assert len(problems) == 2
+
+    def test_validate_budget_missing_summary(self):
+        assert cal.validate_budget({}) == [
+            "payload has no summary error statistics"
+        ]
+
+    def test_evaluate_requires_weights_for_every_class(self):
+        with pytest.raises(ValueError, match="no committed weights"):
+            cal.run_calibration(
+                levels=(0.0,), k_steps=1, fit=False, weights={}
+            )
+
+
+class TestCli:
+    def test_write_refuses_quick_grid(self, capsys):
+        assert calibrate_main(["--write", "--quick"]) == 2
+        assert "refusing" in capsys.readouterr().err

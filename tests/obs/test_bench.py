@@ -83,6 +83,18 @@ class TestLedgerFiles:
         assert json.loads(second.read_text())["seq"] == 2
         assert [seq for seq, _ in ledger_paths(tmp_path)] == [1, 2]
 
+    def test_write_with_pinned_seq(self, tmp_path):
+        path = write_entry(tmp_path, _entry(), seq=6)
+        assert path.name == "BENCH_0006.json"
+        assert json.loads(path.read_text())["seq"] == 6
+        # The next unpinned write continues after the pinned entry.
+        assert write_entry(tmp_path, _entry()).name == "BENCH_0007.json"
+
+    def test_pinned_seq_refuses_overwrite(self, tmp_path):
+        write_entry(tmp_path, _entry(), seq=3)
+        with pytest.raises(ValueError, match="already exists"):
+            write_entry(tmp_path, _entry(), seq=3)
+
     def test_non_entry_files_ignored(self, tmp_path):
         (tmp_path / "notes.txt").write_text("x")
         (tmp_path / "BENCH_12.json").write_text("{}")  # too few digits
@@ -204,6 +216,54 @@ class TestBenchMain:
         assert "comparing against BENCH_0001.json" in captured.out
 
 
+class TestReport:
+    def _ledger(self, tmp_path):
+        ledger = tmp_path / "ledger"
+        write_entry(ledger, _entry(wall=1.0))
+        write_entry(ledger, _entry(wall=1.1))
+        write_entry(ledger, _entry(wall=0.2, quick=True))
+        return ledger
+
+    def test_trajectory_with_same_flavour_change(self, tmp_path, capsys):
+        ledger = self._ledger(tmp_path)
+        assert bench.report_main(["--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "single_save_point:" in out
+        # seq 2 changed +10% against the full-flavour seq 1; the quick
+        # seq 3 entry has no same-flavour predecessor, so no change.
+        assert "+10.0%" in out
+        assert "quick" in out
+
+    def test_workload_filter_unknown(self, tmp_path, capsys):
+        ledger = self._ledger(tmp_path)
+        assert bench.report_main(["--ledger", str(ledger), "--workload", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_empty_ledger(self, tmp_path, capsys):
+        assert bench.report_main(["--ledger", str(tmp_path / "none")]) == 1
+        assert "no ledger entries" in capsys.readouterr().err
+
+    def test_bench_main_dispatches_report(self, tmp_path, capsys):
+        ledger = self._ledger(tmp_path)
+        assert bench_main(["report", "--ledger", str(ledger)]) == 0
+        assert "single_save_point:" in capsys.readouterr().out
+
+    def test_speedup_column_rendered(self):
+        entry = _entry()
+        entry["workloads"]["fastsim_sweep"] = {
+            "wall_s": 0.1,
+            "exact_wall_s": 1.5,
+            "speedup_over_exact": 15.0,
+            "jobs": 1,
+            "points": 4,
+            "sim_cycles": 100,
+            "cycles_per_sec": 1000.0,
+            "counters": {"sim_cycles": 100},
+        }
+        text = bench.format_report([dict(entry, seq=1)])
+        assert "15.0x vs exact" in text
+
+
 class TestRealSuiteSmoke:
     def test_run_suite_quick_is_schema_valid(self, tmp_path):
         entry = bench.run_suite(quick=True, repeats=1)
@@ -215,8 +275,13 @@ class TestRealSuiteSmoke:
             "single_save_point",
             "coarse_sweep",
             "parallel_sweep",
+            "fastsim_sweep",
         }
         for workload in workloads.values():
             assert workload["wall_s"] > 0
             assert workload["sim_cycles"] > 0
             assert workload["counters"]["sim_cycles"] == workload["sim_cycles"]
+        fastsim = workloads["fastsim_sweep"]
+        assert fastsim["exact_wall_s"] > 0
+        assert fastsim["speedup_over_exact"] > 1.0
+        assert fastsim["points"] == workloads["coarse_sweep"]["points"]

@@ -24,6 +24,7 @@ def submit_args(**overrides):
     defaults = dict(
         tile="2x2", pattern="explicit", precision="fp32", machine="save",
         point="0.3,0.6", levels=None, k_steps=4, seed=0, metric="ns_per_fma",
+        engine="exact",
     )
     defaults.update(overrides)
     return argparse.Namespace(**defaults)
@@ -41,6 +42,10 @@ class TestBuildRequest:
         )
         assert request.kind == "sweep"
         assert request.levels == (0.0, 0.9)
+
+    def test_engine_flag_round_trips(self):
+        request = parse_request(build_request(submit_args(engine="fast")))
+        assert request.engine == "fast"
 
     @pytest.mark.parametrize(
         "overrides",

@@ -97,6 +97,7 @@ class TestValidation:
             {"machine": {"preset": "save", "save": {"bogus": 1}}},
             {"machine": {"preset": "save", "save": {"coalescing": "zigzag"}}},
             {"machine": {"preset": "save", "save": {"rotation_states": 2}}},
+            {"engine": "turbo"},
         ],
     )
     def test_bad_bodies_rejected(self, mutate):
@@ -144,6 +145,24 @@ class TestFingerprints:
         assert parse_request(point_body()).canonical()["schema"] == (
             SERVE_SCHEMA_VERSION
         )
+
+    def test_engine_tiers_never_share_a_fingerprint(self):
+        # The identical point on different engine tiers must not
+        # collide in the result store: the tag is part of the
+        # canonical form.
+        exact = parse_request(point_body())
+        fast = parse_request(point_body(engine="fast"))
+        analytic = parse_request(point_body(engine="analytic"))
+        prints = {
+            exact.fingerprint(), fast.fingerprint(), analytic.fingerprint()
+        }
+        assert len(prints) == 3
+        assert exact.engine == "exact"  # the default tier
+        assert fast.canonical()["engine"] == "fast"
+
+    def test_engine_reaches_point_jobs(self):
+        jobs = parse_request(point_body(engine="fast")).jobs()
+        assert all(job.engine == "fast" for job in jobs)
 
     def test_batch_key_ignores_points_only(self):
         a = parse_request(point_body())

@@ -47,6 +47,30 @@ class TestLifecycle:
             assert len(job.payload["values"]) == 1
             assert job.payload["values"][0] > 0
 
+    def test_fast_engine_round_trip(self, tmp_path):
+        with make_service(tmp_path) as service:
+            job, outcome = service.submit(parse_request(body(engine="fast")))
+            assert outcome == "accepted"
+            assert job.wait(30)
+            assert job.state == "done"
+            assert job.payload["engine"] == "fast"
+            assert job.payload["values"][0] > 0
+
+    def test_engine_tiers_do_not_share_cache_entries(self, tmp_path):
+        # An exact result must never be served for a fast request (or
+        # vice versa): the engine tag is part of the fingerprint.
+        with make_service(tmp_path) as service:
+            exact_job, _ = service.submit(parse_request(body()))
+            assert exact_job.wait(30)
+            fast_job, outcome = service.submit(
+                parse_request(body(engine="fast"))
+            )
+            assert outcome == "accepted"  # not "cached"
+            assert fast_job.key != exact_job.key
+            assert fast_job.wait(30)
+            assert fast_job.payload["engine"] == "fast"
+            assert exact_job.payload["engine"] == "exact"
+
     def test_sweep_round_trip(self, tmp_path):
         with make_service(tmp_path) as service:
             request = parse_request(
