@@ -30,6 +30,22 @@ Metrics
       (produced-but-unconsumed) is *not* an error: every metric is
       exported wholesale via ``--metrics`` and ``/metrics``.
 
+Sweep store
+    The columnar sweep store has the same three-party shape: the
+    producer/consumer contract tables (``SWEEP_COLUMNS``,
+    ``SWEEP_META_FIELDS``, ``QUERY_FIELDS`` in
+    :mod:`repro.store.schema`), the segment writer, and the query/CSV
+    consumers.  The rule cross-checks them:
+
+    * the tables must be internally consistent — every ``QUERY_FIELDS``
+      entry is a segment column or a meta field, and every segment
+      column is queryable;
+    * every literal segment-column subscript (``segment["..."]`` /
+      ``_buffer["..."]``) in a store file must name a declared column,
+      and every declared column must be read somewhere;
+    * every literal query-row subscript (``row["..."]``) in a store
+      file must name a ``QUERY_FIELDS`` entry.
+
 Resolution is deliberately shallow: event-name arguments may be string
 constants, conditional expressions over string constants, or local
 names assigned from either (the ``bcache_hit``/``bcache_miss`` site in
@@ -67,6 +83,16 @@ _METRIC_RECEIVERS = ("counters",)
 
 #: ``MetricsRegistry`` factory methods that produce a named instrument.
 _INSTRUMENT_FACTORIES = ("counter", "gauge", "histogram")
+
+#: Subscript receivers whose literal keys are sweep-store segment
+#: columns (the query engine's loaded NPZ and the writer's buffer).
+_SEGMENT_RECEIVERS = ("segment", "_buffer")
+
+#: Subscript receivers whose literal keys are query-row fields.
+_ROW_RECEIVERS = ("row",)
+
+#: Module prefix that marks a file as a sweep-store participant.
+_STORE_MODULE_PREFIX = "repro/store/"
 
 
 def _const_str(node: ast.expr) -> Optional[str]:
@@ -338,6 +364,106 @@ def _consumed_metrics(
     return consumed
 
 
+def _subscript_receiver(node: ast.Subscript) -> Optional[str]:
+    """Terminal name of a subscript's receiver: ``a.b["k"]`` → ``b``."""
+    value = node.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return None
+
+
+def _tuple_strings(value: ast.expr) -> tuple[str, ...]:
+    return tuple(
+        name
+        for name in (_const_str(item) for item in getattr(value, "elts", ()))
+        if name is not None
+    )
+
+
+def _find_store_schema(
+    files: Sequence[CheckedFile],
+) -> tuple[
+    Optional[CheckedFile],
+    dict[str, int],
+    tuple[str, ...],
+    int,
+    tuple[str, ...],
+]:
+    """Locate the sweep-store contract tables.
+
+    Returns ``(file, columns, query_fields, query_line, meta_fields)``;
+    ``columns`` maps each ``SWEEP_COLUMNS`` key to its declaration line.
+    """
+    for checked in files:
+        columns: dict[str, int] = {}
+        query_fields: tuple[str, ...] = ()
+        query_line = 0
+        meta_fields: tuple[str, ...] = ()
+        found = False
+        for node in checked.tree.body:
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            if not isinstance(target, ast.Name) or value is None:
+                continue
+            if target.id == "SWEEP_COLUMNS" and isinstance(value, ast.Dict):
+                found = True
+                for key in value.keys:
+                    name = _const_str(key) if key is not None else None
+                    if name is not None:
+                        columns[name] = key.lineno if key is not None else node.lineno
+            elif target.id == "QUERY_FIELDS":
+                query_fields = _tuple_strings(value)
+                query_line = node.lineno
+            elif target.id == "SWEEP_META_FIELDS":
+                meta_fields = _tuple_strings(value)
+        if found:
+            return checked, columns, query_fields, query_line, meta_fields
+    return None, {}, (), 0, ()
+
+
+def _store_field_reads(
+    files: Sequence[CheckedFile],
+) -> tuple[
+    list[tuple[CheckedFile, ast.AST, str]],
+    list[tuple[CheckedFile, ast.AST, str]],
+]:
+    """``(segment_reads, row_reads)`` from sweep-store participant files.
+
+    Only files under :data:`_STORE_MODULE_PREFIX` or importing from
+    ``repro.store`` count — that keeps ``row["count"]`` in unrelated
+    code (the span profiler's table rows) from being misread as a
+    query-row access.
+    """
+    segment_reads: list[tuple[CheckedFile, ast.AST, str]] = []
+    row_reads: list[tuple[CheckedFile, ast.AST, str]] = []
+    for checked in files:
+        is_store = checked.mod.startswith(_STORE_MODULE_PREFIX) or any(
+            isinstance(node, ast.ImportFrom)
+            and (node.module or "").startswith("repro.store")
+            for node in ast.walk(checked.tree)
+        )
+        if not is_store:
+            continue
+        for node in ast.walk(checked.tree):
+            if not isinstance(node, ast.Subscript):
+                continue
+            name = _const_str(node.slice)
+            if name is None:
+                continue
+            receiver = _subscript_receiver(node)
+            if receiver in _SEGMENT_RECEIVERS:
+                segment_reads.append((checked, node, name))
+            elif receiver in _ROW_RECEIVERS:
+                row_reads.append((checked, node, name))
+    return segment_reads, row_reads
+
+
 class SchemaDriftRule(Rule):
     id = "schema-drift"
     description = (
@@ -350,6 +476,7 @@ class SchemaDriftRule(Rule):
         self, files: Sequence[CheckedFile]
     ) -> Iterable[Diagnostic]:
         files = [f for f in files if not f.mod.startswith("repro/check/")]
+        yield from self._check_store(files)
         schema_file, event_fields, key_lines, common = _find_schema(files)
         if schema_file is None:
             return  # nothing to check against (e.g. a fixture subset)
@@ -434,3 +561,76 @@ class SchemaDriftRule(Rule):
                 f"reads metric {name!r} which no MetricsRegistry "
                 "counter/gauge/histogram call site produces",
             )
+
+    def _check_store(
+        self, files: Sequence[CheckedFile]
+    ) -> Iterable[Diagnostic]:
+        store_file, columns, query_fields, query_line, meta = (
+            _find_store_schema(files)
+        )
+        if store_file is None:
+            return  # no sweep store in this file set
+
+        known_query = set(columns) | set(meta)
+        for field in query_fields:
+            if field not in known_query:
+                yield Diagnostic(
+                    path=store_file.rel,
+                    line=query_line,
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"QUERY_FIELDS entry {field!r} is neither a "
+                        "SWEEP_COLUMNS column nor a SWEEP_META_FIELDS "
+                        "field; no query row can ever carry it"
+                    ),
+                    severity=self.severity,
+                )
+        for column, line in columns.items():
+            if column not in query_fields:
+                yield Diagnostic(
+                    path=store_file.rel,
+                    line=line,
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"segment column {column!r} is missing from "
+                        "QUERY_FIELDS; it would be stored but never "
+                        "queryable or exported"
+                    ),
+                    severity=self.severity,
+                )
+
+        segment_reads, row_reads = _store_field_reads(files)
+        consumed_columns: set[str] = set()
+        for checked, node, name in segment_reads:
+            consumed_columns.add(name)
+            if name not in columns:
+                yield self.diagnostic(
+                    checked,
+                    node,
+                    f"reads segment column {name!r} which is not in "
+                    "SWEEP_COLUMNS; no segment ever stores it",
+                )
+        for checked, node, name in row_reads:
+            if name not in query_fields:
+                yield self.diagnostic(
+                    checked,
+                    node,
+                    f"reads query-row field {name!r} which is not in "
+                    "QUERY_FIELDS; no query row ever carries it",
+                )
+        if segment_reads:
+            for column in sorted(set(columns) - consumed_columns):
+                yield Diagnostic(
+                    path=store_file.rel,
+                    line=columns[column],
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"segment column {column!r} is never read by any "
+                        "segment/_buffer subscript; dead columns hide "
+                        "drift — remove it or consume it"
+                    ),
+                    severity=self.severity,
+                )

@@ -5,8 +5,10 @@ here — ``python -m repro bench`` (the performance ledger, see
 :mod:`repro.obs.bench`) and ``python -m repro trace-report FILE``
 (offline trace analytics, see :mod:`repro.obs.analyze`) — plus the
 serving layer (see :mod:`repro.serve`): ``python -m repro serve``,
-``... submit`` and ``... store {stats,gc}``, and the static analyzer
-(see :mod:`repro.check`): ``python -m repro check [ROOT]``.
+``... submit`` and ``... store {stats,gc}``, the static analyzer
+(see :mod:`repro.check`): ``python -m repro check [ROOT]``, and the
+columnar sweep store (see :mod:`repro.store`): ``python -m repro sweep``
+/ ``python -m repro query``.
 """
 
 from __future__ import annotations
@@ -39,7 +41,9 @@ def build_parser() -> argparse.ArgumentParser:
             "'trace-report FILE' (trace analytics), 'serve' (simulation "
             "service), 'submit' (client round-trip), 'store' "
             "(result-store stats/gc), 'check' (static analysis), "
-            "'fastsim-calibrate' (fast-tier calibration)"
+            "'fastsim-calibrate' (fast-tier calibration), 'sweep' "
+            "(out-of-core sweep into the columnar store), 'query' "
+            "(filter/export stored sweeps)"
         ),
     )
     parser.add_argument(
@@ -163,6 +167,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.fastsim.cli import calibrate_main
 
         return calibrate_main(raw[1:])
+    if raw and raw[0] == "sweep":
+        from repro.store.cli import sweep_main
+
+        return sweep_main(raw[1:])
+    if raw and raw[0] == "query":
+        from repro.store.cli import query_main
+
+        return query_main(raw[1:])
 
     args = build_parser().parse_args(raw)
     if args.experiment == "list":

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -65,7 +65,8 @@ from repro.core.vpu import (
 from repro.isa.datatypes import FP32_LANES
 from repro.isa.registers import ArchState
 from repro.isa.uops import RegOperand, Uop, UopKind
-from repro.kernels.trace import KernelTrace
+from repro.kernels.stream import TraceStream
+from repro.kernels.trace import DEFAULT_CHUNK, KernelTrace
 from repro.memory.broadcast_cache import BroadcastCache, BroadcastCacheKind
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.obs import Instrumentation
@@ -135,11 +136,19 @@ class SimResult:
 
 
 class PipelineSimulator:
-    """Runs one trace on one machine configuration."""
+    """Runs one trace (or chunked trace stream) on one machine configuration.
+
+    Accepts anything satisfying the :class:`repro.kernels.stream.TraceStream`
+    contract — a materialized :class:`KernelTrace` or a generator-backed
+    stream.  µops are pulled chunk-by-chunk into a small allocation
+    buffer, so the simulator never holds more than one chunk of
+    unallocated µops plus the in-flight ROB window, regardless of trace
+    length (the out-of-core sweep contract).
+    """
 
     def __init__(
         self,
-        trace: KernelTrace,
+        trace: Union[KernelTrace, TraceStream],
         config: MachineConfig,
         warm_level: Optional[str] = "l2",
         keep_state: bool = True,
@@ -203,8 +212,15 @@ class PipelineSimulator:
         self.mgu = MguStage(save.mgu_count)
         self.chains = ChainManager()
 
-        # Dynamic state.
-        self.dyns: list[DynUop] = []
+        # Dynamic state.  ``_rob`` holds only un-retired µops (the ROB
+        # window); ``_pending`` holds the current chunk of not-yet-
+        # allocated µops pulled from the stream.  The invariant
+        # "``_pending`` empty ⟹ stream exhausted" is maintained by
+        # refilling eagerly, so emptiness tests are exact progress tests.
+        self._rob: deque[DynUop] = deque()
+        self._chunks = trace.iter_uops(DEFAULT_CHUNK)
+        self._pending: deque[Uop] = deque()
+        self._exhausted = False
         self.alloc_ptr = 0
         self.retire_ptr = 0
         self.rob_count = 0
@@ -226,7 +242,11 @@ class PipelineSimulator:
         self.skipped_fmas = 0
         self.stall_rob_cycles = 0
         self.stall_rs_cycles = 0
-        self.fma_count = sum(1 for u in trace.uops if u.is_fma())
+        # Counted at pull time (chunk by chunk); equals the whole-trace
+        # FMA count once the stream is drained — which it is by the time
+        # ``_result`` reads it.
+        self.fma_count = 0
+        self._refill()
         # Combination-window gauge: VFMAs currently active in the RS
         # with unscheduled lanes (Sec. III: "the CW is often 24-28").
         self._cw_size = 0
@@ -237,6 +257,18 @@ class PipelineSimulator:
     # ------------------------------------------------------------------
     # Setup helpers
     # ------------------------------------------------------------------
+
+    def _refill(self) -> None:
+        """Pull the next chunk(s) until µops are pending or the stream ends."""
+        pending = self._pending
+        while not pending and not self._exhausted:
+            try:
+                chunk = next(self._chunks)
+            except StopIteration:
+                self._exhausted = True
+                return
+            pending.extend(chunk)
+            self.fma_count += sum(1 for u in chunk if u.is_fma())
 
     def _warm_caches(self, level: str) -> None:
         """Pre-fill the input matrices (A, B) into the hierarchy.
@@ -265,7 +297,6 @@ class PipelineSimulator:
         check instead of a call — most cycles of a memory-bound stretch
         touch none of them.
         """
-        total = len(self.trace.uops)
         cycle = 0
         save_enabled = self.save_enabled
         mgu = self.mgu
@@ -274,7 +305,11 @@ class PipelineSimulator:
         scalar_queue = self._scalar_queue
         load_events = self._load_events
         max_cycles = self.max_cycles
-        while self.retire_ptr < total:
+        pending = self._pending
+        # "Work remains" ⟺ µops pending allocation (pending empty ⟹
+        # stream exhausted, the ``_refill`` invariant) or in flight in
+        # the ROB — the streaming equivalent of ``retire_ptr < total``.
+        while pending or self.retire_ptr < self.alloc_ptr:
             self.cycle = cycle
             self._process_completions(cycle)
             if worklist:
@@ -291,13 +326,13 @@ class PipelineSimulator:
             if lsu.pending():
                 for complete_cycle, request in lsu.service(cycle):
                     load_events.setdefault(complete_cycle, []).append(request)
-            if self.alloc_ptr < total:
+            if pending:
                 self._allocate(cycle)
             cycle += 1
             if cycle > max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded {self.max_cycles} cycles "
-                    f"(retired {self.retire_ptr}/{total})"
+                    f"(retired {self.retire_ptr}/{self.alloc_ptr} allocated)"
                 )
         return self._result(cycle)
 
@@ -311,7 +346,9 @@ class PipelineSimulator:
             name=self.trace.name,
             cycles=cycles,
             freq_ghz=self.config.core.freq_ghz,
-            uop_count=len(self.trace.uops),
+            # The stream is fully drained by result time, so the number
+            # of allocations *is* the trace length.
+            uop_count=self.alloc_ptr,
             fma_count=self.fma_count,
             vpu_ops=self.vpu_ops,
             vpu_lane_slots=self.vpu_lane_slots,
@@ -376,21 +413,24 @@ class PipelineSimulator:
 
     def _allocate(self, cycle: int) -> None:
         budget = self.config.core.issue_width
-        uops = self.trace.uops
-        while budget > 0 and self.alloc_ptr < len(uops):
+        pending = self._pending
+        while budget > 0 and pending:
             if self.rob_count >= self.config.core.rob_entries:
                 self.stall_rob_cycles += 1
                 return
-            uop = uops[self.alloc_ptr]
+            uop = pending[0]
             if self._needs_rs(uop) and self.rs_count >= self.config.core.rs_entries:
                 self.stall_rs_cycles += 1
                 return
+            pending.popleft()
             dyn = DynUop(uop, self.alloc_ptr)
             dyn.alloc_cycle = cycle
-            self.dyns.append(dyn)
+            self._rob.append(dyn)
             self.alloc_ptr += 1
             self.rob_count += 1
             budget -= 1
+            if not pending:
+                self._refill()
             if self._tracing:
                 self.obs.emit(
                     cycle, "dispatch", seq=dyn.seq, kind=uop.kind.name.lower()
@@ -975,12 +1015,9 @@ class PipelineSimulator:
     def _retire(self) -> None:
         budget = self.config.core.issue_width
         obs = self.obs
-        while (
-            budget > 0
-            and self.retire_ptr < len(self.dyns)
-            and self.dyns[self.retire_ptr].completed
-        ):
-            dyn = self.dyns[self.retire_ptr]
+        rob = self._rob
+        while budget > 0 and rob and rob[0].completed:
+            dyn = rob.popleft()
             dyn.retired = True
             self.prf.on_retire(dyn)
             if obs is not None:
@@ -991,7 +1028,7 @@ class PipelineSimulator:
 
 
 def simulate(
-    trace: KernelTrace,
+    trace: Union[KernelTrace, TraceStream],
     config: MachineConfig,
     warm_level: Optional[str] = "l2",
     keep_state: bool = True,

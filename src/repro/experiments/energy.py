@@ -14,8 +14,7 @@ from repro.core.config import BASELINE_2VPU, SAVE_1VPU, SAVE_2VPU
 from repro.core.pipeline import simulate
 from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
-from repro.kernels.gemm import generate_gemm_trace
-from repro.kernels.library import get_kernel
+from repro.kernels.library import generate_trace, get_kernel
 from repro.kernels.tiling import Precision
 from repro.model.energy import EnergyModel
 
@@ -37,7 +36,7 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     rows: list[tuple] = []
     data: dict[str, dict[str, float]] = {}
     for bs, nbs in SPARSITY_POINTS:
-        trace = generate_gemm_trace(
+        trace = generate_trace(
             spec.config(
                 broadcast_sparsity=bs,
                 nonbroadcast_sparsity=nbs,

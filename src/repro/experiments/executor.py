@@ -77,10 +77,10 @@ class PointJob:
         else:
             # Imported here so workers pay the import once, not per job.
             from repro.core.pipeline import simulate
-            from repro.kernels.gemm import generate_gemm_trace
+            from repro.kernels.library import trace_stream
 
             result = simulate(
-                generate_gemm_trace(self.config), self.machine,
+                trace_stream(self.config), self.machine,
                 keep_state=False, obs=obs,
             )
         if self.metric == METRIC_NS_PER_FMA:

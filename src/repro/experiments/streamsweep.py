@@ -1,0 +1,142 @@
+"""Out-of-core sparsity sweeps: bounded memory at any grid size.
+
+:func:`stream_sweep` is the scale path to the ROADMAP's million-point
+target: it walks the (BS, NBS) product lazily, simulates in fixed-size
+batches through the :class:`repro.experiments.executor.SimExecutor`,
+and appends each batch straight into the columnar sweep store
+(:class:`repro.store.SweepWriter`).  Peak memory is O(batch + segment),
+independent of grid size — the property the CI streaming-smoke job and
+the ``sweep_throughput`` bench workload pin down.
+
+Results are byte-identical to the batched in-memory paths
+(``sweep_kernel``, ``SparsitySurface.build``) for the same grid: the
+jobs, their order within the sweep, and the executor semantics are the
+same — only the result's resting place differs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Optional, Union
+from collections.abc import Iterator, Sequence
+
+from repro.core.config import MachineConfig
+from repro.experiments.executor import (
+    METRIC_NS_PER_FMA,
+    PointJob,
+    SimExecutor,
+    default_executor,
+)
+from repro.kernels.library import KernelSpec, get_kernel
+from repro.kernels.tiling import Precision
+from repro.model.surface import machine_label
+from repro.obs import maybe_span
+from repro.store import DEFAULT_SEGMENT_ROWS, SweepWriter
+
+__all__ = ["stream_sweep", "DEFAULT_BATCH_POINTS"]
+
+#: Points simulated per executor batch.  Large enough to amortise
+#: executor dispatch, small enough that the in-flight job list and its
+#: results stay trivially resident.
+DEFAULT_BATCH_POINTS = 2048
+
+
+def _grid(
+    bs_levels: Sequence[float], nbs_levels: Sequence[float]
+) -> Iterator[tuple[float, float]]:
+    """Lazy row-major (bs, nbs) product — never materializes the grid."""
+    for bs in bs_levels:
+        for nbs in nbs_levels:
+            yield (float(bs), float(nbs))
+
+
+def stream_sweep(
+    kernel: Union[str, KernelSpec],
+    machine: MachineConfig,
+    bs_levels: Sequence[float],
+    nbs_levels: Sequence[float],
+    store_root: Union[str, Path],
+    engine: str = "fast",
+    metric: str = METRIC_NS_PER_FMA,
+    precision: Optional[Precision] = None,
+    k_steps: int = 24,
+    seed: int = 0,
+    executor: Optional[SimExecutor] = None,
+    batch_points: int = DEFAULT_BATCH_POINTS,
+    segment_rows: int = DEFAULT_SEGMENT_ROWS,
+    overwrite: bool = False,
+) -> dict[str, Any]:
+    """Sweep one kernel/machine over a sparsity grid into the store.
+
+    Args:
+        kernel: library kernel name or spec.
+        machine: the machine configuration to sweep under.
+        bs_levels / nbs_levels: sparsity axes; the sweep covers their
+            full product, batch by batch.
+        store_root: sweep-store root directory.
+        engine: simulation tier for every point (``fast`` is the tier
+            that makes six-figure grids practical).
+        metric: per-point value recorded (``ns_per_fma`` or ``time_ns``).
+        overwrite: replace an existing sweep with the same identity.
+
+    Returns a summary dict: fingerprint, machine label, points written.
+    """
+    if batch_points <= 0:
+        raise ValueError("batch_points must be positive")
+    spec = get_kernel(kernel)
+    resolved = precision if precision is not None else spec.default_precision
+    label = machine_label(machine)
+    meta = {
+        "kernel": spec.name,
+        "machine": label,
+        "engine": engine,
+        "metric": metric,
+        "precision": resolved.value,
+        "k_steps": k_steps,
+        "seed": seed,
+    }
+    runner = default_executor(executor)
+    points = _grid(bs_levels, nbs_levels)
+    total = 0
+    with SweepWriter(
+        store_root, meta, segment_rows=segment_rows, overwrite=overwrite
+    ) as writer:
+        with maybe_span(runner.spans, "streamsweep.run", kernel=spec.name):
+            while True:
+                batch: list[tuple[float, float]] = []
+                for point in points:
+                    batch.append(point)
+                    if len(batch) >= batch_points:
+                        break
+                if not batch:
+                    break
+                jobs = [
+                    PointJob(
+                        config=spec.config(
+                            broadcast_sparsity=bs,
+                            nonbroadcast_sparsity=nbs,
+                            precision=resolved,
+                            k_steps=k_steps,
+                            seed=seed,
+                        ),
+                        machine=machine,
+                        metric=metric,
+                        engine=engine,
+                    )
+                    for bs, nbs in batch
+                ]
+                values = runner.map(jobs)
+                writer.append_batch(
+                    [bs for bs, _ in batch],
+                    [nbs for _, nbs in batch],
+                    values,
+                )
+                total += len(batch)
+    return {
+        "fingerprint": writer.fingerprint,
+        "kernel": spec.name,
+        "machine": label,
+        "engine": engine,
+        "metric": metric,
+        "points": total,
+    }

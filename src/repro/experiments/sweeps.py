@@ -8,14 +8,14 @@ machine configurations and reports speedups over the paper's baseline
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Optional
 from collections.abc import Sequence
 
 from repro.core.config import BASELINE_2VPU, MachineConfig
 from repro.core.pipeline import simulate
 from repro.experiments.executor import PointJob, SimExecutor, default_executor
-from repro.kernels.gemm import generate_gemm_trace
-from repro.kernels.library import KernelSpec
+from repro.kernels.library import KernelSpec, trace_stream
 from repro.kernels.tiling import Precision
 from repro.obs import maybe_span
 
@@ -35,7 +35,7 @@ def kernel_time_ns(
     seed: int = 0,
 ) -> float:
     """Simulated execution time of one kernel configuration."""
-    trace = generate_gemm_trace(
+    trace = trace_stream(
         spec.config(
             broadcast_sparsity=bs,
             nonbroadcast_sparsity=nbs,
@@ -71,6 +71,8 @@ def sweep_kernel(
     seed: int = 0,
     executor: Optional[SimExecutor] = None,
     engine: str = "exact",
+    store_root: Optional[Path] = None,
+    store_overwrite: bool = False,
 ) -> dict[str, SweepResult]:
     """Sweep one kernel over the sparsity grid under each machine.
 
@@ -84,6 +86,11 @@ def sweep_kernel(
     sweep's speedup dicts are identical to a serial one's.  ``engine``
     selects the tier for every point, baseline included, so speedup
     ratios never mix tiers.
+
+    With ``store_root`` set, each machine's raw point times are also
+    appended to the columnar sweep store (one fingerprint-keyed sweep
+    per machine, metric ``time_ns``) so results stay queryable via
+    ``repro query`` after the figures are gone.
     """
     jobs: list[PointJob] = [
         PointJob(
@@ -125,4 +132,43 @@ def sweep_kernel(
                 time = point_times[m_index * len(points) + p_index]
                 speedups[(round(bs, 2), round(nbs, 2))] = base_time / time
             results[label] = SweepResult(label, speedups)
-        return results
+    if store_root is not None:
+        _record_sweep(
+            store_root, spec, machines, points, point_times,
+            precision, k_steps, seed, engine, store_overwrite,
+        )
+    return results
+
+
+def _record_sweep(
+    store_root: Path,
+    spec: KernelSpec,
+    machines: dict[str, MachineConfig],
+    points: Sequence[tuple[float, float]],
+    point_times: Sequence[float],
+    precision: Optional[Precision],
+    k_steps: int,
+    seed: int,
+    engine: str,
+    overwrite: bool,
+) -> None:
+    """Append one sweep's raw point times to the columnar store."""
+    from repro.model.surface import machine_label
+    from repro.store import SweepWriter
+
+    resolved = precision if precision is not None else spec.default_precision
+    for m_index, machine in enumerate(machines.values()):
+        meta = {
+            "kernel": spec.name,
+            "machine": machine_label(machine),
+            "engine": engine,
+            "metric": "time_ns",
+            "precision": resolved.value,
+            "k_steps": k_steps,
+            "seed": seed,
+        }
+        with SweepWriter(store_root, meta, overwrite=overwrite) as writer:
+            for p_index, (bs, nbs) in enumerate(points):
+                writer.append(
+                    bs, nbs, point_times[m_index * len(points) + p_index]
+                )

@@ -18,7 +18,8 @@ from repro.core.config import (
 )
 from repro.experiments.context import RunContext
 from repro.experiments.report import ExperimentReport
-from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
+from repro.kernels.gemm import GemmKernelConfig
+from repro.kernels.library import generate_trace
 from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
 from repro.memory.broadcast_cache import BroadcastCacheKind
 from repro.validate import check_transparency
@@ -53,7 +54,7 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
     failures: dict[str, list[str]] = {}
     checks = 0
     for kernel_label, tile, precision in KERNELS:
-        trace = generate_gemm_trace(
+        trace = generate_trace(
             GemmKernelConfig(
                 name=kernel_label,
                 tile=tile,

@@ -28,6 +28,7 @@ from repro.fastsim.engine import (
     class_key,
     simulate_arrays,
     simulate_config,
+    simulate_stream,
     simulate_trace,
     validate_engine,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "class_key",
     "simulate_arrays",
     "simulate_config",
+    "simulate_stream",
     "simulate_trace",
     "validate_engine",
 ]

@@ -36,8 +36,9 @@ from repro.core.save.rotate import rotation_offset, slot_for_lane
 from repro.fastsim.soa import TraceArrays
 from repro.isa.datatypes import FP32_LANES
 from repro.kernels.gemm import GemmKernelConfig
+from repro.kernels.stream import TraceStream
 from repro.kernels.tiling import BroadcastPattern
-from repro.kernels.trace import KernelTrace
+from repro.kernels.trace import DEFAULT_CHUNK, KernelTrace
 from repro.memory.broadcast_cache import BroadcastCacheKind
 
 __all__ = [
@@ -53,6 +54,7 @@ __all__ = [
     "features",
     "simulate_arrays",
     "simulate_config",
+    "simulate_stream",
     "simulate_trace",
     "validate_engine",
 ]
@@ -376,5 +378,27 @@ def simulate_trace(
     machine: MachineConfig,
     engine: str = ENGINE_FAST,
 ) -> SimResult:
-    """Estimate one already-generated trace (same arrays as the config)."""
+    """Estimate one already-generated trace (same arrays as the config).
+
+    Accepts any :class:`repro.kernels.stream.TraceStream` as well — the
+    arrays come from the generator metadata, which both traces and
+    streams carry up front.
+    """
     return simulate_arrays(TraceArrays.from_trace(trace), machine, engine)
+
+
+def simulate_stream(
+    stream: TraceStream,
+    machine: MachineConfig,
+    engine: str = ENGINE_FAST,
+    chunk: int = DEFAULT_CHUNK,
+) -> SimResult:
+    """Estimate a chunked trace stream by decoding its µops incrementally.
+
+    Unlike :func:`simulate_trace` (which shortcuts through the
+    generator metadata), this path builds the structure-of-arrays by
+    walking the µop stream chunk-by-chunk
+    (:meth:`TraceArrays.from_stream`) — the route for producers whose
+    matrices are not carried in metadata.
+    """
+    return simulate_arrays(TraceArrays.from_stream(stream, chunk), machine, engine)

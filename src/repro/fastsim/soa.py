@@ -18,22 +18,33 @@ trace builder's seeded RNG calls, so the arrays match a generated trace
 bit-for-bit *without* materialising a single µop object — that is where
 the fast tier's per-point speedup comes from.
 :meth:`TraceArrays.from_trace` reads the same matrices out of an
-already-built :class:`repro.kernels.trace.KernelTrace`.
+already-built :class:`repro.kernels.trace.KernelTrace`, and
+:meth:`TraceArrays.from_stream` appends chunk-by-chunk from any
+:class:`repro.kernels.stream.TraceStream` — decoding the µops against
+the stream's memory image — so the structure-of-arrays can be built
+without a materialized µop list in memory.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.isa.datatypes import FP32_LANES, bf16_round
+from repro.isa.datatypes import BF16_LANES, FP32_LANES, bf16_round
+from repro.isa.uops import UopKind
 from repro.kernels.gemm import GemmKernelConfig
+from repro.kernels.stream import TraceStream
 from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
-from repro.kernels.trace import KernelTrace
+from repro.kernels.trace import DEFAULT_CHUNK, KernelTrace
 from repro.sparsity.generators import sparse_matrix
 
 __all__ = ["TraceArrays"]
+
+#: FMA provenance tag written by the GEMM generators:
+#: ``k{step}r{row}c{col_vector}``.
+_FMA_TAG = re.compile(r"k(\d+)r(\d+)c(\d+)")
 
 
 @dataclass(frozen=True)
@@ -100,6 +111,95 @@ class TraceArrays:
         )
         return cls._from_matrices(
             config, np.asarray(meta["a_matrix"]), np.asarray(meta["b_matrix"])
+        )
+
+    @classmethod
+    def from_stream(
+        cls, stream: TraceStream, chunk: int = DEFAULT_CHUNK
+    ) -> TraceArrays:
+        """Append into the structure-of-arrays chunk-by-chunk.
+
+        Decodes the µop stream itself (not the generator's metadata
+        matrices): VLOAD/VBCAST µops establish the register→address map,
+        and each VFMA's ``k{step}r{row}c{j}`` tag plus its operand
+        addresses — resolved against the stream's memory image — yield
+        one ``(step, row, col_vector)`` slice of the effectual tensor.
+        Only one chunk of µops is resident at a time, so arbitrarily
+        long traces build in O(arrays) memory.
+        """
+        meta = stream.meta
+        tile: RegisterTile = meta["tile"]
+        k = int(meta["k_steps"])
+        precision: Precision = meta["precision"]
+        mixed = precision == Precision.MIXED
+        rows, cv = tile.rows, tile.col_vectors
+        k_depth = k * (2 if mixed else 1)
+        elem_bytes = 2 if mixed else 4
+        lanes = BF16_LANES if mixed else FP32_LANES
+
+        a_nz = np.zeros((rows, k_depth), dtype=bool)
+        b_nz = np.zeros((k_depth, cv * FP32_LANES), dtype=bool)
+        effectual = np.zeros((k, rows, cv, FP32_LANES), dtype=bool)
+        ml_count = np.zeros((k, rows, cv, FP32_LANES), dtype=np.int8)
+        broadcast_nonzero = np.zeros((k, rows), dtype=bool)
+
+        memory = stream.memory
+        reg_addr: dict[int, int] = {}
+        for block in stream.iter_uops(chunk):
+            for uop in block:
+                kind = uop.kind
+                if kind in (UopKind.VLOAD, UopKind.VBCAST):
+                    reg_addr[uop.dst] = uop.src_a.addr
+                    continue
+                if not uop.is_fma():
+                    continue
+                tag = _FMA_TAG.fullmatch(uop.tag or "")
+                if tag is None:
+                    raise ValueError(
+                        f"FMA µop without a k/r/c provenance tag: {uop.tag!r}"
+                    )
+                k_i, r_i, j_i = (int(g) for g in tag.groups())
+                mem_op = uop.memory_operand()
+                a_addr = mem_op.addr if mem_op is not None else reg_addr[uop.src_a.reg]
+                b_vec = memory.read_vector(reg_addr[uop.src_b.reg], lanes, elem_bytes)
+                cols = slice(j_i * FP32_LANES, (j_i + 1) * FP32_LANES)
+                if mixed:
+                    a_pair = np.array(
+                        [memory.read(a_addr), memory.read(a_addr + elem_bytes)]
+                    )
+                    a_live = a_pair != 0
+                    even_nz = b_vec[0::2] != 0
+                    odd_nz = b_vec[1::2] != 0
+                    a_nz[r_i, 2 * k_i] = a_live[0]
+                    a_nz[r_i, 2 * k_i + 1] = a_live[1]
+                    b_nz[2 * k_i, cols] = even_nz
+                    b_nz[2 * k_i + 1, cols] = odd_nz
+                    ml = (a_live[0] & even_nz).astype(np.int8)
+                    ml += (a_live[1] & odd_nz).astype(np.int8)
+                    ml_count[k_i, r_i, j_i] = ml
+                    effectual[k_i, r_i, j_i] = ml > 0
+                    broadcast_nonzero[k_i, r_i] = bool(a_live.any())
+                else:
+                    a_live = memory.read(a_addr) != 0
+                    vec_nz = b_vec != 0
+                    a_nz[r_i, k_i] = a_live
+                    b_nz[k_i, cols] = vec_nz
+                    eff = a_live & vec_nz
+                    effectual[k_i, r_i, j_i] = eff
+                    ml_count[k_i, r_i, j_i] = eff.astype(np.int8)
+                    broadcast_nonzero[k_i, r_i] = a_live
+        return cls(
+            name=stream.name,
+            tile=tile,
+            k_steps=k,
+            precision=precision,
+            use_write_masks=bool(meta.get("use_write_masks", False)),
+            scalar_overhead_per_step=int(meta.get("scalar_overhead_per_step", 2)),
+            a_nz=a_nz,
+            b_nz=b_nz,
+            effectual=effectual,
+            ml_count=ml_count,
+            broadcast_nonzero=broadcast_nonzero,
         )
 
     @classmethod

@@ -19,17 +19,25 @@ primitives make that safe:
 from __future__ import annotations
 
 import contextlib
+import hashlib
+import json
 import os
 import time
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 try:  # POSIX; absent on some platforms.
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
-__all__ = ["FileLock", "LockTimeout", "atomic_write_text"]
+__all__ = [
+    "FileLock",
+    "LockTimeout",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "canonical_fingerprint",
+]
 
 
 def atomic_write_text(path: Union[str, Path], text: str) -> None:
@@ -39,10 +47,19 @@ def atomic_write_text(path: Union[str, Path], text: str) -> None:
     by PID, so concurrent writers never share one), then ``os.replace``
     publishes it in a single atomic rename.
     """
+    atomic_write_bytes(path, text.encode())
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Atomically replace ``path`` with ``data`` (binary payloads).
+
+    Same temp-then-rename discipline as :func:`atomic_write_text`; used
+    by the columnar sweep store for its NPZ segments.
+    """
     path = Path(path)
     tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
     try:
-        tmp.write_text(text)
+        tmp.write_bytes(data)
         os.replace(tmp, path)
     finally:
         # Only reached with the temp file still present when the write
@@ -50,6 +67,18 @@ def atomic_write_text(path: Union[str, Path], text: str) -> None:
         if tmp.exists():  # pragma: no cover - error-path cleanup
             with contextlib.suppress(OSError):
                 tmp.unlink()
+
+
+def canonical_fingerprint(payload: dict[str, Any]) -> str:
+    """Content address of a JSON-representable payload.
+
+    sha256 over the canonical (sorted-keys) JSON encoding, truncated to
+    24 hex chars — the same scheme :mod:`repro.serve` uses for request
+    fingerprints and :mod:`repro.store` uses for sweep keys, so one
+    identity convention covers every on-disk store.
+    """
+    raw = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(raw.encode()).hexdigest()[:24]
 
 
 class LockTimeout(TimeoutError):

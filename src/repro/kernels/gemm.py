@@ -19,11 +19,19 @@ lanes in VNNI-interleaved layout.
 The generated trace carries real data (with the requested broadcasted /
 non-broadcasted sparsity), so functional execution produces the actual
 GEMM result — the transparency tests depend on this.
+
+Production is **streaming-first**: :func:`generate_gemm_stream` returns
+a restartable :class:`repro.kernels.stream.GeneratorTraceStream` whose
+memory image and regions exist up front while µops are generated
+chunk-by-chunk on demand; :func:`generate_gemm_trace` materializes the
+same stream into a legacy :class:`KernelTrace` (bit-identical µop
+order).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -31,8 +39,9 @@ from repro.isa.datatypes import BF16_LANES, FP32_LANES, bf16_round
 from repro.isa.registers import Memory
 from repro.isa.uops import MemOperand, RegOperand, Uop, kmov, scalar_op, vbcast, vfma
 from repro.isa.uops import vdpbf16, vload, vstore, vzero
+from repro.kernels.stream import GeneratorTraceStream
 from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
-from repro.kernels.trace import KernelTrace, count_uops
+from repro.kernels.trace import KernelTrace
 from repro.memory.address import make_regions
 from repro.sparsity.generators import sparse_matrix
 
@@ -79,14 +88,19 @@ class GemmKernelConfig:
 
 
 class _GemmTraceBuilder:
-    """Stateful builder for one kernel trace."""
+    """Stateful builder for one kernel trace.
+
+    Construction fixes the data layout and writes the functional memory
+    image (the only RNG-consuming phase); :meth:`iter_uops` then
+    *generates* the µop stream lazily and deterministically, so one
+    builder can feed any number of streaming passes.
+    """
 
     def __init__(self, config: GemmKernelConfig) -> None:
         self.config = config
         self.tile = config.tile
         self.mixed = config.precision == Precision.MIXED
         self.element_bytes = 2 if self.mixed else 4
-        self.uops: list[Uop] = []
         self.memory = Memory()
         rng = np.random.default_rng(config.seed)
 
@@ -199,69 +213,67 @@ class _GemmTraceBuilder:
             return vdpbf16(accum, a_operand, b_operand, wmask=wmask, tag=tag)
         return vfma(accum, a_operand, b_operand, wmask=wmask, tag=tag)
 
-    def _emit_step_explicit(self, k_step: int) -> None:
+    def _emit_step_explicit(self, k_step: int) -> Iterator[Uop]:
         tile, cfg = self.tile, self.config
         for j in range(tile.col_vectors):
-            self.uops.append(
-                vload(self.b_reg(j), self.b_vector_addr(k_step, j), bf16=self.mixed)
-            )
+            yield vload(self.b_reg(j), self.b_vector_addr(k_step, j), bf16=self.mixed)
             if cfg.use_write_masks:
-                self.uops.append(kmov(1 + j % 7, self._write_mask_bits(k_step, j)))
+                yield kmov(1 + j % 7, self._write_mask_bits(k_step, j))
         for row in range(tile.rows):
             a_reg = self.a_regs[row % 2]
             level = k_step * (2 if self.mixed else 1)
-            self.uops.append(vbcast(a_reg, self.a_addr(row, level), bf16=self.mixed))
+            yield vbcast(a_reg, self.a_addr(row, level), bf16=self.mixed)
             for j in range(tile.col_vectors):
                 wmask = (1 + j % 7) if cfg.use_write_masks else None
-                self.uops.append(
-                    self._fma(
-                        self.acc_reg(row, j),
-                        RegOperand(a_reg),
-                        RegOperand(self.b_reg(j)),
-                        wmask,
-                        tag=f"k{k_step}r{row}c{j}",
-                    )
+                yield self._fma(
+                    self.acc_reg(row, j),
+                    RegOperand(a_reg),
+                    RegOperand(self.b_reg(j)),
+                    wmask,
+                    tag=f"k{k_step}r{row}c{j}",
                 )
 
-    def _emit_step_embedded(self, k_step: int) -> None:
+    def _emit_step_embedded(self, k_step: int) -> Iterator[Uop]:
         tile, cfg = self.tile, self.config
         for j in range(tile.col_vectors):
             b_reg = self.b_rot[(k_step * tile.col_vectors + j) % 2]
-            self.uops.append(vload(b_reg, self.b_vector_addr(k_step, j), bf16=self.mixed))
+            yield vload(b_reg, self.b_vector_addr(k_step, j), bf16=self.mixed)
             if cfg.use_write_masks:
-                self.uops.append(kmov(1 + j % 7, self._write_mask_bits(k_step, j)))
+                yield kmov(1 + j % 7, self._write_mask_bits(k_step, j))
             level = k_step * (2 if self.mixed else 1)
             for row in range(tile.rows):
                 wmask = (1 + j % 7) if cfg.use_write_masks else None
                 operand = MemOperand(
                     self.a_addr(row, level), broadcast=True, bf16=self.mixed
                 )
-                self.uops.append(
-                    self._fma(
-                        self.acc_reg(row, j),
-                        operand,
-                        RegOperand(b_reg),
-                        wmask,
-                        tag=f"k{k_step}r{row}c{j}",
-                    )
+                yield self._fma(
+                    self.acc_reg(row, j),
+                    operand,
+                    RegOperand(b_reg),
+                    wmask,
+                    tag=f"k{k_step}r{row}c{j}",
                 )
 
-    def build(self) -> KernelTrace:
+    def iter_uops(self) -> Iterator[Uop]:
+        """Generate the full µop stream in program order, lazily."""
         tile, cfg = self.tile, self.config
         for accum in range(tile.accumulators):
-            self.uops.append(vzero(accum))
+            yield vzero(accum)
         for k_step in range(cfg.k_steps):
             for _ in range(cfg.scalar_overhead_per_step):
-                self.uops.append(scalar_op(tag=f"loop-k{k_step}"))
+                yield scalar_op(tag=f"loop-k{k_step}")
             if tile.pattern == BroadcastPattern.EXPLICIT:
-                self._emit_step_explicit(k_step)
+                yield from self._emit_step_explicit(k_step)
             else:
-                self._emit_step_embedded(k_step)
+                yield from self._emit_step_embedded(k_step)
         for row in range(tile.rows):
             for j in range(tile.col_vectors):
-                self.uops.append(vstore(self.acc_reg(row, j), self.c_addr(row, j)))
+                yield vstore(self.acc_reg(row, j), self.c_addr(row, j))
 
-        meta = {
+    def trace_meta(self) -> dict[str, object]:
+        """Generator metadata shared by the stream and the trace."""
+        tile, cfg = self.tile, self.config
+        return {
             "tile": tile,
             "k_steps": cfg.k_steps,
             "precision": cfg.precision,
@@ -274,18 +286,34 @@ class _GemmTraceBuilder:
             "a_matrix": self.a,
             "b_matrix": self.b,
         }
-        return KernelTrace(
-            name=cfg.name,
-            uops=self.uops,
+
+    def stream(self) -> GeneratorTraceStream:
+        """A restartable chunked stream over this builder's µops."""
+        return GeneratorTraceStream(
+            name=self.config.name,
+            uop_source=self.iter_uops,
             memory=self.memory,
             regions=self.regions,
-            stats=count_uops(self.uops),
-            meta=meta,
+            meta=self.trace_meta(),
         )
+
+    def build(self) -> KernelTrace:
+        """Materialize the whole trace (the legacy, list-backed path)."""
+        return self.stream().to_trace()
+
+
+def generate_gemm_stream(config: GemmKernelConfig) -> GeneratorTraceStream:
+    """A chunked µop stream for one GEMM inner-loop kernel.
+
+    The memory image and regions are built eagerly (they are O(tile));
+    µops are generated on demand, chunk by chunk, every time the stream
+    is iterated.
+    """
+    return _GemmTraceBuilder(config).stream()
 
 
 def generate_gemm_trace(config: GemmKernelConfig) -> KernelTrace:
-    """Generate the µop trace for one GEMM inner-loop kernel."""
+    """Generate the materialized µop trace for one GEMM inner-loop kernel."""
     return _GemmTraceBuilder(config).build()
 
 

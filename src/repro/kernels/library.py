@@ -25,10 +25,13 @@ Tile choices follow the paper's stated properties:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
+from collections.abc import Callable
 
 from repro.kernels.gemm import GemmKernelConfig
+from repro.kernels.stream import GeneratorTraceStream
 from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
+from repro.kernels.trace import KernelTrace
 
 
 @dataclass(frozen=True)
@@ -128,10 +131,61 @@ KERNEL_LIBRARY: dict[str, KernelSpec] = {
 }
 
 
-def get_kernel(name: str) -> KernelSpec:
-    """Look up a named kernel; raises with the available names."""
+def get_kernel(spec: Union[str, KernelSpec]) -> KernelSpec:
+    """The single name→kernel lookup every consumer goes through.
+
+    Accepts a name (looked up in :data:`KERNEL_LIBRARY`) or an already
+    resolved :class:`KernelSpec` (returned as-is, so call sites can be
+    written once against "spec-ish" inputs).  Raises ``KeyError`` with
+    the available names on an unknown name, ``TypeError`` on any other
+    type.
+    """
+    if isinstance(spec, KernelSpec):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"kernel spec must be a name or KernelSpec, got {type(spec).__name__}"
+        )
     try:
-        return KERNEL_LIBRARY[name]
+        return KERNEL_LIBRARY[spec]
     except KeyError:
         names = ", ".join(sorted(KERNEL_LIBRARY))
-        raise KeyError(f"unknown kernel {name!r}; available: {names}") from None
+        raise KeyError(f"unknown kernel {spec!r}; available: {names}") from None
+
+
+def trace_stream(config: object) -> GeneratorTraceStream:
+    """Config → chunked trace stream, dispatched on the config type.
+
+    The single config→generator registry: every consumer (CLI, serve,
+    sweeps, surfaces, the executor) resolves its generator here instead
+    of hard-wiring ``generate_*`` imports per kernel family.
+    """
+    factory = _STREAM_FACTORIES.get(type(config))
+    if factory is None:
+        known = ", ".join(sorted(t.__name__ for t in _STREAM_FACTORIES))
+        raise TypeError(
+            f"no trace generator registered for {type(config).__name__}; "
+            f"known config types: {known}"
+        )
+    return factory(config)
+
+
+def generate_trace(config: object) -> KernelTrace:
+    """Config → materialized trace, through the same registry."""
+    return trace_stream(config).to_trace()
+
+
+# Populated at the bottom of the module: the import has to run after the
+# KernelSpec machinery exists because sparsetrain validates against it.
+_STREAM_FACTORIES: dict[type, Callable[..., GeneratorTraceStream]] = {}
+
+
+def _register_generators() -> None:
+    from repro.kernels.gemm import generate_gemm_stream
+    from repro.kernels.sparsetrain import SparseTrainConfig, generate_sparsetrain_stream
+
+    _STREAM_FACTORIES[GemmKernelConfig] = generate_gemm_stream
+    _STREAM_FACTORIES[SparseTrainConfig] = generate_sparsetrain_stream
+
+
+_register_generators()

@@ -81,7 +81,7 @@ def trace_to_json(trace: KernelTrace) -> dict:
     return {
         "format": FORMAT_VERSION,
         "name": trace.name,
-        "uops": [_uop_to_json(uop) for uop in trace.uops],
+        "uops": [_uop_to_json(uop) for uop in trace.materialize()],
         "memory": {str(addr): value for addr, value in trace.memory.snapshot().items()},
         "regions": {
             name: {"base": region.base, "size": region.size_bytes}

@@ -25,13 +25,15 @@ the dense trace's reference result.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Iterator
 
 import numpy as np
 
 from repro.isa.uops import RegOperand, Uop, scalar_op, vbcast, vfma, vload, vstore, vzero
 from repro.kernels.gemm import GemmKernelConfig, _GemmTraceBuilder
+from repro.kernels.stream import GeneratorTraceStream
 from repro.kernels.tiling import BroadcastPattern, Precision
-from repro.kernels.trace import KernelTrace, count_uops
+from repro.kernels.trace import KernelTrace
 
 
 @dataclass(frozen=True)
@@ -64,8 +66,55 @@ class SparseTrainConfig:
             raise ValueError("misprediction_rate must be in [0, 1]")
 
 
-def generate_sparsetrain_trace(config: SparseTrainConfig) -> KernelTrace:
-    """Generate the software-skipped trace.
+def _sparsetrain_uops(
+    builder: _GemmTraceBuilder, config: SparseTrainConfig
+) -> Iterator[Uop]:
+    """Generate the software-skipped µop stream in program order.
+
+    Each call draws a *fresh* misprediction RNG from the derived seed,
+    so repeated passes over the stream are bit-identical (the streaming
+    restartability contract).
+    """
+    tile, gemm = builder.tile, config.gemm
+    rng = np.random.default_rng(gemm.seed + 1)
+
+    for accum in range(tile.accumulators):
+        yield vzero(accum)
+
+    previous_skip = False
+    for k_step in range(gemm.k_steps):
+        for _ in range(gemm.scalar_overhead_per_step):
+            yield scalar_op(tag=f"loop-k{k_step}")
+        for j in range(tile.col_vectors):
+            yield vload(builder.b_reg(j), builder.b_vector_addr(k_step, j))
+        for row in range(tile.rows):
+            # The software test: load the scalar, compare, branch.
+            for _ in range(config.branch_overhead_uops):
+                yield scalar_op(tag=f"test-r{row}k{k_step}")
+            skip = builder.a[row, k_step] == 0
+            if skip != previous_skip and rng.random() < config.misprediction_rate:
+                for _ in range(config.misprediction_penalty_uops):
+                    yield scalar_op(tag="mispredict")
+            previous_skip = skip
+            if skip:
+                continue
+            a_reg = builder.a_regs[row % 2]
+            yield vbcast(a_reg, builder.a_addr(row, k_step))
+            for j in range(tile.col_vectors):
+                yield vfma(
+                    builder.acc_reg(row, j),
+                    RegOperand(a_reg),
+                    RegOperand(builder.b_reg(j)),
+                    tag=f"k{k_step}r{row}c{j}",
+                )
+
+    for row in range(tile.rows):
+        for j in range(tile.col_vectors):
+            yield vstore(builder.acc_reg(row, j), builder.c_addr(row, j))
+
+
+def generate_sparsetrain_stream(config: SparseTrainConfig) -> GeneratorTraceStream:
+    """A chunked µop stream for the software-skipped kernel.
 
     The data layout and values are identical to the dense trace for the
     same :class:`GemmKernelConfig` (same seed ⇒ same matrices); only the
@@ -73,47 +122,15 @@ def generate_sparsetrain_trace(config: SparseTrainConfig) -> KernelTrace:
     """
     builder = _GemmTraceBuilder(config.gemm)
     tile, gemm = builder.tile, config.gemm
-    uops: list[Uop] = []
-    rng = np.random.default_rng(gemm.seed + 1)
-
-    for accum in range(tile.accumulators):
-        uops.append(vzero(accum))
-
-    skipped_rows = 0
-    previous_skip = False
-    for k_step in range(gemm.k_steps):
-        for _ in range(gemm.scalar_overhead_per_step):
-            uops.append(scalar_op(tag=f"loop-k{k_step}"))
-        for j in range(tile.col_vectors):
-            uops.append(vload(builder.b_reg(j), builder.b_vector_addr(k_step, j)))
-        for row in range(tile.rows):
-            # The software test: load the scalar, compare, branch.
-            for _ in range(config.branch_overhead_uops):
-                uops.append(scalar_op(tag=f"test-r{row}k{k_step}"))
-            skip = builder.a[row, k_step] == 0
-            if skip != previous_skip and rng.random() < config.misprediction_rate:
-                for _ in range(config.misprediction_penalty_uops):
-                    uops.append(scalar_op(tag="mispredict"))
-            previous_skip = skip
-            if skip:
-                skipped_rows += 1
-                continue
-            a_reg = builder.a_regs[row % 2]
-            uops.append(vbcast(a_reg, builder.a_addr(row, k_step)))
-            for j in range(tile.col_vectors):
-                uops.append(
-                    vfma(
-                        builder.acc_reg(row, j),
-                        RegOperand(a_reg),
-                        RegOperand(builder.b_reg(j)),
-                        tag=f"k{k_step}r{row}c{j}",
-                    )
-                )
-
-    for row in range(tile.rows):
-        for j in range(tile.col_vectors):
-            uops.append(vstore(builder.acc_reg(row, j), builder.c_addr(row, j)))
-
+    # Skips depend only on the (seeded) data, not on the misprediction
+    # RNG, so the count is known before any µop is generated.
+    skipped_rows = int(
+        sum(
+            builder.a[row, k_step] == 0
+            for k_step in range(gemm.k_steps)
+            for row in range(tile.rows)
+        )
+    )
     meta = {
         "tile": tile,
         "k_steps": gemm.k_steps,
@@ -126,11 +143,15 @@ def generate_sparsetrain_trace(config: SparseTrainConfig) -> KernelTrace:
         "b_matrix": builder.b,
         "skipped_rows": skipped_rows,
     }
-    return KernelTrace(
+    return GeneratorTraceStream(
         name=f"sparsetrain-{gemm.name}",
-        uops=uops,
+        uop_source=lambda: _sparsetrain_uops(builder, config),
         memory=builder.memory,
         regions=builder.regions,
-        stats=count_uops(uops),
         meta=meta,
     )
+
+
+def generate_sparsetrain_trace(config: SparseTrainConfig) -> KernelTrace:
+    """Generate the materialized software-skipped trace."""
+    return generate_sparsetrain_stream(config).to_trace()

@@ -34,7 +34,8 @@ from repro.experiments.executor import (
     default_executor,
 )
 from repro.fsio import FileLock, atomic_write_text
-from repro.kernels.gemm import GemmKernelConfig, generate_gemm_trace
+from repro.kernels.gemm import GemmKernelConfig
+from repro.kernels.library import trace_stream
 from repro.kernels.tiling import Precision, RegisterTile
 from repro.obs import maybe_span
 
@@ -101,7 +102,7 @@ def simulate_point(
     seed: int = 0,
 ) -> float:
     """One grid point: steady-state nanoseconds per VFMA instruction."""
-    trace = generate_gemm_trace(point_config(tile, precision, bs, nbs, k_steps, seed))
+    trace = trace_stream(point_config(tile, precision, bs, nbs, k_steps, seed))
     result = simulate(trace, machine, keep_state=False)
     return result.time_ns / result.fma_count
 
@@ -156,6 +157,8 @@ class SparsitySurface:
         seed: int = 0,
         executor: Optional[SimExecutor] = None,
         engine: str = "exact",
+        store_root: Optional[Path] = None,
+        store_overwrite: bool = False,
     ) -> SparsitySurface:
         """Simulate the full grid (the expensive path; memoise it).
 
@@ -165,6 +168,11 @@ class SparsitySurface:
         the surface is identical whichever backend ran it.  ``engine``
         selects the tier for *every* point and is recorded on the
         surface.
+
+        With ``store_root`` set, the grid values are also appended to
+        the columnar sweep store (kernel ``"surface"``, metric
+        ``ns_per_fma``) so the surface stays queryable via
+        ``repro query`` alongside streamed sweeps.
         """
         n = len(levels)
         runner = default_executor(executor)
@@ -180,7 +188,26 @@ class SparsitySurface:
                 for bs in levels
                 for nbs in levels
             ]
-            values = np.array(runner.map(jobs)).reshape(n, n)
+            flat = runner.map(jobs)
+            values = np.array(flat).reshape(n, n)
+        if store_root is not None:
+            from repro.store import SweepWriter
+
+            meta = {
+                "kernel": "surface",
+                "machine": label,
+                "engine": engine,
+                "metric": METRIC_NS_PER_FMA,
+                "precision": precision.value,
+                "k_steps": k_steps,
+                "seed": seed,
+            }
+            with SweepWriter(store_root, meta, overwrite=store_overwrite) as writer:
+                index = 0
+                for bs in levels:
+                    for nbs in levels:
+                        writer.append(bs, nbs, flat[index])
+                        index += 1
         return cls(levels=levels, ns_per_fma=values, label=label, engine=engine)
 
 

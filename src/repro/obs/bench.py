@@ -26,6 +26,15 @@ exact and fast engine tiers and records ``speedup_over_exact`` — the
 ledger is where the fast tier's headline speedup is demonstrated and
 guarded.  ``repro bench report`` renders the committed entries as a
 per-workload trajectory so the repo's perf history reads at a glance.
+
+The ``sweep_throughput`` workload is the out-of-core scale guard: it
+runs a large fast-tier sweep through :func:`repro.experiments.\
+streamsweep.stream_sweep` into a throwaway columnar store — each sweep
+in its own subprocess so ``ru_maxrss`` measures that sweep alone — and
+records points/second plus peak RSS next to the peak RSS of a 1k-point
+reference sweep.  ``rss_ratio`` staying small (the CI streaming-smoke
+job pins it under 2x) is the evidence that sweep memory is bounded by
+the batch and segment sizes, not the grid.
 """
 
 from __future__ import annotations
@@ -120,6 +129,7 @@ def _suite(quick: bool) -> list[tuple[str, int, Any]]:
         ("coarse_sweep", 1, sweep),
         ("parallel_sweep", 2, sweep),
         ("fastsim_sweep", 1, sweep),
+        ("sweep_throughput", 1, None),
     ]
 
 
@@ -220,6 +230,105 @@ def _run_fastsim_workload(point_jobs: list[Any], repeats: int) -> dict[str, Any]
     }
 
 
+#: Child script for one isolated streaming sweep.  Runs in its own
+#: interpreter so ``ru_maxrss`` (monotone over a process's lifetime)
+#: measures exactly one sweep; prints a single JSON line.
+_SWEEP_CHILD = """\
+import json, resource, sys
+spec = json.loads(sys.argv[1])
+from repro.core.config import SAVE_2VPU
+from repro.experiments.streamsweep import stream_sweep
+from repro.store import SweepStore
+step = 0.9 / max(spec["grid"] - 1, 1)
+levels = [round(i * step, 6) for i in range(spec["grid"])]
+summary = stream_sweep(
+    "resnet2_2_fwd", SAVE_2VPU, levels, levels, spec["store"],
+    engine="fast", metric="time_ns", k_steps=spec["k_steps"],
+    overwrite=True,
+)
+total_ns = sum(
+    row["value"]
+    for row in SweepStore(spec["store"]).query(
+        fingerprint=summary["fingerprint"]
+    )
+)
+rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps({
+    "points": summary["points"],
+    "total_ns": total_ns,
+    "ru_maxrss_kb": rss_kb,
+}))
+"""
+
+
+def _sweep_child(grid: int, k_steps: int, store: str) -> dict[str, Any]:
+    """Run one streaming sweep in a subprocess; returns its JSON report."""
+    import os
+    import subprocess
+
+    import repro
+
+    env = dict(os.environ)
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_root, env.get("PYTHONPATH")) if p
+    )
+    spec = json.dumps({"grid": grid, "k_steps": k_steps, "store": store})
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-c", _SWEEP_CHILD, spec],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    report: dict[str, Any] = json.loads(proc.stdout.strip().splitlines()[-1])
+    report["wall_s"] = time.perf_counter() - start
+    return report
+
+
+def _run_sweep_throughput(quick: bool) -> dict[str, Any]:
+    """Time one large out-of-core sweep and bound its memory.
+
+    Unlike the ms-scale workloads this one is timed once, not
+    best-of-``repeats`` — throughput variance amortises over the grid.
+    The 1k-point reference sweep runs first (its own subprocess) so
+    ``rss_ratio`` compares two independent peak-RSS readings; on Linux
+    ``ru_maxrss`` is in kilobytes.
+    """
+    import tempfile
+
+    from repro.core.config import SAVE_2VPU  # the swept machine
+
+    grid, k_steps = (100, 6) if quick else (317, 8)
+    with tempfile.TemporaryDirectory(prefix="sweepbench-") as tmp:
+        small = _sweep_child(32, k_steps, str(Path(tmp) / "small"))
+        big = _sweep_child(grid, k_steps, str(Path(tmp) / "big"))
+    freq_ghz = SAVE_2VPU.core.freq_ghz
+    sim_cycles = int(round(big["total_ns"] * freq_ghz))
+    wall = big["wall_s"]
+    return {
+        "wall_s": round(wall, 6),
+        "jobs": 1,
+        "points": int(big["points"]),
+        "points_per_sec": round(big["points"] / wall, 1) if wall else 0.0,
+        "peak_rss_mb": round(big["ru_maxrss_kb"] / 1024.0, 1),
+        "small_points": int(small["points"]),
+        "small_rss_mb": round(small["ru_maxrss_kb"] / 1024.0, 1),
+        "rss_ratio": (
+            round(big["ru_maxrss_kb"] / small["ru_maxrss_kb"], 3)
+            if small["ru_maxrss_kb"]
+            else 0.0
+        ),
+        "sim_cycles": sim_cycles,
+        "cycles_per_sec": round(sim_cycles / wall, 1) if wall else 0.0,
+        "counters": {
+            "sim_cycles": sim_cycles,
+            "sim_runs": int(big["points"]),
+        },
+    }
+
+
 def run_suite(
     quick: bool = False,
     repeats: int = 2,
@@ -230,6 +339,8 @@ def run_suite(
     for name, jobs, point_jobs in _suite(quick):
         if name == "fastsim_sweep":
             result = _run_fastsim_workload(point_jobs, repeats)
+        elif name == "sweep_throughput":
+            result = _run_sweep_throughput(quick)
         else:
             result = _run_workload(name, jobs, point_jobs, repeats)
         workloads[name] = result
@@ -237,6 +348,13 @@ def run_suite(
             extra = ""
             if "speedup_over_exact" in result:
                 extra = f", {result['speedup_over_exact']:.1f}x vs exact"
+            if "points_per_sec" in result:
+                extra = (
+                    f", {result['points_per_sec']:.0f} pts/s, "
+                    f"rss {result['peak_rss_mb']:.0f}MB "
+                    f"({result['rss_ratio']:.2f}x vs "
+                    f"{result['small_points']}-pt sweep)"
+                )
             echo(
                 f"  {name}: {result['wall_s']:.3f}s wall, "
                 f"{result['sim_cycles']} cycles "

@@ -22,7 +22,6 @@ fragment the content address space).
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass, replace as dc_replace
 from enum import Enum
@@ -42,6 +41,7 @@ from repro.experiments.executor import (
     PointJob,
 )
 from repro.fastsim import ENGINES
+from repro.fsio import canonical_fingerprint
 from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
 from repro.memory.broadcast_cache import BroadcastCacheKind
 from repro.model.surface import point_config
@@ -234,8 +234,9 @@ class SimRequest:
         }
 
     def _digest(self, payload: dict[str, Any]) -> str:
-        raw = json.dumps(payload, sort_keys=True)
-        return hashlib.sha256(raw.encode()).hexdigest()[:24]
+        # Shared content-address convention (same algorithm as before
+        # the store unification, so fingerprints are unchanged).
+        return canonical_fingerprint(payload)
 
     def fingerprint(self) -> str:
         """Content address: dedup key, job id and store key in one."""

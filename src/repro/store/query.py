@@ -1,0 +1,139 @@
+"""Query engine over the columnar sweep store.
+
+Reads are manifest-first: sweep-level filters (kernel, machine, engine,
+metric) prune whole directories before a single segment is opened, and
+matching sweeps are then scanned one segment at a time with vectorised
+range filters — so queries over a million-point store run in O(segment)
+memory.
+
+Row output follows ``QUERY_FIELDS`` (the consumer-side contract table):
+manifest identity columns first, then the per-point segment columns.
+CSV export shares the same field order.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Optional, TextIO, Union
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.store.schema import QUERY_FIELDS
+from repro.store.writer import read_manifest
+
+__all__ = ["SweepStore"]
+
+
+class SweepStore:
+    """Read-side handle on a sweep-store root directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- discovery --------------------------------------------------------
+
+    def manifests(self) -> Iterator[dict[str, Any]]:
+        """All readable sweep manifests, in fingerprint order."""
+        if not self.root.is_dir():
+            return
+        for sweep_dir in sorted(self.root.iterdir()):
+            manifest = sweep_dir / "manifest.json"
+            if not manifest.is_file():
+                continue
+            yield read_manifest(sweep_dir)
+
+    def describe(self) -> list[dict[str, Any]]:
+        """One summary dict per sweep (identity + row count + state)."""
+        out = []
+        for manifest in self.manifests():
+            summary = dict(manifest["meta"])
+            summary["fingerprint"] = manifest["fingerprint"]
+            summary["rows"] = manifest["rows"]
+            summary["complete"] = manifest["complete"]
+            out.append(summary)
+        return out
+
+    # -- querying ---------------------------------------------------------
+
+    def query(
+        self,
+        kernel: Optional[str] = None,
+        machine: Optional[str] = None,
+        engine: Optional[str] = None,
+        metric: Optional[str] = None,
+        bs_range: Optional[tuple[float, float]] = None,
+        nbs_range: Optional[tuple[float, float]] = None,
+        fingerprint: Optional[str] = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Yield matching point rows, segment by segment.
+
+        Sweep-level filters are exact string matches on the manifest
+        identity; ``bs_range``/``nbs_range`` are inclusive bounds on
+        the per-point sparsity columns.  Rows come out in (sweep
+        fingerprint, segment, row) order — deterministic for a given
+        store state.
+        """
+        for manifest in self.manifests():
+            meta = manifest["meta"]
+            if fingerprint is not None and manifest["fingerprint"] != fingerprint:
+                continue
+            if kernel is not None and meta.get("kernel") != kernel:
+                continue
+            if machine is not None and meta.get("machine") != machine:
+                continue
+            if engine is not None and meta.get("engine") != engine:
+                continue
+            if metric is not None and meta.get("metric") != metric:
+                continue
+            sweep_dir = self.root / manifest["fingerprint"]
+            identity = {
+                "kernel": meta.get("kernel"),
+                "machine": meta.get("machine"),
+                "engine": meta.get("engine"),
+                "metric": meta.get("metric"),
+            }
+            for entry in manifest["segments"]:
+                path = sweep_dir / entry["file"]
+                with np.load(path) as segment:
+                    bs = segment["bs"]
+                    nbs = segment["nbs"]
+                    value = segment["value"]
+                keep = np.ones(len(bs), dtype=bool)
+                if bs_range is not None:
+                    keep &= (bs >= bs_range[0]) & (bs <= bs_range[1])
+                if nbs_range is not None:
+                    keep &= (nbs >= nbs_range[0]) & (nbs <= nbs_range[1])
+                for i in np.flatnonzero(keep):
+                    yield {
+                        **identity,
+                        "bs": float(bs[i]),
+                        "nbs": float(nbs[i]),
+                        "value": float(value[i]),
+                    }
+
+    def count(self, **filters: Any) -> int:
+        """Number of rows a :meth:`query` with these filters would yield."""
+        return sum(1 for _ in self.query(**filters))
+
+    # -- export -----------------------------------------------------------
+
+    @staticmethod
+    def write_csv(rows: Iterable[dict[str, Any]], out: TextIO) -> int:
+        """Write query rows as CSV in ``QUERY_FIELDS`` order; returns count."""
+        writer = csv.writer(out)
+        writer.writerow(QUERY_FIELDS)
+        count = 0
+        for row in rows:
+            writer.writerow([row[field] for field in QUERY_FIELDS])
+            count += 1
+        return count
+
+    @staticmethod
+    def rows_to_json(rows: Iterable[dict[str, Any]]) -> str:
+        """Serialize query rows as a JSON array (field order preserved)."""
+        return json.dumps(
+            [{field: row[field] for field in QUERY_FIELDS} for row in rows]
+        )

@@ -1,0 +1,87 @@
+"""Schema of the columnar sweep store.
+
+One sweep = one fingerprint-keyed directory holding a ``manifest.json``
+plus append-only NPZ *segments* of fixed-schema columns.  The identity
+of a sweep (kernel, machine, engine, metric, grid parameters) lives in
+the manifest; per-point data lives in the segments.  The split is what
+makes the store out-of-core: a query touches one segment at a time, a
+writer holds one segment's buffer, and neither ever needs the whole
+sweep in memory.
+
+``SWEEP_COLUMNS`` is the **producer/consumer contract table**: the
+writer emits exactly these columns per segment and the query engine
+reads exactly these.  The ``repro.check`` schema-drift rule cross-checks
+both sides against this table, so adding a column here without updating
+the consumers (or vice versa) fails static analysis, not a sweep at
+hour three.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Version of the on-disk sweep-store layout.  Bump on any change to
+#: the manifest structure, the segment column set, or their dtypes;
+#: the store refuses to read mismatched versions (stores are caches —
+#: re-sweeping is always safe, silently misreading is not).
+STORE_SCHEMA_VERSION = 1
+
+#: Per-point segment columns: name → numpy dtype string.  Every segment
+#: NPZ contains exactly these arrays, all of one common length.
+SWEEP_COLUMNS: dict[str, str] = {
+    "bs": "float64",
+    "nbs": "float64",
+    "value": "float64",
+}
+
+#: Manifest fields identifying one sweep (the fingerprint key).  All
+#: values must be JSON-representable; the fingerprint is
+#: :func:`repro.fsio.canonical_fingerprint` over them plus the schema
+#: version.
+SWEEP_META_FIELDS = (
+    "kernel",
+    "machine",
+    "engine",
+    "metric",
+    "precision",
+    "k_steps",
+    "seed",
+)
+
+#: Fields of one query result row: the manifest identity columns
+#: followed by the per-point segment columns, in output order.  This is
+#: the consumer-side contract table (CSV export shares it).
+QUERY_FIELDS = (
+    "kernel",
+    "machine",
+    "engine",
+    "metric",
+    "bs",
+    "nbs",
+    "value",
+)
+
+
+def sweep_fingerprint(meta: dict[str, Any]) -> str:
+    """Content address of one sweep's identity.
+
+    Same convention as serve-request fingerprints: sha256 over the
+    canonical sorted JSON, 24 hex chars (:func:`repro.fsio.canonical_fingerprint`).
+    """
+    from repro.fsio import canonical_fingerprint
+
+    payload = {"schema": STORE_SCHEMA_VERSION}
+    for field in SWEEP_META_FIELDS:
+        payload[field] = meta.get(field)
+    return canonical_fingerprint(payload)
+
+
+def validate_meta(meta: dict[str, Any]) -> dict[str, Any]:
+    """Check a sweep identity dict; returns it normalised to the field set."""
+    missing = [f for f in SWEEP_META_FIELDS if f not in meta]
+    if missing:
+        raise ValueError(f"sweep meta missing fields: {', '.join(missing)}")
+    unknown = [f for f in meta if f not in SWEEP_META_FIELDS]
+    if unknown:
+        raise ValueError(f"sweep meta has unknown fields: {', '.join(unknown)}")
+    return {field: meta[field] for field in SWEEP_META_FIELDS}

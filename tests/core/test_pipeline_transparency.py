@@ -168,7 +168,7 @@ class TestWorkConservation:
         result = simulate(trace, SAVE_2VPU)
         # Count effectual lanes directly from the generated data.
         expected = 0
-        for uop in trace.uops:
+        for uop in trace.materialize():
             if not uop.is_fma():
                 continue
         a = trace.meta["a_matrix"]

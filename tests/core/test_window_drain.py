@@ -71,10 +71,10 @@ def prefix_trace(trace: KernelTrace, n: int) -> KernelTrace:
     """A new trace containing the first ``n`` µops."""
     return KernelTrace(
         name=f"{trace.name}[:{n}]",
-        uops=trace.uops[:n],
+        uops=trace.materialize()[:n],
         memory=trace.memory,
         regions=trace.regions,
-        stats=count_uops(trace.uops[:n]),
+        stats=count_uops(trace.materialize()[:n]),
         meta=dict(trace.meta),
     )
 

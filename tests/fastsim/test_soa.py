@@ -72,8 +72,8 @@ class TestUopAccounting:
         config = _config(name)
         trace = generate_gemm_trace(config)
         arrays = TraceArrays.from_config(config)
-        assert arrays.uop_count == len(trace.uops)
-        assert arrays.fma_count == count_uops(trace.uops).fmas
+        assert arrays.uop_count == len(trace.materialize())
+        assert arrays.fma_count == count_uops(trace.materialize()).fmas
 
     def test_write_mask_kmovs_counted(self):
         base = _config("resnet3_2_bwd_input")

@@ -65,17 +65,17 @@ class TestTraceStructure:
     def test_write_masks_emit_kmovs(self):
         trace = generate_gemm_trace(make_config(cols=2, k_steps=4, masks=True))
         assert trace.stats.kmovs == 2 * 4
-        fmas = [u for u in trace.uops if u.is_fma()]
+        fmas = [u for u in trace.materialize() if u.is_fma()]
         assert all(u.wmask is not None for u in fmas)
 
     def test_no_masks_by_default(self):
         trace = generate_gemm_trace(make_config())
-        fmas = [u for u in trace.uops if u.is_fma()]
+        fmas = [u for u in trace.materialize() if u.is_fma()]
         assert all(u.wmask is None for u in fmas)
 
     def test_accumulators_zeroed_first(self):
         trace = generate_gemm_trace(make_config(rows=2, cols=2))
-        kinds = [u.kind for u in trace.uops[:4]]
+        kinds = [u.kind for u in trace.materialize()[:4]]
         assert kinds == [UopKind.VZERO] * 4
 
     def test_deterministic_given_seed(self):

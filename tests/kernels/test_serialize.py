@@ -34,7 +34,7 @@ class TestRoundtrip:
         trace = make_trace()
         clone = trace_from_json(trace_to_json(trace))
         assert len(clone) == len(trace)
-        for original, restored in zip(trace.uops, clone.uops):
+        for original, restored in zip(trace.materialize(), clone.materialize()):
             assert original.kind == restored.kind
             assert original.dst == restored.dst
             assert original.src_a == restored.src_a
@@ -59,12 +59,12 @@ class TestRoundtrip:
     def test_mixed_precision_roundtrip(self):
         trace = make_trace(precision=Precision.MIXED)
         clone = trace_from_json(trace_to_json(trace))
-        assert all(u.bf16 for u in clone.uops if u.is_fma())
+        assert all(u.bf16 for u in clone.materialize() if u.is_fma())
 
     def test_masked_roundtrip(self):
         trace = make_trace(masks=True)
         clone = trace_from_json(trace_to_json(trace))
-        assert any(u.wmask is not None for u in clone.uops if u.is_fma())
+        assert any(u.wmask is not None for u in clone.materialize() if u.is_fma())
 
 
 class TestExecutability:

@@ -68,7 +68,7 @@ class TestKernelTrace:
 
     def test_len(self):
         trace = self.trace()
-        assert len(trace) == len(trace.uops)
+        assert len(trace) == len(trace.materialize())
 
     def test_fresh_state_has_zero_registers(self):
         state = self.trace().fresh_state()
@@ -115,7 +115,7 @@ class TestKernelTrace:
         # embedded broadcast operands of the first k-step.
         addrs = [
             u.memory_operand().addr
-            for u in trace.uops
+            for u in trace.materialize()
             if u.is_fma() and u.tag and u.tag.startswith("k0")
         ]
         stride = addrs[1] - addrs[0]

@@ -264,6 +264,30 @@ class TestReport:
         assert "15.0x vs exact" in text
 
 
+class TestCommittedLedger:
+    def test_committed_entries_validate(self):
+        from pathlib import Path
+
+        ledger = Path(__file__).resolve().parents[2] / "benchmarks" / "ledger"
+        paths = ledger_paths(ledger)
+        assert paths, "the committed ledger must not be empty"
+        for _, path in paths:
+            validate_entry(json.loads(path.read_text()))
+
+    def test_committed_sweep_throughput_meets_rss_contract(self):
+        # BENCH_0007 records the acceptance run: a >=100k-point fast
+        # sweep whose peak RSS stays within 2x of a ~1k-point sweep.
+        from pathlib import Path
+
+        ledger = Path(__file__).resolve().parents[2] / "benchmarks" / "ledger"
+        entry = json.loads((ledger / "BENCH_0007.json").read_text())
+        sweep = entry["workloads"]["sweep_throughput"]
+        assert sweep["points"] >= 100_000
+        assert sweep["small_points"] >= 1_000
+        assert sweep["rss_ratio"] <= 2.0
+        assert sweep["points_per_sec"] > 0
+
+
 class TestRealSuiteSmoke:
     def test_run_suite_quick_is_schema_valid(self, tmp_path):
         entry = bench.run_suite(quick=True, repeats=1)
@@ -276,6 +300,7 @@ class TestRealSuiteSmoke:
             "coarse_sweep",
             "parallel_sweep",
             "fastsim_sweep",
+            "sweep_throughput",
         }
         for workload in workloads.values():
             assert workload["wall_s"] > 0
@@ -285,3 +310,7 @@ class TestRealSuiteSmoke:
         assert fastsim["exact_wall_s"] > 0
         assert fastsim["speedup_over_exact"] > 1.0
         assert fastsim["points"] == workloads["coarse_sweep"]["points"]
+        sweep = workloads["sweep_throughput"]
+        assert sweep["points"] > sweep["small_points"]
+        assert sweep["points_per_sec"] > 0
+        assert sweep["rss_ratio"] <= 2.0

@@ -1,0 +1,207 @@
+"""The columnar sweep store: writer, manifest, query engine, export."""
+
+import io
+import json
+
+import pytest
+
+from repro.store import (
+    QUERY_FIELDS,
+    STORE_SCHEMA_VERSION,
+    SWEEP_COLUMNS,
+    SWEEP_META_FIELDS,
+    StoreError,
+    SweepStore,
+    SweepWriter,
+    sweep_fingerprint,
+    validate_meta,
+)
+from repro.store.writer import read_manifest
+
+
+def meta(**overrides):
+    base = {
+        "kernel": "resnet2_2_fwd",
+        "machine": "save-2vpu@1.7",
+        "engine": "fast",
+        "metric": "time_ns",
+        "precision": "fp32",
+        "k_steps": 8,
+        "seed": 0,
+    }
+    base.update(overrides)
+    return base
+
+
+def write_points(root, points, m=None, **writer_kwargs):
+    with SweepWriter(root, m or meta(), **writer_kwargs) as writer:
+        for bs, nbs, value in points:
+            writer.append(bs, nbs, value)
+    return writer
+
+
+POINTS = [(0.0, 0.0, 10.0), (0.0, 0.5, 8.0), (0.5, 0.0, 6.5), (0.5, 0.5, 4.0)]
+
+
+class TestSchema:
+    def test_fingerprint_deterministic(self):
+        assert sweep_fingerprint(meta()) == sweep_fingerprint(meta())
+        assert len(sweep_fingerprint(meta())) == 24
+
+    def test_fingerprint_covers_every_meta_field(self):
+        base = sweep_fingerprint(meta())
+        for field in SWEEP_META_FIELDS:
+            changed = meta(**{field: "other" if field != "seed" else 99})
+            assert sweep_fingerprint(changed) != base, field
+
+    def test_validate_meta_missing_field(self):
+        incomplete = meta()
+        del incomplete["seed"]
+        with pytest.raises(ValueError, match="missing fields: seed"):
+            validate_meta(incomplete)
+
+    def test_validate_meta_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown fields: extra"):
+            validate_meta(meta(extra=1))
+
+    def test_query_fields_cover_columns_and_identity(self):
+        assert set(SWEEP_COLUMNS) <= set(QUERY_FIELDS)
+        assert set(QUERY_FIELDS) - set(SWEEP_COLUMNS) <= set(SWEEP_META_FIELDS)
+
+
+class TestWriter:
+    def test_roundtrip(self, tmp_path):
+        writer = write_points(tmp_path, POINTS)
+        rows = list(SweepStore(tmp_path).query())
+        assert [(r["bs"], r["nbs"], r["value"]) for r in rows] == POINTS
+        assert all(r["kernel"] == "resnet2_2_fwd" for r in rows)
+        assert writer.rows_written == len(POINTS)
+
+    def test_manifest_complete_after_clean_close(self, tmp_path):
+        writer = write_points(tmp_path, POINTS)
+        manifest = read_manifest(tmp_path / writer.fingerprint)
+        assert manifest["complete"] is True
+        assert manifest["rows"] == len(POINTS)
+        assert manifest["schema"] == STORE_SCHEMA_VERSION
+        assert manifest["columns"] == list(SWEEP_COLUMNS)
+
+    def test_exception_leaves_sweep_incomplete(self, tmp_path):
+        with pytest.raises(RuntimeError, match="boom"):
+            with SweepWriter(tmp_path, meta()) as writer:
+                writer.append(0.1, 0.2, 3.0)
+                raise RuntimeError("boom")
+        manifest = read_manifest(tmp_path / writer.fingerprint)
+        assert manifest["complete"] is False
+        assert manifest["rows"] == 1  # the flushed tail is still queryable
+
+    def test_segment_rollover(self, tmp_path):
+        points = [(i * 0.01, i * 0.02, float(i)) for i in range(10)]
+        writer = write_points(tmp_path, points, segment_rows=4)
+        manifest = read_manifest(tmp_path / writer.fingerprint)
+        assert [s["rows"] for s in manifest["segments"]] == [4, 4, 2]
+        values = [r["value"] for r in SweepStore(tmp_path).query()]
+        assert values == [float(i) for i in range(10)]
+
+    def test_existing_sweep_refused_without_overwrite(self, tmp_path):
+        write_points(tmp_path, POINTS)
+        with pytest.raises(StoreError, match="already exists"):
+            SweepWriter(tmp_path, meta())
+
+    def test_overwrite_replaces_previous_run(self, tmp_path):
+        write_points(tmp_path, POINTS, segment_rows=2)
+        write_points(
+            tmp_path, [(0.9, 0.9, 1.0)], overwrite=True, segment_rows=2
+        )
+        rows = list(SweepStore(tmp_path).query())
+        assert [(r["bs"], r["nbs"], r["value"]) for r in rows] == [
+            (0.9, 0.9, 1.0)
+        ]
+
+    def test_append_batch_matches_append(self, tmp_path):
+        write_points(tmp_path / "one", POINTS)
+        with SweepWriter(tmp_path / "two", meta()) as writer:
+            writer.append_batch(
+                [p[0] for p in POINTS],
+                [p[1] for p in POINTS],
+                [p[2] for p in POINTS],
+            )
+        assert list(SweepStore(tmp_path / "one").query()) == list(
+            SweepStore(tmp_path / "two").query()
+        )
+
+    def test_append_batch_rejects_ragged_columns(self, tmp_path):
+        with SweepWriter(tmp_path, meta()) as writer:
+            with pytest.raises(ValueError, match="equal lengths"):
+                writer.append_batch([0.1], [0.2, 0.3], [1.0])
+
+    def test_closed_writer_rejects_appends(self, tmp_path):
+        writer = write_points(tmp_path, POINTS)
+        with pytest.raises(StoreError, match="closed"):
+            writer.append(0.1, 0.1, 1.0)
+
+    def test_version_mismatch_refused(self, tmp_path):
+        writer = write_points(tmp_path, POINTS)
+        manifest_path = tmp_path / writer.fingerprint / "manifest.json"
+        payload = json.loads(manifest_path.read_text())
+        payload["schema"] = STORE_SCHEMA_VERSION + 1
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(StoreError, match="store schema"):
+            list(SweepStore(tmp_path).query())
+
+
+class TestQuery:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        write_points(tmp_path, POINTS)
+        write_points(
+            tmp_path,
+            [(0.3, 0.3, 99.0)],
+            meta(machine="baseline-2vpu@1.7", engine="exact"),
+        )
+        return SweepStore(tmp_path)
+
+    def test_identity_filters(self, store):
+        assert store.count(machine="baseline-2vpu@1.7") == 1
+        assert store.count(engine="fast") == len(POINTS)
+        assert store.count(kernel="resnet2_2_fwd") == len(POINTS) + 1
+        assert store.count(kernel="absent") == 0
+
+    def test_range_filters_inclusive(self, store):
+        assert store.count(bs_range=(0.0, 0.0)) == 2
+        assert store.count(bs_range=(0.5, 0.5), nbs_range=(0.5, 0.5)) == 1
+        assert store.count(engine="fast", bs_range=(0.4, 1.0)) == 2
+
+    def test_fingerprint_filter(self, store):
+        fingerprint = sweep_fingerprint(meta())
+        assert store.count(fingerprint=fingerprint) == len(POINTS)
+
+    def test_describe_lists_both_sweeps(self, store):
+        summaries = store.describe()
+        assert len(summaries) == 2
+        assert {s["engine"] for s in summaries} == {"fast", "exact"}
+        assert all(s["complete"] for s in summaries)
+
+    def test_empty_root_queries_empty(self, tmp_path):
+        empty = SweepStore(tmp_path / "missing")
+        assert list(empty.query()) == []
+        assert empty.describe() == []
+
+
+class TestExport:
+    def test_csv_header_and_rows(self, tmp_path):
+        write_points(tmp_path, POINTS)
+        out = io.StringIO()
+        count = SweepStore.write_csv(SweepStore(tmp_path).query(), out)
+        lines = out.getvalue().strip().splitlines()
+        assert lines[0] == ",".join(QUERY_FIELDS)
+        assert count == len(POINTS)
+        assert len(lines) == len(POINTS) + 1
+        assert lines[1].startswith("resnet2_2_fwd,save-2vpu@1.7,fast,time_ns,")
+
+    def test_json_field_order(self, tmp_path):
+        write_points(tmp_path, POINTS)
+        rows = json.loads(
+            SweepStore.rows_to_json(SweepStore(tmp_path).query())
+        )
+        assert len(rows) == len(POINTS)
+        assert list(rows[0]) == list(QUERY_FIELDS)
