@@ -46,6 +46,27 @@ Sweep store
     * every literal query-row subscript (``row["..."]``) in a store
       file must name a ``QUERY_FIELDS`` entry.
 
+Request log
+    The serve-path telemetry contract (PR 8) has the same shape again:
+    the request-log schema (``REQUEST_EVENT_FIELDS`` /
+    ``REQLOG_COMMON_FIELDS`` / ``LATENCY_PHASES`` in
+    :mod:`repro.obs.telemetry`), the ``log_event`` emit sites spread
+    across the service, the HTTP handler and the sampler, and the
+    offline consumer tables (``REQLOG_CONSUMED_EVENTS`` /
+    ``REPORT_LATENCY_PHASES`` in :mod:`repro.obs.servereport`).
+    Cross-checked in both directions:
+
+    * every ``log_event("...")`` site names a schema event, passes the
+      event's required fields as keywords (unless it splats
+      ``**kwargs``) and never overrides the stamped common fields;
+    * every schema event is logged somewhere *and* has a
+      ``REQLOG_CONSUMED_EVENTS`` entry whose field tuple matches the
+      schema exactly — serve-report silently dropping an event is
+      drift too;
+    * ``REPORT_LATENCY_PHASES`` and ``LATENCY_PHASES`` must be equal:
+      a phase only one side knows about either never renders or can
+      never carry a ``serve.latency.<phase>.*`` gauge.
+
 Resolution is deliberately shallow: event-name arguments may be string
 constants, conditional expressions over string constants, or local
 names assigned from either (the ``bcache_hit``/``bcache_miss`` site in
@@ -382,6 +403,144 @@ def _tuple_strings(value: ast.expr) -> tuple[str, ...]:
     )
 
 
+def _module_assign(
+    node: ast.stmt,
+) -> tuple[Optional[str], Optional[ast.expr]]:
+    """``(name, value)`` of a module-level (ann-)assignment, else Nones."""
+    target: Optional[ast.expr] = None
+    value: Optional[ast.expr] = None
+    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+        target, value = node.targets[0], node.value
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        target, value = node.target, node.value
+    if isinstance(target, ast.Name) and value is not None:
+        return target.id, value
+    return None, None
+
+
+def _find_telemetry_tables(
+    files: Sequence[CheckedFile],
+) -> tuple[
+    Optional[CheckedFile],
+    dict[str, tuple[str, ...]],
+    dict[str, int],
+    tuple[str, ...],
+    tuple[str, ...],
+    int,
+]:
+    """Locate the request-log schema tables (one file declares all).
+
+    Returns ``(file, event_fields, key_lines, common_fields,
+    latency_phases, latency_line)``.
+    """
+    for checked in files:
+        event_fields: dict[str, tuple[str, ...]] = {}
+        key_lines: dict[str, int] = {}
+        common: tuple[str, ...] = ()
+        phases: tuple[str, ...] = ()
+        phases_line = 0
+        found = False
+        for node in checked.tree.body:
+            name, value = _module_assign(node)
+            if name is None or value is None:
+                continue
+            if name == "REQUEST_EVENT_FIELDS" and isinstance(value, ast.Dict):
+                found = True
+                for key, val in zip(value.keys, value.values):
+                    event = _const_str(key) if key is not None else None
+                    if event is None:
+                        continue
+                    event_fields[event] = _tuple_strings(val)
+                    key_lines[event] = (
+                        key.lineno if key is not None else node.lineno
+                    )
+            elif name == "REQLOG_COMMON_FIELDS":
+                common = _tuple_strings(value)
+            elif name == "LATENCY_PHASES":
+                phases = _tuple_strings(value)
+                phases_line = node.lineno
+        if found:
+            return checked, event_fields, key_lines, common, phases, phases_line
+    return None, {}, {}, (), (), 0
+
+
+def _find_reqlog_consumers(
+    files: Sequence[CheckedFile],
+) -> tuple[
+    Optional[CheckedFile],
+    dict[str, tuple[str, ...]],
+    dict[str, int],
+    tuple[str, ...],
+    int,
+]:
+    """Locate ``REQLOG_CONSUMED_EVENTS`` and ``REPORT_LATENCY_PHASES``.
+
+    Returns ``(file, consumed_fields, key_lines, report_phases,
+    report_line)``; the phase table is read from the same file as the
+    event table (the serve-report module declares both).
+    """
+    for checked in files:
+        consumed: dict[str, tuple[str, ...]] = {}
+        key_lines: dict[str, int] = {}
+        report_phases: tuple[str, ...] = ()
+        report_line = 0
+        found = False
+        for node in checked.tree.body:
+            name, value = _module_assign(node)
+            if name is None or value is None:
+                continue
+            if name == "REQLOG_CONSUMED_EVENTS" and isinstance(value, ast.Dict):
+                found = True
+                for key, val in zip(value.keys, value.values):
+                    event = _const_str(key) if key is not None else None
+                    if event is None:
+                        continue
+                    consumed[event] = _tuple_strings(val)
+                    key_lines[event] = (
+                        key.lineno if key is not None else node.lineno
+                    )
+            elif name == "REPORT_LATENCY_PHASES":
+                report_phases = _tuple_strings(value)
+                report_line = node.lineno
+        if found:
+            return checked, consumed, key_lines, report_phases, report_line
+    return None, {}, {}, (), 0
+
+
+def _collect_log_event_sites(files: Sequence[CheckedFile]) -> list[_EmitSite]:
+    """Every ``*.log_event(<event>, field=...)`` request-log emit site."""
+    sites: list[_EmitSite] = []
+    for checked in files:
+        for scope in scope_nodes(checked.tree):
+            for node in local_nodes(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "log_event"
+                ):
+                    continue
+                if len(node.args) != 1:
+                    continue
+                sites.append(
+                    _EmitSite(
+                        checked,
+                        node,
+                        events=_resolve_event_arg(node.args[0], scope),
+                        fields={
+                            kw.arg
+                            for kw in node.keywords
+                            if kw.arg is not None
+                        },
+                        has_star_kwargs=any(
+                            kw.arg is None for kw in node.keywords
+                        ),
+                    )
+                )
+    return sites
+
+
 def _find_store_schema(
     files: Sequence[CheckedFile],
 ) -> tuple[
@@ -477,6 +636,7 @@ class SchemaDriftRule(Rule):
     ) -> Iterable[Diagnostic]:
         files = [f for f in files if not f.mod.startswith("repro/check/")]
         yield from self._check_store(files)
+        yield from self._check_telemetry(files)
         schema_file, event_fields, key_lines, common = _find_schema(files)
         if schema_file is None:
             return  # nothing to check against (e.g. a fixture subset)
@@ -561,6 +721,156 @@ class SchemaDriftRule(Rule):
                 f"reads metric {name!r} which no MetricsRegistry "
                 "counter/gauge/histogram call site produces",
             )
+
+    def _check_telemetry(
+        self, files: Sequence[CheckedFile]
+    ) -> Iterable[Diagnostic]:
+        (
+            schema_file,
+            event_fields,
+            key_lines,
+            common,
+            phases,
+            phases_line,
+        ) = _find_telemetry_tables(files)
+        if schema_file is None:
+            return  # no request-log schema in this file set
+
+        emitted: set[str] = set()
+        any_unresolved = False
+        for site in _collect_log_event_sites(files):
+            if site.events is None:
+                any_unresolved = True
+                yield self.diagnostic(
+                    site.checked,
+                    site.node,
+                    "log_event() event name could not be resolved "
+                    "statically; use a string literal, a conditional over "
+                    "literals, or a single local assignment of those",
+                )
+                continue
+            emitted |= site.events
+            for event in sorted(site.events):
+                required = event_fields.get(event)
+                if required is None:
+                    yield self.diagnostic(
+                        site.checked,
+                        site.node,
+                        f"logs request event {event!r} which is not in the "
+                        "request-log schema (REQUEST_EVENT_FIELDS); add it "
+                        "to the schema or fix the name",
+                    )
+                    continue
+                for name in sorted(site.fields & set(common)):
+                    yield self.diagnostic(
+                        site.checked,
+                        site.node,
+                        f"log_event({event!r}) passes common field {name!r} "
+                        "as a keyword; RequestLog stamps it",
+                    )
+                if not site.has_star_kwargs:
+                    for name in sorted(set(required) - site.fields):
+                        yield self.diagnostic(
+                            site.checked,
+                            site.node,
+                            f"log_event({event!r}) is missing required "
+                            f"field {name!r} (schema: {required})",
+                        )
+
+        if not any_unresolved:
+            for event in sorted(set(event_fields) - emitted):
+                yield Diagnostic(
+                    path=schema_file.rel,
+                    line=key_lines.get(event, 0),
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"request-log schema event {event!r} is never "
+                        "logged by any log_event site; dead schema entries "
+                        "hide drift — remove it or emit it"
+                    ),
+                    severity=self.severity,
+                )
+
+        (
+            consumer_file,
+            consumed,
+            consumed_lines,
+            report_phases,
+            report_line,
+        ) = _find_reqlog_consumers(files)
+        if consumer_file is None:
+            return  # no serve-report in this file set
+
+        for event in sorted(consumed):
+            if event not in event_fields:
+                yield Diagnostic(
+                    path=consumer_file.rel,
+                    line=consumed_lines.get(event, 0),
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"REQLOG_CONSUMED_EVENTS entry {event!r} is not in "
+                        "the request-log schema (REQUEST_EVENT_FIELDS); "
+                        "nothing can ever produce it"
+                    ),
+                    severity=self.severity,
+                )
+            elif consumed[event] != event_fields[event]:
+                yield Diagnostic(
+                    path=consumer_file.rel,
+                    line=consumed_lines.get(event, 0),
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"REQLOG_CONSUMED_EVENTS[{event!r}] lists fields "
+                        f"{consumed[event]} but the schema requires "
+                        f"{event_fields[event]}"
+                    ),
+                    severity=self.severity,
+                )
+        for event in sorted(set(event_fields) - set(consumed)):
+            yield Diagnostic(
+                path=schema_file.rel,
+                line=key_lines.get(event, 0),
+                col=1,
+                rule=self.id,
+                message=(
+                    f"request-log schema event {event!r} is missing from "
+                    "REQLOG_CONSUMED_EVENTS; serve-report would silently "
+                    "drop it"
+                ),
+                severity=self.severity,
+            )
+
+        for phase in report_phases:
+            if phase not in phases:
+                yield Diagnostic(
+                    path=consumer_file.rel,
+                    line=report_line,
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"REPORT_LATENCY_PHASES entry {phase!r} is not in "
+                        "LATENCY_PHASES; no serve.latency gauge or phase "
+                        "span can ever carry it"
+                    ),
+                    severity=self.severity,
+                )
+        for phase in phases:
+            if phase not in report_phases:
+                yield Diagnostic(
+                    path=schema_file.rel,
+                    line=phases_line,
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"latency phase {phase!r} is missing from "
+                        "REPORT_LATENCY_PHASES; serve-report would never "
+                        "render its percentiles"
+                    ),
+                    severity=self.severity,
+                )
 
     def _check_store(
         self, files: Sequence[CheckedFile]

@@ -5,7 +5,9 @@ here — ``python -m repro bench`` (the performance ledger, see
 :mod:`repro.obs.bench`) and ``python -m repro trace-report FILE``
 (offline trace analytics, see :mod:`repro.obs.analyze`) — plus the
 serving layer (see :mod:`repro.serve`): ``python -m repro serve``,
-``... submit`` and ``... store {stats,gc}``, the static analyzer
+``... submit``, ``... store {stats,gc}`` and ``... loadgen`` /
+``... serve-report`` (load generation + request-log analytics, see
+:mod:`repro.serve.loadgen` / :mod:`repro.obs.servereport`), the static analyzer
 (see :mod:`repro.check`): ``python -m repro check [ROOT]``, and the
 columnar sweep store (see :mod:`repro.store`): ``python -m repro sweep``
 / ``python -m repro query``.
@@ -38,10 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment id (e.g. fig15, table2), 'list' / 'all', or a "
             "subcommand: 'bench' (performance ledger), "
-            "'trace-report FILE' (trace analytics), 'serve' (simulation "
+            "'trace-report FILE' (trace analytics), 'serve-report REQLOG' (serve telemetry analytics), 'serve' (simulation "
             "service), 'submit' (client round-trip), 'store' "
             "(result-store stats/gc), 'check' (static analysis), "
-            "'fastsim-calibrate' (fast-tier calibration), 'sweep' "
+            "'fastsim-calibrate' (fast-tier calibration), 'loadgen' (traffic-replay load generator), 'sweep' "
             "(out-of-core sweep into the columnar store), 'query' "
             "(filter/export stored sweeps)"
         ),
@@ -147,6 +149,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.obs.analyze import trace_report_main
 
         return trace_report_main(raw[1:])
+    if raw and raw[0] == "serve-report":
+        from repro.obs.servereport import serve_report_main
+
+        return serve_report_main(raw[1:])
+    if raw and raw[0] == "loadgen":
+        from repro.serve.loadgen import loadgen_main
+
+        return loadgen_main(raw[1:])
     if raw and raw[0] == "serve":
         from repro.serve.cli import serve_main
 

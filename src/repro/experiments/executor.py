@@ -260,6 +260,38 @@ class SimExecutor:
             completed = self._run_chunks(_run_chunk, chunks)
             return merge_indexed(completed, len(jobs))
 
+    def map_timed(
+        self, jobs: Sequence[PointJob]
+    ) -> tuple[list[float], list[float]]:
+        """Like :meth:`map`, plus a per-job wall-clock span list.
+
+        Spans are measured *inside* the worker around each ``job.run()``
+        (see :func:`repro.obs.telemetry.run_chunk_timed`), so the serve
+        layer's ``sim`` telemetry events report true simulation time for
+        each point even when the batch crossed the process-pool
+        boundary — not pool round-trip time.  Values come back in job
+        order like every other path; ``walls[i]`` pairs with
+        ``values[i]``.
+        """
+        # Lazy import: telemetry is the wall-clock layer, and this
+        # module stays inside the no-wallclock determinism scope.
+        from repro.obs.telemetry import run_chunk_timed
+
+        if not jobs:
+            return [], []
+        with maybe_span(
+            self.spans, "simulate", points=len(jobs), workers=self.jobs
+        ):
+            indexed = list(enumerate(jobs))
+            if not self.parallel or len(jobs) == 1:
+                completed = [run_chunk_timed(indexed)]
+            else:
+                completed = self._run_chunks(
+                    run_chunk_timed, self._chunks(indexed)
+                )
+            pairs = merge_indexed(completed, len(jobs))
+        return [value for value, _ in pairs], [wall for _, wall in pairs]
+
     def _map_instrumented(self, jobs: Sequence[PointJob]) -> list[float]:
         """Instrumented batch: collect per-job snapshots, merge in order.
 

@@ -25,6 +25,13 @@ And the analysis-and-ledger layer on top of it:
 * :mod:`repro.obs.chrometrace` — Chrome trace-event export (Perfetto).
 * :mod:`repro.obs.bench` — the ``BENCH_<seq>.json`` performance ledger
   behind ``repro bench``.
+* :mod:`repro.obs.telemetry` — serve-path request-lifecycle telemetry:
+  the versioned request log (trace IDs from HTTP ingress through the
+  process-pool boundary), exact latency percentiles, the bounded
+  on-disk metrics ring, and Prometheus text exposition.
+* :mod:`repro.obs.servereport` — offline request-log analytics
+  (per-phase percentiles, coalescing effectiveness, backpressure
+  episodes, bottleneck verdict); ``repro serve-report``.
 """
 
 from __future__ import annotations
@@ -41,6 +48,23 @@ from repro.obs.metrics import (
     log2_bucket,
 )
 from repro.obs.spans import SpanRecord, SpanRecorder, maybe_span, phase_table
+from repro.obs.telemetry import (
+    LATENCY_PHASES,
+    LATENCY_QUANTILES,
+    NULL_REQUEST_LOG,
+    REQLOG_SCHEMA_VERSION,
+    REQUEST_EVENT_FIELDS,
+    LatencyRecorder,
+    NullRequestLog,
+    RequestLog,
+    ServeTelemetry,
+    exact_percentile,
+    new_trace_id,
+    read_request_log,
+    render_prometheus,
+    validate_request_event,
+    wants_prometheus,
+)
 from repro.obs.trace import (
     EVENT_FIELDS,
     NULL_SINK,
@@ -61,22 +85,37 @@ __all__ = [
     "Histogram",
     "Instrumentation",
     "JsonlTraceSink",
+    "LATENCY_PHASES",
+    "LATENCY_QUANTILES",
+    "LatencyRecorder",
     "ListSink",
     "MetricsRegistry",
+    "NULL_REQUEST_LOG",
     "NULL_SINK",
+    "NullRequestLog",
     "NullSink",
+    "REQLOG_SCHEMA_VERSION",
+    "REQUEST_EVENT_FIELDS",
+    "RequestLog",
+    "ServeTelemetry",
     "SpanRecord",
     "SpanRecorder",
     "TRACE_SCHEMA_VERSION",
     "TraceFormatError",
     "TraceSink",
+    "exact_percentile",
     "format_metrics",
     "hist_stats",
     "log2_bucket",
     "maybe_span",
+    "new_trace_id",
     "phase_table",
     "read_jsonl",
+    "read_request_log",
+    "render_prometheus",
     "validate_event",
+    "validate_request_event",
+    "wants_prometheus",
 ]
 
 

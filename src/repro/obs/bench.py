@@ -35,6 +35,16 @@ records points/second plus peak RSS next to the peak RSS of a 1k-point
 reference sweep.  ``rss_ratio`` staying small (the CI streaming-smoke
 job pins it under 2x) is the evidence that sweep memory is bounded by
 the batch and segment sizes, not the grid.
+
+The ``serve_roundtrip`` workload guards the *service* path: it boots a
+full self-hosted server (HTTP stack, dedup, bounded queue, micro-batch
+dispatcher, 2-worker pool, result store) against a cold store and
+replays the three :mod:`repro.serve.loadgen` traffic mixes through it,
+recording per-mix throughput and exact p50/p95/p99 end-to-end latency.
+``sim_cycles`` is recomputed deterministically from the unique request
+fingerprints (cold store + dedup means each is simulated exactly once),
+so cycle drift still means the simulated machine changed, not the
+serving layer.
 """
 
 from __future__ import annotations
@@ -130,6 +140,7 @@ def _suite(quick: bool) -> list[tuple[str, int, Any]]:
         ("parallel_sweep", 2, sweep),
         ("fastsim_sweep", 1, sweep),
         ("sweep_throughput", 1, None),
+        ("serve_roundtrip", 2, None),
     ]
 
 
@@ -329,6 +340,84 @@ def _run_sweep_throughput(quick: bool) -> dict[str, Any]:
     }
 
 
+def _run_serve_roundtrip(quick: bool) -> dict[str, Any]:
+    """Round-trip the loadgen traffic mixes through a self-hosted server.
+
+    Timed once (like ``sweep_throughput``): per-request latency variance
+    amortises over the mixes, and re-running against a warm store would
+    measure the cache, not the service.  ``wall_s`` — the regression
+    gate's number — is the summed wall time of the three mixes.
+    """
+    import tempfile
+
+    from repro.fastsim import simulate_config
+    from repro.serve.loadgen import (
+        MIXES,
+        build_requests,
+        run_loadgen,
+        self_hosted_server,
+    )
+    from repro.serve.schema import parse_request
+
+    requests_per_mix, concurrency, k_steps = (
+        (16, 4, 2) if quick else (40, 8, 3)
+    )
+    with tempfile.TemporaryDirectory(prefix="servebench-") as tmp:
+        store = str(Path(tmp) / "store")
+        with self_hosted_server(store, jobs=2) as base_url:
+            stats = run_loadgen(
+                base_url,
+                mixes=MIXES,
+                requests_per_mix=requests_per_mix,
+                concurrency=concurrency,
+                k_steps=k_steps,
+                engine="fast",
+            )
+    errors = sum(mix["errors"] for mix in stats.values())
+    if errors:
+        first = next(
+            mix["first_error"] for mix in stats.values() if mix["errors"]
+        )
+        raise RuntimeError(
+            f"serve_roundtrip: {errors} request(s) failed ({first})"
+        )
+
+    # Deterministic cycle count: against a cold store with dedup, each
+    # unique request fingerprint is simulated exactly once.
+    unique: dict[str, Any] = {}
+    for mix in MIXES:
+        for body in build_requests(mix, requests_per_mix, k_steps, "fast"):
+            request = parse_request(body)
+            unique[request.fingerprint()] = request
+    sim_cycles = sim_runs = 0
+    for request in unique.values():
+        for job in request.jobs():
+            sim_cycles += simulate_config(
+                job.config, job.machine, job.engine
+            ).cycles
+            sim_runs += 1
+
+    wall = sum(mix["wall_s"] for mix in stats.values())
+    return {
+        "wall_s": round(wall, 6),
+        "jobs": 2,
+        "points": sim_runs,
+        "requests": sum(mix["requests"] for mix in stats.values()),
+        "mixes": {
+            name: {
+                key: mix[key]
+                for key in (
+                    "requests", "throughput_rps", "p50_ms", "p95_ms", "p99_ms"
+                )
+            }
+            for name, mix in stats.items()
+        },
+        "sim_cycles": sim_cycles,
+        "cycles_per_sec": round(sim_cycles / wall, 1) if wall else 0.0,
+        "counters": {"sim_cycles": sim_cycles, "sim_runs": sim_runs},
+    }
+
+
 def run_suite(
     quick: bool = False,
     repeats: int = 2,
@@ -341,6 +430,8 @@ def run_suite(
             result = _run_fastsim_workload(point_jobs, repeats)
         elif name == "sweep_throughput":
             result = _run_sweep_throughput(quick)
+        elif name == "serve_roundtrip":
+            result = _run_serve_roundtrip(quick)
         else:
             result = _run_workload(name, jobs, point_jobs, repeats)
         workloads[name] = result
@@ -354,6 +445,11 @@ def run_suite(
                     f"rss {result['peak_rss_mb']:.0f}MB "
                     f"({result['rss_ratio']:.2f}x vs "
                     f"{result['small_points']}-pt sweep)"
+                )
+            if "mixes" in result:
+                extra = ", " + "  ".join(
+                    f"{mix} p99 {record['p99_ms']:.0f}ms"
+                    for mix, record in result["mixes"].items()
                 )
             echo(
                 f"  {name}: {result['wall_s']:.3f}s wall, "

@@ -164,13 +164,17 @@ class TraceFormatError(ValueError):
         self.reason = reason
 
 
-def read_jsonl(path: str) -> Iterator[dict[str, Any]]:
+def read_jsonl(
+    path: str, expected_version: int = TRACE_SCHEMA_VERSION
+) -> Iterator[dict[str, Any]]:
     """Yield events from a JSONL trace file.
 
     Raises :class:`TraceFormatError` (a ``ValueError``) with the file
     and line number on unparseable lines — including the truncated last
     line a killed writer leaves behind — and on lines whose ``v``
-    schema-version stamp does not match :data:`TRACE_SCHEMA_VERSION`.
+    schema-version stamp does not match ``expected_version`` (the cycle
+    trace's :data:`TRACE_SCHEMA_VERSION` by default; other JSONL
+    schemas, like the serve request log, pass their own).
     """
     with open(path, encoding="utf-8") as handle:
         saw_newline = True
@@ -194,11 +198,11 @@ def read_jsonl(path: str) -> Iterator[dict[str, Any]]:
                     path, line_no, f"expected a JSON object, got {type(event).__name__}"
                 )
             version = event.get("v")
-            if version is not None and version != TRACE_SCHEMA_VERSION:
+            if version is not None and version != expected_version:
                 raise TraceFormatError(
                     path,
                     line_no,
                     f"trace schema version {version!r} is not the supported "
-                    f"version {TRACE_SCHEMA_VERSION}",
+                    f"version {expected_version}",
                 )
             yield event

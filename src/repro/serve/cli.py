@@ -52,6 +52,32 @@ def _serve_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE", default=None,
         help="JSONL event trace of every simulated cycle (forces serial)",
     )
+    parser.add_argument(
+        "--request-log", metavar="FILE", default=None,
+        help=(
+            "JSONL request-lifecycle log: trace IDs, per-phase spans, "
+            "worker-side simulation spans, HTTP access events "
+            "(analyse with 'repro serve-report')"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-ring", metavar="FILE", default=None,
+        help=(
+            "bounded on-disk ring of periodic serve.* metric snapshots "
+            "(queue depth, oldest-request age, counters)"
+        ),
+    )
+    parser.add_argument(
+        "--ring-capacity", type=int, default=4096, metavar="N",
+        help=(
+            "records per ring segment; disk holds at most 2 segments "
+            "(default: 4096)"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry-interval", type=float, default=1.0, metavar="SECONDS",
+        help="metrics-ring sampling cadence (default: 1.0)",
+    )
     return parser
 
 
@@ -64,11 +90,23 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
     sink = None
     service = None
     server = None
+    telemetry = None
     try:
         if args.trace:
             from repro.obs import JsonlTraceSink
 
             sink = JsonlTraceSink(args.trace)
+        if args.request_log or args.metrics_ring:
+            from repro.obs.telemetry import RequestLog, ServeTelemetry
+
+            telemetry = ServeTelemetry(
+                log=RequestLog(args.request_log) if args.request_log else None,
+                ring=(
+                    RequestLog(args.metrics_ring, ring_limit=args.ring_capacity)
+                    if args.metrics_ring
+                    else None
+                ),
+            )
         config = ServeConfig(
             host=args.host,
             port=args.port,
@@ -76,11 +114,14 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
             store_dir=args.store,
             queue_limit=args.queue_limit,
             batch_window_s=args.batch_window,
+            telemetry_interval_s=args.telemetry_interval,
         )
         executor = SimExecutor(
             jobs=args.jobs, trace_sink=sink, persistent=True
         )
-        service = SimService(config, executor=executor).start()
+        service = SimService(
+            config, executor=executor, telemetry=telemetry
+        ).start()
         server = make_server(service)
         host, port = server.server_address[:2]
         print(
@@ -132,6 +173,13 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
         if sink is not None:
             sink.close()
             print(f"trace: {sink.events_written} events -> {args.trace}")
+        if telemetry is not None:
+            telemetry.close()
+            if args.request_log:
+                print(
+                    f"request log: {telemetry.log.events_written} events "
+                    f"-> {args.request_log}"
+                )
 
 
 def _submit_parser() -> argparse.ArgumentParser:

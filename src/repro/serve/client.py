@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import contextlib
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -23,6 +24,15 @@ __all__ = [
     "JobFailed",
     "ServeClient",
 ]
+
+#: Poll backoff tuning for :meth:`ServeClient.run`: first wait, cap,
+#: growth factor, and the jitter band (each delay is scaled by a
+#: uniform draw from [JITTER_LOW, 1.0] so synchronized clients spread
+#: out instead of polling in lockstep).
+POLL_INITIAL_S = 0.02
+POLL_MAX_S = 1.0
+POLL_GROWTH = 2.0
+POLL_JITTER_LOW = 0.5
 
 
 class ClientError(RuntimeError):
@@ -53,9 +63,17 @@ class ServeClient:
         timeout: per-HTTP-call socket timeout in seconds.
     """
 
-    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Jitter source for poll backoff; injectable so tests get
+        #: deterministic delay sequences.
+        self.rng = rng if rng is not None else random.Random()
 
     # -- transport --------------------------------------------------------
 
@@ -123,12 +141,20 @@ class ServeClient:
         self,
         request: dict[str, Any],
         timeout: float = 120.0,
-        poll_interval: float = 0.05,
+        poll_interval: Optional[float] = None,
     ) -> dict[str, Any]:
         """Submit and block until the result payload is available.
 
-        Retries backpressured submits (honouring ``Retry-After``) and
-        polls the job until done, all within ``timeout`` seconds.
+        Retries backpressured submits (honouring ``Retry-After``,
+        fractional values included) and polls the job until done, all
+        within ``timeout`` seconds.  Polling backs off exponentially
+        with jitter — starting at ``poll_interval`` (default 20ms) and
+        doubling to a 1s cap — instead of hammering a fixed 50ms loop;
+        a long simulation costs the server O(log) status probes rather
+        than thousands.  Every sleep is clamped to the remaining
+        deadline, and :class:`TimeoutError` is raised *before* a sleep
+        that could not be answered in time, so ``run`` never blocks
+        past ``timeout``.
         """
         deadline = time.monotonic() + timeout
         while True:
@@ -143,6 +169,7 @@ class ServeClient:
                     ) from None
                 time.sleep(wait)
         key = ticket["job"]
+        delay = POLL_INITIAL_S if poll_interval is None else poll_interval
         while True:
             status = self.poll(key)["status"]
             if status == "done":
@@ -151,6 +178,12 @@ class ServeClient:
                 raise JobFailed(self.poll(key).get("error") or "job failed")
             if status == "unknown":
                 raise ClientError(404, f"job {key} disappeared")
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise TimeoutError(f"job {key} not done after {timeout}s")
-            time.sleep(poll_interval)
+            wait = min(
+                delay * self.rng.uniform(POLL_JITTER_LOW, 1.0),
+                deadline - now,
+            )
+            time.sleep(max(0.0, wait))
+            delay = min(delay * POLL_GROWTH, POLL_MAX_S)

@@ -18,26 +18,54 @@ a local/cluster-internal tool, not an internet-facing one.  Endpoints:
                                 ``500`` failed.
 ``GET /healthz``                → liveness + queue depth.
 ``GET /metrics``                → the service metrics snapshot
-                                (:class:`repro.obs.MetricsRegistry`).
+                                (:class:`repro.obs.MetricsRegistry`),
+                                JSON by default; Prometheus text
+                                exposition under ``Accept: text/plain``.
 ==============================  =======================================
 
 Result payloads come straight from the store, so every client of one
 key receives byte-identical JSON bodies.
+
+Every request is assigned a telemetry trace ID at ingress, echoed back
+in an ``X-Trace-Id`` response header (and in the submit body), and —
+when the service runs with a request log — recorded as a structured
+``access`` event with method, path, status and handling duration.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional
 
+from repro.obs.telemetry import new_trace_id, render_prometheus, wants_prometheus
 from repro.serve.schema import RequestError, parse_request
 from repro.serve.service import QueueFull, ServiceDraining, SimService
 
-__all__ = ["ServeHTTPServer", "make_server"]
+__all__ = ["ServeHTTPServer", "format_retry_after", "make_server"]
 
 #: Request bodies beyond this are rejected (a grid request is tiny).
 MAX_BODY_BYTES = 1 << 20
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def format_retry_after(retry_after_s: float) -> str:
+    """``Retry-After`` header value preserving fractional hints.
+
+    The header is specified as integer seconds, but sub-second
+    backpressure windows would round to ``0`` (retry immediately — a
+    stampede) or up to ``1`` (20x the intended wait for a 50ms hint),
+    so fractional values are sent as decimals; our client parses them,
+    and integer-second values render exactly as before (``3.0`` →
+    ``"3"``) for spec-strict intermediaries.
+    """
+    retry_after_s = max(0.0, retry_after_s)
+    if retry_after_s == int(retry_after_s):
+        return str(max(1, int(retry_after_s)))
+    return f"{retry_after_s:.6f}".rstrip("0").rstrip(".")
 
 
 class ServeHTTPServer(ThreadingHTTPServer):
@@ -57,7 +85,31 @@ class _Handler(BaseHTTPRequestHandler):
     # -- plumbing ---------------------------------------------------------
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        pass  # request logging would swamp test output; metrics cover it
+        """Route http.server's per-request line into the request log.
+
+        ``BaseHTTPRequestHandler`` calls this (via ``log_request``)
+        once per response; instead of printing to stderr — or the old
+        behaviour of discarding everything — emit a structured
+        ``access`` event carrying the trace ID, so the request log is
+        also the access log.  No-op unless ``--request-log`` is live.
+        """
+        log = self.server.service.telemetry.log
+        if not log.enabled:
+            return
+        log.log_event(
+            "access",
+            trace_id=getattr(self, "_trace_id", ""),
+            method=self.command or "",
+            path=self.path or "",
+            status=getattr(self, "_status", 0),
+            wall_s=round(time.perf_counter() - getattr(self, "_t0", time.perf_counter()), 6),
+        )
+
+    def _begin(self) -> None:
+        """Stamp per-request telemetry state at ingress."""
+        self._t0 = time.perf_counter()
+        self._trace_id = new_trace_id()
+        self._status = 0
 
     def _send_json(
         self,
@@ -66,13 +118,25 @@ class _Handler(BaseHTTPRequestHandler):
         headers: Optional[dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Trace-Id", getattr(self, "_trace_id", ""))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        raw = body.encode()
+        self._status = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(raw)))
+        self.send_header("X-Trace-Id", getattr(self, "_trace_id", ""))
+        self.end_headers()
+        self.wfile.write(raw)
 
     def _read_body(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
@@ -89,20 +153,21 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes -----------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._begin()
         if self.path != "/v1/submit":
             self._send_json(404, {"error": f"unknown path {self.path}"})
             return
         service = self.server.service
         try:
             request = parse_request(self._read_body())
-            job, outcome = service.submit(request)
+            job, outcome = service.submit(request, trace_id=self._trace_id)
         except RequestError as error:
             self._send_json(400, {"error": str(error)})
         except QueueFull as error:
             self._send_json(
                 429,
                 {"error": "queue full", "retry_after_s": error.retry_after_s},
-                headers={"Retry-After": str(max(1, int(error.retry_after_s)))},
+                headers={"Retry-After": format_retry_after(error.retry_after_s)},
             )
         except ServiceDraining as error:
             self._send_json(503, {"error": str(error)})
@@ -110,10 +175,16 @@ class _Handler(BaseHTTPRequestHandler):
             status = 200 if outcome == "cached" else 202
             self._send_json(
                 status,
-                {"job": job.key, "status": job.state, "outcome": outcome},
+                {
+                    "job": job.key,
+                    "status": job.state,
+                    "outcome": outcome,
+                    "trace": self._trace_id,
+                },
             )
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._begin()
         service = self.server.service
         if self.path == "/healthz":
             health = service.health()
@@ -121,7 +192,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(code, health)
             return
         if self.path == "/metrics":
-            self._send_json(200, service.metrics.snapshot())
+            snapshot = service.metrics_snapshot()
+            if wants_prometheus(self.headers.get("Accept")):
+                self._send_text(
+                    200, render_prometheus(snapshot), PROMETHEUS_CONTENT_TYPE
+                )
+            else:
+                self._send_json(200, snapshot)
             return
         if self.path.startswith("/v1/jobs/"):
             key = self.path[len("/v1/jobs/"):]

@@ -35,6 +35,7 @@ from typing import Any, Optional, Union
 from repro.experiments.executor import SimExecutor
 from repro.model.surface import machine_label
 from repro.obs import MetricsRegistry, log2_bucket
+from repro.obs.telemetry import ServeTelemetry, new_trace_id
 from repro.serve.schema import SERVE_SCHEMA_VERSION, SimRequest
 from repro.serve.store import ResultStore
 
@@ -81,6 +82,9 @@ class ServeConfig:
     max_batch_requests: int = 32
     #: Seconds :meth:`SimService.close` waits for in-flight work.
     drain_timeout_s: float = 60.0
+    #: Cadence of the telemetry sampler thread (queue depth,
+    #: oldest-request age, counters into the metrics ring).
+    telemetry_interval_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.queue_limit <= 0:
@@ -89,6 +93,8 @@ class ServeConfig:
             raise ValueError("max_batch_requests must be positive")
         if self.batch_window_s < 0 or self.retry_after_s < 0:
             raise ValueError("windows and delays must be non-negative")
+        if self.telemetry_interval_s <= 0:
+            raise ValueError("telemetry_interval_s must be positive")
 
 
 @dataclass
@@ -101,7 +107,18 @@ class Job:
     payload: Optional[dict[str, Any]] = None
     error: Optional[str] = None
     submitted_at: float = field(default_factory=time.monotonic)
+    #: Request-log trace IDs: the submitting request's first, dedup
+    #: joiners appended in arrival order.  Phase/complete telemetry is
+    #: attributed to the primary (first) ID.
+    trace_ids: list[str] = field(default_factory=list)
+    #: Stamped when the dispatcher drains the job from the queue.
+    dequeued_at: Optional[float] = None
     _event: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def trace_id(self) -> str:
+        """The primary trace ID ('' for untraced programmatic jobs)."""
+        return self.trace_ids[0] if self.trace_ids else ""
 
     def finish(self, payload: dict[str, Any]) -> None:
         self.payload = payload
@@ -129,6 +146,12 @@ class SimService:
             survives across micro-batches.
         metrics: registry for service-level metrics (created when
             omitted; rendered by ``/metrics``).
+        telemetry: request-lifecycle telemetry bundle (request log +
+            metrics ring + latency recorder).  The default records
+            latency percentiles in memory but writes nothing to disk;
+            pass a :class:`~repro.obs.telemetry.ServeTelemetry` with a
+            live log/ring (``repro serve --request-log/--metrics-ring``)
+            to persist the request stream.
 
     Call :meth:`start` before submitting and :meth:`close` when done
     (or use the service as a context manager).
@@ -140,6 +163,7 @@ class SimService:
         store: Optional[ResultStore] = None,
         executor: Optional[SimExecutor] = None,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry: Optional[ServeTelemetry] = None,
     ) -> None:
         self.config = config or ServeConfig()
         self.store = store or ResultStore(self.config.store_dir)
@@ -147,6 +171,7 @@ class SimService:
             jobs=self.config.jobs, persistent=True
         )
         self.metrics = metrics or MetricsRegistry()
+        self.telemetry = telemetry or ServeTelemetry()
         self.started_at = time.time()
         self._cv = threading.Condition()
         self._queue: deque[Job] = deque()
@@ -159,6 +184,8 @@ class SimService:
         self._draining = False
         self._stop = False
         self._thread: Optional[threading.Thread] = None
+        self._sampler: Optional[threading.Thread] = None
+        self._sampler_stop = threading.Event()
 
     # -- lifecycle --------------------------------------------------------
 
@@ -175,6 +202,13 @@ class SimService:
                 target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
             )
             self._thread.start()
+            if self.telemetry.ring is not None:
+                self._sampler = threading.Thread(
+                    target=self._sampler_loop,
+                    name="repro-serve-sampler",
+                    daemon=True,
+                )
+                self._sampler.start()
         return self
 
     def __enter__(self) -> SimService:
@@ -219,6 +253,12 @@ class SimService:
             self._stop = True
             self._cv.notify_all()
             thread = self._thread
+            sampler = self._sampler
+        self._sampler_stop.set()
+        if sampler is not None:
+            sampler.join(timeout=self.config.drain_timeout_s)
+            with self._cv:
+                self._sampler = None
         if thread is not None:
             thread.join(timeout=self.config.drain_timeout_s)
             with self._cv:
@@ -234,11 +274,14 @@ class SimService:
                 self._inflight.pop(job.key, None)
         self.store.flush()
         self.executor.close()
+        self.telemetry.close()
         return drained
 
     # -- submission -------------------------------------------------------
 
-    def submit(self, request: SimRequest) -> tuple[Job, str]:
+    def submit(
+        self, request: SimRequest, trace_id: Optional[str] = None
+    ) -> tuple[Job, str]:
         """Enqueue (or join, or short-circuit) one request.
 
         Returns ``(job, outcome)`` with outcome one of ``"accepted"``
@@ -246,40 +289,73 @@ class SimService:
         job) or ``"cached"`` (served from the result store — the job
         comes back already done).
 
+        ``trace_id`` identifies the request in the telemetry stream
+        (HTTP ingress passes the ID it minted and echoed to the
+        client); one is generated for programmatic submitters.  Dedup
+        joiners append their ID to the shared job's ``trace_ids``, so
+        worker-side simulation spans list every owning request.
+
         Raises:
             QueueFull: the bounded queue is at capacity.
             ServiceDraining: the service is shutting down.
         """
+        if trace_id is None:
+            trace_id = new_trace_id()
         key = request.fingerprint()
+        started = time.monotonic()
         self.metrics.counter("serve.requests").inc()
         with self._cv:
             twin = self._inflight.get(key)
             if twin is not None:
                 self.metrics.counter("serve.dedup_hits").inc()
+                twin.trace_ids.append(trace_id)
+                self._log_ingress(trace_id, key, "dedup")
                 return twin, "dedup"
         cached = self.store.get(key)
         if cached is not None:
             self.metrics.counter("serve.cache_hits").inc()
             job = Job(key=key, request=request)
+            job.trace_ids.append(trace_id)
             job.finish(cached)
+            wall = time.monotonic() - started
+            self.telemetry.latency.record("e2e", wall)
+            self._log_ingress(trace_id, key, "cached")
+            self.telemetry.log.log_event(
+                "complete",
+                trace_id=trace_id,
+                key=key,
+                status="cached",
+                wall_s=round(wall, 6),
+            )
             return job, "cached"
         with self._cv:
             # Re-check under the lock: the store probe dropped it.
             twin = self._inflight.get(key)
             if twin is not None:
                 self.metrics.counter("serve.dedup_hits").inc()
+                twin.trace_ids.append(trace_id)
+                self._log_ingress(trace_id, key, "dedup")
                 return twin, "dedup"
             if self._draining or self._stop:
+                self._log_ingress(trace_id, key, "draining")
                 raise ServiceDraining("service is draining")
             if len(self._queue) >= self.config.queue_limit:
                 self.metrics.counter("serve.rejected").inc()
+                self._log_ingress(trace_id, key, "rejected")
                 raise QueueFull(self.config.retry_after_s)
             job = Job(key=key, request=request)
+            job.trace_ids.append(trace_id)
             self._inflight[key] = job
             self._queue.append(job)
             self.metrics.gauge("serve.queue_depth").set(len(self._queue))
             self._cv.notify_all()
+        self._log_ingress(trace_id, key, "accepted")
         return job, "accepted"
+
+    def _log_ingress(self, trace_id: str, key: str, outcome: str) -> None:
+        self.telemetry.log.log_event(
+            "ingress", trace_id=trace_id, key=key, outcome=outcome
+        )
 
     def status(self, key: str) -> dict[str, Any]:
         """Poll view of one job key (in-flight, done-on-disk or unknown)."""
@@ -294,6 +370,17 @@ class SimService:
     def result(self, key: str) -> Optional[dict[str, Any]]:
         """The stored payload for a completed key, else ``None``."""
         return self.store.get(key)
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The metrics snapshot with latency-percentile gauges current.
+
+        The envelope is exactly :meth:`MetricsRegistry.snapshot` — the
+        JSON ``/metrics`` contract existing consumers parse — with the
+        ``serve.latency.<phase>.<p50|p95|p99>_ms`` gauges refreshed
+        from the recorder immediately before the snapshot is taken.
+        """
+        self.telemetry.latency.update_gauges(self.metrics)
+        return self.metrics.snapshot()
 
     def health(self) -> dict[str, Any]:
         with self._cv:
@@ -332,9 +419,11 @@ class SimService:
         if limit is None:
             limit = self.config.max_batch_requests
         batch: list[Job] = []
+        now = time.monotonic()
         while self._queue and len(batch) < limit:
             job = self._queue.popleft()
             job.state = "running"
+            job.dequeued_at = now
             batch.append(job)
         self._active += len(batch)
         self.metrics.gauge("serve.queue_depth").set(len(self._queue))
@@ -349,8 +438,18 @@ class SimService:
                 self._run_group(jobs)
             except Exception as error:  # noqa: BLE001 - service must survive
                 self.metrics.counter("serve.failures").inc(len(jobs))
+                now = time.monotonic()
                 for job in jobs:
                     job.fail(f"{type(error).__name__}: {error}")
+                    wall = max(0.0, now - job.submitted_at)
+                    self.telemetry.latency.record("e2e", wall)
+                    self.telemetry.log.log_event(
+                        "complete",
+                        trace_id=job.trace_id,
+                        key=job.key,
+                        status="failed",
+                        wall_s=round(wall, 6),
+                    )
             finally:
                 with self._cv:
                     for job in jobs:
@@ -381,17 +480,106 @@ class SimService:
         self.metrics.histogram("serve.batch_width", log2_bucket).record(
             len(point_jobs)
         )
-        values = self.executor.map(point_jobs)
-        self.metrics.counter("serve.simulated_points").inc(len(point_jobs))
-        label = machine_label(template.machine())
-        now = time.monotonic()
+        sim_start = time.monotonic()
         for job in jobs:
+            trace = job.trace_id
+            dequeued = job.dequeued_at if job.dequeued_at is not None else sim_start
+            self.telemetry.record_phase(
+                trace, "queue_wait", dequeued - job.submitted_at
+            )
+            # batch_form covers dequeue-to-simulation: batch-window
+            # linger plus group assembly.
+            self.telemetry.record_phase(trace, "batch_form", sim_start - dequeued)
+        timed = hasattr(self.executor, "map_timed") and not getattr(
+            self.executor, "instrumented", False
+        )
+        if timed:
+            values, walls = self.executor.map_timed(point_jobs)
+            map_wall = time.monotonic() - sim_start
+        else:
+            # Instrumented executors keep their own per-job metric
+            # merging (and test fakes may only implement map); fall
+            # back to plain map and attribute the batch wall evenly.
+            values = self.executor.map(point_jobs)
+            map_wall = time.monotonic() - sim_start
+            walls = [map_wall / len(point_jobs)] * len(point_jobs)
+        self.metrics.counter("serve.simulated_points").inc(len(point_jobs))
+        for job in jobs:
+            self.telemetry.record_phase(job.trace_id, "simulate", map_wall)
+        if self.telemetry.log.enabled:
+            # Worker-side spans, joined back to the requests that own
+            # each point — the record that trace IDs survived the
+            # process-pool boundary.
+            owners = {
+                point: [
+                    trace
+                    for j in jobs
+                    if point in j.request.points
+                    for trace in j.trace_ids
+                ]
+                for point in order
+            }
+            for point, index in order.items():
+                self.telemetry.log.log_event(
+                    "sim",
+                    trace_ids=owners[point],
+                    point=list(point),
+                    wall_s=round(walls[index], 6),
+                    engine=template.engine,
+                )
+        label = machine_label(template.machine())
+        for job in jobs:
+            write_start = time.monotonic()
             payload = self._payload(job.request, job.key, order, values, label)
             self.store.put(job.key, payload)
+            now = time.monotonic()
+            self.telemetry.record_phase(
+                job.trace_id, "store_write", now - write_start
+            )
             self.metrics.histogram("serve.latency_ms", log2_bucket).record(
                 max(0, int((now - job.submitted_at) * 1000))
             )
+            wall = max(0.0, now - job.submitted_at)
+            self.telemetry.latency.record("e2e", wall)
+            self.telemetry.log.log_event(
+                "complete",
+                trace_id=job.trace_id,
+                key=job.key,
+                status="done",
+                wall_s=round(wall, 6),
+            )
             job.finish(payload)
+
+    # -- telemetry sampler ------------------------------------------------
+
+    def _sampler_loop(self) -> None:
+        """Snapshot queue state into the metrics ring on a fixed cadence."""
+        while not self._sampler_stop.wait(self.config.telemetry_interval_s):
+            self._sample_once()
+        # One final sample on shutdown so the ring's last record
+        # reflects the drained state.
+        self._sample_once()
+
+    def _sample_once(self) -> None:
+        ring = self.telemetry.ring
+        if ring is None:
+            return
+        now = time.monotonic()
+        with self._cv:
+            queue_depth = len(self._queue)
+            active = self._active
+            oldest = min(
+                (job.submitted_at for job in self._queue), default=None
+            )
+        oldest_age_s = round(now - oldest, 6) if oldest is not None else 0.0
+        self.metrics.gauge("serve.oldest_request_age_s").set(oldest_age_s)
+        ring.log_event(
+            "snapshot",
+            queue_depth=queue_depth,
+            active=active,
+            oldest_age_s=oldest_age_s,
+            counters=self.metrics.snapshot()["counters"],
+        )
 
     @staticmethod
     def _payload(

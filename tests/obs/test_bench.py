@@ -301,6 +301,7 @@ class TestRealSuiteSmoke:
             "parallel_sweep",
             "fastsim_sweep",
             "sweep_throughput",
+            "serve_roundtrip",
         }
         for workload in workloads.values():
             assert workload["wall_s"] > 0
@@ -314,3 +315,9 @@ class TestRealSuiteSmoke:
         assert sweep["points"] > sweep["small_points"]
         assert sweep["points_per_sec"] > 0
         assert sweep["rss_ratio"] <= 2.0
+        serve = workloads["serve_roundtrip"]
+        assert set(serve["mixes"]) == {"hot", "scan", "cold"}
+        for stats in serve["mixes"].values():
+            assert stats["requests"] > 0
+            assert stats["throughput_rps"] > 0
+            assert stats["p50_ms"] <= stats["p95_ms"] <= stats["p99_ms"]

@@ -1,0 +1,334 @@
+"""Request-log telemetry units: schema, ring, percentiles, Prometheus."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, log2_bucket
+from repro.obs.telemetry import (
+    LATENCY_PHASES,
+    LATENCY_QUANTILES,
+    NULL_REQUEST_LOG,
+    REQLOG_SCHEMA_VERSION,
+    REQUEST_EVENT_FIELDS,
+    LatencyRecorder,
+    NullRequestLog,
+    RequestLog,
+    ServeTelemetry,
+    exact_percentile,
+    new_trace_id,
+    read_request_log,
+    render_prometheus,
+    validate_request_event,
+    wants_prometheus,
+)
+from repro.obs.trace import TraceFormatError
+
+
+def make_event(kind="ingress", **overrides):
+    base = {
+        "ingress": {"trace_id": "t1", "key": "k1", "outcome": "accepted"},
+        "phase": {"trace_id": "t1", "phase": "queue_wait", "wall_s": 0.1},
+        "sim": {"trace_ids": ["t1"], "point": [0.1, 0.2], "wall_s": 0.1,
+                "engine": "fast"},
+        "complete": {"trace_id": "t1", "key": "k1", "status": "done",
+                     "wall_s": 0.2},
+        "access": {"trace_id": "t1", "method": "POST", "path": "/v1/submit",
+                   "status": 202, "wall_s": 0.01},
+        "snapshot": {"queue_depth": 0, "active": 0, "oldest_age_s": 0.0,
+                     "counters": {}},
+    }[kind]
+    event = {"ts": 1.5, "event": kind, **base}
+    event.update(overrides)
+    return event
+
+
+class TestValidateRequestEvent:
+    @pytest.mark.parametrize("kind", sorted(REQUEST_EVENT_FIELDS))
+    def test_every_event_type_validates(self, kind):
+        validate_request_event(make_event(kind))
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown request-log event"):
+            validate_request_event({"ts": 1.0, "event": "nope"})
+
+    def test_missing_common_field_rejected(self):
+        event = make_event()
+        del event["ts"]
+        with pytest.raises(ValueError, match="common field 'ts'"):
+            validate_request_event(event)
+
+    def test_missing_required_field_rejected(self):
+        event = make_event("ingress")
+        del event["outcome"]
+        with pytest.raises(ValueError, match="'outcome'"):
+            validate_request_event(event)
+
+    @pytest.mark.parametrize("ts", [-1.0, True, "now", None])
+    def test_bad_ts_rejected(self, ts):
+        with pytest.raises(ValueError, match="ts"):
+            validate_request_event(make_event(ts=ts))
+
+
+class TestNewTraceId:
+    def test_shape_and_uniqueness(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(t) == 16 and int(t, 16) >= 0 for t in ids)
+
+
+class TestRequestLog:
+    def test_round_trip_through_reader(self, tmp_path):
+        path = tmp_path / "req.jsonl"
+        with RequestLog(path) as log:
+            log.log_event("ingress", trace_id="t1", key="k", outcome="accepted")
+            log.log_event("complete", trace_id="t1", key="k", status="done",
+                          wall_s=0.25)
+        events = list(read_request_log(str(path)))
+        assert [e["event"] for e in events] == ["ingress", "complete"]
+        for event in events:
+            validate_request_event(event)
+            assert event["v"] == REQLOG_SCHEMA_VERSION
+        assert log.events_written == 2
+
+    def test_lines_are_compact_json(self, tmp_path):
+        path = tmp_path / "req.jsonl"
+        with RequestLog(path) as log:
+            log.log_event("ingress", trace_id="t", key="k", outcome="dedup")
+        raw = path.read_text().strip()
+        assert json.loads(raw)["outcome"] == "dedup"
+        assert ": " not in raw and ", " not in raw
+
+    def test_wrong_schema_version_rejected_by_reader(self, tmp_path):
+        path = tmp_path / "req.jsonl"
+        record = dict(make_event(), v=REQLOG_SCHEMA_VERSION + 1)
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(TraceFormatError, match="version"):
+            list(read_request_log(str(path)))
+
+    def test_log_after_close_is_a_noop(self, tmp_path):
+        log = RequestLog(tmp_path / "req.jsonl")
+        log.log_event("ingress", trace_id="t", key="k", outcome="accepted")
+        log.close()
+        log.log_event("ingress", trace_id="t2", key="k", outcome="accepted")
+        assert log.events_written == 1
+
+    def test_concurrent_writers_never_interleave_lines(self, tmp_path):
+        path = tmp_path / "req.jsonl"
+        with RequestLog(path) as log:
+            def spam(worker):
+                for i in range(50):
+                    log.log_event(
+                        "ingress",
+                        trace_id=f"w{worker}-{i}", key="k", outcome="accepted",
+                    )
+            threads = [
+                threading.Thread(target=spam, args=(w,)) for w in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        events = list(read_request_log(str(path)))
+        assert len(events) == 200
+        for event in events:
+            validate_request_event(event)
+
+
+class TestRingRotation:
+    def test_disk_bounded_at_two_segments(self, tmp_path):
+        path = tmp_path / "ring.jsonl"
+        with RequestLog(path, ring_limit=3) as ring:
+            for i in range(8):
+                ring.log_event(
+                    "snapshot", queue_depth=i, active=0, oldest_age_s=0.0,
+                    counters={},
+                )
+        assert os.path.exists(ring.rotated_path)
+        events = list(read_request_log(str(path)))
+        # 8 writes, limit 3: rotations at 3 and 6; .old holds [3,6),
+        # the live segment holds [6,8) — never more than 2*limit.
+        assert [e["queue_depth"] for e in events] == [3, 4, 5, 6, 7]
+        assert len(events) <= 2 * 3
+        assert ring.events_written == 8
+
+    def test_reader_without_rotation_sees_everything(self, tmp_path):
+        path = tmp_path / "ring.jsonl"
+        with RequestLog(path, ring_limit=100) as ring:
+            for i in range(5):
+                ring.log_event(
+                    "snapshot", queue_depth=i, active=0, oldest_age_s=0.0,
+                    counters={},
+                )
+        assert not os.path.exists(ring.rotated_path)
+        assert len(list(read_request_log(str(path)))) == 5
+
+    def test_non_positive_ring_limit_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="ring_limit"):
+            RequestLog(tmp_path / "r.jsonl", ring_limit=0)
+
+
+class TestNullRequestLog:
+    def test_disabled_and_silent(self, tmp_path):
+        null = NullRequestLog()
+        assert not null.enabled
+        null.log_event("ingress", trace_id="t", key="k", outcome="accepted")
+        null.flush()
+        null.close()
+        assert null.events_written == 0
+        assert NULL_REQUEST_LOG is not null  # singleton is its own object
+        assert not NULL_REQUEST_LOG.enabled
+
+
+class TestExactPercentile:
+    def test_empty_is_none(self):
+        assert exact_percentile([], 0.5) is None
+
+    def test_single_sample_is_every_percentile(self):
+        for q in (0.01, 0.5, 0.99, 1.0):
+            assert exact_percentile([7.0], q) == 7.0
+
+    def test_nearest_rank_on_known_set(self):
+        samples = list(range(1, 101))  # 1..100
+        assert exact_percentile(samples, 0.50) == 50
+        assert exact_percentile(samples, 0.95) == 95
+        assert exact_percentile(samples, 0.99) == 99
+        assert exact_percentile(samples, 1.00) == 100
+
+    def test_unsorted_input_is_sorted_internally(self):
+        assert exact_percentile([30.0, 10.0, 20.0], 0.5) == 20.0
+
+    @pytest.mark.parametrize("q", [0.0, -0.5, 1.5])
+    def test_out_of_range_quantile_rejected(self, q):
+        with pytest.raises(ValueError, match="quantile"):
+            exact_percentile([1.0], q)
+
+
+class TestLatencyRecorder:
+    def test_percentiles_in_milliseconds(self):
+        recorder = LatencyRecorder()
+        for wall in (0.010, 0.020, 0.100):
+            recorder.record("e2e", wall)
+        pcts = recorder.percentiles("e2e")
+        assert pcts == {"p50": 20.0, "p95": 100.0, "p99": 100.0}
+        assert set(pcts) == set(LATENCY_QUANTILES)
+
+    def test_empty_phase_is_none_and_absent_from_snapshot(self):
+        recorder = LatencyRecorder()
+        recorder.record("e2e", 0.5)
+        assert recorder.percentiles("simulate") is None
+        assert set(recorder.snapshot()) == {"e2e"}
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError, match="unknown latency phase"):
+            LatencyRecorder().record("warp_drive", 1.0)
+
+    def test_retention_is_bounded(self):
+        recorder = LatencyRecorder(max_samples=4)
+        for wall in (1.0, 1.0, 1.0, 1.0, 0.002, 0.002, 0.002, 0.002):
+            recorder.record("e2e", wall)
+        assert recorder.count("e2e") == 4
+        # Only the most recent window survives: the old 1s outliers left.
+        assert recorder.percentiles("e2e")["p99"] == 2.0
+
+    def test_update_gauges_names_follow_the_contract(self):
+        recorder = LatencyRecorder()
+        recorder.record("queue_wait", 0.004)
+        recorder.record("e2e", 0.016)
+        metrics = MetricsRegistry()
+        recorder.update_gauges(metrics)
+        gauges = metrics.snapshot()["gauges"]
+        assert set(gauges) == {
+            f"serve.latency.{phase}.{q}_ms"
+            for phase in ("queue_wait", "e2e")
+            for q in LATENCY_QUANTILES
+        }
+        assert gauges["serve.latency.e2e.p50_ms"] == 16.0
+
+    def test_every_contract_phase_is_recordable(self):
+        recorder = LatencyRecorder()
+        for phase in LATENCY_PHASES:
+            recorder.record(phase, 0.001)
+            assert recorder.count(phase) == 1
+
+
+class TestServeTelemetry:
+    def test_default_bundle_is_off_but_records_latency(self):
+        telemetry = ServeTelemetry()
+        assert not telemetry.enabled
+        telemetry.record_phase("t1", "e2e", 0.05)
+        assert telemetry.latency.count("e2e") == 1
+
+    def test_record_phase_clamps_negative_walls(self, tmp_path):
+        with ServeTelemetry(log=RequestLog(tmp_path / "r.jsonl")) as telemetry:
+            assert telemetry.enabled
+            telemetry.record_phase("t1", "e2e", -0.5)
+        (event,) = read_request_log(str(tmp_path / "r.jsonl"))
+        assert event["wall_s"] == 0.0
+
+    def test_close_closes_log_and_ring(self, tmp_path):
+        log = RequestLog(tmp_path / "log.jsonl")
+        ring = RequestLog(tmp_path / "ring.jsonl", ring_limit=8)
+        ServeTelemetry(log=log, ring=ring).close()
+        log.log_event("ingress", trace_id="t", key="k", outcome="accepted")
+        assert log.events_written == 0
+
+
+class TestPrometheusExposition:
+    def snapshot(self):
+        metrics = MetricsRegistry()
+        metrics.counter("serve.requests").inc(3)
+        metrics.gauge("serve.queue_depth").set(2)
+        hist = metrics.histogram("serve.latency_ms", log2_bucket)
+        for value in (1, 3, 200):
+            hist.record(value)
+        return metrics.snapshot()
+
+    def test_counters_gauges_and_histograms_render(self):
+        text = render_prometheus(self.snapshot())
+        assert "# TYPE serve_requests counter\nserve_requests 3" in text
+        assert "# TYPE serve_queue_depth gauge\nserve_queue_depth 2" in text
+        assert "# TYPE serve_latency_ms histogram" in text
+        assert 'serve_latency_ms_bucket{le="+Inf"} 3' in text
+        assert "serve_latency_ms_count 3" in text
+        assert text.endswith("\n")
+
+    def test_bucket_counts_are_cumulative(self):
+        text = render_prometheus(self.snapshot())
+        buckets = [
+            line for line in text.splitlines()
+            if line.startswith("serve_latency_ms_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_names_are_sanitized(self):
+        metrics = MetricsRegistry()
+        metrics.counter("serve.latency.e2e.p99_ms").inc()
+        text = render_prometheus(metrics.snapshot())
+        assert "serve_latency_e2e_p99_ms 1" in text
+        bad = [
+            line.split(" ")[0] for line in text.splitlines()
+            if not line.startswith("#")
+        ]
+        assert all("." not in name for name in bad)
+
+    def test_empty_snapshot_renders_empty_document(self):
+        assert render_prometheus({}) == "\n"
+
+
+class TestContentNegotiation:
+    @pytest.mark.parametrize("accept,expected", [
+        (None, False),
+        ("", False),
+        ("application/json", False),
+        ("*/*", False),
+        ("text/plain", True),
+        ("text/plain; version=0.0.4", True),
+        ("application/json, text/plain", True),
+    ])
+    def test_wants_prometheus(self, accept, expected):
+        assert wants_prometheus(accept) is expected

@@ -1,0 +1,227 @@
+"""Client backpressure/backoff behaviour, with a fake clock throughout.
+
+No sockets and no real sleeping: ``_call`` is stubbed per scenario and
+``repro.serve.client.time`` is replaced by a fake whose ``sleep``
+advances a virtual clock, so the backoff schedule itself is asserted.
+"""
+
+import io
+import json
+import urllib.error
+
+import pytest
+
+from repro.serve import client as client_mod
+from repro.serve.client import (
+    POLL_GROWTH,
+    POLL_INITIAL_S,
+    POLL_JITTER_LOW,
+    POLL_MAX_S,
+    Backpressure,
+    ClientError,
+    JobFailed,
+    ServeClient,
+)
+
+
+class FakeTime:
+    """Virtual clock: ``sleep`` advances ``monotonic`` and records."""
+
+    def __init__(self):
+        self.now = 1000.0
+        self.sleeps = []
+
+    def monotonic(self):
+        return self.now
+
+    def sleep(self, seconds):
+        assert seconds >= 0
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class MaxJitter:
+    """An rng whose uniform draw always lands on the band's top."""
+
+    def uniform(self, low, high):
+        assert low == POLL_JITTER_LOW and high == 1.0
+        return high
+
+
+class FixedJitter:
+    def __init__(self, value):
+        self.value = value
+
+    def uniform(self, low, high):
+        return self.value
+
+
+@pytest.fixture
+def clock(monkeypatch):
+    fake = FakeTime()
+    monkeypatch.setattr(client_mod, "time", fake)
+    return fake
+
+
+def scripted_client(script, clock, rng=None):
+    """A client whose ``_call`` pops canned responses/exceptions.
+
+    ``script`` maps ``(method, path_prefix)`` to a list; exceptions are
+    raised, everything else returned.  Lists stick on their last entry.
+    """
+    client = ServeClient("http://test", rng=rng or MaxJitter())
+    calls = []
+
+    def _call(method, path, body=None):
+        calls.append((method, path, clock.now))
+        for (m, prefix), responses in script.items():
+            if method == m and path.startswith(prefix):
+                response = responses.pop(0) if len(responses) > 1 else responses[0]
+                if isinstance(response, Exception):
+                    raise response
+                return response
+        raise AssertionError(f"unexpected call {method} {path}")
+
+    client._call = _call
+    client.calls = calls
+    return client
+
+
+class TestSubmitBackpressure:
+    def test_retry_after_is_honoured_including_fractions(self, clock):
+        client = scripted_client({
+            ("POST", "/v1/submit"): [
+                Backpressure(0.25), Backpressure(0.25), {"job": "k"},
+            ],
+            ("GET", "/v1/jobs/"): [{"status": "done"}],
+            ("GET", "/v1/result/"): [{"values": [1.0]}],
+        }, clock)
+        assert client.run({"r": 1}, timeout=60) == {"values": [1.0]}
+        # The two backpressured submits slept exactly the server's hint.
+        assert clock.sleeps[:2] == [0.25, 0.25]
+
+    def test_backpressured_submit_times_out_cleanly(self, clock):
+        client = scripted_client(
+            {("POST", "/v1/submit"): [Backpressure(10.0)]}, clock
+        )
+        with pytest.raises(TimeoutError, match="still backpressured"):
+            client.run({"r": 1}, timeout=1.0)
+        # The wait was clamped to the deadline, never the full 10s hint.
+        assert sum(clock.sleeps) <= 1.0
+        assert clock.now - 1000.0 <= 1.0 + 1e-9
+
+    def test_draining_503_surfaces_backpressure(self, monkeypatch):
+        def exploding_urlopen(request, timeout):
+            payload = io.BytesIO(
+                json.dumps({"error": "draining", "retry_after_s": 1.0}).encode()
+            )
+            raise urllib.error.HTTPError(
+                request.full_url, 503, "Service Unavailable", {}, payload
+            )
+
+        monkeypatch.setattr(
+            client_mod.urllib.request, "urlopen", exploding_urlopen
+        )
+        with pytest.raises(Backpressure):
+            ServeClient("http://test").submit({"r": 1})
+
+
+class TestPollBackoff:
+    def pending_then_done(self, clock, n_pending, rng=None, timeout=120.0):
+        client = scripted_client({
+            ("GET", "/v1/jobs/"): (
+                [{"status": "pending"}] * n_pending + [{"status": "done"}]
+            ),
+            ("POST", "/v1/submit"): [{"job": "k"}],
+            ("GET", "/v1/result/"): [{"ok": True}],
+        }, clock, rng=rng)
+        return client.run({"r": 1}, timeout=timeout)
+
+    def test_delays_grow_exponentially_to_the_cap(self, clock):
+        self.pending_then_done(clock, n_pending=10)
+        expected, delay = [], POLL_INITIAL_S
+        for _ in range(10):
+            expected.append(delay)
+            delay = min(delay * POLL_GROWTH, POLL_MAX_S)
+        assert clock.sleeps == pytest.approx(expected)
+        assert max(clock.sleeps) == POLL_MAX_S
+
+    def test_jitter_scales_within_the_band(self, clock):
+        self.pending_then_done(
+            clock, n_pending=3, rng=FixedJitter(POLL_JITTER_LOW)
+        )
+        expected = [
+            POLL_INITIAL_S * POLL_JITTER_LOW,
+            POLL_INITIAL_S * POLL_GROWTH * POLL_JITTER_LOW,
+            POLL_INITIAL_S * POLL_GROWTH**2 * POLL_JITTER_LOW,
+        ]
+        assert clock.sleeps == pytest.approx(expected)
+
+    def test_default_rng_jitter_stays_in_band(self, clock):
+        client = scripted_client({
+            ("GET", "/v1/jobs/"): [{"status": "pending"}] * 6 + [{"status": "done"}],
+            ("POST", "/v1/submit"): [{"job": "k"}],
+            ("GET", "/v1/result/"): [{"ok": True}],
+        }, clock, rng=ServeClient("http://x").rng)
+        client.run({"r": 1}, timeout=120)
+        delay = POLL_INITIAL_S
+        for slept in clock.sleeps:
+            assert POLL_JITTER_LOW * delay - 1e-12 <= slept <= delay + 1e-12
+            delay = min(delay * POLL_GROWTH, POLL_MAX_S)
+
+    def test_never_polls_or_sleeps_past_the_deadline(self, clock):
+        client = scripted_client({
+            ("GET", "/v1/jobs/"): [{"status": "pending"}],
+            ("POST", "/v1/submit"): [{"job": "k"}],
+        }, clock)
+        with pytest.raises(TimeoutError, match="not done after"):
+            client.run({"r": 1}, timeout=2.0)
+        assert clock.now - 1000.0 <= 2.0 + 1e-9
+        # Every status probe happened strictly before the deadline.
+        polls = [t for m, p, t in client.calls if p.startswith("/v1/jobs/")]
+        assert all(t <= 1000.0 + 2.0 for t in polls)
+
+    def test_timeout_raised_before_a_sleep_that_cannot_complete(self, clock):
+        client = scripted_client({
+            ("GET", "/v1/jobs/"): [{"status": "pending"}],
+            ("POST", "/v1/submit"): [{"job": "k"}],
+        }, clock)
+        with pytest.raises(TimeoutError):
+            client.run({"r": 1}, timeout=0.5)
+        # The final wake-up found the deadline passed and raised instead
+        # of sleeping again: total virtual time never exceeds timeout.
+        assert sum(clock.sleeps) <= 0.5 + 1e-9
+
+    def test_explicit_poll_interval_seeds_the_backoff(self, clock):
+        self.pending_then_done(clock, n_pending=2)
+        first_default = clock.sleeps[0]
+        clock.sleeps = []
+        client = scripted_client({
+            ("GET", "/v1/jobs/"): [{"status": "pending"}] * 2 + [{"status": "done"}],
+            ("POST", "/v1/submit"): [{"job": "k"}],
+            ("GET", "/v1/result/"): [{"ok": True}],
+        }, clock)
+        client.run({"r": 1}, timeout=60, poll_interval=0.2)
+        assert first_default == pytest.approx(POLL_INITIAL_S)
+        assert clock.sleeps[0] == pytest.approx(0.2)
+        assert clock.sleeps[1] == pytest.approx(0.4)
+
+
+class TestTerminalStates:
+    def test_failed_job_raises_job_failed(self, clock):
+        client = scripted_client({
+            ("POST", "/v1/submit"): [{"job": "k"}],
+            ("GET", "/v1/jobs/"): [
+                {"status": "failed", "error": "boom"},
+            ],
+        }, clock)
+        with pytest.raises(JobFailed, match="boom"):
+            client.run({"r": 1}, timeout=10)
+
+    def test_vanished_job_raises_client_error(self, clock):
+        client = scripted_client({
+            ("POST", "/v1/submit"): [{"job": "k"}],
+            ("GET", "/v1/jobs/"): [{"status": "unknown"}],
+        }, clock)
+        with pytest.raises(ClientError, match="disappeared"):
+            client.run({"r": 1}, timeout=10)
