@@ -45,7 +45,8 @@ def build_parser() -> argparse.ArgumentParser:
             "(result-store stats/gc), 'check' (static analysis), "
             "'fastsim-calibrate' (fast-tier calibration), 'loadgen' (traffic-replay load generator), 'sweep' "
             "(out-of-core sweep into the columnar store), 'query' "
-            "(filter/export stored sweeps)"
+            "(filter/export stored sweeps), 'compare' (SAVE vs. rival "
+            "skip mechanisms)"
         ),
     )
     parser.add_argument(
@@ -84,6 +85,16 @@ def build_parser() -> argparse.ArgumentParser:
             "'fast' is the calibrated structure-of-arrays estimator "
             "(~10-100x faster per point); 'analytic' is the closed-form "
             "model (fastest, loosest)"
+        ),
+    )
+    parser.add_argument(
+        "--mechanism",
+        default="save",
+        choices=("save", "sparce", "indexmac"),
+        help=(
+            "skip mechanism for machine-point simulations (default: "
+            "save); rivals require --engine exact, and 'indexmac' "
+            "requires an N:M structured kernel"
         ),
     )
     parser.add_argument(
@@ -185,6 +196,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.store.cli import query_main
 
         return query_main(raw[1:])
+    if raw and raw[0] == "compare":
+        from repro.rivals.cli import compare_main
+
+        return compare_main(raw[1:])
 
     args = build_parser().parse_args(raw)
     if args.experiment == "list":
@@ -239,6 +254,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             metrics=registry,
             spans=spans,
             engine=args.engine,
+            mechanism=args.mechanism,
         )
 
         for name in names:

@@ -107,6 +107,11 @@ class SimResult:
     #: Which engine tier produced this result ("exact", "fast",
     #: "analytic").  Carried everywhere so tiers never mix silently.
     engine: str = "exact"
+    #: Which skip mechanism the run modeled ("save", "sparce",
+    #: "indexmac").  Stamped by callers that apply the mechanism axis
+    #: (:class:`repro.experiments.executor.PointJob`); a bare
+    #: ``simulate`` call describes the machine it was given.
+    mechanism: str = "save"
 
     @property
     def prf_rotation_overhead(self) -> float:

@@ -119,6 +119,39 @@ def fig15_charts(data: dict) -> str:
     )
 
 
+def compare_charts(data: dict) -> str:
+    """Render a rivals report's data as the SAVE-vs-rivals figure.
+
+    One line chart — speedup vs. NBS at the grid's highest BS level,
+    one series per mechanism — followed by a per-mechanism speedup
+    heatmap over the full grid.
+    """
+    levels = data["levels"]
+    top = max(levels)
+    series = {
+        mechanism: {
+            nbs: value
+            for (bs, nbs), value in data["speedups"][mechanism].items()
+            if bs == round(top, 2)
+        }
+        for mechanism in data["mechanisms"]
+    }
+    parts = [
+        line_chart(
+            series,
+            title=(
+                f"Skip mechanisms on {data['kernel']} "
+                f"(BS={top:.0%}, speedup over dense baseline)"
+            ),
+        )
+    ]
+    for mechanism in data["mechanisms"]:
+        parts.append(
+            heatmap(data["speedups"][mechanism], title=f"{mechanism} speedup")
+        )
+    return "\n\n".join(parts)
+
+
 def fig18_charts(data: dict) -> str:
     """Render a fig18 report's data as one line chart per panel."""
     charts = []

@@ -62,6 +62,11 @@ class RunContext:
             structure-of-arrays bounds) or ``"analytic"`` (closed-form
             model).  Results and cached surfaces carry the tag, so
             tiers never mix.
+        mechanism: skip-mechanism variant for every grid point —
+            ``"save"`` (the paper's engine), ``"sparce"`` (scalar
+            whole-instruction skip) or ``"indexmac"`` (indexed-MAC over
+            N:M kernels).  Rival mechanisms are exact-engine only; see
+            :mod:`repro.rivals.mechanisms`.
     """
 
     full_grid: bool = False
@@ -74,6 +79,7 @@ class RunContext:
     levels: Optional[Sequence[float]] = None
     samples: int = 5
     engine: str = "exact"
+    mechanism: str = "save"
 
     def resolve_k_steps(self, default: int) -> int:
         """The context's ``k_steps``, or the experiment's ``default``."""

@@ -30,7 +30,6 @@ from typing import Any, Optional
 from collections.abc import Iterable, Sequence
 
 from repro.core.config import MachineConfig
-from repro.kernels.gemm import GemmKernelConfig
 from repro.obs import (
     Instrumentation,
     MetricsRegistry,
@@ -58,29 +57,48 @@ class PointJob:
     images and are much bigger than their configs.
     """
 
-    config: GemmKernelConfig
+    # GemmKernelConfig, NMKernelConfig or IndexMACConfig — any frozen
+    # config the kernel library has a trace generator for.
+    config: Any
     machine: MachineConfig
     metric: str = METRIC_TIME_NS
     #: Engine tier ("exact", "fast", "analytic").  Fast tiers estimate
     #: from the seeded config directly — no trace, no instrumentation.
     engine: str = "exact"
+    #: Skip mechanism ("save", "sparce", "indexmac") — resolved to a
+    #: (config, machine) transform by :mod:`repro.rivals.mechanisms`
+    #: just before simulation.  Rivals are exact-engine only.
+    mechanism: str = "save"
+
+    def _resolved(self) -> tuple[Any, MachineConfig]:
+        """(config, machine) after applying the mechanism transform."""
+        if self.mechanism == "save":
+            return self.config, self.machine
+        # Lazy for the same reason as the engine imports below: rivals
+        # sits above the kernel layer in the import graph.
+        from repro.rivals.mechanisms import resolve_mechanism
+
+        return resolve_mechanism(
+            self.mechanism, self.config, self.machine, self.engine
+        )
 
     def run(self, obs: Optional[Instrumentation] = None) -> float:
         """Simulate this point in the current process."""
+        config, machine = self._resolved()
         if self.engine != "exact":
             # Imported lazily to keep the exact path's import graph
             # unchanged (and repro.fastsim depends on this module's
             # importers, so a module-level import would cycle).
             from repro.fastsim import simulate_config
 
-            result = simulate_config(self.config, self.machine, self.engine)
+            result = simulate_config(config, machine, self.engine)
         else:
             # Imported here so workers pay the import once, not per job.
             from repro.core.pipeline import simulate
             from repro.kernels.library import trace_stream
 
             result = simulate(
-                trace_stream(self.config), self.machine,
+                trace_stream(config), machine,
                 keep_state=False, obs=obs,
             )
         if self.metric == METRIC_NS_PER_FMA:
@@ -97,7 +115,9 @@ class PointJob:
         isolation, and the caller folds snapshots together in job-index
         order — identical float-addition grouping on every backend.
         """
-        obs = Instrumentation(metrics=MetricsRegistry(), sink=sink)
+        obs = Instrumentation(
+            metrics=MetricsRegistry(), sink=sink, mechanism=self.mechanism
+        )
         value = self.run(obs)
         return value, obs.snapshot()
 

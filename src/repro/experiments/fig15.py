@@ -27,6 +27,7 @@ def run(ctx: Optional[RunContext] = None) -> ExperimentReport:
         k_steps=ctx.resolve_k_steps(24),
         executor=ctx.executor,
         engine=ctx.engine,
+        mechanism=ctx.mechanism,
     )
     rows = []
     for label, sweep in results.items():

@@ -23,6 +23,7 @@ from repro.experiments import (  # noqa: F401  (imported for side effect-free re
     fig17,
     fig18,
     fig19,
+    rivals,
     scaling,
     table1,
     table2,
@@ -48,6 +49,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
     # Extensions beyond the paper's figures (DESIGN.md section 5).
     "ablations": ablations.run,
     "energy": energy.run,
+    "rivals": rivals.run,
     "scaling": scaling.run,
     "validation": validation.run,
 }

@@ -57,6 +57,7 @@ def stream_sweep(
     nbs_levels: Sequence[float],
     store_root: Union[str, Path],
     engine: str = "fast",
+    mechanism: str = "save",
     metric: str = METRIC_NS_PER_FMA,
     precision: Optional[Precision] = None,
     k_steps: int = 24,
@@ -76,6 +77,9 @@ def stream_sweep(
         store_root: sweep-store root directory.
         engine: simulation tier for every point (``fast`` is the tier
             that makes six-figure grids practical).
+        mechanism: skip mechanism for every point; rivals require
+            ``engine="exact"`` (validated up front, before any store
+            directory is created).
         metric: per-point value recorded (``ns_per_fma`` or ``time_ns``).
         overwrite: replace an existing sweep with the same identity.
 
@@ -85,11 +89,23 @@ def stream_sweep(
         raise ValueError("batch_points must be positive")
     spec = get_kernel(kernel)
     resolved = precision if precision is not None else spec.default_precision
+    if mechanism != "save":
+        # Fail before the store directory exists: validates the name,
+        # the engine pairing, and the config/mechanism compatibility.
+        from repro.rivals.mechanisms import resolve_mechanism
+
+        resolve_mechanism(
+            mechanism,
+            spec.config(precision=resolved, k_steps=k_steps, seed=seed),
+            machine,
+            engine,
+        )
     label = machine_label(machine)
     meta = {
         "kernel": spec.name,
         "machine": label,
         "engine": engine,
+        "mechanism": mechanism,
         "metric": metric,
         "precision": resolved.value,
         "k_steps": k_steps,
@@ -122,6 +138,7 @@ def stream_sweep(
                         machine=machine,
                         metric=metric,
                         engine=engine,
+                        mechanism=mechanism,
                     )
                     for bs, nbs in batch
                 ]
@@ -137,6 +154,7 @@ def stream_sweep(
         "kernel": spec.name,
         "machine": label,
         "engine": engine,
+        "mechanism": mechanism,
         "metric": metric,
         "points": total,
     }

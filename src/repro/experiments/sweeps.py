@@ -71,6 +71,7 @@ def sweep_kernel(
     seed: int = 0,
     executor: Optional[SimExecutor] = None,
     engine: str = "exact",
+    mechanism: str = "save",
     store_root: Optional[Path] = None,
     store_overwrite: bool = False,
 ) -> dict[str, SweepResult]:
@@ -78,7 +79,10 @@ def sweep_kernel(
 
     The baseline time is measured once at dense inputs (its time is
     sparsity-independent) and every (machine, bs, nbs) point's speedup
-    is relative to it — matching the figures' y-axes.
+    is relative to it — matching the figures' y-axes.  ``mechanism``
+    applies to the machine points only: the baseline is the shared
+    dense reference every mechanism's speedup is measured against (the
+    fair-comparison policy, docs/methodology.md).
 
     Every point of the (machine, bs, nbs) product — plus the baseline
     point — is an independent simulation; the whole sweep goes to the
@@ -119,6 +123,7 @@ def sweep_kernel(
                     ),
                     machine=machine,
                     engine=engine,
+                    mechanism=mechanism,
                 )
             )
     runner = default_executor(executor)
@@ -135,7 +140,7 @@ def sweep_kernel(
     if store_root is not None:
         _record_sweep(
             store_root, spec, machines, points, point_times,
-            precision, k_steps, seed, engine, store_overwrite,
+            precision, k_steps, seed, engine, mechanism, store_overwrite,
         )
     return results
 
@@ -150,6 +155,7 @@ def _record_sweep(
     k_steps: int,
     seed: int,
     engine: str,
+    mechanism: str,
     overwrite: bool,
 ) -> None:
     """Append one sweep's raw point times to the columnar store."""
@@ -162,6 +168,7 @@ def _record_sweep(
             "kernel": spec.name,
             "machine": machine_label(machine),
             "engine": engine,
+            "mechanism": mechanism,
             "metric": "time_ns",
             "precision": resolved.value,
             "k_steps": k_steps,

@@ -94,22 +94,39 @@ class _GemmTraceBuilder:
     image (the only RNG-consuming phase); :meth:`iter_uops` then
     *generates* the µop stream lazily and deterministically, so one
     builder can feed any number of streaming passes.
+
+    ``matrices`` lets a caller supply pre-built (A, B) operand matrices
+    — the structured-sparsity generators in :mod:`repro.rivals.nm`
+    prune their own data and reuse this builder's layout and emission —
+    in which case the builder consumes no RNG at all.
     """
 
-    def __init__(self, config: GemmKernelConfig) -> None:
+    def __init__(
+        self,
+        config: GemmKernelConfig,
+        matrices: "tuple[np.ndarray, np.ndarray] | None" = None,
+    ) -> None:
         self.config = config
         self.tile = config.tile
         self.mixed = config.precision == Precision.MIXED
         self.element_bytes = 2 if self.mixed else 4
         self.memory = Memory()
-        rng = np.random.default_rng(config.seed)
 
         rows, cv = self.tile.rows, self.tile.col_vectors
         k_depth = config.k_depth
-        self.a = sparse_matrix((rows, k_depth), config.broadcast_sparsity, rng)
-        self.b = sparse_matrix(
-            (k_depth, cv * FP32_LANES), config.nonbroadcast_sparsity, rng
-        )
+        if matrices is None:
+            rng = np.random.default_rng(config.seed)
+            self.a = sparse_matrix((rows, k_depth), config.broadcast_sparsity, rng)
+            self.b = sparse_matrix(
+                (k_depth, cv * FP32_LANES), config.nonbroadcast_sparsity, rng
+            )
+        else:
+            self.a, self.b = matrices
+            if self.a.shape != (rows, k_depth) or self.b.shape != (
+                k_depth,
+                cv * FP32_LANES,
+            ):
+                raise ValueError("supplied operand matrices do not match the tile")
         if self.mixed:
             self.a = bf16_round(self.a)
             self.b = bf16_round(self.b)

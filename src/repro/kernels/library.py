@@ -34,6 +34,10 @@ from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
 from repro.kernels.trace import KernelTrace
 
 
+class UnknownKernelError(KeyError):
+    """An unknown kernel name; the message lists every registered one."""
+
+
 @dataclass(frozen=True)
 class KernelSpec:
     """A library entry: tiling plus provenance."""
@@ -58,6 +62,44 @@ class KernelSpec:
             name=self.name,
             tile=self.tile,
             k_steps=k_steps,
+            precision=precision if precision is not None else self.default_precision,
+            broadcast_sparsity=broadcast_sparsity,
+            nonbroadcast_sparsity=nonbroadcast_sparsity,
+            use_write_masks=use_write_masks,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class NMKernelSpec(KernelSpec):
+    """A library entry whose configs are N:M structured-sparse.
+
+    ``config()`` has the same signature as the base class (sparsity
+    levels, precision, k_steps, seed), so every sweep producer written
+    against :class:`KernelSpec` drives structured kernels unchanged —
+    the returned config is an
+    :class:`repro.rivals.nm.NMKernelConfig`, whose broadcast sparsity
+    is realised on the pattern lattice.
+    """
+
+    pattern: str = "2:4"
+
+    def config(
+        self,
+        broadcast_sparsity: float = 0.0,
+        nonbroadcast_sparsity: float = 0.0,
+        precision: Optional[Precision] = None,
+        k_steps: int = 64,
+        use_write_masks: bool = False,
+        seed: int = 0,
+    ):
+        from repro.rivals.nm import NMKernelConfig
+
+        return NMKernelConfig(
+            name=self.name,
+            tile=self.tile,
+            k_steps=k_steps,
+            pattern=self.pattern,
             precision=precision if precision is not None else self.default_precision,
             broadcast_sparsity=broadcast_sparsity,
             nonbroadcast_sparsity=nonbroadcast_sparsity,
@@ -127,6 +169,28 @@ KERNEL_LIBRARY: dict[str, KernelSpec] = {
             description="Generic tall embedded-broadcast kernel",
             paper_figure="-",
         ),
+        NMKernelSpec(
+            name="nm24_fwd",
+            tile=RegisterTile(4, 6, BroadcastPattern.EXPLICIT),
+            default_precision=Precision.FP32,
+            description=(
+                "2:4 structured-sparse forward kernel (explicit "
+                "broadcast) — the rival-mechanism comparison kernel"
+            ),
+            paper_figure="-",
+            pattern="2:4",
+        ),
+        NMKernelSpec(
+            name="nm48_bwd_input",
+            tile=RegisterTile(28, 1, BroadcastPattern.EMBEDDED),
+            default_precision=Precision.FP32,
+            description=(
+                "4:8 structured-sparse tall backward-input kernel "
+                "(embedded broadcast)"
+            ),
+            paper_figure="-",
+            pattern="4:8",
+        ),
     ]
 }
 
@@ -136,9 +200,9 @@ def get_kernel(spec: Union[str, KernelSpec]) -> KernelSpec:
 
     Accepts a name (looked up in :data:`KERNEL_LIBRARY`) or an already
     resolved :class:`KernelSpec` (returned as-is, so call sites can be
-    written once against "spec-ish" inputs).  Raises ``KeyError`` with
-    the available names on an unknown name, ``TypeError`` on any other
-    type.
+    written once against "spec-ish" inputs).  Raises
+    :class:`UnknownKernelError` (a ``KeyError``) listing the available
+    names on an unknown name, ``TypeError`` on any other type.
     """
     if isinstance(spec, KernelSpec):
         return spec
@@ -150,7 +214,9 @@ def get_kernel(spec: Union[str, KernelSpec]) -> KernelSpec:
         return KERNEL_LIBRARY[spec]
     except KeyError:
         names = ", ".join(sorted(KERNEL_LIBRARY))
-        raise KeyError(f"unknown kernel {spec!r}; available: {names}") from None
+        raise UnknownKernelError(
+            f"unknown kernel {spec!r}; available: {names}"
+        ) from None
 
 
 def trace_stream(config: object) -> GeneratorTraceStream:
@@ -183,9 +249,13 @@ _STREAM_FACTORIES: dict[type, Callable[..., GeneratorTraceStream]] = {}
 def _register_generators() -> None:
     from repro.kernels.gemm import generate_gemm_stream
     from repro.kernels.sparsetrain import SparseTrainConfig, generate_sparsetrain_stream
+    from repro.rivals.indexmac import IndexMACConfig, generate_indexmac_stream
+    from repro.rivals.nm import NMKernelConfig, generate_nm_stream
 
     _STREAM_FACTORIES[GemmKernelConfig] = generate_gemm_stream
     _STREAM_FACTORIES[SparseTrainConfig] = generate_sparsetrain_stream
+    _STREAM_FACTORIES[NMKernelConfig] = generate_nm_stream
+    _STREAM_FACTORIES[IndexMACConfig] = generate_indexmac_stream
 
 
 _register_generators()

@@ -130,26 +130,32 @@ class Instrumentation:
             pays event-dict construction.
         kernel: label stamped on every emitted event (set by the
             pipeline to the trace name).
+        mechanism: skip-mechanism label stamped on every emitted event
+            (set by the caller that knows the mechanism axis, e.g.
+            :meth:`repro.experiments.executor.PointJob.run_instrumented`).
     """
 
-    __slots__ = ("metrics", "sink", "tracing", "kernel")
+    __slots__ = ("metrics", "sink", "tracing", "kernel", "mechanism")
 
     def __init__(
         self,
         metrics: Optional[MetricsRegistry] = None,
         sink: Optional[TraceSink] = None,
         kernel: str = "",
+        mechanism: str = "save",
     ) -> None:
         self.metrics = MetricsRegistry() if metrics is None else metrics
         self.sink = NULL_SINK if sink is None else sink
         self.tracing = not isinstance(self.sink, NullSink)
         self.kernel = kernel
+        self.mechanism = mechanism
 
     def emit(self, cycle: int, event: str, **fields: Any) -> None:
         """Stamp the common fields and forward one event to the sink."""
         fields["cycle"] = cycle
         fields["event"] = event
         fields["kernel"] = self.kernel
+        fields["mechanism"] = self.mechanism
         self.sink.emit(fields)
 
     def snapshot(self) -> dict[str, Any]:

@@ -65,6 +65,7 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_LEDGER_DIR",
     "DEFAULT_THRESHOLD",
+    "MIX_P95_THRESHOLD",
     "bench_main",
     "compare_entries",
     "format_report",
@@ -80,6 +81,12 @@ BENCH_SCHEMA_VERSION = 1
 
 #: Wall-time increase (fractional) that counts as a regression.
 DEFAULT_THRESHOLD = 0.25
+
+#: Per-mix p95 latency increase (fractional) that counts as a
+#: regression for workloads carrying ``mixes`` (``serve_roundtrip``).
+#: Tighter than the wall-time gate: summed wall time can hide one mix's
+#: tail latency blowing up while the others absorb the average.
+MIX_P95_THRESHOLD = 0.20
 
 #: Ledger location, relative to the invoking directory.
 DEFAULT_LEDGER_DIR = Path("benchmarks") / "ledger"
@@ -545,15 +552,43 @@ def validate_entry(entry: dict[str, Any]) -> None:
 # ---------------------------------------------------------------------------
 
 
+def _compare_mixes(
+    prior: dict[str, Any],
+    workload: dict[str, Any],
+    threshold: float,
+) -> list[dict[str, Any]]:
+    """Per-mix p95 deltas for workloads that carry ``mixes``."""
+    deltas: list[dict[str, Any]] = []
+    prev_mixes = prior.get("mixes") or {}
+    for mix, record in (workload.get("mixes") or {}).items():
+        prev = prev_mixes.get(mix)
+        if prev is None or not prev.get("p95_ms"):
+            continue
+        change = (record["p95_ms"] - prev["p95_ms"]) / prev["p95_ms"]
+        deltas.append(
+            {
+                "mix": mix,
+                "prev_p95_ms": prev["p95_ms"],
+                "p95_ms": record["p95_ms"],
+                "change": round(change, 4),
+                "regressed": change > threshold,
+            }
+        )
+    return deltas
+
+
 def compare_entries(
     previous: dict[str, Any],
     current: dict[str, Any],
     threshold: float = DEFAULT_THRESHOLD,
+    mix_threshold: float = MIX_P95_THRESHOLD,
 ) -> list[dict[str, Any]]:
     """Per-workload deltas of ``current`` vs ``previous``.
 
     A workload regresses when its wall time grew by more than
-    ``threshold`` (fractional).  Comparing a ``--quick`` entry against
+    ``threshold`` (fractional), or — for workloads recording per-mix
+    latency (``serve_roundtrip``) — when any single mix's p95 grew by
+    more than ``mix_threshold``.  Comparing a ``--quick`` entry against
     a full one would be meaningless; callers should compare entries of
     the same flavour (``bench_main`` compares against the latest entry
     with matching ``quick``).
@@ -568,17 +603,20 @@ def compare_entries(
         prev_wall, cur_wall = prior["wall_s"], workload["wall_s"]
         change = (cur_wall - prev_wall) / prev_wall if prev_wall else 0.0
         drift = prior.get("sim_cycles") != workload.get("sim_cycles")
-        deltas.append(
-            {
-                "workload": name,
-                "status": "regressed" if change > threshold else "ok",
-                "regressed": change > threshold,
-                "prev_wall_s": prev_wall,
-                "wall_s": cur_wall,
-                "change": round(change, 4),
-                "sim_drift": drift,
-            }
-        )
+        mixes = _compare_mixes(prior, workload, mix_threshold)
+        regressed = change > threshold or any(m["regressed"] for m in mixes)
+        delta = {
+            "workload": name,
+            "status": "regressed" if regressed else "ok",
+            "regressed": regressed,
+            "prev_wall_s": prev_wall,
+            "wall_s": cur_wall,
+            "change": round(change, 4),
+            "sim_drift": drift,
+        }
+        if mixes:
+            delta["mixes"] = mixes
+        deltas.append(delta)
     return deltas
 
 
@@ -736,6 +774,14 @@ def bench_main(argv: Optional[list[str]] = None) -> int:
         f"(default: {DEFAULT_THRESHOLD})",
     )
     parser.add_argument(
+        "--mix-threshold",
+        type=float,
+        default=MIX_P95_THRESHOLD,
+        metavar="FRAC",
+        help="fractional per-mix p95 latency increase that fails "
+        f"serve_roundtrip (default: {MIX_P95_THRESHOLD})",
+    )
+    parser.add_argument(
         "--repeats",
         type=int,
         default=2,
@@ -758,6 +804,8 @@ def bench_main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.threshold < 0:
         parser.error("--threshold must be non-negative")
+    if args.mix_threshold < 0:
+        parser.error("--mix-threshold must be non-negative")
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
 
@@ -774,7 +822,10 @@ def bench_main(argv: Optional[list[str]] = None) -> int:
         prev_path, prev_entry = previous
         print(f"bench: comparing against {prev_path.name}")
         deltas = compare_entries(
-            prev_entry, dict(entry, seq=0), threshold=args.threshold
+            prev_entry,
+            dict(entry, seq=0),
+            threshold=args.threshold,
+            mix_threshold=args.mix_threshold,
         )
         for delta in deltas:
             if delta["status"] == "new":
@@ -787,6 +838,12 @@ def bench_main(argv: Optional[list[str]] = None) -> int:
                 f"{delta['wall_s']:.3f}s ({delta['change']:+.1%}) "
                 f"{delta['status']}{drift}"
             )
+            for mix in delta.get("mixes", ()):
+                verdict = "REGRESSED" if mix["regressed"] else "ok"
+                print(
+                    f"    {mix['mix']} p95: {mix['prev_p95_ms']:.1f}ms -> "
+                    f"{mix['p95_ms']:.1f}ms ({mix['change']:+.1%}) {verdict}"
+                )
         if any(delta["regressed"] for delta in deltas):
             print(
                 f"bench: REGRESSION beyond +{args.threshold:.0%} threshold",

@@ -33,7 +33,8 @@ __all__ = [
 ]
 
 #: Bump on incompatible schema changes; stamped on every JSONL line.
-TRACE_SCHEMA_VERSION = 1
+#: v2: ``mechanism`` joined the common fields.
+TRACE_SCHEMA_VERSION = 2
 
 #: Required event-specific fields, per event type.
 EVENT_FIELDS: dict[str, tuple] = {
@@ -57,8 +58,10 @@ EVENT_FIELDS: dict[str, tuple] = {
     "bcache_miss": ("addr",),
 }
 
-#: Fields common to every event.
-COMMON_FIELDS = ("cycle", "event", "kernel")
+#: Fields common to every event.  ``mechanism`` names the skip
+#: mechanism the simulation ran under ("save", "sparce", "indexmac"),
+#: so merged trace files from a comparison run stay attributable.
+COMMON_FIELDS = ("cycle", "event", "kernel", "mechanism")
 
 
 def validate_event(event: dict[str, Any]) -> None:

@@ -1,0 +1,47 @@
+"""Structured sparsity and rival skip mechanisms.
+
+SAVE models *unstructured* sparsity skipping; this package grows the
+design space it competes in, behind the same kernel/trace/experiment
+contracts:
+
+* :mod:`repro.rivals.nm` — N:M structured-sparse kernel generation
+  (2:4 and 4:8 patterns) on the shared (BS, NBS) sparsity grid.
+* :mod:`repro.rivals.indexmac` — an IndexMAC-style indexed-MAC trace
+  schedule over the same structured data.
+* :mod:`repro.rivals.mechanisms` — the ``mechanism`` axis: SAVE,
+  SparCE, and IndexMAC as (config, machine) transforms on the one
+  pipeline model.
+* :mod:`repro.rivals.cli` — the ``repro compare`` harness rendering a
+  SAVE-vs-rivals figure and summary table.
+"""
+
+from repro.rivals.indexmac import IndexMACConfig, generate_indexmac_stream
+from repro.rivals.mechanisms import (
+    DEFAULT_MECHANISM,
+    MECHANISMS,
+    MechanismError,
+    resolve_mechanism,
+    validate_mechanism,
+)
+from repro.rivals.nm import (
+    NM_PATTERNS,
+    NMKernelConfig,
+    generate_nm_stream,
+    nm_level_mask,
+    parse_pattern,
+)
+
+__all__ = [
+    "DEFAULT_MECHANISM",
+    "IndexMACConfig",
+    "MECHANISMS",
+    "MechanismError",
+    "NMKernelConfig",
+    "NM_PATTERNS",
+    "generate_indexmac_stream",
+    "generate_nm_stream",
+    "nm_level_mask",
+    "parse_pattern",
+    "resolve_mechanism",
+    "validate_mechanism",
+]

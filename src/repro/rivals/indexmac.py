@@ -1,0 +1,126 @@
+"""IndexMAC-style indexed-MAC trace generation for N:M kernels.
+
+IndexMAC (arXiv:2311.07241) adds indexed-MAC instructions to a RISC-V
+vector processor: the N:M-compressed weight operand carries a small
+index vector per group of M, the hardware gathers the matching
+activation elements, and only the N kept levels are multiplied.  The
+key *modeling* consequences, mirrored here:
+
+* **compile-time compression** — the instruction stream contains FMAs
+  only for kept reduction levels.  A fully-masked reduction step emits
+  nothing at all (no B loads, no loop overhead): the compressed operand
+  simply does not contain it.
+* **per-group index handling** — each group of M levels costs
+  ``index_overhead_uops`` scalar µops (index fetch / gather set-up),
+  charged once per group regardless of how many of its levels survive.
+* **dense issue** — the emitted µops run on the *baseline* pipeline:
+  no merge units, no rotation, no broadcast cache.  The mechanism layer
+  (:mod:`repro.rivals.mechanisms`) pairs this stream with a
+  SAVE-disabled machine.
+* **structured patterns only** — the index vector's width is fixed by
+  N:M; unstructured sparsity does not fit the encoding, so this
+  generator accepts only :class:`repro.rivals.nm.NMKernelConfig`.
+
+Mixed precision packs two reduction levels per step, so a step is
+elided only when *both* its levels are masked — a partially-alive pair
+executes densely (the VNNI pair is the atom of the schedule).  This is
+conservative against IndexMAC, and is noted in the architecture docs.
+
+The functional result is identical to the N:M stream's: elided steps
+only ever multiply levels whose A column is zero for every row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+from repro.isa.uops import Uop, scalar_op, vstore, vzero
+from repro.kernels.stream import GeneratorTraceStream
+from repro.kernels.tiling import BroadcastPattern
+from repro.rivals.nm import NMKernelConfig, nm_builder
+
+__all__ = ["IndexMACConfig", "generate_indexmac_stream"]
+
+
+@dataclass(frozen=True)
+class IndexMACConfig:
+    """An N:M kernel scheduled as IndexMAC indexed-MAC µops.
+
+    Wraps the structured kernel it compresses; ``index_overhead_uops``
+    is the scalar cost charged per group of M reduction levels.
+    """
+
+    nm: NMKernelConfig
+    index_overhead_uops: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.nm, NMKernelConfig):
+            raise TypeError(
+                "IndexMAC models structured patterns only: config must "
+                f"be an NMKernelConfig, got {type(self.nm).__name__}"
+            )
+        if self.index_overhead_uops < 0:
+            raise ValueError("index_overhead_uops must be non-negative")
+
+    @property
+    def name(self) -> str:
+        return f"{self.nm.name}-indexmac"
+
+    @property
+    def seed(self) -> int:
+        return self.nm.seed
+
+
+def generate_indexmac_stream(config: IndexMACConfig) -> GeneratorTraceStream:
+    """A chunked µop stream with masked-off steps compressed away."""
+    nm = config.nm
+    builder, mask = nm_builder(nm)
+    n, m = nm.nm
+    levels_per_step = 2 if builder.mixed else 1
+    tile = nm.tile
+
+    def iter_uops() -> Iterator[Uop]:
+        for accum in range(tile.accumulators):
+            yield vzero(accum)
+        for k_step in range(nm.k_steps):
+            first_level = k_step * levels_per_step
+            if first_level % m == 0:
+                group = first_level // m
+                for _ in range(config.index_overhead_uops):
+                    yield scalar_op(tag=f"index-g{group}")
+            covered = mask[first_level : first_level + levels_per_step]
+            if not covered.any():
+                continue
+            for _ in range(nm.scalar_overhead_per_step):
+                yield scalar_op(tag=f"loop-k{k_step}")
+            if tile.pattern == BroadcastPattern.EXPLICIT:
+                yield from builder._emit_step_explicit(k_step)
+            else:
+                yield from builder._emit_step_embedded(k_step)
+        for row in range(tile.rows):
+            for j in range(tile.col_vectors):
+                yield vstore(builder.acc_reg(row, j), builder.c_addr(row, j))
+
+    kept_steps = sum(
+        1
+        for k_step in range(nm.k_steps)
+        if mask[k_step * levels_per_step : (k_step + 1) * levels_per_step].any()
+    )
+    meta = dict(builder.trace_meta())
+    meta.update(
+        pattern=nm.pattern,
+        nm=(n, m),
+        level_mask=mask,
+        effective_broadcast_sparsity=round(1.0 - float(mask.mean()), 6),
+        mechanism="indexmac",
+        index_overhead_uops=config.index_overhead_uops,
+        kept_steps=kept_steps,
+    )
+    return GeneratorTraceStream(
+        name=config.name,
+        uop_source=iter_uops,
+        memory=builder.memory,
+        regions=builder.regions,
+        meta=meta,
+    )

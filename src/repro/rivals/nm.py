@@ -1,0 +1,202 @@
+"""N:M structured-sparse kernel generation (2:4 and 4:8 patterns).
+
+The related work SAVE competes with (IndexMAC, Sparse Systolic Tensor
+Array — see PAPERS.md) exploits *structured* sparsity: at most N of
+every M consecutive weights along the reduction dimension are non-zero,
+so the hardware can compress the operand and gather its partners with a
+small index vector.  This module grows the same GEMM trace family as
+:mod:`repro.kernels.gemm` a structured variant:
+
+* the **broadcasted A operand is pruned on an N:M lattice along the
+  reduction (k) axis**, with one shared mask per k-level group for the
+  whole tile (a weight matrix pruned per input-channel group — the
+  layout indexed-MAC hardware consumes);
+* the **non-broadcasted B operand keeps the unstructured element
+  pruning** of the dense generator, so the (BS, NBS) sparsity grid the
+  paper sweeps stays shared between SAVE and its rivals.
+
+A requested broadcast sparsity is *quantised onto the pattern lattice*:
+per group of M levels, ``max(M - N, round(s * M))`` levels are zeroed —
+never fewer than the pattern's floor of ``1 - N/M`` (a dense matrix is
+not 2:4-legal), never more than all of them.  The realised level is
+exposed as :attr:`NMKernelConfig.effective_broadcast_sparsity` and in
+the stream meta, so figures can label the lattice honestly.
+
+Determinism follows the same seeded-RNG contract as every generator in
+the repo: construction consumes ``np.random.default_rng(seed)`` exactly
+once (A magnitudes, then B, then the level masks) and µops are then
+generated lazily — repeated passes over one stream are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.datatypes import FP32_LANES
+from repro.kernels.gemm import GemmKernelConfig, _GemmTraceBuilder
+from repro.kernels.stream import GeneratorTraceStream
+from repro.kernels.tiling import Precision, RegisterTile
+from repro.sparsity.generators import sparse_matrix
+
+__all__ = [
+    "NM_PATTERNS",
+    "NMKernelConfig",
+    "generate_nm_stream",
+    "nm_level_mask",
+    "parse_pattern",
+]
+
+#: Supported structured-sparsity patterns: name → (N nonzero, M group).
+NM_PATTERNS: dict[str, tuple[int, int]] = {
+    "2:4": (2, 4),
+    "4:8": (4, 8),
+}
+
+
+def parse_pattern(pattern: str) -> tuple[int, int]:
+    """``"2:4"`` → ``(2, 4)``; raises ``ValueError`` on unknown patterns."""
+    try:
+        return NM_PATTERNS[pattern]
+    except KeyError:
+        known = ", ".join(sorted(NM_PATTERNS))
+        raise ValueError(
+            f"unknown N:M pattern {pattern!r}; supported: {known}"
+        ) from None
+
+
+def nm_level_mask(
+    k_depth: int,
+    n: int,
+    m: int,
+    sparsity: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Boolean keep-mask over ``k_depth`` reduction levels, N:M legal.
+
+    Each full group of ``m`` consecutive levels zeroes
+    ``max(m - n, round(sparsity * m))`` of its members (positions drawn
+    from ``rng``), so every group carries at most ``n`` non-zero levels
+    and at least the requested sparsity.  A partial tail group scales
+    the same rule to its length.  ``True`` means the level is kept.
+    """
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError("sparsity must be in [0, 1]")
+    keep = np.ones(k_depth, dtype=bool)
+    for start in range(0, k_depth, m):
+        size = min(m, k_depth - start)
+        floor_zeros = max(0, size - int(round(n * size / m)))
+        zeros = max(floor_zeros, int(round(sparsity * size)))
+        zeros = min(zeros, size)
+        if zeros:
+            victims = rng.choice(size, size=zeros, replace=False)
+            keep[start + victims] = False
+    return keep
+
+
+@dataclass(frozen=True)
+class NMKernelConfig:
+    """Parameters for one N:M structured-sparse GEMM trace.
+
+    Mirrors :class:`repro.kernels.gemm.GemmKernelConfig` field-for-field
+    and adds ``pattern``; ``broadcast_sparsity`` is the *requested*
+    level, realised on the pattern lattice (see module docstring).
+    """
+
+    name: str
+    tile: RegisterTile
+    k_steps: int
+    pattern: str = "2:4"
+    precision: Precision = Precision.FP32
+    broadcast_sparsity: float = 0.0
+    nonbroadcast_sparsity: float = 0.0
+    use_write_masks: bool = False
+    scalar_overhead_per_step: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        parse_pattern(self.pattern)
+        if self.k_steps <= 0:
+            raise ValueError("k_steps must be positive")
+        for level in (self.broadcast_sparsity, self.nonbroadcast_sparsity):
+            if not 0.0 <= level <= 1.0:
+                raise ValueError("sparsity levels must be in [0, 1]")
+
+    @property
+    def nm(self) -> tuple[int, int]:
+        return parse_pattern(self.pattern)
+
+    @property
+    def k_depth(self) -> int:
+        """Reduction levels covered (2 per step for mixed precision)."""
+        return self.k_steps * (2 if self.precision == Precision.MIXED else 1)
+
+    @property
+    def effective_broadcast_sparsity(self) -> float:
+        """The requested broadcast sparsity quantised onto the lattice."""
+        n, m = self.nm
+        floor = 1.0 - n / m
+        return min(1.0, max(floor, round(self.broadcast_sparsity * m) / m))
+
+    def gemm(self) -> GemmKernelConfig:
+        """The dense-family config this kernel shares its layout with."""
+        return GemmKernelConfig(
+            name=self.name,
+            tile=self.tile,
+            k_steps=self.k_steps,
+            precision=self.precision,
+            broadcast_sparsity=self.broadcast_sparsity,
+            nonbroadcast_sparsity=self.nonbroadcast_sparsity,
+            use_write_masks=self.use_write_masks,
+            scalar_overhead_per_step=self.scalar_overhead_per_step,
+            seed=self.seed,
+        )
+
+
+def nm_builder(config: NMKernelConfig) -> "tuple[_GemmTraceBuilder, np.ndarray]":
+    """``(builder, level_mask)`` for one structured config.
+
+    The builder carries the pruned matrices and the dense layout;
+    ``level_mask`` is the shared per-k-level keep mask the IndexMAC
+    generator compresses against.
+    """
+    n, m = config.nm
+    tile = config.tile
+    rng = np.random.default_rng(config.seed)
+    a = sparse_matrix((tile.rows, config.k_depth), 0.0, rng)
+    b = sparse_matrix(
+        (config.k_depth, tile.col_vectors * FP32_LANES),
+        config.nonbroadcast_sparsity,
+        rng,
+    )
+    mask = nm_level_mask(config.k_depth, n, m, config.broadcast_sparsity, rng)
+    a = a.copy()
+    a[:, ~mask] = 0.0
+    return _GemmTraceBuilder(config.gemm(), matrices=(a, b)), mask
+
+
+def generate_nm_stream(config: NMKernelConfig) -> GeneratorTraceStream:
+    """A chunked µop stream for one N:M structured-sparse kernel.
+
+    The instruction stream is the *dense* schedule over the pruned data
+    (hardware that cannot compress still fetches and multiplies the
+    zeros) — the mechanism variants in :mod:`repro.rivals.mechanisms`
+    decide what gets skipped and how.
+    """
+    builder, mask = nm_builder(config)
+    n, m = config.nm
+    meta = dict(builder.trace_meta())
+    meta.update(
+        pattern=config.pattern,
+        nm=(n, m),
+        level_mask=mask,
+        effective_broadcast_sparsity=round(1.0 - float(mask.mean()), 6),
+    )
+    return GeneratorTraceStream(
+        name=config.name,
+        uop_source=builder.iter_uops,
+        memory=builder.memory,
+        regions=builder.regions,
+        meta=meta,
+    )

@@ -61,7 +61,9 @@ __all__ = [
 #: v2: per-request ``engine`` tier (exact/fast/analytic) in the
 #: canonical form — results from different tiers never share a
 #: fingerprint, so they never collide in the result store.
-SERVE_SCHEMA_VERSION = 2
+#: v3: per-request ``mechanism`` (save/sparce) in the canonical form —
+#: mechanism variants never share a fingerprint or a dedup batch.
+SERVE_SCHEMA_VERSION = 3
 
 #: Machine configurations clients can name (Table I presets).
 MACHINE_PRESETS: dict[str, MachineConfig] = {
@@ -74,7 +76,13 @@ _METRICS = (METRIC_NS_PER_FMA, METRIC_TIME_NS)
 
 _REQUEST_FIELDS = {
     "kind", "kernel", "machine", "metric", "point", "levels", "engine",
+    "mechanism",
 }
+
+#: Mechanisms the service accepts.  ``indexmac`` is excluded: the serve
+#: kernel spec describes dense register tiles, and indexed-MAC requires
+#: an N:M structured kernel (use ``repro compare`` for those).
+_SERVE_MECHANISMS = ("save", "sparce")
 _KERNEL_FIELDS = {"rows", "cols", "pattern", "precision", "k_steps", "seed"}
 _MACHINE_FIELDS = {"preset", "core", "save"}
 
@@ -210,6 +218,7 @@ class SimRequest:
     points: tuple[tuple[float, float], ...]
     levels: Optional[tuple[float, ...]] = None
     engine: str = "exact"
+    mechanism: str = "save"
 
     # -- identity ---------------------------------------------------------
 
@@ -229,6 +238,7 @@ class SimRequest:
             "machine": json.loads(self.machine_spec),
             "metric": self.metric,
             "engine": self.engine,
+            "mechanism": self.mechanism,
             "points": [list(p) for p in self.points],
             "levels": list(self.levels) if self.levels is not None else None,
         }
@@ -270,6 +280,7 @@ class SimRequest:
                 machine=machine,
                 metric=self.metric,
                 engine=self.engine,
+                mechanism=self.mechanism,
             )
             for bs, nbs in self.points
         ]
@@ -332,6 +343,18 @@ def parse_request(payload: Any) -> SimRequest:
             f"engine: must be one of {list(ENGINES)}, got {engine!r}"
         )
 
+    mechanism = payload.get("mechanism", "save")
+    if mechanism not in _SERVE_MECHANISMS:
+        raise RequestError(
+            f"mechanism: must be one of {list(_SERVE_MECHANISMS)}, "
+            f"got {mechanism!r}"
+        )
+    if mechanism != "save" and engine != "exact":
+        raise RequestError(
+            f"mechanism: {mechanism!r} supports only engine='exact' "
+            "(the fast tier is calibrated against SAVE only)"
+        )
+
     levels: Optional[tuple[float, ...]] = None
     if kind == "point":
         if "levels" in payload:
@@ -371,4 +394,5 @@ def parse_request(payload: Any) -> SimRequest:
         points=points,
         levels=levels,
         engine=engine,
+        mechanism=mechanism,
     )

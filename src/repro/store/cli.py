@@ -60,6 +60,13 @@ def sweep_main(argv: Optional[list[str]] = None) -> int:
         help="simulation tier per point (default: fast)",
     )
     parser.add_argument(
+        "--mechanism", default="save", choices=("save", "sparce", "indexmac"),
+        help=(
+            "skip mechanism to sweep under (default: save; rivals "
+            "require --engine exact)"
+        ),
+    )
+    parser.add_argument(
         "--grid", type=int, default=32, metavar="N",
         help="N×N sparsity grid over [0, 0.9] (default: 32)",
     )
@@ -86,6 +93,7 @@ def sweep_main(argv: Optional[list[str]] = None) -> int:
     from repro.experiments.executor import SimExecutor
     from repro.experiments.streamsweep import DEFAULT_BATCH_POINTS, stream_sweep
     from repro.kernels.library import get_kernel
+    from repro.rivals.mechanisms import MechanismError
     from repro.store import StoreError
 
     try:
@@ -102,6 +110,7 @@ def sweep_main(argv: Optional[list[str]] = None) -> int:
             levels,
             args.store,
             engine=args.engine,
+            mechanism=args.mechanism,
             metric=args.metric,
             k_steps=args.k_steps,
             seed=args.seed,
@@ -109,6 +118,9 @@ def sweep_main(argv: Optional[list[str]] = None) -> int:
             batch_points=args.batch if args.batch else DEFAULT_BATCH_POINTS,
             overwrite=args.overwrite,
         )
+    except MechanismError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     except StoreError as error:
         print(str(error), file=sys.stderr)
         return 1
@@ -133,6 +145,7 @@ def query_main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--kernel", default=None)
     parser.add_argument("--machine", default=None, help="machine label filter")
     parser.add_argument("--engine", default=None)
+    parser.add_argument("--mechanism", default=None, help="skip-mechanism filter")
     parser.add_argument("--metric", default=None)
     parser.add_argument(
         "--bs", default=None, metavar="LO:HI",
@@ -154,6 +167,17 @@ def query_main(argv: Optional[list[str]] = None) -> int:
         "--count", action="store_true",
         help="print only the matching row count",
     )
+    parser.add_argument(
+        "--group-by", default=None, metavar="COL[,COL...]",
+        help=(
+            "aggregate instead of listing rows: group by these result "
+            "columns (e.g. mechanism or kernel,bs)"
+        ),
+    )
+    parser.add_argument(
+        "--reduce", default="mean", choices=("mean", "min", "max", "count"),
+        help="reduction over each group's values (default: mean)",
+    )
     args = parser.parse_args(argv)
 
     from repro.store import SweepStore
@@ -173,21 +197,46 @@ def query_main(argv: Optional[list[str]] = None) -> int:
         if args.list:
             for summary in store.describe():
                 state = "complete" if summary["complete"] else "INCOMPLETE"
+                mechanism = summary.get("mechanism", "save")
                 print(
                     f"{summary['fingerprint']}  {summary['kernel']}  "
                     f"{summary['machine']}  engine={summary['engine']}  "
+                    f"mechanism={mechanism}  "
                     f"metric={summary['metric']}  rows={summary['rows']}  "
                     f"{state}"
                 )
             return 0
-        rows = store.query(
+        filters = dict(
             kernel=args.kernel,
             machine=args.machine,
             engine=args.engine,
+            mechanism=args.mechanism,
             metric=args.metric,
             bs_range=parse_range(args.bs, "--bs"),
             nbs_range=parse_range(args.nbs, "--nbs"),
         )
+        if args.group_by is not None:
+            columns = tuple(
+                c.strip() for c in args.group_by.split(",") if c.strip()
+            )
+            try:
+                groups = store.aggregate(columns, args.reduce, **filters)
+            except ValueError as error:
+                print(str(error), file=sys.stderr)
+                return 2
+            if args.format == "json":
+                import json
+
+                print(json.dumps(groups))
+                return 0
+            for group in groups:
+                label = "  ".join(
+                    f"{column}={group[column]}" for column in columns
+                )
+                print(f"{label}  {args.reduce}={group['value']:.6g}")
+            print(f"({len(groups)} groups)")
+            return 0
+        rows = store.query(**filters)
         if args.count:
             print(sum(1 for _ in rows))
             return 0

@@ -63,6 +63,7 @@ class SweepStore:
         kernel: Optional[str] = None,
         machine: Optional[str] = None,
         engine: Optional[str] = None,
+        mechanism: Optional[str] = None,
         metric: Optional[str] = None,
         bs_range: Optional[tuple[float, float]] = None,
         nbs_range: Optional[tuple[float, float]] = None,
@@ -74,7 +75,8 @@ class SweepStore:
         identity; ``bs_range``/``nbs_range`` are inclusive bounds on
         the per-point sparsity columns.  Rows come out in (sweep
         fingerprint, segment, row) order — deterministic for a given
-        store state.
+        store state.  Manifests written before the mechanism axis read
+        back as ``mechanism="save"``.
         """
         for manifest in self.manifests():
             meta = manifest["meta"]
@@ -86,6 +88,8 @@ class SweepStore:
                 continue
             if engine is not None and meta.get("engine") != engine:
                 continue
+            if mechanism is not None and meta.get("mechanism", "save") != mechanism:
+                continue
             if metric is not None and meta.get("metric") != metric:
                 continue
             sweep_dir = self.root / manifest["fingerprint"]
@@ -93,6 +97,7 @@ class SweepStore:
                 "kernel": meta.get("kernel"),
                 "machine": meta.get("machine"),
                 "engine": meta.get("engine"),
+                "mechanism": meta.get("mechanism", "save"),
                 "metric": meta.get("metric"),
             }
             for entry in manifest["segments"]:
@@ -117,6 +122,74 @@ class SweepStore:
     def count(self, **filters: Any) -> int:
         """Number of rows a :meth:`query` with these filters would yield."""
         return sum(1 for _ in self.query(**filters))
+
+    # -- aggregation ------------------------------------------------------
+
+    #: Reductions ``aggregate`` supports over the ``value`` column.
+    REDUCERS = ("mean", "min", "max", "count")
+
+    def aggregate(
+        self,
+        group_by: "tuple[str, ...] | list[str]",
+        reduce: str = "mean",
+        **filters: Any,
+    ) -> list[dict[str, Any]]:
+        """Group matching rows by columns and reduce their values.
+
+        Streams :meth:`query` rows through O(groups) running
+        accumulators — raw rows are never collected, so aggregating a
+        million-point store costs one segment of memory plus one
+        accumulator per distinct group.  Results come back sorted by
+        group key, each row carrying the group columns, ``reduce`` and
+        the reduced ``value`` (row count for ``reduce="count"``).
+        """
+        columns = tuple(group_by)
+        if not columns:
+            raise ValueError("group_by needs at least one column")
+        for column in columns:
+            if column not in QUERY_FIELDS:
+                raise ValueError(
+                    f"unknown group-by column {column!r}; "
+                    f"available: {', '.join(QUERY_FIELDS)}"
+                )
+        if reduce not in self.REDUCERS:
+            raise ValueError(
+                f"unknown reduction {reduce!r}; "
+                f"available: {', '.join(self.REDUCERS)}"
+            )
+        # group key → [count, sum, min, max]
+        groups: dict[tuple, list[float]] = {}
+        for row in self.query(**filters):
+            key = tuple(row[column] for column in columns)
+            value = row["value"]
+            acc = groups.get(key)
+            if acc is None:
+                groups[key] = [1, value, value, value]
+            else:
+                acc[0] += 1
+                acc[1] += value
+                acc[2] = min(acc[2], value)
+                acc[3] = max(acc[3], value)
+        try:
+            ordered = sorted(groups)
+        except TypeError:  # mixed-type keys (e.g. None from old manifests)
+            ordered = sorted(groups, key=lambda k: tuple(map(str, k)))
+        out = []
+        for key in ordered:
+            count, total, low, high = groups[key]
+            if reduce == "count":
+                value = float(count)
+            elif reduce == "mean":
+                value = total / count
+            elif reduce == "min":
+                value = low
+            else:
+                value = high
+            result = dict(zip(columns, key))
+            result["reduce"] = reduce
+            result["value"] = value
+            out.append(result)
+        return out
 
     # -- export -----------------------------------------------------------
 

@@ -24,7 +24,9 @@ from typing import Any
 #: the manifest structure, the segment column set, or their dtypes;
 #: the store refuses to read mismatched versions (stores are caches —
 #: re-sweeping is always safe, silently misreading is not).
-STORE_SCHEMA_VERSION = 1
+#: v2: ``mechanism`` joined the sweep identity, so sweeps run under
+#: different skip mechanisms never share a fingerprint.
+STORE_SCHEMA_VERSION = 2
 
 #: Per-point segment columns: name → numpy dtype string.  Every segment
 #: NPZ contains exactly these arrays, all of one common length.
@@ -42,6 +44,7 @@ SWEEP_META_FIELDS = (
     "kernel",
     "machine",
     "engine",
+    "mechanism",
     "metric",
     "precision",
     "k_steps",
@@ -55,6 +58,7 @@ QUERY_FIELDS = (
     "kernel",
     "machine",
     "engine",
+    "mechanism",
     "metric",
     "bs",
     "nbs",
@@ -73,11 +77,19 @@ def sweep_fingerprint(meta: dict[str, Any]) -> str:
     payload = {"schema": STORE_SCHEMA_VERSION}
     for field in SWEEP_META_FIELDS:
         payload[field] = meta.get(field)
+    if payload["mechanism"] is None:
+        payload["mechanism"] = "save"
     return canonical_fingerprint(payload)
 
 
 def validate_meta(meta: dict[str, Any]) -> dict[str, Any]:
-    """Check a sweep identity dict; returns it normalised to the field set."""
+    """Check a sweep identity dict; returns it normalised to the field set.
+
+    ``mechanism`` defaults to ``"save"`` when absent — producers that
+    predate the mechanism axis describe SAVE sweeps by construction.
+    """
+    if "mechanism" not in meta:
+        meta = {**meta, "mechanism": "save"}
     missing = [f for f in SWEEP_META_FIELDS if f not in meta]
     if missing:
         raise ValueError(f"sweep meta missing fields: {', '.join(missing)}")

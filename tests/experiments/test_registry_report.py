@@ -12,7 +12,7 @@ class TestRegistry:
         expected = {
             "table1", "table2", "table3",
             "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-            "ablations", "energy", "validation", "scaling",
+            "ablations", "energy", "validation", "scaling", "rivals",
         }
         assert set(EXPERIMENTS) == expected
 

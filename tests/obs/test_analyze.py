@@ -225,7 +225,8 @@ class TestTraceReportCli:
     def test_garbage_file_is_clear_error(self, tmp_path, capsys):
         path = tmp_path / "bad.jsonl"
         path.write_text(
-            '{"v": 1, "cycle": 0, "event": "retire", "kernel": "k", "seq": 0}\n'
+            '{"v": 2, "cycle": 0, "event": "retire", "kernel": "k", '
+            '"mechanism": "save", "seq": 0}\n'
             "not json at all\n"
         )
         assert trace_report_main([str(path)]) == 2

@@ -142,6 +142,70 @@ class TestCompare:
         assert not deltas[0]["regressed"]
 
 
+def _serve_entry(p95_by_mix, wall=1.0):
+    entry = _entry(wall=wall)
+    workload = entry["workloads"].pop("single_save_point")
+    workload["mixes"] = {
+        mix: {
+            "requests": 16,
+            "throughput_rps": 100.0,
+            "p50_ms": p95 / 2,
+            "p95_ms": p95,
+            "p99_ms": p95 * 1.5,
+        }
+        for mix, p95 in p95_by_mix.items()
+    }
+    entry["workloads"]["serve_roundtrip"] = workload
+    return entry
+
+
+class TestCompareMixes:
+    """Per-mix p95 thresholds for serve_roundtrip."""
+
+    def test_mix_p95_within_threshold_is_ok(self):
+        deltas = compare_entries(
+            _serve_entry({"hot": 10.0, "scan": 20.0, "cold": 30.0}),
+            _serve_entry({"hot": 11.0, "scan": 22.0, "cold": 33.0}),
+        )
+        assert deltas[0]["status"] == "ok"
+        assert all(not mix["regressed"] for mix in deltas[0]["mixes"])
+
+    def test_single_mix_p95_regression_fails_workload(self):
+        # Wall time is flat — only the cold mix's tail blew up.
+        deltas = compare_entries(
+            _serve_entry({"hot": 10.0, "scan": 20.0, "cold": 30.0}),
+            _serve_entry({"hot": 10.0, "scan": 20.0, "cold": 40.0}),
+        )
+        assert deltas[0]["status"] == "regressed"
+        by_mix = {mix["mix"]: mix for mix in deltas[0]["mixes"]}
+        assert by_mix["cold"]["regressed"]
+        assert by_mix["cold"]["change"] == pytest.approx(1 / 3, abs=1e-4)
+        assert not by_mix["hot"]["regressed"]
+        assert not by_mix["scan"]["regressed"]
+
+    def test_mix_threshold_is_configurable(self):
+        previous = _serve_entry({"hot": 10.0})
+        current = _serve_entry({"hot": 12.5})  # +25%
+        assert compare_entries(previous, current)[0]["regressed"]
+        assert not compare_entries(previous, current, mix_threshold=0.3)[0][
+            "regressed"
+        ]
+
+    def test_new_mix_has_no_baseline(self):
+        deltas = compare_entries(
+            _serve_entry({"hot": 10.0}),
+            _serve_entry({"hot": 10.0, "cold": 50.0}),
+        )
+        assert [mix["mix"] for mix in deltas[0]["mixes"]] == ["hot"]
+        assert not deltas[0]["regressed"]
+
+    def test_mix_improvement_is_ok(self):
+        deltas = compare_entries(
+            _serve_entry({"hot": 40.0}), _serve_entry({"hot": 10.0})
+        )
+        assert not deltas[0]["regressed"]
+
+
 class TestBenchMain:
     """End-to-end CLI runs with the suite monkeypatched to be instant."""
 

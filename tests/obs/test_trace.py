@@ -20,7 +20,10 @@ from repro.obs import (
 
 class TestSchema:
     def test_valid_event_passes(self):
-        validate_event({"cycle": 3, "event": "retire", "kernel": "k", "seq": 7})
+        validate_event(
+            {"cycle": 3, "event": "retire", "kernel": "k",
+             "mechanism": "save", "seq": 7}
+        )
 
     def test_missing_common_field(self):
         with pytest.raises(ValueError, match="kernel"):
@@ -28,15 +31,24 @@ class TestSchema:
 
     def test_unknown_event_type(self):
         with pytest.raises(ValueError, match="unknown"):
-            validate_event({"cycle": 0, "event": "teleport", "kernel": "k"})
+            validate_event(
+                {"cycle": 0, "event": "teleport", "kernel": "k",
+                 "mechanism": "save"}
+            )
 
     def test_missing_required_field(self):
         with pytest.raises(ValueError, match="elm"):
-            validate_event({"cycle": 0, "event": "elm", "kernel": "k", "seq": 1})
+            validate_event(
+                {"cycle": 0, "event": "elm", "kernel": "k",
+                 "mechanism": "save", "seq": 1}
+            )
 
     def test_negative_cycle(self):
         with pytest.raises(ValueError, match="cycle"):
-            validate_event({"cycle": -1, "event": "retire", "kernel": "k", "seq": 0})
+            validate_event(
+                {"cycle": -1, "event": "retire", "kernel": "k",
+                 "mechanism": "save", "seq": 0}
+            )
 
 
 class TestSinks:
@@ -56,7 +68,7 @@ class TestSinks:
             sink.emit({"cycle": 1, "event": "retire", "kernel": "k", "seq": 0})
         events = list(read_jsonl(str(path)))
         assert len(events) == 1
-        assert events[0]["v"] == 1
+        assert events[0]["v"] == 2
         assert sink.events_written == 1
 
 
@@ -74,7 +86,14 @@ class TestInstrumentation:
         assert event["cycle"] == 5
         assert event["event"] == "retire"
         assert event["kernel"] == "k1"
+        assert event["mechanism"] == "save"
         assert event["seq"] == 9
+
+    def test_emit_stamps_mechanism(self):
+        sink = ListSink()
+        obs = Instrumentation(sink=sink, kernel="k1", mechanism="sparce")
+        obs.emit(0, "retire", seq=0)
+        assert sink.events[0]["mechanism"] == "sparce"
 
 
 def _simulate(obs=None, bs=0.3, nbs=0.6):
@@ -135,7 +154,10 @@ class TestReadJsonlErrors:
     def _line(self, **extra):
         import json
 
-        event = {"v": 1, "cycle": 0, "event": "retire", "kernel": "k", "seq": 0}
+        event = {
+            "v": 2, "cycle": 0, "event": "retire", "kernel": "k",
+            "mechanism": "save", "seq": 0,
+        }
         event.update(extra)
         return json.dumps(event)
 

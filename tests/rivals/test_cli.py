@@ -1,0 +1,109 @@
+"""Tests for ``repro compare`` and the kernel-library error path."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.kernels.library import UnknownKernelError, get_kernel
+from repro.rivals.cli import _levels, compare_main
+
+
+class TestKernelLookup:
+    def test_unknown_kernel_lists_registered_names(self):
+        with pytest.raises(UnknownKernelError) as excinfo:
+            get_kernel("resnet99_fwd")
+        message = str(excinfo.value)
+        assert "resnet99_fwd" in message
+        # The message must name real alternatives, including N:M ones.
+        assert "nm24_fwd" in message
+        assert "resnet2_2_fwd" in message
+
+    def test_unknown_kernel_is_still_a_key_error(self):
+        # Callers that caught KeyError keep working.
+        with pytest.raises(KeyError):
+            get_kernel("nope")
+
+
+class TestLevels:
+    def test_evenly_spaced_over_09(self):
+        assert _levels(4) == [0.0, 0.3, 0.6, 0.9]
+        assert _levels(2) == [0.0, 0.9]
+
+    def test_too_small_grid(self):
+        with pytest.raises(ValueError, match="grid"):
+            _levels(1)
+
+
+class TestCompareCli:
+    def test_smoke_writes_artifact_and_store(self, tmp_path, capsys):
+        out = tmp_path / "artifact"
+        store = tmp_path / "store"
+        code = compare_main(
+            [
+                "--grid", "2", "--k-steps", "4",
+                "--out", str(out), "--store", str(store),
+                "--tag", "smoke", "--no-chart",
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "Skip-mechanism comparison on nm24_fwd" in stdout
+        payload = json.loads((out / "smoke.json").read_text())
+        assert payload["mechanisms"] == ["save", "sparce", "indexmac"]
+        for grid in payload["speedups"].values():
+            assert len(grid) == 4
+        markdown = (out / "smoke.md").read_text()
+        assert "indexmac speedup" in markdown
+        from repro.store import SweepStore
+
+        assert SweepStore(store).count() == 3 * 4
+
+    def test_unknown_kernel_is_a_clean_error(self, tmp_path, capsys):
+        assert compare_main(["--kernel", "bogus", "--grid", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "nm24_fwd" in err
+
+    def test_bad_mechanism_pairing_is_a_clean_error(self, capsys):
+        code = compare_main(
+            [
+                "--kernel", "resnet2_2_fwd",
+                "--mechanisms", "indexmac",
+                "--grid", "2", "--k-steps", "4",
+            ]
+        )
+        assert code == 2
+        assert "structured" in capsys.readouterr().err
+
+    def test_mechanism_subset(self, tmp_path, capsys):
+        code = compare_main(
+            ["--grid", "2", "--k-steps", "4", "--mechanisms", "save,sparce",
+             "--no-chart"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sparce" in out and "indexmac" not in out
+
+    def test_main_dispatches_compare(self, capsys):
+        code = main(
+            ["compare", "--grid", "2", "--k-steps", "4",
+             "--mechanisms", "save", "--no-chart"]
+        )
+        assert code == 0
+        assert "Skip-mechanism comparison" in capsys.readouterr().out
+
+
+class TestExperimentMechanismFlag:
+    def test_fig15_accepts_mechanism_sparce(self, capsys):
+        code = main(
+            ["fig15", "--k-steps", "2", "--mechanism", "sparce"]
+        )
+        assert code == 0
+        assert "fig15 completed" in capsys.readouterr().out
+
+    def test_rival_mechanism_with_fast_engine_fails(self, capsys):
+        with pytest.raises(Exception, match="exact"):
+            main(
+                ["fig15", "--k-steps", "2", "--mechanism", "sparce",
+                 "--engine", "fast"]
+            )

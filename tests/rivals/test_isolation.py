@@ -1,0 +1,83 @@
+"""Mechanism isolation: no cache/store identity is shared across
+mechanisms, anywhere results are keyed by content address."""
+
+import pytest
+
+from repro.serve.schema import RequestError, parse_request
+from repro.store.schema import sweep_fingerprint, validate_meta
+
+
+def serve_body(**overrides):
+    body = {
+        "kind": "point",
+        "kernel": {"rows": 2, "cols": 2, "k_steps": 4},
+        "machine": {"preset": "save"},
+        "point": [0.3, 0.6],
+    }
+    body.update(overrides)
+    return body
+
+
+def store_meta(**overrides):
+    meta = {
+        "kernel": "nm24_fwd",
+        "machine": "save-2vpu@1.7",
+        "engine": "exact",
+        "mechanism": "save",
+        "metric": "time_ns",
+        "precision": "fp32",
+        "k_steps": 8,
+        "seed": 0,
+    }
+    meta.update(overrides)
+    return meta
+
+
+class TestServeFingerprints:
+    def test_mechanisms_never_share_a_fingerprint(self):
+        save = parse_request(serve_body())
+        explicit_save = parse_request(serve_body(mechanism="save"))
+        sparce = parse_request(serve_body(mechanism="sparce"))
+        # Omitting the field defaults to save — the same dedup key —
+        # while sparce gets a disjoint one.
+        assert save.fingerprint() == explicit_save.fingerprint()
+        assert sparce.fingerprint() != save.fingerprint()
+
+    def test_batch_keys_disjoint_too(self):
+        save = parse_request(serve_body())
+        sparce = parse_request(serve_body(mechanism="sparce"))
+        assert save.batch_key() != sparce.batch_key()
+
+    def test_jobs_carry_the_mechanism(self):
+        request = parse_request(serve_body(mechanism="sparce"))
+        assert all(job.mechanism == "sparce" for job in request.jobs())
+
+    def test_indexmac_rejected_by_serve(self):
+        with pytest.raises(RequestError, match="mechanism"):
+            parse_request(serve_body(mechanism="indexmac"))
+
+    def test_rival_with_fast_engine_rejected(self):
+        with pytest.raises(RequestError, match="exact"):
+            parse_request(serve_body(mechanism="sparce", engine="fast"))
+
+
+class TestStoreFingerprints:
+    def test_mechanisms_never_share_a_sweep_key(self):
+        prints = {
+            mechanism: sweep_fingerprint(store_meta(mechanism=mechanism))
+            for mechanism in ("save", "sparce", "indexmac")
+        }
+        assert len(set(prints.values())) == 3
+
+    def test_legacy_meta_maps_to_save(self):
+        legacy = store_meta()
+        del legacy["mechanism"]
+        assert sweep_fingerprint(legacy) == sweep_fingerprint(store_meta())
+        assert sweep_fingerprint(legacy) != sweep_fingerprint(
+            store_meta(mechanism="sparce")
+        )
+
+    def test_validate_meta_defaults_mechanism(self):
+        legacy = store_meta()
+        del legacy["mechanism"]
+        assert validate_meta(legacy)["mechanism"] == "save"

@@ -1,0 +1,154 @@
+"""Tests for the N:M structured-sparse kernel generator."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.library import get_kernel
+from repro.kernels.stream import GeneratorTraceStream
+from repro.kernels.tiling import BroadcastPattern, Precision, RegisterTile
+from repro.rivals.nm import (
+    NM_PATTERNS,
+    NMKernelConfig,
+    generate_nm_stream,
+    nm_level_mask,
+    parse_pattern,
+)
+
+
+def make_config(
+    rows=3,
+    cols=2,
+    pattern="2:4",
+    broadcast=BroadcastPattern.EXPLICIT,
+    k_steps=8,
+    precision=Precision.FP32,
+    bs=0.0,
+    nbs=0.0,
+    seed=0,
+):
+    return NMKernelConfig(
+        name="nm-test",
+        tile=RegisterTile(rows, cols, broadcast),
+        k_steps=k_steps,
+        pattern=pattern,
+        precision=precision,
+        broadcast_sparsity=bs,
+        nonbroadcast_sparsity=nbs,
+        seed=seed,
+    )
+
+
+class TestPattern:
+    def test_parse_known_patterns(self):
+        assert parse_pattern("2:4") == (2, 4)
+        assert parse_pattern("4:8") == (4, 8)
+
+    def test_parse_unknown_pattern(self):
+        with pytest.raises(ValueError, match="2:4"):
+            parse_pattern("1:16")
+
+    def test_config_rejects_unknown_pattern(self):
+        with pytest.raises(ValueError, match="pattern"):
+            make_config(pattern="3:9")
+
+    @pytest.mark.parametrize("pattern", sorted(NM_PATTERNS))
+    def test_effective_floor(self, pattern):
+        n, m = NM_PATTERNS[pattern]
+        config = make_config(pattern=pattern, bs=0.0)
+        assert config.effective_broadcast_sparsity == pytest.approx(1 - n / m)
+
+    def test_effective_sparsity_quantised_to_lattice(self):
+        config = make_config(pattern="2:4", bs=0.6)
+        # round(0.6 * 4) / 4 = 0.5: 0.6 is not representable on 2:4.
+        assert config.effective_broadcast_sparsity == pytest.approx(0.5)
+        high = make_config(pattern="2:4", bs=0.8)
+        assert high.effective_broadcast_sparsity == pytest.approx(0.75)
+        full = make_config(pattern="2:4", bs=0.9)
+        assert full.effective_broadcast_sparsity == pytest.approx(1.0)
+
+
+class TestLevelMask:
+    @pytest.mark.parametrize("pattern", sorted(NM_PATTERNS))
+    @pytest.mark.parametrize("sparsity", [0.0, 0.3, 0.5, 0.75, 1.0])
+    def test_mask_is_nm_legal(self, pattern, sparsity):
+        n, m = NM_PATTERNS[pattern]
+        rng = np.random.default_rng(0)
+        keep = nm_level_mask(4 * m, n, m, sparsity, rng)
+        for start in range(0, keep.size, m):
+            assert keep[start : start + m].sum() <= n
+
+    def test_requested_sparsity_honoured_above_floor(self):
+        rng = np.random.default_rng(0)
+        keep = nm_level_mask(40, 2, 4, 0.75, rng)
+        assert keep.sum() == 10  # 3 zeros per group of 4
+
+    def test_partial_tail_group(self):
+        rng = np.random.default_rng(0)
+        keep = nm_level_mask(6, 2, 4, 0.0, rng)
+        # Full group keeps 2 of 4; the 2-level tail scales to 1 of 2.
+        assert keep[:4].sum() == 2
+        assert keep[4:].sum() == 1
+
+    def test_out_of_range_sparsity(self):
+        with pytest.raises(ValueError, match="sparsity"):
+            nm_level_mask(8, 2, 4, 1.5, np.random.default_rng(0))
+
+    def test_same_seed_same_mask(self):
+        first = nm_level_mask(32, 2, 4, 0.5, np.random.default_rng(7))
+        second = nm_level_mask(32, 2, 4, 0.5, np.random.default_rng(7))
+        np.testing.assert_array_equal(first, second)
+
+
+class TestStream:
+    def test_a_matrix_is_nm_legal(self):
+        config = make_config(k_steps=16, bs=0.6, nbs=0.4)
+        stream = generate_nm_stream(config)
+        a = stream.meta["a_matrix"]
+        n, m = config.nm
+        for start in range(0, a.shape[1], m):
+            group = a[:, start : start + m]
+            assert (np.any(group != 0, axis=0)).sum() <= n
+
+    def test_meta_carries_pattern_and_realised_level(self):
+        config = make_config(k_steps=16, bs=0.6)
+        stream = generate_nm_stream(config)
+        assert stream.meta["pattern"] == "2:4"
+        assert stream.meta["nm"] == (2, 4)
+        assert stream.meta["effective_broadcast_sparsity"] == pytest.approx(
+            0.5
+        )
+        assert stream.meta["level_mask"].size == config.k_depth
+
+    def test_functional_result_matches_linear_algebra(self):
+        config = make_config(rows=3, cols=2, k_steps=16, bs=0.6, nbs=0.4)
+        stream = generate_nm_stream(config)
+        result = stream.result_matrix(stream.reference_result())
+        a = stream.meta["a_matrix"]
+        b = stream.meta["b_matrix"]
+        np.testing.assert_allclose(result, a @ b, rtol=1e-5, atol=1e-5)
+
+    def test_mixed_precision_doubles_depth(self):
+        config = make_config(precision=Precision.MIXED, k_steps=8)
+        assert config.k_depth == 16
+        stream = generate_nm_stream(config)
+        assert stream.meta["a_matrix"].shape[1] == 16
+
+    def test_same_seed_bit_identical_stream(self):
+        config = make_config(k_steps=12, bs=0.5, nbs=0.5, seed=3)
+        first = generate_nm_stream(config).materialize()
+        second = generate_nm_stream(config).materialize()
+        assert first == second
+
+    def test_stream_restartable(self):
+        stream = generate_nm_stream(make_config(k_steps=12, bs=0.5))
+        assert isinstance(stream, GeneratorTraceStream)
+        assert stream.materialize() == stream.materialize()
+
+    def test_library_kernels_are_structured(self):
+        for name in ("nm24_fwd", "nm48_bwd_input"):
+            spec = get_kernel(name)
+            config = spec.config(
+                broadcast_sparsity=0.5, nonbroadcast_sparsity=0.5, k_steps=8
+            )
+            assert isinstance(config, NMKernelConfig)
+            generate_nm_stream(config)

@@ -78,7 +78,7 @@ class TestQueryMain:
     def test_csv_format(self, swept_store, capsys):
         assert query_main([str(swept_store), "--format", "csv"]) == 0
         lines = capsys.readouterr().out.strip().splitlines()
-        assert lines[0] == "kernel,machine,engine,metric,bs,nbs,value"
+        assert lines[0] == "kernel,machine,engine,mechanism,metric,bs,nbs,value"
         assert len(lines) == 17
 
     def test_json_format(self, swept_store, capsys):
@@ -104,3 +104,51 @@ class TestQueryMain:
             [str(swept_store), "--kernel", "absent", "--count"]
         ) == 0
         assert capsys.readouterr().out.strip() == "0"
+
+
+class TestQueryAggregation:
+    def test_group_by_count(self, swept_store, capsys):
+        code = query_main(
+            [str(swept_store), "--group-by", "mechanism", "--reduce", "count"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mechanism=save  count=16" in out
+        assert "(1 groups)" in out
+
+    def test_group_by_two_columns_mean(self, swept_store, capsys):
+        code = query_main(
+            [str(swept_store), "--group-by", "kernel,bs"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[-1] == "(4 groups)"
+        assert all("mean=" in line for line in lines[:-1])
+        assert all(line.startswith("kernel=resnet2_2_fwd") for line in lines[:-1])
+
+    def test_group_by_json(self, swept_store, capsys):
+        code = query_main(
+            [
+                str(swept_store), "--group-by", "bs", "--reduce", "max",
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        groups = json.loads(capsys.readouterr().out)
+        assert len(groups) == 4
+        assert all(group["reduce"] == "max" for group in groups)
+
+    def test_group_by_respects_filters(self, swept_store, capsys):
+        code = query_main(
+            [
+                str(swept_store), "--group-by", "bs", "--reduce", "count",
+                "--bs", "0.0:0.3",
+            ]
+        )
+        assert code == 0
+        assert "(2 groups)" in capsys.readouterr().out
+
+    def test_unknown_column_exits_2(self, swept_store, capsys):
+        code = query_main([str(swept_store), "--group-by", "flavour"])
+        assert code == 2
+        assert "flavour" in capsys.readouterr().err

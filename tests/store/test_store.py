@@ -187,6 +187,67 @@ class TestQuery:
         assert empty.describe() == []
 
 
+class TestAggregate:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        write_points(tmp_path, POINTS)
+        write_points(
+            tmp_path,
+            [(0.0, 0.0, 20.0), (0.5, 0.5, 2.0)],
+            meta(mechanism="sparce"),
+        )
+        return SweepStore(tmp_path)
+
+    def test_mean_by_mechanism(self, store):
+        rows = store.aggregate(("mechanism",), reduce="mean")
+        by_mechanism = {row["mechanism"]: row["value"] for row in rows}
+        assert by_mechanism["save"] == pytest.approx(28.5 / 4)
+        assert by_mechanism["sparce"] == pytest.approx(11.0)
+        assert all(row["reduce"] == "mean" for row in rows)
+
+    def test_count_by_mechanism(self, store):
+        rows = store.aggregate(("mechanism",), reduce="count")
+        assert {(r["mechanism"], r["value"]) for r in rows} == {
+            ("save", 4.0),
+            ("sparce", 2.0),
+        }
+
+    def test_min_max(self, store):
+        low = store.aggregate(("kernel",), reduce="min")
+        high = store.aggregate(("kernel",), reduce="max")
+        assert low[0]["value"] == 2.0
+        assert high[0]["value"] == 20.0
+
+    def test_multi_column_groups_sorted(self, store):
+        rows = store.aggregate(("mechanism", "bs"), reduce="mean")
+        keys = [(row["mechanism"], row["bs"]) for row in rows]
+        assert keys == sorted(keys)
+        assert len(keys) == 4  # two mechanisms x two bs levels
+
+    def test_filters_apply_before_grouping(self, store):
+        rows = store.aggregate(
+            ("mechanism",), reduce="count", mechanism="sparce"
+        )
+        assert rows == [
+            {"mechanism": "sparce", "reduce": "count", "value": 2.0}
+        ]
+
+    def test_unknown_column_rejected(self, store):
+        with pytest.raises(ValueError, match="group-by column"):
+            store.aggregate(("flavour",))
+
+    def test_unknown_reduction_rejected(self, store):
+        with pytest.raises(ValueError, match="reduction"):
+            store.aggregate(("mechanism",), reduce="median")
+
+    def test_empty_group_by_rejected(self, store):
+        with pytest.raises(ValueError, match="at least one"):
+            store.aggregate(())
+
+    def test_empty_store_aggregates_empty(self, tmp_path):
+        assert SweepStore(tmp_path / "none").aggregate(("kernel",)) == []
+
+
 class TestExport:
     def test_csv_header_and_rows(self, tmp_path):
         write_points(tmp_path, POINTS)
@@ -196,7 +257,7 @@ class TestExport:
         assert lines[0] == ",".join(QUERY_FIELDS)
         assert count == len(POINTS)
         assert len(lines) == len(POINTS) + 1
-        assert lines[1].startswith("resnet2_2_fwd,save-2vpu@1.7,fast,time_ns,")
+        assert lines[1].startswith("resnet2_2_fwd,save-2vpu@1.7,fast,save,time_ns,")
 
     def test_json_field_order(self, tmp_path):
         write_points(tmp_path, POINTS)
