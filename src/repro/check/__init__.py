@@ -3,38 +3,66 @@
 The reproduction's headline claims rest on invariants that unit tests
 can only sample: the cycle-accurate core must stay deterministic
 (parallel == serial bit-for-bit), every trace event the simulator emits
-must match the versioned schema in :mod:`repro.obs.trace`, and the
-threaded serving layer must touch shared state only under its locks.
-This package machine-checks those invariants on every change with an
-AST-based rule engine over ``src/``:
+must match the versioned schema in :mod:`repro.obs.trace`, the threaded
+serving layer must touch shared state only under its locks, and every
+identity axis (engine, mechanism, kernel, machine, metric) must reach
+every fingerprint surface.  This package machine-checks those
+invariants on every change with a whole-program analysis engine over
+``src/``:
 
-* :mod:`repro.check.engine` — file walking, suppression comments,
-  diagnostics, and the :class:`Rule` base classes.
+* :mod:`repro.check.engine` — the runner: file walking, suppression
+  comments, diagnostics, the :class:`Rule`/:class:`FactRule` base
+  classes, and the incremental analysis cache hookup.
+* :mod:`repro.check.program` — per-file fact extraction (symbol
+  table, classes, call graph) and the assembled program index the
+  cross-module rules query.
+* :mod:`repro.check.cache` — content-hash-keyed on-disk cache; warm
+  re-runs only re-parse changed files.
 * :mod:`repro.check.determinism` — wall-clock reads, unseeded RNGs,
   hash-order-dependent logic and float equality in simulation code.
 * :mod:`repro.check.schema_drift` — cross-checks ``Instrumentation``
   emit sites and ``MetricsRegistry`` instrument names against the
   trace schema and its consumers, in both directions.
 * :mod:`repro.check.locks` — attribute writes outside the owning
-  lock in the serving layer's lock-holding classes.
+  lock, lock-free calls to ``*_locked`` helpers (call-graph-aware),
+  and bare ``acquire()`` without try/finally.
+* :mod:`repro.check.identity` — every ``PointJob`` identity axis must
+  reach every identity surface (serve fingerprint, batch key,
+  sweep-store meta, trace common fields, ``SimResult``).
+* :mod:`repro.check.contracts` — ``*_FIELDS``/``*_COLUMNS``/
+  ``*_PHASES`` edits must come with a ``*_SCHEMA_VERSION`` bump,
+  enforced against the committed ``contracts.json`` snapshot.
+* :mod:`repro.check.boundary` — objects crossing the ``SimExecutor``
+  process-pool boundary must be frozen dataclasses; no lambdas or
+  closures into ``pool.submit``.
+* :mod:`repro.check.sarif` — SARIF 2.1.0 rendering for CI annotation.
+* :mod:`repro.check.baseline` — known-diagnostic baseline so CI gates
+  on *new* findings only.
 * :mod:`repro.check.cli` — the ``repro check`` command.
 
 Suppress an intentional violation with a trailing
 ``# repro: no-check[rule-id]`` comment (see ``docs/architecture.md``
 § Static analysis for the full syntax and the rule catalogue).
+Suppressions that stop matching anything are themselves flagged
+(``unused-suppression``).
 """
 
 from __future__ import annotations
 
+from repro.check.boundary import ProcessBoundaryRule
+from repro.check.contracts import ContractVersionRule
 from repro.check.determinism import DETERMINISM_RULES
 from repro.check.engine import (
+    UNUSED_SUPPRESSION_ID,
     CheckedFile,
     CheckResult,
     Diagnostic,
+    FactRule,
     Rule,
     UnknownRuleError,
     run_checks,
 )
+from repro.check.identity import IdentityCompletenessRule
 from repro.check.locks import LockDisciplineRule
 from repro.check.schema_drift import SchemaDriftRule
 
@@ -43,17 +71,37 @@ __all__ = [
     "CheckResult",
     "CheckedFile",
     "Diagnostic",
+    "FactRule",
     "Rule",
     "UnknownRuleError",
     "all_rules",
     "run_checks",
 ]
 
+
+class _UnusedSuppressionRule(Rule):
+    """Catalogue entry for the engine's own stale-marker diagnostics.
+
+    The engine emits these itself (they bypass suppression filtering);
+    this registration makes the id listable and ``--rule``-addressable.
+    """
+
+    id = UNUSED_SUPPRESSION_ID
+    description = (
+        "`# repro: no-check` comments that no longer suppress any "
+        "diagnostic (list them with --prune-suppressions)"
+    )
+
+
 #: Every registered rule, in catalogue order.
 ALL_RULES: tuple = (
     *DETERMINISM_RULES,
     SchemaDriftRule(),
     LockDisciplineRule(),
+    IdentityCompletenessRule(),
+    ContractVersionRule(),
+    ProcessBoundaryRule(),
+    _UnusedSuppressionRule(),
 )
 
 

@@ -1,0 +1,103 @@
+"""Diagnostic baseline: CI gates on *new* findings only.
+
+A baseline file records the known diagnostics of a tree so a newly
+enabled rule family (or a newly sharpened rule) does not require
+fixing every historical finding before it can gate CI.  Entries are
+keyed by ``(rule, path, message)`` — deliberately **line-insensitive**,
+so unrelated edits that shift a known finding by a few lines do not
+resurrect it; a finding only counts as new when its rule, file or
+message text actually changes.
+
+Identical findings repeated in one file (same rule + message on two
+lines) are matched by count: the baseline stores how many there were,
+and only occurrences beyond that count are new.
+
+The file is committed (``check-baseline.json``), regenerated with
+``repro check --write-baseline``, and read with ``repro check
+--baseline check-baseline.json``.  An empty or missing ``entries``
+list gates on everything — which is the desired end state: shrink the
+baseline to empty as findings get fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+
+from repro.check.engine import Diagnostic
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "baseline_key",
+    "filter_new",
+    "load_baseline",
+    "render_baseline",
+]
+
+BASELINE_SCHEMA = 1
+
+
+def baseline_key(diag: Diagnostic) -> tuple[str, str, str]:
+    return (diag.rule, diag.path, diag.message)
+
+
+def load_baseline(path: Path) -> Counter:
+    """The baseline as a multiset of ``(rule, path, message)`` keys.
+
+    Raises:
+        ValueError: unreadable file, bad JSON, or wrong schema.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ValueError(f"cannot read baseline {path}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ValueError(f"baseline {path} is not valid JSON: {error}") from None
+    if not isinstance(document, dict) or document.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline {path}: expected object with schema={BASELINE_SCHEMA}"
+        )
+    known: Counter = Counter()
+    for entry in document.get("entries", []):
+        known[(entry["rule"], entry["path"], entry["message"])] += int(
+            entry.get("count", 1)
+        )
+    return known
+
+
+def filter_new(
+    diagnostics: Sequence[Diagnostic], known: Counter
+) -> tuple[list[Diagnostic], int]:
+    """``(new_diagnostics, matched_count)`` against a baseline multiset."""
+    remaining = Counter(known)
+    new: list[Diagnostic] = []
+    matched = 0
+    for diag in diagnostics:
+        key = baseline_key(diag)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            new.append(diag)
+    return new, matched
+
+
+def render_baseline(diagnostics: Iterable[Diagnostic]) -> str:
+    """Byte-stable baseline serialisation for the current findings."""
+    counts = Counter(baseline_key(d) for d in diagnostics)
+    entries = [
+        {"rule": rule, "path": path, "message": message, "count": count}
+        for (rule, path, message), count in sorted(counts.items())
+    ]
+    document = {
+        "comment": (
+            "Known diagnostics `repro check --baseline` tolerates; CI "
+            "gates on findings NOT in this list. Regenerate with "
+            "`repro check --write-baseline` and shrink toward empty."
+        ),
+        "schema": BASELINE_SCHEMA,
+        "entries": entries,
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,179 @@
+"""Process-boundary escape: what crosses the worker pool must pickle.
+
+:class:`repro.experiments.executor.SimExecutor` ships work to
+``ProcessPoolExecutor`` workers; everything submitted is pickled in
+the parent and unpickled in the child.  Two failure modes are easy to
+introduce and miserable to debug:
+
+* **unpicklable callables** — a lambda or a closure handed to
+  ``pool.submit``/``pool.map`` raises ``PicklingError`` only at
+  runtime, and only on the multi-process path that CI's quick tier
+  may not exercise;
+* **mutable payloads** — a payload object with settable attributes
+  invites the classic fork bug: a worker (or the parent, between
+  submit and result) mutates state the other side never sees.  The
+  repo's convention is that pool payloads are frozen dataclasses all
+  the way down.
+
+The executor module declares its payload contract in a module-level
+``POOL_PAYLOAD_TYPES`` tuple of class names.  This rule checks, over
+the program index:
+
+* the tuple exists next to ``SimExecutor`` (a missing registry is
+  itself a diagnostic — the contract must be declared, not implied);
+* every listed class — and, transitively, every index-resolvable
+  class named in its field annotations — is a frozen dataclass,
+  unless listed in ``POOL_PAYLOAD_PICKLABLE`` (the documented escape
+  hatch for types that pickle safely without being dataclasses);
+* no ``submit``/``map`` call site in the executor module passes a
+  lambda or a locally-defined (closure) function.
+
+Scope note: only the executor's own module is scanned for submit
+sites; ``.map``/``.submit`` on arbitrary receivers elsewhere in the
+tree are far more often ``Executor.map`` lookalikes than pool calls.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+from collections.abc import Iterable
+
+from repro.check.engine import Diagnostic, FactRule, ProgramContext
+from repro.check.program import ClassInfo, ProgramFacts
+
+__all__ = ["ProcessBoundaryRule"]
+
+#: Module-level registry names the executor must / may declare.
+_REGISTRY = "POOL_PAYLOAD_TYPES"
+_PICKLABLE_OK = "POOL_PAYLOAD_PICKLABLE"
+
+#: Identifier tokens inside field annotations that name candidate
+#: classes (``Optional[MachineConfig]`` → ``Optional``, ``MachineConfig``).
+_ANNOTATION_TOKEN_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: Pool submit methods whose callable argument must pickle.
+_SUBMIT_ATTRS = (".submit", ".map")
+
+
+class ProcessBoundaryRule(FactRule):
+    id = "process-boundary"
+    description = (
+        "objects crossing the SimExecutor process-pool boundary must be "
+        "frozen dataclasses (or documented-picklable), and submitted "
+        "callables must not be lambdas/closures"
+    )
+
+    def check_facts(self, ctx: ProgramContext) -> Iterable[Diagnostic]:
+        executor = self._executor_file(ctx)
+        if executor is None:
+            return  # no SimExecutor in this tree (fixture subset)
+        facts, executor_cls = executor
+
+        yield from self._check_submit_sites(facts)
+
+        registry = facts.assign(_REGISTRY)
+        if registry is None:
+            yield self.diag_at(
+                facts.rel,
+                executor_cls.loc,
+                f"executor module declares no {_REGISTRY}; list every "
+                "type that crosses the pool boundary so the "
+                "process-boundary rule can hold them frozen",
+            )
+            return
+        if not registry.is_literal or not isinstance(registry.literal, tuple):
+            yield self.diag_at(
+                facts.rel,
+                registry.loc,
+                f"{_REGISTRY} must be a literal tuple of class names",
+            )
+            return
+
+        allow = self._picklable_allow(facts)
+        seen: set[str] = set()
+        queue = [
+            (name, f"{_REGISTRY} entry")
+            for name in registry.literal
+            if isinstance(name, str)
+        ]
+        while queue:
+            name, how = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            if name in allow:
+                continue
+            found = ctx.index.find_class(name)
+            if not found:
+                if how.startswith(_REGISTRY):
+                    yield self.diag_at(
+                        facts.rel,
+                        registry.loc,
+                        f"{_REGISTRY} names {name!r} but no class of that "
+                        "name exists in the tree",
+                    )
+                continue  # annotation token that isn't a project class
+            cls_facts, cls = found[0]
+            if any(base.split(".")[-1].endswith("Enum") for base in cls.bases):
+                continue  # enum members pickle by name; immutable enough
+            if not cls.is_frozen_dataclass():
+                yield self.diag_at(
+                    cls_facts.rel,
+                    cls.loc,
+                    f"{cls.name} crosses the SimExecutor process-pool "
+                    f"boundary ({how}) but is not a frozen dataclass; "
+                    "freeze it or add it to "
+                    f"{_PICKLABLE_OK} with a justification",
+                )
+                continue
+            for field_info in cls.fields:
+                for token in _ANNOTATION_TOKEN_RE.findall(
+                    field_info.annotation
+                ):
+                    if token not in seen and ctx.index.find_class(token):
+                        queue.append(
+                            (token, f"field {cls.name}.{field_info.name}")
+                        )
+
+    def _executor_file(
+        self, ctx: ProgramContext
+    ) -> Optional[tuple[ProgramFacts, ClassInfo]]:
+        for facts, cls in ctx.index.find_class("SimExecutor"):
+            return facts, cls
+        return None
+
+    def _picklable_allow(self, facts: ProgramFacts) -> frozenset[str]:
+        info = facts.assign(_PICKLABLE_OK)
+        if info is not None and info.is_literal and isinstance(
+            info.literal, tuple
+        ):
+            return frozenset(n for n in info.literal if isinstance(n, str))
+        return frozenset()
+
+    def _check_submit_sites(self, facts: ProgramFacts) -> Iterable[Diagnostic]:
+        for fn in facts.functions:
+            for call in fn.calls:
+                if not any(call.callee.endswith(s) for s in _SUBMIT_ATTRS):
+                    continue
+                for index, shape in enumerate(call.arg_shapes):
+                    if shape == "lambda":
+                        yield self.diag_at(
+                            facts.rel,
+                            call.loc,
+                            f"{fn.qualname}() passes a lambda to "
+                            f"{call.callee}(); lambdas do not pickle "
+                            "across the process-pool boundary — use a "
+                            "module-level function",
+                        )
+                    elif shape.startswith("name:"):
+                        name = shape[len("name:"):]
+                        if index == 0 and name in fn.nested_defs:
+                            yield self.diag_at(
+                                facts.rel,
+                                call.loc,
+                                f"{fn.qualname}() passes locally-defined "
+                                f"{name}() to {call.callee}(); closures do "
+                                "not pickle across the process-pool "
+                                "boundary — hoist it to module level",
+                            )

@@ -1,0 +1,178 @@
+"""Incremental on-disk cache for ``repro check``.
+
+Two levels, both keyed by *content*, never by mtime:
+
+* **Per-file entries** — for each analysed file, keyed by the sha256 of
+  its bytes: the parsed suppression markers, the extracted fact records
+  (program facts plus one namespace per fact rule) and the per-file
+  rule diagnostics.  A warm re-run re-parses only files whose content
+  hash changed; unchanged files are served from their entry without
+  ever touching :func:`ast.parse`.
+* **A full-run memo** — keyed by the hash of the complete
+  ``(path, content-hash)`` vector plus the rule selection and any
+  external contract inputs: the finished :class:`CheckResult`.  When
+  literally nothing changed, the run is a hash-and-return.
+
+Every key additionally folds in :func:`checker_fingerprint` — a hash
+over the ``repro.check`` package's own source files — so editing any
+rule invalidates the whole cache automatically.  There is no version
+constant to forget to bump.
+
+Corrupt or unreadable entries are treated as misses, never as errors:
+the cache is an accelerator, and deleting the directory is always
+safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = [
+    "AnalysisCache",
+    "FileEntry",
+    "checker_fingerprint",
+    "content_hash",
+]
+
+#: On-disk layout version; bump only when the entry format changes in a
+#: way the self-hash cannot see (it cannot happen while the format is
+#: defined in this very package, but belt and braces).
+CACHE_LAYOUT = 1
+
+_checker_fp: Optional[str] = None
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def checker_fingerprint() -> str:
+    """Hash of the ``repro.check`` package's own source files.
+
+    Part of every cache key: a cache written by one version of the
+    analyzer is invisible to any other version.
+    """
+    global _checker_fp
+    if _checker_fp is None:
+        package_dir = Path(__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(package_dir.glob("*.py")):
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+        _checker_fp = digest.hexdigest()[:24]
+    return _checker_fp
+
+
+@dataclass
+class FileEntry:
+    """Cached analysis products of one file at one content hash."""
+
+    rel: str
+    hash: str
+    #: Parsed suppression markers (picklable ``Suppressions``).
+    suppressions: Any = None
+    #: Fact namespace -> extracted facts ("__program__" plus rule ids).
+    facts: dict[str, Any] = field(default_factory=dict)
+    #: Per-file rule id -> pre-suppression diagnostics.
+    diagnostics: dict[str, list] = field(default_factory=dict)
+
+
+class AnalysisCache:
+    """Content-addressed store under one directory.
+
+    Layout::
+
+        <dir>/files/<hash-prefix>/<content-hash>.pkl   per-file entries
+        <dir>/runs/<run-key>.pkl                       full-run memos
+
+    Writes are atomic (temp file + ``os.replace``) so a crashed run
+    never leaves a truncated pickle for the next run to choke on.
+    """
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys -------------------------------------------------------------
+
+    def _file_path(self, digest: str) -> Path:
+        return self.directory / "files" / digest[:2] / f"{digest}.pkl"
+
+    def _run_path(self, run_key: str) -> Path:
+        return self.directory / "runs" / f"{run_key}.pkl"
+
+    def file_key(self, data: bytes) -> str:
+        return content_hash(
+            data + f"|{CACHE_LAYOUT}|{checker_fingerprint()}".encode()
+        )
+
+    def run_key(
+        self,
+        file_hashes: list[tuple[str, str]],
+        rule_ids: Optional[tuple[str, ...]],
+        extra: str = "",
+    ) -> str:
+        digest = hashlib.sha256()
+        digest.update(f"{CACHE_LAYOUT}|{checker_fingerprint()}".encode())
+        digest.update(repr(sorted(file_hashes)).encode())
+        digest.update(repr(rule_ids).encode())
+        digest.update(extra.encode())
+        return digest.hexdigest()[:32]
+
+    # -- IO ---------------------------------------------------------------
+
+    def _load(self, path: Path) -> Optional[Any]:
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            return None
+
+    def _store(self, path: Path, payload: Any) -> None:
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                with open(tmp, "ab"):
+                    pass
+                os.unlink(tmp)
+                raise
+        except OSError:
+            # A read-only or full cache directory degrades to no
+            # caching; it must never fail the check run itself.
+            return
+
+    # -- per-file entries -------------------------------------------------
+
+    def load_file(self, key: str) -> Optional[FileEntry]:
+        entry = self._load(self._file_path(key))
+        if isinstance(entry, FileEntry) and entry.hash == key:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store_file(self, entry: FileEntry) -> None:
+        self._store(self._file_path(entry.hash), entry)
+
+    # -- full-run memo ----------------------------------------------------
+
+    def load_run(self, run_key: str) -> Optional[Any]:
+        return self._load(self._run_path(run_key))
+
+    def store_run(self, run_key: str, result: Any) -> None:
+        self._store(self._run_path(run_key), result)

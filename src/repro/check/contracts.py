@@ -1,0 +1,276 @@
+"""Contract-version coupling: schema tables only change with a bump.
+
+Every persisted or wire format in the tree is governed by module-level
+contract tables (``*_FIELDS``, ``*_COLUMNS``, ``*_PHASES``) next to a
+``*_SCHEMA_VERSION`` constant; consumers and stores key on the version
+to refuse data from an incompatible build.  The coupling is a
+convention — nothing stops an edit to ``SWEEP_META_FIELDS`` that
+forgets to bump ``STORE_SCHEMA_VERSION``, silently serving old rows
+under a new meaning.
+
+This rule enforces the coupling against a committed snapshot
+(``src/repro/check/contracts.json``): for every module with governed
+tables it records each table's declaration hash (sha256 over the
+``ast.dump`` of the value expression — defined even for computed
+values) and the module's version constants.  On each run:
+
+* a governed table whose hash differs from the snapshot while every
+  version constant in its module still has its snapshotted value →
+  **error** (the seeded-violation CI smoke);
+* a table changed *with* a version bump, or added/removed → the
+  snapshot is stale → **error** telling you to regenerate it with
+  ``repro check --write-contracts`` (so the next edit diffs against
+  the current truth — the two-step is the review trail);
+* a module with governed tables but no version constant is tracked
+  with ``versions: {}`` — only staleness is enforced.
+
+The snapshot is discovered under the scan root (``**/check/
+contracts.json``) so CI smoke trees built from copied sources carry
+their own.  No snapshot found → the rule is silent (fixture subsets).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Any, Optional
+from collections.abc import Iterable
+
+from repro.check.engine import Diagnostic, FactRule, ProgramContext, collect_files
+from repro.check.engine_types import Loc
+from repro.check.program import ProgramFacts, extract_program_facts
+
+__all__ = [
+    "ContractVersionRule",
+    "find_snapshot",
+    "generate_snapshot",
+    "write_snapshot",
+]
+
+#: Suffixes that make a module-level UPPER_CASE assignment a governed
+#: contract table.
+_TABLE_RE = re.compile(r"^[A-Z][A-Z0-9_]*(_FIELDS|_COLUMNS|_PHASES)$")
+
+#: Suffix of the version constants the tables are coupled to.
+_VERSION_RE = re.compile(r"^[A-Z][A-Z0-9_]*_SCHEMA_VERSION$")
+
+SNAPSHOT_NAME = "contracts.json"
+
+
+def _module_contracts(
+    facts: ProgramFacts,
+) -> tuple[dict[str, str], dict[str, Any], dict[str, int]]:
+    """``(tables, versions, lines)`` of one module's governed symbols."""
+    tables: dict[str, str] = {}
+    versions: dict[str, Any] = {}
+    lines: dict[str, int] = {}
+    for info in facts.assigns:
+        if _TABLE_RE.match(info.name):
+            tables[info.name] = info.dump_sha
+            lines[info.name] = info.loc.lineno
+        elif _VERSION_RE.match(info.name):
+            versions[info.name] = info.literal if info.is_literal else None
+            lines[info.name] = info.loc.lineno
+    return tables, versions, lines
+
+
+def contract_map(files: Iterable[ProgramFacts]) -> dict[str, dict[str, Any]]:
+    """``mod -> {"tables": {...}, "versions": {...}}`` for the tree.
+
+    Keyed by the normalised module path (``mod``), so the map is
+    identical whether the scan root was the repo, ``src/`` or the
+    package directory.  The analyzer's own package is excluded — the
+    snapshot lives there.
+    """
+    out: dict[str, dict[str, Any]] = {}
+    for facts in files:
+        if facts.mod.startswith("repro/check/"):
+            continue
+        tables, versions, _lines = _module_contracts(facts)
+        if tables:
+            out[facts.mod] = {"tables": tables, "versions": versions}
+    return out
+
+
+def find_snapshot(root: Path) -> Optional[Path]:
+    """The committed contract snapshot under ``root``, if any."""
+    root = Path(root)
+    if root.is_file():
+        return None
+    candidates = sorted(
+        p
+        for p in root.rglob(SNAPSHOT_NAME)
+        if p.parent.name == "check" and "__pycache__" not in p.parts
+    )
+    return candidates[0] if candidates else None
+
+
+def generate_snapshot(root: Path) -> dict[str, Any]:
+    """Compute the current contract snapshot document for ``root``."""
+    files, _errors = collect_files(Path(root))
+    facts = [
+        extract_program_facts(f.rel, f.mod, f.tree) for f in files
+    ]
+    return {
+        "comment": (
+            "Committed contract snapshot for the contract-version rule. "
+            "Regenerate with `repro check <root> --write-contracts` "
+            "after any deliberate schema change (bump the module's "
+            "*_SCHEMA_VERSION first)."
+        ),
+        "modules": contract_map(facts),
+    }
+
+
+def write_snapshot(root: Path, path: Optional[Path] = None) -> Path:
+    """Write the snapshot for ``root``; returns the path written."""
+    if path is None:
+        path = find_snapshot(root)
+    if path is None:
+        raise FileNotFoundError(
+            f"no existing {SNAPSHOT_NAME} under {root} and no explicit "
+            "path given; create an empty one where it should live "
+            "(conventionally <root>/repro/check/contracts.json)"
+        )
+    document = generate_snapshot(root)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+class ContractVersionRule(FactRule):
+    id = "contract-version"
+    description = (
+        "edits to *_FIELDS/*_COLUMNS/*_PHASES contract tables must come "
+        "with a *_SCHEMA_VERSION bump (checked against the committed "
+        "contracts.json snapshot)"
+    )
+
+    def external_state(self, root: Path) -> str:
+        """Hash of the snapshot file, folded into the run memo key."""
+        path = find_snapshot(Path(root))
+        if path is None:
+            return "absent"
+        try:
+            return hashlib.sha256(path.read_bytes()).hexdigest()[:24]
+        except OSError:
+            return "unreadable"
+
+    def check_facts(self, ctx: ProgramContext) -> Iterable[Diagnostic]:
+        snapshot_path = find_snapshot(ctx.root)
+        if snapshot_path is None:
+            return  # no committed snapshot in this tree (fixture subset)
+        try:
+            snapshot = json.loads(snapshot_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            yield Diagnostic(
+                path=snapshot_path.name,
+                line=0,
+                col=1,
+                rule=self.id,
+                message=(
+                    f"contract snapshot {snapshot_path} is unreadable or "
+                    "not valid JSON; regenerate it with "
+                    "`repro check --write-contracts`"
+                ),
+            )
+            return
+        recorded: dict[str, Any] = snapshot.get("modules", {})
+
+        current_by_mod: dict[str, tuple[ProgramFacts, dict, dict, dict]] = {}
+        for rel in sorted(ctx.index.files):
+            facts = ctx.index.files[rel]
+            if facts.mod.startswith("repro/check/"):
+                continue
+            tables, versions, lines = _module_contracts(facts)
+            if tables:
+                current_by_mod[facts.mod] = (facts, tables, versions, lines)
+
+        for mod in sorted(set(current_by_mod) | set(recorded)):
+            if mod not in current_by_mod:
+                # Module (or its last table) gone; the snapshot lies.
+                yield Diagnostic(
+                    path=snapshot_path.name,
+                    line=0,
+                    col=1,
+                    rule=self.id,
+                    message=(
+                        f"snapshot records contract tables for {mod} but "
+                        "the module no longer declares any; regenerate "
+                        "the snapshot with `repro check --write-contracts`"
+                    ),
+                )
+                continue
+            facts, tables, versions, lines = current_by_mod[mod]
+            entry = recorded.get(mod)
+            if entry is None:
+                yield self._stale(
+                    facts, lines, min(tables),
+                    f"{mod} declares contract tables that are not in the "
+                    "snapshot",
+                )
+                continue
+            old_tables: dict[str, str] = entry.get("tables", {})
+            old_versions: dict[str, Any] = entry.get("versions", {})
+            bumped = versions != old_versions
+
+            for name in sorted(set(tables) | set(old_tables)):
+                if name not in tables:
+                    yield self._stale(
+                        facts, lines, min(tables),
+                        f"snapshot records {mod}:{name} but the table is "
+                        "gone",
+                    )
+                elif name not in old_tables:
+                    yield self._stale(
+                        facts, lines, name,
+                        f"new contract table {mod}:{name} is not in the "
+                        "snapshot",
+                    )
+                elif tables[name] != old_tables[name]:
+                    if bumped:
+                        yield self._stale(
+                            facts, lines, name,
+                            f"{mod}:{name} changed (with a version bump) "
+                            "but the snapshot still records the old shape",
+                        )
+                    elif not versions:
+                        yield self._stale(
+                            facts, lines, name,
+                            f"{mod}:{name} changed; the module has no "
+                            "*_SCHEMA_VERSION to couple to",
+                        )
+                    else:
+                        held = ", ".join(
+                            f"{k}={v}" for k, v in sorted(versions.items())
+                        )
+                        yield self.diag_at(
+                            facts.rel,
+                            _line_loc(lines, name),
+                            f"contract table {name} changed but {held} "
+                            "did not; bump the schema version, then "
+                            "regenerate the snapshot with "
+                            "`repro check --write-contracts`",
+                        )
+
+    def _stale(
+        self,
+        facts: ProgramFacts,
+        lines: dict[str, int],
+        anchor: str,
+        what: str,
+    ) -> Diagnostic:
+        return self.diag_at(
+            facts.rel,
+            _line_loc(lines, anchor),
+            f"{what}; regenerate the snapshot with "
+            "`repro check --write-contracts`",
+        )
+
+
+def _line_loc(lines: dict[str, int], name: str) -> Loc:
+    return Loc(lineno=lines.get(name, 0))

@@ -1,0 +1,29 @@
+"""Small shared types for the check engine and its fact extractors.
+
+Lives in its own module so :mod:`repro.check.program` (fact
+extraction) and :mod:`repro.check.engine` (the runner) can both import
+it without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Loc"]
+
+
+@dataclass(frozen=True, order=True)
+class Loc:
+    """A source position that mimics an AST node's location attributes.
+
+    Facts records carry :class:`Loc` instead of AST nodes so they stay
+    picklable for the on-disk analysis cache; ``Rule.diagnostic`` and
+    friends only ever read ``lineno``/``col_offset``, so a ``Loc`` can
+    stand in for a node anywhere a diagnostic is anchored.
+
+    The default ``col_offset`` of 0 renders as column 1 — matching how
+    the v1 engine anchored line-only diagnostics.
+    """
+
+    lineno: int = 0
+    col_offset: int = 0

@@ -1,0 +1,282 @@
+"""Identity-axis completeness: every axis reaches every identity surface.
+
+The repo's result identity is spread over five surfaces that never
+import each other's field lists:
+
+* ``SimRequest.canonical()`` — the serve fingerprint (and through it
+  the dedup key, job id and result-store key);
+* ``SimRequest.batch_key()`` — the coalescing key (canonical *minus*
+  the evaluation points);
+* ``SWEEP_META_FIELDS`` — the sweep-store manifest identity
+  (``sweep_fingerprint`` hashes exactly these);
+* ``COMMON_FIELDS`` — the fields stamped on every trace event;
+* ``SimResult`` — the simulation outcome record.
+
+PR 9 added the ``mechanism`` axis by hand-threading it through all of
+them, across three schema-version bumps; a missed surface would have
+silently served one mechanism's cached results for another.  This rule
+makes the thread automatic: the **axes** are derived from
+:class:`repro.experiments.executor.PointJob` (the unit of simulation
+identity), and each axis must appear on each surface — with a short,
+per-surface exemption table for axes a surface deliberately omits.
+The diagnostic names the exact axis and the exact missing surface.
+
+Exemptions are assertions, not escapes: an exemption for an axis the
+surface *does* carry is itself flagged as stale, so the table cannot
+rot.  A new :class:`~repro.experiments.context.RunContext` field that
+is neither a known axis nor a known non-axis field is also flagged —
+the author must classify it, which is the moment surface-threading
+gets decided.
+
+All facts come from the program index (class fields, literal tuples,
+returned dict keys, ``payload.pop`` call sites), so the rule is fully
+cached between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+from collections.abc import Iterable
+
+from repro.check.engine import Diagnostic, FactRule, ProgramContext
+from repro.check.engine_types import Loc
+from repro.check.program import ProgramFacts
+
+__all__ = ["IdentityCompletenessRule"]
+
+#: PointJob field -> axis name (the serve/store layers call the kernel
+#: configuration "kernel", the executor calls it "config").
+_AXIS_ALIASES = {"config": "kernel"}
+
+#: RunContext fields that are deliberately *not* identity axes: they
+#: configure how a run executes or observes, never what it computes.
+#: A new RunContext field missing from both this list and the axes is
+#: flagged until the author classifies it.
+NON_AXIS_RUNCONTEXT = frozenset(
+    {
+        "executor",
+        "full_grid",
+        "k_steps",
+        "levels",
+        "metrics",
+        "panel",
+        "samples",
+        "spans",
+        "store",
+    }
+)
+
+
+class _Surface:
+    """One identity surface: a name, its members, and its exemptions."""
+
+    def __init__(
+        self,
+        name: str,
+        rel: str,
+        loc: Loc,
+        members: frozenset[str],
+        exempt: dict[str, str],
+        aliases: Optional[dict[str, str]] = None,
+    ) -> None:
+        self.name = name
+        self.rel = rel
+        self.loc = loc
+        self.members = members
+        #: axis -> one-line justification for why this surface omits it.
+        self.exempt = exempt
+        #: axis -> the member name this surface uses for it.
+        self.aliases = aliases or {}
+
+    def carries(self, axis: str) -> bool:
+        return self.aliases.get(axis, axis) in self.members
+
+
+#: Documented per-surface omissions.  Keep justifications short and
+#: honest — they render verbatim in stale-exemption diagnostics.
+_SURFACE_EXEMPTIONS: dict[str, dict[str, str]] = {
+    "trace COMMON_FIELDS": {
+        "engine": "traces only exist on the exact tier",
+        "machine": "one trace file describes one machine run",
+        "metric": "events carry raw counts, not derived metrics",
+    },
+    "SimResult": {
+        "machine": "the caller owns the MachineConfig it simulated",
+        "metric": "SimResult carries all counters; metrics are derived",
+    },
+}
+
+#: Per-surface member-name aliases for axes.
+_SURFACE_ALIASES: dict[str, dict[str, str]] = {
+    "SimResult": {"kernel": "name"},
+}
+
+
+class IdentityCompletenessRule(FactRule):
+    id = "identity-completeness"
+    description = (
+        "every PointJob identity axis must reach every identity "
+        "surface (serve fingerprint, batch key, sweep-store meta, "
+        "trace common fields, SimResult)"
+    )
+
+    def check_facts(self, ctx: ProgramContext) -> Iterable[Diagnostic]:
+        axes = self._axes(ctx)
+        if axes is None:
+            return  # no PointJob in this tree (fixture subset)
+        axis_names, job_rel, job_loc = axes
+
+        yield from self._check_runcontext(ctx, axis_names)
+
+        surfaces = list(self._surfaces(ctx))
+        for surface in surfaces:
+            for axis in sorted(axis_names):
+                exempt_reason = surface.exempt.get(axis)
+                if surface.carries(axis):
+                    if exempt_reason is not None:
+                        yield self.diag_at(
+                            surface.rel,
+                            surface.loc,
+                            f"stale exemption: surface {surface.name} "
+                            f"declares axis {axis!r} exempt "
+                            f"({exempt_reason}) but carries it; remove "
+                            "the exemption from "
+                            "repro.check.identity._SURFACE_EXEMPTIONS",
+                        )
+                    continue
+                if exempt_reason is not None:
+                    continue
+                member = surface.aliases.get(axis, axis)
+                shown = f" (as {member!r})" if member != axis else ""
+                yield self.diag_at(
+                    surface.rel,
+                    surface.loc,
+                    f"identity axis {axis!r} is missing from surface "
+                    f"{surface.name}{shown}; requests differing only in "
+                    f"{axis!r} would collide on this surface — add the "
+                    "field or document an exemption in "
+                    "repro.check.identity._SURFACE_EXEMPTIONS",
+                )
+
+        yield from self._check_batch_key(ctx, axis_names)
+
+    # -- axis derivation --------------------------------------------------
+
+    def _axes(
+        self, ctx: ProgramContext
+    ) -> Optional[tuple[frozenset[str], str, Loc]]:
+        for facts, cls in ctx.index.find_class("PointJob"):
+            axes = frozenset(
+                _AXIS_ALIASES.get(name, name) for name in cls.field_names()
+            )
+            if axes:
+                return axes, facts.rel, cls.loc
+        return None
+
+    def _check_runcontext(
+        self, ctx: ProgramContext, axes: frozenset[str]
+    ) -> Iterable[Diagnostic]:
+        for facts, cls in ctx.index.find_class("RunContext"):
+            for field_info in cls.fields:
+                name = field_info.name
+                if name in axes or name in NON_AXIS_RUNCONTEXT:
+                    continue
+                yield self.diag_at(
+                    facts.rel,
+                    field_info.loc,
+                    f"new RunContext field {name!r} is neither a PointJob "
+                    "identity axis nor a declared non-axis field; either "
+                    "thread it through every identity surface (and add "
+                    "it to PointJob) or add it to "
+                    "repro.check.identity.NON_AXIS_RUNCONTEXT",
+                )
+
+    # -- surface discovery ------------------------------------------------
+
+    def _surfaces(self, ctx: ProgramContext) -> Iterable[_Surface]:
+        surface = self._canonical_surface(ctx)
+        if surface is not None:
+            yield surface
+        surface = self._assign_surface(
+            ctx, "SWEEP_META_FIELDS", "store SWEEP_META_FIELDS"
+        )
+        if surface is not None:
+            yield surface
+        surface = self._assign_surface(
+            ctx, "COMMON_FIELDS", "trace COMMON_FIELDS"
+        )
+        if surface is not None:
+            yield surface
+        surface = self._class_surface(ctx, "SimResult")
+        if surface is not None:
+            yield surface
+
+    def _canonical_surface(self, ctx: ProgramContext) -> Optional[_Surface]:
+        for facts, fn in ctx.index.find_function("canonical", cls="SimRequest"):
+            if fn.returned_dict_keys:
+                return _Surface(
+                    name="serve SimRequest.canonical() (fingerprint)",
+                    rel=facts.rel,
+                    loc=fn.loc,
+                    members=frozenset(fn.returned_dict_keys),
+                    exempt=_SURFACE_EXEMPTIONS.get("serve", {}),
+                )
+        return None
+
+    def _assign_surface(
+        self, ctx: ProgramContext, symbol: str, name: str
+    ) -> Optional[_Surface]:
+        for facts, info in ctx.index.find_assign(symbol):
+            if info.is_literal and isinstance(info.literal, tuple):
+                return _Surface(
+                    name=name,
+                    rel=facts.rel,
+                    loc=info.loc,
+                    members=frozenset(
+                        m for m in info.literal if isinstance(m, str)
+                    ),
+                    exempt=_SURFACE_EXEMPTIONS.get(name, {}),
+                    aliases=_SURFACE_ALIASES.get(name),
+                )
+        return None
+
+    def _class_surface(
+        self, ctx: ProgramContext, class_name: str
+    ) -> Optional[_Surface]:
+        for facts, cls in ctx.index.find_class(class_name):
+            if cls.fields:
+                return _Surface(
+                    name=class_name,
+                    rel=facts.rel,
+                    loc=cls.loc,
+                    members=frozenset(cls.field_names()),
+                    exempt=_SURFACE_EXEMPTIONS.get(class_name, {}),
+                    aliases=_SURFACE_ALIASES.get(class_name),
+                )
+        return None
+
+    # -- batch key --------------------------------------------------------
+
+    def _check_batch_key(
+        self, ctx: ProgramContext, axes: frozenset[str]
+    ) -> Iterable[Diagnostic]:
+        """``batch_key`` may pop evaluation fields, never identity axes.
+
+        The coalescing key is the canonical form minus the evaluation
+        points; popping an axis would coalesce requests whose results
+        must differ.
+        """
+        for facts, fn in ctx.index.find_function("batch_key", cls="SimRequest"):
+            for call in fn.calls:
+                if not call.callee.endswith(".pop"):
+                    continue
+                popped = call.first_str_arg
+                if popped is not None and popped in axes:
+                    yield self.diag_at(
+                        facts.rel,
+                        call.loc,
+                        f"batch_key() pops identity axis {popped!r} from "
+                        "the canonical payload; requests differing only "
+                        f"in {popped!r} would coalesce into one batch "
+                        "and share results",
+                    )

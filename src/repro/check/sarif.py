@@ -1,0 +1,104 @@
+"""SARIF 2.1.0 rendering of check results.
+
+SARIF (Static Analysis Results Interchange Format) is what CI
+platforms ingest for inline code annotations.  The document this
+module produces is deliberately minimal — one run, one tool, one
+result per diagnostic — and **byte-stable**: results arrive in the
+engine's deterministic ``(path, line, col, rule)`` order, keys are
+sorted, and serialisation appends a trailing newline, so two runs
+over the same tree produce identical bytes and CI can diff them.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.check.engine import CheckResult, Rule
+
+__all__ = ["render_sarif", "to_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def to_sarif(result: CheckResult, rules: Sequence[Rule]) -> dict:
+    """The SARIF document for ``result`` as a plain dict."""
+    catalogue = sorted(
+        {rule.id: rule for rule in rules if rule.id}.values(),
+        key=lambda rule: rule.id,
+    )
+    reported_ids = {d.rule for d in result.diagnostics}
+    # Ids the engine emits without a registered rule (parse-error).
+    extra_ids = sorted(reported_ids - {rule.id for rule in catalogue})
+    driver_rules = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.description or rule.id},
+        }
+        for rule in catalogue
+    ] + [
+        {"id": rule_id, "shortDescription": {"text": rule_id}}
+        for rule_id in extra_ids
+    ]
+    rule_index = {
+        entry["id"]: index for index, entry in enumerate(driver_rules)
+    }
+
+    results = []
+    for diag in result.diagnostics:
+        results.append(
+            {
+                "ruleId": diag.rule,
+                "ruleIndex": rule_index[diag.rule],
+                "level": _LEVELS.get(diag.severity, "error"),
+                "message": {"text": diag.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": diag.path,
+                                "uriBaseId": "ROOT",
+                            },
+                            "region": {
+                                "startLine": max(diag.line, 1),
+                                "startColumn": max(diag.col, 1),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "architecture#static-analysis"
+                        ),
+                        "rules": driver_rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "ROOT": {"uri": result.root.resolve().as_uri() + "/"}
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(result: CheckResult, rules: Sequence[Rule]) -> str:
+    """Byte-stable SARIF serialisation (sorted keys, trailing newline)."""
+    return json.dumps(to_sarif(result, rules), indent=2, sort_keys=True) + "\n"

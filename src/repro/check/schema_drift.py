@@ -72,21 +72,31 @@ constants, conditional expressions over string constants, or local
 names assigned from either (the ``bcache_hit``/``bcache_miss`` site in
 ``repro.core.lsu``).  Anything else is its own diagnostic rather than
 a silent gap.
+
+Engine v2 port: this rule is a :class:`~repro.check.engine.FactRule`.
+:meth:`SchemaDriftRule.extract` distils one file into a picklable
+:class:`SchemaDriftFacts` record (all three vocabularies' sites, with
+:class:`~repro.check.engine_types.Loc` anchors instead of AST nodes);
+:meth:`SchemaDriftRule.check_facts` cross-references the records.
+Unchanged files thus never need re-parsing on warm runs.
 """
 
 from __future__ import annotations
 
 import ast
+from dataclasses import dataclass, field
 from typing import Optional
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable
 
 from repro.check.engine import (
     CheckedFile,
     Diagnostic,
-    Rule,
+    FactRule,
+    ProgramContext,
     local_nodes,
     scope_nodes,
 )
+from repro.check.engine_types import Loc
 
 __all__ = ["SchemaDriftRule"]
 
@@ -147,22 +157,99 @@ def _string_values(node: ast.expr) -> Optional[set[str]]:
     return None
 
 
-class _EmitSite:
-    """One ``*.emit(cycle, <event>, field=..., ...)`` call."""
+def _loc(node: ast.AST) -> Loc:
+    return Loc(
+        lineno=getattr(node, "lineno", 0),
+        col_offset=getattr(node, "col_offset", -1),
+    )
 
-    def __init__(
-        self,
-        checked: CheckedFile,
-        node: ast.Call,
-        events: Optional[set[str]],
-        fields: set[str],
-        has_star_kwargs: bool,
-    ) -> None:
-        self.checked = checked
-        self.node = node
-        self.events = events  # None: could not be resolved statically
-        self.fields = fields
-        self.has_star_kwargs = has_star_kwargs
+
+@dataclass
+class EmitSiteFact:
+    """One ``*.emit(cycle, <event>, field=...)`` / ``log_event`` call."""
+
+    loc: Loc
+    #: Statically resolved event name(s); ``None`` when unresolvable.
+    events: Optional[tuple[str, ...]]
+    fields: tuple[str, ...]
+    has_star_kwargs: bool
+
+
+@dataclass
+class TraceSchemaFact:
+    """``EVENT_FIELDS`` + ``COMMON_FIELDS`` of the trace schema module."""
+
+    event_fields: dict[str, tuple[str, ...]]
+    key_lines: dict[str, int]
+    common: tuple[str, ...]
+
+
+@dataclass
+class TelemetryTablesFact:
+    """Request-log schema tables (``repro.obs.telemetry``)."""
+
+    event_fields: dict[str, tuple[str, ...]]
+    key_lines: dict[str, int]
+    common: tuple[str, ...]
+    phases: tuple[str, ...]
+    phases_line: int
+
+
+@dataclass
+class ReqlogConsumerFact:
+    """``REQLOG_CONSUMED_EVENTS`` / ``REPORT_LATENCY_PHASES`` tables."""
+
+    consumed: dict[str, tuple[str, ...]]
+    key_lines: dict[str, int]
+    report_phases: tuple[str, ...]
+    report_line: int
+
+
+@dataclass
+class StoreSchemaFact:
+    """Sweep-store contract tables (``repro.store.schema``)."""
+
+    columns: dict[str, int]
+    query_fields: tuple[str, ...]
+    query_line: int
+    meta_fields: tuple[str, ...]
+
+
+@dataclass
+class SchemaDriftFacts:
+    """Everything one file contributes to the drift cross-check."""
+
+    emit_sites: list[EmitSiteFact] = field(default_factory=list)
+    log_sites: list[EmitSiteFact] = field(default_factory=list)
+    trace_schema: Optional[TraceSchemaFact] = None
+    #: ``(loc, event)`` of consumed trace-event names.
+    consumed_events: list[tuple[Loc, str]] = field(default_factory=list)
+    produced_exact: tuple[str, ...] = ()
+    produced_prefixes: tuple[str, ...] = ()
+    consumed_metrics: list[tuple[Loc, str]] = field(default_factory=list)
+    telemetry: Optional[TelemetryTablesFact] = None
+    reqlog: Optional[ReqlogConsumerFact] = None
+    store: Optional[StoreSchemaFact] = None
+    segment_reads: list[tuple[Loc, str]] = field(default_factory=list)
+    row_reads: list[tuple[Loc, str]] = field(default_factory=list)
+
+    def empty(self) -> bool:
+        return not any(
+            (
+                self.emit_sites,
+                self.log_sites,
+                self.trace_schema,
+                self.consumed_events,
+                self.produced_exact,
+                self.produced_prefixes,
+                self.consumed_metrics,
+                self.telemetry,
+                self.reqlog,
+                self.store,
+                self.segment_reads,
+                self.row_reads,
+            )
+        )
 
 
 def _resolve_event_arg(arg: ast.expr, scope: ast.AST) -> Optional[set[str]]:
@@ -189,210 +276,40 @@ def _resolve_event_arg(arg: ast.expr, scope: ast.AST) -> Optional[set[str]]:
     return resolved
 
 
-def _collect_emit_sites(files: Sequence[CheckedFile]) -> list[_EmitSite]:
-    sites: list[_EmitSite] = []
-    for checked in files:
-        for scope in scope_nodes(checked.tree):
-            for node in local_nodes(scope):
-                if not isinstance(node, ast.Call):
-                    continue
-                func = node.func
-                if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
-                    continue
-                # Instrumentation.emit(cycle, event, **fields): two
-                # positional args.  Single-arg sites are TraceSink.emit
-                # (already-assembled dict) — a different protocol.
-                if len(node.args) != 2:
-                    continue
-                fields = {kw.arg for kw in node.keywords if kw.arg is not None}
-                sites.append(
-                    _EmitSite(
-                        checked,
-                        node,
-                        events=_resolve_event_arg(node.args[1], scope),
-                        fields=fields,
-                        has_star_kwargs=any(
-                            kw.arg is None for kw in node.keywords
-                        ),
-                    )
-                )
-    return sites
+def _site_fact(node: ast.Call, scope: ast.AST, event_arg: ast.expr) -> EmitSiteFact:
+    events = _resolve_event_arg(event_arg, scope)
+    return EmitSiteFact(
+        loc=_loc(node),
+        events=tuple(sorted(events)) if events is not None else None,
+        fields=tuple(
+            sorted(kw.arg for kw in node.keywords if kw.arg is not None)
+        ),
+        has_star_kwargs=any(kw.arg is None for kw in node.keywords),
+    )
 
 
-def _find_schema(
-    files: Sequence[CheckedFile],
-) -> tuple[Optional[CheckedFile], dict[str, tuple[str, ...]], dict[str, int], tuple[str, ...]]:
-    """Locate ``EVENT_FIELDS`` and ``COMMON_FIELDS`` declarations.
+def _collect_call_sites(tree: ast.Module) -> tuple[list[EmitSiteFact], list[EmitSiteFact]]:
+    """``(emit_sites, log_event_sites)`` of one file.
 
-    Returns ``(file, event_fields, key_lines, common_fields)``;
-    ``key_lines`` maps each event name to the line its schema entry
-    sits on (where never-emitted diagnostics anchor).
+    ``Instrumentation.emit(cycle, event, **fields)`` takes two
+    positional args — single-arg sites are ``TraceSink.emit`` (an
+    already-assembled dict), a different protocol.  ``log_event``
+    takes the event as its only positional arg.
     """
-    for checked in files:
-        event_fields: dict[str, tuple[str, ...]] = {}
-        key_lines: dict[str, int] = {}
-        common: tuple[str, ...] = ()
-        found = False
-        for node in checked.tree.body:
-            target: Optional[ast.expr] = None
-            value: Optional[ast.expr] = None
-            if isinstance(node, ast.Assign) and len(node.targets) == 1:
-                target, value = node.targets[0], node.value
-            elif isinstance(node, ast.AnnAssign) and node.value is not None:
-                target, value = node.target, node.value
-            if not isinstance(target, ast.Name) or value is None:
-                continue
-            if target.id == "EVENT_FIELDS" and isinstance(value, ast.Dict):
-                found = True
-                for key, val in zip(value.keys, value.values):
-                    name = _const_str(key) if key is not None else None
-                    if name is None:
-                        continue
-                    fields = tuple(
-                        field
-                        for field in (
-                            _const_str(item)
-                            for item in getattr(val, "elts", ())
-                        )
-                        if field is not None
-                    )
-                    event_fields[name] = fields
-                    key_lines[name] = key.lineno if key is not None else node.lineno
-            elif target.id == "COMMON_FIELDS":
-                common = tuple(
-                    name
-                    for name in (
-                        _const_str(item) for item in getattr(value, "elts", ())
-                    )
-                    if name is not None
-                )
-        if found:
-            return checked, event_fields, key_lines, common
-    return None, {}, {}, ()
-
-
-def _consumed_events(
-    files: Sequence[CheckedFile],
-) -> list[tuple[CheckedFile, ast.AST, str]]:
-    """``(file, node, event)`` triples for every consumed event name.
-
-    Only files that declare one of :data:`CONSUMER_TABLES` are treated
-    as consumers — that keeps ``counts.get(...)`` in unrelated code
-    from being misread as a trace-event access.
-    """
-    consumed: list[tuple[CheckedFile, ast.AST, str]] = []
-    for checked in files:
-        is_consumer = False
-        for node in ast.walk(checked.tree):
-            if not isinstance(node, ast.Assign):
-                continue
-            for target in node.targets:
-                if (
-                    isinstance(target, ast.Name)
-                    and target.id in CONSUMER_TABLES
-                    and isinstance(node.value, ast.Dict)
-                ):
-                    is_consumer = True
-                    for key in node.value.keys:
-                        name = _const_str(key) if key is not None else None
-                        if name is not None:
-                            consumed.append((checked, key, name))
-        if not is_consumer:
-            continue
-        for node in ast.walk(checked.tree):
-            if isinstance(node, ast.Call):
-                if (
-                    isinstance(node.func, ast.Attribute)
-                    and node.func.attr == "get"
-                    and _receiver_name(node.func) in _EVENT_COUNT_RECEIVERS
-                    and node.args
-                ):
-                    name = _const_str(node.args[0])
-                    if name is not None:
-                        consumed.append((checked, node, name))
-            elif isinstance(node, ast.Compare) and isinstance(node.left, ast.Name):
-                if node.left.id not in ("kind", "event"):
-                    continue
-                for op, comparator in zip(node.ops, node.comparators):
-                    if isinstance(op, (ast.Eq, ast.NotEq)):
-                        name = _const_str(comparator)
-                        if name is not None:
-                            consumed.append((checked, comparator, name))
-                    elif isinstance(op, (ast.In, ast.NotIn)):
-                        for item in getattr(comparator, "elts", ()):
-                            name = _const_str(item)
-                            if name is not None:
-                                consumed.append((checked, item, name))
-    return consumed
-
-
-def _produced_metrics(
-    files: Sequence[CheckedFile],
-) -> tuple[set[str], set[str]]:
-    """``(exact_names, prefixes)`` of metric-producing call sites."""
-    exact: set[str] = set()
-    prefixes: set[str] = set()
-    for checked in files:
-        for node in ast.walk(checked.tree):
-            if not isinstance(node, ast.Call) or not node.args:
+    emit_sites: list[EmitSiteFact] = []
+    log_sites: list[EmitSiteFact] = []
+    for scope in scope_nodes(tree):
+        for node in local_nodes(scope):
+            if not isinstance(node, ast.Call):
                 continue
             func = node.func
-            if not (
-                isinstance(func, ast.Attribute)
-                and func.attr in _INSTRUMENT_FACTORIES
-            ):
+            if not isinstance(func, ast.Attribute):
                 continue
-            arg = node.args[0]
-            values = _string_values(arg)
-            if values is not None:
-                exact |= values
-            elif isinstance(arg, ast.JoinedStr) and arg.values:
-                head = arg.values[0]
-                prefix = _const_str(head) if isinstance(head, ast.Constant) else None
-                if prefix:
-                    prefixes.add(prefix)
-            # Non-literal names (registry plumbing like merge_snapshot
-            # re-registering snapshot keys) are skipped, not errors.
-    return exact, prefixes
-
-
-def _consumed_metrics(
-    files: Sequence[CheckedFile],
-) -> list[tuple[CheckedFile, ast.AST, str]]:
-    consumed: list[tuple[CheckedFile, ast.AST, str]] = []
-    for checked in files:
-        for node in ast.walk(checked.tree):
-            if isinstance(node, ast.Call):
-                if (
-                    isinstance(node.func, ast.Attribute)
-                    and node.func.attr == "get"
-                    and _receiver_name(node.func) in _METRIC_RECEIVERS
-                    and node.args
-                ):
-                    name = _const_str(node.args[0])
-                    if name is not None:
-                        consumed.append((checked, node, name))
-            elif isinstance(node, ast.Assign):
-                for target in node.targets:
-                    if (
-                        isinstance(target, ast.Name)
-                        and target.id in METRIC_TABLES
-                    ):
-                        for item in getattr(node.value, "elts", ()):
-                            name = _const_str(item)
-                            if name is not None:
-                                consumed.append((checked, item, name))
-    return consumed
-
-
-def _subscript_receiver(node: ast.Subscript) -> Optional[str]:
-    """Terminal name of a subscript's receiver: ``a.b["k"]`` → ``b``."""
-    value = node.value
-    if isinstance(value, ast.Attribute):
-        return value.attr
-    if isinstance(value, ast.Name):
-        return value.id
-    return None
+            if func.attr == "emit" and len(node.args) == 2:
+                emit_sites.append(_site_fact(node, scope, node.args[1]))
+            elif func.attr == "log_event" and len(node.args) == 1:
+                log_sites.append(_site_fact(node, scope, node.args[0]))
+    return emit_sites, log_sites
 
 
 def _tuple_strings(value: ast.expr) -> tuple[str, ...]:
@@ -418,529 +335,588 @@ def _module_assign(
     return None, None
 
 
-def _find_telemetry_tables(
-    files: Sequence[CheckedFile],
-) -> tuple[
-    Optional[CheckedFile],
-    dict[str, tuple[str, ...]],
-    dict[str, int],
-    tuple[str, ...],
-    tuple[str, ...],
-    int,
-]:
-    """Locate the request-log schema tables (one file declares all).
+def _dict_fields(
+    value: ast.Dict, fallback_line: int
+) -> tuple[dict[str, tuple[str, ...]], dict[str, int]]:
+    """Keys of a ``{"event": ("field", ...)}`` table, with key lines."""
+    table: dict[str, tuple[str, ...]] = {}
+    key_lines: dict[str, int] = {}
+    for key, val in zip(value.keys, value.values):
+        name = _const_str(key) if key is not None else None
+        if name is None:
+            continue
+        table[name] = _tuple_strings(val)
+        key_lines[name] = key.lineno if key is not None else fallback_line
+    return table, key_lines
 
-    Returns ``(file, event_fields, key_lines, common_fields,
-    latency_phases, latency_line)``.
+
+def _find_trace_schema(tree: ast.Module) -> Optional[TraceSchemaFact]:
+    event_fields: dict[str, tuple[str, ...]] = {}
+    key_lines: dict[str, int] = {}
+    common: tuple[str, ...] = ()
+    found = False
+    for node in tree.body:
+        name, value = _module_assign(node)
+        if name is None or value is None:
+            continue
+        if name == "EVENT_FIELDS" and isinstance(value, ast.Dict):
+            found = True
+            event_fields, key_lines = _dict_fields(value, node.lineno)
+        elif name == "COMMON_FIELDS":
+            common = _tuple_strings(value)
+    if not found:
+        return None
+    return TraceSchemaFact(
+        event_fields=event_fields, key_lines=key_lines, common=common
+    )
+
+
+def _find_telemetry_tables(tree: ast.Module) -> Optional[TelemetryTablesFact]:
+    event_fields: dict[str, tuple[str, ...]] = {}
+    key_lines: dict[str, int] = {}
+    common: tuple[str, ...] = ()
+    phases: tuple[str, ...] = ()
+    phases_line = 0
+    found = False
+    for node in tree.body:
+        name, value = _module_assign(node)
+        if name is None or value is None:
+            continue
+        if name == "REQUEST_EVENT_FIELDS" and isinstance(value, ast.Dict):
+            found = True
+            event_fields, key_lines = _dict_fields(value, node.lineno)
+        elif name == "REQLOG_COMMON_FIELDS":
+            common = _tuple_strings(value)
+        elif name == "LATENCY_PHASES":
+            phases = _tuple_strings(value)
+            phases_line = node.lineno
+    if not found:
+        return None
+    return TelemetryTablesFact(
+        event_fields=event_fields,
+        key_lines=key_lines,
+        common=common,
+        phases=phases,
+        phases_line=phases_line,
+    )
+
+
+def _find_reqlog_consumers(tree: ast.Module) -> Optional[ReqlogConsumerFact]:
+    consumed: dict[str, tuple[str, ...]] = {}
+    key_lines: dict[str, int] = {}
+    report_phases: tuple[str, ...] = ()
+    report_line = 0
+    found = False
+    for node in tree.body:
+        name, value = _module_assign(node)
+        if name is None or value is None:
+            continue
+        if name == "REQLOG_CONSUMED_EVENTS" and isinstance(value, ast.Dict):
+            found = True
+            consumed, key_lines = _dict_fields(value, node.lineno)
+        elif name == "REPORT_LATENCY_PHASES":
+            report_phases = _tuple_strings(value)
+            report_line = node.lineno
+    if not found:
+        return None
+    return ReqlogConsumerFact(
+        consumed=consumed,
+        key_lines=key_lines,
+        report_phases=report_phases,
+        report_line=report_line,
+    )
+
+
+def _find_store_schema(tree: ast.Module) -> Optional[StoreSchemaFact]:
+    columns: dict[str, int] = {}
+    query_fields: tuple[str, ...] = ()
+    query_line = 0
+    meta_fields: tuple[str, ...] = ()
+    found = False
+    for node in tree.body:
+        name, value = _module_assign(node)
+        if name is None or value is None:
+            continue
+        if name == "SWEEP_COLUMNS" and isinstance(value, ast.Dict):
+            found = True
+            for key in value.keys:
+                col = _const_str(key) if key is not None else None
+                if col is not None:
+                    columns[col] = key.lineno if key is not None else node.lineno
+        elif name == "QUERY_FIELDS":
+            query_fields = _tuple_strings(value)
+            query_line = node.lineno
+        elif name == "SWEEP_META_FIELDS":
+            meta_fields = _tuple_strings(value)
+    if not found:
+        return None
+    return StoreSchemaFact(
+        columns=columns,
+        query_fields=query_fields,
+        query_line=query_line,
+        meta_fields=meta_fields,
+    )
+
+
+def _consumed_events(tree: ast.Module) -> list[tuple[Loc, str]]:
+    """``(loc, event)`` of every consumed trace-event name in one file.
+
+    Only files that declare one of :data:`CONSUMER_TABLES` are treated
+    as consumers — that keeps ``counts.get(...)`` in unrelated code
+    from being misread as a trace-event access.
     """
-    for checked in files:
-        event_fields: dict[str, tuple[str, ...]] = {}
-        key_lines: dict[str, int] = {}
-        common: tuple[str, ...] = ()
-        phases: tuple[str, ...] = ()
-        phases_line = 0
-        found = False
-        for node in checked.tree.body:
-            name, value = _module_assign(node)
-            if name is None or value is None:
-                continue
-            if name == "REQUEST_EVENT_FIELDS" and isinstance(value, ast.Dict):
-                found = True
-                for key, val in zip(value.keys, value.values):
-                    event = _const_str(key) if key is not None else None
-                    if event is None:
-                        continue
-                    event_fields[event] = _tuple_strings(val)
-                    key_lines[event] = (
-                        key.lineno if key is not None else node.lineno
-                    )
-            elif name == "REQLOG_COMMON_FIELDS":
-                common = _tuple_strings(value)
-            elif name == "LATENCY_PHASES":
-                phases = _tuple_strings(value)
-                phases_line = node.lineno
-        if found:
-            return checked, event_fields, key_lines, common, phases, phases_line
-    return None, {}, {}, (), (), 0
-
-
-def _find_reqlog_consumers(
-    files: Sequence[CheckedFile],
-) -> tuple[
-    Optional[CheckedFile],
-    dict[str, tuple[str, ...]],
-    dict[str, int],
-    tuple[str, ...],
-    int,
-]:
-    """Locate ``REQLOG_CONSUMED_EVENTS`` and ``REPORT_LATENCY_PHASES``.
-
-    Returns ``(file, consumed_fields, key_lines, report_phases,
-    report_line)``; the phase table is read from the same file as the
-    event table (the serve-report module declares both).
-    """
-    for checked in files:
-        consumed: dict[str, tuple[str, ...]] = {}
-        key_lines: dict[str, int] = {}
-        report_phases: tuple[str, ...] = ()
-        report_line = 0
-        found = False
-        for node in checked.tree.body:
-            name, value = _module_assign(node)
-            if name is None or value is None:
-                continue
-            if name == "REQLOG_CONSUMED_EVENTS" and isinstance(value, ast.Dict):
-                found = True
-                for key, val in zip(value.keys, value.values):
-                    event = _const_str(key) if key is not None else None
-                    if event is None:
-                        continue
-                    consumed[event] = _tuple_strings(val)
-                    key_lines[event] = (
-                        key.lineno if key is not None else node.lineno
-                    )
-            elif name == "REPORT_LATENCY_PHASES":
-                report_phases = _tuple_strings(value)
-                report_line = node.lineno
-        if found:
-            return checked, consumed, key_lines, report_phases, report_line
-    return None, {}, {}, (), 0
-
-
-def _collect_log_event_sites(files: Sequence[CheckedFile]) -> list[_EmitSite]:
-    """Every ``*.log_event(<event>, field=...)`` request-log emit site."""
-    sites: list[_EmitSite] = []
-    for checked in files:
-        for scope in scope_nodes(checked.tree):
-            for node in local_nodes(scope):
-                if not isinstance(node, ast.Call):
-                    continue
-                func = node.func
-                if not (
-                    isinstance(func, ast.Attribute)
-                    and func.attr == "log_event"
-                ):
-                    continue
-                if len(node.args) != 1:
-                    continue
-                sites.append(
-                    _EmitSite(
-                        checked,
-                        node,
-                        events=_resolve_event_arg(node.args[0], scope),
-                        fields={
-                            kw.arg
-                            for kw in node.keywords
-                            if kw.arg is not None
-                        },
-                        has_star_kwargs=any(
-                            kw.arg is None for kw in node.keywords
-                        ),
-                    )
-                )
-    return sites
-
-
-def _find_store_schema(
-    files: Sequence[CheckedFile],
-) -> tuple[
-    Optional[CheckedFile],
-    dict[str, int],
-    tuple[str, ...],
-    int,
-    tuple[str, ...],
-]:
-    """Locate the sweep-store contract tables.
-
-    Returns ``(file, columns, query_fields, query_line, meta_fields)``;
-    ``columns`` maps each ``SWEEP_COLUMNS`` key to its declaration line.
-    """
-    for checked in files:
-        columns: dict[str, int] = {}
-        query_fields: tuple[str, ...] = ()
-        query_line = 0
-        meta_fields: tuple[str, ...] = ()
-        found = False
-        for node in checked.tree.body:
-            target: Optional[ast.expr] = None
-            value: Optional[ast.expr] = None
-            if isinstance(node, ast.Assign) and len(node.targets) == 1:
-                target, value = node.targets[0], node.value
-            elif isinstance(node, ast.AnnAssign) and node.value is not None:
-                target, value = node.target, node.value
-            if not isinstance(target, ast.Name) or value is None:
-                continue
-            if target.id == "SWEEP_COLUMNS" and isinstance(value, ast.Dict):
-                found = True
-                for key in value.keys:
+    consumed: list[tuple[Loc, str]] = []
+    is_consumer = False
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id in CONSUMER_TABLES
+                and isinstance(node.value, ast.Dict)
+            ):
+                is_consumer = True
+                for key in node.value.keys:
                     name = _const_str(key) if key is not None else None
                     if name is not None:
-                        columns[name] = key.lineno if key is not None else node.lineno
-            elif target.id == "QUERY_FIELDS":
-                query_fields = _tuple_strings(value)
-                query_line = node.lineno
-            elif target.id == "SWEEP_META_FIELDS":
-                meta_fields = _tuple_strings(value)
-        if found:
-            return checked, columns, query_fields, query_line, meta_fields
-    return None, {}, (), 0, ()
+                        consumed.append((_loc(key), name))
+    if not is_consumer:
+        return []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and _receiver_name(node.func) in _EVENT_COUNT_RECEIVERS
+                and node.args
+            ):
+                name = _const_str(node.args[0])
+                if name is not None:
+                    consumed.append((_loc(node), name))
+        elif isinstance(node, ast.Compare) and isinstance(node.left, ast.Name):
+            if node.left.id not in ("kind", "event"):
+                continue
+            for op, comparator in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Eq, ast.NotEq)):
+                    name = _const_str(comparator)
+                    if name is not None:
+                        consumed.append((_loc(comparator), name))
+                elif isinstance(op, (ast.In, ast.NotIn)):
+                    for item in getattr(comparator, "elts", ()):
+                        name = _const_str(item)
+                        if name is not None:
+                            consumed.append((_loc(item), name))
+    return consumed
+
+
+def _produced_metrics(tree: ast.Module) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """``(exact_names, prefixes)`` of metric-producing call sites."""
+    exact: set[str] = set()
+    prefixes: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _INSTRUMENT_FACTORIES
+        ):
+            continue
+        arg = node.args[0]
+        values = _string_values(arg)
+        if values is not None:
+            exact |= values
+        elif isinstance(arg, ast.JoinedStr) and arg.values:
+            head = arg.values[0]
+            prefix = _const_str(head) if isinstance(head, ast.Constant) else None
+            if prefix:
+                prefixes.add(prefix)
+        # Non-literal names (registry plumbing like merge_snapshot
+        # re-registering snapshot keys) are skipped, not errors.
+    return tuple(sorted(exact)), tuple(sorted(prefixes))
+
+
+def _consumed_metrics(tree: ast.Module) -> list[tuple[Loc, str]]:
+    consumed: list[tuple[Loc, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and _receiver_name(node.func) in _METRIC_RECEIVERS
+                and node.args
+            ):
+                name = _const_str(node.args[0])
+                if name is not None:
+                    consumed.append((_loc(node), name))
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in METRIC_TABLES:
+                    for item in getattr(node.value, "elts", ()):
+                        name = _const_str(item)
+                        if name is not None:
+                            consumed.append((_loc(item), name))
+    return consumed
+
+
+def _subscript_receiver(node: ast.Subscript) -> Optional[str]:
+    """Terminal name of a subscript's receiver: ``a.b["k"]`` → ``b``."""
+    value = node.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return None
 
 
 def _store_field_reads(
-    files: Sequence[CheckedFile],
-) -> tuple[
-    list[tuple[CheckedFile, ast.AST, str]],
-    list[tuple[CheckedFile, ast.AST, str]],
-]:
-    """``(segment_reads, row_reads)`` from sweep-store participant files.
+    checked: CheckedFile,
+) -> tuple[list[tuple[Loc, str]], list[tuple[Loc, str]]]:
+    """``(segment_reads, row_reads)`` if the file is a store participant.
 
     Only files under :data:`_STORE_MODULE_PREFIX` or importing from
     ``repro.store`` count — that keeps ``row["count"]`` in unrelated
     code (the span profiler's table rows) from being misread as a
     query-row access.
     """
-    segment_reads: list[tuple[CheckedFile, ast.AST, str]] = []
-    row_reads: list[tuple[CheckedFile, ast.AST, str]] = []
-    for checked in files:
-        is_store = checked.mod.startswith(_STORE_MODULE_PREFIX) or any(
-            isinstance(node, ast.ImportFrom)
-            and (node.module or "").startswith("repro.store")
-            for node in ast.walk(checked.tree)
-        )
-        if not is_store:
+    is_store = checked.mod.startswith(_STORE_MODULE_PREFIX) or any(
+        isinstance(node, ast.ImportFrom)
+        and (node.module or "").startswith("repro.store")
+        for node in ast.walk(checked.tree)
+    )
+    if not is_store:
+        return [], []
+    segment_reads: list[tuple[Loc, str]] = []
+    row_reads: list[tuple[Loc, str]] = []
+    for node in ast.walk(checked.tree):
+        if not isinstance(node, ast.Subscript):
             continue
-        for node in ast.walk(checked.tree):
-            if not isinstance(node, ast.Subscript):
-                continue
-            name = _const_str(node.slice)
-            if name is None:
-                continue
-            receiver = _subscript_receiver(node)
-            if receiver in _SEGMENT_RECEIVERS:
-                segment_reads.append((checked, node, name))
-            elif receiver in _ROW_RECEIVERS:
-                row_reads.append((checked, node, name))
+        name = _const_str(node.slice)
+        if name is None:
+            continue
+        receiver = _subscript_receiver(node)
+        if receiver in _SEGMENT_RECEIVERS:
+            segment_reads.append((_loc(node), name))
+        elif receiver in _ROW_RECEIVERS:
+            row_reads.append((_loc(node), name))
     return segment_reads, row_reads
 
 
-class SchemaDriftRule(Rule):
+def _first(
+    facts: dict[str, SchemaDriftFacts], attr: str
+) -> tuple[Optional[str], Optional[object]]:
+    """First (by path) file whose facts carry ``attr``, plus the value."""
+    for rel in sorted(facts):
+        value = getattr(facts[rel], attr)
+        if value is not None:
+            return rel, value
+    return None, None
+
+
+class SchemaDriftRule(FactRule):
     id = "schema-drift"
     description = (
         "trace events/metrics drifting from the versioned schema and "
         "its consumers (checked in both directions)"
     )
-    project_wide = True
 
-    def check_project(
-        self, files: Sequence[CheckedFile]
+    def extract(self, checked: CheckedFile) -> Optional[SchemaDriftFacts]:
+        # The analyzer's own modules quote schema names in rule tables
+        # and tests; they are not schema participants.
+        if checked.mod.startswith("repro/check/"):
+            return None
+        emit_sites, log_sites = _collect_call_sites(checked.tree)
+        segment_reads, row_reads = _store_field_reads(checked)
+        exact, prefixes = _produced_metrics(checked.tree)
+        facts = SchemaDriftFacts(
+            emit_sites=emit_sites,
+            log_sites=log_sites,
+            trace_schema=_find_trace_schema(checked.tree),
+            consumed_events=_consumed_events(checked.tree),
+            produced_exact=exact,
+            produced_prefixes=prefixes,
+            consumed_metrics=_consumed_metrics(checked.tree),
+            telemetry=_find_telemetry_tables(checked.tree),
+            reqlog=_find_reqlog_consumers(checked.tree),
+            store=_find_store_schema(checked.tree),
+            segment_reads=segment_reads,
+            row_reads=row_reads,
+        )
+        return None if facts.empty() else facts
+
+    def check_facts(self, ctx: ProgramContext) -> Iterable[Diagnostic]:
+        facts: dict[str, SchemaDriftFacts] = ctx.facts(self.id)
+        yield from self._check_store(facts)
+        yield from self._check_telemetry(facts)
+        yield from self._check_trace(facts)
+        yield from self._check_metrics(facts)
+
+    # -- trace events -----------------------------------------------------
+
+    def _check_trace(
+        self, facts: dict[str, SchemaDriftFacts]
     ) -> Iterable[Diagnostic]:
-        files = [f for f in files if not f.mod.startswith("repro/check/")]
-        yield from self._check_store(files)
-        yield from self._check_telemetry(files)
-        schema_file, event_fields, key_lines, common = _find_schema(files)
-        if schema_file is None:
+        schema_rel, schema = _first(facts, "trace_schema")
+        if schema_rel is None or not isinstance(schema, TraceSchemaFact):
             return  # nothing to check against (e.g. a fixture subset)
 
-        sites = _collect_emit_sites(files)
         emitted: set[str] = set()
         any_unresolved = False
-        for site in sites:
-            if site.events is None:
-                any_unresolved = True
-                yield self.diagnostic(
-                    site.checked,
-                    site.node,
-                    "emit() event name could not be resolved statically; "
-                    "use a string literal, a conditional over literals, "
-                    "or a single local assignment of those",
-                )
-                continue
-            emitted |= site.events
-            for event in sorted(site.events):
-                required = event_fields.get(event)
-                if required is None:
-                    yield self.diagnostic(
-                        site.checked,
-                        site.node,
-                        f"emits event {event!r} which is not in the trace "
-                        "schema (EVENT_FIELDS); add it to the schema or "
-                        "fix the name",
+        for rel in sorted(facts):
+            for site in facts[rel].emit_sites:
+                if site.events is None:
+                    any_unresolved = True
+                    yield self.diag_at(
+                        rel,
+                        site.loc,
+                        "emit() event name could not be resolved statically; "
+                        "use a string literal, a conditional over literals, "
+                        "or a single local assignment of those",
                     )
                     continue
-                overridden = site.fields & set(common)
-                for name in sorted(overridden):
-                    yield self.diagnostic(
-                        site.checked,
-                        site.node,
-                        f"emit({event!r}) passes common field {name!r} as "
-                        "a keyword; Instrumentation.emit stamps it",
-                    )
-                if not site.has_star_kwargs:
-                    missing = set(required) - site.fields
-                    for name in sorted(missing):
-                        yield self.diagnostic(
-                            site.checked,
-                            site.node,
-                            f"emit({event!r}) is missing required field "
-                            f"{name!r} (schema: {required})",
+                emitted |= set(site.events)
+                for event in site.events:
+                    required = schema.event_fields.get(event)
+                    if required is None:
+                        yield self.diag_at(
+                            rel,
+                            site.loc,
+                            f"emits event {event!r} which is not in the trace "
+                            "schema (EVENT_FIELDS); add it to the schema or "
+                            "fix the name",
                         )
+                        continue
+                    overridden = set(site.fields) & set(schema.common)
+                    for name in sorted(overridden):
+                        yield self.diag_at(
+                            rel,
+                            site.loc,
+                            f"emit({event!r}) passes common field {name!r} as "
+                            "a keyword; Instrumentation.emit stamps it",
+                        )
+                    if not site.has_star_kwargs:
+                        missing = set(required) - set(site.fields)
+                        for name in sorted(missing):
+                            yield self.diag_at(
+                                rel,
+                                site.loc,
+                                f"emit({event!r}) is missing required field "
+                                f"{name!r} (schema: {required})",
+                            )
 
         if not any_unresolved:
-            for event in sorted(set(event_fields) - emitted):
-                yield Diagnostic(
-                    path=schema_file.rel,
-                    line=key_lines.get(event, 0),
-                    col=1,
-                    rule=self.id,
-                    message=(
-                        f"schema event {event!r} is never emitted by any "
-                        "Instrumentation.emit site; dead schema entries "
-                        "hide drift — remove it or emit it"
-                    ),
-                    severity=self.severity,
+            for event in sorted(set(schema.event_fields) - emitted):
+                yield self.diag_at(
+                    schema_rel,
+                    Loc(lineno=schema.key_lines.get(event, 0)),
+                    f"schema event {event!r} is never emitted by any "
+                    "Instrumentation.emit site; dead schema entries "
+                    "hide drift — remove it or emit it",
                 )
 
-        for checked, node, name in _consumed_events(files):
-            if name not in event_fields:
-                yield self.diagnostic(
-                    checked,
-                    node,
-                    f"consumes event {name!r} which is not in the trace "
-                    "schema (EVENT_FIELDS); nothing can ever produce it",
+        for rel in sorted(facts):
+            for loc, name in facts[rel].consumed_events:
+                if name not in schema.event_fields:
+                    yield self.diag_at(
+                        rel,
+                        loc,
+                        f"consumes event {name!r} which is not in the trace "
+                        "schema (EVENT_FIELDS); nothing can ever produce it",
+                    )
+
+    def _check_metrics(
+        self, facts: dict[str, SchemaDriftFacts]
+    ) -> Iterable[Diagnostic]:
+        # Metric checks only make sense where trace schema checks do —
+        # the metrics registry lives in the same observability layer.
+        schema_rel, _ = _first(facts, "trace_schema")
+        if schema_rel is None:
+            return
+        produced: set[str] = set()
+        prefixes: set[str] = set()
+        for rel in sorted(facts):
+            produced |= set(facts[rel].produced_exact)
+            prefixes |= set(facts[rel].produced_prefixes)
+        for rel in sorted(facts):
+            for loc, name in facts[rel].consumed_metrics:
+                if name in produced:
+                    continue
+                if any(name.startswith(prefix) for prefix in prefixes):
+                    continue
+                yield self.diag_at(
+                    rel,
+                    loc,
+                    f"reads metric {name!r} which no MetricsRegistry "
+                    "counter/gauge/histogram call site produces",
                 )
 
-        produced, prefixes = _produced_metrics(files)
-        for checked, node, name in _consumed_metrics(files):
-            if name in produced:
-                continue
-            if any(name.startswith(prefix) for prefix in prefixes):
-                continue
-            yield self.diagnostic(
-                checked,
-                node,
-                f"reads metric {name!r} which no MetricsRegistry "
-                "counter/gauge/histogram call site produces",
-            )
+    # -- request log ------------------------------------------------------
 
     def _check_telemetry(
-        self, files: Sequence[CheckedFile]
+        self, facts: dict[str, SchemaDriftFacts]
     ) -> Iterable[Diagnostic]:
-        (
-            schema_file,
-            event_fields,
-            key_lines,
-            common,
-            phases,
-            phases_line,
-        ) = _find_telemetry_tables(files)
-        if schema_file is None:
+        schema_rel, tables = _first(facts, "telemetry")
+        if schema_rel is None or not isinstance(tables, TelemetryTablesFact):
             return  # no request-log schema in this file set
 
         emitted: set[str] = set()
         any_unresolved = False
-        for site in _collect_log_event_sites(files):
-            if site.events is None:
-                any_unresolved = True
-                yield self.diagnostic(
-                    site.checked,
-                    site.node,
-                    "log_event() event name could not be resolved "
-                    "statically; use a string literal, a conditional over "
-                    "literals, or a single local assignment of those",
-                )
-                continue
-            emitted |= site.events
-            for event in sorted(site.events):
-                required = event_fields.get(event)
-                if required is None:
-                    yield self.diagnostic(
-                        site.checked,
-                        site.node,
-                        f"logs request event {event!r} which is not in the "
-                        "request-log schema (REQUEST_EVENT_FIELDS); add it "
-                        "to the schema or fix the name",
+        for rel in sorted(facts):
+            for site in facts[rel].log_sites:
+                if site.events is None:
+                    any_unresolved = True
+                    yield self.diag_at(
+                        rel,
+                        site.loc,
+                        "log_event() event name could not be resolved "
+                        "statically; use a string literal, a conditional over "
+                        "literals, or a single local assignment of those",
                     )
                     continue
-                for name in sorted(site.fields & set(common)):
-                    yield self.diagnostic(
-                        site.checked,
-                        site.node,
-                        f"log_event({event!r}) passes common field {name!r} "
-                        "as a keyword; RequestLog stamps it",
-                    )
-                if not site.has_star_kwargs:
-                    for name in sorted(set(required) - site.fields):
-                        yield self.diagnostic(
-                            site.checked,
-                            site.node,
-                            f"log_event({event!r}) is missing required "
-                            f"field {name!r} (schema: {required})",
+                emitted |= set(site.events)
+                for event in site.events:
+                    required = tables.event_fields.get(event)
+                    if required is None:
+                        yield self.diag_at(
+                            rel,
+                            site.loc,
+                            f"logs request event {event!r} which is not in the "
+                            "request-log schema (REQUEST_EVENT_FIELDS); add it "
+                            "to the schema or fix the name",
                         )
+                        continue
+                    for name in sorted(set(site.fields) & set(tables.common)):
+                        yield self.diag_at(
+                            rel,
+                            site.loc,
+                            f"log_event({event!r}) passes common field {name!r} "
+                            "as a keyword; RequestLog stamps it",
+                        )
+                    if not site.has_star_kwargs:
+                        for name in sorted(set(required) - set(site.fields)):
+                            yield self.diag_at(
+                                rel,
+                                site.loc,
+                                f"log_event({event!r}) is missing required "
+                                f"field {name!r} (schema: {required})",
+                            )
 
         if not any_unresolved:
-            for event in sorted(set(event_fields) - emitted):
-                yield Diagnostic(
-                    path=schema_file.rel,
-                    line=key_lines.get(event, 0),
-                    col=1,
-                    rule=self.id,
-                    message=(
-                        f"request-log schema event {event!r} is never "
-                        "logged by any log_event site; dead schema entries "
-                        "hide drift — remove it or emit it"
-                    ),
-                    severity=self.severity,
+            for event in sorted(set(tables.event_fields) - emitted):
+                yield self.diag_at(
+                    schema_rel,
+                    Loc(lineno=tables.key_lines.get(event, 0)),
+                    f"request-log schema event {event!r} is never "
+                    "logged by any log_event site; dead schema entries "
+                    "hide drift — remove it or emit it",
                 )
 
-        (
-            consumer_file,
-            consumed,
-            consumed_lines,
-            report_phases,
-            report_line,
-        ) = _find_reqlog_consumers(files)
-        if consumer_file is None:
+        consumer_rel, consumer = _first(facts, "reqlog")
+        if consumer_rel is None or not isinstance(consumer, ReqlogConsumerFact):
             return  # no serve-report in this file set
 
-        for event in sorted(consumed):
-            if event not in event_fields:
-                yield Diagnostic(
-                    path=consumer_file.rel,
-                    line=consumed_lines.get(event, 0),
-                    col=1,
-                    rule=self.id,
-                    message=(
-                        f"REQLOG_CONSUMED_EVENTS entry {event!r} is not in "
-                        "the request-log schema (REQUEST_EVENT_FIELDS); "
-                        "nothing can ever produce it"
-                    ),
-                    severity=self.severity,
+        for event in sorted(consumer.consumed):
+            if event not in tables.event_fields:
+                yield self.diag_at(
+                    consumer_rel,
+                    Loc(lineno=consumer.key_lines.get(event, 0)),
+                    f"REQLOG_CONSUMED_EVENTS entry {event!r} is not in "
+                    "the request-log schema (REQUEST_EVENT_FIELDS); "
+                    "nothing can ever produce it",
                 )
-            elif consumed[event] != event_fields[event]:
-                yield Diagnostic(
-                    path=consumer_file.rel,
-                    line=consumed_lines.get(event, 0),
-                    col=1,
-                    rule=self.id,
-                    message=(
-                        f"REQLOG_CONSUMED_EVENTS[{event!r}] lists fields "
-                        f"{consumed[event]} but the schema requires "
-                        f"{event_fields[event]}"
-                    ),
-                    severity=self.severity,
+            elif consumer.consumed[event] != tables.event_fields[event]:
+                yield self.diag_at(
+                    consumer_rel,
+                    Loc(lineno=consumer.key_lines.get(event, 0)),
+                    f"REQLOG_CONSUMED_EVENTS[{event!r}] lists fields "
+                    f"{consumer.consumed[event]} but the schema requires "
+                    f"{tables.event_fields[event]}",
                 )
-        for event in sorted(set(event_fields) - set(consumed)):
-            yield Diagnostic(
-                path=schema_file.rel,
-                line=key_lines.get(event, 0),
-                col=1,
-                rule=self.id,
-                message=(
-                    f"request-log schema event {event!r} is missing from "
-                    "REQLOG_CONSUMED_EVENTS; serve-report would silently "
-                    "drop it"
-                ),
-                severity=self.severity,
+        for event in sorted(set(tables.event_fields) - set(consumer.consumed)):
+            yield self.diag_at(
+                schema_rel,
+                Loc(lineno=tables.key_lines.get(event, 0)),
+                f"request-log schema event {event!r} is missing from "
+                "REQLOG_CONSUMED_EVENTS; serve-report would silently "
+                "drop it",
             )
 
-        for phase in report_phases:
-            if phase not in phases:
-                yield Diagnostic(
-                    path=consumer_file.rel,
-                    line=report_line,
-                    col=1,
-                    rule=self.id,
-                    message=(
-                        f"REPORT_LATENCY_PHASES entry {phase!r} is not in "
-                        "LATENCY_PHASES; no serve.latency gauge or phase "
-                        "span can ever carry it"
-                    ),
-                    severity=self.severity,
+        for phase in consumer.report_phases:
+            if phase not in tables.phases:
+                yield self.diag_at(
+                    consumer_rel,
+                    Loc(lineno=consumer.report_line),
+                    f"REPORT_LATENCY_PHASES entry {phase!r} is not in "
+                    "LATENCY_PHASES; no serve.latency gauge or phase "
+                    "span can ever carry it",
                 )
-        for phase in phases:
-            if phase not in report_phases:
-                yield Diagnostic(
-                    path=schema_file.rel,
-                    line=phases_line,
-                    col=1,
-                    rule=self.id,
-                    message=(
-                        f"latency phase {phase!r} is missing from "
-                        "REPORT_LATENCY_PHASES; serve-report would never "
-                        "render its percentiles"
-                    ),
-                    severity=self.severity,
+        for phase in tables.phases:
+            if phase not in consumer.report_phases:
+                yield self.diag_at(
+                    schema_rel,
+                    Loc(lineno=tables.phases_line),
+                    f"latency phase {phase!r} is missing from "
+                    "REPORT_LATENCY_PHASES; serve-report would never "
+                    "render its percentiles",
                 )
+
+    # -- sweep store ------------------------------------------------------
 
     def _check_store(
-        self, files: Sequence[CheckedFile]
+        self, facts: dict[str, SchemaDriftFacts]
     ) -> Iterable[Diagnostic]:
-        store_file, columns, query_fields, query_line, meta = (
-            _find_store_schema(files)
-        )
-        if store_file is None:
+        store_rel, store = _first(facts, "store")
+        if store_rel is None or not isinstance(store, StoreSchemaFact):
             return  # no sweep store in this file set
 
-        known_query = set(columns) | set(meta)
-        for field in query_fields:
-            if field not in known_query:
-                yield Diagnostic(
-                    path=store_file.rel,
-                    line=query_line,
-                    col=1,
-                    rule=self.id,
-                    message=(
-                        f"QUERY_FIELDS entry {field!r} is neither a "
-                        "SWEEP_COLUMNS column nor a SWEEP_META_FIELDS "
-                        "field; no query row can ever carry it"
-                    ),
-                    severity=self.severity,
+        known_query = set(store.columns) | set(store.meta_fields)
+        for field_name in store.query_fields:
+            if field_name not in known_query:
+                yield self.diag_at(
+                    store_rel,
+                    Loc(lineno=store.query_line),
+                    f"QUERY_FIELDS entry {field_name!r} is neither a "
+                    "SWEEP_COLUMNS column nor a SWEEP_META_FIELDS "
+                    "field; no query row can ever carry it",
                 )
-        for column, line in columns.items():
-            if column not in query_fields:
-                yield Diagnostic(
-                    path=store_file.rel,
-                    line=line,
-                    col=1,
-                    rule=self.id,
-                    message=(
-                        f"segment column {column!r} is missing from "
-                        "QUERY_FIELDS; it would be stored but never "
-                        "queryable or exported"
-                    ),
-                    severity=self.severity,
+        for column, line in store.columns.items():
+            if column not in store.query_fields:
+                yield self.diag_at(
+                    store_rel,
+                    Loc(lineno=line),
+                    f"segment column {column!r} is missing from "
+                    "QUERY_FIELDS; it would be stored but never "
+                    "queryable or exported",
                 )
 
-        segment_reads, row_reads = _store_field_reads(files)
         consumed_columns: set[str] = set()
-        for checked, node, name in segment_reads:
-            consumed_columns.add(name)
-            if name not in columns:
-                yield self.diagnostic(
-                    checked,
-                    node,
-                    f"reads segment column {name!r} which is not in "
-                    "SWEEP_COLUMNS; no segment ever stores it",
-                )
-        for checked, node, name in row_reads:
-            if name not in query_fields:
-                yield self.diagnostic(
-                    checked,
-                    node,
-                    f"reads query-row field {name!r} which is not in "
-                    "QUERY_FIELDS; no query row ever carries it",
-                )
-        if segment_reads:
-            for column in sorted(set(columns) - consumed_columns):
-                yield Diagnostic(
-                    path=store_file.rel,
-                    line=columns[column],
-                    col=1,
-                    rule=self.id,
-                    message=(
-                        f"segment column {column!r} is never read by any "
-                        "segment/_buffer subscript; dead columns hide "
-                        "drift — remove it or consume it"
-                    ),
-                    severity=self.severity,
+        any_segment_reads = False
+        for rel in sorted(facts):
+            for loc, name in facts[rel].segment_reads:
+                any_segment_reads = True
+                consumed_columns.add(name)
+                if name not in store.columns:
+                    yield self.diag_at(
+                        rel,
+                        loc,
+                        f"reads segment column {name!r} which is not in "
+                        "SWEEP_COLUMNS; no segment ever stores it",
+                    )
+            for loc, name in facts[rel].row_reads:
+                if name not in store.query_fields:
+                    yield self.diag_at(
+                        rel,
+                        loc,
+                        f"reads query-row field {name!r} which is not in "
+                        "QUERY_FIELDS; no query row ever carries it",
+                    )
+        if any_segment_reads:
+            for column in sorted(set(store.columns) - consumed_columns):
+                yield self.diag_at(
+                    store_rel,
+                    Loc(lineno=store.columns[column]),
+                    f"segment column {column!r} is never read by any "
+                    "segment/_buffer subscript; dead columns hide "
+                    "drift — remove it or consume it",
                 )

@@ -46,6 +46,22 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 METRIC_TIME_NS = "time_ns"
 METRIC_NS_PER_FMA = "ns_per_fma"
 
+#: Types that cross the process-pool boundary (in ``PointJob`` chunks
+#: or their results).  Checked by ``repro check`` (process-boundary):
+#: each must be a frozen dataclass — transitively, through its field
+#: annotations — or be listed in :data:`POOL_PAYLOAD_PICKLABLE`.
+POOL_PAYLOAD_TYPES = (
+    "PointJob",
+    "MachineConfig",
+    "GemmKernelConfig",
+    "NMKernelConfig",
+    "IndexMACConfig",
+)
+
+#: Documented escape hatch: types that pickle safely without being
+#: frozen dataclasses.  Keep a justification next to each entry.
+POOL_PAYLOAD_PICKLABLE: tuple = ()
+
 
 @dataclass(frozen=True)
 class PointJob:

@@ -45,6 +45,11 @@ recording per-mix throughput and exact p50/p95/p99 end-to-end latency.
 fingerprints (cold store + dedup means each is simulated exactly once),
 so cycle drift still means the simulated machine changed, not the
 serving layer.
+
+The ``check_wall`` workload guards the static-analysis engine itself:
+``repro check`` over the shipped source tree, cold then warm against
+the same cache directory.  ``warm_speedup`` is the incremental
+engine's headline number — the CI check job pins it at >= 3x.
 """
 
 from __future__ import annotations
@@ -148,6 +153,7 @@ def _suite(quick: bool) -> list[tuple[str, int, Any]]:
         ("fastsim_sweep", 1, sweep),
         ("sweep_throughput", 1, None),
         ("serve_roundtrip", 2, None),
+        ("check_wall", 1, None),
     ]
 
 
@@ -425,6 +431,55 @@ def _run_serve_roundtrip(quick: bool) -> dict[str, Any]:
     }
 
 
+def _run_check_wall(quick: bool) -> dict[str, Any]:
+    """Time ``repro check`` over the shipped source tree, cold then warm.
+
+    The static-analysis engine promises incrementality: a warm run
+    against an unchanged tree replays the memoised result instead of
+    re-parsing anything.  This workload is where that promise is
+    guarded — ``wall_s`` (the regression gate's number) is the cold
+    wall, and ``warm_speedup`` records how far the cache keeps warm
+    re-runs ahead (the CI check job pins it at >= 3x).  There is no
+    simulator in the loop, so ``sim_cycles`` is fixed at 0; counter
+    drift here means the *checked tree* changed size, which is
+    expected, not a model change.
+    """
+    import tempfile
+
+    import repro
+    from repro.check import run_checks
+
+    src_root = Path(repro.__file__).resolve().parents[1]
+    with tempfile.TemporaryDirectory(prefix="checkbench-") as tmp:
+        cache_dir = Path(tmp) / "cache"
+        start = time.perf_counter()
+        cold = run_checks(src_root, cache_dir=cache_dir)
+        cold_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_checks(src_root, cache_dir=cache_dir)
+        warm_wall = time.perf_counter() - start
+    if warm.files_checked != cold.files_checked:
+        raise RuntimeError(
+            "check_wall: warm run saw a different tree "
+            f"({warm.files_checked} vs {cold.files_checked} files)"
+        )
+    return {
+        "wall_s": round(cold_wall, 6),
+        "warm_wall_s": round(warm_wall, 6),
+        "warm_speedup": round(cold_wall / warm_wall, 2) if warm_wall else 0.0,
+        "jobs": 1,
+        "files": cold.files_checked,
+        "diagnostics": len(cold.diagnostics),
+        "sim_cycles": 0,
+        "cycles_per_sec": 0.0,
+        "counters": {
+            "files_checked": cold.files_checked,
+            "diagnostics": len(cold.diagnostics),
+            "suppressed": cold.suppressed,
+        },
+    }
+
+
 def run_suite(
     quick: bool = False,
     repeats: int = 2,
@@ -439,6 +494,8 @@ def run_suite(
             result = _run_sweep_throughput(quick)
         elif name == "serve_roundtrip":
             result = _run_serve_roundtrip(quick)
+        elif name == "check_wall":
+            result = _run_check_wall(quick)
         else:
             result = _run_workload(name, jobs, point_jobs, repeats)
         workloads[name] = result
@@ -457,6 +514,12 @@ def run_suite(
                 extra = ", " + "  ".join(
                     f"{mix} p99 {record['p99_ms']:.0f}ms"
                     for mix, record in result["mixes"].items()
+                )
+            if "warm_speedup" in result:
+                extra = (
+                    f", {result['files']} files, warm "
+                    f"{result['warm_wall_s']:.3f}s "
+                    f"({result['warm_speedup']:.0f}x)"
                 )
             echo(
                 f"  {name}: {result['wall_s']:.3f}s wall, "

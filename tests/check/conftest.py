@@ -1,12 +1,23 @@
 """Shared fixtures for the repro.check tests."""
 
+import shutil
 from pathlib import Path
 
 import pytest
 
 FIXTURES = Path(__file__).parent / "fixtures"
+SRC = Path(__file__).resolve().parents[2] / "src"
 
 
 @pytest.fixture(scope="session")
 def fixtures_dir() -> Path:
     return FIXTURES
+
+
+@pytest.fixture()
+def src_copy(tmp_path) -> Path:
+    """A mutable copy of the real src tree (checker package included,
+    so the contract snapshot and identity config travel with it)."""
+    work = tmp_path / "src"
+    shutil.copytree(SRC, work, ignore=shutil.ignore_patterns("__pycache__"))
+    return work

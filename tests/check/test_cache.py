@@ -1,0 +1,132 @@
+"""Incremental analysis cache: content keys, memo, edge cases."""
+
+import os
+
+from repro.check import run_checks
+from repro.check.cache import AnalysisCache, checker_fingerprint
+
+
+def _tree(tmp_path, **files):
+    root = tmp_path / "tree"
+    root.mkdir(exist_ok=True)
+    for name, text in files.items():
+        path = root / name.replace(".", "/", name.count(".") - 1)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return root
+
+
+GOOD = "import math\n\n\ndef f() -> float:\n    return math.pi\n"
+BAD = "def broken(:\n"
+
+
+def test_cold_then_memo_hit(tmp_path):
+    root = _tree(tmp_path, **{"mod.py": GOOD})
+    cache = tmp_path / "cache"
+    cold = run_checks(root, cache_dir=cache)
+    assert cold.parsed_files == 1 and not cold.from_memo
+    warm = run_checks(root, cache_dir=cache)
+    assert warm.from_memo and warm.parsed_files == 0
+    assert warm.diagnostics == cold.diagnostics
+    assert warm.files_checked == cold.files_checked
+
+
+def test_mtime_change_without_content_change_stays_cached(tmp_path):
+    root = _tree(tmp_path, **{"mod.py": GOOD})
+    cache = tmp_path / "cache"
+    run_checks(root, cache_dir=cache)
+    # Bump mtime far into the future; the content hash is unchanged.
+    path = root / "mod.py"
+    os.utime(path, (path.stat().st_atime + 3600, path.stat().st_mtime + 3600))
+    warm = run_checks(root, cache_dir=cache)
+    assert warm.from_memo and warm.parsed_files == 0
+
+
+def test_content_change_reparses_only_the_changed_file(tmp_path):
+    root = _tree(tmp_path, **{"a.py": GOOD, "b.py": GOOD.replace("f", "g")})
+    cache = tmp_path / "cache"
+    run_checks(root, cache_dir=cache)
+    (root / "a.py").write_text(GOOD + "\n\nX = 1\n")
+    after = run_checks(root, cache_dir=cache)
+    assert not after.from_memo
+    assert after.parsed_files == 1
+    assert after.cached_files == 1
+
+
+def test_syntax_error_file_is_cached_and_replayed(tmp_path):
+    root = _tree(tmp_path, **{"ok.py": GOOD, "broken.py": BAD})
+    cache = tmp_path / "cache"
+    cold = run_checks(root, cache_dir=cache)
+    assert [d.rule for d in cold.diagnostics] == ["parse-error"]
+    assert cold.files_checked == 2
+    # Force a memo miss so the per-file entry (not the run memo) must
+    # replay the parse-error diagnostic.
+    (root / "ok.py").write_text(GOOD + "\nY = 2\n")
+    warm = run_checks(root, cache_dir=cache)
+    assert not warm.from_memo
+    assert warm.parsed_files == 1  # only ok.py; broken.py replays from cache
+    assert [d.rule for d in warm.diagnostics] == ["parse-error"]
+    assert warm.diagnostics == cold.diagnostics
+
+
+def test_rule_selection_gets_its_own_memo(tmp_path):
+    root = _tree(tmp_path, **{"mod.py": GOOD})
+    cache = tmp_path / "cache"
+    subset = run_checks(root, rule_ids=["lock-discipline"], cache_dir=cache)
+    full = run_checks(root, cache_dir=cache)
+    assert not full.from_memo  # the subset memo must not answer a full run
+    again = run_checks(root, rule_ids=["lock-discipline"], cache_dir=cache)
+    assert again.from_memo
+    assert again.diagnostics == subset.diagnostics
+
+
+def test_corrupt_cache_entries_are_misses(tmp_path):
+    root = _tree(tmp_path, **{"mod.py": GOOD})
+    cache = tmp_path / "cache"
+    run_checks(root, cache_dir=cache)
+    corrupted = 0
+    for path in cache.rglob("*.pkl"):
+        path.write_bytes(b"not a pickle")
+        corrupted += 1
+    assert corrupted
+    result = run_checks(root, cache_dir=cache)
+    assert not result.from_memo
+    assert result.parsed_files == 1
+    assert result.ok
+
+
+def test_no_cache_dir_means_no_cache_io(tmp_path):
+    root = _tree(tmp_path, **{"mod.py": GOOD})
+    result = run_checks(root)
+    assert result.parsed_files == 1 and result.cached_files == 0
+    assert not list(tmp_path.glob("**/*.pkl"))
+
+
+def test_checker_fingerprint_is_stable_and_folded_into_keys():
+    assert checker_fingerprint() == checker_fingerprint()
+
+
+def test_file_key_depends_on_content(tmp_path):
+    cache = AnalysisCache(tmp_path / "cache")
+    assert cache.file_key(b"a") != cache.file_key(b"b")
+    assert cache.file_key(b"a") == cache.file_key(b"a")
+
+
+def test_run_key_depends_on_selection_and_external_state(tmp_path):
+    cache = AnalysisCache(tmp_path / "cache")
+    hashes = [("a.py", "h1")]
+    base = cache.run_key(hashes, None, "")
+    assert cache.run_key(hashes, ("lock-discipline",), "") != base
+    assert cache.run_key(hashes, None, "contracts=sha") != base
+    assert cache.run_key([("a.py", "h2")], None, "") != base
+    assert cache.run_key(hashes, None, "") == base
+
+
+def test_cache_survives_unpicklable_store(tmp_path, monkeypatch):
+    # A cache directory that cannot be written must degrade to
+    # cache-less behaviour, not crash the run.
+    root = _tree(tmp_path, **{"mod.py": GOOD})
+    blocked = tmp_path / "blocked"
+    blocked.write_text("a file, not a directory")
+    result = run_checks(root, cache_dir=blocked / "sub")
+    assert result.ok and result.parsed_files == 1

@@ -1,0 +1,99 @@
+"""Identity-axis completeness over the real tree and seeded mutations."""
+
+from repro.check import run_checks
+from tests.check.conftest import SRC
+
+
+def _identity(result):
+    return [
+        d for d in result.diagnostics if d.rule == "identity-completeness"
+    ]
+
+
+def test_real_tree_is_complete():
+    result = run_checks(SRC, rule_ids=["identity-completeness"])
+    assert _identity(result) == []
+
+
+def test_axis_removed_from_canonical_flagged(src_copy):
+    schema = src_copy / "repro" / "serve" / "schema.py"
+    text = schema.read_text()
+    assert '"mechanism": self.mechanism,' in text
+    schema.write_text(text.replace('"mechanism": self.mechanism,', "", 1))
+    result = run_checks(src_copy, rule_ids=["identity-completeness"])
+    diags = _identity(result)
+    assert len(diags) == 1
+    assert diags[0].path == "repro/serve/schema.py"
+    assert "'mechanism'" in diags[0].message
+    assert "canonical()" in diags[0].message
+
+
+def test_axis_removed_from_sweep_meta_flagged(src_copy):
+    schema = src_copy / "repro" / "store" / "schema.py"
+    text = schema.read_text()
+    assert '"mechanism",' in text
+    schema.write_text(text.replace('"mechanism",', "", 1))
+    result = run_checks(src_copy, rule_ids=["identity-completeness"])
+    diags = _identity(result)
+    assert any(
+        d.path == "repro/store/schema.py"
+        and "'mechanism'" in d.message
+        and "SWEEP_META_FIELDS" in d.message
+        for d in diags
+    )
+
+
+def test_batch_key_popping_an_axis_flagged(src_copy):
+    schema = src_copy / "repro" / "serve" / "schema.py"
+    text = schema.read_text()
+    anchor = 'payload.pop("points")'
+    assert anchor in text
+    schema.write_text(
+        text.replace(anchor, anchor + '\n        payload.pop("engine")', 1)
+    )
+    result = run_checks(src_copy, rule_ids=["identity-completeness"])
+    diags = _identity(result)
+    assert any(
+        "batch_key() pops identity axis 'engine'" in d.message for d in diags
+    )
+
+
+def test_stale_exemption_flagged(src_copy):
+    # SimResult is exempt from the ``machine`` axis; give it a machine
+    # field and the exemption itself must be reported as stale.
+    pipeline = src_copy / "repro" / "core" / "pipeline.py"
+    text = pipeline.read_text()
+    anchor = '    mechanism: str = "save"'
+    assert anchor in text
+    pipeline.write_text(
+        text.replace(anchor, anchor + '\n    machine: str = "save"', 1)
+    )
+    result = run_checks(src_copy, rule_ids=["identity-completeness"])
+    diags = _identity(result)
+    assert any(
+        "stale exemption" in d.message and "'machine'" in d.message
+        for d in diags
+    )
+
+
+def test_unclassified_runcontext_field_flagged(src_copy):
+    context = src_copy / "repro" / "experiments" / "context.py"
+    text = context.read_text()
+    anchor = "    full_grid: bool = False"
+    assert anchor in text
+    context.write_text(
+        text.replace(anchor, "    mystery_knob: int = 3\n" + anchor, 1)
+    )
+    result = run_checks(src_copy, rule_ids=["identity-completeness"])
+    diags = _identity(result)
+    assert any(
+        "'mystery_knob'" in d.message and "NON_AXIS_RUNCONTEXT" in d.message
+        for d in diags
+    )
+
+
+def test_fixture_subset_without_pointjob_is_silent(fixtures_dir):
+    result = run_checks(
+        fixtures_dir / "clean", rule_ids=["identity-completeness"]
+    )
+    assert _identity(result) == []

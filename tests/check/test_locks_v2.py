@@ -1,0 +1,100 @@
+"""Lock-discipline v2: call-graph awareness and manual acquire shape."""
+
+from repro.check import run_checks
+
+SERVICE = '''\
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.jobs = []
+
+    def direct_bad(self):
+        self._drain_locked()
+
+    def entry(self):
+        self._middle()
+
+    def _middle(self):
+        self._drain_locked()
+
+    def safe(self):
+        with self._lock:
+            self._drain_locked()
+
+    def _other_locked(self):
+        self._drain_locked()
+
+    def _drain_locked(self):
+        return list(self.jobs)
+'''
+
+
+def _tree(tmp_path, text=SERVICE, name="service.py"):
+    root = tmp_path / "tree"
+    (root / "repro" / "serve").mkdir(parents=True)
+    (root / "repro" / "serve" / name).write_text(text)
+    return root
+
+
+def _lock(result):
+    return [d for d in result.diagnostics if d.rule == "lock-discipline"]
+
+
+def test_direct_and_indirect_unlocked_calls_flagged(tmp_path):
+    result = run_checks(_tree(tmp_path), rule_ids=["lock-discipline"])
+    diags = _lock(result)
+    messages = [d.message for d in diags]
+    assert any("direct_bad() calls self._drain_locked()" in m for m in messages)
+    assert any("_middle() calls self._drain_locked()" in m for m in messages)
+    # The indirect finding names an example path through the graph.
+    indirect = next(m for m in messages if "_middle()" in m)
+    assert "example unlocked path: entry -> _middle" in indirect
+    # Holding callers and *_locked-to-*_locked calls stay clean.
+    assert not any("safe()" in m for m in messages)
+    assert not any("_other_locked() calls" in m for m in messages)
+    assert len(diags) == 2
+
+
+def test_locked_suffix_requires_a_lock_attribute(tmp_path):
+    # A class with no lock attribute is out of scope for the v2 check.
+    text = SERVICE.replace("self._lock = threading.Lock()\n        ", "")
+    text = text.replace("with self._lock:", "if True:")
+    result = run_checks(_tree(tmp_path, text=text), rule_ids=["lock-discipline"])
+    assert _lock(result) == []
+
+
+def test_bare_acquire_outside_try_finally_flagged(tmp_path):
+    text = '''\
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def bad(self):
+        self._lock.acquire()
+        return 1
+
+    def good(self):
+        self._lock.acquire()
+        try:
+            return 1
+        finally:
+            self._lock.release()
+'''
+    result = run_checks(_tree(tmp_path, text=text), rule_ids=["lock-discipline"])
+    diags = _lock(result)
+    assert len(diags) == 1
+    assert "bad() calls self._lock.acquire() outside try/finally" in diags[0].message
+
+
+def test_outside_graph_scope_is_ignored(tmp_path):
+    root = tmp_path / "tree"
+    (root / "repro" / "core").mkdir(parents=True)
+    (root / "repro" / "core" / "service.py").write_text(SERVICE)
+    result = run_checks(root, rule_ids=["lock-discipline"])
+    assert _lock(result) == []

@@ -1,0 +1,171 @@
+"""Program facts and index: extraction, call graph, reverse paths."""
+
+import ast
+
+from repro.check.program import (
+    ProgramIndex,
+    extract_program_facts,
+    literal_value,
+)
+
+SOURCE = '''
+import threading
+from repro.fsio import FileLock
+
+SWEEP_FIELDS = ("kernel", "machine")
+COMPUTED = tuple(x for x in SWEEP_FIELDS)
+SCHEMA_VERSION = 2
+
+
+def module_fn():
+    return {"a": 1, "b": 2}
+
+
+class Widget:
+    name: str
+    count: int = 0
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def entry(self):
+        self.middle()
+
+    def middle(self):
+        self.leaf_locked()
+
+    def safe(self):
+        with self._lock:
+            self.leaf_locked()
+
+    def factory_held(self):
+        with self._dir_lock():
+            self.leaf_locked()
+
+    def leaf_locked(self):
+        pass
+
+    def manual(self):
+        self._lock.acquire()
+        try:
+            pass
+        finally:
+            self._lock.release()
+
+    def manual_bad(self):
+        self._lock.acquire()
+
+    def submitter(self, pool):
+        def closure():
+            pass
+        pool.submit(closure, 1)
+        pool.map(lambda x: x, [1])
+'''
+
+
+def _facts():
+    tree = ast.parse(SOURCE)
+    return extract_program_facts("widget.py", "widget.py", tree)
+
+
+def test_assign_extraction_literal_and_computed():
+    facts = _facts()
+    fields = facts.assign("SWEEP_FIELDS")
+    assert fields.is_literal and fields.literal == ("kernel", "machine")
+    computed = facts.assign("COMPUTED")
+    assert not computed.is_literal and computed.literal is None
+    assert computed.dump_sha and computed.dump_sha != fields.dump_sha
+    assert facts.assign("SCHEMA_VERSION").literal == 2
+
+
+def test_dump_sha_tracks_declaration_text():
+    a = extract_program_facts("a.py", "a.py", ast.parse("X_FIELDS = (1, 2)"))
+    b = extract_program_facts("b.py", "b.py", ast.parse("X_FIELDS = (1, 3)"))
+    c = extract_program_facts("c.py", "c.py", ast.parse("X_FIELDS = (1, 2)"))
+    assert a.assign("X_FIELDS").dump_sha != b.assign("X_FIELDS").dump_sha
+    assert a.assign("X_FIELDS").dump_sha == c.assign("X_FIELDS").dump_sha
+
+
+def test_literal_value_containers_are_order_stable():
+    value, ok = literal_value(ast.parse("{'b': 2, 'a': 1}", mode="eval").body)
+    assert ok and value == (("a", 1), ("b", 2))
+    value, ok = literal_value(ast.parse("{3, 1, 2}", mode="eval").body)
+    assert ok and value == (1, 2, 3)
+    _, ok = literal_value(ast.parse("f(1)", mode="eval").body)
+    assert not ok
+
+
+def test_class_fields_and_methods():
+    facts = _facts()
+    cls = facts.cls("Widget")
+    assert cls.field_names() == ("name", "count")
+    assert "leaf_locked" in cls.methods
+    assert not cls.is_frozen_dataclass()
+
+
+def test_returned_dict_keys():
+    facts = _facts()
+    assert facts.function("module_fn").returned_dict_keys == ("a", "b")
+
+
+def test_call_sites_record_held_contexts():
+    facts = _facts()
+    safe = facts.function("safe", cls="Widget")
+    call = next(c for c in safe.calls if c.callee == "self.leaf_locked")
+    assert "_lock" in call.held
+    # Factory form ``with self._dir_lock():`` pins the attribute too.
+    factory = facts.function("factory_held", cls="Widget")
+    call = next(c for c in factory.calls if c.callee == "self.leaf_locked")
+    assert "_dir_lock" in call.held
+    # No lock held on the bare path.
+    middle = facts.function("middle", cls="Widget")
+    call = next(c for c in middle.calls if c.callee == "self.leaf_locked")
+    assert call.held == ()
+
+
+def test_call_sites_record_try_finally():
+    facts = _facts()
+    manual = facts.function("manual", cls="Widget")
+    acquire = next(
+        c for c in manual.calls if c.callee == "self._lock.acquire"
+    )
+    assert not acquire.in_try_finally  # the acquire itself sits before try
+    release = next(
+        c for c in manual.calls if c.callee == "self._lock.release"
+    )
+    assert release.in_try_finally
+
+
+def test_call_arg_shapes_and_nested_defs():
+    facts = _facts()
+    submitter = facts.function("submitter", cls="Widget")
+    assert "closure" in submitter.nested_defs
+    submit = next(c for c in submitter.calls if c.callee == "pool.submit")
+    assert submit.arg_shapes[0] == "name:closure"
+    mapped = next(c for c in submitter.calls if c.callee == "pool.map")
+    assert mapped.arg_shapes[0] == "lambda"
+
+
+def test_import_resolution_in_callees():
+    source = "import numpy as np\n\ndef f():\n    np.random.seed(1)\n"
+    facts = extract_program_facts("f.py", "f.py", ast.parse(source))
+    call = facts.function("f").calls[0]
+    assert call.callee == "numpy.random.seed"
+
+
+def test_index_reverse_call_paths():
+    facts = _facts()
+    index = ProgramIndex.build([facts])
+    chains = index.call_paths_to("leaf_locked", "Widget", facts)
+    assert ("entry", "middle") in chains
+    # Callers of middle: entry only.
+    callers = [fn.name for fn, _ in index.callers_of("middle", "Widget", facts)]
+    assert callers == ["entry"]
+
+
+def test_index_lookups_sorted_by_rel():
+    a = extract_program_facts("b.py", "b.py", ast.parse("NAME_FIELDS = (1,)"))
+    b = extract_program_facts("a.py", "a.py", ast.parse("NAME_FIELDS = (2,)"))
+    index = ProgramIndex.build([a, b])
+    rels = [f.rel for f, _ in index.find_assign("NAME_FIELDS")]
+    assert rels == ["a.py", "b.py"]

@@ -1,0 +1,74 @@
+"""SARIF rendering: byte stability, structure, golden round-trip."""
+
+import json
+
+from repro.check import ALL_RULES, run_checks
+from repro.check.cli import check_main
+from repro.check.sarif import render_sarif, to_sarif
+from tests.check.conftest import FIXTURES
+
+GOLDEN = FIXTURES.parent / "golden_violations.sarif"
+
+
+def _violations_result():
+    return run_checks(FIXTURES / "violations")
+
+
+def test_render_is_byte_stable():
+    result = _violations_result()
+    first = render_sarif(result, ALL_RULES)
+    second = render_sarif(_violations_result(), ALL_RULES)
+    assert first == second
+    assert first.endswith("\n")
+    # Sorted keys: serialising the parsed document the same way is a
+    # fixed point.
+    assert json.dumps(json.loads(first), indent=2, sort_keys=True) + "\n" == first
+
+
+def test_document_structure_round_trips():
+    result = _violations_result()
+    document = to_sarif(result, ALL_RULES)
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-check"
+    results = run["results"]
+    assert len(results) == len(result.diagnostics)
+    rules = run["tool"]["driver"]["rules"]
+    ids = [entry["id"] for entry in rules]
+    assert ids == sorted(ids)
+    for sarif_result, diag in zip(results, result.diagnostics):
+        assert sarif_result["ruleId"] == diag.rule
+        assert rules[sarif_result["ruleIndex"]]["id"] == diag.rule
+        location = sarif_result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == diag.path
+        assert location["region"]["startLine"] == max(diag.line, 1)
+        assert sarif_result["message"]["text"] == diag.message
+
+
+def test_every_reported_rule_is_in_the_driver_catalogue(tmp_path):
+    # parse-error has no Rule object; the driver must still list it.
+    (tmp_path / "broken.py").write_text("def broken(:\n")
+    result = run_checks(tmp_path)
+    document = to_sarif(result, ALL_RULES)
+    ids = {r["id"] for r in document["runs"][0]["tool"]["driver"]["rules"]}
+    assert "parse-error" in ids
+
+
+def test_golden_round_trip():
+    # The committed golden pins the exact SARIF document for the
+    # violations fixture (minus the machine-dependent URI base).
+    document = to_sarif(_violations_result(), ALL_RULES)
+    document["runs"][0].pop("originalUriBaseIds")
+    golden = json.loads(GOLDEN.read_text())
+    assert document == golden
+
+
+def test_cli_sarif_format(capsys):
+    exit_code = check_main(
+        [str(FIXTURES / "violations"), "--format", "sarif", "--no-cache"]
+    )
+    assert exit_code == 1
+    out = capsys.readouterr().out
+    document = json.loads(out)
+    assert document["runs"][0]["results"]
+    assert out.endswith("\n")

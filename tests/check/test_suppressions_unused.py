@@ -1,0 +1,105 @@
+"""Unused-suppression diagnostics and --prune-suppressions."""
+
+from repro.check import UNUSED_SUPPRESSION_ID, run_checks
+from repro.check.cli import check_main
+from repro.check.engine import Suppressions
+
+
+def _unused(result):
+    return [d for d in result.diagnostics if d.rule == UNUSED_SUPPRESSION_ID]
+
+
+def _tree(tmp_path, text):
+    root = tmp_path / "tree"
+    (root / "repro" / "core").mkdir(parents=True)
+    (root / "repro" / "core" / "mod.py").write_text(text)
+    return root
+
+
+def test_marker_that_fires_is_not_flagged(tmp_path, fixtures_dir):
+    result = run_checks(fixtures_dir / "suppressed")
+    assert result.suppressed > 0
+    assert _unused(result) == []
+
+
+def test_stale_marker_flagged_at_its_line(tmp_path):
+    root = _tree(
+        tmp_path,
+        "import math\n"
+        "\n"
+        "\n"
+        "def f():\n"
+        "    return math.pi  # repro: no-check[no-wallclock]\n",
+    )
+    result = run_checks(root)
+    diags = _unused(result)
+    assert len(diags) == 1
+    assert diags[0].path == "repro/core/mod.py"
+    assert diags[0].line == 5
+    assert "no longer matches any diagnostic" in diags[0].message
+    assert not result.ok  # stale markers gate
+
+
+def test_blanket_marker_cannot_hide_its_own_staleness(tmp_path):
+    root = _tree(
+        tmp_path,
+        "# repro: no-check-file\n"
+        "import math\n"
+        "\n"
+        "\n"
+        "def f():\n"
+        "    return math.pi\n",
+    )
+    result = run_checks(root)
+    assert len(_unused(result)) == 1
+
+
+def test_marker_mentions_in_docstrings_are_not_markers():
+    suppressions = Suppressions.parse(
+        '"""Docs: suppress with ``# repro: no-check[rule]``."""\n'
+        "X = 1  # repro: no-check[real-rule]\n"
+    )
+    assert suppressions.count == 1
+    assert suppressions.markers[0].line == 2
+
+
+def test_rule_filter_suppresses_staleness_reporting(tmp_path):
+    # Under --rule, a marker for an unselected rule is not decidable.
+    root = _tree(
+        tmp_path,
+        "import math\n"
+        "\n"
+        "\n"
+        "def f():\n"
+        "    return math.pi  # repro: no-check[no-wallclock]\n",
+    )
+    result = run_checks(root, rule_ids=["lock-discipline"])
+    assert _unused(result) == []
+    # Explicitly selecting the unused-suppression rule re-enables it.
+    result = run_checks(
+        root, rule_ids=["lock-discipline", UNUSED_SUPPRESSION_ID]
+    )
+    assert len(_unused(result)) == 1
+
+
+def test_prune_suppressions_lists_stale_markers(tmp_path, capsys):
+    root = _tree(
+        tmp_path,
+        "import math\n"
+        "X = 1  # repro: no-check[no-wallclock]\n",
+    )
+    assert check_main([str(root), "--prune-suppressions", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "repro/core/mod.py:2: # repro: no-check[no-wallclock]" in out
+
+
+def test_prune_suppressions_clean_tree(tmp_path, capsys):
+    root = _tree(tmp_path, "X = 1\n")
+    assert check_main([str(root), "--prune-suppressions", "--no-cache"]) == 0
+    assert "no stale suppressions" in capsys.readouterr().out
+
+
+def test_used_markers_are_recorded(fixtures_dir):
+    result = run_checks(fixtures_dir / "suppressed")
+    assert result.used_markers
+    assert all(len(record) == 3 for record in result.used_markers)

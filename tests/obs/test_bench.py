@@ -366,9 +366,14 @@ class TestRealSuiteSmoke:
             "fastsim_sweep",
             "sweep_throughput",
             "serve_roundtrip",
+            "check_wall",
         }
-        for workload in workloads.values():
+        for name, workload in workloads.items():
             assert workload["wall_s"] > 0
+            if name == "check_wall":
+                # No simulator in the loop: cycles are pinned at zero.
+                assert workload["sim_cycles"] == 0
+                continue
             assert workload["sim_cycles"] > 0
             assert workload["counters"]["sim_cycles"] == workload["sim_cycles"]
         fastsim = workloads["fastsim_sweep"]
@@ -385,3 +390,7 @@ class TestRealSuiteSmoke:
             assert stats["requests"] > 0
             assert stats["throughput_rps"] > 0
             assert stats["p50_ms"] <= stats["p95_ms"] <= stats["p99_ms"]
+        check = workloads["check_wall"]
+        assert check["files"] > 0
+        assert check["warm_wall_s"] > 0
+        assert check["warm_speedup"] >= 3.0
